@@ -1,0 +1,190 @@
+"""Fig. 3: top-K estimation accuracy of AT vs TT vs SH.
+
+Regenerates: (a-e) Accuracy vs K per dataset, (f-i) Accuracy vs n,
+(j) Accuracy vs s, plus the Section-VII adversarial counterexample.
+Expected shape: AT highly accurate everywhere; TT and SH far behind,
+catastrophically so on IOT-like data with long frequent substrings.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.approximate import ApproximateTopK
+from repro.datasets.registry import DATASETS
+from repro.eval.plotting import ascii_chart
+from repro.eval.metrics import evaluate_miner
+from repro.eval.reporting import format_table
+from repro.streaming.substring_hk import SubstringHK
+from repro.streaming.topk_trie import TopKTrie
+from repro.suffix.suffix_array import SuffixArray
+
+from benchmarks.conftest import save_report
+
+
+def _score(miner_results, index, k):
+    return evaluate_miner(miner_results, index, k).accuracy_percent
+
+
+def _run_all(ws, index, k, s, seed=0):
+    at = _score(ApproximateTopK(ws, k=k, s=s, seed=seed).mine(), index, k)
+    tt = _score(TopKTrie(ws, k=k).mine(), index, k)
+    sh = _score(SubstringHK(ws, k=k, seed=seed).mine(), index, k)
+    return at, tt, sh
+
+
+def _run_all_re(ws, index, k, s, seed=0):
+    """Relative error per miner (the measure the paper records as
+    'analogous to Accuracy' and omits from its plots)."""
+    at = evaluate_miner(ApproximateTopK(ws, k=k, s=s, seed=seed).mine(), index, k)
+    tt = evaluate_miner(TopKTrie(ws, k=k).mine(), index, k)
+    sh = evaluate_miner(SubstringHK(ws, k=k, seed=seed).mine(), index, k)
+    return at.relative_error, tt.relative_error, sh.relative_error
+
+
+def test_fig3_accuracy_vs_k(bundles, benchmark):
+    """Figs 3a-3e: accuracy for K sweeping around the default."""
+
+    def sweep():
+        rows = []
+        for name, bundle in bundles.items():
+            base_k = max(20, bundle.default_k)
+            for factor in (0.5, 1.0, 2.0, 4.0):
+                k = max(5, int(base_k * factor))
+                at, tt, sh = _run_all(bundle.ws, bundle.index, k, bundle.spec.default_s)
+                rows.append((name, k, round(at, 1), round(tt, 1), round(sh, 1)))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    iot_rows_chart = [r for r in rows if r[0] == "IOT"]
+    chart = ascii_chart(
+        {
+            "AT": [(r[1], r[2]) for r in iot_rows_chart],
+            "TT": [(r[1], r[3]) for r in iot_rows_chart],
+            "SH": [(r[1], r[4]) for r in iot_rows_chart],
+        },
+        title="IOT accuracy vs K", x_label="K", y_label="acc%",
+    )
+    save_report(
+        "fig3_accuracy_vs_k",
+        format_table(["dataset", "K", "AT %", "TT %", "SH %"], rows,
+                     title="Fig 3a-e (analogue): Accuracy vs K")
+        + "\n\n" + chart,
+    )
+    at_scores = [r[2] for r in rows]
+    tt_scores = [r[3] for r in rows]
+    sh_scores = [r[4] for r in rows]
+    # The paper's shape: AT accurate (94.9% avg there), TT/SH far worse.
+    assert np.mean(at_scores) >= 70.0
+    assert np.mean(at_scores) > np.mean(tt_scores) + 20
+    assert np.mean(at_scores) > np.mean(sh_scores) + 20
+    # On the long-repeat dataset the competitors collapse.
+    iot_rows = [r for r in rows if r[0] == "IOT"]
+    assert np.mean([r[3] for r in iot_rows]) < 40
+    assert np.mean([r[4] for r in iot_rows]) < 40
+
+
+def test_relative_error_analogous(bundles, benchmark):
+    """The omitted RE measure: AT's relative error is the smallest."""
+
+    def sweep():
+        rows = []
+        for name, bundle in bundles.items():
+            k = max(20, bundle.default_k)
+            at, tt, sh = _run_all_re(
+                bundle.ws, bundle.index, k, bundle.spec.default_s
+            )
+            rows.append((name, round(at, 4), round(tt, 4), round(sh, 4)))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    save_report(
+        "fig3_relative_error",
+        format_table(["dataset", "AT RE", "TT RE", "SH RE"], rows,
+                     title="Relative Error at default K (paper: analogous to Accuracy)"),
+    )
+    for name, at, tt, sh in rows:
+        # RE only judges the reported *set* (by true frequency mass), so
+        # SH — whose sets are fine but counts are wrong — can tie AT
+        # here; allow sub-percent ties.
+        assert at <= tt + 0.005, name
+        assert at <= sh + 0.005, name
+        assert at <= 0.05, name  # AT's reported sets are near-exact
+
+
+def test_fig3_accuracy_vs_n(bundles, benchmark):
+    """Figs 3f-3i: accuracy as the text grows (fixed s, K = ratio * n)."""
+
+    def sweep():
+        rows = []
+        for name in ("IOT", "XML", "HUM", "ECOLI"):
+            spec = DATASETS[name]
+            for n in (2_500, 5_000, 10_000):
+                ws = spec.make(n, seed=0)
+                index = SuffixArray(ws.codes)
+                k = max(10, spec.default_k(n))
+                at, tt, sh = _run_all(ws, index, k, spec.default_s)
+                rows.append((name, n, k, round(at, 1), round(tt, 1), round(sh, 1)))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    save_report(
+        "fig3_accuracy_vs_n",
+        format_table(["dataset", "n", "K", "AT %", "TT %", "SH %"], rows,
+                     title="Fig 3f-i (analogue): Accuracy vs n"),
+    )
+    assert np.mean([r[3] for r in rows]) >= 70.0
+    assert np.mean([r[3] for r in rows]) > np.mean([r[4] for r in rows])
+    assert np.mean([r[3] for r in rows]) > np.mean([r[5] for r in rows])
+
+
+def test_fig3_accuracy_vs_s(bundles, benchmark):
+    """Fig 3j: AT accuracy vs the number of sampling rounds (IOT)."""
+    bundle = bundles["IOT"]
+    k = max(20, bundle.default_k)
+
+    def sweep():
+        rows = []
+        for s in (2, 5, 10, 20, 40):
+            accuracy = _score(
+                ApproximateTopK(bundle.ws, k=k, s=s).mine(), bundle.index, k
+            )
+            rows.append((s, round(accuracy, 1)))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    save_report(
+        "fig3_accuracy_vs_s",
+        format_table(["s", "AT accuracy %"], rows,
+                     title="Fig 3j (analogue): AT accuracy vs s on IOT"),
+    )
+    # Smaller s -> more accurate (weak monotonicity: first vs last).
+    assert rows[0][1] >= rows[-1][1] - 5
+    assert rows[0][1] >= 70.0
+
+
+def test_adversarial_ab_failure(benchmark):
+    """Section VII: (AB)^(n/2) defeats the item-mining adaptations."""
+    text = "AB" * 400
+    k = 16
+    index = SuffixArray(np.asarray([0 if c == "A" else 1 for c in text]))
+
+    def run():
+        at = _score(ApproximateTopK(text, k=k, s=4).mine(), index, k)
+        tt = _score(TopKTrie(text, k=k).mine(), index, k)
+        sh = _score(SubstringHK(text, k=k, seed=0).mine(), index, k)
+        return at, tt, sh
+
+    at, tt, sh = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_report(
+        "fig3_adversarial_ab",
+        format_table(
+            ["method", "accuracy %"],
+            [("AT", round(at, 1)), ("TT", round(tt, 1)), ("SH", round(sh, 1))],
+            title="Section VII counterexample: (AB)^400, K=16",
+        ),
+    )
+    assert at >= 90.0
+    assert tt <= 50.0
+    assert sh <= 50.0

@@ -1,0 +1,114 @@
+"""Fig. 4: NDCG of the miners and the accuracy/NDCG-vs-s trade-off.
+
+Regenerates: (a-c) AT accuracy vs s on XML/HUM/ECOLI, (d) NDCG of
+AT/TT/SH on all datasets, (e) NDCG vs s.  Expected shape: AT's NDCG
+near-optimal (>= 0.99 in the paper), TT/SH clearly below, IOT showing
+the largest gap; accuracy and NDCG decrease only mildly with s.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.approximate import ApproximateTopK
+from repro.eval.metrics import evaluate_miner
+from repro.eval.reporting import format_table
+from repro.streaming.substring_hk import SubstringHK
+from repro.streaming.topk_trie import TopKTrie
+
+from benchmarks.conftest import save_report
+
+
+def test_fig4_accuracy_vs_s(bundles, benchmark):
+    """Figs 4a-4c: AT accuracy vs s on XML, HUM, ECOLI."""
+
+    def sweep():
+        rows = []
+        for name in ("XML", "HUM", "ECOLI"):
+            bundle = bundles[name]
+            k = max(20, bundle.default_k)
+            for s in (2, 4, 8, 16, 32):
+                scores = evaluate_miner(
+                    ApproximateTopK(bundle.ws, k=k, s=s).mine(), bundle.index, k,
+                    oracle=bundle.oracle,
+                )
+                rows.append((name, s, round(scores.accuracy_percent, 1)))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    save_report(
+        "fig4_accuracy_vs_s",
+        format_table(["dataset", "s", "AT accuracy %"], rows,
+                     title="Fig 4a-c (analogue): AT accuracy vs s"),
+    )
+    for name in ("XML", "HUM", "ECOLI"):
+        series = [r[2] for r in rows if r[0] == name]
+        # Small s is at least as good as the largest s (mild decay).
+        assert series[0] >= series[-1] - 10.0
+        assert max(series) >= 60.0
+
+
+def test_fig4_ndcg_all_datasets(bundles, benchmark):
+    """Fig 4d: NDCG of AT/TT/SH on every dataset."""
+
+    def sweep():
+        rows = []
+        for name, bundle in bundles.items():
+            k = max(20, bundle.default_k)
+            at = evaluate_miner(
+                ApproximateTopK(bundle.ws, k=k, s=bundle.spec.default_s).mine(),
+                bundle.index, k, oracle=bundle.oracle,
+            ).ndcg
+            tt = evaluate_miner(
+                TopKTrie(bundle.ws, k=k).mine(), bundle.index, k,
+                oracle=bundle.oracle,
+            ).ndcg
+            sh = evaluate_miner(
+                SubstringHK(bundle.ws, k=k, seed=0).mine(), bundle.index, k,
+                oracle=bundle.oracle,
+            ).ndcg
+            rows.append((name, round(at, 4), round(tt, 4), round(sh, 4)))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    save_report(
+        "fig4_ndcg_all_datasets",
+        format_table(["dataset", "AT", "TT", "SH"], rows,
+                     title="Fig 4d (analogue): NDCG per dataset"),
+    )
+    at_values = [r[1] for r in rows]
+    assert min(at_values) >= 0.99  # the paper reports >= 0.9993
+    for name, at, tt, sh in rows:
+        # Near-ties happen at this scale; AT must never be clearly worse.
+        assert at >= tt - 0.005, name
+        assert at >= sh - 0.005, name
+    # Note: the paper's IOT NDCG gap (>70% vs SH) relies on the real
+    # trace's skew; our IOT analogue has a deliberately *flat* top-K
+    # frequency spectrum (that is what plants the long repeats), so
+    # linear-gain NDCG barely discriminates there — the discrimination
+    # shows up in the Accuracy measure instead (Fig 3 benchmarks).
+    assert np.mean(at_values) >= np.mean([r[2] for r in rows])
+
+
+def test_fig4_ndcg_vs_s(bundles, benchmark):
+    """Fig 4e: NDCG vs s on ECOLI — decreases very slightly."""
+    bundle = bundles["ECOLI"]
+    k = max(20, bundle.default_k)
+
+    def sweep():
+        rows = []
+        for s in (2, 4, 8, 16, 32):
+            ndcg = evaluate_miner(
+                ApproximateTopK(bundle.ws, k=k, s=s).mine(), bundle.index, k,
+                oracle=bundle.oracle,
+            ).ndcg
+            rows.append((s, round(ndcg, 5)))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    save_report(
+        "fig4_ndcg_vs_s",
+        format_table(["s", "NDCG"], rows,
+                     title="Fig 4e (analogue): AT NDCG vs s on ECOLI"),
+    )
+    assert min(r[1] for r in rows) >= 0.99  # paper: at least 0.993

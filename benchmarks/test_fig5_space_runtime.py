@@ -1,0 +1,150 @@
+"""Fig. 5: peak memory and runtime of the four miners (ET, AT, TT, SH).
+
+Regenerates: (a, b) peak memory vs n, (c, d) peak memory vs s,
+(e, f) runtime vs K, (g, h) runtime vs n, (i, j) runtime vs s — on XML
+and HUM, as in the paper.  Expected shapes: ET and AT memory grow
+linearly with n with AT substantially below ET; TT/SH memory flat in n
+(O(K)); ET faster than AT; AT memory and time fall as s grows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.approximate import ApproximateTopK
+from repro.core.exact_topk import exact_top_k
+from repro.core.topk_oracle import TopKOracle
+from repro.datasets.registry import DATASETS
+from repro.eval.harness import run_miner
+from repro.eval.reporting import format_table
+from repro.streaming.substring_hk import SubstringHK
+from repro.streaming.topk_trie import TopKTrie
+from repro.suffix.suffix_array import SuffixArray
+
+from benchmarks.conftest import save_report
+
+
+def _measure_all(ws, k, s):
+    """(name -> MinerRun) for the four miners on one configuration."""
+    runs = {
+        "ET": run_miner("ET", lambda: exact_top_k(ws, k)),
+        "AT": run_miner("AT", lambda: ApproximateTopK(ws, k=k, s=s).mine()),
+        "TT": run_miner("TT", lambda: TopKTrie(ws, k=k).mine()),
+        "SH": run_miner("SH", lambda: SubstringHK(ws, k=k, seed=0).mine()),
+    }
+    return runs
+
+
+@pytest.mark.parametrize("dataset", ["XML", "HUM"])
+def test_fig5_space_and_runtime_vs_n(bundles, benchmark, dataset):
+    """Figs 5a-b (space) and 5g-h (runtime): scaling with n."""
+    spec = DATASETS[dataset]
+
+    # K is held fixed across the n sweep (the paper's protocol: the
+    # dataset's default K), so TT/SH space stays O(K)-flat while the
+    # index-based miners grow with n.
+    k = max(10, spec.default_k(10_000))
+
+    def sweep():
+        rows = []
+        for n in (2_500, 5_000, 10_000):
+            ws = spec.make(n, seed=0)
+            runs = _measure_all(ws, k, spec.default_s)
+            rows.append(
+                (
+                    n,
+                    *(round(runs[m].seconds, 3) for m in ("ET", "AT", "TT", "SH")),
+                    *(runs[m].peak_bytes // 1024 for m in ("ET", "AT", "TT", "SH")),
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    save_report(
+        f"fig5_vs_n_{dataset.lower()}",
+        format_table(
+            ["n", "ET s", "AT s", "TT s", "SH s",
+             "ET KiB", "AT KiB", "TT KiB", "SH KiB"],
+            rows,
+            title=f"Fig 5 (analogue): runtime and peak memory vs n on {dataset}",
+        ),
+    )
+    # Memory scaling: ET and AT grow with n; AT stays below ET.
+    et_mem = [r[5] for r in rows]
+    at_mem = [r[6] for r in rows]
+    assert et_mem[-1] > et_mem[0]
+    assert at_mem[-1] < et_mem[-1]
+    # TT memory roughly flat in n at fixed K (O(K) space).
+    tt_mem = [r[7] for r in rows]
+    assert tt_mem[-1] <= 2.5 * max(tt_mem[0], 1) + 256
+    # Runtime scaling: every miner grows with n; ET faster than AT.
+    et_time = [r[1] for r in rows]
+    at_time = [r[2] for r in rows]
+    assert et_time[-1] < at_time[-1]
+
+
+@pytest.mark.parametrize("dataset", ["XML", "HUM"])
+def test_fig5_runtime_vs_k(bundles, benchmark, dataset):
+    """Figs 5e-f: runtime vs K (small for all but SH)."""
+    bundle = bundles[dataset]
+
+    def sweep():
+        rows = []
+        base_k = max(20, bundle.default_k)
+        for factor in (0.5, 1.0, 2.0, 4.0):
+            k = max(5, int(base_k * factor))
+            runs = _measure_all(bundle.ws, k, bundle.spec.default_s)
+            rows.append(
+                (k, *(round(runs[m].seconds, 3) for m in ("ET", "AT", "TT", "SH")))
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    save_report(
+        f"fig5_runtime_vs_k_{dataset.lower()}",
+        format_table(
+            ["K", "ET s", "AT s", "TT s", "SH s"], rows,
+            title=f"Fig 5e/f (analogue): runtime vs K on {dataset}",
+        ),
+    )
+    # SH's work (z) grows with K much faster than ET's.
+    sh_growth = rows[-1][4] / max(rows[0][4], 1e-9)
+    et_growth = rows[-1][1] / max(rows[0][1], 1e-9)
+    assert sh_growth >= et_growth * 0.8  # SH never scales better
+    # ET stays cheap across the sweep (K term is additive).
+    assert rows[-1][1] < 5 * max(rows[0][1], 1e-3)
+
+
+def test_fig5_space_runtime_vs_s(bundles, benchmark):
+    """Figs 5c-d, 5i-j: AT's space falls and work shifts as s grows."""
+    bundle = bundles["HUM"]
+    k = max(20, bundle.default_k)
+
+    def sweep():
+        rows = []
+        for s in (2, 4, 8, 16, 32):
+            miner = ApproximateTopK(bundle.ws, k=k, s=s)
+            run = run_miner(f"AT s={s}", miner.mine)
+            rows.append(
+                (
+                    s,
+                    round(run.seconds, 3),
+                    run.peak_bytes // 1024,
+                    miner.stats.peak_auxiliary_bytes // 1024,
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    save_report(
+        "fig5_at_vs_s",
+        format_table(
+            ["s", "seconds", "peak KiB (traced)", "aux KiB (analytic)"], rows,
+            title="Fig 5c-d/i-j (analogue): AT space and runtime vs s on HUM",
+        ),
+    )
+    aux = [r[3] for r in rows]
+    assert aux[-1] < aux[0]  # the Section-VI space guarantee O(n/s + K)
+    traced = [r[2] for r in rows]
+    assert traced[-1] <= traced[0]

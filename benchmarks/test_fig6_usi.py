@@ -1,0 +1,294 @@
+"""Fig. 6: USI (UET/UAT) vs the four baselines.
+
+Regenerates: (a-e) average query time vs K on W1, (f-j) average query
+time vs p on W2,p, (k-p) index size vs K and vs n, (q-t) construction
+time vs K and vs n.  Expected shapes: UET/UAT clearly faster than
+BSL1-4 on frequent-heavy workloads, improving with K and p; index
+sizes within a few percent of each other (SA + PSW dominate);
+baselines constructed faster; everything ~linear in n.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import Bsl1NoCache, Bsl2LruCache, Bsl3TopKSeen, Bsl4SketchTopKSeen
+from repro.core.usi import UsiIndex
+from repro.datasets.registry import DATASETS
+from repro.datasets.workloads import build_w1, build_w2p
+from repro.eval.harness import average_query_seconds, measure_call
+from repro.eval.plotting import ascii_chart
+from repro.eval.reporting import format_table
+
+from benchmarks.conftest import save_report
+
+#: Queries are scaled to keep the paper's queries-to-pool ratio
+#: (~1.5-2 queries per distinct frequent pattern): with heavy repeats
+#: at toy scale, the recency/frequency caches of BSL2-4 would amortise
+#: everything, which is not the regime the paper evaluates.
+def _num_queries(pool_size: int) -> int:
+    return max(300, int(1.7 * pool_size))
+
+
+def _build_all(ws, k, s):
+    """UET, UAT, and the four baselines over one weighted string."""
+    return {
+        "UET": UsiIndex.build(ws, k=k, miner="exact"),
+        "UAT": UsiIndex.build(ws, k=k, miner="approximate", s=s),
+        "BSL1": Bsl1NoCache(ws),
+        "BSL2": Bsl2LruCache(ws, capacity=k),
+        "BSL3": Bsl3TopKSeen(ws, capacity=k),
+        # The sketch is scaled with the cache capacity: BSL4's fixed
+        # 2048x4 default is negligible at paper scale but would dwarf a
+        # toy-scale index.
+        "BSL4": Bsl4SketchTopKSeen(
+            ws, capacity=k, sketch_width=max(256, 2 * k), sketch_depth=2
+        ),
+    }
+
+
+METHODS = ("UET", "UAT", "BSL1", "BSL2", "BSL3", "BSL4")
+
+
+@pytest.mark.parametrize("dataset", ["XML", "HUM"])
+def test_fig6_query_time_vs_k(bundles, benchmark, dataset):
+    """Figs 6a-6e: average W1 query time, sweeping K."""
+    bundle = bundles[dataset]
+    queries = build_w1(
+        bundle.ws, bundle.oracle, _num_queries(bundle.n // 50),
+        length_range=bundle.spec.query_length_range, seed=0,
+    )
+
+    def sweep():
+        rows = []
+        base_k = max(20, bundle.default_k)
+        for factor in (0.5, 1.0, 2.0, 4.0):
+            k = max(5, int(base_k * factor))
+            indexes = _build_all(bundle.ws, k, bundle.spec.default_s)
+            row = [k]
+            for method in METHODS:
+                index = indexes[method]
+                # Best of three cold-cache passes: at tens of
+                # microseconds per query, single-pass timings jitter.
+                best = np.inf
+                for _ in range(3):
+                    reset = getattr(index, "reset_cache", None)
+                    if reset is not None:
+                        reset()
+                    best = min(best, average_query_seconds(index.query, queries))
+                row.append(round(best * 1e6, 1))
+            rows.append(tuple(row))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    chart = ascii_chart(
+        {
+            method: [(row[0], row[1 + idx]) for row in rows]
+            for idx, method in enumerate(METHODS)
+        },
+        title=f"query time (us) vs K on {dataset}", x_label="K", y_label="us",
+    )
+    save_report(
+        f"fig6_query_vs_k_{dataset.lower()}",
+        format_table(
+            ["K"] + [f"{m} us" for m in METHODS], rows,
+            title=f"Fig 6a-e (analogue): avg W1 query time vs K on {dataset}",
+        )
+        + "\n\n" + chart,
+    )
+    # UET and UAT beat every baseline from the default K up (a small
+    # tolerance at the default point: at toy scale the per-query costs
+    # are tens of microseconds and near-ties occur).
+    for i, row in enumerate(rows[1:], start=1):
+        k, uet, uat, bsl1, bsl2, bsl3, bsl4 = row
+        best_baseline = min(bsl1, bsl2, bsl3, bsl4)
+        slack = 1.1 if i == 1 else 1.0
+        assert uet < best_baseline * slack, row
+        assert uat < best_baseline * 1.25, row
+    # UET's query time falls (or stays flat) as K grows.
+    assert rows[-1][1] <= rows[0][1] * 1.2
+
+
+@pytest.mark.parametrize("dataset", ["XML", "HUM"])
+def test_fig6_query_time_vs_p(bundles, benchmark, dataset):
+    """Figs 6f-6j: average W2,p query time, sweeping p."""
+    bundle = bundles[dataset]
+    k = max(20, bundle.default_k)
+    indexes = _build_all(bundle.ws, k, bundle.spec.default_s)
+
+    def sweep():
+        rows = []
+        for p in (20, 40, 60, 80):
+            queries = build_w2p(
+                bundle.ws, bundle.oracle, _num_queries(bundle.n // 100), p=p,
+                length_range=bundle.spec.query_length_range, seed=p,
+            )
+            row = [p]
+            for method in METHODS:
+                index = indexes[method]
+                # Each (method, p) point is measured with a cold cache
+                # and the best of three passes (reduces timer jitter at
+                # microsecond scale); every pass starts cold, exactly
+                # like a fresh workload run.
+                best = np.inf
+                for _ in range(3):
+                    reset = getattr(index, "reset_cache", None)
+                    if reset is not None:
+                        reset()
+                    best = min(best, average_query_seconds(index.query, queries))
+                row.append(round(best * 1e6, 1))
+            rows.append(tuple(row))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    save_report(
+        f"fig6_query_vs_p_{dataset.lower()}",
+        format_table(
+            ["p %"] + [f"{m} us" for m in METHODS], rows,
+            title=f"Fig 6f-j (analogue): avg W2,p query time vs p on {dataset}",
+        ),
+    )
+    for row in rows:
+        p, uet, uat, bsl1, bsl2, bsl3, bsl4 = row
+        assert uet < min(bsl1, bsl2, bsl3, bsl4) * 1.1, row
+    # Our indexes get faster as p grows; BSL1 does not benefit.
+    assert rows[-1][1] < rows[0][1] * 1.1
+    assert rows[-1][3] > rows[-1][1]
+
+
+@pytest.mark.parametrize("dataset", ["XML", "HUM", "ADV"])
+def test_fig6_index_size_vs_k(bundles, benchmark, dataset):
+    """Figs 6k-6m: index sizes are dominated by SA + PSW (similar)."""
+    bundle = bundles[dataset]
+
+    def sweep():
+        rows = []
+        base_k = max(20, bundle.default_k)
+        for factor in (0.5, 1.0, 2.0, 4.0):
+            k = max(5, int(base_k * factor))
+            indexes = _build_all(bundle.ws, k, bundle.spec.default_s)
+            rows.append(
+                (k, *(indexes[m].nbytes() // 1024 for m in METHODS))
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    save_report(
+        f"fig6_size_vs_k_{dataset.lower()}",
+        format_table(
+            ["K"] + [f"{m} KiB" for m in METHODS], rows,
+            title=f"Fig 6k-m (analogue): index size vs K on {dataset}",
+        ),
+    )
+    for row in rows:
+        sizes = np.asarray(row[1:], dtype=np.float64)
+        # All six indexes within ~30% of each other (paper: within 4%
+        # at billion-letter scale where SA dominates even more).
+        assert sizes.max() <= 1.3 * sizes.min(), row
+        # BSL1 (no hash table) is the smallest or tied.
+        assert row[3] <= min(row[1], row[2]) + 1
+
+
+def test_fig6_index_size_vs_n(bundles, benchmark):
+    """Figs 6n-6p: index size scales linearly with n."""
+    spec = DATASETS["XML"]
+    k = max(10, spec.default_k(10_000))
+
+    def sweep():
+        rows = []
+        for n in (2_500, 5_000, 10_000):
+            ws = spec.make(n, seed=0)
+            indexes = _build_all(ws, k, spec.default_s)
+            rows.append((n, *(indexes[m].nbytes() // 1024 for m in METHODS)))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    save_report(
+        "fig6_size_vs_n",
+        format_table(
+            ["n"] + [f"{m} KiB" for m in METHODS], rows,
+            title="Fig 6n-p (analogue): index size vs n on XML",
+        ),
+    )
+    for column in range(1, 7):
+        sizes = [row[column] for row in rows]
+        ratio = sizes[-1] / max(sizes[0], 1)
+        assert 2.0 <= ratio <= 8.0  # ~linear for a 4x n growth
+
+
+@pytest.mark.parametrize("dataset", ["XML", "HUM"])
+def test_fig6_construction_time_vs_k(bundles, benchmark, dataset):
+    """Figs 6q-6r: baselines build faster; UET faster than UAT."""
+    bundle = bundles[dataset]
+
+    def sweep():
+        rows = []
+        base_k = max(20, bundle.default_k)
+        for factor in (1.0, 4.0):
+            k = max(5, int(base_k * factor))
+            row = [k]
+            for method, build in (
+                ("UET", lambda: UsiIndex.build(bundle.ws, k=k, miner="exact")),
+                ("UAT", lambda: UsiIndex.build(
+                    bundle.ws, k=k, miner="approximate", s=bundle.spec.default_s)),
+                ("BSL1", lambda: Bsl1NoCache(bundle.ws)),
+                ("BSL2", lambda: Bsl2LruCache(bundle.ws, capacity=k)),
+                ("BSL3", lambda: Bsl3TopKSeen(bundle.ws, capacity=k)),
+                ("BSL4", lambda: Bsl4SketchTopKSeen(bundle.ws, capacity=k)),
+            ):
+                _, seconds, _ = measure_call(build, trace_memory=False)
+                row.append(round(seconds, 3))
+            rows.append(tuple(row))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    save_report(
+        f"fig6_construction_vs_k_{dataset.lower()}",
+        format_table(
+            ["K"] + [f"{m} s" for m in METHODS], rows,
+            title=f"Fig 6q-r (analogue): construction time vs K on {dataset}",
+        ),
+    )
+    for row in rows:
+        k, uet, uat, bsl1, bsl2, bsl3, bsl4 = row
+        assert uet <= uat * 1.2, row          # UET builds faster than UAT
+        assert max(bsl1, bsl2, bsl3, bsl4) <= uat, row  # baselines simpler
+
+
+def test_fig6_construction_time_vs_n(bundles, benchmark):
+    """Figs 6s-6t: construction scales near-linearly with n."""
+    spec = DATASETS["HUM"]
+    k = max(10, spec.default_k(10_000))
+
+    def sweep():
+        rows = []
+        for n in (2_500, 5_000, 10_000):
+            ws = spec.make(n, seed=0)
+            _, uet_s, _ = measure_call(
+                lambda: UsiIndex.build(ws, k=k, miner="exact"), trace_memory=False
+            )
+            _, uat_s, _ = measure_call(
+                lambda: UsiIndex.build(ws, k=k, miner="approximate",
+                                       s=spec.default_s),
+                trace_memory=False,
+            )
+            _, bsl_s, _ = measure_call(lambda: Bsl1NoCache(ws), trace_memory=False)
+            rows.append((n, round(uet_s, 3), round(uat_s, 3), round(bsl_s, 3)))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    save_report(
+        "fig6_construction_vs_n",
+        format_table(
+            ["n", "UET s", "UAT s", "BSL1 s"], rows,
+            title="Fig 6s-t (analogue): construction time vs n on HUM",
+        ),
+    )
+    for column, bound in ((1, 10), (2, 16), (3, 10)):
+        times = [row[column] for row in rows]
+        # Near-linear: a 4x n growth costs at most ~bound x (UAT gets
+        # extra slack: its LCE binary searches deepen on DNA as n grows).
+        assert times[-1] <= bound * max(times[0], 1e-3)
+    for row in rows:
+        assert row[3] <= row[1] * 1.2 + 0.05  # BSL1 never clearly slower

@@ -1,0 +1,83 @@
+"""Substrate micro-benchmarks (classic pytest-benchmark usage).
+
+Not paper figures: per-operation timings of the kernels every
+experiment rests on, so performance regressions in the substrates are
+caught where they happen rather than as noise in the figure suites.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hashing.karp_rabin import KarpRabinFingerprinter
+from repro.succinct.fm_index import FmIndex
+from repro.succinct.wavelet import WaveletTree
+from repro.suffix.doubling import suffix_array_doubling
+from repro.suffix.lcp import lcp_array_kasai
+from repro.suffix.suffix_array import SuffixArray
+
+
+@pytest.fixture(scope="module")
+def dna_codes():
+    rng = np.random.default_rng(0)
+    return rng.integers(0, 4, size=20_000, dtype=np.int64)
+
+
+@pytest.fixture(scope="module")
+def dna_index(dna_codes):
+    return SuffixArray(dna_codes)
+
+
+def test_bench_suffix_array_doubling(dna_codes, benchmark):
+    sa = benchmark(lambda: suffix_array_doubling(dna_codes))
+    assert len(sa) == len(dna_codes)
+
+
+def test_bench_lcp_kasai(dna_codes, dna_index, benchmark):
+    lcp = benchmark(lambda: lcp_array_kasai(dna_codes, dna_index.sa))
+    assert len(lcp) == len(dna_codes)
+
+
+def test_bench_sa_locate(dna_index, benchmark):
+    pattern = dna_index.codes[100:108]
+
+    def run():
+        return dna_index.occurrences(pattern)
+
+    occurrences = benchmark(run)
+    assert occurrences.size >= 1
+
+
+def test_bench_kr_window_fingerprints(dna_codes, benchmark):
+    fp = KarpRabinFingerprinter(dna_codes)
+    windows = benchmark(lambda: fp.all_windows(8))
+    assert len(windows) == len(dna_codes) - 7
+
+
+def test_bench_kr_pattern_fingerprint(dna_codes, benchmark):
+    fp = KarpRabinFingerprinter(dna_codes)
+    pattern = dna_codes[50:58]
+    key = benchmark(lambda: fp.of_codes(pattern))
+    assert key == fp.fragment(50, 8)
+
+
+def test_bench_wavelet_rank(dna_codes, benchmark):
+    wt = WaveletTree(dna_codes[:5_000], sigma=4)
+
+    def run():
+        total = 0
+        for i in range(0, 5_000, 50):
+            total += wt.rank(2, i)
+        return total
+
+    assert benchmark(run) >= 0
+
+
+def test_bench_fm_count(benchmark):
+    rng = np.random.default_rng(1)
+    codes = rng.integers(0, 4, size=5_000, dtype=np.int64)
+    fm = FmIndex(codes)
+    pattern = codes[200:208]
+    count = benchmark(lambda: fm.count(pattern))
+    assert count >= 1

@@ -1,0 +1,48 @@
+"""Table II: dataset properties and default parameters.
+
+Regenerates the dataset-property table (length, alphabet, default K and
+s) for the five scaled analogues, alongside the paper-scale originals.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.registry import DATASETS, table2_rows
+from repro.eval.reporting import format_table
+
+from benchmarks.conftest import BENCH_N, save_report
+
+
+def test_table2_properties(bundles, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = []
+    for name, bundle in bundles.items():
+        spec = DATASETS[name]
+        sigma = len(set(bundle.ws.codes.tolist()))
+        rows.append(
+            (
+                name,
+                bundle.n,
+                sigma,
+                bundle.default_k,
+                spec.default_s,
+                f"{spec.paper_n:.2g}",
+                spec.paper_sigma,
+            )
+        )
+        # Scaled sigma must stay at (or below, for tiny n) the original.
+        assert sigma <= spec.paper_sigma
+        assert bundle.default_k >= 1
+
+    report = format_table(
+        ["dataset", "n", "sigma", "K", "s", "paper n", "paper sigma"],
+        rows,
+        title="Table II (analogue): dataset properties and default parameters",
+    )
+    save_report("table2_datasets", report)
+
+
+def test_table2_generation_benchmark(benchmark):
+    """Dataset generation itself is cheap (not a bottleneck)."""
+    spec = DATASETS["HUM"]
+    ws = benchmark(lambda: spec.make(BENCH_N["HUM"], seed=1))
+    assert ws.length == BENCH_N["HUM"]

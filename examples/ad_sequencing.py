@@ -1,0 +1,74 @@
+"""Advertising scenario: the paper's Section II case study.
+
+An advertising company's history is a string of ad categories, each
+position carrying a click-through rate (CTR).  Marketers query their
+candidate ad sequences ("patterns") for effectiveness = sum of CTRs
+over every occurrence; the company separately mines the most *useful*
+(highest-utility) sequences, which — as Table I shows — differ from
+the most *frequent* ones.
+
+Run with:  python examples/ad_sequencing.py
+"""
+
+import time
+
+from repro import UsiIndex, top_utility_substrings
+from repro.core.exact_topk import exact_top_k
+from repro.datasets import make_adv
+from repro.eval.reporting import format_table
+
+
+def main() -> None:
+    ws = make_adv(20_000, seed=3)
+    print(f"ad history: {ws.length} impressions over {ws.alphabet.size} categories")
+
+    index = UsiIndex.build(ws, k=ws.length // 36)  # the ADV K/n ratio
+
+    # --- Marketer queries: are these ad sequences effective? ----------
+    candidates = ["abc", "aab", "nml", "dcba", "aaa"]
+    print("\nmarketer pattern effectiveness (sum-of-CTRs over occurrences):")
+    for pattern in candidates:
+        print(f"  {pattern!r:8} U={index.query(pattern):10.3f}  occ={index.count(pattern)}")
+
+    # --- Bulk querying (the 3.4s-for-187k-patterns headline) ----------
+    patterns = []
+    text = ws.text()
+    for length in range(3, 21):
+        for start in range(0, ws.length - length, 37):
+            patterns.append(text[start : start + length])
+    t0 = time.perf_counter()
+    for pattern in patterns:
+        index.query(pattern)
+    seconds = time.perf_counter() - t0
+    print(f"\nqueried {len(patterns)} patterns in {seconds:.2f}s "
+          f"({seconds * 1e6 / len(patterns):.1f} us/query)")
+
+    # --- Table I: top-by-utility vs top-by-frequency -------------------
+    by_utility = top_utility_substrings(ws, top=4, min_length=3, max_length=30)
+    rows_a = [
+        (ws.fragment_text(u.position, u.length), rank + 1, round(u.utility, 1))
+        for rank, u in enumerate(by_utility)
+    ]
+    print("\n" + format_table(
+        ["substring", "rank", "utility U"], rows_a,
+        title="Table Ia analogue: top-4 substrings by global utility (len >= 3)",
+    ))
+
+    frequent = [m for m in exact_top_k(ws, 4000) if m.length >= 3][:4]
+    rows_b = [
+        (
+            ws.fragment_text(m.position, m.length),
+            m.frequency,
+            round(index.query(ws.fragment_text(m.position, m.length)), 1),
+        )
+        for m in frequent
+    ]
+    print("\n" + format_table(
+        ["substring", "frequency", "utility U"], rows_b,
+        title="Table Ib analogue: top-4 *frequent* substrings (len >= 3)",
+    ))
+    print("\nNote how the most frequent sequences are not the most useful ones.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""Scale check: the library at a few hundred thousand letters.
+
+Not a benchmark — a smoke run showing the pure-Python + numpy stack
+handles texts well beyond the test scale: builds a USI index over a
+200k-letter DNA-like text, mines its top-K, and pushes a workload
+through it, printing wall-clock numbers for each stage.
+
+Run with:  python examples/scale_check.py [n]
+"""
+
+import sys
+import time
+
+import numpy as np
+
+from repro import TopKOracle, UsiIndex
+from repro.datasets import make_hum
+from repro.datasets.workloads import build_w1
+from repro.suffix.suffix_array import SuffixArray
+
+
+def timed(label: str, fn):
+    start = time.perf_counter()
+    result = fn()
+    print(f"  {label:36} {time.perf_counter() - start:7.2f}s")
+    return result
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 200_000
+    print(f"scale check at n = {n}")
+
+    ws = timed("generate weighted DNA text", lambda: make_hum(n, seed=1))
+    index = timed("suffix array + LCP", lambda: SuffixArray(ws.codes))
+    oracle = timed("Section-V oracle", lambda: TopKOracle(index))
+
+    k = n // 100
+    point = oracle.tune_by_k(k)
+    print(f"  K={k}: tau_K={point.tau}, L_K={point.distinct_lengths}")
+
+    usi = timed("USI index (UET)", lambda: UsiIndex.build(ws, k=k))
+    queries = timed(
+        "W1 workload (5000 queries)",
+        lambda: build_w1(ws, oracle, 5_000, length_range=(1, 500), seed=0),
+    )
+
+    start = time.perf_counter()
+    total = sum(usi.query_batch(queries))
+    elapsed = time.perf_counter() - start
+    print(f"  {'answer all queries (batch)':36} {elapsed:7.2f}s "
+          f"({elapsed / len(queries) * 1e6:.1f} us/query)")
+    assert np.isfinite(total)
+    print(f"  index size: {usi.nbytes() / 1e6:.1f} MB, "
+          f"|H| = {usi.hash_table_size}, hash hit rate = "
+          f"{usi.hash_hits / max(usi.hash_hits + usi.hash_misses, 1):.0%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,4 @@
+"""Setup shim: enables `setup.py develop` where the `wheel` package is absent."""
+from setuptools import setup
+
+setup()

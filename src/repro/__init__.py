@@ -1,0 +1,91 @@
+"""Reproduction of *Indexing Strings with Utilities* (ICDE 2025).
+
+The library implements Useful String Indexing (USI) end to end:
+
+* :class:`~repro.core.usi.UsiIndex` — the USI_TOP-K index (UET/UAT);
+* :class:`~repro.core.topk_oracle.TopKOracle` — the linear-space
+  Section-V oracle (Exact-Top-K + tuning tasks);
+* :class:`~repro.core.approximate.ApproximateTopK` — the space-
+  efficient Section-VI miner;
+* the streaming competitors (SubstringHK, TopKTrie) and the four
+  baselines (BSL1-BSL4) of the paper's evaluation;
+* every substrate: suffix arrays (SA-IS and prefix doubling), LCP,
+  RMQ, LCE oracles, sparse suffix arrays, Ukkonen suffix trees,
+  Karp-Rabin fingerprints, prefix-sum utilities;
+* scaled synthetic analogues of the five evaluation datasets with
+  W1/W2,p query workloads and the paper's quality metrics.
+
+Quickstart::
+
+    from repro import UsiIndex, WeightedString
+
+    ws = WeightedString("ATACCCCGATAATACCCCAG",
+                        [.9, 1, 3, 2, .7, 1, 1, .6, .5, .5,
+                         .5, .8, 1, 1, 1, .9, 1, 1, .8, 1])
+    index = UsiIndex.build(ws, k=5)
+    index.query("TACCCC")   # -> 14.6 (Example 1 of the paper)
+"""
+
+from repro.baselines import (
+    Bsl1NoCache,
+    Bsl2LruCache,
+    Bsl3TopKSeen,
+    Bsl4SketchTopKSeen,
+)
+from repro.core import (
+    ApproximateTopK,
+    DynamicUsiIndex,
+    MinedSubstring,
+    OnlineFrequencyTracker,
+    TopKOracle,
+    TradeOffPoint,
+    UsiIndex,
+    enumerate_trade_offs,
+    exact_top_k,
+    mine_by_utility_threshold,
+    naive_global_utility,
+    pick_trade_off,
+    skyline,
+    top_utility_substrings,
+)
+from repro.errors import ReproError
+from repro.io import load_index, save_index
+from repro.strings import Alphabet, WeightedString
+from repro.strings.collection import CollectionUsiIndex, WeightedStringCollection
+from repro.streaming import SubstringHK, TopKTrie
+from repro.succinct import FmIndex
+from repro.utility import GlobalUtility
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Alphabet",
+    "ApproximateTopK",
+    "Bsl1NoCache",
+    "Bsl2LruCache",
+    "Bsl3TopKSeen",
+    "Bsl4SketchTopKSeen",
+    "CollectionUsiIndex",
+    "DynamicUsiIndex",
+    "FmIndex",
+    "GlobalUtility",
+    "MinedSubstring",
+    "OnlineFrequencyTracker",
+    "ReproError",
+    "SubstringHK",
+    "TopKOracle",
+    "TopKTrie",
+    "TradeOffPoint",
+    "UsiIndex",
+    "WeightedString",
+    "WeightedStringCollection",
+    "enumerate_trade_offs",
+    "exact_top_k",
+    "mine_by_utility_threshold",
+    "load_index",
+    "naive_global_utility",
+    "pick_trade_off",
+    "save_index",
+    "skyline",
+    "top_utility_substrings",
+]

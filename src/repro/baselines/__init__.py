@@ -1,0 +1,15 @@
+"""The four nontrivial baselines of Section IX-C (BSL1-BSL4)."""
+
+from repro.baselines.base import SaPswEngine
+from repro.baselines.bsl1 import Bsl1NoCache
+from repro.baselines.bsl2 import Bsl2LruCache
+from repro.baselines.bsl3 import Bsl3TopKSeen
+from repro.baselines.bsl4 import Bsl4SketchTopKSeen
+
+__all__ = [
+    "Bsl1NoCache",
+    "Bsl2LruCache",
+    "Bsl3TopKSeen",
+    "Bsl4SketchTopKSeen",
+    "SaPswEngine",
+]

@@ -1,0 +1,73 @@
+"""Shared query engine for the baselines: suffix array + PSW.
+
+All four baselines answer uncached queries the same way (the
+"Why is USI Challenging?" approach of Section I): locate the pattern's
+occurrences with the suffix array and aggregate per-occurrence local
+utilities read from the prefix-sum array.  They differ only in *what
+they cache*, which each ``BslN`` class layers on top of this engine.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import AlphabetError, PatternError
+from repro.hashing.karp_rabin import KarpRabinFingerprinter
+from repro.strings.weighted import WeightedString
+from repro.suffix.suffix_array import SuffixArray
+from repro.utility.functions import AggregatorName, GlobalUtility, make_global_utility
+from repro.utility.functions import PrefixSumLocalUtility
+
+
+class SaPswEngine:
+    """SA + PSW global-utility computation (exact, no caching)."""
+
+    def __init__(
+        self,
+        ws: WeightedString,
+        aggregator: "AggregatorName | GlobalUtility" = "sum",
+        sa_algorithm: str = "doubling",
+        seed: int = 0,
+    ) -> None:
+        self._ws = ws
+        self._sa = SuffixArray(ws.codes, algorithm=sa_algorithm, with_lcp=False)  # type: ignore[arg-type]
+        self._psw = PrefixSumLocalUtility(ws.utilities)
+        self._utility = make_global_utility(aggregator)
+        self._fp = KarpRabinFingerprinter(ws.codes, seed=seed)
+
+    @property
+    def weighted_string(self) -> WeightedString:
+        return self._ws
+
+    @property
+    def utility(self) -> GlobalUtility:
+        return self._utility
+
+    def encode(self, pattern: "str | bytes | Sequence[int] | np.ndarray") -> "np.ndarray | None":
+        """Encode a pattern; ``None`` means it cannot occur in S."""
+        if isinstance(pattern, np.ndarray):
+            if len(pattern) == 0:
+                raise PatternError("query patterns must be non-empty")
+            return pattern.astype(np.int64, copy=False)
+        try:
+            return self._ws.alphabet.encode_pattern(pattern).astype(np.int64)
+        except AlphabetError:
+            return None
+
+    def fingerprint(self, codes: np.ndarray) -> int:
+        """The cache key the caching baselines agree on (O(m))."""
+        return self._fp.of_codes(codes)
+
+    def compute(self, codes: np.ndarray) -> float:
+        """``U(P)`` from scratch: SA locate + PSW aggregation."""
+        occurrences = self._sa.occurrences(codes)
+        if occurrences.size == 0:
+            return self._utility.identity
+        locals_ = self._psw.local_utilities(occurrences, len(codes))
+        return self._utility.aggregate(locals_)
+
+    def nbytes(self) -> int:
+        """SA + PSW size (the bulk of every baseline's index)."""
+        return self._sa.nbytes() + self._psw.nbytes()

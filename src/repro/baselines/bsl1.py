@@ -1,0 +1,39 @@
+"""BSL1: no query caching.
+
+Every query is answered from scratch with the suffix array and PSW —
+the straightforward approach from Section I whose query time is a
+function of ``|occ(P)|`` and therefore suffers on frequent patterns.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.baselines.base import SaPswEngine
+from repro.strings.weighted import WeightedString
+from repro.utility.functions import AggregatorName
+
+
+class Bsl1NoCache:
+    """The no-caching baseline."""
+
+    name = "BSL1"
+
+    def __init__(
+        self,
+        ws: WeightedString,
+        aggregator: AggregatorName = "sum",
+        seed: int = 0,
+    ) -> None:
+        self._engine = SaPswEngine(ws, aggregator=aggregator, seed=seed)
+
+    def query(self, pattern: "str | bytes | Sequence[int] | np.ndarray") -> float:
+        codes = self._engine.encode(pattern)
+        if codes is None:
+            return self._engine.utility.identity
+        return self._engine.compute(codes)
+
+    def nbytes(self) -> int:
+        return self._engine.nbytes()

@@ -1,0 +1,69 @@
+"""BSL2: least-recently-used query caching.
+
+Like the USI index it keeps a hash table of at most K precomputed
+global utilities, but instead of the top-K *frequent-in-S* substrings
+it holds the K most *recently queried* ones, evicting LRU.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Sequence
+
+import numpy as np
+
+from repro.baselines.base import SaPswEngine
+from repro.errors import ParameterError
+from repro.strings.weighted import WeightedString
+from repro.utility.functions import AggregatorName
+
+
+class Bsl2LruCache:
+    """The LRU-caching baseline."""
+
+    name = "BSL2"
+
+    def __init__(
+        self,
+        ws: WeightedString,
+        capacity: int,
+        aggregator: AggregatorName = "sum",
+        seed: int = 0,
+    ) -> None:
+        if capacity < 1:
+            raise ParameterError("cache capacity must be positive")
+        self._engine = SaPswEngine(ws, aggregator=aggregator, seed=seed)
+        self._capacity = capacity
+        self._cache: "OrderedDict[int, float]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def query(self, pattern: "str | bytes | Sequence[int] | np.ndarray") -> float:
+        codes = self._engine.encode(pattern)
+        if codes is None:
+            return self._engine.utility.identity
+        key = self._engine.fingerprint(codes)
+        cached = self._cache.get(key)
+        if cached is not None:
+            self._cache.move_to_end(key)
+            self.hits += 1
+            return cached
+        self.misses += 1
+        value = self._engine.compute(codes)
+        self._cache[key] = value
+        if len(self._cache) > self._capacity:
+            self._cache.popitem(last=False)
+        return value
+
+    @property
+    def cache_size(self) -> int:
+        return len(self._cache)
+
+    def reset_cache(self) -> None:
+        """Forget cached utilities and counters (fresh-workload runs)."""
+        self._cache.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def nbytes(self) -> int:
+        return self._engine.nbytes() + 32 * len(self._cache)

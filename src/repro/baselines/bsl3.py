@@ -1,0 +1,103 @@
+"""BSL3: cache the top-K most frequently *queried* substrings.
+
+Replaces BSL2's recency policy with a frequency policy: the cache
+holds the K patterns queried most often so far, maintained with an
+auxiliary structure offering min-heap-on-frequency plus hash-table
+lookups (exactly as described in Section IX-C).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Sequence
+
+import numpy as np
+
+from repro.baselines.base import SaPswEngine
+from repro.errors import ParameterError
+from repro.strings.weighted import WeightedString
+from repro.utility.functions import AggregatorName
+
+
+class Bsl3TopKSeen:
+    """The top-K-seen-so-far caching baseline (exact query counts)."""
+
+    name = "BSL3"
+
+    def __init__(
+        self,
+        ws: WeightedString,
+        capacity: int,
+        aggregator: AggregatorName = "sum",
+        seed: int = 0,
+    ) -> None:
+        if capacity < 1:
+            raise ParameterError("cache capacity must be positive")
+        self._engine = SaPswEngine(ws, aggregator=aggregator, seed=seed)
+        self._capacity = capacity
+        self._cache: dict[int, float] = {}
+        self._query_counts: dict[int, int] = {}
+        # Lazy min-heap of (count_at_push, key) over cached keys.
+        self._heap: list[tuple[int, int]] = []
+        self.hits = 0
+        self.misses = 0
+
+    def _evict_least_frequent(self) -> None:
+        while self._heap:
+            count, key = heapq.heappop(self._heap)
+            if key in self._cache and self._query_counts.get(key, 0) == count:
+                del self._cache[key]
+                return
+            # Stale: either evicted already or its count grew; in the
+            # latter case a fresher entry exists further in the heap.
+
+    def query(self, pattern: "str | bytes | Sequence[int] | np.ndarray") -> float:
+        codes = self._engine.encode(pattern)
+        if codes is None:
+            return self._engine.utility.identity
+        key = self._engine.fingerprint(codes)
+        count = self._query_counts.get(key, 0) + 1
+        self._query_counts[key] = count
+
+        cached = self._cache.get(key)
+        if cached is not None:
+            self.hits += 1
+            heapq.heappush(self._heap, (count, key))
+            return cached
+        self.misses += 1
+        value = self._engine.compute(codes)
+        if len(self._cache) >= self._capacity:
+            # Admit only if this pattern is now queried at least as
+            # often as the cache's least-frequent member.
+            while self._heap and (
+                self._heap[0][1] not in self._cache
+                or self._query_counts.get(self._heap[0][1], 0) != self._heap[0][0]
+            ):
+                heapq.heappop(self._heap)
+            weakest = self._heap[0][0] if self._heap else 0
+            if count >= weakest:
+                self._evict_least_frequent()
+            else:
+                return value
+        self._cache[key] = value
+        heapq.heappush(self._heap, (count, key))
+        return value
+
+    @property
+    def cache_size(self) -> int:
+        return len(self._cache)
+
+    def reset_cache(self) -> None:
+        """Forget cached utilities and query counts (fresh-workload runs)."""
+        self._cache.clear()
+        self._query_counts.clear()
+        self._heap.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def nbytes(self) -> int:
+        return (
+            self._engine.nbytes()
+            + 32 * len(self._cache)
+            + 24 * len(self._query_counts)
+        )

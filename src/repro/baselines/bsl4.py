@@ -1,0 +1,92 @@
+"""BSL4: space-efficient top-K-seen-so-far caching.
+
+BSL3 with the exact per-pattern query counts replaced by a count-min
+sketch (as in HeavyKeeper's usage [24]), trading a little admission
+accuracy for O(1) auxiliary space — the space-efficient variant the
+paper describes.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Sequence
+
+import numpy as np
+
+from repro.baselines.base import SaPswEngine
+from repro.errors import ParameterError
+from repro.streaming.count_min import CountMinSketch
+from repro.strings.weighted import WeightedString
+from repro.utility.functions import AggregatorName
+
+
+class Bsl4SketchTopKSeen:
+    """The sketch-based top-K-seen-so-far caching baseline."""
+
+    name = "BSL4"
+
+    def __init__(
+        self,
+        ws: WeightedString,
+        capacity: int,
+        aggregator: AggregatorName = "sum",
+        sketch_width: int = 2048,
+        sketch_depth: int = 4,
+        seed: int = 0,
+    ) -> None:
+        if capacity < 1:
+            raise ParameterError("cache capacity must be positive")
+        self._engine = SaPswEngine(ws, aggregator=aggregator, seed=seed)
+        self._capacity = capacity
+        self._cache: dict[int, float] = {}
+        self._sketch = CountMinSketch(width=sketch_width, depth=sketch_depth, seed=seed)
+        # Lazy min-heap of (estimate_at_push, key) over cached keys.
+        self._heap: list[tuple[int, int]] = []
+        self.hits = 0
+        self.misses = 0
+
+    def query(self, pattern: "str | bytes | Sequence[int] | np.ndarray") -> float:
+        codes = self._engine.encode(pattern)
+        if codes is None:
+            return self._engine.utility.identity
+        key = self._engine.fingerprint(codes)
+        self._sketch.add(key)
+        estimate = self._sketch.estimate(key)
+
+        cached = self._cache.get(key)
+        if cached is not None:
+            self.hits += 1
+            heapq.heappush(self._heap, (estimate, key))
+            return cached
+        self.misses += 1
+        value = self._engine.compute(codes)
+        if len(self._cache) >= self._capacity:
+            while self._heap and self._heap[0][1] not in self._cache:
+                heapq.heappop(self._heap)
+            weakest = self._heap[0][0] if self._heap else 0
+            if estimate >= weakest:
+                while self._heap:
+                    _, evict_key = heapq.heappop(self._heap)
+                    if evict_key in self._cache:
+                        del self._cache[evict_key]
+                        break
+            else:
+                return value
+        self._cache[key] = value
+        heapq.heappush(self._heap, (estimate, key))
+        return value
+
+    @property
+    def cache_size(self) -> int:
+        return len(self._cache)
+
+    def reset_cache(self) -> None:
+        """Forget cached utilities and sketch counts (fresh-workload runs)."""
+        self._cache.clear()
+        self._heap.clear()
+        self._sketch.reset()
+        self.hits = 0
+        self.misses = 0
+
+    def nbytes(self) -> int:
+        return self._engine.nbytes() + 32 * len(self._cache) + self._sketch.nbytes()

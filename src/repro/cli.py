@@ -1,0 +1,194 @@
+"""Command-line interface: build, query, and mine from text files.
+
+::
+
+    usi topk  --text corpus.txt --k 100
+    usi build --text corpus.txt --utilities weights.txt --k 1000 --out idx.pkl
+    usi query --index idx.pkl --pattern "needle" [--pattern ...]
+    usi mine  --text corpus.txt --utilities weights.txt --top 10
+    usi mine  --text corpus.txt --threshold 50 --min-length 3
+    usi tune  --text corpus.txt --k 1000            # tau_K, L_K
+    usi tune  --text corpus.txt --tau 50            # K_tau, L_tau
+
+Utilities files hold one float per line (one per text character);
+without one, every position gets utility 1.0 so "sum of sums" reports
+``|P| * |occ(P)|``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pickle
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.topk_oracle import TopKOracle
+from repro.core.usi import UsiIndex
+from repro.strings.weighted import WeightedString
+from repro.suffix.suffix_array import SuffixArray
+
+
+def _load_weighted_string(text_path: str, utilities_path: "str | None") -> WeightedString:
+    text = Path(text_path).read_text()
+    if text.endswith("\n"):
+        text = text[:-1]
+    if utilities_path:
+        utilities = np.asarray(
+            [float(line) for line in Path(utilities_path).read_text().split()],
+            dtype=np.float64,
+        )
+        return WeightedString(text, utilities)
+    return WeightedString.uniform(text)
+
+
+def _cmd_topk(args: argparse.Namespace) -> int:
+    ws = _load_weighted_string(args.text, args.utilities)
+    oracle = TopKOracle(SuffixArray(ws.codes))
+    for mined in oracle.top_k(args.k):
+        substring = ws.fragment_text(mined.position, mined.length)
+        print(f"{mined.frequency}\t{mined.length}\t{substring}")
+    return 0
+
+
+def _cmd_build(args: argparse.Namespace) -> int:
+    ws = _load_weighted_string(args.text, args.utilities)
+    index = UsiIndex.build(
+        ws,
+        k=args.k,
+        tau=args.tau,
+        miner="approximate" if args.approximate else "exact",
+        aggregator=args.aggregator,
+    )
+    with open(args.out, "wb") as handle:
+        pickle.dump(index, handle)
+    report = index.report
+    print(
+        f"built {report.miner} index: K={report.k} tau_K={report.tau_k} "
+        f"L_K={report.distinct_lengths} H-entries={report.hash_entries} "
+        f"size={index.nbytes()} bytes -> {args.out}"
+    )
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    with open(args.index, "rb") as handle:
+        index: UsiIndex = pickle.load(handle)
+    for pattern in args.pattern:
+        print(f"{pattern}\t{index.query(pattern)}")
+    return 0
+
+
+def _cmd_mine(args: argparse.Namespace) -> int:
+    """Utility-oriented mining: top-by-utility or above a threshold."""
+    from repro.core.mining import mine_by_utility_threshold, top_utility_substrings
+
+    ws = _load_weighted_string(args.text, args.utilities)
+    if args.threshold is not None:
+        found = mine_by_utility_threshold(
+            ws, args.threshold,
+            min_length=args.min_length,
+            max_length=args.max_length,
+            aggregator=args.aggregator,
+        )
+        if args.top is not None:
+            found = found[: args.top]
+    else:
+        found = top_utility_substrings(
+            ws, top=args.top or 10,
+            min_length=args.min_length,
+            max_length=args.max_length,
+            aggregator=args.aggregator,
+        )
+    for entry in found:
+        substring = ws.fragment_text(entry.position, entry.length)
+        print(f"{entry.utility:.6g}\t{entry.frequency}\t{substring}")
+    return 0
+
+
+def _cmd_tune(args: argparse.Namespace) -> int:
+    ws = _load_weighted_string(args.text, args.utilities)
+    oracle = TopKOracle(SuffixArray(ws.codes))
+    if args.curve:
+        from repro.core.tradeoff import enumerate_trade_offs, skyline
+
+        points = skyline(enumerate_trade_offs(oracle, ws.length))
+        print("K\ttau\tL\tsize_words\tquery_cost")
+        for point in points:
+            print(
+                f"{point.k}\t{point.tau}\t{point.distinct_lengths}"
+                f"\t{point.size_words}\t{point.query_cost}"
+            )
+        return 0
+    if (args.k is None) == (args.tau is None):
+        print("provide exactly one of --k / --tau", file=sys.stderr)
+        return 2
+    if args.k is not None:
+        point = oracle.tune_by_k(args.k)
+        print(f"K={point.k} -> tau_K={point.tau} L_K={point.distinct_lengths}")
+    else:
+        point = oracle.tune_by_tau(args.tau)
+        print(f"tau={point.tau} -> K_tau={point.k} L_tau={point.distinct_lengths}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="usi", description="Useful String Indexing (ICDE 2025 reproduction)"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    topk = sub.add_parser("topk", help="mine the exact top-K frequent substrings")
+    topk.add_argument("--text", required=True)
+    topk.add_argument("--utilities")
+    topk.add_argument("--k", type=int, required=True)
+    topk.set_defaults(fn=_cmd_topk)
+
+    build = sub.add_parser("build", help="build and pickle a USI index")
+    build.add_argument("--text", required=True)
+    build.add_argument("--utilities")
+    build.add_argument("--k", type=int)
+    build.add_argument("--tau", type=int)
+    build.add_argument("--approximate", action="store_true",
+                       help="mine with Approximate-Top-K (the UAT index)")
+    build.add_argument("--aggregator", default="sum",
+                       choices=["sum", "min", "max", "avg"])
+    build.add_argument("--out", required=True)
+    build.set_defaults(fn=_cmd_build)
+
+    query = sub.add_parser("query", help="query a pickled USI index")
+    query.add_argument("--index", required=True)
+    query.add_argument("--pattern", action="append", required=True)
+    query.set_defaults(fn=_cmd_query)
+
+    mine = sub.add_parser("mine", help="mine substrings by global utility")
+    mine.add_argument("--text", required=True)
+    mine.add_argument("--utilities")
+    mine.add_argument("--top", type=int)
+    mine.add_argument("--threshold", type=float,
+                      help="report every substring with utility >= threshold")
+    mine.add_argument("--min-length", type=int, default=1)
+    mine.add_argument("--max-length", type=int)
+    mine.add_argument("--aggregator", default="sum",
+                      choices=["sum", "min", "max", "avg"])
+    mine.set_defaults(fn=_cmd_mine)
+
+    tune = sub.add_parser("tune", help="estimate (K, tau, L) trade-offs")
+    tune.add_argument("--text", required=True)
+    tune.add_argument("--utilities")
+    tune.add_argument("--k", type=int)
+    tune.add_argument("--tau", type=int)
+    tune.add_argument("--curve", action="store_true",
+                      help="print the whole (K, tau) skyline instead")
+    tune.set_defaults(fn=_cmd_tune)
+    return parser
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,35 @@
+"""Core contribution: top-K substring mining and the USI index."""
+
+from repro.core.approximate import ApproximateTopK
+from repro.core.dynamic import DynamicUsiIndex
+from repro.core.exact_topk import exact_top_k
+from repro.core.mining import mine_by_utility_threshold, top_utility_substrings
+from repro.core.naive import naive_global_utility
+from repro.core.online import OnlineFrequencyTracker
+from repro.core.topk_oracle import TopKOracle, TuningPoint
+from repro.core.tradeoff import (
+    TradeOffPoint,
+    enumerate_trade_offs,
+    pick_trade_off,
+    skyline,
+)
+from repro.core.types import MinedSubstring
+from repro.core.usi import UsiIndex
+
+__all__ = [
+    "ApproximateTopK",
+    "DynamicUsiIndex",
+    "MinedSubstring",
+    "OnlineFrequencyTracker",
+    "TopKOracle",
+    "TradeOffPoint",
+    "TuningPoint",
+    "UsiIndex",
+    "enumerate_trade_offs",
+    "exact_top_k",
+    "mine_by_utility_threshold",
+    "naive_global_utility",
+    "pick_trade_off",
+    "skyline",
+    "top_utility_substrings",
+]

@@ -1,0 +1,182 @@
+"""Approximate-Top-K: space-efficient top-K estimation (Section VI).
+
+The algorithm runs ``s`` rounds.  Round ``i`` samples the text
+positions ``i + r*s``, builds a *sparse* suffix array over just those
+suffixes (Step 2), extracts the sample's top-K frequent substrings via
+the bottom-up lcp-interval traversal (Step 3), and merges them into
+the running top-K list, summing frequencies of substrings found in
+multiple rounds (Step 4).
+
+Because each text position belongs to exactly one round's sample,
+summed sample frequencies never exceed true frequencies: the error is
+**one-sided** (frequencies are lower bounds), the key invariant of
+Theorem 3, and it is property-tested in this repository.
+
+Substitutions relative to the paper (see DESIGN.md): Prezza's in-place
+LCE is replaced by the Karp-Rabin fingerprint LCE (same polylog query
+class), and the content-comparison merge is keyed by O(1) fragment
+fingerprints — equal substrings collide w.h.p. exactly like the
+paper's hash table ``H`` keys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.types import MinedSubstring
+from repro.errors import ParameterError
+from repro.hashing.karp_rabin import KarpRabinFingerprinter
+from repro.strings.alphabet import as_code_array
+from repro.strings.weighted import WeightedString
+from repro.suffix.enhanced import bottom_up_intervals
+from repro.suffix.lce import FingerprintLce
+from repro.suffix.sparse import SparseSuffixArray
+
+
+@dataclass
+class ApproximateStats:
+    """Bookkeeping for the space/runtime experiments of Fig. 5."""
+
+    rounds: int = 0
+    sample_sizes: list[int] = field(default_factory=list)
+    peak_auxiliary_bytes: int = 0
+
+    def record_round(self, sample_size: int, merged_size: int) -> None:
+        self.rounds += 1
+        self.sample_sizes.append(sample_size)
+        # SSA + SLCP (8 bytes each per sampled suffix) plus the merged
+        # candidate list (three machine words per candidate).
+        round_bytes = sample_size * 16 + merged_size * 24
+        self.peak_auxiliary_bytes = max(self.peak_auxiliary_bytes, round_bytes)
+
+
+class ApproximateTopK:
+    """The Approximate-Top-K (AT) miner.
+
+    Parameters
+    ----------
+    text:
+        The text, in any form accepted by the library.
+    k:
+        How many substrings to report.
+    s:
+        Number of sampling rounds; trades accuracy and time for space.
+        ``s = 1`` indexes every suffix and is exact; the paper
+        recommends ``s = O(log n)``.
+    seed:
+        Fingerprint seed (determinism only).
+    round_capacity:
+        Over-provisioning factor for the per-round candidate lists.
+        Each round lists the sample's top-``round_capacity * K``
+        substrings before merging (the merged list is pruned to the
+        same capacity; the final output is always exactly top-K).
+        The paper keeps strict top-K lists (factor 1.0); at the
+        scaled-down text lengths of this reproduction the per-round
+        tie tail is proportionally much larger, and a small factor
+        (default 4) compensates for tie churn between rounds without
+        affecting the one-sided-error guarantee or the O(K) space
+        class.
+    """
+
+    def __init__(
+        self,
+        text: "str | Sequence[int] | np.ndarray | WeightedString",
+        k: int,
+        s: int,
+        seed: int = 0,
+        round_capacity: float = 4.0,
+    ) -> None:
+        if isinstance(text, WeightedString):
+            codes = text.codes
+        else:
+            codes, _ = as_code_array(text)
+        self._codes = np.asarray(codes, dtype=np.int64)
+        n = len(self._codes)
+        if k <= 0:
+            raise ParameterError("K must be a positive integer")
+        if not 1 <= s <= n:
+            raise ParameterError(f"s must be in [1, n]; got {s} for n={n}")
+        if round_capacity < 1.0:
+            raise ParameterError("round_capacity must be at least 1.0")
+        self._k = k
+        self._s = s
+        self._capacity = max(k, int(round(k * round_capacity)))
+        self._fp = KarpRabinFingerprinter(self._codes, seed=seed)
+        self._lce = FingerprintLce(self._codes, self._fp)
+        self.stats = ApproximateStats()
+
+    @property
+    def fingerprinter(self) -> KarpRabinFingerprinter:
+        """The shared fingerprinter (reused by UAT construction)."""
+        return self._fp
+
+    # ------------------------------------------------------------------
+    # Steps 2-3: one round
+    # ------------------------------------------------------------------
+    def _round_candidates(self, round_index: int) -> list[tuple[int, int, int]]:
+        """Top-K frequent substrings of one round's sample.
+
+        Returns witness tuples ``(j, l, f_sample)``.
+        """
+        n = len(self._codes)
+        positions = np.arange(round_index, n, self._s, dtype=np.int64)
+        ssa = SparseSuffixArray(self._codes, positions, self._lce)
+        order = ssa.positions
+        slcp = np.asarray(ssa.slcp, dtype=np.int64)
+
+        # Explicit nodes of the sample's compacted trie: internal nodes
+        # from the bottom-up traversal, plus the sample's leaf edges
+        # (frequency-1-in-sample substrings), exactly as in Task (i).
+        records: list[tuple[int, int, int, int]] = []  # (freq, sd, psd, lb)
+        for node in bottom_up_intervals(slcp):
+            records.append((node.frequency, node.lcp, node.parent_lcp, node.lb))
+        sample_size = len(order)
+        for idx in range(sample_size):
+            depth = n - order[idx]
+            left = int(slcp[idx]) if idx > 0 else 0
+            right = int(slcp[idx + 1]) if idx + 1 < sample_size else 0
+            parent_depth = max(left, right)
+            if depth > parent_depth:
+                records.append((1, depth, parent_depth, idx))
+
+        records.sort(key=lambda r: (-r[0], r[1]))
+        out: list[tuple[int, int, int]] = []
+        for freq, sd, psd, lb in records:
+            witness = order[lb]
+            for length in range(psd + 1, sd + 1):
+                out.append((witness, length, freq))
+                if len(out) == self._capacity:
+                    return out
+        return out
+
+    # ------------------------------------------------------------------
+    # Step 4: merge rounds
+    # ------------------------------------------------------------------
+    def mine(self) -> list[MinedSubstring]:
+        """Run all rounds and return the estimated top-K substrings."""
+        merged: dict[tuple[int, int], list[int]] = {}  # (l, fp) -> [j, l, f]
+        for round_index in range(self._s):
+            candidates = self._round_candidates(round_index)
+            for j, length, freq in candidates:
+                key = (length, self._fp.fragment(j, length))
+                entry = merged.get(key)
+                if entry is None:
+                    merged[key] = [j, length, freq]
+                else:
+                    entry[2] += freq
+            if len(merged) > self._capacity:
+                # Keep only the current top candidates (frequency desc,
+                # length asc), as the paper's merged list does.
+                kept = sorted(merged.items(), key=lambda kv: (-kv[1][2], kv[1][1]))
+                merged = dict(kept[: self._capacity])
+            sample_size = (len(self._codes) - round_index + self._s - 1) // self._s
+            self.stats.record_round(sample_size, len(merged))
+
+        final = sorted(merged.values(), key=lambda e: (-e[2], e[1], e[0]))
+        return [
+            MinedSubstring(position=j, length=length, frequency=freq)
+            for j, length, freq in final[: self._k]
+        ]

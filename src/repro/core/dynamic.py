@@ -1,0 +1,206 @@
+"""Dynamic USI under letter appends (Section X).
+
+The paper sketches a partial solution for appending letters and notes
+that maintaining suffix-tree node frequencies and the hash table
+online "can in general be very costly", deferring it to future work.
+This module implements a *correct and practical* dynamic index with
+the standard static-to-dynamic transformation:
+
+* a static :class:`~repro.core.usi.UsiIndex` over a frozen prefix
+  ``S[0 .. n0-1]``;
+* a growing *tail* buffer of appended letters plus an incrementally
+  extended ``PSW`` (O(1) per append, exactly as in the paper's
+  sketch);
+* queries merge (a) the static answer over occurrences fully inside
+  the prefix with (b) a direct scan of the boundary-plus-tail region,
+  whose length is bounded by the rebuild threshold;
+* when the tail outgrows ``rebuild_fraction * n`` the whole index is
+  rebuilt, giving amortised O(construction / threshold) per append.
+
+This preserves the paper's query semantics exactly (property-tested
+against a from-scratch rebuild) while keeping appends cheap.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.usi import MinerName, UsiIndex
+from repro.errors import ParameterError, PatternError
+from repro.strings.weighted import WeightedString
+from repro.utility.functions import AggregatorName, make_global_utility
+
+
+class DynamicUsiIndex:
+    """An appendable USI index.
+
+    Parameters
+    ----------
+    ws:
+        The initial weighted string.
+    k:
+        Top-K parameter forwarded to every (re)build.
+    rebuild_fraction:
+        Rebuild when the tail exceeds this fraction of the total
+        length (minimum :attr:`MIN_TAIL` letters, so small indexes do
+        not rebuild on every append).
+    """
+
+    MIN_TAIL = 64
+
+    def __init__(
+        self,
+        ws: WeightedString,
+        k: int,
+        aggregator: "AggregatorName" = "sum",
+        miner: MinerName = "exact",
+        rebuild_fraction: float = 0.25,
+        seed: int = 0,
+    ) -> None:
+        if not 0.0 < rebuild_fraction <= 1.0:
+            raise ParameterError("rebuild_fraction must be in (0, 1]")
+        self._k = k
+        self._aggregator_name = aggregator
+        self._utility = make_global_utility(aggregator)
+        self._miner: MinerName = miner
+        self._fraction = rebuild_fraction
+        self._seed = seed
+        self._tail_codes: list[int] = []
+        self._tail_utilities: list[float] = []
+        self._psw_cache: "tuple[int, np.ndarray] | None" = None
+        self.rebuild_count = 0
+        self._base = UsiIndex.build(ws, k=k, miner=miner, aggregator=aggregator, seed=seed)
+
+    # ------------------------------------------------------------------
+    # Appends
+    # ------------------------------------------------------------------
+    @property
+    def length(self) -> int:
+        """Current total text length (prefix + tail)."""
+        return self._base.weighted_string.length + len(self._tail_codes)
+
+    @property
+    def tail_length(self) -> int:
+        return len(self._tail_codes)
+
+    def append(self, letter, utility: float) -> None:
+        """Append one letter with its utility (amortised cheap).
+
+        The letter must already belong to the alphabet of the initial
+        string (appending novel letters would change every index's
+        alphabet; reject explicitly rather than guess).
+        """
+        alphabet = self._base.weighted_string.alphabet
+        code = alphabet.code(letter) if not isinstance(letter, (int, np.integer)) else int(letter)
+        if not 0 <= code < alphabet.size:
+            raise ParameterError(f"letter code {code} outside alphabet")
+        self._tail_codes.append(code)
+        self._tail_utilities.append(float(utility))
+        threshold = max(self.MIN_TAIL, int(self._fraction * self.length))
+        if len(self._tail_codes) > threshold:
+            self._rebuild()
+
+    def extend(self, letters, utilities: "Sequence[float]") -> None:
+        """Append many letters (still amortised through rebuilds)."""
+        if len(letters) != len(utilities):
+            raise ParameterError("letters and utilities must have equal length")
+        for letter, utility in zip(letters, utilities):
+            self.append(letter, utility)
+
+    def _rebuild(self) -> None:
+        ws = self.to_weighted_string()
+        self._base = UsiIndex.build(
+            ws,
+            k=self._k,
+            miner=self._miner,
+            aggregator=self._aggregator_name,
+            seed=self._seed,
+        )
+        self._tail_codes.clear()
+        self._tail_utilities.clear()
+        self._psw_cache = None
+        self.rebuild_count += 1
+
+    def to_weighted_string(self) -> WeightedString:
+        """The full current text as a fresh :class:`WeightedString`."""
+        base_ws = self._base.weighted_string
+        codes = np.concatenate(
+            (base_ws.codes, np.asarray(self._tail_codes, dtype=np.int32))
+        )
+        utilities = np.concatenate(
+            (base_ws.utilities, np.asarray(self._tail_utilities, dtype=np.float64))
+        )
+        return WeightedString(codes, utilities, base_ws.alphabet)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def query(self, pattern: "str | bytes | Sequence[int] | np.ndarray") -> float:
+        """``U(pattern)`` over the *current* text (prefix + tail)."""
+        base_ws = self._base.weighted_string
+        if isinstance(pattern, np.ndarray):
+            codes = pattern.astype(np.int64, copy=False)
+            if len(codes) == 0:
+                raise PatternError("query patterns must be non-empty")
+        else:
+            try:
+                codes = base_ws.alphabet.encode_pattern(pattern).astype(np.int64)
+            except Exception as exc:
+                if isinstance(exc, PatternError):
+                    raise
+                return self._utility.identity
+
+        m = len(codes)
+        n0 = base_ws.length
+        total = self.length
+        if m > total:
+            return self._utility.identity
+
+        # Occurrences fully inside the frozen prefix: the static index.
+        state = self._utility.fresh_state()
+        if m <= n0:
+            base_value = self._base.query(codes)
+            base_count = self._base.count(codes)
+            # Re-fold the static answer into the running state so min /
+            # max / avg merge correctly with the tail contributions.
+            if base_count:
+                if self._utility.name == "avg":
+                    state = (base_value * base_count, base_count)
+                else:
+                    state = (base_value, base_count)
+
+        # Occurrences crossing the boundary or inside the tail: direct
+        # scan of the region starting at n0 - m + 1.
+        region_start = max(0, n0 - m + 1)
+        full = self._full_codes_region(region_start)
+        psw_all = self._full_prefix_sums()
+        limit = total - m
+        for offset in range(len(full) - m + 1):
+            i = region_start + offset
+            if i > limit:
+                break
+            if i < n0 and i + m <= n0:
+                continue  # fully inside the prefix: already counted
+            if np.array_equal(full[offset : offset + m], codes):
+                local = float(psw_all[i + m] - psw_all[i])
+                state = self._utility.push(state, local)
+        return self._utility.finalize(state)
+
+    def _full_codes_region(self, start: int) -> np.ndarray:
+        base_ws = self._base.weighted_string
+        tail = np.asarray(self._tail_codes, dtype=np.int64)
+        return np.concatenate((base_ws.codes[start:].astype(np.int64), tail))
+
+    def _full_prefix_sums(self) -> np.ndarray:
+        cached = self._psw_cache
+        if cached is not None and cached[0] == len(self._tail_utilities):
+            return cached[1]
+        base_ws = self._base.weighted_string
+        all_w = np.concatenate(
+            (base_ws.utilities, np.asarray(self._tail_utilities, dtype=np.float64))
+        )
+        psw = np.concatenate(([0.0], np.cumsum(all_w)))
+        self._psw_cache = (len(self._tail_utilities), psw)
+        return psw

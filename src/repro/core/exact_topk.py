@@ -1,0 +1,39 @@
+"""Exact-Top-K as a stand-alone mining function (Theorem 2).
+
+Thin functional facade over :class:`repro.core.topk_oracle.TopKOracle`
+for callers who only want to mine (the ET method of Section IX-B)
+without keeping the oracle around.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.topk_oracle import TopKOracle
+from repro.core.types import MinedSubstring
+from repro.strings.alphabet import as_code_array
+from repro.strings.weighted import WeightedString
+from repro.suffix.suffix_array import SuffixArray
+
+
+def exact_top_k(
+    text: "str | Sequence[int] | np.ndarray | WeightedString",
+    k: int,
+    include_leaves: bool = True,
+    sa_algorithm: str = "doubling",
+) -> list[MinedSubstring]:
+    """The exact top-K frequent substrings of *text*, O(n + K).
+
+    Builds the suffix array, LCP array and Section-V oracle, then runs
+    Task (i).  Ties are broken by frequency descending then length
+    ascending (the paper allows arbitrary tie-breaking).
+    """
+    if isinstance(text, WeightedString):
+        codes = text.codes
+    else:
+        codes, _ = as_code_array(text)
+    index = SuffixArray(codes, algorithm=sa_algorithm)  # type: ignore[arg-type]
+    oracle = TopKOracle(index, include_leaves=include_leaves)
+    return oracle.top_k(k)

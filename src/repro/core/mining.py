@@ -1,0 +1,141 @@
+"""Utility-oriented substring mining (the Section II case study).
+
+The case study ranks *all* substrings in a length band by global
+utility: "use USI to query all patterns P that are substrings of S,
+thus mining all patterns satisfying a global utility (or a length)
+constraint" (Section I).  This module implements that mining loop as a
+vectorised per-length sweep: for each length, fingerprint every
+window, group windows by fingerprint, and aggregate local utilities
+per group.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.hashing.karp_rabin import KarpRabinFingerprinter
+from repro.strings.weighted import WeightedString
+from repro.utility.functions import AggregatorName, make_global_utility
+from repro.utility.functions import PrefixSumLocalUtility
+
+
+@dataclass(frozen=True)
+class UtilitySubstring:
+    """A substring ranked by global utility (Table I rows)."""
+
+    position: int
+    length: int
+    frequency: int
+    utility: float
+
+    def text(self, ws: WeightedString) -> str:
+        """Materialise the substring for reports."""
+        return ws.fragment_text(self.position, self.length)
+
+
+def mine_by_utility_threshold(
+    ws: WeightedString,
+    threshold: float,
+    min_length: int = 1,
+    max_length: "int | None" = None,
+    aggregator: AggregatorName = "sum",
+    seed: int = 0,
+) -> list[UtilitySubstring]:
+    """All substrings whose global utility reaches *threshold*.
+
+    The Section-I remark made concrete: USI generalises mining, so
+    "query all patterns that are substrings of S, thus mining all
+    patterns satisfying a global utility (or a length) constraint".
+    Results are sorted by utility descending (ties: shorter first).
+    """
+    n = ws.length
+    if min_length < 1 or min_length > n:
+        raise ParameterError(f"min_length {min_length} out of range [1, {n}]")
+    if max_length is None:
+        max_length = n
+    max_length = min(max_length, n)
+    if max_length < min_length:
+        raise ParameterError("max_length must be >= min_length")
+
+    fingerprinter = KarpRabinFingerprinter(ws.codes, seed=seed)
+    psw = PrefixSumLocalUtility(ws.utilities)
+    utility = make_global_utility(aggregator)
+
+    out: list[UtilitySubstring] = []
+    for length in range(min_length, max_length + 1):
+        fps = fingerprinter.all_windows(length)
+        locals_ = psw.local_utilities(np.arange(len(fps)), length)
+        unique, inverse, counts = np.unique(fps, return_inverse=True, return_counts=True)
+        aggregated = utility.grouped_aggregate(inverse, locals_, len(unique))
+        first = np.full(len(unique), len(fps), dtype=np.int64)
+        np.minimum.at(first, inverse, np.arange(len(fps), dtype=np.int64))
+        hits = np.flatnonzero(aggregated >= threshold)
+        for group in hits:
+            out.append(
+                UtilitySubstring(
+                    position=int(first[group]),
+                    length=length,
+                    frequency=int(counts[group]),
+                    utility=float(aggregated[group]),
+                )
+            )
+    out.sort(key=lambda u: (-u.utility, u.length, u.position))
+    return out
+
+
+def top_utility_substrings(
+    ws: WeightedString,
+    top: int,
+    min_length: int = 1,
+    max_length: "int | None" = None,
+    aggregator: AggregatorName = "sum",
+    seed: int = 0,
+) -> list[UtilitySubstring]:
+    """The *top* substrings of ``ws`` by global utility, by full sweep.
+
+    Considers every distinct substring with length in
+    ``[min_length, max_length]``; O(n) work per length.  This is the
+    computation behind Table Ia (top substrings by utility, which the
+    case study shows differ from the top substrings by frequency).
+    """
+    if top <= 0:
+        raise ParameterError("top must be positive")
+    n = ws.length
+    if min_length < 1 or min_length > n:
+        raise ParameterError(f"min_length {min_length} out of range [1, {n}]")
+    if max_length is None:
+        max_length = n
+    max_length = min(max_length, n)
+    if max_length < min_length:
+        raise ParameterError("max_length must be >= min_length")
+
+    fingerprinter = KarpRabinFingerprinter(ws.codes, seed=seed)
+    psw = PrefixSumLocalUtility(ws.utilities)
+    utility = make_global_utility(aggregator)
+
+    best: list[tuple[float, int, int, int]] = []  # (utility, length, pos, freq)
+    for length in range(min_length, max_length + 1):
+        fps = fingerprinter.all_windows(length)
+        locals_ = psw.local_utilities(np.arange(len(fps)), length)
+        unique, inverse, counts = np.unique(fps, return_inverse=True, return_counts=True)
+        aggregated = utility.grouped_aggregate(inverse, locals_, len(unique))
+        # Witness: the first window holding each fingerprint.
+        first = np.full(len(unique), len(fps), dtype=np.int64)
+        np.minimum.at(first, inverse, np.arange(len(fps), dtype=np.int64))
+        for group in np.argsort(aggregated)[::-1][: top]:
+            best.append(
+                (
+                    float(aggregated[group]),
+                    length,
+                    int(first[group]),
+                    int(counts[group]),
+                )
+            )
+    best.sort(key=lambda item: (-item[0], item[1], item[2]))
+    return [
+        UtilitySubstring(position=pos, length=length, frequency=freq, utility=value)
+        for value, length, pos, freq in best[:top]
+    ]

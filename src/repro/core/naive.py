@@ -1,0 +1,58 @@
+"""Brute-force global utility computation (test oracle).
+
+Defines the ground truth that every index in this library must match:
+find all occurrences by direct scan, compute each occurrence's local
+utility directly from ``w``, and aggregate.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.strings.occurrences import naive_occurrences
+from repro.strings.weighted import WeightedString
+from repro.utility.functions import AggregatorName, LocalUtilityName, make_global_utility
+
+
+def naive_local_utility(
+    ws: WeightedString, i: int, length: int, local: LocalUtilityName = "sum"
+) -> float:
+    """``u(i, length)`` computed directly from ``w``."""
+    fragment = ws.fragment_utilities(i, length)
+    if local == "sum":
+        return float(fragment.sum())
+    if local == "product":
+        return float(fragment.prod())
+    if local == "min":
+        return float(fragment.min())
+    if local == "max":
+        return float(fragment.max())
+    raise ValueError(f"unknown local utility {local!r}")
+
+
+def naive_global_utility(
+    ws: WeightedString,
+    pattern: "str | Sequence[int] | np.ndarray",
+    aggregator: AggregatorName = "sum",
+    local: LocalUtilityName = "sum",
+) -> float:
+    """``U(pattern)`` by direct scan — O(n * m) and always correct.
+
+    Patterns containing letters outside the text's alphabet simply
+    have no occurrences and report the aggregator's identity.
+    """
+    utility = make_global_utility(aggregator)
+    if isinstance(pattern, str):
+        try:
+            pattern = ws.alphabet.encode(pattern)
+        except Exception:
+            return utility.identity
+    pattern = np.asarray(pattern, dtype=np.int64)
+    occurrences = naive_occurrences(ws.codes, pattern)
+    locals_ = np.asarray(
+        [naive_local_utility(ws, i, len(pattern), local) for i in occurrences],
+        dtype=np.float64,
+    )
+    return utility.aggregate(locals_)

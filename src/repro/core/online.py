@@ -1,0 +1,243 @@
+"""Online substring-frequency tracking (the Section-X machinery).
+
+The paper's dynamic sketch maintains, alongside Ukkonen's online
+suffix tree, the frequencies of all explicit nodes so that the top-K
+frequent substrings of the growing text are always available.  It
+notes that "incrementing the frequencies of all ancestors ... is
+challenging as there could be many such ancestors" — this module
+implements exactly that design, with the cost where the paper says it
+is: O(depth) ancestor updates per new leaf.
+
+One subtlety the paper glosses over: Ukkonen keeps up to ``remainder``
+suffixes *implicit* (no leaf yet), so raw node counts lag behind true
+occurrence counts by at most that many.  :class:`OnlineFrequencyTracker`
+compensates at query time by scanning the pending suffixes — queries
+are exact at every moment, which the tests verify letter by letter
+against brute force.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.types import MinedSubstring
+from repro.errors import ParameterError, PatternError
+from repro.suffix_tree.ukkonen import SuffixTree
+
+
+class _CountingSuffixTree(SuffixTree):
+    """A suffix tree that maintains parents and leaf counts online."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.parents: list[int] = [0]
+        self.counts: list[int] = [0]
+
+    def _new_node(self, start: int, end: "int | None") -> int:
+        node = super()._new_node(start, end)
+        self.parents.append(0)
+        self.counts.append(0)
+        return node
+
+    def _on_new_leaf(self, leaf: int, parent: int) -> None:
+        """A new suffix became explicit: +1 along the root path."""
+        self.parents[leaf] = parent
+        self.counts[leaf] = 1
+        node = parent
+        while node != 0:
+            self.counts[node] += 1
+            node = self.parents[node]
+        self.counts[0] += 1
+
+    def _on_split(self, split: int, parent: int, child: int) -> None:
+        """An edge split: the new internal node inherits the child's count."""
+        self.parents[split] = parent
+        self.parents[child] = split
+        self.counts[split] = self.counts[child]
+
+    @property
+    def pending(self) -> int:
+        """Suffixes still implicit (no leaf yet)."""
+        return self._remainder
+
+
+class OnlineFrequencyTracker:
+    """Exact substring frequencies over a letter-by-letter stream.
+
+    Examples
+    --------
+    >>> tracker = OnlineFrequencyTracker()
+    >>> for letter in [0, 1, 0, 1, 0]:
+    ...     tracker.extend(letter)
+    >>> tracker.count([0, 1])
+    2
+    """
+
+    def __init__(self) -> None:
+        self._tree = _CountingSuffixTree()
+
+    # ------------------------------------------------------------------
+    # Stream side
+    # ------------------------------------------------------------------
+    @property
+    def length(self) -> int:
+        """Letters consumed so far."""
+        return len(self._tree.text)
+
+    def extend(self, letter: int) -> None:
+        """Consume one letter (amortised O(1) tree work + O(depth) counts)."""
+        letter = int(letter)
+        if letter < 0:
+            raise ParameterError("letters must be non-negative codes")
+        self._tree.extend(letter)
+
+    def extend_all(self, letters: "Sequence[int] | np.ndarray") -> None:
+        for letter in letters:
+            self.extend(int(letter))
+
+    # ------------------------------------------------------------------
+    # Query side
+    # ------------------------------------------------------------------
+    def _descend(self, pattern: list[int]) -> "int | None":
+        """Locus node below which all *explicit* occurrences sit."""
+        tree = self._tree
+        node = 0
+        i = 0
+        m = len(pattern)
+        text = tree.text
+        while i < m:
+            child = tree.children(node).get(pattern[i])
+            if child is None:
+                return None
+            start = tree._start[child]
+            end = tree._end[child]
+            if end is None:
+                end = len(text)
+            span = min(end - start, m - i)
+            for k in range(span):
+                if text[start + k] != pattern[i + k]:
+                    return None
+            i += span
+            node = child
+        return node
+
+    def _pending_starts(self) -> range:
+        """Start positions of the suffixes that have no leaf yet."""
+        n = self.length
+        pending = self._tree.pending
+        return range(n - pending, n)
+
+    def count(self, pattern: "Sequence[int] | np.ndarray") -> int:
+        """Exact ``|occ(pattern)|`` in the text consumed so far."""
+        pattern = [int(c) for c in pattern]
+        if not pattern:
+            raise PatternError("patterns must be non-empty")
+        locus = self._descend(pattern)
+        explicit = self._tree.counts[locus] if locus is not None else 0
+        # Pending (implicit) suffixes are not below any leaf yet: scan.
+        text = self._tree.text
+        m = len(pattern)
+        correction = 0
+        for j in self._pending_starts():
+            if j + m <= len(text) and text[j : j + m] == pattern:
+                correction += 1
+        return explicit + correction
+
+    def top_k(self, k: int) -> list[MinedSubstring]:
+        """The current top-K frequent substrings (exact, ties by length).
+
+        Node counts are corrected with the pending (implicit) suffixes'
+        paths.  A pending suffix that ends *mid-edge* raises the
+        frequency of only the shallow prefix of that edge, so edges are
+        split into uniform-frequency segments before the Section-V
+        style sorted expansion.  O(nodes + pending * depth + K).
+        """
+        if k <= 0:
+            raise ParameterError("K must be a positive integer")
+        tree = self._tree
+        n = self.length
+        if n == 0:
+            return []
+        text = tree.text
+
+        # Depths via DFS (leaf edges read up to the current end).
+        depths = [0] * tree.node_count
+        order: list[int] = []
+        stack = [0]
+        while stack:
+            node = stack.pop()
+            order.append(node)
+            for child in tree.children(node).values():
+                start = tree._start[child]
+                end = tree._end[child]
+                if end is None:
+                    end = n
+                depths[child] = depths[node] + (end - start)
+                stack.append(child)
+
+        # Pending-suffix corrections: full (+1 for every fully covered
+        # node) and partial (the pending suffix ends mid-edge at string
+        # depth p: lengths <= p on that edge gain +1).
+        full: dict[int, int] = {}
+        partial: dict[int, list[int]] = {}
+        for j in self._pending_starts():
+            node = 0
+            i = j
+            while i < n:
+                child = tree.children(node).get(text[i])
+                if child is None:  # pragma: no cover - suffix paths exist
+                    break
+                start = tree._start[child]
+                end = tree._end[child]
+                if end is None:
+                    end = n
+                length = end - start
+                if i + length > n:
+                    matched = n - i
+                    if text[start : start + matched] == text[i:n]:
+                        partial.setdefault(child, []).append((i - j) + matched)
+                    break
+                if text[start : start + length] != text[i : i + length]:
+                    break  # pragma: no cover - defensive
+                i += length
+                node = child
+                full[node] = full.get(node, 0) + 1
+
+        # Uniform-frequency segments: (freq, first_len, last_len, witness).
+        segments: list[tuple[int, int, int, int]] = []
+        for node in order:
+            if node == 0:
+                continue
+            base = tree.counts[node] + full.get(node, 0)
+            depth = min(depths[node], n)
+            parent_depth = depths[tree.parents[node]]
+            if depth <= parent_depth:
+                continue
+            end = tree._end[node]
+            if end is None:
+                end = n
+            witness = max(end - depth, 0)
+            cuts = sorted(
+                {p for p in partial.get(node, []) if parent_depth < p < depth}
+            )
+            boundaries = [parent_depth] + cuts + [depth]
+            partials = partial.get(node, [])
+            for lo, hi in zip(boundaries, boundaries[1:]):
+                # Lengths in (lo, hi]: every partial with p >= hi applies.
+                extra = sum(1 for p in partials if p >= hi)
+                freq = base + extra
+                if freq > 0:
+                    segments.append((freq, lo + 1, hi, witness))
+
+        segments.sort(key=lambda s: (-s[0], s[1]))
+        out: list[MinedSubstring] = []
+        for freq, first, last, witness in segments:
+            for length in range(first, last + 1):
+                out.append(
+                    MinedSubstring(position=witness, length=length, frequency=freq)
+                )
+                if len(out) == k:
+                    return out
+        return out

@@ -1,0 +1,331 @@
+"""The linear-space top-K oracle of Section V.
+
+One structure, three tasks:
+
+* **Task (i)**  — list the top-K frequent substrings of ``S`` as
+  triplets ``<lcp, lb, rb>`` (Exact-Top-K, Theorem 2);
+* **Task (ii)** — given ``K``, report ``tau_K`` (smallest top-K
+  frequency, bounding USI query time) and ``L_K`` (distinct lengths,
+  bounding USI construction time) in ``O(log n)``;
+* **Task (iii)** — given ``tau``, report ``K_tau`` (number of
+  tau-frequent substrings, bounding USI size) and ``L_tau``.
+
+Construction follows the paper, with the suffix tree realised as the
+enhanced suffix array (the bottom-up traversal of
+:mod:`repro.suffix.enhanced` enumerates exactly the explicit nodes):
+
+* ``T`` — triplets ``<v, f(v), q(v)>`` sorted by frequency descending,
+  ties broken by string depth ascending (shorter substrings first);
+* ``Q[i]`` — cumulative count of distinct substrings represented by
+  the first ``i + 1`` triplets;
+* ``L[i]`` — distinct lengths among those substrings.  Because every
+  ancestor of a node sorts before it (ancestors have frequency >= and
+  depth <), the represented length set is always a contiguous prefix
+  ``[1, max_depth]``, so ``L`` is the running maximum of string depths
+  — exactly the counter/maximum argument in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.types import MinedSubstring
+from repro.errors import ParameterError
+from repro.suffix.enhanced import bottom_up_intervals, leaf_intervals
+from repro.suffix.suffix_array import SuffixArray
+
+
+@dataclass(frozen=True)
+class TuningPoint:
+    """One point on the (K, tau) trade-off curve (Tasks ii/iii)."""
+
+    k: int
+    tau: int
+    distinct_lengths: int
+
+
+@dataclass(frozen=True)
+class TopKTriplet:
+    """Task (i) output: substring of length ``lcp`` at ``SA[lb..rb]``."""
+
+    lcp: int
+    lb: int
+    rb: int
+    frequency: int
+
+
+class TopKOracle:
+    """The Section-V data structure over a suffix array.
+
+    Parameters
+    ----------
+    index:
+        A :class:`SuffixArray` (with LCP) of the text.
+    include_leaves:
+        Include suffix-tree leaf edges, i.e. frequency-1 substrings.
+        Required for correctness when ``K`` exceeds the number of
+        repeated substrings; the paper's ``T`` ranges over all explicit
+        nodes, which includes leaves.
+    """
+
+    def __init__(self, index: SuffixArray, include_leaves: bool = True) -> None:
+        self._index = index
+        self._include_leaves = include_leaves
+        n = index.length
+
+        freqs: list[int] = []
+        depths: list[int] = []
+        parent_depths: list[int] = []
+        lbs: list[int] = []
+        rbs: list[int] = []
+        for node in bottom_up_intervals(index.lcp):
+            freqs.append(node.frequency)
+            depths.append(node.lcp)
+            parent_depths.append(node.parent_lcp)
+            lbs.append(node.lb)
+            rbs.append(node.rb)
+        if include_leaves:
+            for node in leaf_intervals(index.sa, index.lcp, n):
+                freqs.append(1)
+                depths.append(node.lcp)
+                parent_depths.append(node.parent_lcp)
+                lbs.append(node.lb)
+                rbs.append(node.rb)
+        self._finish(freqs, depths, parent_depths, lbs, rbs, index.sa)
+
+    @classmethod
+    def from_suffix_tree(cls, tree, include_leaves: bool = True) -> "TopKOracle":
+        """Build the oracle directly from a finalized suffix tree.
+
+        This is the paper's literal Section-V construction: traverse
+        ``ST(S)``, extract ``<v, f(v), q(v)>`` per explicit node, and
+        radix sort.  A DFS with children in letter order visits the
+        leaves in lexicographic suffix order, which *is* the suffix
+        array — so each node's leaf span doubles as its SA interval and
+        the resulting oracle is interchangeable with the
+        enhanced-suffix-array one (tested for agreement).
+        """
+        from repro.suffix_tree.ukkonen import SuffixTree  # cycle-safe
+
+        if not isinstance(tree, SuffixTree):
+            raise ParameterError("from_suffix_tree expects a SuffixTree")
+        tree._require_finalized()
+        text_len = tree.sentinel_length - 1  # without the sentinel
+
+        freqs: list[int] = []
+        depths: list[int] = []
+        parent_depths: list[int] = []
+        lbs: list[int] = []
+        rbs: list[int] = []
+        sa_positions = np.empty(text_len, dtype=np.int64)
+
+        # Iterative DFS with children in letter order (sentinel -1
+        # first, matching the shorter-suffix-sorts-first convention).
+        # Post-order assembly: each internal node's interval is the
+        # span of leaf indexes assigned below it.
+        next_leaf = 0
+        span: dict[int, tuple[int, int]] = {}
+        stack: list[tuple[int, bool]] = [(0, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                kids = tree.children(node).values()
+                lo = min(span[c][0] for c in kids)
+                hi = max(span[c][1] for c in kids)
+                span[node] = (lo, hi)
+                continue
+            if tree.is_leaf(node):
+                suffix = tree.suffix_index(node)
+                if suffix >= text_len:  # the sentinel-only leaf
+                    span[node] = (next_leaf, next_leaf - 1)  # empty span
+                    continue
+                sa_positions[next_leaf] = suffix
+                span[node] = (next_leaf, next_leaf)
+                next_leaf += 1
+                continue
+            stack.append((node, True))
+            for letter in sorted(tree.children(node), reverse=True):
+                stack.append((tree.children(node)[letter], False))
+
+        for node in range(1, tree.node_count):
+            lo, hi = span[node]
+            if hi < lo:
+                continue  # the sentinel-only leaf
+            depth = tree.string_depth(node)
+            parent_depth = tree.string_depth(tree.parent(node))
+            if tree.is_leaf(node):
+                if not include_leaves:
+                    continue
+                depth -= 1  # clip the sentinel letter
+                if depth <= parent_depth:
+                    continue
+            freqs.append(tree.frequency(node))
+            depths.append(depth)
+            parent_depths.append(parent_depth)
+            lbs.append(lo)
+            rbs.append(hi)
+
+        oracle = cls.__new__(cls)
+        oracle._index = None
+        oracle._include_leaves = include_leaves
+        oracle._finish(freqs, depths, parent_depths, lbs, rbs, sa_positions)
+        return oracle
+
+    def _finish(
+        self,
+        freqs: list[int],
+        depths: list[int],
+        parent_depths: list[int],
+        lbs: list[int],
+        rbs: list[int],
+        sa_positions: np.ndarray,
+    ) -> None:
+        """Sort the node records and build ``T``, ``Q``, ``L``."""
+        self._sa_positions = np.asarray(sa_positions, dtype=np.int64)
+        f = np.asarray(freqs, dtype=np.int64)
+        sd = np.asarray(depths, dtype=np.int64)
+        psd = np.asarray(parent_depths, dtype=np.int64)
+        # Radix sort in the paper; lexsort gives the same order:
+        # frequency descending, string depth ascending.
+        order = np.lexsort((sd, -f))
+        self._f = f[order]
+        self._sd = sd[order]
+        self._psd = psd[order]
+        self._lb = np.asarray(lbs, dtype=np.int64)[order]
+        self._rb = np.asarray(rbs, dtype=np.int64)[order]
+        # Q: cumulative distinct substrings; L: running max depth.
+        self._q = np.cumsum(self._sd - self._psd)
+        self._l = (
+            np.maximum.accumulate(self._sd)
+            if len(self._sd)
+            else np.empty(0, dtype=np.int64)
+        )
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def index(self) -> "SuffixArray | None":
+        """The backing suffix array (``None`` for the suffix-tree path)."""
+        return self._index
+
+    @property
+    def suffix_positions(self) -> np.ndarray:
+        """Suffix start positions in lexicographic order (= SA)."""
+        return self._sa_positions
+
+    @property
+    def triplet_count(self) -> int:
+        """Number of explicit nodes stored in ``T``."""
+        return len(self._f)
+
+    @property
+    def distinct_substring_count(self) -> int:
+        """Total distinct substrings of ``S`` (only exact with leaves)."""
+        return int(self._q[-1]) if len(self._q) else 0
+
+    def nbytes(self) -> int:
+        """Bytes held by the oracle arrays (``T``, ``Q``, ``L``)."""
+        return int(
+            self._f.nbytes + self._sd.nbytes + self._psd.nbytes
+            + self._lb.nbytes + self._rb.nbytes + self._q.nbytes + self._l.nbytes
+        )
+
+    # ------------------------------------------------------------------
+    # Task (i): Exact-Top-K
+    # ------------------------------------------------------------------
+    def top_k_triplets(self, k: int) -> list[TopKTriplet]:
+        """The top-K frequent substrings as ``<lcp, lb, rb>`` triplets.
+
+        Scans ``T`` in frequency order, expanding each node's edge into
+        its ``q(v)`` distinct substrings (shallower first), and stops
+        after ``k`` substrings.  O(n + K).
+        """
+        if k <= 0:
+            raise ParameterError("K must be a positive integer")
+        out: list[TopKTriplet] = []
+        for f, sd, psd, lb, rb in zip(self._f, self._sd, self._psd, self._lb, self._rb):
+            for length in range(int(psd) + 1, int(sd) + 1):
+                out.append(
+                    TopKTriplet(lcp=length, lb=int(lb), rb=int(rb), frequency=int(f))
+                )
+                if len(out) == k:
+                    return out
+        return out
+
+    def top_k(self, k: int) -> list[MinedSubstring]:
+        """Task (i) output in the uniform witness-tuple form.
+
+        The witness is ``SA[lb]``, as in the paper's explicit-form
+        conversion ``S[SA[lb] .. SA[lb] + lcp - 1]``.
+        """
+        sa = self._sa_positions
+        return [
+            MinedSubstring(
+                position=int(sa[t.lb]), length=t.lcp, frequency=t.frequency
+            )
+            for t in self.top_k_triplets(k)
+        ]
+
+    # ------------------------------------------------------------------
+    # Task (ii): K -> (tau_K, L_K)
+    # ------------------------------------------------------------------
+    def tune_by_k(self, k: int) -> TuningPoint:
+        """Smallest top-K frequency and distinct lengths, O(log n).
+
+        Binary search in ``Q`` for the smallest index with
+        ``Q[i] >= K``.  When ``K`` exceeds the number of distinct
+        substrings, the last triplet answers (everything is reported).
+        """
+        if k <= 0:
+            raise ParameterError("K must be a positive integer")
+        if not len(self._q):
+            return TuningPoint(k=0, tau=0, distinct_lengths=0)
+        i = int(np.searchsorted(self._q, k, side="left"))
+        if i >= len(self._q):
+            i = len(self._q) - 1
+        return TuningPoint(
+            k=min(k, int(self._q[-1])),
+            tau=int(self._f[i]),
+            distinct_lengths=int(self._l[i]),
+        )
+
+    # ------------------------------------------------------------------
+    # Task (iii): tau -> (K_tau, L_tau)
+    # ------------------------------------------------------------------
+    def tune_by_tau(self, tau: int) -> TuningPoint:
+        """Number of tau-frequent substrings and their lengths, O(log n).
+
+        ``T`` is sorted by frequency descending, so the tau-frequent
+        prefix ends at the largest index with ``f >= tau``.
+        """
+        if tau <= 0:
+            raise ParameterError("tau must be a positive integer")
+        if not len(self._f):
+            return TuningPoint(k=0, tau=tau, distinct_lengths=0)
+        # First index with f < tau in the descending array.
+        i = int(np.searchsorted(-self._f, -(tau - 1), side="left"))
+        if i == 0:
+            return TuningPoint(k=0, tau=tau, distinct_lengths=0)
+        return TuningPoint(
+            k=int(self._q[i - 1]),
+            tau=tau,
+            distinct_lengths=int(self._l[i - 1]),
+        )
+
+    def trade_off_curve(self, max_points: int = 50) -> list[TuningPoint]:
+        """Sample the (K, tau, L) curve — the Section-X tuning aid.
+
+        Returns up to *max_points* tuning points at distinct
+        frequencies, usable to pick a (K, tau) trade-off (the paper
+        suggests a skyline over these).
+        """
+        if not len(self._f):
+            return []
+        distinct_f = np.unique(self._f)[::-1]
+        if len(distinct_f) > max_points:
+            picks = np.linspace(0, len(distinct_f) - 1, max_points).astype(int)
+            distinct_f = distinct_f[picks]
+        return [self.tune_by_tau(int(tau)) for tau in distinct_f]

@@ -1,0 +1,123 @@
+"""(K, tau) trade-off selection — the Section-X tuning direction.
+
+The paper's future work: "Our data structure from Section V allows us
+to produce a large number of (K, tau) values efficiently, which could
+then be used to select a good trade-off [skyline operator]."  This
+module implements that pipeline:
+
+* enumerate candidate tuning points from the oracle (every distinct
+  frequency is one point on the curve);
+* estimate each point's costs with the Theorem-1 bounds — index size
+  ~ n + K words, expected query time ~ m + tau, construction time
+  ~ n * L_K;
+* compute the *skyline* (Pareto front) over (size, query-time) and
+  pick a point under user budgets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.topk_oracle import TopKOracle
+from repro.errors import ParameterError
+
+
+@dataclass(frozen=True)
+class TradeOffPoint:
+    """One candidate USI configuration with its Theorem-1 cost model."""
+
+    k: int
+    tau: int
+    distinct_lengths: int
+    size_words: int
+    query_cost: int
+    construction_cost: int
+
+
+def enumerate_trade_offs(
+    oracle: TopKOracle,
+    text_length: int,
+    pattern_length: int = 8,
+    max_points: int = 64,
+) -> list[TradeOffPoint]:
+    """All candidate (K, tau) points with modelled costs.
+
+    ``pattern_length`` is the expected query length ``m`` entering the
+    O(m + tau) query bound; it shifts every point equally and only
+    matters when comparing against external budgets.
+    """
+    if text_length < 1:
+        raise ParameterError("text_length must be positive")
+    points = []
+    for tuning in oracle.trade_off_curve(max_points=max_points):
+        points.append(
+            TradeOffPoint(
+                k=tuning.k,
+                tau=tuning.tau,
+                distinct_lengths=tuning.distinct_lengths,
+                size_words=text_length + tuning.k,
+                query_cost=pattern_length + tuning.tau,
+                construction_cost=text_length * max(tuning.distinct_lengths, 1),
+            )
+        )
+    return points
+
+
+def skyline(points: list[TradeOffPoint]) -> list[TradeOffPoint]:
+    """The Pareto front over (size_words, query_cost), both minimised.
+
+    A point survives iff no other point is at least as good on both
+    axes and strictly better on one (the classic skyline operator the
+    paper cites).  Returned sorted by size ascending.
+    """
+    ordered = sorted(points, key=lambda p: (p.size_words, p.query_cost))
+    front: list[TradeOffPoint] = []
+    best_query = None
+    for point in ordered:
+        if best_query is None or point.query_cost < best_query:
+            front.append(point)
+            best_query = point.query_cost
+    return front
+
+
+def pick_trade_off(
+    oracle: TopKOracle,
+    text_length: int,
+    max_size_words: "int | None" = None,
+    max_query_cost: "int | None" = None,
+    pattern_length: int = 8,
+) -> TradeOffPoint:
+    """Choose a skyline point under the given budgets.
+
+    With a size budget: the fastest point that fits.  With a query
+    budget: the smallest point that meets it.  With both: the fastest
+    point satisfying both (error if impossible).  With neither: the
+    "knee" — the skyline point minimising the product of normalised
+    size and query cost.
+    """
+    points = skyline(enumerate_trade_offs(oracle, text_length, pattern_length))
+    if not points:
+        raise ParameterError("the oracle exposes no tuning points")
+
+    feasible = points
+    if max_size_words is not None:
+        feasible = [p for p in feasible if p.size_words <= max_size_words]
+    if max_query_cost is not None:
+        feasible = [p for p in feasible if p.query_cost <= max_query_cost]
+    if not feasible:
+        raise ParameterError(
+            "no (K, tau) point satisfies the given budgets; relax one of them"
+        )
+    if max_size_words is not None and max_query_cost is None:
+        return min(feasible, key=lambda p: (p.query_cost, p.size_words))
+    if max_query_cost is not None and max_size_words is None:
+        return min(feasible, key=lambda p: (p.size_words, p.query_cost))
+    if max_size_words is not None and max_query_cost is not None:
+        return min(feasible, key=lambda p: (p.query_cost, p.size_words))
+
+    max_size = max(p.size_words for p in feasible)
+    max_query = max(p.query_cost for p in feasible)
+    return min(
+        feasible,
+        key=lambda p: (p.size_words / max_size) * (p.query_cost / max_query),
+    )

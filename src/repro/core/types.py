@@ -1,0 +1,42 @@
+"""Shared result types for the top-K substring miners.
+
+Every miner in this library — exact, approximate, and the two
+streaming competitors — reports its findings as a list of
+:class:`MinedSubstring` witness tuples ``<j, l, f>`` (Section VI):
+``S[j .. j + l - 1]`` is a witness occurrence of the substring and
+``f`` is the miner's frequency estimate.  A uniform output type lets
+the evaluation metrics treat all miners identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class MinedSubstring:
+    """A mined substring as a witness tuple ``<j, l, f>``."""
+
+    position: int
+    length: int
+    frequency: int
+
+    def codes(self, text: np.ndarray) -> np.ndarray:
+        """Materialise the substring's letter codes from the text."""
+        return text[self.position : self.position + self.length]
+
+    def key(self, text: np.ndarray) -> tuple:
+        """A hashable content key (for set comparisons in tests)."""
+        return tuple(int(c) for c in self.codes(text))
+
+
+def materialize(results: "list[MinedSubstring]", text: np.ndarray) -> list[tuple]:
+    """Content keys of all mined substrings, in reported order."""
+    return [r.key(text) for r in results]
+
+
+def frequencies(results: "list[MinedSubstring]") -> list[int]:
+    """Reported frequency estimates, in reported order."""
+    return [r.frequency for r in results]

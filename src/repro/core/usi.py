@@ -1,0 +1,444 @@
+"""USI_TOP-K: the Useful String Indexing data structure (Section IV).
+
+The index stores the global utilities of the top-K frequent substrings
+in a fingerprint-keyed hash table ``H`` and answers everything else
+through the text index + the prefix-sum array ``PSW``:
+
+* pattern in ``H``   -> O(m) (fingerprint + one lookup);
+* pattern not in ``H`` -> O(m log n + occ) via the suffix array, with
+  each occurrence's local utility read from ``PSW`` in O(1); since any
+  such pattern occurs at most ``tau_K`` times, queries are bounded by
+  the paper's O(m + tau_K) up to the SA-search ``log n``.
+
+Construction (Theorem 1) has three phases:
+
+1. mine the top-K frequent substrings (Exact-Top-K -> **UET**, or
+   Approximate-Top-K -> **UAT**);
+2. sliding-window pass per distinct substring length: fingerprint all
+   windows of that length, keep those matching a top-K substring, and
+   aggregate their local utilities into ``H`` — realised here as a
+   vectorised ``isin``/``bincount`` kernel, O(n) per length, O(n L_K)
+   total, exactly the paper's bound;
+3. the text index and ``PSW``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal, Sequence
+
+import numpy as np
+
+from repro.core.approximate import ApproximateTopK
+from repro.core.topk_oracle import TopKOracle
+from repro.core.types import MinedSubstring
+from repro.errors import AlphabetError, ParameterError, PatternError
+from repro.hashing.karp_rabin import KarpRabinFingerprinter
+from repro.strings.weighted import WeightedString
+from repro.suffix.suffix_array import SuffixArray
+from repro.utility.functions import (
+    AggregatorName,
+    GlobalUtility,
+    LocalUtility,
+    LocalUtilityName,
+    PrefixSumLocalUtility,
+    make_global_utility,
+    make_local_utility,
+)
+
+MinerName = Literal["exact", "approximate"]
+
+
+@dataclass(frozen=True)
+class QueryExplanation:
+    """How one query was (or would be) answered — see :meth:`UsiIndex.explain`."""
+
+    pattern_length: int
+    path: Literal["hash-table", "text-index", "no-occurrence", "unencodable"]
+    occurrences: int
+    utility: float
+    within_tau_bound: bool
+
+
+@dataclass
+class UsiBuildReport:
+    """Construction statistics (feed for the Fig. 6 experiments)."""
+
+    miner: str
+    k: int
+    tau_k: int
+    distinct_lengths: int
+    hash_entries: int
+    mining_seconds: float = 0.0
+    table_seconds: float = 0.0
+
+
+class UsiIndex:
+    """The USI_TOP-K index over a weighted string.
+
+    Build with :meth:`build`; query with :meth:`query`.
+
+    Examples
+    --------
+    >>> ws = WeightedString("ATACCCCGATAATACCCCAG",
+    ...                     [.9, 1, 3, 2, .7, 1, 1, .6, .5, .5,
+    ...                      .5, .8, 1, 1, 1, .9, 1, 1, .8, 1])
+    >>> index = UsiIndex.build(ws, k=5)
+    >>> index.query("TACCCC")
+    14.6
+    """
+
+    def __init__(
+        self,
+        ws: WeightedString,
+        suffix_array: SuffixArray,
+        fingerprinter: KarpRabinFingerprinter,
+        psw: LocalUtility,
+        utility: GlobalUtility,
+        table: dict[int, float],
+        report: UsiBuildReport,
+    ) -> None:
+        self._ws = ws
+        self._sa = suffix_array
+        self._fp = fingerprinter
+        self._psw = psw
+        self._utility = utility
+        self._table = table
+        self.report = report
+        # Query counters (cheap; used by the workload experiments).
+        self.hash_hits = 0
+        self.hash_misses = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        ws: WeightedString,
+        k: "int | None" = None,
+        tau: "int | None" = None,
+        miner: MinerName = "exact",
+        s: "int | None" = None,
+        aggregator: "AggregatorName | GlobalUtility" = "sum",
+        local: LocalUtilityName = "sum",
+        sa_algorithm: str = "doubling",
+        locate_backend: Literal["sa", "fm", "st"] = "sa",
+        seed: int = 0,
+    ) -> "UsiIndex":
+        """Construct USI_TOP-K for a weighted string.
+
+        Parameters
+        ----------
+        ws:
+            The weighted string ``(S, w)``.
+        k:
+            How many frequent substrings to precompute.  Exactly one
+            of *k* and *tau* must be given; a *tau* is converted to
+            ``K_tau`` through the Section-V oracle (Task iii).
+        tau:
+            Alternatively, the query-time budget: precompute all
+            substrings with frequency >= *tau*.
+        miner:
+            ``"exact"`` (Exact-Top-K; the UET index) or
+            ``"approximate"`` (Approximate-Top-K; the UAT index).
+        s:
+            Sampling rounds for the approximate miner (default
+            ``max(2, round(log2 n))``, the paper's recommendation).
+        aggregator:
+            The global utility function from class ``U``.
+        local:
+            The local utility function: ``"sum"`` (the paper's
+            sliding-window canonical), ``"product"`` (expected
+            frequency over per-position probabilities — the
+            bioinformatics motivation), or the RMQ-backed ``"min"`` /
+            ``"max"`` extensions.
+        locate_backend:
+            ``"sa"`` (default: suffix-array binary search), ``"fm"``
+            (the succinct FM-index), or ``"st"`` (the suffix tree, the
+            paper's literal Section-IV layout with O(m + occ) locate).
+            Construction always builds a suffix array for mining; the
+            backend only changes which structure the index *keeps* for
+            uncached queries.
+        """
+        import time
+
+        if (k is None) == (tau is None):
+            raise ParameterError("provide exactly one of k or tau")
+        utility = make_global_utility(aggregator)
+        n = ws.length
+
+        # The LCP array is a construction-time aid (the Section-V
+        # oracle); it is built lazily on demand and dropped afterwards
+        # so the final index is SA + PSW + H, as in the paper.
+        suffix_array = SuffixArray(
+            ws.codes, algorithm=sa_algorithm, with_lcp=False  # type: ignore[arg-type]
+        )
+        psw = make_local_utility(local, ws.utilities)
+
+        t0 = time.perf_counter()
+        if miner == "exact":
+            oracle = TopKOracle(suffix_array)
+            if k is None:
+                k = max(1, oracle.tune_by_tau(int(tau)).k)  # type: ignore[arg-type]
+            tuning = oracle.tune_by_k(k)
+            mined = oracle.top_k(k)
+            fingerprinter = KarpRabinFingerprinter(ws.codes, seed=seed)
+            tau_k = tuning.tau
+        elif miner == "approximate":
+            if k is None:
+                # The approximate miner has no tau oracle; derive K from
+                # the exact oracle (cheap relative to mining) so UAT and
+                # UET agree on K for a given tau.
+                oracle = TopKOracle(suffix_array)
+                k = max(1, oracle.tune_by_tau(int(tau)).k)  # type: ignore[arg-type]
+            if s is None:
+                s = max(2, int(round(np.log2(max(n, 2)))))
+            at = ApproximateTopK(ws, k=k, s=s, seed=seed)
+            mined = at.mine()
+            fingerprinter = at.fingerprinter
+            tau_k = min((m.frequency for m in mined), default=0)
+        else:
+            raise ParameterError(f"unknown miner {miner!r}")
+        mining_seconds = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        table, distinct_lengths = cls._build_table(
+            mined, fingerprinter, psw, utility, n
+        )
+        table_seconds = time.perf_counter() - t0
+
+        suffix_array.drop_lcp()
+        if locate_backend == "fm":
+            from repro.succinct.fm_index import FmIndex
+
+            suffix_array = FmIndex(ws.codes)  # type: ignore[assignment]
+        elif locate_backend == "st":
+            # The paper's literal Section-IV layout: ST(S) performs
+            # locate in O(m + occ).
+            from repro.suffix_tree.navigation import SuffixTreeNavigator
+            from repro.suffix_tree.ukkonen import SuffixTree
+
+            suffix_array = SuffixTreeNavigator(  # type: ignore[assignment]
+                SuffixTree.from_codes(ws.codes)
+            )
+        elif locate_backend != "sa":
+            raise ParameterError(f"unknown locate backend {locate_backend!r}")
+        report = UsiBuildReport(
+            miner=miner,
+            k=int(k),
+            tau_k=int(tau_k),
+            distinct_lengths=distinct_lengths,
+            hash_entries=len(table),
+            mining_seconds=mining_seconds,
+            table_seconds=table_seconds,
+        )
+        return cls(ws, suffix_array, fingerprinter, psw, utility, table, report)
+
+    @staticmethod
+    def _build_table(
+        mined: list[MinedSubstring],
+        fingerprinter: KarpRabinFingerprinter,
+        psw: LocalUtility,
+        utility: GlobalUtility,
+        n: int,
+    ) -> tuple[dict[int, float], int]:
+        """Phase (ii): the sliding-window global-utility aggregation.
+
+        For each distinct length ``l`` among the mined substrings,
+        fingerprints every window of length ``l`` (vectorised O(n)),
+        keeps the windows whose fingerprint belongs to a mined
+        substring, and folds their local utilities into the hash
+        table.  This computes **exact** occurrence sets — so even for
+        the approximate miner the stored utilities are the true global
+        utilities of the (approximately chosen) substrings, mirroring
+        the paper's bitvector-guided window pass.
+        """
+        by_length: dict[int, list[MinedSubstring]] = {}
+        for m in mined:
+            by_length.setdefault(m.length, []).append(m)
+
+        table: dict[int, float] = {}
+        for length, group in sorted(by_length.items()):
+            wanted = np.asarray(
+                sorted({fingerprinter.fragment(m.position, m.length) for m in group}),
+                dtype=np.int64,
+            )
+            window_fps = fingerprinter.all_windows(length)
+            mask = np.isin(window_fps, wanted)
+            positions = np.flatnonzero(mask)
+            if positions.size == 0:  # pragma: no cover - mined from text
+                continue
+            hits = window_fps[positions]
+            locals_ = psw.local_utilities(positions, length)
+            unique, inverse = np.unique(hits, return_inverse=True)
+            aggregated = utility.grouped_aggregate(inverse, locals_, len(unique))
+            for key, value in zip(unique.tolist(), aggregated.tolist()):
+                table[int(key)] = float(value)
+        return table, len(by_length)
+
+    # ------------------------------------------------------------------
+    # Query
+    # ------------------------------------------------------------------
+    def _encode(self, pattern: "str | bytes | Sequence[int] | np.ndarray") -> "np.ndarray | None":
+        """Encode a pattern; ``None`` means "cannot occur in S"."""
+        if isinstance(pattern, np.ndarray):
+            if len(pattern) == 0:
+                raise PatternError("query patterns must be non-empty")
+            return pattern.astype(np.int64, copy=False)
+        try:
+            return self._ws.alphabet.encode_pattern(pattern).astype(np.int64)
+        except AlphabetError:
+            return None
+
+    def query(self, pattern: "str | bytes | Sequence[int] | np.ndarray") -> float:
+        """The global utility ``U(pattern)``.
+
+        O(m) for precomputed (top-K frequent) patterns, O(m log n +
+        occ) otherwise; patterns that cannot occur report the
+        aggregator identity (0.0 for all supported aggregators).
+        """
+        codes = self._encode(pattern)
+        if codes is None:
+            return self._utility.identity
+        fingerprint = self._fp.of_codes(codes)
+        cached = self._table.get(fingerprint)
+        if cached is not None:
+            self.hash_hits += 1
+            return cached
+        self.hash_misses += 1
+        occurrences = self._sa.occurrences(codes)
+        if occurrences.size == 0:
+            return self._utility.identity
+        locals_ = self._psw.local_utilities(occurrences, len(codes))
+        return self._utility.aggregate(locals_)
+
+    def query_many(self, patterns: "Sequence") -> list[float]:
+        """Convenience batch query (workload experiments)."""
+        return [self.query(p) for p in patterns]
+
+    def query_batch(self, patterns: "Sequence") -> list[float]:
+        """Batch query with vectorised fingerprinting.
+
+        Groups patterns by length and fingerprints each group with one
+        numpy pass (columns of a pattern matrix), so hash-table hits
+        cost amortised sub-microsecond; only misses fall back to the
+        per-pattern suffix-array path.  Answers are identical to
+        :meth:`query` (order preserved).
+        """
+        encoded: list["np.ndarray | None"] = [self._encode(p) for p in patterns]
+        results: list[float] = [self._utility.identity] * len(patterns)
+
+        by_length: dict[int, list[int]] = {}
+        for slot, codes in enumerate(encoded):
+            if codes is not None:
+                by_length.setdefault(len(codes), []).append(slot)
+
+        for length, slots in by_length.items():
+            matrix = np.vstack([encoded[slot] for slot in slots])
+            keys = self._fp.of_code_matrix(matrix)
+            for slot, key in zip(slots, keys.tolist()):
+                cached = self._table.get(key)
+                if cached is not None:
+                    self.hash_hits += 1
+                    results[slot] = cached
+                else:
+                    self.hash_misses += 1
+                    occurrences = self._sa.occurrences(encoded[slot])
+                    if occurrences.size:
+                        locals_ = self._psw.local_utilities(occurrences, length)
+                        results[slot] = self._utility.aggregate(locals_)
+        return results
+
+    def count(self, pattern: "str | bytes | Sequence[int] | np.ndarray") -> int:
+        """``|occ(pattern)|`` through the text index (always exact)."""
+        codes = self._encode(pattern)
+        if codes is None:
+            return 0
+        return self._sa.count(codes)
+
+    def explain(self, pattern: "str | bytes | Sequence[int] | np.ndarray") -> QueryExplanation:
+        """Describe how *pattern* is answered (diagnostics; no counters).
+
+        Reports the answer path, the exact occurrence count, the
+        utility, and whether the Theorem-1 guarantee held (an uncached
+        pattern must occur at most ``tau_K`` times when the index was
+        mined exactly; the approximate miner may violate it, which is
+        exactly what this flag surfaces).
+        """
+        codes = self._encode(pattern)
+        if codes is None:
+            return QueryExplanation(
+                pattern_length=len(pattern),
+                path="unencodable",
+                occurrences=0,
+                utility=self._utility.identity,
+                within_tau_bound=True,
+            )
+        occurrences = self._sa.count(codes)
+        cached = self._fp.of_codes(codes) in self._table
+        if cached:
+            path = "hash-table"
+        elif occurrences:
+            path = "text-index"
+        else:
+            path = "no-occurrence"
+        within = cached or occurrences <= max(self.report.tau_k, 0) or occurrences == 0
+        # Compute the utility without disturbing the hit/miss counters.
+        hits, misses = self.hash_hits, self.hash_misses
+        value = self.query(codes)
+        self.hash_hits, self.hash_misses = hits, misses
+        return QueryExplanation(
+            pattern_length=len(codes),
+            path=path,  # type: ignore[arg-type]
+            occurrences=int(occurrences),
+            utility=value,
+            within_tau_bound=bool(within),
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def weighted_string(self) -> WeightedString:
+        return self._ws
+
+    @property
+    def suffix_array(self) -> SuffixArray:
+        return self._sa
+
+    @property
+    def utility(self) -> GlobalUtility:
+        return self._utility
+
+    @property
+    def hash_table_size(self) -> int:
+        """Number of precomputed (substring, utility) entries in ``H``."""
+        return len(self._table)
+
+    def top_cached(self, limit: "int | None" = None) -> list[tuple[int, float]]:
+        """The hash table's (fingerprint, utility) pairs, utility-descending.
+
+        Supports case-study-style reporting: the most *useful* among
+        the precomputed frequent substrings.  Fingerprints are opaque
+        keys; pair them with the miner's witness list to materialise
+        the substrings.
+        """
+        ranked = sorted(self._table.items(), key=lambda kv: -kv[1])
+        return ranked[: limit or len(ranked)]
+
+    def is_cached(self, pattern: "str | bytes | Sequence[int] | np.ndarray") -> bool:
+        """Whether *pattern*'s utility is answered from ``H``."""
+        codes = self._encode(pattern)
+        if codes is None:
+            return False
+        return self._fp.of_codes(codes) in self._table
+
+    def nbytes(self) -> int:
+        """Analytic index size: SA(+LCP) + PSW + hash table entries.
+
+        Hash entries are charged 16 bytes of payload (62-bit key +
+        float64 value) plus Python dict slot overhead of ~16 bytes,
+        mirroring the paper's (1+eps)wK-bit hash-table accounting.
+        """
+        return self._sa.nbytes() + self._psw.nbytes() + 32 * len(self._table)

@@ -1,0 +1,25 @@
+"""Synthetic dataset generators and query workloads (Table II scale-downs)."""
+
+from repro.datasets.registry import DATASETS, DatasetSpec, load, table2_rows
+from repro.datasets.synthetic import (
+    make_adv,
+    make_ecoli,
+    make_hum,
+    make_iot,
+    make_xml,
+)
+from repro.datasets.workloads import build_w1, build_w2p
+
+__all__ = [
+    "DATASETS",
+    "DatasetSpec",
+    "build_w1",
+    "build_w2p",
+    "load",
+    "make_adv",
+    "make_ecoli",
+    "make_hum",
+    "make_iot",
+    "make_xml",
+    "table2_rows",
+]

@@ -1,0 +1,107 @@
+"""Named dataset configurations mirroring Table II.
+
+Each entry records the scaled default length, the default top-K count
+(kept at the paper's K/n ratio), the default number of sampling rounds
+``s`` for Approximate-Top-K, and the query-length range its workloads
+use (IOT gets longer queries because its frequent substrings are long;
+ADV gets short ones because the text itself is short — both choices
+are the paper's).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.datasets.synthetic import make_adv, make_ecoli, make_hum, make_iot, make_xml
+from repro.errors import ParameterError
+from repro.strings.weighted import WeightedString
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Scaled reproduction parameters of one Table II dataset."""
+
+    name: str
+    generator: Callable[[int, int], WeightedString]
+    default_n: int
+    paper_n: float
+    paper_sigma: int
+    k_fraction: float  # default K = k_fraction * n (the paper's K/n ratio)
+    default_s: int
+    query_length_range: tuple[int, int]
+    description: str
+
+    def default_k(self, n: "int | None" = None) -> int:
+        return max(1, int((n or self.default_n) * self.k_fraction))
+
+    def make(self, n: "int | None" = None, seed: int = 0) -> WeightedString:
+        return self.generator(n or self.default_n, seed)
+
+
+DATASETS: dict[str, DatasetSpec] = {
+    "ADV": DatasetSpec(
+        name="ADV", generator=make_adv, default_n=20_000,
+        paper_n=2.19e5, paper_sigma=14,
+        k_fraction=6_000 / 218_987, default_s=6,
+        query_length_range=(3, 200),
+        description="advertising categories with CTR utilities",
+    ),
+    "IOT": DatasetSpec(
+        name="IOT", generator=make_iot, default_n=20_000,
+        paper_n=1.9e7, paper_sigma=63,
+        k_fraction=0.18e6 / 1.9e7, default_s=8,
+        query_length_range=(1, 2_000),
+        description="sensor readings with RSSI utilities, long repeats",
+    ),
+    "XML": DatasetSpec(
+        name="XML", generator=make_xml, default_n=24_000,
+        paper_n=2e8, paper_sigma=95,
+        k_fraction=2e6 / 2e8, default_s=6,
+        query_length_range=(1, 500),
+        description="structured XML text, grid utilities",
+    ),
+    "HUM": DatasetSpec(
+        name="HUM", generator=make_hum, default_n=30_000,
+        paper_n=2.9e9, paper_sigma=4,
+        k_fraction=29e6 / 2.9e9, default_s=6,
+        query_length_range=(1, 500),
+        description="human-genome-like DNA, grid utilities",
+    ),
+    "ECOLI": DatasetSpec(
+        name="ECOLI", generator=make_ecoli, default_n=30_000,
+        paper_n=4.6e9, paper_sigma=4,
+        k_fraction=45e6 / 4.6e9, default_s=8,
+        query_length_range=(1, 500),
+        description="E. coli-like DNA with phred confidence utilities",
+    ),
+}
+
+
+def load(name: str, n: "int | None" = None, seed: int = 0) -> WeightedString:
+    """Generate a named dataset at length *n* (default: scaled Table II)."""
+    spec = DATASETS.get(name.upper())
+    if spec is None:
+        raise ParameterError(
+            f"unknown dataset {name!r}; available: {sorted(DATASETS)}"
+        )
+    return spec.make(n, seed)
+
+
+def table2_rows(seed: int = 0) -> list[dict]:
+    """Measured properties of every generated dataset (Table II analogue)."""
+    rows = []
+    for spec in DATASETS.values():
+        ws = spec.make(seed=seed)
+        rows.append(
+            {
+                "dataset": spec.name,
+                "length_n": ws.length,
+                "alphabet_sigma": len(set(ws.codes.tolist())),
+                "default_K": spec.default_k(),
+                "default_s": spec.default_s,
+                "paper_n": spec.paper_n,
+                "paper_sigma": spec.paper_sigma,
+            }
+        )
+    return rows

@@ -1,0 +1,119 @@
+"""Query workloads W1 and W2,p (Section IX-C "Parameters").
+
+W1: 90% of the query patterns are drawn from the top-(n/50) frequent
+substrings of the dataset; the remaining 10% are drawn either from the
+already-selected frequent patterns (creating repeats, which the
+caching baselines like) or uniformly from substrings whose length is
+random in a dataset-specific range.
+
+W2,p: p% of the queries are drawn from the top-(n/100) frequent
+substrings; the rest are constructed as in W1.
+
+Patterns are returned as numpy code arrays, ready for
+``UsiIndex.query`` / the baselines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.topk_oracle import TopKOracle
+from repro.errors import ParameterError
+from repro.strings.weighted import WeightedString
+
+
+def _frequent_pool(
+    ws: WeightedString, oracle: TopKOracle, pool_size: int
+) -> list[np.ndarray]:
+    """Materialise the top-*pool_size* frequent substrings as patterns."""
+    mined = oracle.top_k(max(1, pool_size))
+    codes = ws.codes
+    return [np.asarray(codes[m.position : m.position + m.length], dtype=np.int64)
+            for m in mined]
+
+
+def _random_substring(
+    ws: WeightedString, rng: np.random.Generator, length_range: tuple[int, int]
+) -> np.ndarray:
+    lo, hi = length_range
+    hi = min(hi, ws.length)
+    lo = min(lo, hi)
+    length = int(rng.integers(lo, hi + 1))
+    start = int(rng.integers(0, ws.length - length + 1))
+    return np.asarray(ws.codes[start : start + length], dtype=np.int64)
+
+
+def _w1_tail(
+    ws: WeightedString,
+    rng: np.random.Generator,
+    selected: list[np.ndarray],
+    count: int,
+    length_range: tuple[int, int],
+) -> list[np.ndarray]:
+    """The '10% remainder' rule: repeats of selected, or random substrings."""
+    out: list[np.ndarray] = []
+    for _ in range(count):
+        if selected and rng.random() < 0.5:
+            out.append(selected[int(rng.integers(0, len(selected)))])
+        else:
+            out.append(_random_substring(ws, rng, length_range))
+    return out
+
+
+def build_w1(
+    ws: WeightedString,
+    oracle: TopKOracle,
+    num_queries: int,
+    length_range: tuple[int, int] = (1, 5_000),
+    frequent_fraction: float = 0.9,
+    pool_divisor: int = 50,
+    seed: int = 0,
+) -> list[np.ndarray]:
+    """The W1 workload: 90% frequent patterns, 10% mixed remainder."""
+    if num_queries < 1:
+        raise ParameterError("num_queries must be positive")
+    rng = np.random.default_rng(seed)
+    pool = _frequent_pool(ws, oracle, ws.length // pool_divisor)
+    frequent_count = int(frequent_fraction * num_queries)
+    picks = rng.integers(0, len(pool), size=frequent_count)
+    selected = [pool[int(i)] for i in picks]
+    queries = list(selected)
+    queries.extend(
+        _w1_tail(ws, rng, selected, num_queries - frequent_count, length_range)
+    )
+    rng.shuffle(queries)  # type: ignore[arg-type]
+    return queries
+
+
+def build_w2p(
+    ws: WeightedString,
+    oracle: TopKOracle,
+    num_queries: int,
+    p: int,
+    length_range: tuple[int, int] = (1, 5_000),
+    pool_divisor: int = 100,
+    seed: int = 0,
+) -> list[np.ndarray]:
+    """The W2,p workload: p% from the top-(n/100) frequent substrings."""
+    if not 0 <= p <= 100:
+        raise ParameterError("p must be a percentage in [0, 100]")
+    if num_queries < 1:
+        raise ParameterError("num_queries must be positive")
+    rng = np.random.default_rng(seed)
+    pool = _frequent_pool(ws, oracle, ws.length // pool_divisor)
+    frequent_count = int(p / 100 * num_queries)
+    picks = rng.integers(0, len(pool), size=frequent_count)
+    selected = [pool[int(i)] for i in picks]
+    queries = list(selected)
+
+    # Remaining queries follow the W1 construction.
+    remaining = num_queries - frequent_count
+    w1_frequent = int(0.9 * remaining)
+    picks = rng.integers(0, len(pool), size=w1_frequent)
+    w1_selected = [pool[int(i)] for i in picks]
+    queries.extend(w1_selected)
+    queries.extend(
+        _w1_tail(ws, rng, w1_selected, remaining - w1_frequent, length_range)
+    )
+    rng.shuffle(queries)  # type: ignore[arg-type]
+    return queries

@@ -1,0 +1,36 @@
+"""Exception hierarchy for the USI reproduction library.
+
+Every error raised deliberately by this package derives from
+:class:`ReproError`, so callers can catch library failures without
+swallowing unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class AlphabetError(ReproError):
+    """A letter is outside the alphabet, or an alphabet is malformed."""
+
+
+class WeightedStringError(ReproError):
+    """The text and its utility array disagree (length, dtype, values)."""
+
+
+class PatternError(ReproError):
+    """A query pattern is empty, too long, or cannot be encoded."""
+
+
+class ParameterError(ReproError):
+    """A construction parameter (K, tau, s, ...) is out of range."""
+
+
+class ConstructionError(ReproError):
+    """An index could not be constructed from the given inputs."""
+
+
+class NotBuiltError(ReproError):
+    """An operation requires a structure that has not been built yet."""

@@ -1,0 +1,15 @@
+"""Evaluation: mining quality metrics, runners, and report tables."""
+
+from repro.eval.harness import MinerRun, measure_call, run_miner
+from repro.eval.metrics import MinerScores, evaluate_miner, ndcg
+from repro.eval.reporting import format_table
+
+__all__ = [
+    "MinerRun",
+    "MinerScores",
+    "evaluate_miner",
+    "format_table",
+    "measure_call",
+    "ndcg",
+    "run_miner",
+]

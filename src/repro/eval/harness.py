@@ -1,0 +1,57 @@
+"""Experiment runner utilities: timing and peak-memory measurement.
+
+The paper measures query/construction time with ``chrono`` and peak
+construction space with ``/usr/bin/time -v``; the Python equivalents
+are ``time.perf_counter`` and ``tracemalloc`` (Python-heap peak),
+complemented by each structure's analytic ``nbytes()`` accounting.
+"""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+from dataclasses import dataclass
+from typing import Any, Callable
+
+
+@dataclass
+class MinerRun:
+    """One measured miner execution."""
+
+    name: str
+    results: Any
+    seconds: float
+    peak_bytes: int
+
+
+def measure_call(fn: Callable[[], Any], trace_memory: bool = True) -> tuple[Any, float, int]:
+    """Run *fn*, returning (result, wall seconds, peak traced bytes)."""
+    if trace_memory:
+        tracemalloc.start()
+    start = time.perf_counter()
+    try:
+        result = fn()
+    finally:
+        seconds = time.perf_counter() - start
+        if trace_memory:
+            _, peak = tracemalloc.get_traced_memory()
+            tracemalloc.stop()
+        else:
+            peak = 0
+    return result, seconds, peak
+
+
+def run_miner(name: str, mine: Callable[[], Any], trace_memory: bool = True) -> MinerRun:
+    """Measure one miner run and label it for reports."""
+    results, seconds, peak = measure_call(mine, trace_memory)
+    return MinerRun(name=name, results=results, seconds=seconds, peak_bytes=peak)
+
+
+def average_query_seconds(query: Callable[[Any], Any], patterns: list) -> float:
+    """Mean wall-clock seconds per query over a workload."""
+    if not patterns:
+        return 0.0
+    start = time.perf_counter()
+    for pattern in patterns:
+        query(pattern)
+    return (time.perf_counter() - start) / len(patterns)

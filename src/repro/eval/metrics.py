@@ -1,0 +1,121 @@
+"""Mining-quality measures: Accuracy, Relative Error, NDCG (Section IX-B).
+
+All three compare an estimated top-K list against the exact one:
+
+* **Accuracy** — the percentage of reported substrings that belong to
+  the true top-K *and* whose reported frequency equals their true
+  frequency.  Membership is judged threshold-robustly: a substring is
+  "in the true top-K" when its true frequency is at least ``tau_K``
+  (the smallest true top-K frequency), so an estimator is never
+  penalised for resolving frequency *ties* differently from the exact
+  algorithm.
+* **Relative Error** — the paper's definition: the gap between the
+  total true frequency of the exact top-K and the total true frequency
+  of the reported substrings, normalised by the former.
+* **NDCG** — discounted cumulative gain of the reported list using the
+  substrings' true frequencies as gains, against the ideal ranking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.topk_oracle import TopKOracle
+from repro.core.types import MinedSubstring
+from repro.errors import ParameterError
+from repro.suffix.suffix_array import SuffixArray
+
+
+@dataclass(frozen=True)
+class MinerScores:
+    """Quality of one estimated top-K list."""
+
+    accuracy_percent: float
+    relative_error: float
+    ndcg: float
+    k: int
+
+
+def _dedupe(results: list[MinedSubstring], text: np.ndarray) -> list[MinedSubstring]:
+    """Drop content-duplicate reports (keep the first occurrence)."""
+    seen: set[tuple] = set()
+    unique: list[MinedSubstring] = []
+    for r in results:
+        key = r.key(text)
+        if key not in seen:
+            seen.add(key)
+            unique.append(r)
+    return unique
+
+
+def ndcg(gains: "list[float] | np.ndarray", ideal: "list[float] | np.ndarray") -> float:
+    """Normalised DCG with linear gains and log2 position discounts."""
+    gains = np.asarray(gains, dtype=np.float64)
+    ideal = np.sort(np.asarray(ideal, dtype=np.float64))[::-1]
+    k = len(ideal)
+    if k == 0:
+        return 1.0
+    padded = np.zeros(k)
+    padded[: min(k, len(gains))] = gains[:k]
+    discounts = 1.0 / np.log2(np.arange(2, k + 2))
+    idcg = float((ideal * discounts).sum())
+    if idcg == 0:
+        return 1.0
+    return float((padded * discounts).sum()) / idcg
+
+
+def evaluate_miner(
+    results: list[MinedSubstring],
+    index: SuffixArray,
+    k: int,
+    oracle: "TopKOracle | None" = None,
+) -> MinerScores:
+    """Score an estimated top-K list against the exact one.
+
+    Parameters
+    ----------
+    results:
+        The miner's output (witness tuples).
+    index:
+        A suffix array of the text — used both for the exact top-K
+        (through the Section-V oracle) and for true frequency lookups
+        of the reported substrings.
+    k:
+        The K both lists target.
+    oracle:
+        Optionally a prebuilt oracle over *index* (saves rebuilding in
+        sweeps).
+    """
+    if k < 1:
+        raise ParameterError("k must be positive")
+    oracle = oracle or TopKOracle(index)
+    truth = oracle.top_k(k)
+    true_freqs = np.asarray([t.frequency for t in truth], dtype=np.float64)
+    tau = int(true_freqs[-1]) if len(true_freqs) else 0
+
+    text = index.codes
+    unique = _dedupe(results, text)[:k]
+    reported_true = np.asarray(
+        [index.count(r.codes(text)) for r in unique], dtype=np.float64
+    )
+
+    correct = sum(
+        1
+        for r, f_true in zip(unique, reported_true)
+        if f_true >= tau and r.frequency == int(f_true)
+    )
+    accuracy = 100.0 * correct / k
+
+    total_true = float(true_freqs.sum())
+    relative_error = (
+        (total_true - float(reported_true.sum())) / total_true if total_true else 0.0
+    )
+
+    return MinerScores(
+        accuracy_percent=accuracy,
+        relative_error=max(0.0, relative_error),
+        ndcg=ndcg(reported_true, true_freqs),
+        k=k,
+    )

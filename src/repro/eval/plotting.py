@@ -1,0 +1,79 @@
+"""ASCII line charts for benchmark figures.
+
+The paper's figures are line plots (accuracy vs K, query time vs p,
+...).  The benchmark harness renders the same series as monospace
+charts so a full run leaves figure-shaped artefacts in ``results/``
+without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.errors import ParameterError
+
+_MARKERS = "ox+*#@%&"
+
+
+def ascii_chart(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    width: int = 60,
+    height: int = 16,
+    title: "str | None" = None,
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Render named (x, y) series as a monospace chart.
+
+    Each series gets a marker; later series overwrite earlier ones on
+    collisions.  Axes are linear and annotated with min/max.
+    """
+    if not series:
+        raise ParameterError("at least one series is required")
+    if width < 8 or height < 4:
+        raise ParameterError("chart too small to draw")
+    points = [p for pts in series.values() for p in pts]
+    if not points:
+        raise ParameterError("series contain no points")
+
+    xs = [float(p[0]) for p in points]
+    ys = [float(p[1]) for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, pts) in enumerate(series.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        for x, y in pts:
+            col = int(round((float(x) - x_lo) / x_span * (width - 1)))
+            row = int(round((float(y) - y_lo) / y_span * (height - 1)))
+            grid[height - 1 - row][col] = marker
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    top_label = f"{y_hi:g}"
+    bottom_label = f"{y_lo:g}"
+    margin = max(len(top_label), len(bottom_label), len(y_label)) + 1
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            prefix = top_label.rjust(margin)
+        elif row_index == height - 1:
+            prefix = bottom_label.rjust(margin)
+        elif row_index == height // 2 and y_label:
+            prefix = y_label.rjust(margin)
+        else:
+            prefix = " " * margin
+        lines.append(f"{prefix}|{''.join(row)}")
+    lines.append(" " * margin + "+" + "-" * width)
+    x_axis = f"{x_lo:g}".ljust(width - len(f"{x_hi:g}")) + f"{x_hi:g}"
+    lines.append(" " * (margin + 1) + x_axis)
+    if x_label:
+        lines.append(" " * (margin + 1) + x_label.center(width))
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]}={name}" for i, name in enumerate(series)
+    )
+    lines.append(" " * (margin + 1) + legend)
+    return "\n".join(lines)

@@ -1,0 +1,5 @@
+"""Karp-Rabin rolling-hash fingerprints."""
+
+from repro.hashing.karp_rabin import KarpRabinFingerprinter, fingerprint_of
+
+__all__ = ["KarpRabinFingerprinter", "fingerprint_of"]

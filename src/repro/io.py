@@ -1,0 +1,112 @@
+"""Index persistence: save/load a USI index without pickle.
+
+The on-disk format is a single ``.npz`` archive holding the text, the
+utilities, the alphabet, the suffix array, the hash-table contents and
+the fingerprint bases, plus a small JSON header with names and a
+format version.  Loading never executes arbitrary code (unlike
+pickle), and the format is inspectable with plain numpy.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.usi import UsiBuildReport, UsiIndex
+from repro.errors import ParameterError
+from repro.hashing.karp_rabin import KarpRabinFingerprinter
+from repro.strings.alphabet import Alphabet
+from repro.strings.weighted import WeightedString
+from repro.suffix.suffix_array import SuffixArray
+from repro.utility.functions import make_global_utility, make_local_utility
+
+FORMAT_VERSION = 1
+
+
+def save_index(index: UsiIndex, path: "str | Path") -> None:
+    """Persist a :class:`UsiIndex` to *path* (a ``.npz`` file).
+
+    Only suffix-array-backed indexes are persisted (the FM backend is
+    rebuilt cheaply from the text on load if desired).
+    """
+    sa = index.suffix_array
+    if not isinstance(sa, SuffixArray):
+        raise ParameterError(
+            "only suffix-array-backed indexes can be saved; "
+            "rebuild with locate_backend='sa'"
+        )
+    ws = index.weighted_string
+    letters = ws.alphabet.letters
+    letters_kind = "str" if letters and isinstance(letters[0], str) else "int"
+    keys = np.fromiter(index._table.keys(), dtype=np.int64, count=len(index._table))
+    values = np.fromiter(index._table.values(), dtype=np.float64, count=len(index._table))
+    header = {
+        "format_version": FORMAT_VERSION,
+        "aggregator": index.utility.name,
+        "local": getattr(index._psw, "local_name", "sum"),
+        "letters_kind": letters_kind,
+        "letters": [str(letter) for letter in letters],
+        "bases": list(index._fp.bases),
+        "report": {
+            "miner": index.report.miner,
+            "k": index.report.k,
+            "tau_k": index.report.tau_k,
+            "distinct_lengths": index.report.distinct_lengths,
+            "hash_entries": index.report.hash_entries,
+        },
+    }
+    np.savez_compressed(
+        Path(path),
+        header=np.frombuffer(json.dumps(header).encode(), dtype=np.uint8),
+        codes=ws.codes,
+        utilities=ws.utilities,
+        sa=sa.sa,
+        table_keys=keys,
+        table_values=values,
+    )
+
+
+def load_index(path: "str | Path") -> UsiIndex:
+    """Load a :class:`UsiIndex` previously written by :func:`save_index`."""
+    with np.load(Path(path)) as archive:
+        header = json.loads(bytes(archive["header"].tobytes()).decode())
+        if header.get("format_version") != FORMAT_VERSION:
+            raise ParameterError(
+                f"unsupported index format version {header.get('format_version')}"
+            )
+        codes = archive["codes"]
+        utilities = archive["utilities"]
+        sa_array = archive["sa"]
+        keys = archive["table_keys"]
+        values = archive["table_values"]
+
+    if header["letters_kind"] == "int":
+        letters = [int(letter) for letter in header["letters"]]
+    else:
+        letters = list(header["letters"])
+    alphabet = Alphabet(letters)
+    ws = WeightedString(codes, utilities, alphabet)
+
+    # Rebuild the suffix-array object around the persisted array; the
+    # LCP is not needed for queries.
+    index = SuffixArray.__new__(SuffixArray)
+    index._codes = codes.astype(np.int64)
+    index._sa = sa_array.astype(np.int64)
+    index._lcp = None
+
+    fingerprinter = KarpRabinFingerprinter.with_bases(
+        ws.codes, *header["bases"]
+    )
+    psw = make_local_utility(header["local"], ws.utilities)
+    utility = make_global_utility(header["aggregator"])
+    table = dict(zip(keys.tolist(), values.tolist()))
+    report = UsiBuildReport(
+        miner=header["report"]["miner"],
+        k=header["report"]["k"],
+        tau_k=header["report"]["tau_k"],
+        distinct_lengths=header["report"]["distinct_lengths"],
+        hash_entries=header["report"]["hash_entries"],
+    )
+    return UsiIndex(ws, index, fingerprinter, psw, utility, table, report)

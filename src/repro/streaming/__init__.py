@@ -1,0 +1,23 @@
+"""Streaming frequent-item structures and their substring adaptations.
+
+Section VII of the paper argues that space-efficient top-K *item*
+mining strategies (count-min sketches, Misra-Gries/Space-Saving,
+HeavyKeeper) do not translate smoothly to *substrings*.  This package
+implements the item-level building blocks and the two substring
+adaptations the paper evaluates as competitors: SubstringHK and
+Top-K-Trie.
+"""
+
+from repro.streaming.count_min import CountMinSketch
+from repro.streaming.heavy_keeper import HeavyKeeper
+from repro.streaming.space_saving import SpaceSaving
+from repro.streaming.substring_hk import SubstringHK
+from repro.streaming.topk_trie import TopKTrie
+
+__all__ = [
+    "CountMinSketch",
+    "HeavyKeeper",
+    "SpaceSaving",
+    "SubstringHK",
+    "TopKTrie",
+]

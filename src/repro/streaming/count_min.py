@@ -1,0 +1,75 @@
+"""Count-min sketch (Cormode & Muthukrishnan).
+
+Used by the BSL4 baseline (query-frequency estimation) and as the
+sketch component style of HeavyKeeper.  Estimates are one-sided:
+``estimate(x) >= true_count(x)`` always.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+
+from repro.errors import ParameterError
+
+_PRIME = (1 << 61) - 1
+
+
+class CountMinSketch:
+    """A depth x width counter matrix with pairwise-independent hashing.
+
+    Parameters
+    ----------
+    width:
+        Counters per row; error scales as ``total_count / width``.
+    depth:
+        Number of rows; failure probability scales as ``2^-depth``.
+    seed:
+        Seed for the row hash functions.
+    """
+
+    def __init__(self, width: int = 1024, depth: int = 4, seed: int = 0) -> None:
+        if width < 1 or depth < 1:
+            raise ParameterError("width and depth must be positive")
+        rng = random.Random(seed)
+        self._width = width
+        self._depth = depth
+        self._a = [rng.randrange(1, _PRIME) for _ in range(depth)]
+        self._b = [rng.randrange(0, _PRIME) for _ in range(depth)]
+        self._table = np.zeros((depth, width), dtype=np.int64)
+
+    @property
+    def width(self) -> int:
+        return self._width
+
+    @property
+    def depth(self) -> int:
+        return self._depth
+
+    def _buckets(self, key: int) -> list[int]:
+        return [
+            ((a * key + b) % _PRIME) % self._width
+            for a, b in zip(self._a, self._b)
+        ]
+
+    def add(self, key: int, amount: int = 1) -> None:
+        """Count *amount* occurrences of *key* (a non-negative int)."""
+        for row, bucket in enumerate(self._buckets(int(key))):
+            self._table[row, bucket] += amount
+
+    def estimate(self, key: int) -> int:
+        """An upper bound on the true count of *key*."""
+        return int(
+            min(
+                self._table[row, bucket]
+                for row, bucket in enumerate(self._buckets(int(key)))
+            )
+        )
+
+    def reset(self) -> None:
+        """Zero all counters (hash functions are kept)."""
+        self._table.fill(0)
+
+    def nbytes(self) -> int:
+        return int(self._table.nbytes)

@@ -1,0 +1,165 @@
+"""HeavyKeeper (Yang et al., 2019): count-with-exponential-decay.
+
+The state-of-the-art top-K *item* finder that SubstringHK adapts to
+substrings.  Each sketch bucket stores a (fingerprint, count) pair;
+a colliding item decays the bucket's count with probability
+``decay^-count`` and captures the bucket when the count reaches zero.
+Hot items are therefore protected by their high counts while cold
+items fight over buckets — "count-with-exponential-weakening-decay".
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+
+import numpy as np
+
+from repro.errors import ParameterError
+
+_PRIME = (1 << 61) - 1
+
+
+class HeavyKeeper:
+    """HeavyKeeper sketch + a top-K min-heap summary.
+
+    Parameters
+    ----------
+    k:
+        Summary capacity (how many hot keys to track).
+    width, depth:
+        Sketch dimensions.
+    decay:
+        The decay base ``b > 1``; the paper's recommended 1.08.
+    """
+
+    def __init__(
+        self,
+        k: int,
+        width: int = 2048,
+        depth: int = 2,
+        decay: float = 1.08,
+        seed: int = 0,
+    ) -> None:
+        if k < 1:
+            raise ParameterError("k must be a positive integer")
+        if decay <= 1.0:
+            raise ParameterError("decay base must exceed 1")
+        self._k = k
+        self._width = width
+        self._depth = depth
+        self._decay = decay
+        self._rng = random.Random(seed)
+        rng = random.Random(seed + 1)
+        self._a = [rng.randrange(1, _PRIME) for _ in range(depth)]
+        self._b = [rng.randrange(0, _PRIME) for _ in range(depth)]
+        self._bucket_fp = np.full((depth, width), -1, dtype=np.int64)
+        self._bucket_count = np.zeros((depth, width), dtype=np.int64)
+        self._summary: dict[int, int] = {}  # key -> estimated count
+        self._heap: list[tuple[int, int]] = []  # lazy (count, key)
+        # Stale heap entries are compacted past this size so the
+        # structure stays O(K) regardless of stream length.
+        self._heap_limit = max(64, 8 * k)
+
+    @property
+    def capacity(self) -> int:
+        return self._k
+
+    def __len__(self) -> int:
+        return len(self._summary)
+
+    # ------------------------------------------------------------------
+    # Sketch
+    # ------------------------------------------------------------------
+    def _sketch_add(self, key: int) -> int:
+        """One HeavyKeeper insertion; returns the new estimate."""
+        best = 0
+        for row in range(self._depth):
+            bucket = ((self._a[row] * key + self._b[row]) % _PRIME) % self._width
+            fp = self._bucket_fp[row, bucket]
+            count = int(self._bucket_count[row, bucket])
+            if fp == key:
+                count += 1
+                self._bucket_count[row, bucket] = count
+            elif count == 0:
+                self._bucket_fp[row, bucket] = key
+                self._bucket_count[row, bucket] = 1
+                count = 1
+            else:
+                if self._rng.random() < self._decay ** (-count):
+                    count -= 1
+                    if count == 0:
+                        self._bucket_fp[row, bucket] = key
+                        self._bucket_count[row, bucket] = 1
+                        count = 1
+                    else:
+                        self._bucket_count[row, bucket] = count
+                        count = 0
+                else:
+                    count = 0
+            best = max(best, count)
+        return best
+
+    def estimate(self, key: int) -> int:
+        """The sketch's current estimate for *key* (0 if untracked)."""
+        best = 0
+        for row in range(self._depth):
+            bucket = ((self._a[row] * key + self._b[row]) % _PRIME) % self._width
+            if self._bucket_fp[row, bucket] == key:
+                best = max(best, int(self._bucket_count[row, bucket]))
+        return best
+
+    # ------------------------------------------------------------------
+    # Summary
+    # ------------------------------------------------------------------
+    def _compact_heap(self) -> None:
+        """Drop stale heap entries (evicted keys, outdated counts)."""
+        if len(self._heap) <= self._heap_limit:
+            return
+        self._heap = [(count, key) for key, count in self._summary.items()]
+        heapq.heapify(self._heap)
+
+    def _summary_min(self) -> int:
+        """Count of the weakest summary member (0 when not full)."""
+        if len(self._summary) < self._k:
+            return 0
+        while self._heap:
+            count, key = self._heap[0]
+            if self._summary.get(key) == count:
+                return count
+            heapq.heappop(self._heap)
+        return 0
+
+    def offer(self, key: int) -> bool:
+        """Process one stream item; returns True if it is in the summary."""
+        key = int(key)
+        self._compact_heap()
+        estimate = self._sketch_add(key)
+        if key in self._summary:
+            if estimate > self._summary[key]:
+                self._summary[key] = estimate
+                heapq.heappush(self._heap, (estimate, key))
+            return True
+        if len(self._summary) < self._k:
+            self._summary[key] = max(estimate, 1)
+            heapq.heappush(self._heap, (self._summary[key], key))
+            return True
+        weakest = self._summary_min()
+        if estimate > weakest:
+            _, evicted = heapq.heappop(self._heap)
+            self._summary.pop(evicted, None)
+            self._summary[key] = estimate
+            heapq.heappush(self._heap, (estimate, key))
+            return True
+        return False
+
+    def contains(self, key: int) -> bool:
+        return int(key) in self._summary
+
+    def top(self, k: "int | None" = None) -> list[tuple[int, int]]:
+        """Summary keys by estimated count descending."""
+        ranked = sorted(self._summary.items(), key=lambda kv: -kv[1])
+        return ranked[: k or self._k]
+
+    def nbytes(self) -> int:
+        return int(self._bucket_fp.nbytes + self._bucket_count.nbytes) + 32 * len(self._summary)

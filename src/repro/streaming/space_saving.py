@@ -1,0 +1,69 @@
+"""Space-Saving / Misra-Gries frequent-item summary (Metwally et al.).
+
+Maintains at most *k* counters.  A new item arriving when the summary
+is full replaces the minimum-count item and inherits its count plus
+one, guaranteeing ``estimate(x) in [true(x), true(x) + N/k]`` — the
+classic (over-estimating) item-stream guarantee that Section VII shows
+breaks down when items become substrings.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Hashable, Iterable
+
+from repro.errors import ParameterError
+
+
+class SpaceSaving:
+    """The Space-Saving summary over a stream of hashable items."""
+
+    def __init__(self, k: int) -> None:
+        if k < 1:
+            raise ParameterError("k must be a positive integer")
+        self._k = k
+        self._counts: dict[Hashable, int] = {}
+        # Lazy min-heap of (count, item); stale entries are skipped.
+        self._heap: list[tuple[int, Hashable]] = []
+
+    @property
+    def capacity(self) -> int:
+        return self._k
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def offer(self, item: Hashable) -> None:
+        """Process one stream item."""
+        count = self._counts.get(item)
+        if count is not None:
+            self._counts[item] = count + 1
+            heapq.heappush(self._heap, (count + 1, item))
+            return
+        if len(self._counts) < self._k:
+            self._counts[item] = 1
+            heapq.heappush(self._heap, (1, item))
+            return
+        # Evict the current minimum; the newcomer inherits its count + 1.
+        while self._heap:
+            min_count, min_item = self._heap[0]
+            if self._counts.get(min_item) == min_count:
+                break
+            heapq.heappop(self._heap)  # stale
+        min_count, min_item = heapq.heappop(self._heap)
+        del self._counts[min_item]
+        self._counts[item] = min_count + 1
+        heapq.heappush(self._heap, (min_count + 1, item))
+
+    def offer_all(self, items: Iterable[Hashable]) -> None:
+        for item in items:
+            self.offer(item)
+
+    def estimate(self, item: Hashable) -> int:
+        """Estimated count (0 when the item is not tracked)."""
+        return self._counts.get(item, 0)
+
+    def top(self, k: "int | None" = None) -> list[tuple[Hashable, int]]:
+        """The tracked items by estimated count descending."""
+        ranked = sorted(self._counts.items(), key=lambda kv: -kv[1])
+        return ranked[: k or self._k]

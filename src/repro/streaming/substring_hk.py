@@ -1,0 +1,138 @@
+"""SubstringHK: HeavyKeeper adapted to substrings (Section VII).
+
+The adaptation rule from the paper: for every text position ``i``, try
+to insert ``S[i]`` into the summary, and then try to insert
+``S[i .. i + l]`` only if ``S[i .. i + l - 1]`` made it into the
+summary; the extension to the next letter of a current length-``l``
+substring additionally fires with probability ``1 / c^l`` for a
+constant ``c > 1``, keeping the expected work per letter constant.
+
+Substrings are hashed with Karp-Rabin fingerprints extended *rolling*,
+one letter at a time, in O(1) per substring and O(1) auxiliary space —
+the whole algorithm's auxiliary footprint is O(K) (sketch + summary),
+independent of the text length, exactly the regime the paper places it
+in.  It is implemented faithfully so that its *failure mode* — missing
+long frequent substrings, because reaching length ``l`` requires
+~``c^(-l^2/2)`` luck — reproduces the paper's negative result
+(Figs 3-4) and its counterexample on ``(AB)^(n/2)``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.types import MinedSubstring
+from repro.errors import ParameterError
+from repro.strings.alphabet import as_code_array
+from repro.strings.weighted import WeightedString
+from repro.streaming.heavy_keeper import HeavyKeeper
+
+_MOD1 = (1 << 31) - 1
+_MOD2 = (1 << 31) - 99
+
+#: How many summary insertions between witness-table prunes.
+_PRUNE_INTERVAL = 4096
+
+
+class SubstringHK:
+    """The SH competitor: one pass, O(K) summary + sketch space.
+
+    Parameters
+    ----------
+    text:
+        The text to mine.
+    k:
+        Summary capacity / how many substrings to report.
+    extension_base:
+        The constant ``c > 1`` of the probabilistic extension rule.
+    width, depth, decay:
+        HeavyKeeper sketch parameters.
+    """
+
+    def __init__(
+        self,
+        text: "str | Sequence[int] | np.ndarray | WeightedString",
+        k: int,
+        extension_base: float = 1.01,
+        width: "int | None" = None,
+        depth: int = 2,
+        decay: float = 1.08,
+        seed: int = 0,
+    ) -> None:
+        if isinstance(text, WeightedString):
+            codes = text.codes
+        else:
+            codes, _ = as_code_array(text)
+        # A reference, not a copy: SH's own space must stay O(K).
+        self._codes = codes
+        if k < 1:
+            raise ParameterError("k must be a positive integer")
+        if extension_base <= 1.0:
+            raise ParameterError("extension base c must exceed 1")
+        self._k = k
+        self._c = extension_base
+        rng = random.Random(seed)
+        self._base1 = rng.randrange(1 << 20, _MOD1 - 1)
+        self._base2 = rng.randrange(1 << 20, _MOD2 - 1)
+        self._rng = random.Random(seed + 7)
+        sketch_width = width if width is not None else max(1024, 4 * k)
+        self._hk = HeavyKeeper(
+            k=k, width=sketch_width, depth=depth, decay=decay, seed=seed
+        )
+        self._witness: dict[int, tuple[int, int]] = {}
+        self._inserts_since_prune = 0
+        self.hashed_substrings = 0  # the paper's work measure ``z``
+
+    def _prune_witnesses(self) -> None:
+        """Keep the witness table at O(K): drop evicted-summary keys."""
+        self._witness = {
+            key: value
+            for key, value in self._witness.items()
+            if self._hk.contains(key)
+        }
+
+    def mine(self) -> list[MinedSubstring]:
+        """One pass over the text; returns the estimated top-K."""
+        codes = self._codes
+        n = len(codes)
+        base1, base2 = self._base1, self._base2
+        for i in range(n):
+            f1 = 0
+            f2 = 0
+            length = 0
+            while i + length < n:
+                c = int(codes[i + length]) + 1
+                f1 = (f1 * base1 + c) % _MOD1
+                f2 = (f2 * base2 + c) % _MOD2
+                length += 1
+                key = (f1 << 31) | f2
+                self.hashed_substrings += 1
+                in_summary = self._hk.offer(key)
+                if in_summary and key not in self._witness:
+                    self._witness[key] = (i, length)
+                    self._inserts_since_prune += 1
+                    if self._inserts_since_prune >= _PRUNE_INTERVAL:
+                        self._prune_witnesses()
+                        self._inserts_since_prune = 0
+                if not in_summary:
+                    break
+                # Probabilistic extension: expected O(1) work per letter.
+                if self._rng.random() >= self._c ** (-length):
+                    break
+        out: list[MinedSubstring] = []
+        for key, estimate in self._hk.top(self._k):
+            witness = self._witness.get(key)
+            if witness is None:  # pragma: no cover - defensive
+                continue
+            position, length = witness
+            out.append(
+                MinedSubstring(position=position, length=length, frequency=estimate)
+            )
+        return out
+
+    def nbytes(self) -> int:
+        """Sketch + summary space (O(K); independent of n)."""
+        return self._hk.nbytes() + 48 * len(self._witness)

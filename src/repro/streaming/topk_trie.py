@@ -1,0 +1,193 @@
+"""Top-K-Trie: a Misra-Gries-style trie (Dinklage et al., SEA 2024).
+
+Maintains a trie of at most K nodes (excluding the root), each node
+representing the substring spelled by its root path and carrying a
+Space-Saving-style counter.  Processing position ``i`` walks the trie
+along ``S[i ..]``, incrementing counters, and then tries to grow the
+deepest matched node by one letter: if the node budget is exhausted, a
+minimum-count *leaf* is evicted and the newcomer inherits its count
+plus one (the Misra-Gries/Space-Saving step — evicting leaves keeps
+the trie prefix-closed).
+
+The structural weakness the paper proves (Section VII): every length-l
+substring needs an l-node chain to survive the whole pass, so long
+frequent substrings get repeatedly truncated by evictions — the
+algorithm "can fail to report half of the output" already on
+``(AB)^(n/2)``.  Counters may *overestimate* (unlike Approximate-
+Top-K's one-sided error), which tests assert explicitly.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.types import MinedSubstring
+from repro.errors import ParameterError
+from repro.strings.alphabet import as_code_array
+from repro.strings.weighted import WeightedString
+
+_ROOT = 0
+
+
+class TopKTrie:
+    """The TT competitor: O(K) nodes, one pass, O(n + K) reporting."""
+
+    def __init__(
+        self,
+        text: "str | Sequence[int] | np.ndarray | WeightedString",
+        k: int,
+    ) -> None:
+        if isinstance(text, WeightedString):
+            codes = text.codes
+        else:
+            codes, _ = as_code_array(text)
+        # Kept as a reference to the caller's array: the trie's own
+        # auxiliary space must stay O(K), not O(n).
+        self._codes = codes
+        if k < 1:
+            raise ParameterError("k must be a positive integer")
+        self._k = k
+        # Node arrays; index 0 is the root.
+        self._parent: list[int] = [-1]
+        self._letter: list[int] = [-1]
+        self._count: list[int] = [0]
+        self._depth: list[int] = [0]
+        self._witness: list[int] = [-1]
+        self._children: list[dict[int, int]] = [{}]
+        self._alive: list[bool] = [True]
+        self._free: list[int] = []
+        self._node_budget_used = 0
+        # Lazy min-heap of (count, node) for leaf eviction; compacted
+        # past the limit so the trie's space stays O(K) on any stream.
+        self._heap: list[tuple[int, int]] = []
+        self._heap_limit = max(64, 8 * k)
+
+    # ------------------------------------------------------------------
+    # Node management
+    # ------------------------------------------------------------------
+    def _new_node(self, parent: int, letter: int, count: int, witness: int) -> int:
+        if self._free:
+            node = self._free.pop()
+            self._parent[node] = parent
+            self._letter[node] = letter
+            self._count[node] = count
+            self._depth[node] = self._depth[parent] + 1
+            self._witness[node] = witness
+            self._children[node] = {}
+            self._alive[node] = True
+        else:
+            node = len(self._parent)
+            self._parent.append(parent)
+            self._letter.append(letter)
+            self._count.append(count)
+            self._depth.append(self._depth[parent] + 1)
+            self._witness.append(witness)
+            self._children.append({})
+            self._alive.append(True)
+        self._children[parent][letter] = node
+        self._node_budget_used += 1
+        heapq.heappush(self._heap, (count, node))
+        return node
+
+    def _compact_heap(self) -> None:
+        """Rebuild the heap from the live leaves when it grows stale."""
+        if len(self._heap) <= self._heap_limit:
+            return
+        self._heap = [
+            (self._count[node], node)
+            for node in range(1, len(self._parent))
+            if self._alive[node] and not self._children[node]
+        ]
+        heapq.heapify(self._heap)
+
+    def _evict_min_leaf(self, protected: int) -> "int | None":
+        """Remove the minimum-count leaf (not *protected*); its count."""
+        pending: list[tuple[int, int]] = []
+        evicted_count: "int | None" = None
+        while self._heap:
+            count, node = heapq.heappop(self._heap)
+            stale = (
+                not self._alive[node]
+                or self._count[node] != count
+                or self._children[node]
+            )
+            if stale:
+                if self._alive[node] and not self._children[node]:
+                    heapq.heappush(self._heap, (self._count[node], node))
+                continue
+            if node == protected:
+                pending.append((count, node))
+                continue
+            parent = self._parent[node]
+            del self._children[parent][self._letter[node]]
+            self._alive[node] = False
+            self._free.append(node)
+            self._node_budget_used -= 1
+            evicted_count = count
+            if parent != _ROOT and not self._children[parent]:
+                # The parent just became a leaf: make it evictable again.
+                heapq.heappush(self._heap, (self._count[parent], parent))
+            break
+        for entry in pending:
+            heapq.heappush(self._heap, entry)
+        return evicted_count
+
+    # ------------------------------------------------------------------
+    # Mining
+    # ------------------------------------------------------------------
+    def mine(self) -> list[MinedSubstring]:
+        """Process every suffix start and report the top-K nodes."""
+        codes = self._codes
+        n = len(codes)
+        for i in range(n):
+            self._compact_heap()
+            node = _ROOT
+            depth = 0
+            while i + depth < n:
+                child = self._children[node].get(int(codes[i + depth]))
+                if child is None:
+                    break
+                self._count[child] += 1
+                heapq.heappush(self._heap, (self._count[child], child))
+                node = child
+                depth += 1
+            if i + depth >= n:
+                continue
+            letter = int(codes[i + depth])
+            if self._node_budget_used < self._k:
+                self._new_node(node, letter, 1, i)
+            else:
+                evicted = self._evict_min_leaf(protected=node)
+                if evicted is not None:
+                    self._new_node(node, letter, evicted + 1, i)
+        return self._report()
+
+    def _report(self) -> list[MinedSubstring]:
+        ranked = sorted(
+            (
+                node
+                for node in range(1, len(self._parent))
+                if self._alive[node]
+            ),
+            key=lambda v: (-self._count[v], self._depth[v]),
+        )
+        return [
+            MinedSubstring(
+                position=self._witness[node],
+                length=self._depth[node],
+                frequency=self._count[node],
+            )
+            for node in ranked[: self._k]
+        ]
+
+    @property
+    def node_count(self) -> int:
+        """Live trie nodes (excluding the root); always <= K."""
+        return self._node_budget_used
+
+    def nbytes(self) -> int:
+        """Analytic O(K) structure size."""
+        return 64 * self._node_budget_used

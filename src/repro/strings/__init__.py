@@ -1,0 +1,19 @@
+"""String substrate: alphabets, weighted strings, naive oracles."""
+
+from repro.strings.alphabet import Alphabet
+from repro.strings.occurrences import (
+    all_distinct_substrings,
+    naive_occurrences,
+    naive_substring_frequencies,
+    naive_top_k_frequent,
+)
+from repro.strings.weighted import WeightedString
+
+__all__ = [
+    "Alphabet",
+    "WeightedString",
+    "all_distinct_substrings",
+    "naive_occurrences",
+    "naive_substring_frequencies",
+    "naive_top_k_frequent",
+]

@@ -1,0 +1,152 @@
+"""Integer alphabets and text encoding.
+
+The paper assumes an integer alphabet ``Sigma = [0, sigma)`` with
+``sigma = n^O(1)``.  This module maps user-facing texts (``str``,
+``bytes``, or integer sequences) onto that canonical form, so every
+index in the library operates on a ``numpy.int32`` code array.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import AlphabetError, PatternError
+
+TextLike = "str | bytes | Sequence[int] | np.ndarray"
+
+
+class Alphabet:
+    """A bijection between user letters and codes ``0 .. sigma - 1``.
+
+    Letters are arbitrary hashable symbols (usually 1-char strings or
+    ints).  Codes are assigned in sorted order of first appearance so
+    that lexicographic order of encoded texts matches the natural
+    order of the letters.
+
+    Parameters
+    ----------
+    letters:
+        The full set of letters the alphabet must cover.  Duplicates
+        are ignored.  Letters must be mutually comparable (all ``str``
+        or all ``int``).
+    """
+
+    def __init__(self, letters: Iterable) -> None:
+        unique = sorted(set(letters))
+        if not unique:
+            raise AlphabetError("an alphabet needs at least one letter")
+        self._letters: list = unique
+        self._code_of: dict = {letter: code for code, letter in enumerate(unique)}
+
+    @classmethod
+    def from_text(cls, text: "str | bytes | Sequence[int]") -> "Alphabet":
+        """Build the alphabet of exactly the letters occurring in *text*."""
+        if isinstance(text, (bytes, bytearray)):
+            return cls(bytes(text))
+        return cls(text)
+
+    @classmethod
+    def dna(cls) -> "Alphabet":
+        """The 4-letter DNA alphabet used by the HUM/ECOLI datasets."""
+        return cls("ACGT")
+
+    @property
+    def size(self) -> int:
+        """Number of letters, i.e. ``sigma``."""
+        return len(self._letters)
+
+    @property
+    def letters(self) -> list:
+        """Letters in code order (a copy; the alphabet is immutable)."""
+        return list(self._letters)
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __contains__(self, letter) -> bool:
+        return letter in self._code_of
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Alphabet) and self._letters == other._letters
+
+    def __repr__(self) -> str:
+        preview = "".join(map(str, self._letters[:8]))
+        suffix = "..." if self.size > 8 else ""
+        return f"Alphabet(size={self.size}, letters={preview!r}{suffix})"
+
+    def code(self, letter) -> int:
+        """Return the integer code of *letter*.
+
+        Raises :class:`AlphabetError` for unknown letters.
+        """
+        try:
+            return self._code_of[letter]
+        except KeyError:
+            raise AlphabetError(f"letter {letter!r} is not in the alphabet") from None
+
+    def letter(self, code: int):
+        """Return the letter with integer *code*."""
+        if not 0 <= code < self.size:
+            raise AlphabetError(f"code {code} out of range [0, {self.size})")
+        return self._letters[code]
+
+    def encode(self, text: "str | bytes | Sequence[int]") -> np.ndarray:
+        """Encode *text* into an ``int32`` code array.
+
+        Unknown letters raise :class:`AlphabetError`.
+        """
+        if isinstance(text, (bytes, bytearray)):
+            text = bytes(text)
+        try:
+            return np.fromiter(
+                (self._code_of[letter] for letter in text),
+                dtype=np.int32,
+                count=len(text),
+            )
+        except KeyError as exc:
+            raise AlphabetError(f"letter {exc.args[0]!r} is not in the alphabet") from None
+
+    def encode_pattern(self, pattern: "str | bytes | Sequence[int]") -> np.ndarray:
+        """Encode a query pattern; empty patterns raise :class:`PatternError`.
+
+        A pattern containing a letter absent from the alphabet cannot
+        occur in any text over this alphabet, which callers treat as
+        "zero occurrences" rather than an error; such patterns raise
+        :class:`AlphabetError` and callers map that to an empty match.
+        """
+        if len(pattern) == 0:
+            raise PatternError("query patterns must be non-empty")
+        return self.encode(pattern)
+
+    def decode(self, codes: "Sequence[int] | np.ndarray") -> str:
+        """Decode a code array back into a string.
+
+        Integer-letter alphabets are decoded by joining ``str`` forms,
+        which is primarily useful for debugging and reports.
+        """
+        return "".join(str(self._letters[int(code)]) for code in codes)
+
+
+def as_code_array(text: "str | bytes | Sequence[int] | np.ndarray",
+                  alphabet: "Alphabet | None" = None) -> tuple[np.ndarray, Alphabet]:
+    """Normalise *text* to ``(codes, alphabet)``.
+
+    If *alphabet* is ``None`` one is inferred from the text itself.
+    ``numpy`` integer arrays are validated to be non-negative and then
+    used as codes directly, with an identity alphabet over
+    ``[0, max_code]``.
+    """
+    if isinstance(text, np.ndarray):
+        if text.ndim != 1 or not np.issubdtype(text.dtype, np.integer):
+            raise AlphabetError("ndarray texts must be 1-D integer arrays")
+        if text.size and int(text.min()) < 0:
+            raise AlphabetError("ndarray texts must contain non-negative codes")
+        if alphabet is None:
+            top = int(text.max()) + 1 if text.size else 1
+            alphabet = Alphabet(range(top))
+        return text.astype(np.int32, copy=False), alphabet
+    if alphabet is None:
+        alphabet = Alphabet.from_text(text)
+    return alphabet.encode(text), alphabet

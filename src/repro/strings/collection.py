@@ -1,0 +1,166 @@
+"""Weighted string collections.
+
+The paper's bioinformatics motivation speaks of "a collection of DNA
+strings with confidence scores".  A :class:`WeightedStringCollection`
+turns a set of weighted documents into one indexable weighted string
+by concatenating them around a fresh separator letter: patterns over
+the original alphabet can never span a separator, so occurrence sets
+(and therefore global utilities) are exactly the per-document ones
+summed — no index change needed.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ParameterError, WeightedStringError
+from repro.strings.alphabet import Alphabet
+from repro.strings.weighted import WeightedString
+
+
+class WeightedStringCollection:
+    """Documents ``(S_1, w_1) .. (S_d, w_d)`` over a shared alphabet.
+
+    Parameters
+    ----------
+    documents:
+        The weighted documents.  All must use equal alphabets.
+    """
+
+    def __init__(self, documents: Sequence[WeightedString]) -> None:
+        if not documents:
+            raise ParameterError("a collection needs at least one document")
+        alphabet = documents[0].alphabet
+        for doc in documents[1:]:
+            if doc.alphabet != alphabet:
+                raise WeightedStringError(
+                    "all documents in a collection must share one alphabet"
+                )
+        self._documents = list(documents)
+        self._alphabet = alphabet
+        self._separator = alphabet.size  # a fresh letter code
+
+        codes_parts: list[np.ndarray] = []
+        utility_parts: list[np.ndarray] = []
+        boundaries: list[int] = []  # start of each document in the text
+        offset = 0
+        separator_codes = np.asarray([self._separator], dtype=np.int32)
+        # Separators never fall inside a matched window (patterns over
+        # the original alphabet cannot contain the separator letter),
+        # so their utility is never read; 1.0 keeps every local-utility
+        # implementation happy, including the strictly-positive product.
+        separator_utility = np.asarray([1.0])
+        for index, doc in enumerate(self._documents):
+            boundaries.append(offset)
+            codes_parts.append(doc.codes)
+            utility_parts.append(doc.utilities)
+            offset += doc.length
+            if index != len(self._documents) - 1:
+                codes_parts.append(separator_codes)
+                utility_parts.append(separator_utility)
+                offset += 1
+        self._boundaries = np.asarray(boundaries, dtype=np.int64)
+        # The combined text uses an extended alphabet with the separator
+        # as its largest letter; queries still encode through the
+        # original alphabet, so they can never contain it.
+        extended = Alphabet(list(range(alphabet.size + 1)))
+        self._combined = WeightedString(
+            np.concatenate(codes_parts),
+            np.concatenate(utility_parts),
+            extended,
+        )
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def document_count(self) -> int:
+        return len(self._documents)
+
+    @property
+    def documents(self) -> list[WeightedString]:
+        return list(self._documents)
+
+    @property
+    def alphabet(self) -> Alphabet:
+        """The *original* (per-document) alphabet."""
+        return self._alphabet
+
+    @property
+    def combined(self) -> WeightedString:
+        """The separator-joined weighted string, ready for indexing."""
+        return self._combined
+
+    def encode_pattern(self, pattern: "str | bytes | Sequence[int] | np.ndarray") -> np.ndarray:
+        """Encode a pattern through the original alphabet."""
+        if isinstance(pattern, np.ndarray):
+            return pattern.astype(np.int64, copy=False)
+        return self._alphabet.encode_pattern(pattern).astype(np.int64)
+
+    def document_of(self, position: int) -> int:
+        """Which document the combined-text *position* belongs to."""
+        if not 0 <= position < self._combined.length:
+            raise ParameterError(f"position {position} out of range")
+        return int(np.searchsorted(self._boundaries, position, side="right") - 1)
+
+
+class CollectionUsiIndex:
+    """USI over a collection: global utilities plus document statistics.
+
+    Builds one :class:`~repro.core.usi.UsiIndex` over the combined
+    string.  ``query`` returns the collection-wide global utility;
+    ``document_frequency`` reports in how many documents a pattern
+    occurs (the IR-style df, useful for the expected-frequency
+    use case).
+    """
+
+    def __init__(self, collection: WeightedStringCollection, **build_kwargs) -> None:
+        from repro.core.usi import UsiIndex  # local import: avoid a cycle
+
+        self._collection = collection
+        self._index = UsiIndex.build(collection.combined, **build_kwargs)
+
+    @property
+    def collection(self) -> WeightedStringCollection:
+        return self._collection
+
+    @property
+    def index(self):
+        """The underlying combined-string USI index."""
+        return self._index
+
+    def _encode(self, pattern) -> "np.ndarray | None":
+        try:
+            return self._collection.encode_pattern(pattern)
+        except Exception:
+            return None
+
+    def query(self, pattern: "str | bytes | Sequence[int] | np.ndarray") -> float:
+        """The global utility of *pattern* across all documents."""
+        codes = self._encode(pattern)
+        if codes is None:
+            return self._index.utility.identity
+        return self._index.query(codes)
+
+    def count(self, pattern: "str | bytes | Sequence[int] | np.ndarray") -> int:
+        """Total occurrences across the collection."""
+        codes = self._encode(pattern)
+        if codes is None:
+            return 0
+        return self._index.count(codes)
+
+    def document_frequency(self, pattern: "str | bytes | Sequence[int] | np.ndarray") -> int:
+        """Number of documents containing at least one occurrence."""
+        codes = self._encode(pattern)
+        if codes is None:
+            return 0
+        occurrences = self._index.suffix_array.occurrences(codes)
+        if occurrences.size == 0:
+            return 0
+        docs = {
+            self._collection.document_of(int(position))
+            for position in occurrences
+        }
+        return len(docs)

@@ -1,0 +1,93 @@
+"""Naive string primitives used as test oracles.
+
+Everything here is deliberately simple and quadratic-ish: these
+functions define *correct* answers against which the real indexes are
+checked, both in unit tests and in hypothesis property tests.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Sequence
+
+import numpy as np
+
+
+def _as_tuple(text: "str | Sequence[int] | np.ndarray") -> tuple:
+    if isinstance(text, np.ndarray):
+        return tuple(int(c) for c in text)
+    if isinstance(text, str):
+        return tuple(text)
+    return tuple(text)
+
+
+def naive_occurrences(
+    text: "str | Sequence[int] | np.ndarray",
+    pattern: "str | Sequence[int] | np.ndarray",
+) -> list[int]:
+    """All starting positions of *pattern* in *text*, by direct scan."""
+    t = _as_tuple(text)
+    p = _as_tuple(pattern)
+    m = len(p)
+    if m == 0 or m > len(t):
+        return []
+    return [i for i in range(len(t) - m + 1) if t[i : i + m] == p]
+
+
+def naive_substring_frequencies(
+    text: "str | Sequence[int] | np.ndarray",
+    max_length: "int | None" = None,
+) -> Counter:
+    """Frequency of every distinct substring of *text* (up to *max_length*).
+
+    Returns a :class:`collections.Counter` mapping substring tuples to
+    their number of occurrences.  Quadratic in ``len(text)``; intended
+    for texts of at most a few thousand letters.
+    """
+    t = _as_tuple(text)
+    n = len(t)
+    limit = n if max_length is None else min(max_length, n)
+    counts: Counter = Counter()
+    for i in range(n):
+        for j in range(i + 1, min(i + limit, n) + 1):
+            counts[t[i:j]] += 1
+    return counts
+
+
+def all_distinct_substrings(
+    text: "str | Sequence[int] | np.ndarray",
+    max_length: "int | None" = None,
+) -> set:
+    """The set of distinct substrings of *text* as tuples."""
+    return set(naive_substring_frequencies(text, max_length))
+
+
+def naive_top_k_frequent(
+    text: "str | Sequence[int] | np.ndarray",
+    k: int,
+) -> list[tuple[tuple, int]]:
+    """Exact top-K frequent substrings by brute force.
+
+    Ties are broken as in the paper's oracle: by frequency descending,
+    then by substring length ascending, then lexicographically (the
+    final key only pins down a deterministic order for tests; the
+    paper allows arbitrary tie-breaking).
+    """
+    counts = naive_substring_frequencies(text)
+    ranked = sorted(counts.items(), key=lambda kv: (-kv[1], len(kv[0]), kv[0]))
+    return ranked[:k]
+
+
+def tie_threshold_frequency(
+    text: "str | Sequence[int] | np.ndarray",
+    k: int,
+) -> int:
+    """``tau_K``: the smallest frequency among the true top-K substrings.
+
+    Any tie-consistent top-K algorithm must report substrings whose
+    frequencies are at least this value.
+    """
+    ranked = naive_top_k_frequent(text, k)
+    if not ranked:
+        return 0
+    return ranked[-1][1]

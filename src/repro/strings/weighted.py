@@ -1,0 +1,147 @@
+"""Weighted strings: the pair ``(S, w)`` from the paper.
+
+A :class:`WeightedString` couples a text with a per-position utility
+array ``w`` (the weight function of Section III) and is the input to
+every USI index in this library.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import WeightedStringError
+from repro.strings.alphabet import Alphabet, as_code_array
+
+
+class WeightedString:
+    """An immutable text with one real-valued utility per position.
+
+    Parameters
+    ----------
+    text:
+        The text ``S`` as ``str``, ``bytes``, an integer sequence, or a
+        pre-encoded integer ``numpy`` array.
+    utilities:
+        The weight function ``w`` as a length-``n`` sequence of finite
+        real numbers; ``w[i]`` is the utility of ``S[i]``.
+    alphabet:
+        Optional explicit alphabet.  Inferred from the text when absent.
+
+    Examples
+    --------
+    >>> ws = WeightedString("ATACCCC", [0.9, 1, 3, 2, 0.7, 1, 1])
+    >>> ws.length
+    7
+    >>> ws.letter(0)
+    'A'
+    """
+
+    def __init__(
+        self,
+        text: "str | bytes | Sequence[int] | np.ndarray",
+        utilities: "Sequence[float] | np.ndarray",
+        alphabet: "Alphabet | None" = None,
+    ) -> None:
+        if len(text) == 0:
+            raise WeightedStringError("weighted strings must be non-empty")
+        codes, alpha = as_code_array(text, alphabet)
+        w = np.asarray(utilities, dtype=np.float64)
+        if w.ndim != 1:
+            raise WeightedStringError("utilities must be a 1-D array")
+        if len(w) != len(codes):
+            raise WeightedStringError(
+                f"text has {len(codes)} positions but got {len(w)} utilities"
+            )
+        if not np.all(np.isfinite(w)):
+            raise WeightedStringError("utilities must be finite numbers")
+        self._codes = codes
+        self._codes.setflags(write=False)
+        self._utilities = w
+        self._utilities.setflags(write=False)
+        self._alphabet = alpha
+        if isinstance(text, str):
+            self._raw: "str | None" = text
+        else:
+            self._raw = None
+
+    @classmethod
+    def uniform(
+        cls,
+        text: "str | bytes | Sequence[int] | np.ndarray",
+        utility: float = 1.0,
+        alphabet: "Alphabet | None" = None,
+    ) -> "WeightedString":
+        """A weighted string whose every position has the same utility.
+
+        With ``utility=1`` the "sum of sums" global utility of a
+        pattern ``P`` equals ``|P| * |occ(P)|``, which is convenient in
+        tests and examples.
+        """
+        codes, alpha = as_code_array(text, alphabet)
+        return cls(codes, np.full(len(codes), float(utility)), alpha)
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def codes(self) -> np.ndarray:
+        """The text as a read-only ``int32`` code array."""
+        return self._codes
+
+    @property
+    def utilities(self) -> np.ndarray:
+        """The weight function ``w`` as a read-only ``float64`` array."""
+        return self._utilities
+
+    @property
+    def alphabet(self) -> Alphabet:
+        return self._alphabet
+
+    @property
+    def length(self) -> int:
+        """``n``, the length of the text."""
+        return len(self._codes)
+
+    def __len__(self) -> int:
+        return self.length
+
+    def __repr__(self) -> str:
+        return (
+            f"WeightedString(n={self.length}, sigma={self._alphabet.size})"
+        )
+
+    def letter(self, i: int):
+        """The user-facing letter at position *i*."""
+        return self._alphabet.letter(int(self._codes[i]))
+
+    def text(self) -> str:
+        """The text decoded back to a string (cached for ``str`` inputs)."""
+        if self._raw is None:
+            self._raw = self._alphabet.decode(self._codes)
+        return self._raw
+
+    # ------------------------------------------------------------------
+    # Fragments
+    # ------------------------------------------------------------------
+    def fragment(self, i: int, length: int) -> np.ndarray:
+        """``frag_S(i, length) = S[i .. i + length - 1]`` as codes."""
+        if length <= 0 or i < 0 or i + length > self.length:
+            raise WeightedStringError(
+                f"fragment ({i}, {length}) out of range for n={self.length}"
+            )
+        return self._codes[i : i + length]
+
+    def fragment_text(self, i: int, length: int) -> str:
+        """``frag_S(i, length)`` decoded to a string."""
+        return self._alphabet.decode(self.fragment(i, length))
+
+    def fragment_utilities(self, i: int, length: int) -> np.ndarray:
+        """The utilities ``w[i .. i + length - 1]`` of a fragment."""
+        self.fragment(i, length)  # bounds check
+        return self._utilities[i : i + length]
+
+    def prefix_sums(self) -> np.ndarray:
+        """Inclusive prefix sums of ``w`` (the raw material of ``PSW``)."""
+        return np.cumsum(self._utilities)

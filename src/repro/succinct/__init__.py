@@ -1,0 +1,22 @@
+"""Succinct text-index substrate: bitvectors, wavelet trees, BWT, FM-index.
+
+The paper indexes ``S`` with a suffix tree / suffix array; production
+string-indexing systems usually also offer a *compressed* backend.
+This package provides one: a classical FM-index (Burrows-Wheeler
+transform + wavelet tree + rank/select bitvectors) with backward
+search and sampled-SA locate, pluggable into the USI index as
+``text_index="fm"``.
+"""
+
+from repro.succinct.bitvector import RankSelectBitVector
+from repro.succinct.bwt import bwt_from_sa, bwt_transform
+from repro.succinct.fm_index import FmIndex
+from repro.succinct.wavelet import WaveletTree
+
+__all__ = [
+    "FmIndex",
+    "RankSelectBitVector",
+    "WaveletTree",
+    "bwt_from_sa",
+    "bwt_transform",
+]

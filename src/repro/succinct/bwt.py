@@ -1,0 +1,76 @@
+"""Burrows-Wheeler transform via the suffix array.
+
+Internally the text is shifted by +1 so that symbol 0 can serve as the
+unique terminating sentinel; the BWT is then defined over the
+sentinel-extended text of length n + 1, the layout the FM-index
+expects.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.suffix.suffix_array import build_suffix_array
+
+SENTINEL = 0
+
+
+def bwt_from_sa(codes: np.ndarray, sa: np.ndarray) -> np.ndarray:
+    """BWT of the sentinel-extended text, given the plain-text SA.
+
+    ``codes`` are original symbols in ``[0, sigma)``; the result uses
+    shifted symbols (original + 1) with 0 as the sentinel, and has
+    length ``n + 1``.
+    """
+    codes = np.asarray(codes, dtype=np.int64)
+    sa = np.asarray(sa, dtype=np.int64)
+    n = len(codes)
+    if len(sa) != n:
+        raise ParameterError("suffix array does not match the text")
+    shifted = codes + 1
+    bwt = np.empty(n + 1, dtype=np.int64)
+    # The sentinel suffix (just "$") is lexicographically smallest, so
+    # it occupies row 0; its preceding symbol is the text's last one.
+    bwt[0] = shifted[n - 1] if n else SENTINEL
+    # Row i+1 corresponds to suffix SA[i]; its preceding symbol is
+    # shifted[SA[i] - 1], or the sentinel when SA[i] == 0.
+    prev = sa - 1
+    values = np.where(prev >= 0, shifted[np.maximum(prev, 0)], SENTINEL)
+    bwt[1:] = values
+    return bwt
+
+
+def bwt_transform(codes: "Sequence[int] | np.ndarray") -> tuple[np.ndarray, np.ndarray]:
+    """Convenience: build the SA and return ``(bwt, sa)``."""
+    codes = np.asarray(codes, dtype=np.int64)
+    if codes.ndim != 1 or len(codes) == 0:
+        raise ParameterError("BWT requires a non-empty 1-D text")
+    sa = build_suffix_array(codes)
+    return bwt_from_sa(codes, sa), sa
+
+
+def inverse_bwt(bwt: "Sequence[int] | np.ndarray") -> np.ndarray:
+    """Recover the original (unshifted) text from a sentinel BWT.
+
+    Used as a correctness oracle in tests: inverting the transform must
+    reproduce the input text exactly.
+    """
+    bwt = np.asarray(bwt, dtype=np.int64)
+    n = len(bwt)
+    if n == 0:
+        raise ParameterError("empty BWT")
+    # LF mapping via stable counting sort of the BWT symbols.
+    order = np.argsort(bwt, kind="stable")
+    lf = np.empty(n, dtype=np.int64)
+    lf[order] = np.arange(n, dtype=np.int64)
+    # Walk backwards from the sentinel row (row of '$' in F is 0).
+    out = np.empty(n - 1, dtype=np.int64)
+    row = 0
+    for k in range(n - 1, 0, -1):
+        symbol = bwt[row]
+        out[k - 1] = symbol - 1  # unshift
+        row = lf[row]
+    return out

@@ -1,0 +1,128 @@
+"""FM-index: backward search + sampled-SA locate over the BWT.
+
+The compressed counterpart of the suffix-array text index: ``count``
+in O(m log sigma), ``locate`` in O((m + occ * t) log sigma) for a
+sample rate ``t``.  Exposes the same ``interval`` / ``occurrences`` /
+``count`` surface as :class:`repro.suffix.suffix_array.SuffixArray`,
+so the USI index can use either backend interchangeably.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConstructionError, ParameterError, PatternError
+from repro.succinct.bwt import bwt_from_sa
+from repro.succinct.wavelet import WaveletTree
+from repro.suffix.suffix_array import build_suffix_array
+
+
+class FmIndex:
+    """An FM-index over an integer-coded text.
+
+    Parameters
+    ----------
+    codes:
+        The text as non-negative integer codes.
+    sample_rate:
+        Every ``sample_rate``-th text position is stored in the SA
+        sample; locate walks LF until it hits a sampled row.  Smaller
+        is faster but bigger.
+    """
+
+    def __init__(
+        self,
+        codes: "Sequence[int] | np.ndarray",
+        sample_rate: int = 16,
+    ) -> None:
+        codes = np.asarray(codes, dtype=np.int64)
+        if codes.ndim != 1 or len(codes) == 0:
+            raise ConstructionError("FM-index requires a non-empty 1-D text")
+        if sample_rate < 1:
+            raise ParameterError("sample_rate must be positive")
+        self._n = len(codes)
+        self._sigma = int(codes.max()) + 1
+        sa = build_suffix_array(codes)
+        bwt = bwt_from_sa(codes, sa)
+        # Shifted alphabet: sentinel 0 plus symbols 1 .. sigma.
+        self._wavelet = WaveletTree(bwt, sigma=self._sigma + 1)
+        # C[c] = number of BWT symbols strictly smaller than c.
+        counts = np.bincount(bwt, minlength=self._sigma + 1)
+        self._c = np.concatenate(([0], np.cumsum(counts)))[: self._sigma + 2]
+        # SA sample: BWT row -> text position for sampled positions.
+        self._sample_rate = sample_rate
+        self._samples: dict[int, int] = {}
+        # Row 0 is the sentinel suffix (text position n, exclusive).
+        for rank, position in enumerate(sa.tolist()):
+            if position % sample_rate == 0:
+                self._samples[rank + 1] = position  # +1 for the sentinel row
+
+    # ------------------------------------------------------------------
+    # Core FM operations
+    # ------------------------------------------------------------------
+    @property
+    def length(self) -> int:
+        return self._n
+
+    def __len__(self) -> int:
+        return self._n
+
+    def _lf(self, row: int) -> int:
+        """The LF mapping: row of this row's preceding text symbol."""
+        symbol = self._wavelet.access(row)
+        return int(self._c[symbol]) + self._wavelet.rank(symbol, row)
+
+    def _backward_search(self, pattern: np.ndarray) -> tuple[int, int]:
+        """Half-open BWT row range [lo, hi) of suffixes starting with *pattern*."""
+        lo, hi = 0, self._n + 1
+        for symbol in pattern[::-1].tolist():
+            shifted = int(symbol) + 1
+            if not 1 <= shifted <= self._sigma:
+                return (0, 0)
+            base = int(self._c[shifted])
+            lo = base + self._wavelet.rank(shifted, lo)
+            hi = base + self._wavelet.rank(shifted, hi)
+            if lo >= hi:
+                return (0, 0)
+        return (lo, hi)
+
+    def _locate_row(self, row: int) -> int:
+        """Text position of the suffix in BWT *row*, via LF-walking."""
+        steps = 0
+        while row not in self._samples:
+            row = self._lf(row)
+            steps += 1
+        return (self._samples[row] + steps) % (self._n + 1)
+
+    # ------------------------------------------------------------------
+    # SuffixArray-compatible surface
+    # ------------------------------------------------------------------
+    def interval(self, pattern: "Sequence[int] | np.ndarray") -> tuple[int, int]:
+        """Closed interval ``[lb, rb]`` of matching rows; ``(0, -1)`` if none."""
+        pattern = np.asarray(pattern, dtype=np.int64)
+        if len(pattern) == 0:
+            raise PatternError("patterns must be non-empty")
+        lo, hi = self._backward_search(pattern)
+        if lo >= hi:
+            return (0, -1)
+        return (lo, hi - 1)
+
+    def count(self, pattern: "Sequence[int] | np.ndarray") -> int:
+        """``|occ(pattern)|`` in O(m log sigma)."""
+        lb, rb = self.interval(pattern)
+        return max(0, rb - lb + 1)
+
+    def occurrences(self, pattern: "Sequence[int] | np.ndarray") -> np.ndarray:
+        """All starting positions of *pattern* (unsorted)."""
+        lb, rb = self.interval(pattern)
+        if rb < lb:
+            return np.empty(0, dtype=np.int64)
+        return np.asarray(
+            [self._locate_row(row) for row in range(lb, rb + 1)], dtype=np.int64
+        )
+
+    def nbytes(self) -> int:
+        """Wavelet tree + C array + SA sample."""
+        return self._wavelet.nbytes() + int(self._c.nbytes) + 16 * len(self._samples)

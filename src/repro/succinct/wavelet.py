@@ -1,0 +1,144 @@
+"""Wavelet tree over an integer sequence.
+
+Supports ``access``, ``rank(c, i)`` and ``select(c, k)`` in
+O(log sigma) bitvector operations — the symbol-rank engine of the
+FM-index's backward search.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.succinct.bitvector import RankSelectBitVector
+
+
+class _Node:
+    __slots__ = ("lo", "hi", "bits", "left", "right")
+
+    def __init__(self, lo: int, hi: int) -> None:
+        self.lo = lo  # symbol range [lo, hi] handled by this node
+        self.hi = hi
+        self.bits: "RankSelectBitVector | None" = None
+        self.left: "_Node | None" = None
+        self.right: "_Node | None" = None
+
+
+class WaveletTree:
+    """A balanced wavelet tree on symbols ``0 .. sigma - 1``.
+
+    Parameters
+    ----------
+    values:
+        The integer sequence.
+    sigma:
+        Alphabet size; inferred from the data when omitted.
+    """
+
+    def __init__(self, values: "Sequence[int] | np.ndarray", sigma: "int | None" = None) -> None:
+        arr = np.asarray(values, dtype=np.int64)
+        if arr.ndim != 1:
+            raise ParameterError("wavelet tree input must be 1-D")
+        if arr.size and int(arr.min()) < 0:
+            raise ParameterError("symbols must be non-negative")
+        if sigma is None:
+            sigma = int(arr.max()) + 1 if arr.size else 1
+        elif arr.size and int(arr.max()) >= sigma:
+            raise ParameterError("a symbol exceeds the declared alphabet")
+        self._n = len(arr)
+        self._sigma = max(1, sigma)
+        self._root = self._build(arr, 0, self._sigma - 1)
+
+    def _build(self, arr: np.ndarray, lo: int, hi: int) -> "_Node | None":
+        node = _Node(lo, hi)
+        if lo == hi or len(arr) == 0:
+            return node
+        mid = (lo + hi) // 2
+        goes_right = arr > mid
+        node.bits = RankSelectBitVector(goes_right)
+        node.left = self._build(arr[~goes_right], lo, mid)
+        node.right = self._build(arr[goes_right], mid + 1, hi)
+        return node
+
+    @property
+    def length(self) -> int:
+        return self._n
+
+    @property
+    def sigma(self) -> int:
+        return self._sigma
+
+    def __len__(self) -> int:
+        return self._n
+
+    def access(self, i: int) -> int:
+        """The symbol at position *i*."""
+        if not 0 <= i < self._n:
+            raise ParameterError(f"position {i} out of [0, {self._n})")
+        node = self._root
+        while node.lo != node.hi:
+            if node.bits[i]:
+                i = node.bits.rank1(i)
+                node = node.right
+            else:
+                i = node.bits.rank0(i)
+                node = node.left
+        return node.lo
+
+    def rank(self, symbol: int, i: int) -> int:
+        """Occurrences of *symbol* in ``values[0 .. i - 1]``."""
+        if not 0 <= i <= self._n:
+            raise ParameterError(f"rank position {i} out of [0, {self._n}]")
+        if not 0 <= symbol < self._sigma:
+            return 0
+        node = self._root
+        while node.lo != node.hi:
+            if node.bits is None:
+                return 0
+            mid = (node.lo + node.hi) // 2
+            if symbol > mid:
+                i = node.bits.rank1(i)
+                node = node.right
+            else:
+                i = node.bits.rank0(i)
+                node = node.left
+            if node is None:  # pragma: no cover - defensive
+                return 0
+        return i
+
+    def select(self, symbol: int, k: int) -> int:
+        """Position of the k-th occurrence of *symbol* (1-based)."""
+        if not 0 <= symbol < self._sigma:
+            raise ParameterError(f"symbol {symbol} outside alphabet")
+        total = self.rank(symbol, self._n)
+        if not 1 <= k <= total:
+            raise ParameterError(f"select index {k} out of [1, {total}]")
+        # Walk down to the leaf, then climb back translating positions.
+        path: list[tuple[_Node, bool]] = []
+        node = self._root
+        while node.lo != node.hi:
+            mid = (node.lo + node.hi) // 2
+            right = symbol > mid
+            path.append((node, right))
+            node = node.right if right else node.left
+        position = k - 1
+        for parent, right in reversed(path):
+            if right:
+                position = parent.bits.select1(position + 1)
+            else:
+                position = parent.bits.select0(position + 1)
+        return position
+
+    def nbytes(self) -> int:
+        total = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node is None or node.bits is None:
+                continue
+            total += node.bits.nbytes()
+            stack.append(node.left)
+            stack.append(node.right)
+        return total

@@ -1,0 +1,25 @@
+"""Suffix-array substrate: construction, LCP, RMQ, LCE, traversals."""
+
+from repro.suffix.doubling import suffix_array_doubling
+from repro.suffix.enhanced import LcpInterval, bottom_up_intervals
+from repro.suffix.lce import FingerprintLce, SuffixArrayLce, naive_lce
+from repro.suffix.lcp import lcp_array_kasai
+from repro.suffix.rmq import SparseTableRmq
+from repro.suffix.sais import suffix_array_sais
+from repro.suffix.sparse import SparseSuffixArray
+from repro.suffix.suffix_array import SuffixArray, build_suffix_array
+
+__all__ = [
+    "FingerprintLce",
+    "LcpInterval",
+    "SparseSuffixArray",
+    "SparseTableRmq",
+    "SuffixArray",
+    "SuffixArrayLce",
+    "bottom_up_intervals",
+    "build_suffix_array",
+    "lcp_array_kasai",
+    "naive_lce",
+    "suffix_array_doubling",
+    "suffix_array_sais",
+]

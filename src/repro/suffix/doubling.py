@@ -1,0 +1,53 @@
+"""Prefix-doubling suffix array construction, vectorised with numpy.
+
+Manber-Myers prefix doubling sorts suffixes by their first ``2^k``
+letters in rounds, using rank pairs and ``numpy.lexsort``.  The
+``O(n log^2 n)`` bound is worse than SA-IS on paper, but the rounds
+are tight vectorised kernels, making this the fastest pure-Python
+option in practice and the library default for index construction.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def suffix_array_doubling(codes: "Sequence[int] | np.ndarray") -> np.ndarray:
+    """Suffix array of *codes* via numpy prefix doubling (``int64``)."""
+    codes = np.asarray(codes, dtype=np.int64)
+    n = len(codes)
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    if n == 1:
+        return np.zeros(1, dtype=np.int64)
+
+    # Initial ranks: the letters themselves (densified for stability).
+    rank = np.unique(codes, return_inverse=True)[1].astype(np.int64)
+    sa = np.argsort(rank, kind="stable").astype(np.int64)
+    step = 1
+    tmp = np.empty(n, dtype=np.int64)
+    while step < n:
+        # Secondary key: rank of the suffix starting `step` later
+        # (-1, i.e. "smaller than everything", past the end).
+        second = np.full(n, -1, dtype=np.int64)
+        second[: n - step] = rank[step:]
+        order = np.lexsort((second, rank))
+        sa = order
+
+        # Recompute dense ranks: a suffix starts a new rank class iff its
+        # (rank, second) pair differs from its predecessor's in SA order.
+        r_sorted = rank[sa]
+        s_sorted = second[sa]
+        new_class = np.empty(n, dtype=np.int64)
+        new_class[0] = 0
+        changed = (r_sorted[1:] != r_sorted[:-1]) | (s_sorted[1:] != s_sorted[:-1])
+        np.cumsum(changed, out=new_class[1:])
+        tmp[sa] = new_class
+        rank, tmp = tmp, rank
+
+        if int(rank[sa[-1]]) == n - 1:
+            break  # all ranks distinct: fully sorted
+        step <<= 1
+    return sa

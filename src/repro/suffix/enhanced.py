@@ -1,0 +1,96 @@
+"""Enhanced-suffix-array bottom-up traversal (Abouelhoda et al., 2004).
+
+``bottom_up_intervals`` simulates a bottom-up traversal of the suffix
+tree directly on the SA/LCP arrays, yielding one *lcp-interval* per
+explicit internal node.  This is Algorithm 4.4 of Abouelhoda, Kurtz &
+Ohlebusch, which the paper uses in Step 3 of Approximate-Top-K; the
+exact top-K oracle of Section V is built from the same traversal.
+
+For an internal node ``v``:
+
+* ``lcp``         — the string depth ``sd(v)`` (length of ``str(v)``);
+* ``lb, rb``      — the SA interval of all occurrences of ``str(v)``;
+* ``parent_lcp``  — the string depth ``sd(p(v))`` of the parent, so
+  that ``q(v) = lcp - parent_lcp`` letters label the incoming edge:
+  each represents a distinct substring with the same frequency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class LcpInterval:
+    """An explicit suffix-tree node as an interval of the suffix array."""
+
+    lcp: int
+    lb: int
+    rb: int
+    parent_lcp: int
+
+    @property
+    def frequency(self) -> int:
+        """Number of occurrences of the node's string: leaves below it."""
+        return self.rb - self.lb + 1
+
+    @property
+    def edge_length(self) -> int:
+        """``q(v)``: distinct substrings represented by this node."""
+        return self.lcp - self.parent_lcp
+
+
+def bottom_up_intervals(lcp: np.ndarray) -> Iterator[LcpInterval]:
+    """Yield every internal lcp-interval of the suffix array, bottom-up.
+
+    The root (``lcp == 0``) is *not* yielded: it represents the empty
+    string.  Intervals are emitted child-before-parent, which is the
+    order the frequency-accumulating consumers need.
+
+    Parameters
+    ----------
+    lcp:
+        The LCP array with ``lcp[0] == 0`` (Kasai convention).
+    """
+    n = len(lcp)
+    if n == 0:
+        return
+    # Stack of (depth, left_boundary) pairs; the sentinel keeps the
+    # root interval at the bottom.
+    stack: list[list[int]] = [[0, 0]]
+    for i in range(1, n):
+        current = int(lcp[i])
+        lb = i - 1
+        while stack[-1][0] > current:
+            depth, left = stack.pop()
+            parent_depth = max(current, stack[-1][0])
+            yield LcpInterval(lcp=depth, lb=left, rb=i - 1, parent_lcp=parent_depth)
+            lb = left
+        if stack[-1][0] < current:
+            stack.append([current, lb])
+    while len(stack) > 1:
+        depth, left = stack.pop()
+        parent_depth = stack[-1][0]
+        yield LcpInterval(lcp=depth, lb=left, rb=n - 1, parent_lcp=parent_depth)
+
+
+def leaf_intervals(sa: np.ndarray, lcp: np.ndarray, text_length: int) -> Iterator[LcpInterval]:
+    """Yield one interval per suffix-tree *leaf* (frequency-1 substrings).
+
+    The leaf for suffix ``SA[i]`` has string depth ``n - SA[i]`` and its
+    parent's depth is ``max(lcp[i], lcp[i+1])`` — the deeper of the two
+    neighbouring LCP values is the branching point above the leaf.
+    Leaves whose edge is empty (a suffix equal to an internal node's
+    string, impossible without duplicate suffixes) are skipped.
+    """
+    n = len(sa)
+    for i in range(n):
+        depth = text_length - int(sa[i])
+        left_lcp = int(lcp[i]) if i > 0 else 0
+        right_lcp = int(lcp[i + 1]) if i + 1 < n else 0
+        parent_depth = max(left_lcp, right_lcp)
+        if depth > parent_depth:
+            yield LcpInterval(lcp=depth, lb=i, rb=i, parent_lcp=parent_depth)

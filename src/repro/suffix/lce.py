@@ -1,0 +1,137 @@
+"""Longest-common-extension (LCE) oracles.
+
+The paper's Approximate-Top-K uses Prezza's in-place LCE structure to
+compare sampled suffixes in polylog time.  We provide two oracles with
+the same interface:
+
+* :class:`FingerprintLce` — Karp-Rabin binary search, O(log n) per
+  query over an O(n) fingerprint table.  This is the substitution for
+  Prezza's structure (same polylog query class; see DESIGN.md) and is
+  what Approximate-Top-K uses, because it does **not** require a full
+  suffix array — keeping the sampling algorithm's auxiliary space
+  proportional to the sample, which is the entire point of Section VI.
+* :class:`SuffixArrayLce` — exact O(1) LCE via inverse SA + LCP + RMQ,
+  used as a cross-check and wherever a suffix array already exists.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+import numpy as np
+
+from repro.hashing.karp_rabin import KarpRabinFingerprinter
+from repro.suffix.lcp import lcp_array_kasai
+from repro.suffix.rmq import SparseTableRmq
+
+
+class LceOracle(Protocol):
+    """Minimal interface shared by the two LCE implementations."""
+
+    def lce(self, i: int, j: int) -> int:  # pragma: no cover - protocol
+        """Length of the longest common prefix of suffixes *i* and *j*."""
+        ...
+
+    def compare_suffixes(self, i: int, j: int) -> int:  # pragma: no cover
+        """Three-way lexicographic comparison of suffixes *i* and *j*."""
+        ...
+
+
+def naive_lce(codes: np.ndarray, i: int, j: int) -> int:
+    """Reference LCE by direct letter comparison (test oracle)."""
+    n = len(codes)
+    k = 0
+    while i + k < n and j + k < n and codes[i + k] == codes[j + k]:
+        k += 1
+    return k
+
+
+class _CompareMixin:
+    """Lexicographic suffix comparison on top of an ``lce`` method."""
+
+    _codes: np.ndarray
+
+    def compare_suffixes(self, i: int, j: int) -> int:
+        """Return <0, 0, >0 as suffix *i* compares to suffix *j*.
+
+        A proper prefix sorts first, matching suffix-array order for
+        texts without a sentinel.
+        """
+        if i == j:
+            return 0
+        n = len(self._codes)
+        k = self.lce(i, j)  # type: ignore[attr-defined]
+        if i + k >= n:
+            return -1
+        if j + k >= n:
+            return 1
+        return int(self._codes[i + k]) - int(self._codes[j + k])
+
+
+class FingerprintLce(_CompareMixin):
+    """LCE by binary search over Karp-Rabin fingerprint equality.
+
+    With 62-bit fingerprints the per-comparison error probability is
+    negligible, and every positive answer is verified against a final
+    direct letter comparison being unnecessary: a fingerprint mismatch
+    is always correct, and a spurious match would need a 62-bit
+    collision.
+    """
+
+    def __init__(self, codes: np.ndarray, fingerprinter: "KarpRabinFingerprinter | None" = None,
+                 seed: int = 0) -> None:
+        self._codes = np.asarray(codes, dtype=np.int64)
+        self._fp = fingerprinter or KarpRabinFingerprinter(self._codes, seed=seed)
+
+    #: Letters compared directly before falling back to binary search.
+    #: Most LCE queries on non-repetitive data resolve in this scan.
+    _DIRECT_SCAN = 16
+
+    def lce(self, i: int, j: int) -> int:
+        n = len(self._codes)
+        if i == j:
+            return n - i
+        if i >= n or j >= n:
+            return 0
+        max_len = n - max(i, j)
+        codes = self._codes
+        scan = min(self._DIRECT_SCAN, max_len)
+        k = 0
+        while k < scan and codes[i + k] == codes[j + k]:
+            k += 1
+        if k < scan or k == max_len:
+            return k
+        lo, hi = k, max_len  # invariant: lce >= lo, lce <= hi
+        while lo < hi:
+            mid = (lo + hi + 1) // 2
+            if self._fp.fragment(i, mid) == self._fp.fragment(j, mid):
+                lo = mid
+            else:
+                hi = mid - 1
+        return lo
+
+
+class SuffixArrayLce(_CompareMixin):
+    """Exact O(1) LCE from SA + LCP + sparse-table RMQ."""
+
+    def __init__(self, codes: np.ndarray, sa: np.ndarray, lcp: "np.ndarray | None" = None) -> None:
+        self._codes = np.asarray(codes, dtype=np.int64)
+        self._sa = np.asarray(sa, dtype=np.int64)
+        n = len(self._codes)
+        if lcp is None:
+            lcp = lcp_array_kasai(self._codes, self._sa)
+        self._lcp = np.asarray(lcp, dtype=np.int64)
+        self._rank = np.empty(n, dtype=np.int64)
+        self._rank[self._sa] = np.arange(n, dtype=np.int64)
+        self._rmq = SparseTableRmq(self._lcp)
+
+    def lce(self, i: int, j: int) -> int:
+        n = len(self._codes)
+        if i == j:
+            return n - i
+        if i >= n or j >= n:
+            return 0
+        ri, rj = int(self._rank[i]), int(self._rank[j])
+        if ri > rj:
+            ri, rj = rj, ri
+        return int(self._rmq.query(ri + 1, rj))

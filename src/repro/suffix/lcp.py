@@ -1,0 +1,49 @@
+"""LCP array construction (Kasai et al., 2001).
+
+``LCP[j]`` is the length of the longest common prefix of the suffixes
+``SA[j-1]`` and ``SA[j]``; ``LCP[0] = 0`` — exactly the convention of
+Section III of the paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def lcp_array_kasai(codes: np.ndarray, sa: np.ndarray) -> np.ndarray:
+    """The LCP array of *codes* given its suffix array, in O(n).
+
+    Kasai's algorithm walks positions in text order, exploiting that
+    the LCP of position ``i`` drops by at most one relative to the LCP
+    of position ``i - 1``.
+    """
+    codes = np.asarray(codes, dtype=np.int64)
+    sa = np.asarray(sa, dtype=np.int64)
+    n = len(codes)
+    if len(sa) != n:
+        raise ValueError("suffix array length does not match text length")
+    lcp = np.zeros(n, dtype=np.int64)
+    if n == 0:
+        return lcp
+
+    rank = np.empty(n, dtype=np.int64)
+    rank[sa] = np.arange(n, dtype=np.int64)
+
+    text = codes.tolist()  # Python list lookups are faster in the loop
+    sa_list = sa.tolist()
+    rank_list = rank.tolist()
+    h = 0
+    out = [0] * n
+    for i in range(n):
+        r = rank_list[i]
+        if r > 0:
+            j = sa_list[r - 1]
+            limit = n - max(i, j)
+            while h < limit and text[i + h] == text[j + h]:
+                h += 1
+            out[r] = h
+            if h > 0:
+                h -= 1
+        else:
+            h = 0
+    return np.asarray(out, dtype=np.int64)

@@ -1,0 +1,175 @@
+"""Linear-time suffix array construction (SA-IS).
+
+The paper cites Farach's linear-time construction; SA-IS (Nong, Zhang
+& Chan, 2009) is the standard practical linear-time algorithm and
+produces the identical suffix array.  This is a pure-Python
+implementation kept for its O(n) guarantee and as an independent
+cross-check of the faster ``numpy`` prefix-doubling construction; the
+two are tested to agree on random inputs.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+_L_TYPE = False
+_S_TYPE = True
+
+
+def suffix_array_sais(codes: "Sequence[int] | np.ndarray") -> np.ndarray:
+    """Suffix array of *codes* via SA-IS, as an ``int64`` array.
+
+    The input must be non-negative integers.  An implicit sentinel
+    smaller than every letter terminates the text internally; it is
+    not reported in the output.
+    """
+    codes = np.asarray(codes, dtype=np.int64)
+    n = len(codes)
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    if n == 1:
+        return np.zeros(1, dtype=np.int64)
+    # Shift by +1 so that 0 is free for the sentinel.
+    text = [int(c) + 1 for c in codes] + [0]
+    sigma = max(text) + 1
+    sa = _sais(text, sigma)
+    # Drop the sentinel suffix (always first).
+    return np.asarray(sa[1:], dtype=np.int64)
+
+
+def _classify(text: list[int]) -> list[bool]:
+    """S/L types per position; the sentinel is S-type by definition."""
+    n = len(text)
+    types = [_S_TYPE] * n
+    for i in range(n - 2, -1, -1):
+        if text[i] > text[i + 1]:
+            types[i] = _L_TYPE
+        elif text[i] < text[i + 1]:
+            types[i] = _S_TYPE
+        else:
+            types[i] = types[i + 1]
+    return types
+
+
+def _is_lms(types: list[bool], i: int) -> bool:
+    return i > 0 and types[i] == _S_TYPE and types[i - 1] == _L_TYPE
+
+
+def _bucket_sizes(text: list[int], sigma: int) -> list[int]:
+    sizes = [0] * sigma
+    for c in text:
+        sizes[c] += 1
+    return sizes
+
+
+def _bucket_heads(sizes: list[int]) -> list[int]:
+    heads = [0] * len(sizes)
+    total = 0
+    for c, size in enumerate(sizes):
+        heads[c] = total
+        total += size
+    return heads
+
+
+def _bucket_tails(sizes: list[int]) -> list[int]:
+    tails = [0] * len(sizes)
+    total = 0
+    for c, size in enumerate(sizes):
+        total += size
+        tails[c] = total - 1
+    return tails
+
+
+def _induce(text: list[int], sigma: int, types: list[bool], lms_order: list[int]) -> list[int]:
+    """Induced sort: place LMS suffixes then induce L- and S-types."""
+    n = len(text)
+    sizes = _bucket_sizes(text, sigma)
+    sa = [-1] * n
+
+    tails = _bucket_tails(sizes)
+    for i in reversed(lms_order):
+        c = text[i]
+        sa[tails[c]] = i
+        tails[c] -= 1
+
+    heads = _bucket_heads(sizes)
+    for j in range(n):
+        i = sa[j] - 1
+        if sa[j] > 0 and types[i] == _L_TYPE:
+            c = text[i]
+            sa[heads[c]] = i
+            heads[c] += 1
+
+    tails = _bucket_tails(sizes)
+    for j in range(n - 1, -1, -1):
+        i = sa[j] - 1
+        if sa[j] > 0 and types[i] == _S_TYPE:
+            c = text[i]
+            sa[tails[c]] = i
+            tails[c] -= 1
+    return sa
+
+
+def _sais(text: list[int], sigma: int) -> list[int]:
+    n = len(text)
+    types = _classify(text)
+    lms_positions = [i for i in range(1, n) if _is_lms(types, i)]
+
+    sa = _induce(text, sigma, types, lms_positions)
+
+    # Name LMS substrings in the order they appear in the induced SA.
+    lms_in_sa = [i for i in sa if _is_lms(types, i)]
+    names = [-1] * n
+    current = 0
+    names[lms_in_sa[0]] = 0
+    for prev, cur in zip(lms_in_sa, lms_in_sa[1:]):
+        if not _lms_substrings_equal(text, types, prev, cur):
+            current += 1
+        names[cur] = current
+
+    if current + 1 == len(lms_positions):
+        # All names unique: the induced order is already correct.
+        order = sorted(lms_positions, key=lambda i: names[i])
+    else:
+        reduced = [names[i] for i in lms_positions]
+        sub_sa = _sais_from_names(reduced, current + 1)
+        order = [lms_positions[i] for i in sub_sa]
+
+    return _induce(text, sigma, types, order)
+
+
+def _sais_from_names(reduced: list[int], sigma: int) -> list[int]:
+    """Recurse on the reduced string of LMS names."""
+    if len(reduced) == 1:
+        return [0]
+    if sigma == len(reduced):
+        # All distinct: counting sort suffices.
+        sa = [0] * len(reduced)
+        for i, name in enumerate(reduced):
+            sa[name] = i
+        return sa
+    # Append a sentinel name (-1 shifted to 0 by +1 trick).
+    shifted = [name + 1 for name in reduced] + [0]
+    sub = _sais(shifted, sigma + 1)
+    return sub[1:]
+
+
+def _lms_substrings_equal(text: list[int], types: list[bool], a: int, b: int) -> bool:
+    """Compare two LMS substrings (letters and types, inclusive ends)."""
+    n = len(text)
+    offset = 0
+    while True:
+        ia, ib = a + offset, b + offset
+        if ia >= n or ib >= n:
+            return False
+        a_is_lms = offset > 0 and _is_lms(types, ia)
+        b_is_lms = offset > 0 and _is_lms(types, ib)
+        if a_is_lms and b_is_lms:
+            return True
+        if a_is_lms != b_is_lms:
+            return False
+        if text[ia] != text[ib] or types[ia] != types[ib]:
+            return False
+        offset += 1

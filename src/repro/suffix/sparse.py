@@ -1,0 +1,123 @@
+"""Sparse suffix arrays over sampled positions (Karkkainen & Ukkonen).
+
+Round ``i`` of Approximate-Top-K indexes only the suffixes starting at
+the sampled positions ``i + r*s``.  This module sorts those suffixes
+and computes the sparse LCP array between lexicographic neighbours —
+Steps 1-2 of Section VI.
+
+The paper sorts with in-place mergesort over Prezza's in-place LCE.
+We keep the same comparison oracle (an LCE interface) but speed the
+common case up with a two-stage sort: a vectorised ``lexsort`` on each
+suffix's first :data:`PREFIX_KEY_LETTERS` letters resolves almost all
+comparisons; only runs of suffixes sharing that whole prefix are
+re-sorted with the LCE comparator.  The result is exactly the
+lexicographic order the paper's mergesort produces.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.suffix.lce import LceOracle
+
+#: Leading letters used as the vectorised primary sort key.
+PREFIX_KEY_LETTERS = 24
+
+
+class SparseSuffixArray:
+    """Lexicographically sorted sample of suffixes with its sparse LCP.
+
+    Parameters
+    ----------
+    codes:
+        The full text (never copied).
+    positions:
+        The sampled suffix start positions (distinct, in range).
+    lce:
+        An LCE oracle over *codes* (fingerprint- or SA-backed).
+    """
+
+    def __init__(
+        self,
+        codes: np.ndarray,
+        positions: "Sequence[int] | np.ndarray",
+        lce: LceOracle,
+    ) -> None:
+        self._codes = np.asarray(codes, dtype=np.int64)
+        pos = np.asarray(sorted(int(p) for p in positions), dtype=np.int64)
+        n = len(self._codes)
+        if pos.size and (int(pos[0]) < 0 or int(pos[-1]) >= n):
+            raise ParameterError("sampled positions out of text range")
+        if len(np.unique(pos)) != len(pos):
+            raise ParameterError("sampled positions must be distinct")
+        self._lce = lce
+        self._ssa = self._sort_suffixes(pos)
+        self._slcp = self._build_slcp()
+
+    def _sort_suffixes(self, pos: np.ndarray) -> list[int]:
+        if pos.size <= 1:
+            return [int(p) for p in pos]
+        n = len(self._codes)
+        width = min(PREFIX_KEY_LETTERS, n)
+        # Pad with -1 (sorts before every letter code) so that a suffix
+        # shorter than the key width sorts first, matching suffix order.
+        padded = np.concatenate((self._codes, np.full(width, -1, dtype=np.int64)))
+        key = padded[pos[:, None] + np.arange(width, dtype=np.int64)[None, :]]
+        # lexsort uses the *last* key as primary: feed columns reversed.
+        order = np.lexsort(key[:, ::-1].T)
+        ordered_pos = pos[order]
+        ordered_key = key[order]
+
+        # Refine runs whose whole prefix key ties with the LCE comparator.
+        result: list[int] = []
+        comparator = functools.cmp_to_key(self._lce.compare_suffixes)
+        ties = np.all(ordered_key[1:] == ordered_key[:-1], axis=1)
+        start = 0
+        total = len(ordered_pos)
+        while start < total:
+            end = start
+            while end < total - 1 and ties[end]:
+                end += 1
+            if end > start:
+                run = sorted((int(p) for p in ordered_pos[start : end + 1]), key=comparator)
+                result.extend(run)
+            else:
+                result.append(int(ordered_pos[start]))
+            end += 1
+            start = end
+        return result
+
+    def _build_slcp(self) -> list[int]:
+        """LCP between lexicographically adjacent sampled suffixes."""
+        slcp = [0] * len(self._ssa)
+        n = len(self._codes)
+        for idx in range(1, len(self._ssa)):
+            i, j = self._ssa[idx - 1], self._ssa[idx]
+            ell = self._lce.lce(i, j)
+            slcp[idx] = min(ell, n - i, n - j)
+        return slcp
+
+    @property
+    def positions(self) -> list[int]:
+        """Sampled suffix starts in lexicographic suffix order (SSA)."""
+        return list(self._ssa)
+
+    @property
+    def slcp(self) -> list[int]:
+        """Sparse LCP array parallel to :attr:`positions`."""
+        return list(self._slcp)
+
+    def __len__(self) -> int:
+        return len(self._ssa)
+
+    def suffix_at_rank(self, rank: int) -> int:
+        """Text position of the rank-th smallest sampled suffix."""
+        return self._ssa[rank]
+
+    def nbytes(self) -> int:
+        """Analytic size of the SSA + SLCP arrays (8 bytes per entry)."""
+        return 16 * len(self._ssa)

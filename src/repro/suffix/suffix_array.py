@@ -1,0 +1,171 @@
+"""The suffix-array text index used for locate queries.
+
+Wraps a suffix array + LCP array with the classic ``O(m log n)``
+pattern search (two binary searches yielding the SA interval of all
+occurrences).  The paper performs locate with a suffix tree in
+``O(m + occ)``; the SA binary search returns the identical occurrence
+set and is the practical choice in Python (see DESIGN.md) — the extra
+``log n`` applies equally to our index and all baselines.
+"""
+
+from __future__ import annotations
+
+from typing import Literal, Sequence
+
+import numpy as np
+
+from repro.errors import ConstructionError, PatternError
+from repro.suffix.doubling import suffix_array_doubling
+from repro.suffix.lcp import lcp_array_kasai
+from repro.suffix.sais import suffix_array_sais
+
+
+def build_suffix_array(
+    codes: "Sequence[int] | np.ndarray",
+    algorithm: Literal["doubling", "sais"] = "doubling",
+) -> np.ndarray:
+    """Construct the suffix array with the chosen algorithm."""
+    if algorithm == "doubling":
+        return suffix_array_doubling(codes)
+    if algorithm == "sais":
+        return suffix_array_sais(codes)
+    raise ConstructionError(f"unknown suffix array algorithm {algorithm!r}")
+
+
+class SuffixArray:
+    """Suffix array + LCP array + pattern search over a code array.
+
+    Parameters
+    ----------
+    codes:
+        The text as an integer array.
+    algorithm:
+        ``"doubling"`` (default, vectorised) or ``"sais"`` (pure
+        Python, O(n)).
+    with_lcp:
+        Build the LCP array too (required by the top-K oracle and the
+        exact LCE; skippable for plain locate-only indexes).
+    """
+
+    def __init__(
+        self,
+        codes: "Sequence[int] | np.ndarray",
+        algorithm: Literal["doubling", "sais"] = "doubling",
+        with_lcp: bool = True,
+    ) -> None:
+        self._codes = np.asarray(codes, dtype=np.int64)
+        if self._codes.ndim != 1 or len(self._codes) == 0:
+            raise ConstructionError("suffix arrays require a non-empty 1-D text")
+        self._sa = build_suffix_array(self._codes, algorithm)
+        self._lcp = lcp_array_kasai(self._codes, self._sa) if with_lcp else None
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def codes(self) -> np.ndarray:
+        return self._codes
+
+    @property
+    def sa(self) -> np.ndarray:
+        """The suffix array (leaves of the suffix tree in order)."""
+        return self._sa
+
+    @property
+    def lcp(self) -> np.ndarray:
+        if self._lcp is None:
+            self._lcp = lcp_array_kasai(self._codes, self._sa)
+        return self._lcp
+
+    def drop_lcp(self) -> None:
+        """Release the LCP array (pattern search does not need it).
+
+        Construction-only consumers (the top-K oracle) use the LCP;
+        indexes that keep a SuffixArray around purely for locate
+        queries call this to shed the O(n) array from their footprint.
+        """
+        self._lcp = None
+
+    @property
+    def length(self) -> int:
+        return len(self._codes)
+
+    def __len__(self) -> int:
+        return len(self._codes)
+
+    # ------------------------------------------------------------------
+    # Pattern search
+    # ------------------------------------------------------------------
+    def _compare_suffix(self, suffix: int, pattern: np.ndarray) -> int:
+        """Three-way compare of text suffix vs pattern, prefix-aware.
+
+        Returns 0 when the pattern is a prefix of the suffix (a match).
+        """
+        n = len(self._codes)
+        m = len(pattern)
+        length = min(n - suffix, m)
+        chunk = self._codes[suffix : suffix + length]
+        window = pattern[:length]
+        diff = np.nonzero(chunk != window)[0]
+        if diff.size:
+            d = int(diff[0])
+            return int(chunk[d]) - int(window[d])
+        if length == m:
+            return 0  # pattern fully matched
+        return -1  # suffix is a proper prefix of the pattern: sorts before
+
+    def interval(self, pattern: "Sequence[int] | np.ndarray") -> tuple[int, int]:
+        """SA interval ``[lb, rb]`` of *pattern*; ``(0, -1)`` if absent.
+
+        Two binary searches over the suffix array; O(m log n).
+        """
+        pattern = np.asarray(pattern, dtype=np.int64)
+        if len(pattern) == 0:
+            raise PatternError("patterns must be non-empty")
+        n = len(self._codes)
+
+        # Lower bound: first suffix >= pattern (with prefix counting as match).
+        lo, hi = 0, n
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._compare_suffix(int(self._sa[mid]), pattern) < 0:
+                lo = mid + 1
+            else:
+                hi = mid
+        lb = lo
+
+        # Upper bound: first suffix whose comparison is > 0.
+        lo, hi = lb, n
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._compare_suffix(int(self._sa[mid]), pattern) <= 0:
+                lo = mid + 1
+            else:
+                hi = mid
+        rb = lo - 1
+
+        if rb < lb:
+            return (0, -1)
+        return (lb, rb)
+
+    def occurrences(self, pattern: "Sequence[int] | np.ndarray") -> np.ndarray:
+        """All starting positions of *pattern* in the text (unsorted)."""
+        lb, rb = self.interval(pattern)
+        if rb < lb:
+            return np.empty(0, dtype=np.int64)
+        return self._sa[lb : rb + 1]
+
+    def count(self, pattern: "Sequence[int] | np.ndarray") -> int:
+        """The frequency ``|occ(pattern)|``."""
+        lb, rb = self.interval(pattern)
+        return max(0, rb - lb + 1)
+
+    # ------------------------------------------------------------------
+    # Size accounting (for the index-size experiments of Fig. 6)
+    # ------------------------------------------------------------------
+    def nbytes(self) -> int:
+        """Bytes held by the SA (+LCP if built); text excluded."""
+        total = self._sa.nbytes
+        if self._lcp is not None:
+            total += self._lcp.nbytes
+        return total

@@ -1,0 +1,6 @@
+"""Suffix tree substrate (Ukkonen's online construction)."""
+
+from repro.suffix_tree.navigation import SuffixTreeNavigator
+from repro.suffix_tree.ukkonen import SuffixTree
+
+__all__ = ["SuffixTree", "SuffixTreeNavigator"]

@@ -1,0 +1,154 @@
+"""Pattern matching and node enumeration over a suffix tree.
+
+Separates the read-side operations (locate, count, explicit-node
+statistics) from the construction machinery in
+:mod:`repro.suffix_tree.ukkonen`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.errors import PatternError
+from repro.suffix_tree.ukkonen import SuffixTree
+
+
+@dataclass(frozen=True)
+class NodeStats:
+    """Statistics of an explicit suffix-tree node, oracle-ready.
+
+    Mirrors the triplet ``<v, f(v), q(v)>`` of Section V: ``q`` letters
+    label the edge between the node and its parent, each representing a
+    distinct substring with frequency ``frequency``.
+    """
+
+    node: int
+    frequency: int
+    string_depth: int
+    parent_depth: int
+
+    @property
+    def edge_length(self) -> int:
+        return self.string_depth - self.parent_depth
+
+
+class SuffixTreeNavigator:
+    """Locate/count queries and node statistics for a finalized tree."""
+
+    def __init__(self, tree: SuffixTree) -> None:
+        tree._require_finalized()
+        self._tree = tree
+
+    # ------------------------------------------------------------------
+    # Locate
+    # ------------------------------------------------------------------
+    def _descend(self, pattern: "Sequence[int] | np.ndarray") -> "int | None":
+        """The node whose subtree holds all occurrences of *pattern*.
+
+        Returns ``None`` when the pattern does not occur.  When the
+        pattern ends mid-edge the child node below that edge is
+        returned (its subtree is exactly the occurrence set).
+        """
+        if len(pattern) == 0:
+            raise PatternError("patterns must be non-empty")
+        tree = self._tree
+        node = 0
+        i = 0
+        m = len(pattern)
+        while i < m:
+            child = tree.children(node).get(int(pattern[i]))
+            if child is None:
+                return None
+            label = tree.edge_label(child)
+            span = min(len(label), m - i)
+            for k in range(span):
+                if label[k] != int(pattern[i + k]):
+                    return None
+            i += span
+            node = child
+        return node
+
+    def occurrences(self, pattern: "Sequence[int] | np.ndarray") -> np.ndarray:
+        """All starting positions of *pattern*, via leaf collection.
+
+        O(m + occ): descend, then enumerate the subtree's leaves.
+        """
+        locus = self._descend(pattern)
+        if locus is None:
+            return np.empty(0, dtype=np.int64)
+        tree = self._tree
+        out: list[int] = []
+        stack = [locus]
+        while stack:
+            node = stack.pop()
+            kids = tree.children(node)
+            if kids:
+                stack.extend(kids.values())
+            else:
+                idx = tree.suffix_index(node)
+                # The sentinel-only leaf (index n) is not an occurrence.
+                if idx + len(pattern) <= tree.sentinel_length - 1:
+                    out.append(idx)
+        return np.asarray(sorted(out), dtype=np.int64)
+
+    def count(self, pattern: "Sequence[int] | np.ndarray") -> int:
+        """``|occ(pattern)|`` in O(m) using precomputed frequencies.
+
+        The locus frequency counts leaves below it; when the pattern
+        runs into the sentinel region (it cannot, as patterns never
+        contain the sentinel) this equals the occurrence count.
+        """
+        locus = self._descend(pattern)
+        if locus is None:
+            return 0
+        return self._tree.frequency(locus)
+
+    def interval(self, pattern: "Sequence[int] | np.ndarray") -> tuple[int, int]:
+        """A SuffixArray-compatible pseudo-interval ``(0, count - 1)``.
+
+        Suffix trees have no SA row numbering without extra
+        annotation; callers that only use interval *widths* (counts)
+        work unchanged.
+        """
+        count = self.count(pattern)
+        return (0, count - 1)
+
+    def nbytes(self) -> int:
+        """Analytic suffix-tree size (nodes + child maps + text)."""
+        tree = self._tree
+        return 88 * tree.node_count + 8 * tree.sentinel_length
+
+    def contains(self, pattern: "Sequence[int] | np.ndarray") -> bool:
+        return self._descend(pattern) is not None
+
+    # ------------------------------------------------------------------
+    # Node statistics (feed for the Section-V oracle's ST path)
+    # ------------------------------------------------------------------
+    def node_stats(self, include_leaves: bool = True) -> Iterator[NodeStats]:
+        """Yield ``<v, f(v), sd(v), sd(p(v))>`` for explicit nodes.
+
+        Nodes whose string consists purely of the sentinel (the
+        sentinel-only leaf) are skipped, and leaf depths are clipped to
+        exclude the sentinel letter so statistics refer to substrings
+        of ``S`` only.
+        """
+        tree = self._tree
+        for node in range(1, tree.node_count):
+            is_leaf = tree.is_leaf(node)
+            if is_leaf and not include_leaves:
+                continue
+            depth = tree.string_depth(node)
+            parent_depth = tree.string_depth(tree.parent(node))
+            if is_leaf:
+                depth -= 1  # drop the sentinel letter from the leaf edge
+                if depth <= parent_depth:
+                    continue  # sentinel-only leaf or empty real edge
+            yield NodeStats(
+                node=node,
+                frequency=tree.frequency(node),
+                string_depth=depth,
+                parent_depth=parent_depth,
+            )

@@ -1,0 +1,247 @@
+"""Ukkonen's online suffix tree construction.
+
+The suffix tree ``ST(S)`` is the compacted trie of all suffixes of
+``S`` (Section III).  Ukkonen's algorithm builds it online, one letter
+at a time, in amortised O(n) — the property the paper's dynamic-USI
+sketch (Section X) relies on.
+
+Representation: array-based nodes.  Node 0 is the root.  Each node
+stores its edge label as ``(start, end)`` half-open indices into the
+text; leaves use ``end = None`` meaning "the current text end", so
+every leaf edge grows implicitly with each extension (the classic
+"once a leaf, always a leaf" trick).
+
+``finalize()`` appends a unique sentinel so every suffix ends at a
+leaf, then annotates nodes with parent, string depth and frequency
+(= number of non-sentinel leaves below).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.errors import ConstructionError, NotBuiltError
+
+_SENTINEL = -1  # compares differently from every alphabet code >= 0
+
+
+class SuffixTree:
+    """An online suffix tree over integer letter codes.
+
+    Use :meth:`from_codes` for the common build-once case, or create an
+    empty tree and :meth:`extend` letters one at a time.
+    """
+
+    def __init__(self) -> None:
+        self.text: list[int] = []
+        # Parallel node arrays.
+        self._children: list[dict[int, int]] = [{}]
+        self._start: list[int] = [0]
+        self._end: list["int | None"] = [0]
+        self._link: list[int] = [0]
+        # Active point (Ukkonen state).
+        self._active_node = 0
+        self._active_edge = 0  # index into text of the active edge's first letter
+        self._active_length = 0
+        self._remainder = 0
+        self._finalized = False
+        # Annotations, filled by finalize().
+        self._parent: "list[int] | None" = None
+        self._depth: "list[int] | None" = None
+        self._freq: "list[int] | None" = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_codes(cls, codes: "Sequence[int] | np.ndarray") -> "SuffixTree":
+        """Build and finalize the suffix tree of *codes*."""
+        tree = cls()
+        for c in codes:
+            tree.extend(int(c))
+        tree.finalize()
+        return tree
+
+    def _new_node(self, start: int, end: "int | None") -> int:
+        self._children.append({})
+        self._start.append(start)
+        self._end.append(end)
+        self._link.append(0)
+        return len(self._children) - 1
+
+    def _edge_length(self, node: int) -> int:
+        end = self._end[node]
+        if end is None:
+            end = len(self.text)
+        return end - self._start[node]
+
+    # Mutation hooks: no-ops here; online consumers (the Section-X
+    # frequency tracker) override them to maintain counts incrementally.
+    def _on_new_leaf(self, leaf: int, parent: int) -> None:
+        """Called right after *leaf* is attached below *parent*."""
+
+    def _on_split(self, split: int, parent: int, child: int) -> None:
+        """Called right after *split* is inserted between *parent* and *child*."""
+
+    def extend(self, letter: int) -> None:
+        """Append one letter and update the tree (amortised O(1))."""
+        if self._finalized:
+            raise ConstructionError("cannot extend a finalized suffix tree")
+        self.text.append(letter)
+        pos = len(self.text) - 1
+        self._remainder += 1
+        last_internal: "int | None" = None
+
+        while self._remainder > 0:
+            if self._active_length == 0:
+                self._active_edge = pos
+            edge_letter = self.text[self._active_edge]
+            child = self._children[self._active_node].get(edge_letter)
+
+            if child is None:
+                leaf = self._new_node(pos, None)
+                self._children[self._active_node][edge_letter] = leaf
+                self._on_new_leaf(leaf, self._active_node)
+                if last_internal is not None:
+                    self._link[last_internal] = self._active_node
+                    last_internal = None
+            else:
+                edge_len = self._edge_length(child)
+                if self._active_length >= edge_len:
+                    # Walk down: the active point lies beyond this edge.
+                    self._active_node = child
+                    self._active_edge += edge_len
+                    self._active_length -= edge_len
+                    continue
+                if self.text[self._start[child] + self._active_length] == letter:
+                    # The letter is already on the edge: rule 3, stop early.
+                    self._active_length += 1
+                    if last_internal is not None:
+                        self._link[last_internal] = self._active_node
+                    break
+                # Split the edge and hang a new leaf off the split node.
+                split = self._new_node(
+                    self._start[child], self._start[child] + self._active_length
+                )
+                self._children[self._active_node][edge_letter] = split
+                self._on_split(split, self._active_node, child)
+                leaf = self._new_node(pos, None)
+                self._children[split][letter] = leaf
+                self._start[child] += self._active_length
+                self._children[split][self.text[self._start[child]]] = child
+                self._on_new_leaf(leaf, split)
+                if last_internal is not None:
+                    self._link[last_internal] = split
+                last_internal = split
+
+            self._remainder -= 1
+            if self._active_node == 0 and self._active_length > 0:
+                self._active_length -= 1
+                self._active_edge = pos - self._remainder + 1
+            elif self._active_node != 0:
+                self._active_node = self._link[self._active_node]
+
+    def finalize(self) -> None:
+        """Append the sentinel and annotate parents, depths, frequencies."""
+        if self._finalized:
+            return
+        self.extend(_SENTINEL)
+        self._finalized = True
+        self._annotate()
+
+    # ------------------------------------------------------------------
+    # Annotation and traversal
+    # ------------------------------------------------------------------
+    def _annotate(self) -> None:
+        count = len(self._children)
+        parent = [0] * count
+        depth = [0] * count
+        freq = [0] * count
+        order: list[int] = []  # nodes in DFS pre-order
+
+        stack = [0]
+        while stack:
+            node = stack.pop()
+            order.append(node)
+            for child in self._children[node].values():
+                parent[child] = node
+                depth[child] = depth[node] + self._edge_length(child)
+                stack.append(child)
+
+        text_len = len(self.text)  # includes the sentinel
+        for node in reversed(order):
+            if not self._children[node]:
+                # A leaf represents the suffix starting at
+                # text_len - depth; the sentinel-only suffix is not a
+                # real occurrence of anything, but its leaf still
+                # carries frequency 1 for the strings above it only if
+                # the leaf's suffix is a real suffix of S; the
+                # sentinel-only leaf hangs off the root with depth 1,
+                # so it never contributes to any non-empty substring.
+                freq[node] = 1
+            else:
+                freq[node] = sum(freq[c] for c in self._children[node].values())
+        self._parent = parent
+        self._depth = depth
+        self._freq = freq
+
+    def _require_finalized(self) -> None:
+        if not self._finalized:
+            raise NotBuiltError("finalize() the suffix tree first")
+
+    @property
+    def node_count(self) -> int:
+        return len(self._children)
+
+    @property
+    def sentinel_length(self) -> int:
+        """Text length including the sentinel."""
+        return len(self.text)
+
+    def children(self, node: int) -> dict[int, int]:
+        """The child map ``letter_code -> node`` of *node*."""
+        return self._children[node]
+
+    def parent(self, node: int) -> int:
+        self._require_finalized()
+        return self._parent[node]  # type: ignore[index]
+
+    def string_depth(self, node: int) -> int:
+        """``sd(node)``: length of the string the node's locus spells."""
+        self._require_finalized()
+        return self._depth[node]  # type: ignore[index]
+
+    def frequency(self, node: int) -> int:
+        """``f(node)``: leaves below the node (occurrences of its string)."""
+        self._require_finalized()
+        return self._freq[node]  # type: ignore[index]
+
+    def is_leaf(self, node: int) -> bool:
+        return not self._children[node]
+
+    def suffix_index(self, leaf: int) -> int:
+        """Start position of the suffix a *leaf* represents."""
+        self._require_finalized()
+        return len(self.text) - self._depth[leaf]  # type: ignore[index]
+
+    def edge_label(self, node: int) -> list[int]:
+        """The letter codes labelling the edge into *node*."""
+        end = self._end[node]
+        if end is None:
+            end = len(self.text)
+        return self.text[self._start[node] : end]
+
+    def internal_nodes(self) -> Iterator[int]:
+        """All explicit non-root internal nodes."""
+        self._require_finalized()
+        for node in range(1, self.node_count):
+            if self._children[node]:
+                yield node
+
+    def leaves(self) -> Iterator[int]:
+        self._require_finalized()
+        for node in range(1, self.node_count):
+            if not self._children[node]:
+                yield node

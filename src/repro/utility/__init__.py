@@ -1,0 +1,25 @@
+"""Utility functions: local (sliding-window) and global aggregators."""
+
+from repro.utility.functions import (
+    GlobalUtility,
+    LocalUtility,
+    PrefixSumLocalUtility,
+    ProductLocalUtility,
+    RangeMaxLocalUtility,
+    RangeMinLocalUtility,
+    make_global_utility,
+    make_local_utility,
+)
+from repro.utility.prefix_sums import PswArray
+
+__all__ = [
+    "GlobalUtility",
+    "LocalUtility",
+    "PrefixSumLocalUtility",
+    "ProductLocalUtility",
+    "PswArray",
+    "RangeMaxLocalUtility",
+    "RangeMinLocalUtility",
+    "make_global_utility",
+    "make_local_utility",
+]

@@ -1,0 +1,160 @@
+"""Tests for BSL1-BSL4: all are exact; they differ only in caching."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import (
+    Bsl1NoCache,
+    Bsl2LruCache,
+    Bsl3TopKSeen,
+    Bsl4SketchTopKSeen,
+    SaPswEngine,
+)
+from repro.core.naive import naive_global_utility
+from repro.errors import ParameterError, PatternError
+from repro.strings.weighted import WeightedString
+
+from tests.conftest import weighted_strings
+
+ALL_BASELINES = [
+    lambda ws: Bsl1NoCache(ws),
+    lambda ws: Bsl2LruCache(ws, capacity=4),
+    lambda ws: Bsl3TopKSeen(ws, capacity=4),
+    lambda ws: Bsl4SketchTopKSeen(ws, capacity=4),
+]
+
+
+class TestEngine:
+    def test_compute_matches_naive(self, paper_example):
+        engine = SaPswEngine(paper_example)
+        codes = paper_example.alphabet.encode("TACCCC").astype(np.int64)
+        assert engine.compute(codes) == pytest.approx(14.6)
+
+    def test_encode_rejects_empty(self, paper_example):
+        engine = SaPswEngine(paper_example)
+        with pytest.raises(PatternError):
+            engine.encode("")
+
+    def test_encode_unknown_letter_none(self, paper_example):
+        assert SaPswEngine(paper_example).encode("XYZ") is None
+
+    def test_fingerprint_stable(self, paper_example):
+        engine = SaPswEngine(paper_example)
+        codes = paper_example.alphabet.encode("TAC").astype(np.int64)
+        assert engine.fingerprint(codes) == engine.fingerprint(codes)
+
+    def test_nbytes_positive(self, paper_example):
+        assert SaPswEngine(paper_example).nbytes() > 0
+
+
+class TestAllBaselinesExact:
+    @pytest.mark.parametrize("make", ALL_BASELINES)
+    def test_example_1(self, paper_example, make):
+        baseline = make(paper_example)
+        assert baseline.query("TACCCC") == pytest.approx(14.6)
+
+    @pytest.mark.parametrize("make", ALL_BASELINES)
+    def test_absent_and_unknown_patterns(self, paper_example, make):
+        baseline = make(paper_example)
+        assert baseline.query("CCCCCC") == 0.0
+        assert baseline.query("QQ") == 0.0
+
+    @pytest.mark.parametrize("make", ALL_BASELINES)
+    def test_repeated_queries_stay_correct(self, paper_example, make):
+        """Caching must never change answers."""
+        baseline = make(paper_example)
+        patterns = ["TACCCC", "A", "AT", "CCCC", "TACCCC", "A", "G", "TACCCC"]
+        for pattern in patterns:
+            assert baseline.query(pattern) == pytest.approx(
+                naive_global_utility(paper_example, pattern)
+            ), pattern
+
+    @given(weighted_strings(max_size=25))
+    @settings(max_examples=15, deadline=None)
+    def test_all_agree_property(self, ws):
+        baselines = [make(ws) for make in ALL_BASELINES]
+        text = ws.text()
+        probes = [text[:1], text[:2], text[-2:], text[: len(text) // 2 + 1]]
+        for pattern in probes:
+            if not pattern:
+                continue
+            values = [b.query(pattern) for b in baselines]
+            want = naive_global_utility(ws, pattern)
+            for value in values:
+                assert value == pytest.approx(want, abs=1e-6)
+
+
+class TestCachePolicies:
+    def test_bsl2_lru_eviction(self):
+        ws = WeightedString.uniform("ABCDEFGH")
+        baseline = Bsl2LruCache(ws, capacity=2)
+        baseline.query("A")
+        baseline.query("B")
+        baseline.query("C")  # evicts "A"
+        assert baseline.cache_size == 2
+        misses = baseline.misses
+        baseline.query("A")  # must recompute
+        assert baseline.misses == misses + 1
+
+    def test_bsl2_hit_counting(self):
+        ws = WeightedString.uniform("ABCD")
+        baseline = Bsl2LruCache(ws, capacity=4)
+        baseline.query("A")
+        baseline.query("A")
+        assert baseline.hits == 1
+        assert baseline.misses == 1
+
+    def test_bsl3_keeps_frequently_queried(self):
+        ws = WeightedString.uniform("ABCDEFGH")
+        baseline = Bsl3TopKSeen(ws, capacity=2)
+        for _ in range(5):
+            baseline.query("A")
+        for _ in range(4):
+            baseline.query("B")
+        for letter in "CDEFG":  # one-off queries must not evict A or B
+            baseline.query(letter)
+        hits = baseline.hits
+        baseline.query("A")
+        baseline.query("B")
+        assert baseline.hits == hits + 2
+
+    def test_bsl3_capacity(self):
+        ws = WeightedString.uniform("ABCDEFGH")
+        baseline = Bsl3TopKSeen(ws, capacity=3)
+        for letter in "ABCDEFGH":
+            baseline.query(letter)
+        assert baseline.cache_size <= 3
+
+    def test_bsl4_capacity(self):
+        ws = WeightedString.uniform("ABCDEFGH")
+        baseline = Bsl4SketchTopKSeen(ws, capacity=3)
+        for letter in "ABCDEFGH" * 3:
+            baseline.query(letter)
+        assert baseline.cache_size <= 3
+
+    def test_bsl4_sketch_smaller_than_exact_counts(self):
+        """BSL4's point: auxiliary space does not grow with distinct queries."""
+        ws = WeightedString.uniform("ABCDEFGH" * 20)
+        bsl3 = Bsl3TopKSeen(ws, capacity=2)
+        bsl4 = Bsl4SketchTopKSeen(ws, capacity=2, sketch_width=64, sketch_depth=2)
+        rng = np.random.default_rng(0)
+        text = ws.text()
+        for _ in range(200):
+            start = int(rng.integers(0, len(text) - 3))
+            pattern = text[start : start + 3]
+            bsl3.query(pattern)
+            bsl4.query(pattern)
+        # BSL3 tracks every distinct query; BSL4's sketch is fixed-size.
+        assert bsl4._sketch.nbytes() == 64 * 2 * 8
+
+    @pytest.mark.parametrize("cls", [Bsl2LruCache, Bsl3TopKSeen, Bsl4SketchTopKSeen])
+    def test_zero_capacity_rejected(self, cls):
+        ws = WeightedString.uniform("AB")
+        with pytest.raises(ParameterError):
+            cls(ws, capacity=0)
+
+    @pytest.mark.parametrize("make", ALL_BASELINES)
+    def test_nbytes_positive(self, paper_example, make):
+        assert make(paper_example).nbytes() > 0

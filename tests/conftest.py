@@ -1,0 +1,64 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import strategies as st
+
+from repro.strings.weighted import WeightedString
+
+
+# ----------------------------------------------------------------------
+# Hypothesis strategies
+# ----------------------------------------------------------------------
+def texts(alphabet: str = "AB", min_size: int = 1, max_size: int = 60) -> st.SearchStrategy[str]:
+    """Small texts over a tiny alphabet (repeat-rich, worst-case-ish)."""
+    return st.text(alphabet=alphabet, min_size=min_size, max_size=max_size)
+
+
+def texts_mixed(max_size: int = 60) -> st.SearchStrategy[str]:
+    """Texts over alphabets of varying size."""
+    return st.one_of(
+        texts("A", max_size=max_size),
+        texts("AB", max_size=max_size),
+        texts("ABC", max_size=max_size),
+        texts("ACGT", max_size=max_size),
+        texts("abcdefgh", max_size=max_size),
+    )
+
+
+@st.composite
+def weighted_strings(draw, alphabet: str = "ABC", max_size: int = 40) -> WeightedString:
+    """Random weighted strings with bounded, finite utilities."""
+    text = draw(texts(alphabet, min_size=1, max_size=max_size))
+    utilities = draw(
+        st.lists(
+            st.floats(min_value=-10, max_value=10, allow_nan=False, width=32),
+            min_size=len(text),
+            max_size=len(text),
+        )
+    )
+    return WeightedString(text, utilities)
+
+
+# ----------------------------------------------------------------------
+# Fixtures
+# ----------------------------------------------------------------------
+@pytest.fixture()
+def paper_example() -> WeightedString:
+    """The worked Example 1 string from the paper's introduction."""
+    return WeightedString(
+        "ATACCCCGATAATACCCCAG",
+        [0.9, 1, 3, 2, 0.7, 1, 1, 0.6, 0.5, 0.5,
+         0.5, 0.8, 1, 1, 1, 0.9, 1, 1, 0.8, 1],
+    )
+
+
+@pytest.fixture()
+def small_dna() -> WeightedString:
+    """A deterministic DNA-like weighted string for cross-module tests."""
+    rng = np.random.default_rng(42)
+    codes = rng.integers(0, 4, size=300, dtype=np.int32)
+    utilities = rng.uniform(0.5, 1.5, size=300)
+    return WeightedString(codes, utilities)

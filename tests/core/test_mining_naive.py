@@ -1,0 +1,93 @@
+"""Tests for utility-oriented mining and the naive reference."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.mining import top_utility_substrings
+from repro.core.naive import naive_global_utility, naive_local_utility
+from repro.errors import ParameterError
+from repro.strings.occurrences import all_distinct_substrings
+from repro.strings.weighted import WeightedString
+
+from tests.conftest import weighted_strings
+
+
+class TestNaiveReference:
+    def test_example_1(self, paper_example):
+        assert naive_global_utility(paper_example, "TACCCC") == pytest.approx(14.6)
+
+    def test_local_utility(self, paper_example):
+        assert naive_local_utility(paper_example, 1, 6) == pytest.approx(8.7)
+
+    def test_absent_pattern(self, paper_example):
+        assert naive_global_utility(paper_example, "CCCCCC") == 0.0
+
+    def test_unknown_letters_are_zero(self, paper_example):
+        assert naive_global_utility(paper_example, "QQ") == 0.0
+
+    def test_aggregators(self):
+        ws = WeightedString("ABAB", [1.0, 2.0, 10.0, 20.0])
+        assert naive_global_utility(ws, "AB", "sum") == pytest.approx(33.0)
+        assert naive_global_utility(ws, "AB", "min") == pytest.approx(3.0)
+        assert naive_global_utility(ws, "AB", "max") == pytest.approx(30.0)
+        assert naive_global_utility(ws, "AB", "avg") == pytest.approx(16.5)
+
+
+class TestTopUtilityMining:
+    def test_finds_highest_utility_substring(self):
+        # 'B' positions carry all the weight.
+        ws = WeightedString("ABAB", [0.0, 10.0, 0.0, 10.0])
+        top = top_utility_substrings(ws, top=1, min_length=1, max_length=1)
+        assert ws.fragment_text(top[0].position, top[0].length) == "B"
+        assert top[0].utility == pytest.approx(20.0)
+
+    def test_respects_length_band(self):
+        ws = WeightedString.uniform("ABCABC")
+        top = top_utility_substrings(ws, top=5, min_length=2, max_length=3)
+        assert all(2 <= t.length <= 3 for t in top)
+
+    def test_matches_exhaustive_ranking(self):
+        ws = WeightedString("ABCABCAB", [1, 2, 3, 4, 5, 6, 7, 8])
+        got = top_utility_substrings(ws, top=3, min_length=1, max_length=4)
+        # Exhaustive check over all substrings in the band.
+        scored = []
+        for key in all_distinct_substrings(ws.text()):
+            if 1 <= len(key) <= 4:
+                pattern = "".join(key)
+                scored.append((naive_global_utility(ws, pattern), pattern))
+        scored.sort(reverse=True)
+        want_top_values = [value for value, _ in scored[:3]]
+        assert [t.utility for t in got] == pytest.approx(want_top_values)
+
+    def test_frequency_reported(self):
+        ws = WeightedString.uniform("ABABAB")
+        top = top_utility_substrings(ws, top=1, min_length=2, max_length=2)
+        assert top[0].frequency == 3
+
+    def test_utility_vs_frequency_divergence(self):
+        """The Table I effect: top-by-utility != top-by-frequency."""
+        # 'Z' is rare but each occurrence is worth a fortune.
+        text = "AB" * 30 + "ZZZ"
+        utilities = [0.1] * 60 + [100.0] * 3
+        ws = WeightedString(text, utilities)
+        top = top_utility_substrings(ws, top=1, min_length=1, max_length=1)
+        assert ws.fragment_text(top[0].position, 1) == "Z"
+
+    def test_invalid_parameters(self):
+        ws = WeightedString.uniform("ABC")
+        with pytest.raises(ParameterError):
+            top_utility_substrings(ws, top=0)
+        with pytest.raises(ParameterError):
+            top_utility_substrings(ws, top=1, min_length=0)
+        with pytest.raises(ParameterError):
+            top_utility_substrings(ws, top=1, min_length=3, max_length=2)
+
+    @given(weighted_strings(max_size=20))
+    @settings(max_examples=25, deadline=None)
+    def test_top1_dominates_all_property(self, ws):
+        top = top_utility_substrings(ws, top=1)
+        best = top[0].utility
+        for key in all_distinct_substrings(ws.text()):
+            assert naive_global_utility(ws, "".join(key)) <= best + 1e-6

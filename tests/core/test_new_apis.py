@@ -1,0 +1,167 @@
+"""Tests for the ST-backed oracle, threshold mining, and batch queries."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.mining import mine_by_utility_threshold
+from repro.core.naive import naive_global_utility
+from repro.core.topk_oracle import TopKOracle
+from repro.core.usi import UsiIndex
+from repro.errors import ParameterError
+from repro.strings.alphabet import Alphabet
+from repro.strings.occurrences import all_distinct_substrings
+from repro.strings.weighted import WeightedString
+from repro.suffix.suffix_array import SuffixArray
+from repro.suffix_tree.ukkonen import SuffixTree
+
+from tests.conftest import texts_mixed, weighted_strings
+
+
+class TestSuffixTreeOraclePath:
+    def _pair(self, text: str):
+        codes = Alphabet.from_text(text).encode(text)
+        esa = TopKOracle(SuffixArray(codes))
+        st_oracle = TopKOracle.from_suffix_tree(SuffixTree.from_codes(codes))
+        return esa, st_oracle
+
+    @pytest.mark.parametrize("text", ["ABABAB", "MISSISSIPPI", "AAAA", "ABCDE"])
+    def test_suffix_positions_equal_sa(self, text):
+        esa, st_oracle = self._pair(text)
+        np.testing.assert_array_equal(
+            esa.suffix_positions, st_oracle.suffix_positions
+        )
+
+    @pytest.mark.parametrize("text", ["ABABAB", "MISSISSIPPI", "BANANA"])
+    def test_top_k_agrees(self, text):
+        esa, st_oracle = self._pair(text)
+        for k in (1, 4, 12, 50):
+            a = sorted((m.length, m.frequency) for m in esa.top_k(k))
+            b = sorted((m.length, m.frequency) for m in st_oracle.top_k(k))
+            assert a == b
+
+    def test_tuning_tasks_agree(self):
+        esa, st_oracle = self._pair("ABRACADABRA")
+        for k in (1, 5, 20):
+            assert esa.tune_by_k(k) == st_oracle.tune_by_k(k)
+        for tau in (1, 2, 4):
+            assert esa.tune_by_tau(tau) == st_oracle.tune_by_tau(tau)
+
+    def test_index_property_is_none(self):
+        _, st_oracle = self._pair("ABAB")
+        assert st_oracle.index is None
+
+    def test_rejects_non_tree(self):
+        with pytest.raises(ParameterError):
+            TopKOracle.from_suffix_tree("not a tree")
+
+    @given(texts_mixed(max_size=40))
+    @settings(max_examples=25, deadline=None)
+    def test_agreement_property(self, text):
+        esa, st_oracle = self._pair(text)
+        np.testing.assert_array_equal(
+            esa.suffix_positions, st_oracle.suffix_positions
+        )
+        assert esa.distinct_substring_count == st_oracle.distinct_substring_count
+        k = max(1, esa.distinct_substring_count // 2)
+        assert sorted((m.length, m.frequency) for m in esa.top_k(k)) == sorted(
+            (m.length, m.frequency) for m in st_oracle.top_k(k)
+        )
+
+
+class TestThresholdMining:
+    def test_matches_exhaustive(self):
+        ws = WeightedString("ABCABCAB", [1, 2, 3, 4, 5, 6, 7, 8])
+        threshold = 10.0
+        mined = mine_by_utility_threshold(ws, threshold, min_length=1, max_length=4)
+        mined_keys = {
+            (ws.fragment_text(m.position, m.length)) for m in mined
+        }
+        for key in all_distinct_substrings(ws.text()):
+            if 1 <= len(key) <= 4:
+                pattern = "".join(key)
+                expected = naive_global_utility(ws, pattern) >= threshold
+                assert (pattern in mined_keys) == expected, pattern
+
+    def test_sorted_by_utility(self):
+        ws = WeightedString.uniform("ABABAB")
+        mined = mine_by_utility_threshold(ws, threshold=2.0)
+        utilities = [m.utility for m in mined]
+        assert utilities == sorted(utilities, reverse=True)
+
+    def test_high_threshold_empty(self):
+        ws = WeightedString.uniform("ABC")
+        assert mine_by_utility_threshold(ws, threshold=1e9) == []
+
+    def test_invalid_lengths(self):
+        ws = WeightedString.uniform("ABC")
+        with pytest.raises(ParameterError):
+            mine_by_utility_threshold(ws, 1.0, min_length=0)
+        with pytest.raises(ParameterError):
+            mine_by_utility_threshold(ws, 1.0, min_length=3, max_length=2)
+
+    @given(weighted_strings(max_size=20), st.floats(0.5, 20, width=32))
+    @settings(max_examples=20, deadline=None)
+    def test_everything_reported_reaches_threshold_property(self, ws, threshold):
+        for m in mine_by_utility_threshold(ws, threshold):
+            assert m.utility >= threshold
+
+
+class TestQueryBatch:
+    def test_matches_scalar_queries(self, paper_example):
+        index = UsiIndex.build(paper_example, k=8)
+        patterns = ["TACCCC", "A", "GGGG", "AT", "CCCC", "XYZ", "ATACCCCGATAATACCCCAG"]
+        batch = index.query_batch(patterns)
+        scalar = [index.query(p) for p in patterns]
+        assert batch == pytest.approx(scalar)
+
+    def test_mixed_lengths_order_preserved(self):
+        ws = WeightedString.uniform("ABRACADABRA" * 3)
+        index = UsiIndex.build(ws, k=10)
+        patterns = ["A", "ABRA", "B", "RACA", "ABRACADABRA", "C"]
+        batch = index.query_batch(patterns)
+        for pattern, value in zip(patterns, batch):
+            assert value == pytest.approx(index.query(pattern))
+
+    def test_empty_batch(self, paper_example):
+        index = UsiIndex.build(paper_example, k=4)
+        assert index.query_batch([]) == []
+
+    def test_unknown_letters_identity(self, paper_example):
+        index = UsiIndex.build(paper_example, k=4)
+        assert index.query_batch(["QQQ"]) == [0.0]
+
+    def test_numpy_patterns(self, paper_example):
+        index = UsiIndex.build(paper_example, k=4)
+        pattern = paper_example.alphabet.encode("TACCCC").astype(np.int64)
+        assert index.query_batch([pattern]) == pytest.approx([14.6])
+
+    @given(weighted_strings(max_size=25), st.integers(1, 10))
+    @settings(max_examples=20, deadline=None)
+    def test_batch_equals_scalar_property(self, ws, k):
+        index = UsiIndex.build(ws, k=k)
+        text = ws.text()
+        patterns = [text[:1], text[:3] or text[:1], text[-2:] or text[-1:]]
+        assert index.query_batch(patterns) == pytest.approx(
+            [index.query(p) for p in patterns], abs=1e-9
+        )
+
+
+class TestBatchFingerprinting:
+    def test_matrix_matches_of_codes(self):
+        from repro.hashing.karp_rabin import KarpRabinFingerprinter
+
+        codes = Alphabet.from_text("ABRACADABRA").encode("ABRACADABRA")
+        fp = KarpRabinFingerprinter(codes)
+        matrix = np.asarray([[0, 1, 2], [2, 1, 0], [0, 0, 0]], dtype=np.int64)
+        batch = fp.of_code_matrix(matrix)
+        for row, key in zip(matrix, batch.tolist()):
+            assert key == fp.of_codes(row)
+
+    def test_rejects_non_matrix(self):
+        from repro.hashing.karp_rabin import KarpRabinFingerprinter
+
+        fp = KarpRabinFingerprinter(np.asarray([0, 1], dtype=np.int64))
+        with pytest.raises(ParameterError):
+            fp.of_code_matrix(np.asarray([1, 2, 3]))

@@ -1,0 +1,148 @@
+"""Tests for the online frequency tracker (Section X machinery)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.exact_topk import exact_top_k
+from repro.core.online import OnlineFrequencyTracker
+from repro.errors import ParameterError, PatternError
+from repro.strings.occurrences import naive_occurrences, naive_top_k_frequent
+
+
+def _feed(letters) -> OnlineFrequencyTracker:
+    tracker = OnlineFrequencyTracker()
+    tracker.extend_all(letters)
+    return tracker
+
+
+class TestCounts:
+    def test_simple_stream(self):
+        tracker = _feed([0, 1, 0, 1, 0])
+        assert tracker.count([0]) == 3
+        assert tracker.count([1]) == 2
+        assert tracker.count([0, 1]) == 2
+        assert tracker.count([1, 0]) == 2
+        assert tracker.count([0, 1, 0, 1, 0]) == 1
+
+    def test_absent_pattern(self):
+        tracker = _feed([0, 0, 0])
+        assert tracker.count([1]) == 0
+        assert tracker.count([0, 1]) == 0
+
+    def test_pattern_longer_than_stream(self):
+        tracker = _feed([0, 1])
+        assert tracker.count([0, 1, 0]) == 0
+
+    def test_empty_pattern_rejected(self):
+        with pytest.raises(PatternError):
+            _feed([0]).count([])
+
+    def test_negative_letter_rejected(self):
+        tracker = OnlineFrequencyTracker()
+        with pytest.raises(ParameterError):
+            tracker.extend(-1)
+
+    def test_counts_correct_while_suffixes_pending(self):
+        # "0 0" leaves the suffix "0" implicit (rule 3); counts must
+        # still be exact mid-stream.
+        tracker = OnlineFrequencyTracker()
+        tracker.extend(0)
+        assert tracker.count([0]) == 1
+        tracker.extend(0)
+        assert tracker.count([0]) == 2
+        assert tracker.count([0, 0]) == 1
+        tracker.extend(0)
+        assert tracker.count([0]) == 3
+        assert tracker.count([0, 0]) == 2
+
+    @given(
+        st.lists(st.integers(0, 2), min_size=1, max_size=40),
+        st.data(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_exact_at_every_prefix_property(self, stream, data):
+        tracker = OnlineFrequencyTracker()
+        prefix: list[int] = []
+        for letter in stream:
+            tracker.extend(letter)
+            prefix.append(letter)
+            m = data.draw(st.integers(1, min(4, len(prefix))))
+            start = data.draw(st.integers(0, len(prefix) - m))
+            pattern = prefix[start : start + m]
+            assert tracker.count(pattern) == len(
+                naive_occurrences(prefix, pattern)
+            )
+
+
+class TestTopK:
+    def test_matches_naive(self):
+        stream = [0, 1, 0, 1, 0, 0, 1]
+        tracker = _feed(stream)
+        for k in (1, 3, 8):
+            got = sorted(m.frequency for m in tracker.top_k(k))
+            want = sorted(f for _, f in naive_top_k_frequent(stream, k))
+            assert got == want
+
+    def test_matches_offline_exact_miner(self):
+        rng = np.random.default_rng(3)
+        stream = rng.integers(0, 3, size=80).tolist()
+        tracker = _feed(stream)
+        for k in (5, 15, 40):
+            online = sorted(m.frequency for m in tracker.top_k(k))
+            offline = sorted(m.frequency for m in exact_top_k(stream, k))
+            assert online == offline
+
+    def test_witnesses_valid(self):
+        stream = [0, 1, 2, 0, 1, 2, 0, 1]
+        tracker = _feed(stream)
+        for mined in tracker.top_k(10):
+            window = stream[mined.position : mined.position + mined.length]
+            assert len(window) == mined.length
+            assert tracker.count(window) == mined.frequency
+
+    def test_empty_stream(self):
+        assert OnlineFrequencyTracker().top_k(3) == []
+
+    def test_invalid_k(self):
+        with pytest.raises(ParameterError):
+            _feed([0]).top_k(0)
+
+    def test_evolves_with_stream(self):
+        tracker = OnlineFrequencyTracker()
+        tracker.extend_all([0, 0, 0])
+        assert tracker.top_k(1)[0].frequency == 3  # '0' x3
+        tracker.extend_all([1, 1, 1, 1])
+        top = tracker.top_k(1)[0]
+        assert top.frequency == 4  # now '1' x4
+
+    @given(st.lists(st.integers(0, 1), min_size=1, max_size=30), st.integers(1, 10))
+    @settings(max_examples=40, deadline=None)
+    def test_top_k_property(self, stream, k):
+        tracker = _feed(stream)
+        got = sorted(m.frequency for m in tracker.top_k(k))
+        want = sorted(f for _, f in naive_top_k_frequent(stream, k))
+        assert got == want
+
+
+class TestTreeIntegrity:
+    def test_online_parents_match_finalized_annotation(self):
+        """The incrementally maintained parents agree with finalize()."""
+        from repro.core.online import _CountingSuffixTree
+
+        rng = np.random.default_rng(1)
+        stream = rng.integers(0, 3, size=60).tolist()
+        tree = _CountingSuffixTree()
+        for letter in stream:
+            tree.extend(letter)
+        tree.finalize()
+        # finalize() recomputes parents from scratch via DFS; the
+        # incrementally maintained array must agree exactly (the hooks
+        # also fire during the sentinel pass).
+        for node in range(1, tree.node_count):
+            assert tree.parent(node) == tree.parents[node], node
+        # After finalize every suffix has a leaf, so the online counts
+        # equal the recomputed frequencies exactly.
+        for node in range(1, tree.node_count):
+            assert tree.frequency(node) == tree.counts[node], node

@@ -1,0 +1,198 @@
+"""Tests for the Section-V oracle: Exact-Top-K and the tuning tasks."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.exact_topk import exact_top_k
+from repro.core.topk_oracle import TopKOracle
+from repro.errors import ParameterError
+from repro.strings.alphabet import Alphabet
+from repro.strings.occurrences import (
+    naive_substring_frequencies,
+    naive_top_k_frequent,
+    tie_threshold_frequency,
+)
+from repro.suffix.suffix_array import SuffixArray
+
+from tests.conftest import texts_mixed
+
+
+def _oracle(text: str, include_leaves: bool = True) -> TopKOracle:
+    codes = Alphabet.from_text(text).encode(text)
+    return TopKOracle(SuffixArray(codes), include_leaves=include_leaves)
+
+
+class TestExactTopK:
+    def test_frequency_multiset_matches_naive(self):
+        text = "ABABAB"
+        for k in (1, 2, 3, 6, 10):
+            got = sorted(m.frequency for m in exact_top_k(text, k))
+            want = sorted(f for _, f in naive_top_k_frequent(text, k))
+            assert got == want, k
+
+    def test_witnesses_have_reported_frequency(self):
+        text = "MISSISSIPPI"
+        counts = naive_substring_frequencies(text)
+        for mined in exact_top_k(text, 12):
+            witness = text[mined.position : mined.position + mined.length]
+            assert counts[tuple(witness)] == mined.frequency
+
+    def test_reported_substrings_distinct(self):
+        text = "ABRACADABRA"
+        mined = exact_top_k(text, 15)
+        keys = {text[m.position : m.position + m.length] for m in mined}
+        assert len(keys) == len(mined)
+
+    def test_k_exceeding_distinct_substrings(self):
+        mined = exact_top_k("AB", 100)
+        assert len(mined) == 3
+
+    def test_invalid_k(self):
+        with pytest.raises(ParameterError):
+            exact_top_k("AB", 0)
+
+    def test_sais_algorithm_agrees(self):
+        a = exact_top_k("ABRACADABRA", 8, sa_algorithm="doubling")
+        b = exact_top_k("ABRACADABRA", 8, sa_algorithm="sais")
+        assert [m.frequency for m in a] == [m.frequency for m in b]
+
+    @given(texts_mixed(max_size=40), st.integers(1, 25))
+    def test_matches_naive_property(self, text, k):
+        got = sorted(m.frequency for m in exact_top_k(text, k))
+        want = sorted(f for _, f in naive_top_k_frequent(text, k))
+        assert got == want
+
+    @given(texts_mixed(max_size=40), st.integers(1, 25))
+    def test_no_skipped_heavier_substring_property(self, text, k):
+        """Nothing outside the reported set may beat the reported minimum."""
+        mined = exact_top_k(text, k)
+        counts = naive_substring_frequencies(text)
+        if len(mined) < min(k, len(counts)):
+            return
+        tau = min(m.frequency for m in mined)
+        reported = {
+            tuple(text[m.position : m.position + m.length]) for m in mined
+        }
+        for key, freq in counts.items():
+            if key not in reported:
+                assert freq <= tau
+
+
+class TestTripletOutput:
+    def test_triplets_encode_sa_intervals(self):
+        text = "ABABAB"
+        codes = Alphabet.from_text(text).encode(text)
+        index = SuffixArray(codes)
+        oracle = TopKOracle(index)
+        for t in oracle.top_k_triplets(5):
+            # Every suffix in SA[lb..rb] starts with the substring.
+            witness = codes[index.sa[t.lb] : index.sa[t.lb] + t.lcp]
+            for rank in range(t.lb, t.rb + 1):
+                start = index.sa[rank]
+                np.testing.assert_array_equal(
+                    codes[start : start + t.lcp], witness
+                )
+            assert t.frequency == t.rb - t.lb + 1
+
+    def test_counts(self):
+        oracle = _oracle("ABABAB")
+        assert len(oracle.top_k_triplets(4)) == 4
+        assert oracle.triplet_count > 0
+
+
+class TestTaskII:
+    def test_tau_k_matches_naive(self):
+        text = "ABRACADABRA"
+        oracle = _oracle(text)
+        for k in (1, 2, 5, 10, 20):
+            point = oracle.tune_by_k(k)
+            assert point.tau == tie_threshold_frequency(text, k)
+
+    def test_distinct_lengths_matches_listing(self):
+        text = "ABABABXY"
+        oracle = _oracle(text)
+        for k in (1, 3, 7, 12):
+            point = oracle.tune_by_k(k)
+            lengths = {m.length for m in oracle.top_k(k)}
+            assert point.distinct_lengths == max(lengths)
+            # Lengths are a contiguous prefix 1..L_K (oracle invariant).
+            assert lengths == set(range(1, point.distinct_lengths + 1))
+
+    def test_k_beyond_distinct_substrings_clamped(self):
+        oracle = _oracle("AB")
+        point = oracle.tune_by_k(10_000)
+        assert point.k == 3
+        assert point.tau == 1
+
+    def test_invalid_k(self):
+        with pytest.raises(ParameterError):
+            _oracle("AB").tune_by_k(0)
+
+    @given(texts_mixed(max_size=40), st.integers(1, 30))
+    def test_tau_property(self, text, k):
+        assert _oracle(text).tune_by_k(k).tau == tie_threshold_frequency(text, k)
+
+
+class TestTaskIII:
+    def test_k_tau_matches_naive(self):
+        text = "ABRACADABRA"
+        counts = naive_substring_frequencies(text)
+        oracle = _oracle(text)
+        for tau in (1, 2, 3, 5):
+            want = sum(1 for f in counts.values() if f >= tau)
+            assert oracle.tune_by_tau(tau).k == want
+
+    def test_tau_above_max_frequency(self):
+        oracle = _oracle("ABAB")
+        point = oracle.tune_by_tau(100)
+        assert point.k == 0
+        assert point.distinct_lengths == 0
+
+    def test_invalid_tau(self):
+        with pytest.raises(ParameterError):
+            _oracle("AB").tune_by_tau(0)
+
+    @given(texts_mixed(max_size=40), st.integers(1, 10))
+    def test_k_tau_property(self, text, tau):
+        counts = naive_substring_frequencies(text)
+        want = sum(1 for f in counts.values() if f >= tau)
+        assert _oracle(text).tune_by_tau(tau).k == want
+
+    def test_round_trip_k_tau(self):
+        """tune_by_tau(tune_by_k(k).tau).k >= k (tau-frequent covers top-K)."""
+        oracle = _oracle("ABRACADABRAABRACADABRA")
+        for k in (1, 5, 10, 40):
+            tau = oracle.tune_by_k(k).tau
+            assert oracle.tune_by_tau(tau).k >= min(
+                k, oracle.distinct_substring_count
+            )
+
+
+class TestOracleStructure:
+    def test_distinct_substring_count_matches_naive(self):
+        for text in ("ABAB", "AAAA", "ABCD", "MISSISSIPPI"):
+            assert _oracle(text).distinct_substring_count == len(
+                naive_substring_frequencies(text)
+            )
+
+    def test_without_leaves_only_repeated(self):
+        oracle = _oracle("ABABX", include_leaves=False)
+        mined = oracle.top_k(100)
+        assert all(m.frequency >= 2 for m in mined)
+
+    def test_nbytes_positive(self):
+        assert _oracle("BANANA").nbytes() > 0
+
+    def test_trade_off_curve_monotone(self):
+        oracle = _oracle("ABRACADABRAABRACADABRA")
+        curve = oracle.trade_off_curve()
+        taus = [p.tau for p in curve]
+        ks = [p.k for p in curve]
+        assert taus == sorted(taus, reverse=True)
+        assert ks == sorted(ks)
+
+    def test_trade_off_curve_max_points(self):
+        oracle = _oracle("ABRACADABRAABRACADABRA")
+        assert len(oracle.trade_off_curve(max_points=3)) <= 3

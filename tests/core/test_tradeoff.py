@@ -1,0 +1,127 @@
+"""Tests for the (K, tau) trade-off selection (Section X direction)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.topk_oracle import TopKOracle
+from repro.core.tradeoff import (
+    TradeOffPoint,
+    enumerate_trade_offs,
+    pick_trade_off,
+    skyline,
+)
+from repro.errors import ParameterError
+from repro.strings.alphabet import Alphabet
+from repro.suffix.suffix_array import SuffixArray
+
+from tests.conftest import texts_mixed
+
+
+def _oracle(text: str) -> TopKOracle:
+    return TopKOracle(SuffixArray(Alphabet.from_text(text).encode(text)))
+
+
+TEXT = "ABRACADABRAABRACADABRA"
+
+
+class TestEnumerate:
+    def test_points_cover_the_curve(self):
+        oracle = _oracle(TEXT)
+        points = enumerate_trade_offs(oracle, len(TEXT))
+        assert points
+        ks = [p.k for p in points]
+        taus = [p.tau for p in points]
+        assert ks == sorted(ks)
+        assert taus == sorted(taus, reverse=True)
+
+    def test_cost_model(self):
+        oracle = _oracle(TEXT)
+        point = enumerate_trade_offs(oracle, len(TEXT), pattern_length=5)[0]
+        assert point.size_words == len(TEXT) + point.k
+        assert point.query_cost == 5 + point.tau
+        assert point.construction_cost == len(TEXT) * max(point.distinct_lengths, 1)
+
+    def test_invalid_text_length(self):
+        with pytest.raises(ParameterError):
+            enumerate_trade_offs(_oracle("AB"), 0)
+
+    def test_max_points_respected(self):
+        oracle = _oracle(TEXT * 3)
+        assert len(enumerate_trade_offs(oracle, 66, max_points=4)) <= 4
+
+
+class TestSkyline:
+    def test_removes_dominated(self):
+        points = [
+            TradeOffPoint(1, 9, 1, 100, 10, 100),
+            TradeOffPoint(2, 9, 1, 110, 10, 100),  # dominated: bigger, not faster
+            TradeOffPoint(3, 5, 1, 120, 6, 100),
+        ]
+        front = skyline(points)
+        assert [p.k for p in front] == [1, 3]
+
+    def test_front_is_monotone(self):
+        front = skyline(enumerate_trade_offs(_oracle(TEXT), len(TEXT)))
+        for a, b in zip(front, front[1:]):
+            assert a.size_words <= b.size_words
+            assert a.query_cost > b.query_cost
+
+    @given(texts_mixed(max_size=40))
+    @settings(max_examples=25, deadline=None)
+    def test_no_point_dominates_a_front_member_property(self, text):
+        oracle = _oracle(text)
+        points = enumerate_trade_offs(oracle, len(text))
+        front = skyline(points)
+        for member in front:
+            for other in points:
+                strictly_better = (
+                    other.size_words <= member.size_words
+                    and other.query_cost <= member.query_cost
+                    and (
+                        other.size_words < member.size_words
+                        or other.query_cost < member.query_cost
+                    )
+                )
+                assert not strictly_better
+
+
+class TestPick:
+    def test_size_budget_gives_fastest_fitting(self):
+        oracle = _oracle(TEXT)
+        points = skyline(enumerate_trade_offs(oracle, len(TEXT)))
+        budget = points[len(points) // 2].size_words
+        chosen = pick_trade_off(oracle, len(TEXT), max_size_words=budget)
+        assert chosen.size_words <= budget
+        fitting = [p for p in points if p.size_words <= budget]
+        assert chosen.query_cost == min(p.query_cost for p in fitting)
+
+    def test_query_budget_gives_smallest_meeting(self):
+        oracle = _oracle(TEXT)
+        points = skyline(enumerate_trade_offs(oracle, len(TEXT)))
+        budget = points[0].query_cost  # the loosest point's cost
+        chosen = pick_trade_off(oracle, len(TEXT), max_query_cost=budget)
+        meeting = [p for p in points if p.query_cost <= budget]
+        assert chosen.size_words == min(p.size_words for p in meeting)
+
+    def test_impossible_budget_raises(self):
+        oracle = _oracle(TEXT)
+        with pytest.raises(ParameterError):
+            pick_trade_off(oracle, len(TEXT), max_size_words=1)
+
+    def test_no_budget_gives_knee(self):
+        oracle = _oracle(TEXT)
+        chosen = pick_trade_off(oracle, len(TEXT))
+        front = skyline(enumerate_trade_offs(oracle, len(TEXT)))
+        assert chosen in front
+
+    def test_both_budgets(self):
+        oracle = _oracle(TEXT)
+        front = skyline(enumerate_trade_offs(oracle, len(TEXT)))
+        mid = front[len(front) // 2]
+        chosen = pick_trade_off(
+            oracle, len(TEXT),
+            max_size_words=mid.size_words, max_query_cost=front[0].query_cost,
+        )
+        assert chosen.size_words <= mid.size_words
+        assert chosen.query_cost <= front[0].query_cost

@@ -1,0 +1,219 @@
+"""Tests for the USI_TOP-K index (Section IV)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.naive import naive_global_utility
+from repro.core.usi import UsiIndex
+from repro.errors import ParameterError, PatternError
+from repro.strings.occurrences import all_distinct_substrings
+from repro.strings.weighted import WeightedString
+
+from tests.conftest import weighted_strings
+
+
+class TestPaperExamples:
+    def test_example_1(self, paper_example):
+        """Example 1: U(TACCCC) = 14.6 with sum-of-sums."""
+        index = UsiIndex.build(paper_example, k=5)
+        assert index.query("TACCCC") == pytest.approx(14.6)
+
+    def test_example_1_via_hash_table(self, paper_example):
+        # With K large enough TACCCC is itself a top-K substring.
+        index = UsiIndex.build(paper_example, k=60)
+        assert index.is_cached("TACCCC")
+        assert index.query("TACCCC") == pytest.approx(14.6)
+
+    def test_absent_pattern_zero(self, paper_example):
+        index = UsiIndex.build(paper_example, k=5)
+        assert index.query("GGGG") == 0.0
+
+    def test_letter_outside_alphabet_zero(self, paper_example):
+        index = UsiIndex.build(paper_example, k=5)
+        assert index.query("XYZ") == 0.0
+
+    def test_empty_pattern_rejected(self, paper_example):
+        index = UsiIndex.build(paper_example, k=5)
+        with pytest.raises(PatternError):
+            index.query("")
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("miner", ["exact", "approximate"])
+    def test_all_substring_queries_match_naive(self, miner):
+        ws = WeightedString("ABABABCBCBCAB", [0.5, 1, 2, 0.1, 0.9, 1, 1,
+                                              2, 0.3, 0.7, 1, 0.2, 0.4])
+        index = UsiIndex.build(ws, k=8, miner=miner, s=3)
+        for key in all_distinct_substrings(ws.text()):
+            pattern = "".join(key)
+            assert index.query(pattern) == pytest.approx(
+                naive_global_utility(ws, pattern), abs=1e-9
+            ), pattern
+
+    @pytest.mark.parametrize("aggregator", ["sum", "min", "max", "avg"])
+    def test_aggregators_match_naive(self, aggregator):
+        ws = WeightedString("ABCABCABX", [1, 2, 3, 4, 5, 6, 7, 8, 9])
+        index = UsiIndex.build(ws, k=6, aggregator=aggregator)
+        for pattern in ("A", "AB", "ABC", "BC", "X", "CAB"):
+            assert index.query(pattern) == pytest.approx(
+                naive_global_utility(ws, pattern, aggregator), abs=1e-9
+            ), (aggregator, pattern)
+
+    @given(weighted_strings(max_size=30), st.integers(1, 20))
+    @settings(max_examples=30, deadline=None)
+    def test_query_matches_naive_property(self, ws, k):
+        index = UsiIndex.build(ws, k=k)
+        text = ws.text()
+        # Check a spread of substrings plus one absent pattern.
+        probes = {text[:2], text[-2:], text[: len(text) // 2 + 1], text[0]}
+        for pattern in probes:
+            if pattern:
+                assert index.query(pattern) == pytest.approx(
+                    naive_global_utility(ws, pattern), abs=1e-6
+                )
+
+    def test_uet_and_uat_agree(self):
+        ws = WeightedString.uniform("ABRACADABRA" * 3)
+        uet = UsiIndex.build(ws, k=10, miner="exact")
+        uat = UsiIndex.build(ws, k=10, miner="approximate", s=3)
+        for pattern in ("ABRA", "A", "CAD", "RAC", "DABRA"):
+            assert uet.query(pattern) == pytest.approx(uat.query(pattern))
+
+    def test_negative_utilities_supported(self):
+        ws = WeightedString("ABAB", [-1.0, 2.0, -3.0, 4.0])
+        index = UsiIndex.build(ws, k=3)
+        assert index.query("AB") == pytest.approx((-1 + 2) + (-3 + 4))
+
+
+class TestHashTableBehaviour:
+    def test_frequent_pattern_cached(self):
+        ws = WeightedString.uniform("AB" * 50)
+        index = UsiIndex.build(ws, k=3)
+        assert index.is_cached("A")
+        assert index.is_cached("B")
+
+    def test_hit_and_miss_counters(self):
+        ws = WeightedString.uniform("AB" * 50)
+        index = UsiIndex.build(ws, k=2)
+        index.query("A")
+        index.query("ABABABAB")
+        assert index.hash_hits >= 1
+        assert index.hash_misses >= 1
+
+    def test_hash_entries_at_most_k(self):
+        ws = WeightedString.uniform("ABCABCABC")
+        index = UsiIndex.build(ws, k=7)
+        assert index.hash_table_size <= 7
+        assert index.report.hash_entries == index.hash_table_size
+
+    def test_rare_pattern_not_cached(self):
+        ws = WeightedString.uniform("AB" * 50 + "Z")
+        index = UsiIndex.build(ws, k=2)
+        assert not index.is_cached("Z")
+        assert index.query("Z") == pytest.approx(1.0)
+
+    def test_cached_query_time_independent_of_occurrences(self):
+        # Smoke property: the cached path never touches the SA.
+        ws = WeightedString.uniform("A" * 500)
+        index = UsiIndex.build(ws, k=1)
+        misses_before = index.hash_misses
+        index.query("A")
+        assert index.hash_misses == misses_before
+
+
+class TestExplain:
+    def test_hash_table_path(self):
+        ws = WeightedString.uniform("AB" * 50)
+        index = UsiIndex.build(ws, k=3)
+        explanation = index.explain("A")
+        assert explanation.path == "hash-table"
+        assert explanation.occurrences == 50
+        assert explanation.within_tau_bound
+        assert explanation.utility == pytest.approx(index.query("A"))
+
+    def test_text_index_path(self):
+        ws = WeightedString.uniform("AB" * 50 + "Z")
+        index = UsiIndex.build(ws, k=2)
+        explanation = index.explain("Z")
+        assert explanation.path == "text-index"
+        assert explanation.occurrences == 1
+        assert explanation.within_tau_bound
+
+    def test_no_occurrence_path(self, paper_example):
+        index = UsiIndex.build(paper_example, k=4)
+        explanation = index.explain("GGGG")
+        assert explanation.path == "no-occurrence"
+        assert explanation.utility == 0.0
+
+    def test_unencodable_path(self, paper_example):
+        index = UsiIndex.build(paper_example, k=4)
+        explanation = index.explain("XYZ")
+        assert explanation.path == "unencodable"
+        assert explanation.within_tau_bound
+
+    def test_counters_untouched(self, paper_example):
+        index = UsiIndex.build(paper_example, k=4)
+        before = (index.hash_hits, index.hash_misses)
+        index.explain("TACCCC")
+        assert (index.hash_hits, index.hash_misses) == before
+
+    def test_exact_miner_always_within_bound(self):
+        ws = WeightedString.uniform("ABRACADABRA" * 4)
+        index = UsiIndex.build(ws, k=10)
+        text = ws.text()
+        for start in range(0, 30, 3):
+            explanation = index.explain(text[start : start + 4])
+            assert explanation.within_tau_bound
+
+
+class TestParametersAndReport:
+    def test_requires_exactly_one_of_k_tau(self):
+        ws = WeightedString.uniform("ABAB")
+        with pytest.raises(ParameterError):
+            UsiIndex.build(ws)
+        with pytest.raises(ParameterError):
+            UsiIndex.build(ws, k=2, tau=2)
+
+    def test_build_by_tau(self):
+        ws = WeightedString.uniform("ABABABAB")
+        index = UsiIndex.build(ws, tau=3)
+        # All substrings with frequency >= 3 are cached.
+        assert index.is_cached("AB")
+        assert index.is_cached("A")
+        assert not index.is_cached("ABABABAB")
+
+    def test_tau_report_consistent(self):
+        ws = WeightedString.uniform("ABABABAB")
+        index = UsiIndex.build(ws, k=4)
+        assert index.report.k == 4
+        assert index.report.tau_k >= 1
+        assert index.report.miner == "exact"
+
+    def test_unknown_miner_rejected(self):
+        ws = WeightedString.uniform("ABAB")
+        with pytest.raises(ParameterError):
+            UsiIndex.build(ws, k=2, miner="magic")
+
+    def test_count_exposed(self, paper_example):
+        index = UsiIndex.build(paper_example, k=5)
+        assert index.count("TACCCC") == 2
+        assert index.count("ZZZ") == 0
+
+    def test_query_many(self, paper_example):
+        index = UsiIndex.build(paper_example, k=5)
+        values = index.query_many(["TACCCC", "A", "GGGG"])
+        assert len(values) == 3
+        assert values[0] == pytest.approx(14.6)
+
+    def test_nbytes_positive_and_monotone_in_k(self):
+        ws = WeightedString.uniform("ABRACADABRA" * 10)
+        small = UsiIndex.build(ws, k=2)
+        large = UsiIndex.build(ws, k=50)
+        assert 0 < small.nbytes() <= large.nbytes()
+
+    def test_numpy_pattern_accepted(self, paper_example):
+        index = UsiIndex.build(paper_example, k=5)
+        pattern = paper_example.alphabet.encode("TACCCC").astype(np.int64)
+        assert index.query(pattern) == pytest.approx(14.6)

@@ -1,0 +1,134 @@
+"""Tests for the synthetic dataset generators and the registry."""
+
+import numpy as np
+import pytest
+
+from repro.core.exact_topk import exact_top_k
+from repro.datasets.registry import DATASETS, load, table2_rows
+from repro.datasets.synthetic import (
+    make_adv,
+    make_ecoli,
+    make_hum,
+    make_iot,
+    make_xml,
+)
+from repro.errors import ParameterError
+
+GENERATORS = {
+    "ADV": make_adv,
+    "IOT": make_iot,
+    "XML": make_xml,
+    "HUM": make_hum,
+    "ECOLI": make_ecoli,
+}
+
+
+class TestGeneratorContracts:
+    @pytest.mark.parametrize("name,gen", GENERATORS.items())
+    def test_length_and_finiteness(self, name, gen):
+        ws = gen(2000, seed=0)
+        assert ws.length == 2000
+        assert np.all(np.isfinite(ws.utilities))
+
+    @pytest.mark.parametrize("name,gen", GENERATORS.items())
+    def test_deterministic_per_seed(self, name, gen):
+        a = gen(1000, seed=3)
+        b = gen(1000, seed=3)
+        np.testing.assert_array_equal(a.codes, b.codes)
+        np.testing.assert_allclose(a.utilities, b.utilities)
+
+    @pytest.mark.parametrize("name,gen", GENERATORS.items())
+    def test_seed_changes_data(self, name, gen):
+        a = gen(1000, seed=0)
+        b = gen(1000, seed=1)
+        assert not np.array_equal(a.codes, b.codes)
+
+    @pytest.mark.parametrize("name,gen", GENERATORS.items())
+    def test_too_small_rejected(self, name, gen):
+        with pytest.raises(ParameterError):
+            gen(10, seed=0)
+
+
+class TestDomainShapes:
+    def test_adv_alphabet_size(self):
+        ws = make_adv(2000, seed=0)
+        assert ws.alphabet.size == 14
+        assert 0 < ws.utilities.min() and ws.utilities.max() <= 0.5
+
+    def test_iot_has_long_frequent_substrings(self):
+        """The structural property that breaks SH/TT."""
+        ws = make_iot(4000, seed=0)
+        mined = exact_top_k(ws, len(ws) // 40)
+        assert max(m.length for m in mined) >= 15
+
+    def test_iot_utilities_normalised(self):
+        ws = make_iot(2000, seed=0)
+        assert 0.0 <= ws.utilities.min() and ws.utilities.max() <= 1.0
+
+    def test_xml_looks_like_markup(self):
+        ws = make_xml(2000, seed=0)
+        text = ws.text()
+        assert "<" in text and ">" in text and "</" in text
+
+    def test_xml_hum_grid_utilities(self):
+        for gen in (make_xml, make_hum):
+            ws = gen(2000, seed=0)
+            grid = np.arange(0.7, 1.0 + 1e-9, 0.05)
+            distances = np.abs(ws.utilities[:, None] - grid[None, :]).min(axis=1)
+            assert distances.max() < 1e-9
+
+    def test_dna_alphabets(self):
+        for gen in (make_hum, make_ecoli):
+            ws = gen(2000, seed=0)
+            assert ws.alphabet.size == 4
+            assert set(np.unique(ws.codes)) <= {0, 1, 2, 3}
+
+    def test_dna_has_repeats(self):
+        ws = make_hum(4000, seed=0)
+        mined = exact_top_k(ws, 20)
+        assert max(m.frequency for m in mined) >= 10
+
+    def test_ecoli_confidence_scores(self):
+        ws = make_ecoli(2000, seed=0)
+        assert 0.0 <= ws.utilities.min() and ws.utilities.max() <= 1.0
+        # Phred-like: concentrated near 1.
+        assert np.median(ws.utilities) > 0.75
+
+    def test_heavy_tailed_frequencies(self):
+        """Top substrings dominate the rank-100 frequency — Zipfy.
+
+        IOT is exempt: near-periodic texts have a deliberately *flat*
+        top-K spectrum (many long substrings sharing high frequency).
+        """
+        for name, gen in GENERATORS.items():
+            if name == "IOT":
+                continue
+            ws = gen(3000, seed=0)
+            mined = exact_top_k(ws, 100)
+            freqs = sorted((m.frequency for m in mined), reverse=True)
+            assert freqs[0] >= 4 * freqs[-1], name
+
+
+class TestRegistry:
+    def test_all_five_datasets_registered(self):
+        assert set(DATASETS) == {"ADV", "IOT", "XML", "HUM", "ECOLI"}
+
+    def test_load_by_name(self):
+        ws = load("adv", n=1000, seed=0)
+        assert ws.length == 1000
+
+    def test_load_unknown(self):
+        with pytest.raises(ParameterError):
+            load("NOPE")
+
+    def test_default_k_follows_paper_ratio(self):
+        spec = DATASETS["HUM"]
+        assert spec.default_k(10_000) == int(10_000 * 29e6 / 2.9e9)
+
+    def test_table2_rows_shape(self):
+        rows = table2_rows()
+        assert len(rows) == 5
+        for row in rows:
+            assert row["length_n"] > 0
+            assert row["default_K"] >= 1
+            assert row["default_s"] >= 1

@@ -1,0 +1,88 @@
+"""Tests for the W1 / W2,p query workload builders."""
+
+import numpy as np
+import pytest
+
+from repro.core.topk_oracle import TopKOracle
+from repro.datasets.synthetic import make_adv
+from repro.datasets.workloads import build_w1, build_w2p
+from repro.errors import ParameterError
+from repro.suffix.suffix_array import SuffixArray
+
+
+@pytest.fixture(scope="module")
+def adv_setup():
+    ws = make_adv(3000, seed=0)
+    index = SuffixArray(ws.codes)
+    oracle = TopKOracle(index)
+    return ws, index, oracle
+
+
+class TestW1:
+    def test_size(self, adv_setup):
+        ws, _, oracle = adv_setup
+        queries = build_w1(ws, oracle, num_queries=200, length_range=(1, 50), seed=0)
+        assert len(queries) == 200
+
+    def test_patterns_are_code_arrays(self, adv_setup):
+        ws, _, oracle = adv_setup
+        for q in build_w1(ws, oracle, 50, length_range=(1, 20), seed=0):
+            assert isinstance(q, np.ndarray)
+            assert len(q) >= 1
+
+    def test_most_queries_are_frequent(self, adv_setup):
+        ws, index, oracle = adv_setup
+        queries = build_w1(ws, oracle, 300, length_range=(1, 50), seed=0)
+        tau = oracle.tune_by_k(ws.length // 50).tau
+        frequent = sum(1 for q in queries if index.count(q) >= tau)
+        assert frequent >= 0.8 * len(queries)
+
+    def test_deterministic(self, adv_setup):
+        ws, _, oracle = adv_setup
+        a = build_w1(ws, oracle, 100, length_range=(1, 30), seed=5)
+        b = build_w1(ws, oracle, 100, length_range=(1, 30), seed=5)
+        assert all(np.array_equal(x, y) for x, y in zip(a, b))
+
+    def test_invalid_count(self, adv_setup):
+        ws, _, oracle = adv_setup
+        with pytest.raises(ParameterError):
+            build_w1(ws, oracle, 0)
+
+
+class TestW2p:
+    def test_size_and_validity(self, adv_setup):
+        ws, _, oracle = adv_setup
+        queries = build_w2p(ws, oracle, 150, p=40, length_range=(1, 30), seed=0)
+        assert len(queries) == 150
+        for q in queries:
+            assert 1 <= len(q) <= ws.length
+
+    def test_p_extremes(self, adv_setup):
+        ws, index, oracle = adv_setup
+        lo = build_w2p(ws, oracle, 200, p=0, length_range=(1, 30), seed=0)
+        hi = build_w2p(ws, oracle, 200, p=100, length_range=(1, 30), seed=0)
+        tau = oracle.tune_by_k(ws.length // 100).tau
+        hi_frequent = sum(1 for q in hi if index.count(q) >= tau)
+        assert hi_frequent == len(hi)
+        assert len(lo) == 200
+
+    def test_higher_p_more_top100_queries(self, adv_setup):
+        ws, index, oracle = adv_setup
+        pool_k = ws.length // 100
+        top_keys = {
+            tuple(ws.codes[m.position : m.position + m.length].tolist())
+            for m in oracle.top_k(pool_k)
+        }
+
+        def fraction_in_pool(p):
+            queries = build_w2p(ws, oracle, 300, p=p, length_range=(1, 30), seed=1)
+            return sum(1 for q in queries if tuple(q.tolist()) in top_keys) / 300
+
+        assert fraction_in_pool(80) > fraction_in_pool(20) - 0.05
+
+    def test_invalid_p(self, adv_setup):
+        ws, _, oracle = adv_setup
+        with pytest.raises(ParameterError):
+            build_w2p(ws, oracle, 10, p=120)
+        with pytest.raises(ParameterError):
+            build_w2p(ws, oracle, 0, p=50)

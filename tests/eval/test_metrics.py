@@ -1,0 +1,165 @@
+"""Tests for the evaluation metrics, harness, and reporting."""
+
+import numpy as np
+import pytest
+
+from repro.core.approximate import ApproximateTopK
+from repro.core.exact_topk import exact_top_k
+from repro.core.topk_oracle import TopKOracle
+from repro.core.types import MinedSubstring
+from repro.errors import ParameterError
+from repro.eval.harness import MinerRun, average_query_seconds, measure_call, run_miner
+from repro.eval.metrics import MinerScores, evaluate_miner, ndcg
+from repro.eval.reporting import format_table
+from repro.strings.alphabet import Alphabet
+from repro.suffix.suffix_array import SuffixArray
+
+
+def _index(text: str) -> SuffixArray:
+    return SuffixArray(Alphabet.from_text(text).encode(text))
+
+
+class TestNdcg:
+    def test_perfect_ranking_is_one(self):
+        assert ndcg([5, 4, 3], [3, 4, 5]) == pytest.approx(1.0)
+
+    def test_empty_ideal(self):
+        assert ndcg([], []) == 1.0
+
+    def test_worse_ranking_below_one(self):
+        assert ndcg([3, 4, 5], [3, 4, 5]) < 1.0
+
+    def test_missing_entries_penalised(self):
+        assert ndcg([5], [5, 4, 3]) < 1.0
+
+    def test_range(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            ideal = rng.integers(1, 100, size=10)
+            gains = rng.permutation(ideal)[:7]
+            value = ndcg(gains, ideal)
+            assert 0.0 <= value <= 1.0 + 1e-12
+
+
+class TestEvaluateMiner:
+    def test_exact_scores_perfectly(self):
+        text = "ABRACADABRA" * 3
+        index = _index(text)
+        k = 10
+        scores = evaluate_miner(exact_top_k(text, k), index, k)
+        assert scores.accuracy_percent == pytest.approx(100.0)
+        assert scores.relative_error == pytest.approx(0.0)
+        assert scores.ndcg == pytest.approx(1.0)
+
+    def test_s1_approximate_scores_perfectly(self):
+        text = "ABRACADABRA" * 3
+        index = _index(text)
+        k = 8
+        results = ApproximateTopK(text, k=k, s=1).mine()
+        scores = evaluate_miner(results, index, k)
+        assert scores.accuracy_percent == pytest.approx(100.0)
+
+    def test_garbage_scores_zero_accuracy(self):
+        text = "ABABABAB" + "Z"
+        index = _index(text)
+        # Report the rare 'Z' with a wrong frequency.
+        junk = [MinedSubstring(position=8, length=1, frequency=99)]
+        scores = evaluate_miner(junk, index, 4)
+        assert scores.accuracy_percent == 0.0
+        assert scores.relative_error > 0.0
+        assert scores.ndcg < 1.0
+
+    def test_partial_credit(self):
+        text = "ABABAB"
+        index = _index(text)
+        truth = exact_top_k(text, 4)
+        # Keep two true entries, corrupt two.
+        mixed = truth[:2] + [
+            MinedSubstring(position=0, length=5, frequency=1),
+            MinedSubstring(position=1, length=5, frequency=1),
+        ]
+        scores = evaluate_miner(mixed, index, 4)
+        assert scores.accuracy_percent == pytest.approx(50.0)
+
+    def test_tie_robustness(self):
+        """Any tie-consistent top-K selection scores 100%."""
+        text = "ABCABC"  # many frequency ties at 2
+        index = _index(text)
+        k = 3
+        oracle = TopKOracle(index)
+        truth = oracle.top_k(6)
+        # Choose a *different* subset of the tied substrings.
+        alternative = [truth[0], truth[2], truth[1]]
+        scores = evaluate_miner(alternative, index, k, oracle=oracle)
+        assert scores.accuracy_percent == pytest.approx(100.0)
+
+    def test_duplicates_deduped(self):
+        text = "ABABAB"
+        index = _index(text)
+        truth = exact_top_k(text, 2)
+        duplicated = [truth[0], truth[0], truth[0]]
+        scores = evaluate_miner(duplicated, index, 3)
+        assert scores.accuracy_percent <= 100.0 / 3 + 1e-6
+
+    def test_invalid_k(self):
+        with pytest.raises(ParameterError):
+            evaluate_miner([], _index("AB"), 0)
+
+    def test_relative_error_nonnegative(self):
+        text = "ABRACADABRA"
+        index = _index(text)
+        scores = evaluate_miner(exact_top_k(text, 5), index, 5)
+        assert scores.relative_error >= 0.0
+
+
+class TestHarness:
+    def test_measure_call(self):
+        value, seconds, peak = measure_call(lambda: sum(range(1000)))
+        assert value == 499500
+        assert seconds >= 0.0
+        assert peak >= 0
+
+    def test_measure_call_no_memory(self):
+        value, seconds, peak = measure_call(lambda: 42, trace_memory=False)
+        assert value == 42
+        assert peak == 0
+
+    def test_measure_call_propagates_errors(self):
+        def boom():
+            raise ValueError("x")
+
+        with pytest.raises(ValueError):
+            measure_call(boom)
+
+    def test_run_miner(self):
+        run = run_miner("demo", lambda: [1, 2, 3])
+        assert isinstance(run, MinerRun)
+        assert run.name == "demo"
+        assert run.results == [1, 2, 3]
+
+    def test_average_query_seconds(self):
+        calls = []
+        avg = average_query_seconds(calls.append, [1, 2, 3])
+        assert len(calls) == 3
+        assert avg >= 0.0
+        assert average_query_seconds(calls.append, []) == 0.0
+
+
+class TestReporting:
+    def test_format_table_basic(self):
+        table = format_table(["a", "bb"], [[1, 2.5], ["x", 0.0001234]])
+        lines = table.splitlines()
+        assert "a" in lines[0] and "bb" in lines[0]
+        assert len(lines) == 4
+
+    def test_title(self):
+        table = format_table(["h"], [[1]], title="Table 9")
+        assert table.splitlines()[0] == "Table 9"
+
+    def test_alignment(self):
+        table = format_table(["col"], [["short"], ["a-much-longer-cell"]])
+        lines = table.splitlines()
+        assert len(lines[1]) == len(lines[2])
+
+    def test_float_formatting(self):
+        assert "e-05" in format_table(["x"], [[1.2345e-5]])

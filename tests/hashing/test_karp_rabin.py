@@ -1,0 +1,115 @@
+"""Tests for repro.hashing.karp_rabin."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError
+from repro.hashing.karp_rabin import KarpRabinFingerprinter, fingerprint_of
+from repro.strings.alphabet import Alphabet
+
+from tests.conftest import texts
+
+
+def _fp(text: str, seed: int = 0) -> KarpRabinFingerprinter:
+    return KarpRabinFingerprinter(Alphabet.from_text(text).encode(text), seed=seed)
+
+
+class TestFragment:
+    def test_equal_substrings_equal_fingerprints(self):
+        fp = _fp("ABABAB")
+        assert fp.fragment(0, 2) == fp.fragment(2, 2) == fp.fragment(4, 2)
+
+    def test_different_substrings_differ(self):
+        fp = _fp("ABCDEF")
+        values = {fp.fragment(i, 2) for i in range(5)}
+        assert len(values) == 5
+
+    def test_out_of_range(self):
+        fp = _fp("ABC")
+        with pytest.raises(ParameterError):
+            fp.fragment(0, 4)
+        with pytest.raises(ParameterError):
+            fp.fragment(-1, 1)
+        with pytest.raises(ParameterError):
+            fp.fragment(0, 0)
+
+    def test_fingerprint_is_62_bit(self):
+        fp = _fp("ZYXW")
+        assert 0 <= fp.fragment(0, 4) < (1 << 62)
+
+    @given(texts("AB", min_size=2, max_size=40), st.integers(0, 5))
+    def test_equal_content_equal_fingerprint_property(self, text, seed):
+        fp = _fp(text, seed)
+        n = len(text)
+        for i in range(n):
+            for j in range(i + 1, n):
+                for length in (1, 2, 3):
+                    if j + length <= n and text[i : i + length] == text[j : j + length]:
+                        assert fp.fragment(i, length) == fp.fragment(j, length)
+
+
+class TestOfCodes:
+    def test_matches_fragment(self):
+        alpha = Alphabet.from_text("ABRACADABRA")
+        codes = alpha.encode("ABRACADABRA")
+        fp = KarpRabinFingerprinter(codes)
+        assert fp.of_codes(codes[2:5]) == fp.fragment(2, 3)
+
+    def test_pattern_from_elsewhere(self):
+        alpha = Alphabet("ABR")
+        text_codes = alpha.encode("ABRABR")
+        fp = KarpRabinFingerprinter(text_codes)
+        pattern = alpha.encode("BRA")
+        assert fp.of_codes(pattern) == fp.fragment(1, 3)
+
+    def test_seed_changes_fingerprints(self):
+        codes = Alphabet("AB").encode("ABAB")
+        a = KarpRabinFingerprinter(codes, seed=0).of_codes(codes)
+        b = KarpRabinFingerprinter(codes, seed=1).of_codes(codes)
+        assert a != b
+
+
+class TestVectorised:
+    def test_all_windows_matches_fragment(self):
+        fp = _fp("ABRACADABRA")
+        for length in (1, 2, 3, 5):
+            windows = fp.all_windows(length)
+            assert len(windows) == fp.length - length + 1
+            for i, value in enumerate(windows.tolist()):
+                assert value == fp.fragment(i, length)
+
+    def test_all_windows_bad_length(self):
+        fp = _fp("ABC")
+        with pytest.raises(ParameterError):
+            fp.all_windows(0)
+        with pytest.raises(ParameterError):
+            fp.all_windows(4)
+
+    def test_windows_at_subset(self):
+        fp = _fp("ABRACADABRA")
+        positions = np.asarray([0, 3, 7])
+        values = fp.windows_at(positions, 3)
+        for pos, value in zip(positions.tolist(), values.tolist()):
+            assert value == fp.fragment(pos, 3)
+
+    def test_windows_at_out_of_range(self):
+        fp = _fp("ABC")
+        with pytest.raises(ParameterError):
+            fp.windows_at(np.asarray([2]), 3)
+
+
+class TestCollisions:
+    def test_no_collisions_among_many_short_strings(self):
+        # All 4^6 = 4096 distinct 6-mers must fingerprint distinctly.
+        rng = np.random.default_rng(0)
+        text = rng.integers(0, 4, size=8192, dtype=np.int64)
+        fp = KarpRabinFingerprinter(text)
+        windows = fp.all_windows(6)
+        distinct_contents = {tuple(text[i : i + 6].tolist()) for i in range(len(windows))}
+        assert len(np.unique(windows)) == len(distinct_contents)
+
+    def test_fingerprint_of_helper(self):
+        assert fingerprint_of([1, 2, 3]) == fingerprint_of([1, 2, 3])
+        assert fingerprint_of([1, 2, 3]) != fingerprint_of([3, 2, 1])

@@ -1,0 +1,153 @@
+"""Tests for the item-level streaming structures (CMS, SS, HK)."""
+
+from collections import Counter
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError
+from repro.streaming.count_min import CountMinSketch
+from repro.streaming.heavy_keeper import HeavyKeeper
+from repro.streaming.space_saving import SpaceSaving
+
+
+class TestCountMin:
+    def test_overestimates_only(self):
+        cms = CountMinSketch(width=64, depth=3, seed=0)
+        stream = [1, 2, 3, 1, 1, 2] * 10
+        for item in stream:
+            cms.add(item)
+        truth = Counter(stream)
+        for item, count in truth.items():
+            assert cms.estimate(item) >= count
+
+    def test_exact_when_sparse(self):
+        cms = CountMinSketch(width=4096, depth=4)
+        for item in (10, 20, 30):
+            cms.add(item, amount=5)
+        assert cms.estimate(10) == 5
+        assert cms.estimate(99) == 0
+
+    def test_amount_parameter(self):
+        cms = CountMinSketch()
+        cms.add(7, amount=42)
+        assert cms.estimate(7) >= 42
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ParameterError):
+            CountMinSketch(width=0)
+        with pytest.raises(ParameterError):
+            CountMinSketch(depth=0)
+
+    def test_nbytes(self):
+        assert CountMinSketch(width=8, depth=2).nbytes() == 8 * 2 * 8
+
+    @given(st.lists(st.integers(0, 50), min_size=1, max_size=200))
+    @settings(max_examples=25)
+    def test_one_sided_error_property(self, stream):
+        cms = CountMinSketch(width=32, depth=3, seed=1)
+        for item in stream:
+            cms.add(item)
+        truth = Counter(stream)
+        for item, count in truth.items():
+            assert cms.estimate(item) >= count
+
+
+class TestSpaceSaving:
+    def test_tracks_heavy_hitter(self):
+        ss = SpaceSaving(k=2)
+        stream = [1] * 50 + [2] * 30 + list(range(100, 120))
+        for item in stream:
+            ss.offer(item)
+        top = [item for item, _ in ss.top()]
+        assert 1 in top
+
+    def test_capacity_never_exceeded(self):
+        ss = SpaceSaving(k=3)
+        for item in range(100):
+            ss.offer(item)
+        assert len(ss) <= 3
+
+    def test_estimate_overestimates_only(self):
+        ss = SpaceSaving(k=4)
+        stream = [1, 2, 3, 4, 5, 6, 1, 1, 2] * 5
+        truth = Counter(stream)
+        for item in stream:
+            ss.offer(item)
+        for item, _ in ss.top():
+            assert ss.estimate(item) >= 0
+            # Space-saving guarantee: estimate >= true count for tracked items.
+            assert ss.estimate(item) >= truth[item] or ss.estimate(item) > 0
+
+    def test_classic_error_bound(self):
+        """estimate - true <= N / k for every tracked item."""
+        rng = np.random.default_rng(0)
+        stream = rng.zipf(1.5, size=500)
+        stream = [int(x) % 40 for x in stream]
+        truth = Counter(stream)
+        k = 10
+        ss = SpaceSaving(k=k)
+        for item in stream:
+            ss.offer(item)
+        for item, estimate in ss.top():
+            assert estimate - truth[item] <= len(stream) / k
+
+    def test_invalid_k(self):
+        with pytest.raises(ParameterError):
+            SpaceSaving(0)
+
+    def test_offer_all(self):
+        ss = SpaceSaving(k=2)
+        ss.offer_all("AAAB")
+        assert ss.estimate("A") == 3
+
+
+class TestHeavyKeeper:
+    def test_finds_elephants(self):
+        hk = HeavyKeeper(k=3, width=256, depth=2, seed=0)
+        stream = [1] * 200 + [2] * 150 + [3] * 100 + list(range(1000, 1100))
+        for item in stream:
+            hk.offer(item)
+        top_keys = [key for key, _ in hk.top(3)]
+        assert set(top_keys) >= {1, 2}
+
+    def test_summary_capacity(self):
+        hk = HeavyKeeper(k=5, seed=0)
+        for item in range(500):
+            hk.offer(item)
+        assert len(hk) <= 5
+
+    def test_estimates_reasonable_for_hot_keys(self):
+        hk = HeavyKeeper(k=2, width=512, depth=2, seed=0)
+        for _ in range(300):
+            hk.offer(42)
+        estimate = dict(hk.top()).get(42, 0)
+        assert estimate > 200  # decay may shave a little, never inflate hugely
+
+    def test_contains(self):
+        hk = HeavyKeeper(k=2, seed=0)
+        for _ in range(10):
+            hk.offer(5)
+        assert hk.contains(5)
+        assert not hk.contains(6)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ParameterError):
+            HeavyKeeper(k=0)
+        with pytest.raises(ParameterError):
+            HeavyKeeper(k=1, decay=1.0)
+
+    def test_deterministic_with_seed(self):
+        def run():
+            hk = HeavyKeeper(k=3, width=64, depth=2, seed=9)
+            rng = np.random.default_rng(1)
+            for item in rng.integers(0, 20, size=300).tolist():
+                hk.offer(item)
+            return hk.top()
+
+        assert run() == run()
+
+    def test_nbytes(self):
+        assert HeavyKeeper(k=2, width=16, depth=2).nbytes() > 0

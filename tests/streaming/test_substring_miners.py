@@ -1,0 +1,166 @@
+"""Tests for the substring adaptations: SubstringHK and TopKTrie.
+
+These are the paper's *negative-result* competitors: tests pin down
+both their basic contracts (capacity, witness validity) and their
+characteristic failures (missing long frequent substrings; frequency
+overestimation, unlike Approximate-Top-K's one-sided error).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.exact_topk import exact_top_k
+from repro.errors import ParameterError
+from repro.streaming.substring_hk import SubstringHK
+from repro.streaming.topk_trie import TopKTrie
+from repro.strings.occurrences import naive_occurrences
+
+from tests.conftest import texts_mixed
+
+
+class TestSubstringHK:
+    def test_reports_at_most_k(self):
+        assert len(SubstringHK("ABABABAB", k=3, seed=0).mine()) <= 3
+
+    def test_witnesses_in_range(self):
+        text = "ABRACADABRA" * 5
+        for mined in SubstringHK(text, k=8, seed=0).mine():
+            assert 0 <= mined.position
+            assert mined.position + mined.length <= len(text)
+            assert mined.length >= 1
+
+    def test_finds_hot_single_letters(self):
+        text = "A" * 100 + "BCDEFG"
+        mined = SubstringHK(text, k=3, seed=0).mine()
+        contents = {text[m.position : m.position + m.length] for m in mined}
+        assert any(c.startswith("A") for c in contents)
+
+    def test_work_grows_with_k(self):
+        text = "ABAB" * 100
+        small = SubstringHK(text, k=2, seed=0)
+        small.mine()
+        large = SubstringHK(text, k=50, seed=0)
+        large.mine()
+        assert large.hashed_substrings >= small.hashed_substrings
+
+    def test_misses_long_frequent_substrings(self):
+        """The Section VII failure: long repeats are not reached."""
+        motif = "QWERTYUIOPASDFGHJKLZXCVBNM" * 4  # length 104
+        text = motif * 8
+        k = 30
+        exact_longest = max(m.length for m in exact_top_k(text, k))
+        sh_longest = max(
+            (m.length for m in SubstringHK(text, k=k, seed=0).mine()), default=0
+        )
+        assert sh_longest < exact_longest
+
+    def test_ab_counterexample_quality(self):
+        """On (AB)^(n/2) SubstringHK misses much of the true top-K."""
+        text = "AB" * 100
+        k = 12
+        exact_contents = {
+            text[m.position : m.position + m.length]
+            for m in exact_top_k(text, k)
+        }
+        sh = SubstringHK(text, k=k, seed=0).mine()
+        sh_contents = {text[m.position : m.position + m.length] for m in sh}
+        assert len(sh_contents & exact_contents) < k
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ParameterError):
+            SubstringHK("AB", k=0)
+        with pytest.raises(ParameterError):
+            SubstringHK("AB", k=1, extension_base=1.0)
+
+    def test_nbytes_independent_of_n(self):
+        small = SubstringHK("AB" * 50, k=4, seed=0)
+        small.mine()
+        large = SubstringHK("AB" * 500, k=4, seed=0)
+        large.mine()
+        # O(K) space: within a small constant across a 10x text growth.
+        assert large.nbytes() < 4 * max(small.nbytes(), 1) + 10_000
+
+    @given(texts_mixed(max_size=60), st.integers(1, 8))
+    @settings(max_examples=20, deadline=None)
+    def test_contract_property(self, text, k):
+        mined = SubstringHK(text, k=k, seed=0).mine()
+        assert len(mined) <= k
+        for m in mined:
+            assert 0 <= m.position and m.position + m.length <= len(text)
+
+
+class TestTopKTrie:
+    def test_reports_at_most_k(self):
+        assert len(TopKTrie("ABABABAB", k=3).mine()) <= 3
+
+    def test_node_budget_respected(self):
+        trie = TopKTrie("ABRACADABRA" * 10, k=7)
+        trie.mine()
+        assert trie.node_count <= 7
+
+    def test_finds_hot_letters_small_alphabet(self):
+        text = "AAAABAAAB" * 10
+        mined = TopKTrie(text, k=4).mine()
+        contents = {text[m.position : m.position + m.length] for m in mined}
+        assert "A" in contents
+
+    def test_counts_can_overestimate(self):
+        """Space-saving inheritance inflates counts — unlike AT."""
+        rng = np.random.default_rng(0)
+        text = "".join(rng.choice(list("ABCDEFGH"), size=400))
+        mined = TopKTrie(text, k=5).mine()
+        overestimates = 0
+        for m in mined:
+            substring = text[m.position : m.position + m.length]
+            if m.frequency > len(naive_occurrences(text, substring)):
+                overestimates += 1
+        assert overestimates >= 1
+
+    def test_misses_long_frequent_substrings(self):
+        motif = "QWERTYUIOPASDFGHJKLZXCVBNM" * 4
+        text = motif * 8
+        k = 30
+        exact_longest = max(m.length for m in exact_top_k(text, k))
+        tt_longest = max(
+            (m.length for m in TopKTrie(text, k=k).mine()), default=0
+        )
+        assert tt_longest < exact_longest
+
+    def test_ab_counterexample_quality(self):
+        """On (AB)^(n/2) the trie's inherited counters go wrong.
+
+        The reported *set* can look fine on a two-letter alphabet, but
+        the Misra-Gries count inheritance inflates frequencies, so the
+        frequency-accuracy measure collapses (the paper's Fig-3 effect).
+        """
+        from repro.eval.metrics import evaluate_miner
+        from repro.strings.alphabet import Alphabet
+        from repro.suffix.suffix_array import SuffixArray
+
+        text = "AB" * 100
+        k = 12
+        index = SuffixArray(Alphabet.from_text(text).encode(text))
+        scores = evaluate_miner(TopKTrie(text, k=k).mine(), index, k)
+        assert scores.accuracy_percent < 50.0
+
+    def test_invalid_k(self):
+        with pytest.raises(ParameterError):
+            TopKTrie("AB", k=0)
+
+    def test_nbytes_bounded_by_k(self):
+        trie = TopKTrie("ABCD" * 200, k=9)
+        trie.mine()
+        assert trie.nbytes() <= 64 * 9
+
+    @given(texts_mixed(max_size=60), st.integers(1, 8))
+    @settings(max_examples=20, deadline=None)
+    def test_contract_property(self, text, k):
+        trie = TopKTrie(text, k=k)
+        mined = trie.mine()
+        assert len(mined) <= k
+        assert trie.node_count <= k
+        for m in mined:
+            assert 0 <= m.position and m.position + m.length <= len(text)
+            assert m.frequency >= 1

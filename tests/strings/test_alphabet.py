@@ -1,0 +1,115 @@
+"""Tests for repro.strings.alphabet."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import AlphabetError, PatternError
+from repro.strings.alphabet import Alphabet, as_code_array
+
+
+class TestConstruction:
+    def test_letters_sorted_and_deduped(self):
+        alpha = Alphabet("banana")
+        assert alpha.letters == ["a", "b", "n"]
+        assert alpha.size == 3
+
+    def test_empty_alphabet_rejected(self):
+        with pytest.raises(AlphabetError):
+            Alphabet("")
+
+    def test_from_text_str(self):
+        assert Alphabet.from_text("CGAT") == Alphabet.dna()
+
+    def test_from_text_bytes(self):
+        alpha = Alphabet.from_text(b"ab")
+        assert alpha.size == 2
+        assert alpha.letters == [97, 98]
+
+    def test_integer_letters(self):
+        alpha = Alphabet([5, 1, 3])
+        assert alpha.letters == [1, 3, 5]
+        assert alpha.code(3) == 1
+
+    def test_len_and_contains(self):
+        alpha = Alphabet("xyz")
+        assert len(alpha) == 3
+        assert "x" in alpha
+        assert "w" not in alpha
+
+    def test_repr_mentions_size(self):
+        assert "size=4" in repr(Alphabet.dna())
+
+
+class TestCoding:
+    def test_code_roundtrip(self):
+        alpha = Alphabet("ACGT")
+        for i, letter in enumerate("ACGT"):
+            assert alpha.code(letter) == i
+            assert alpha.letter(i) == letter
+
+    def test_unknown_letter_raises(self):
+        with pytest.raises(AlphabetError):
+            Alphabet("AB").code("C")
+
+    def test_bad_code_raises(self):
+        with pytest.raises(AlphabetError):
+            Alphabet("AB").letter(2)
+        with pytest.raises(AlphabetError):
+            Alphabet("AB").letter(-1)
+
+    def test_encode_dtype_and_values(self):
+        codes = Alphabet("ACGT").encode("GATT")
+        assert codes.dtype == np.int32
+        assert codes.tolist() == [2, 0, 3, 3]
+
+    def test_encode_unknown_letter_raises(self):
+        with pytest.raises(AlphabetError):
+            Alphabet("AB").encode("ABC")
+
+    def test_encode_pattern_rejects_empty(self):
+        with pytest.raises(PatternError):
+            Alphabet("AB").encode_pattern("")
+
+    def test_decode_roundtrip(self):
+        alpha = Alphabet("ACGT")
+        assert alpha.decode(alpha.encode("TTAGC")) == "TTAGC"
+
+    @given(st.text(alphabet="ACGT", min_size=1, max_size=50))
+    def test_encode_decode_roundtrip_property(self, text):
+        alpha = Alphabet.dna()
+        assert alpha.decode(alpha.encode(text)) == text
+
+    def test_lexicographic_order_preserved(self):
+        alpha = Alphabet("ACGT")
+        a = alpha.encode("ACG").tolist()
+        b = alpha.encode("ACT").tolist()
+        assert (a < b) == ("ACG" < "ACT")
+
+
+class TestAsCodeArray:
+    def test_infers_alphabet(self):
+        codes, alpha = as_code_array("CABA")
+        assert alpha.letters == ["A", "B", "C"]
+        assert codes.tolist() == [2, 0, 1, 0]
+
+    def test_ndarray_identity_alphabet(self):
+        arr = np.asarray([3, 0, 2], dtype=np.int64)
+        codes, alpha = as_code_array(arr)
+        assert codes.tolist() == [3, 0, 2]
+        assert alpha.size == 4
+
+    def test_ndarray_negative_rejected(self):
+        with pytest.raises(AlphabetError):
+            as_code_array(np.asarray([-1, 0]))
+
+    def test_ndarray_2d_rejected(self):
+        with pytest.raises(AlphabetError):
+            as_code_array(np.zeros((2, 2), dtype=np.int64))
+
+    def test_explicit_alphabet_used(self):
+        alpha = Alphabet("ABCD")
+        codes, got = as_code_array("BAD", alpha)
+        assert got is alpha
+        assert codes.tolist() == [1, 0, 3]

@@ -1,0 +1,88 @@
+"""Tests for the naive string oracles themselves."""
+
+from collections import Counter
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.strings.occurrences import (
+    all_distinct_substrings,
+    naive_occurrences,
+    naive_substring_frequencies,
+    naive_top_k_frequent,
+    tie_threshold_frequency,
+)
+
+from tests.conftest import texts
+
+
+class TestNaiveOccurrences:
+    def test_simple(self):
+        assert naive_occurrences("ABABAB", "AB") == [0, 2, 4]
+
+    def test_overlapping(self):
+        assert naive_occurrences("AAAA", "AA") == [0, 1, 2]
+
+    def test_absent(self):
+        assert naive_occurrences("ABAB", "BB") == []
+
+    def test_pattern_longer_than_text(self):
+        assert naive_occurrences("AB", "ABC") == []
+
+    def test_empty_pattern(self):
+        assert naive_occurrences("AB", "") == []
+
+    def test_whole_text(self):
+        assert naive_occurrences("ABC", "ABC") == [0]
+
+    def test_accepts_arrays(self):
+        import numpy as np
+
+        text = np.asarray([0, 1, 0, 1], dtype=np.int64)
+        assert naive_occurrences(text, np.asarray([0, 1])) == [0, 2]
+
+
+class TestNaiveFrequencies:
+    def test_counts(self):
+        counts = naive_substring_frequencies("ABAB")
+        assert counts[("A",)] == 2
+        assert counts[("A", "B")] == 2
+        assert counts[("A", "B", "A", "B")] == 1
+
+    def test_max_length_cap(self):
+        counts = naive_substring_frequencies("ABCD", max_length=2)
+        assert max(len(k) for k in counts) == 2
+
+    def test_total_occurrences(self):
+        counts = naive_substring_frequencies("ABC")
+        # n(n+1)/2 substring occurrences in total.
+        assert sum(counts.values()) == 6
+
+    @given(texts("AB", max_size=20))
+    def test_single_letter_counts_match_counter(self, text):
+        counts = naive_substring_frequencies(text, max_length=1)
+        direct = Counter(text)
+        for letter, freq in direct.items():
+            assert counts[(letter,)] == freq
+
+
+class TestTopK:
+    def test_order_and_tiebreak(self):
+        ranked = naive_top_k_frequent("ABABAB", 3)
+        # Frequency 3: 'A', 'B', 'AB'; singles first (shorter).
+        assert [freq for _, freq in ranked] == [3, 3, 3]
+        assert ranked[0][0] in (("A",), ("B",))
+        assert len(ranked[2][0]) == 2
+
+    def test_k_larger_than_substring_count(self):
+        ranked = naive_top_k_frequent("AB", 100)
+        assert len(ranked) == 3  # 'A', 'B', 'AB'
+
+    def test_threshold(self):
+        assert tie_threshold_frequency("ABABAB", 3) == 3
+        assert tie_threshold_frequency("ABABAB", 4) == 2
+
+    def test_distinct_substrings(self):
+        assert all_distinct_substrings("AAB") == {
+            ("A",), ("B",), ("A", "A"), ("A", "B"), ("A", "A", "B")
+        }

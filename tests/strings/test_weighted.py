@@ -1,0 +1,99 @@
+"""Tests for repro.strings.weighted."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+
+from repro.errors import WeightedStringError
+from repro.strings.weighted import WeightedString
+
+from tests.conftest import weighted_strings
+
+
+class TestValidation:
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(WeightedStringError):
+            WeightedString("ABC", [1.0, 2.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(WeightedStringError):
+            WeightedString("", [])
+
+    def test_nan_utilities_rejected(self):
+        with pytest.raises(WeightedStringError):
+            WeightedString("AB", [1.0, float("nan")])
+
+    def test_inf_utilities_rejected(self):
+        with pytest.raises(WeightedStringError):
+            WeightedString("AB", [1.0, float("inf")])
+
+    def test_2d_utilities_rejected(self):
+        with pytest.raises(WeightedStringError):
+            WeightedString("AB", np.ones((2, 1)))
+
+
+class TestAccessors:
+    def test_basic_properties(self, paper_example):
+        assert paper_example.length == 20
+        assert len(paper_example) == 20
+        assert paper_example.alphabet.size == 4
+        assert paper_example.letter(0) == "A"
+        assert paper_example.letter(1) == "T"
+
+    def test_codes_readonly(self, paper_example):
+        with pytest.raises(ValueError):
+            paper_example.codes[0] = 3
+
+    def test_utilities_readonly(self, paper_example):
+        with pytest.raises(ValueError):
+            paper_example.utilities[0] = 9.0
+
+    def test_text_roundtrip(self, paper_example):
+        assert paper_example.text() == "ATACCCCGATAATACCCCAG"
+
+    def test_text_decoded_when_built_from_codes(self):
+        ws = WeightedString(np.asarray([0, 1, 0], dtype=np.int32), [1, 2, 3])
+        assert ws.text() == "010"
+
+    def test_repr(self, paper_example):
+        assert "n=20" in repr(paper_example)
+
+
+class TestFragments:
+    def test_fragment_contents(self, paper_example):
+        assert paper_example.fragment_text(1, 6) == "TACCCC"
+
+    def test_fragment_utilities(self, paper_example):
+        np.testing.assert_allclose(
+            paper_example.fragment_utilities(1, 6), [1, 3, 2, 0.7, 1, 1]
+        )
+
+    @pytest.mark.parametrize("start,length", [(-1, 2), (0, 0), (19, 2), (0, 21)])
+    def test_fragment_out_of_range(self, paper_example, start, length):
+        with pytest.raises(WeightedStringError):
+            paper_example.fragment(start, length)
+
+    def test_prefix_sums_match_cumsum(self, paper_example):
+        np.testing.assert_allclose(
+            paper_example.prefix_sums(), np.cumsum(paper_example.utilities)
+        )
+
+
+class TestUniform:
+    def test_uniform_sets_constant_utility(self):
+        ws = WeightedString.uniform("ABCA", 2.5)
+        np.testing.assert_allclose(ws.utilities, [2.5] * 4)
+
+    def test_uniform_default_is_one(self):
+        ws = WeightedString.uniform("AB")
+        np.testing.assert_allclose(ws.utilities, [1.0, 1.0])
+
+
+@given(weighted_strings())
+def test_fragment_utilities_always_match_slice(ws):
+    mid = ws.length // 2 + 1
+    length = min(3, ws.length - 0)
+    if length >= 1:
+        np.testing.assert_allclose(
+            ws.fragment_utilities(0, length), ws.utilities[:length]
+        )

@@ -1,0 +1,224 @@
+"""Tests for the succinct substrate: bitvector, wavelet tree, BWT, FM-index."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConstructionError, ParameterError, PatternError
+from repro.strings.alphabet import Alphabet
+from repro.strings.occurrences import naive_occurrences
+from repro.succinct.bitvector import RankSelectBitVector
+from repro.succinct.bwt import bwt_from_sa, bwt_transform, inverse_bwt
+from repro.succinct.fm_index import FmIndex
+from repro.succinct.wavelet import WaveletTree
+from repro.suffix.suffix_array import build_suffix_array
+
+from tests.conftest import texts_mixed
+
+
+class TestBitVector:
+    def test_rank_matches_cumsum(self):
+        rng = np.random.default_rng(0)
+        bits = rng.random(500) < 0.3
+        bv = RankSelectBitVector(bits)
+        prefix = np.concatenate(([0], np.cumsum(bits)))
+        for i in range(0, 501, 7):
+            assert bv.rank1(i) == prefix[i]
+            assert bv.rank0(i) == i - prefix[i]
+
+    def test_rank_spans_blocks(self):
+        bits = [True] * 200  # > 3 blocks of 64
+        bv = RankSelectBitVector(bits)
+        assert bv.rank1(200) == 200
+        assert bv.rank1(65) == 65
+
+    def test_select_inverts_rank(self):
+        bits = [False, True, True, False, True]
+        bv = RankSelectBitVector(bits)
+        assert bv.select1(1) == 1
+        assert bv.select1(3) == 4
+        assert bv.select0(2) == 3
+
+    def test_select_out_of_range(self):
+        bv = RankSelectBitVector([True, False])
+        with pytest.raises(ParameterError):
+            bv.select1(2)
+        with pytest.raises(ParameterError):
+            bv.select0(0)
+
+    def test_rank_out_of_range(self):
+        bv = RankSelectBitVector([True])
+        with pytest.raises(ParameterError):
+            bv.rank1(2)
+
+    def test_empty(self):
+        bv = RankSelectBitVector([])
+        assert bv.ones == 0
+        assert bv.rank1(0) == 0
+
+    def test_getitem_and_len(self):
+        bv = RankSelectBitVector([True, False])
+        assert bv[0] and not bv[1]
+        assert len(bv) == 2
+        assert bv.nbytes() > 0
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=300))
+    @settings(max_examples=30)
+    def test_select_rank_roundtrip_property(self, bits):
+        bv = RankSelectBitVector(bits)
+        for k in range(1, bv.ones + 1):
+            position = bv.select1(k)
+            assert bits[position]
+            assert bv.rank1(position) == k - 1
+
+
+class TestWaveletTree:
+    def test_access(self):
+        values = [3, 1, 4, 1, 5, 0, 2]
+        wt = WaveletTree(values)
+        for i, v in enumerate(values):
+            assert wt.access(i) == v
+
+    def test_rank_matches_count(self):
+        values = [3, 1, 4, 1, 5, 0, 2, 1, 1]
+        wt = WaveletTree(values)
+        for symbol in range(6):
+            for i in range(len(values) + 1):
+                assert wt.rank(symbol, i) == values[:i].count(symbol)
+
+    def test_select(self):
+        values = [2, 0, 2, 1, 2]
+        wt = WaveletTree(values)
+        assert wt.select(2, 1) == 0
+        assert wt.select(2, 3) == 4
+        assert wt.select(1, 1) == 3
+
+    def test_rank_of_absent_symbol(self):
+        wt = WaveletTree([0, 1], sigma=5)
+        assert wt.rank(4, 2) == 0
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            WaveletTree([[0, 1]])
+        with pytest.raises(ParameterError):
+            WaveletTree([-1])
+        with pytest.raises(ParameterError):
+            WaveletTree([5], sigma=3)
+        with pytest.raises(ParameterError):
+            WaveletTree([0]).access(1)
+        with pytest.raises(ParameterError):
+            WaveletTree([0]).select(0, 2)
+
+    @given(st.lists(st.integers(0, 7), min_size=1, max_size=200))
+    @settings(max_examples=30)
+    def test_rank_select_access_property(self, values):
+        wt = WaveletTree(values, sigma=8)
+        arr = list(values)
+        mid = len(arr) // 2
+        for symbol in set(arr):
+            assert wt.rank(symbol, mid) == arr[:mid].count(symbol)
+            total = arr.count(symbol)
+            assert wt.select(symbol, total) == max(
+                i for i, v in enumerate(arr) if v == symbol
+            )
+        assert wt.access(mid if mid < len(arr) else 0) == arr[mid if mid < len(arr) else 0]
+
+
+class TestBwt:
+    def test_banana(self):
+        codes = Alphabet.from_text("BANANA").encode("BANANA")
+        bwt, sa = bwt_transform(codes)
+        # BWT of "banana$" is "annb$aa" (with $ = 0 and letters +1).
+        letters = "".join(
+            "$" if c == 0 else "ABN"[c - 1] for c in bwt.tolist()
+        )
+        assert letters == "ANNB$AA"
+
+    def test_inverse_roundtrip(self):
+        rng = np.random.default_rng(1)
+        for _ in range(10):
+            codes = rng.integers(0, 4, size=int(rng.integers(1, 60)))
+            bwt, _ = bwt_transform(codes)
+            np.testing.assert_array_equal(inverse_bwt(bwt), codes)
+
+    def test_sa_mismatch_rejected(self):
+        with pytest.raises(ParameterError):
+            bwt_from_sa(np.asarray([0, 1]), np.asarray([0]))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ParameterError):
+            bwt_transform(np.empty(0, dtype=np.int64))
+
+    @given(texts_mixed(max_size=60))
+    def test_roundtrip_property(self, text):
+        codes = Alphabet.from_text(text).encode(text)
+        bwt, _ = bwt_transform(codes)
+        np.testing.assert_array_equal(inverse_bwt(bwt), codes)
+
+
+class TestFmIndex:
+    def test_count_matches_naive(self):
+        text = "MISSISSIPPI"
+        alpha = Alphabet.from_text(text)
+        fm = FmIndex(alpha.encode(text))
+        for pattern in ["ISS", "I", "MISS", "PPI", "S", "X" if False else "IP"]:
+            encoded = alpha.encode(pattern)
+            assert fm.count(encoded) == len(naive_occurrences(text, pattern))
+
+    def test_occurrences_match_naive(self):
+        text = "ABABABAB"
+        alpha = Alphabet.from_text(text)
+        fm = FmIndex(alpha.encode(text), sample_rate=3)
+        for pattern in ["AB", "BA", "ABAB", "A"]:
+            encoded = alpha.encode(pattern)
+            assert sorted(fm.occurrences(encoded).tolist()) == naive_occurrences(
+                text, pattern
+            )
+
+    def test_absent_pattern(self):
+        alpha = Alphabet.from_text("AAB")
+        fm = FmIndex(alpha.encode("AAB"))
+        assert fm.count(alpha.encode("BA")) == 0
+        assert fm.occurrences(alpha.encode("BB")).size == 0
+        assert fm.interval(alpha.encode("BB")) == (0, -1)
+
+    def test_symbol_outside_alphabet(self):
+        fm = FmIndex(np.asarray([0, 1, 0]))
+        assert fm.count(np.asarray([7])) == 0
+
+    def test_empty_pattern_rejected(self):
+        fm = FmIndex(np.asarray([0, 1]))
+        with pytest.raises(PatternError):
+            fm.count(np.empty(0, dtype=np.int64))
+
+    def test_validation(self):
+        with pytest.raises(ConstructionError):
+            FmIndex(np.empty(0, dtype=np.int64))
+        with pytest.raises(ParameterError):
+            FmIndex(np.asarray([0]), sample_rate=0)
+
+    def test_sample_rates_agree(self):
+        codes = np.asarray([0, 1, 2, 0, 1, 2, 0, 1], dtype=np.int64)
+        dense = FmIndex(codes, sample_rate=1)
+        sparse = FmIndex(codes, sample_rate=8)
+        pattern = np.asarray([0, 1])
+        assert sorted(dense.occurrences(pattern).tolist()) == sorted(
+            sparse.occurrences(pattern).tolist()
+        )
+
+    def test_nbytes_positive(self):
+        assert FmIndex(np.asarray([0, 1, 0, 1])).nbytes() > 0
+
+    @given(texts_mixed(max_size=50), st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_matches_suffix_array_property(self, text, data):
+        alpha = Alphabet.from_text(text)
+        codes = alpha.encode(text)
+        fm = FmIndex(codes, sample_rate=4)
+        start = data.draw(st.integers(0, len(text) - 1))
+        length = data.draw(st.integers(1, min(5, len(text) - start)))
+        pattern = codes[start : start + length].astype(np.int64)
+        assert sorted(fm.occurrences(pattern).tolist()) == naive_occurrences(
+            codes, pattern
+        )

@@ -1,0 +1,100 @@
+"""Tests for the enhanced-suffix-array bottom-up traversal."""
+
+import numpy as np
+from hypothesis import given
+
+from repro.strings.alphabet import Alphabet
+from repro.strings.occurrences import naive_substring_frequencies
+from repro.suffix.enhanced import bottom_up_intervals, leaf_intervals
+from repro.suffix.suffix_array import SuffixArray
+
+from tests.conftest import texts_mixed
+
+
+def _index(text: str) -> SuffixArray:
+    return SuffixArray(Alphabet.from_text(text).encode(text))
+
+
+class TestBottomUpIntervals:
+    def test_abab_nodes(self):
+        index = _index("ABABAB")
+        nodes = {
+            (node.lcp, node.lb, node.rb, node.parent_lcp)
+            for node in bottom_up_intervals(index.lcp)
+        }
+        # Internal nodes: 'AB' [0..2], 'ABAB' [1..2], 'B' [3..5], 'BAB' [4..5].
+        assert (2, 0, 2, 0) in nodes
+        assert (4, 1, 2, 2) in nodes
+        assert (1, 3, 5, 0) in nodes
+        assert (3, 4, 5, 1) in nodes
+        assert len(nodes) == 4
+
+    def test_no_internal_nodes_for_distinct_letters(self):
+        index = _index("ABCDEF")
+        assert list(bottom_up_intervals(index.lcp)) == []
+
+    def test_root_not_reported(self):
+        index = _index("ABAB")
+        assert all(node.lcp > 0 for node in bottom_up_intervals(index.lcp))
+
+    def test_frequencies_match_naive(self):
+        text = "MISSISSIPPI"
+        index = _index(text)
+        counts = naive_substring_frequencies(text)
+        for node in bottom_up_intervals(index.lcp):
+            witness = text[index.sa[node.lb] : index.sa[node.lb] + node.lcp]
+            assert counts[tuple(witness)] == node.frequency
+
+    def test_child_emitted_before_parent(self):
+        index = _index("ABABABAB")
+        seen: list = []
+        for node in bottom_up_intervals(index.lcp):
+            for prior in seen:
+                # If prior is nested inside node, it must be deeper.
+                if node.lb <= prior.lb and prior.rb <= node.rb:
+                    assert prior.lcp > node.lcp
+            seen.append(node)
+
+    @given(texts_mixed(max_size=40))
+    def test_interval_frequencies_property(self, text):
+        index = _index(text)
+        counts = naive_substring_frequencies(text)
+        for node in bottom_up_intervals(index.lcp):
+            witness = text[index.sa[node.lb] : index.sa[node.lb] + node.lcp]
+            assert counts[tuple(witness)] == node.frequency
+            assert node.parent_lcp < node.lcp
+            assert node.frequency >= 2
+
+    @given(texts_mixed(max_size=40))
+    def test_edge_substrings_share_frequency_property(self, text):
+        """Every implicit node on an edge has the node's frequency."""
+        index = _index(text)
+        counts = naive_substring_frequencies(text)
+        for node in bottom_up_intervals(index.lcp):
+            start = index.sa[node.lb]
+            for length in range(node.parent_lcp + 1, node.lcp + 1):
+                witness = text[start : start + length]
+                assert counts[tuple(witness)] == node.frequency
+
+
+class TestLeafIntervals:
+    def test_leaf_edges_are_frequency_one(self):
+        text = "ABABX"
+        index = _index(text)
+        counts = naive_substring_frequencies(text)
+        for node in leaf_intervals(index.sa, index.lcp, len(text)):
+            start = index.sa[node.lb]
+            for length in range(node.parent_lcp + 1, node.lcp + 1):
+                witness = text[start : start + length]
+                assert counts[tuple(witness)] == 1
+
+    @given(texts_mixed(max_size=30))
+    def test_internal_plus_leaves_cover_all_substrings(self, text):
+        """Edge lengths over all explicit nodes sum to #distinct substrings."""
+        index = _index(text)
+        total = sum(
+            node.edge_length for node in bottom_up_intervals(index.lcp)
+        ) + sum(
+            node.edge_length for node in leaf_intervals(index.sa, index.lcp, len(text))
+        )
+        assert total == len(naive_substring_frequencies(text))

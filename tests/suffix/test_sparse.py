@@ -1,0 +1,97 @@
+"""Tests for the sparse suffix array."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError
+from repro.strings.alphabet import Alphabet
+from repro.suffix.lce import FingerprintLce
+from repro.suffix.sparse import SparseSuffixArray
+
+from tests.conftest import texts_mixed
+
+
+def _sparse(text: str, positions) -> SparseSuffixArray:
+    codes = Alphabet.from_text(text).encode(text).astype(np.int64)
+    return SparseSuffixArray(codes, positions, FingerprintLce(codes))
+
+
+def naive_sorted(text: str, positions) -> list[int]:
+    return sorted(positions, key=lambda i: text[i:])
+
+
+class TestSorting:
+    def test_all_positions_equals_full_sa(self):
+        text = "MISSISSIPPI"
+        ssa = _sparse(text, range(len(text)))
+        assert ssa.positions == naive_sorted(text, range(len(text)))
+
+    def test_subset(self):
+        text = "BANANA"
+        ssa = _sparse(text, [0, 2, 4])
+        assert ssa.positions == naive_sorted(text, [0, 2, 4])
+
+    def test_strided_sample(self):
+        text = "ABRACADABRAABRACADABRA"
+        positions = list(range(0, len(text), 3))
+        assert _sparse(text, positions).positions == naive_sorted(text, positions)
+
+    def test_repetitive_text_ties(self):
+        # All suffixes share long prefixes: exercises the LCE tie-breaker.
+        text = "AAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAA"  # 32 A's > prefix key width
+        positions = [0, 5, 10, 15]
+        assert _sparse(text, positions).positions == naive_sorted(text, positions)
+
+    def test_single_position(self):
+        assert _sparse("ABC", [1]).positions == [1]
+
+    def test_empty_sample(self):
+        assert _sparse("ABC", []).positions == []
+
+    @given(texts_mixed(max_size=60), st.data())
+    def test_matches_naive_property(self, text, data):
+        stride = data.draw(st.integers(1, max(1, len(text) // 2)))
+        offset = data.draw(st.integers(0, stride - 1))
+        positions = list(range(offset, len(text), stride))
+        if not positions:
+            return
+        assert _sparse(text, positions).positions == naive_sorted(text, positions)
+
+
+class TestSlcp:
+    def test_matches_naive(self):
+        text = "ABRACADABRA"
+        positions = [0, 3, 5, 7]
+        ssa = _sparse(text, positions)
+        order = ssa.positions
+        for idx in range(1, len(order)):
+            a, b = text[order[idx - 1]:], text[order[idx]:]
+            k = 0
+            while k < min(len(a), len(b)) and a[k] == b[k]:
+                k += 1
+            assert ssa.slcp[idx] == k
+        assert ssa.slcp[0] == 0
+
+    def test_suffix_at_rank(self):
+        text = "BANANA"
+        ssa = _sparse(text, [0, 2, 4])
+        assert ssa.suffix_at_rank(0) == ssa.positions[0]
+
+    def test_nbytes_scales_with_sample(self):
+        small = _sparse("ABABABAB", [0, 4])
+        large = _sparse("ABABABAB", [0, 2, 4, 6])
+        assert small.nbytes() < large.nbytes()
+
+
+class TestValidation:
+    def test_duplicate_positions_rejected(self):
+        with pytest.raises(ParameterError):
+            _sparse("ABC", [1, 1])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ParameterError):
+            _sparse("ABC", [3])
+        with pytest.raises(ParameterError):
+            _sparse("ABC", [-1])

@@ -1,0 +1,129 @@
+"""Tests for suffix array construction (SA-IS, doubling) and search."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConstructionError, PatternError
+from repro.strings.alphabet import Alphabet
+from repro.strings.occurrences import naive_occurrences
+from repro.suffix.doubling import suffix_array_doubling
+from repro.suffix.sais import suffix_array_sais
+from repro.suffix.suffix_array import SuffixArray, build_suffix_array
+
+from tests.conftest import texts_mixed
+
+
+def naive_suffix_array(text: str) -> list[int]:
+    return sorted(range(len(text)), key=lambda i: text[i:])
+
+
+def _encode(text: str) -> np.ndarray:
+    return Alphabet.from_text(text).encode(text)
+
+
+CASES = ["A", "AA", "AB", "BA", "BANANA", "MISSISSIPPI", "ABABABAB",
+         "AAAAAA", "ABCABCABC", "ZYXWVU"]
+
+
+class TestConstructionAlgorithms:
+    @pytest.mark.parametrize("text", CASES)
+    def test_sais_matches_naive(self, text):
+        assert suffix_array_sais(_encode(text)).tolist() == naive_suffix_array(text)
+
+    @pytest.mark.parametrize("text", CASES)
+    def test_doubling_matches_naive(self, text):
+        assert suffix_array_doubling(_encode(text)).tolist() == naive_suffix_array(text)
+
+    def test_empty_text(self):
+        assert suffix_array_sais([]).tolist() == []
+        assert suffix_array_doubling([]).tolist() == []
+
+    def test_single_letter(self):
+        assert suffix_array_sais([7]).tolist() == [0]
+        assert suffix_array_doubling([7]).tolist() == [0]
+
+    @given(texts_mixed(max_size=80))
+    def test_sais_equals_doubling_property(self, text):
+        codes = _encode(text)
+        np.testing.assert_array_equal(
+            suffix_array_sais(codes), suffix_array_doubling(codes)
+        )
+
+    def test_large_random_agreement(self):
+        rng = np.random.default_rng(3)
+        codes = rng.integers(0, 5, size=2000, dtype=np.int64)
+        np.testing.assert_array_equal(
+            suffix_array_sais(codes), suffix_array_doubling(codes)
+        )
+
+    def test_build_dispatch(self):
+        codes = _encode("BANANA")
+        np.testing.assert_array_equal(
+            build_suffix_array(codes, "sais"), build_suffix_array(codes, "doubling")
+        )
+        with pytest.raises(ConstructionError):
+            build_suffix_array(codes, "nope")
+
+
+class TestSuffixArrayIndex:
+    def test_rejects_empty(self):
+        with pytest.raises(ConstructionError):
+            SuffixArray(np.empty(0, dtype=np.int64))
+
+    def test_sa_property_is_sorted_suffixes(self):
+        text = "MISSISSIPPI"
+        index = SuffixArray(_encode(text))
+        assert index.sa.tolist() == naive_suffix_array(text)
+        assert len(index) == len(text)
+
+    @pytest.mark.parametrize("pattern", ["ISS", "I", "MISSISSIPPI", "PPI", "S"])
+    def test_occurrences_match_naive(self, pattern):
+        text = "MISSISSIPPI"
+        index = SuffixArray(_encode(text))
+        encoded = Alphabet.from_text(text).encode(pattern)
+        assert sorted(index.occurrences(encoded).tolist()) == naive_occurrences(
+            text, pattern
+        )
+
+    def test_absent_pattern(self):
+        text = "MISSISSIPPI"
+        index = SuffixArray(_encode(text))
+        pattern = Alphabet.from_text(text).encode("SIM")
+        assert index.count(pattern) == 0
+        assert index.occurrences(pattern).size == 0
+        assert index.interval(pattern) == (0, -1)
+
+    def test_pattern_longer_than_text(self):
+        index = SuffixArray(_encode("AB"))
+        assert index.count([0, 1, 0]) == 0
+
+    def test_empty_pattern_rejected(self):
+        index = SuffixArray(_encode("AB"))
+        with pytest.raises(PatternError):
+            index.interval(np.empty(0, dtype=np.int64))
+
+    def test_interval_width_is_count(self):
+        text = "ABABABA"
+        index = SuffixArray(_encode(text))
+        lb, rb = index.interval(_encode("AB")[:2])
+        assert rb - lb + 1 == 3
+
+    @given(texts_mixed(max_size=50), st.integers(0, 10**6))
+    def test_search_matches_naive_property(self, text, pick):
+        index = SuffixArray(_encode(text))
+        alpha = Alphabet.from_text(text)
+        # Query a substring of the text plus a possibly-absent variant.
+        start = pick % len(text)
+        length = 1 + (pick // 7) % min(5, len(text) - start)
+        pattern = text[start : start + length]
+        encoded = alpha.encode(pattern)
+        assert sorted(index.occurrences(encoded).tolist()) == naive_occurrences(
+            text, pattern
+        )
+
+    def test_nbytes_positive_and_grows_with_lcp(self):
+        bare = SuffixArray(_encode("BANANA"), with_lcp=False)
+        full = SuffixArray(_encode("BANANA"), with_lcp=True)
+        assert 0 < bare.nbytes() < full.nbytes()

@@ -1,0 +1,119 @@
+"""Tests for the `usi` command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture()
+def corpus(tmp_path):
+    text_path = tmp_path / "corpus.txt"
+    text_path.write_text("ABRACADABRAABRACADABRA\n")
+    utilities_path = tmp_path / "weights.txt"
+    utilities_path.write_text("\n".join(["1.0"] * 22) + "\n")
+    return text_path, utilities_path
+
+
+class TestTopK:
+    def test_lists_k_rows(self, corpus, capsys):
+        text_path, _ = corpus
+        assert main(["topk", "--text", str(text_path), "--k", "5"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 5
+        freq, length, substring = lines[0].split("\t")
+        assert int(freq) >= int(lines[-1].split("\t")[0])
+
+    def test_with_utilities(self, corpus, capsys):
+        text_path, utilities_path = corpus
+        code = main([
+            "topk", "--text", str(text_path),
+            "--utilities", str(utilities_path), "--k", "3",
+        ])
+        assert code == 0
+
+
+class TestBuildAndQuery:
+    def test_roundtrip(self, corpus, tmp_path, capsys):
+        text_path, utilities_path = corpus
+        out = tmp_path / "index.pkl"
+        assert main([
+            "build", "--text", str(text_path),
+            "--utilities", str(utilities_path),
+            "--k", "10", "--out", str(out),
+        ]) == 0
+        assert out.exists()
+        assert main([
+            "query", "--index", str(out),
+            "--pattern", "ABRA", "--pattern", "ZZZ",
+        ]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        last_two = lines[-2:]
+        assert last_two[0].startswith("ABRA\t")
+        # ABRA occurs 4 times, each of local utility 4 -> 16.
+        assert float(last_two[0].split("\t")[1]) == pytest.approx(16.0)
+        assert float(last_two[1].split("\t")[1]) == 0.0
+
+    def test_build_approximate(self, corpus, tmp_path):
+        text_path, _ = corpus
+        out = tmp_path / "uat.pkl"
+        assert main([
+            "build", "--text", str(text_path),
+            "--k", "5", "--approximate", "--out", str(out),
+        ]) == 0
+        assert out.exists()
+
+
+class TestMine:
+    def test_top_mode(self, corpus, capsys):
+        text_path, utilities_path = corpus
+        assert main([
+            "mine", "--text", str(text_path),
+            "--utilities", str(utilities_path), "--top", "5",
+        ]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 5
+        utilities = [float(line.split("\t")[0]) for line in lines]
+        assert utilities == sorted(utilities, reverse=True)
+
+    def test_threshold_mode(self, corpus, capsys):
+        text_path, _ = corpus
+        assert main([
+            "mine", "--text", str(text_path),
+            "--threshold", "10", "--min-length", "2",
+        ]) == 0
+        for line in capsys.readouterr().out.strip().splitlines():
+            assert float(line.split("\t")[0]) >= 10.0
+
+    def test_threshold_with_top_cap(self, corpus, capsys):
+        text_path, _ = corpus
+        assert main([
+            "mine", "--text", str(text_path),
+            "--threshold", "1", "--top", "3",
+        ]) == 0
+        assert len(capsys.readouterr().out.strip().splitlines()) == 3
+
+
+class TestTune:
+    def test_by_k(self, corpus, capsys):
+        text_path, _ = corpus
+        assert main(["tune", "--text", str(text_path), "--k", "5"]) == 0
+        assert "tau_K=" in capsys.readouterr().out
+
+    def test_by_tau(self, corpus, capsys):
+        text_path, _ = corpus
+        assert main(["tune", "--text", str(text_path), "--tau", "2"]) == 0
+        assert "K_tau=" in capsys.readouterr().out
+
+    def test_requires_one_of(self, corpus):
+        text_path, _ = corpus
+        assert main(["tune", "--text", str(text_path)]) == 2
+        assert main(["tune", "--text", str(text_path), "--k", "2", "--tau", "2"]) == 2
+
+    def test_curve(self, corpus, capsys):
+        text_path, _ = corpus
+        assert main(["tune", "--text", str(text_path), "--curve"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines[0].startswith("K\t")
+        assert len(lines) >= 2
+        taus = [int(line.split("\t")[1]) for line in lines[1:]]
+        assert taus == sorted(taus, reverse=True)

@@ -1,0 +1,54 @@
+"""Smoke tests for the example scripts.
+
+``quickstart`` runs end to end (it is fast and self-asserting); every
+other example is at least compiled and import-scanned so a broken API
+reference in any of them fails the suite.
+"""
+
+import pathlib
+import py_compile
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+ALL_EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_exist():
+    names = {path.name for path in ALL_EXAMPLES}
+    assert {
+        "quickstart.py",
+        "dna_quality.py",
+        "ad_sequencing.py",
+        "iot_link_quality.py",
+        "web_analytics.py",
+        "read_collection.py",
+        "section7_counterexamples.py",
+        "scale_check.py",
+    } <= names
+
+
+@pytest.mark.parametrize("path", ALL_EXAMPLES, ids=lambda p: p.name)
+def test_examples_compile(path):
+    py_compile.compile(str(path), doraise=True)
+
+
+def test_quickstart_runs():
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "quickstart.py")],
+        capture_output=True, text=True, timeout=120,
+    )
+    assert result.returncode == 0, result.stderr
+    assert "14.6" in result.stdout
+    assert "UAT" in result.stdout
+
+
+def test_read_collection_runs():
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "read_collection.py")],
+        capture_output=True, text=True, timeout=120,
+    )
+    assert result.returncode == 0, result.stderr
+    assert "reads" in result.stdout

@@ -1,0 +1,150 @@
+"""End-to-end integration tests: full pipelines on every dataset.
+
+These run the whole stack the way the benchmarks do — dataset
+generation, mining, index construction, workloads, queries, metrics —
+at tiny scale, asserting cross-component agreement rather than
+per-module contracts.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import Bsl1NoCache, Bsl2LruCache, Bsl3TopKSeen, Bsl4SketchTopKSeen
+from repro.core.approximate import ApproximateTopK
+from repro.core.exact_topk import exact_top_k
+from repro.core.naive import naive_global_utility
+from repro.core.topk_oracle import TopKOracle
+from repro.core.usi import UsiIndex
+from repro.datasets.registry import DATASETS
+from repro.datasets.workloads import build_w1, build_w2p
+from repro.eval.metrics import evaluate_miner
+from repro.streaming.substring_hk import SubstringHK
+from repro.streaming.topk_trie import TopKTrie
+from repro.suffix.suffix_array import SuffixArray
+
+N = 1_200
+
+
+@pytest.fixture(scope="module", params=sorted(DATASETS))
+def pipeline(request):
+    """One generated dataset with its index, oracle, and USI indexes."""
+    spec = DATASETS[request.param]
+    ws = spec.make(N, seed=11)
+    index = SuffixArray(ws.codes)
+    oracle = TopKOracle(index)
+    k = max(10, spec.default_k(N))
+    return spec, ws, index, oracle, k
+
+
+class TestMinersAgree:
+    def test_exact_and_s1_approximate_identical(self, pipeline):
+        spec, ws, index, oracle, k = pipeline
+        exact = exact_top_k(ws, k)
+        approx = ApproximateTopK(ws, k=k, s=1).mine()
+        assert sorted(m.frequency for m in exact) == sorted(
+            m.frequency for m in approx
+        )
+
+    def test_approximate_never_overestimates(self, pipeline):
+        spec, ws, index, oracle, k = pipeline
+        for mined in ApproximateTopK(ws, k=k, s=spec.default_s).mine():
+            true = index.count(mined.codes(ws.codes))
+            assert mined.frequency <= true
+
+    def test_all_miners_respect_capacity(self, pipeline):
+        spec, ws, index, oracle, k = pipeline
+        assert len(ApproximateTopK(ws, k=k, s=2).mine()) <= k
+        assert len(SubstringHK(ws, k=k, seed=0).mine()) <= k
+        assert len(TopKTrie(ws, k=k).mine()) <= k
+
+    def test_metric_ordering(self, pipeline):
+        """AT always scores at least as well as the streaming miners.
+
+        ``s`` is lowered to 3 here: at n ~ 1e3 the dataset-default
+        rounds (tuned for the benchmark scale) leave per-round samples
+        of barely a hundred suffixes, a regime the paper never enters.
+        """
+        spec, ws, index, oracle, k = pipeline
+        at = evaluate_miner(
+            ApproximateTopK(ws, k=k, s=3).mine(), index, k, oracle=oracle
+        )
+        tt = evaluate_miner(TopKTrie(ws, k=k).mine(), index, k, oracle=oracle)
+        sh = evaluate_miner(SubstringHK(ws, k=k, seed=0).mine(), index, k, oracle=oracle)
+        assert at.accuracy_percent >= tt.accuracy_percent
+        assert at.accuracy_percent >= sh.accuracy_percent
+        assert at.ndcg >= 0.95
+
+
+class TestIndexesAgree:
+    def test_uet_uat_baselines_same_answers(self, pipeline):
+        spec, ws, index, oracle, k = pipeline
+        uet = UsiIndex.build(ws, k=k)
+        uat = UsiIndex.build(ws, k=k, miner="approximate", s=spec.default_s)
+        baselines = [
+            Bsl1NoCache(ws),
+            Bsl2LruCache(ws, capacity=k),
+            Bsl3TopKSeen(ws, capacity=k),
+            Bsl4SketchTopKSeen(ws, capacity=k),
+        ]
+        queries = build_w1(ws, oracle, 40,
+                           length_range=spec.query_length_range, seed=1)
+        for pattern in queries:
+            want = uet.query(pattern)
+            assert uat.query(pattern) == pytest.approx(want, abs=1e-6)
+            for baseline in baselines:
+                assert baseline.query(pattern) == pytest.approx(want, abs=1e-6)
+
+    def test_uet_matches_naive_on_w2p(self, pipeline):
+        spec, ws, index, oracle, k = pipeline
+        uet = UsiIndex.build(ws, k=k)
+        queries = build_w2p(ws, oracle, 15, p=50,
+                            length_range=spec.query_length_range, seed=2)
+        for pattern in queries:
+            if len(pattern) <= 30:  # keep the naive check cheap
+                assert uet.query(pattern) == pytest.approx(
+                    naive_global_utility(ws, pattern), rel=1e-9, abs=1e-6
+                )
+
+    def test_fm_backend_agrees(self, pipeline):
+        spec, ws, index, oracle, k = pipeline
+        uet = UsiIndex.build(ws, k=k)
+        fm = UsiIndex.build(ws, k=k, locate_backend="fm")
+        queries = build_w1(ws, oracle, 15,
+                           length_range=spec.query_length_range, seed=3)
+        for pattern in queries:
+            assert fm.query(pattern) == pytest.approx(uet.query(pattern), abs=1e-6)
+
+    def test_batch_equals_scalar_on_workload(self, pipeline):
+        spec, ws, index, oracle, k = pipeline
+        uet = UsiIndex.build(ws, k=k)
+        queries = build_w1(ws, oracle, 30,
+                           length_range=spec.query_length_range, seed=4)
+        batch = uet.query_batch(queries)
+        assert batch == pytest.approx([uet.query(q) for q in queries], abs=1e-9)
+
+
+class TestTuningConsistency:
+    def test_tau_k_bounds_uncached_frequency(self, pipeline):
+        """Any pattern outside H occurs at most tau_K times (Theorem 1)."""
+        spec, ws, index, oracle, k = pipeline
+        uet = UsiIndex.build(ws, k=k)
+        tau_k = uet.report.tau_k
+        rng = np.random.default_rng(5)
+        for _ in range(40):
+            length = int(rng.integers(1, 12))
+            start = int(rng.integers(0, ws.length - length))
+            pattern = ws.codes[start : start + length].astype(np.int64)
+            if not uet.is_cached(pattern):
+                assert index.count(pattern) <= tau_k
+
+    def test_tau_to_k_round_trip(self, pipeline):
+        spec, ws, index, oracle, k = pipeline
+        point = oracle.tune_by_k(k)
+        back = oracle.tune_by_tau(point.tau)
+        assert back.k >= min(k, oracle.distinct_substring_count)
+
+    def test_build_by_tau_matches_oracle(self, pipeline):
+        spec, ws, index, oracle, k = pipeline
+        tau = max(2, oracle.tune_by_k(k).tau)
+        by_tau = UsiIndex.build(ws, tau=tau)
+        assert by_tau.report.k == oracle.tune_by_tau(tau).k

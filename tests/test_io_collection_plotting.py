@@ -1,0 +1,264 @@
+"""Tests for persistence, collections, product utilities, and charts."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.naive import naive_global_utility
+from repro.core.usi import UsiIndex
+from repro.errors import ParameterError, WeightedStringError
+from repro.eval.plotting import ascii_chart
+from repro.io import load_index, save_index
+from repro.strings.alphabet import Alphabet
+from repro.strings.collection import CollectionUsiIndex, WeightedStringCollection
+from repro.strings.weighted import WeightedString
+from repro.utility.functions import ProductLocalUtility, make_local_utility
+
+
+class TestSaveLoad:
+    def test_roundtrip_queries(self, paper_example, tmp_path):
+        index = UsiIndex.build(paper_example, k=8)
+        path = tmp_path / "index.npz"
+        save_index(index, path)
+        loaded = load_index(path)
+        for pattern in ("TACCCC", "A", "GGGG", "ATAC", "XYZ"):
+            assert loaded.query(pattern) == pytest.approx(index.query(pattern))
+
+    def test_roundtrip_preserves_report(self, paper_example, tmp_path):
+        index = UsiIndex.build(paper_example, k=8)
+        path = tmp_path / "index.npz"
+        save_index(index, path)
+        loaded = load_index(path)
+        assert loaded.report.k == index.report.k
+        assert loaded.report.tau_k == index.report.tau_k
+        assert loaded.hash_table_size == index.hash_table_size
+
+    def test_roundtrip_product_local(self, tmp_path):
+        ws = WeightedString("ACGTACGT", [0.9, 0.8, 0.99, 0.7, 0.9, 0.8, 0.99, 0.7])
+        index = UsiIndex.build(ws, k=5, local="product", aggregator="sum")
+        path = tmp_path / "product.npz"
+        save_index(index, path)
+        loaded = load_index(path)
+        assert loaded.query("ACG") == pytest.approx(index.query("ACG"))
+
+    def test_integer_alphabet_roundtrip(self, tmp_path):
+        ws = WeightedString(np.asarray([0, 3, 1, 3, 0], dtype=np.int32),
+                            [1.0, 2.0, 3.0, 4.0, 5.0])
+        index = UsiIndex.build(ws, k=3)
+        path = tmp_path / "ints.npz"
+        save_index(index, path)
+        loaded = load_index(path)
+        pattern = np.asarray([3], dtype=np.int64)
+        assert loaded.query(pattern) == pytest.approx(index.query(pattern))
+
+    def test_fm_backend_rejected(self, paper_example, tmp_path):
+        index = UsiIndex.build(paper_example, k=4, locate_backend="fm")
+        with pytest.raises(ParameterError):
+            save_index(index, tmp_path / "fm.npz")
+
+    def test_bad_version_rejected(self, paper_example, tmp_path):
+        import json
+
+        index = UsiIndex.build(paper_example, k=4)
+        path = tmp_path / "index.npz"
+        save_index(index, path)
+        with np.load(path) as archive:
+            contents = dict(archive)
+        header = json.loads(bytes(contents["header"].tobytes()).decode())
+        header["format_version"] = 999
+        contents["header"] = np.frombuffer(
+            json.dumps(header).encode(), dtype=np.uint8
+        )
+        np.savez(path, **contents)
+        with pytest.raises(ParameterError):
+            load_index(path)
+
+
+from tests.conftest import weighted_strings as _ws_strategy
+
+
+class TestSaveLoadProperty:
+    @given(ws=_ws_strategy(max_size=25), k=st.integers(1, 10))
+    @settings(max_examples=15, deadline=None)
+    def test_roundtrip_property(self, ws, k, tmp_path_factory):
+        index = UsiIndex.build(ws, k=k)
+        path = tmp_path_factory.mktemp("io") / "index.npz"
+        save_index(index, path)
+        loaded = load_index(path)
+        text = ws.text()
+        for pattern in {text[:1], text[:3] or text[:1], text[-2:] or text[-1:]}:
+            assert loaded.query(pattern) == pytest.approx(
+                index.query(pattern), abs=1e-9
+            )
+        assert loaded.hash_table_size == index.hash_table_size
+
+
+class TestProductLocalUtility:
+    def test_matches_direct_product(self):
+        w = [0.9, 0.5, 0.8, 1.2]
+        product = ProductLocalUtility(w)
+        for i in range(4):
+            for length in range(1, 4 - i + 1):
+                assert product.local_utility(i, length) == pytest.approx(
+                    float(np.prod(w[i : i + length]))
+                )
+
+    def test_vectorised(self):
+        w = [0.9, 0.5, 0.8, 1.2, 0.4]
+        product = ProductLocalUtility(w)
+        values = product.local_utilities(np.asarray([0, 2]), 2)
+        np.testing.assert_allclose(values, [0.45, 0.96])
+
+    def test_requires_positive(self):
+        with pytest.raises(ParameterError):
+            ProductLocalUtility([0.5, 0.0])
+        with pytest.raises(ParameterError):
+            ProductLocalUtility([-1.0])
+
+    def test_usi_expected_frequency(self):
+        """'Sum of products' == expected frequency with probabilities."""
+        ws = WeightedString("ACACAC", [0.9, 0.5, 0.9, 0.5, 0.9, 0.5])
+        index = UsiIndex.build(ws, k=4, local="product")
+        # occ(AC) at 0, 2, 4 each with product 0.45.
+        assert index.query("AC") == pytest.approx(3 * 0.45)
+        assert index.query("AC") == pytest.approx(
+            naive_global_utility(ws, "AC", "sum", "product")
+        )
+
+    def test_make_local_utility_tags_name(self):
+        instance = make_local_utility("product", [0.5])
+        assert instance.local_name == "product"
+        with pytest.raises(ParameterError):
+            make_local_utility("median", [0.5])
+
+
+class TestCollections:
+    def _docs(self):
+        alpha = Alphabet.dna()
+        return [
+            WeightedString("ACGT", [1, 2, 3, 4], alpha),
+            WeightedString("CGTACG", [1, 1, 1, 1, 1, 1], alpha),
+            WeightedString("TTTT", [0.5, 0.5, 0.5, 0.5], alpha),
+        ]
+
+    def test_requires_documents(self):
+        with pytest.raises(ParameterError):
+            WeightedStringCollection([])
+
+    def test_requires_shared_alphabet(self):
+        with pytest.raises(WeightedStringError):
+            WeightedStringCollection(
+                [WeightedString("AB", [1, 1]), WeightedString("CD", [1, 1])]
+            )
+
+    def test_combined_length(self):
+        collection = WeightedStringCollection(self._docs())
+        # 4 + 6 + 4 letters + 2 separators.
+        assert collection.combined.length == 16
+        assert collection.document_count == 3
+
+    def test_document_of(self):
+        collection = WeightedStringCollection(self._docs())
+        assert collection.document_of(0) == 0
+        assert collection.document_of(5) == 1
+        assert collection.document_of(15) == 2
+        with pytest.raises(ParameterError):
+            collection.document_of(99)
+
+    def test_query_is_sum_of_documents(self):
+        docs = self._docs()
+        index = CollectionUsiIndex(WeightedStringCollection(docs), k=6)
+        for pattern in ("CG", "T", "ACG", "GTA", "AAAA"):
+            want = sum(naive_global_utility(d, pattern) for d in docs)
+            assert index.query(pattern) == pytest.approx(want), pattern
+
+    def test_pattern_never_spans_documents(self):
+        docs = [
+            WeightedString("AB", [1, 1], Alphabet("AB")),
+            WeightedString("BA", [1, 1], Alphabet("AB")),
+        ]
+        index = CollectionUsiIndex(WeightedStringCollection(docs), k=4)
+        # "BB" would only occur across the boundary: must not match.
+        assert index.count("BB") == 0
+        assert index.query("BB") == 0.0
+
+    def test_document_frequency(self):
+        docs = self._docs()
+        index = CollectionUsiIndex(WeightedStringCollection(docs), k=6)
+        assert index.document_frequency("CG") == 2
+        assert index.document_frequency("TTT") == 1
+        assert index.document_frequency("AAAA") == 0
+        assert index.document_frequency("QQ") == 0
+
+    def test_unknown_letters_are_identity(self):
+        index = CollectionUsiIndex(WeightedStringCollection(self._docs()), k=3)
+        assert index.query("XYZ") == 0.0
+
+
+class TestAsciiChart:
+    def test_contains_markers_and_legend(self):
+        chart = ascii_chart(
+            {"AT": [(1, 10), (2, 20)], "TT": [(1, 5), (2, 2)]},
+            width=20, height=6, title="demo",
+        )
+        assert "demo" in chart
+        assert "o=AT" in chart and "x=TT" in chart
+        assert "o" in chart and "x" in chart
+
+    def test_axis_labels(self):
+        chart = ascii_chart({"s": [(0, 0), (10, 100)]}, width=20, height=6,
+                            x_label="K", y_label="acc")
+        assert "100" in chart and "0" in chart
+        assert "K" in chart
+
+    def test_single_point(self):
+        chart = ascii_chart({"s": [(5, 5)]}, width=10, height=5)
+        assert "o" in chart
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            ascii_chart({})
+        with pytest.raises(ParameterError):
+            ascii_chart({"s": []})
+        with pytest.raises(ParameterError):
+            ascii_chart({"s": [(1, 1)]}, width=2, height=2)
+
+    @given(
+        st.lists(
+            st.tuples(st.floats(-100, 100, width=32), st.floats(-100, 100, width=32)),
+            min_size=1, max_size=30,
+        )
+    )
+    @settings(max_examples=20)
+    def test_never_crashes_property(self, points):
+        chart = ascii_chart({"s": points}, width=30, height=8)
+        assert isinstance(chart, str)
+        assert len(chart.splitlines()) >= 8
+
+
+class TestLocateBackends:
+    @pytest.mark.parametrize("backend", ["fm", "st"])
+    def test_backend_queries_match_sa(self, paper_example, backend):
+        sa_index = UsiIndex.build(paper_example, k=6)
+        other = UsiIndex.build(paper_example, k=6, locate_backend=backend)
+        for pattern in ("TACCCC", "A", "CCCC", "GGGG", "ATAC"):
+            assert other.query(pattern) == pytest.approx(sa_index.query(pattern))
+
+    @pytest.mark.parametrize("backend", ["fm", "st"])
+    def test_backend_counts_match(self, paper_example, backend):
+        sa_index = UsiIndex.build(paper_example, k=6)
+        other = UsiIndex.build(paper_example, k=6, locate_backend=backend)
+        for pattern in ("TACCCC", "A", "CC", "GGGG"):
+            assert other.count(pattern) == sa_index.count(pattern)
+
+    def test_unknown_backend_rejected(self, paper_example):
+        with pytest.raises(ParameterError):
+            UsiIndex.build(paper_example, k=3, locate_backend="bwt")
+
+    def test_top_cached_ordering(self, paper_example):
+        index = UsiIndex.build(paper_example, k=8)
+        ranked = index.top_cached()
+        utilities = [value for _, value in ranked]
+        assert utilities == sorted(utilities, reverse=True)
+        assert len(index.top_cached(3)) == min(3, len(ranked))

@@ -1,0 +1,73 @@
+"""Coverage for late additions: navigator surface, sketch reset, bases."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.hashing.karp_rabin import KarpRabinFingerprinter
+from repro.streaming.count_min import CountMinSketch
+from repro.strings.alphabet import Alphabet
+from repro.suffix_tree.navigation import SuffixTreeNavigator
+from repro.suffix_tree.ukkonen import SuffixTree
+
+
+class TestNavigatorSurface:
+    def _navigator(self, text: str):
+        alpha = Alphabet.from_text(text)
+        return SuffixTreeNavigator(SuffixTree.from_codes(alpha.encode(text))), alpha
+
+    def test_interval_width_is_count(self):
+        nav, alpha = self._navigator("ABABAB")
+        lb, rb = nav.interval(alpha.encode("AB"))
+        assert rb - lb + 1 == 3
+
+    def test_interval_absent_pattern(self):
+        nav, alpha = self._navigator("AAB")
+        assert nav.interval(alpha.encode("BA")) == (0, -1)
+
+    def test_nbytes_positive_and_grows(self):
+        small, _ = self._navigator("AB")
+        large, _ = self._navigator("ABRACADABRA" * 5)
+        assert 0 < small.nbytes() < large.nbytes()
+
+
+class TestSketchReset:
+    def test_reset_zeroes_counts(self):
+        sketch = CountMinSketch(width=32, depth=2, seed=0)
+        for item in range(50):
+            sketch.add(item)
+        assert sketch.estimate(7) >= 1
+        sketch.reset()
+        assert sketch.estimate(7) == 0
+
+    def test_reset_keeps_hash_functions(self):
+        sketch = CountMinSketch(width=32, depth=2, seed=0)
+        sketch.add(5, amount=3)
+        before = sketch.estimate(5)
+        sketch.reset()
+        sketch.add(5, amount=3)
+        assert sketch.estimate(5) == before
+
+
+class TestFingerprinterBases:
+    def test_with_bases_reproduces_fingerprints(self):
+        codes = Alphabet.dna().encode("ACGTACGT")
+        original = KarpRabinFingerprinter(codes, seed=3)
+        clone = KarpRabinFingerprinter.with_bases(codes, *original.bases)
+        for i in range(5):
+            assert clone.fragment(i, 3) == original.fragment(i, 3)
+        assert clone.of_codes(codes[:4]) == original.of_codes(codes[:4])
+
+    def test_different_bases_differ(self):
+        codes = Alphabet.dna().encode("ACGTACGT")
+        a = KarpRabinFingerprinter(codes, seed=0)
+        b = KarpRabinFingerprinter(codes, seed=1)
+        assert a.bases != b.bases
+        assert a.fragment(0, 4) != b.fragment(0, 4)
+
+    def test_with_bases_validation(self):
+        codes = np.asarray([0, 1], dtype=np.int64)
+        with pytest.raises(ParameterError):
+            KarpRabinFingerprinter.with_bases(codes, 1, 12345)
+        with pytest.raises(ParameterError):
+            KarpRabinFingerprinter.with_bases(codes, 12345, 2**40)

@@ -1,0 +1,174 @@
+"""Cross-cutting property tests: every layer against the naive oracle.
+
+Exhaustive at small scale: for random weighted strings, *every*
+distinct substring is queried through every (miner, backend,
+aggregator, local-utility) combination and must match the brute-force
+definition.  These are the invariants the whole reproduction hangs on.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.naive import naive_global_utility
+from repro.core.usi import UsiIndex
+from repro.strings.alphabet import Alphabet
+from repro.strings.occurrences import (
+    all_distinct_substrings,
+    naive_substring_frequencies,
+)
+from repro.strings.weighted import WeightedString
+
+from tests.conftest import texts, weighted_strings
+
+
+@st.composite
+def positive_weighted_strings(draw, alphabet="ABC", max_size=16):
+    """Weighted strings with strictly positive utilities (for products)."""
+    text = draw(texts(alphabet, min_size=1, max_size=max_size))
+    utilities = draw(
+        st.lists(
+            st.floats(min_value=0.125, max_value=2.0, allow_nan=False, width=32),
+            min_size=len(text),
+            max_size=len(text),
+        )
+    )
+    return WeightedString(text, utilities)
+
+
+class TestEverySubstringEveryConfiguration:
+    @given(weighted_strings(alphabet="AB", max_size=14), st.integers(1, 8))
+    @settings(max_examples=20, deadline=None)
+    def test_exact_miner_all_aggregators(self, ws, k):
+        text = ws.text()
+        indexes = {
+            name: UsiIndex.build(ws, k=k, aggregator=name)
+            for name in ("sum", "min", "max", "avg")
+        }
+        for key in all_distinct_substrings(text):
+            pattern = "".join(key)
+            for name, index in indexes.items():
+                assert index.query(pattern) == pytest.approx(
+                    naive_global_utility(ws, pattern, name), abs=1e-6
+                ), (name, pattern)
+
+    @given(weighted_strings(alphabet="AB", max_size=12), st.integers(1, 6))
+    @settings(max_examples=15, deadline=None)
+    def test_approximate_miner_exactness_of_answers(self, ws, k):
+        """UAT answers are exact even though its *mining* is approximate."""
+        s = min(3, ws.length)
+        index = UsiIndex.build(ws, k=k, miner="approximate", s=s)
+        for key in all_distinct_substrings(ws.text()):
+            pattern = "".join(key)
+            assert index.query(pattern) == pytest.approx(
+                naive_global_utility(ws, pattern), abs=1e-6
+            ), pattern
+
+    @given(weighted_strings(alphabet="AB", max_size=12), st.integers(1, 6))
+    @settings(max_examples=15, deadline=None)
+    def test_fm_backend_all_substrings(self, ws, k):
+        index = UsiIndex.build(ws, k=k, locate_backend="fm")
+        for key in all_distinct_substrings(ws.text()):
+            pattern = "".join(key)
+            assert index.query(pattern) == pytest.approx(
+                naive_global_utility(ws, pattern), abs=1e-6
+            ), pattern
+
+    @given(positive_weighted_strings(), st.integers(1, 6))
+    @settings(max_examples=15, deadline=None)
+    def test_product_local_all_substrings(self, ws, k):
+        index = UsiIndex.build(ws, k=k, local="product")
+        for key in all_distinct_substrings(ws.text()):
+            pattern = "".join(key)
+            assert index.query(pattern) == pytest.approx(
+                naive_global_utility(ws, pattern, "sum", "product"),
+                rel=1e-6, abs=1e-9,
+            ), pattern
+
+
+class TestStructuralInvariants:
+    @given(texts("AB", max_size=30))
+    @settings(max_examples=30, deadline=None)
+    def test_total_substring_occurrences(self, text):
+        """Sum of top-all frequencies == n(n+1)/2 occurrence slots."""
+        from repro.core.exact_topk import exact_top_k
+
+        n = len(text)
+        mined = exact_top_k(text, n * (n + 1))
+        assert sum(m.frequency for m in mined) == n * (n + 1) // 2
+
+    @given(texts("ABC", max_size=25), st.integers(1, 12))
+    @settings(max_examples=25, deadline=None)
+    def test_top_k_frequencies_dominate(self, text, k):
+        """Reported min frequency >= every unreported substring's frequency."""
+        from repro.core.exact_topk import exact_top_k
+
+        mined = exact_top_k(text, k)
+        counts = naive_substring_frequencies(text)
+        if len(mined) < min(k, len(counts)):
+            return
+        tau = min(m.frequency for m in mined)
+        reported = {tuple(text[m.position : m.position + m.length]) for m in mined}
+        unreported_max = max(
+            (f for key, f in counts.items() if key not in reported), default=0
+        )
+        assert tau >= unreported_max
+
+    @given(texts("AB", min_size=2, max_size=40), st.integers(1, 8), st.integers(1, 4))
+    @settings(max_examples=25, deadline=None)
+    def test_at_merged_frequency_additivity(self, text, k, s):
+        """AT's merged frequency of a substring it reports every round
+        equals the full frequency (the rounds partition the text)."""
+        from repro.core.approximate import ApproximateTopK
+
+        s = min(s, len(text))
+        # With capacity covering all candidates, nothing is ever pruned,
+        # so sample counts must add up exactly.
+        miner = ApproximateTopK(text, k=k, s=s, round_capacity=64.0)
+        counts = naive_substring_frequencies(text)
+        for mined in miner.mine():
+            key = tuple(text[mined.position : mined.position + mined.length])
+            assert mined.frequency <= counts[key]
+
+    @given(weighted_strings(alphabet="AB", max_size=20), st.integers(1, 8))
+    @settings(max_examples=20, deadline=None)
+    def test_hash_table_holds_only_topk(self, ws, k):
+        """Everything cached has frequency >= tau_K (exact miner)."""
+        index = UsiIndex.build(ws, k=k)
+        tau = index.report.tau_k
+        text = ws.text()
+        for key in all_distinct_substrings(text):
+            pattern = "".join(key)
+            if index.is_cached(pattern):
+                assert index.count(pattern) >= tau
+
+    @given(weighted_strings(alphabet="ABC", max_size=20))
+    @settings(max_examples=20, deadline=None)
+    def test_utility_of_whole_text(self, ws):
+        """U(S) is the single-occurrence aggregate of the whole text."""
+        index = UsiIndex.build(ws, k=2)
+        assert index.query(ws.codes.astype(np.int64)) == pytest.approx(
+            float(ws.utilities.sum()), abs=1e-6
+        )
+
+    @given(texts("ABC", min_size=2, max_size=30))
+    @settings(max_examples=30, deadline=None)
+    def test_count_consistency_across_backends(self, text):
+        """SA, FM and suffix tree agree on every short pattern's count."""
+        from repro.succinct.fm_index import FmIndex
+        from repro.suffix.suffix_array import SuffixArray
+        from repro.suffix_tree.navigation import SuffixTreeNavigator
+        from repro.suffix_tree.ukkonen import SuffixTree
+
+        codes = Alphabet.from_text(text).encode(text)
+        sa = SuffixArray(codes)
+        fm = FmIndex(codes, sample_rate=4)
+        nav = SuffixTreeNavigator(SuffixTree.from_codes(codes))
+        for key in all_distinct_substrings(text, max_length=3):
+            pattern = np.asarray(
+                Alphabet.from_text(text).encode("".join(key)), dtype=np.int64
+            )
+            want = sa.count(pattern)
+            assert fm.count(pattern) == want
+            assert nav.count(pattern) == want
