@@ -1,0 +1,97 @@
+"""Serving throughput: batched+cached engine vs a naive per-query loop.
+
+The workload models real serving traffic: a Zipf-skewed stream over a
+modest distinct-pattern vocabulary (most queries repeat a few hot
+patterns).  The naive baseline calls ``UsiIndex.query`` once per
+pattern; the engine answers the same stream through
+``QueryEngine.query_batch`` with a warm LRU cache.  The acceptance bar
+for this subsystem is a >= 2x throughput win on the warm-cache run.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import save_report
+from repro.core.usi import UsiIndex
+from repro.service.engine import QueryEngine
+from repro.strings.weighted import WeightedString
+
+RNG = np.random.default_rng(2025)
+TEXT_N = 20_000
+VOCABULARY = 200
+STREAM = 4_000
+BATCH = 250
+
+
+@pytest.fixture(scope="module")
+def index() -> UsiIndex:
+    codes = RNG.integers(0, 4, size=TEXT_N, dtype=np.int32)
+    utilities = RNG.uniform(0.5, 1.5, size=TEXT_N)
+    return UsiIndex.build(WeightedString(codes, utilities), k=500)
+
+
+@pytest.fixture(scope="module")
+def stream(index) -> list[np.ndarray]:
+    """A skewed query stream drawn from text substrings (all lengths 4-12)."""
+    codes = index.weighted_string.codes
+    vocabulary = []
+    for _ in range(VOCABULARY):
+        length = int(RNG.integers(4, 13))
+        start = int(RNG.integers(0, TEXT_N - length))
+        vocabulary.append(codes[start : start + length].astype(np.int64))
+    ranks = np.arange(1, VOCABULARY + 1, dtype=np.float64)
+    weights = (1.0 / ranks) / (1.0 / ranks).sum()
+    picks = RNG.choice(VOCABULARY, size=STREAM, p=weights)
+    return [vocabulary[i] for i in picks]
+
+
+def test_batched_engine_beats_naive_loop(index, stream):
+    # Naive baseline: one index.query call per stream element.
+    t0 = time.perf_counter()
+    naive = [index.query(p) for p in stream]
+    naive_seconds = time.perf_counter() - t0
+
+    engine = QueryEngine(index, cache_size=4096)
+    batches = [stream[i : i + BATCH] for i in range(0, STREAM, BATCH)]
+    engine.query_batch(stream[:VOCABULARY])  # warm the cache
+    t0 = time.perf_counter()
+    served: list[float] = []
+    for batch in batches:
+        served.extend(engine.query_batch(batch))
+    engine_seconds = time.perf_counter() - t0
+
+    assert served == naive  # same answers, to the bit
+
+    naive_qps = STREAM / naive_seconds
+    engine_qps = STREAM / engine_seconds
+    speedup = engine_qps / naive_qps
+    stats = engine.stats()
+    save_report(
+        "service_throughput",
+        "\n".join(
+            [
+                "serving throughput: naive loop vs batched warm-cache engine",
+                f"stream={STREAM} queries, vocabulary={VOCABULARY}, "
+                f"batch={BATCH}, text n={TEXT_N}",
+                f"{'mode':<24}{'QPS':>14}{'seconds':>12}",
+                f"{'naive per-query loop':<24}{naive_qps:>14.0f}{naive_seconds:>12.4f}",
+                f"{'batched engine (warm)':<24}{engine_qps:>14.0f}{engine_seconds:>12.4f}",
+                f"speedup: {speedup:.1f}x   "
+                f"cache hit rate: {stats['hit_rate']:.3f}",
+            ]
+        ),
+    )
+    assert speedup >= 2.0, f"batched engine only {speedup:.2f}x over naive"
+
+
+def test_engine_cold_cache_still_correct(index, stream):
+    """Cold engine = same answers; speed is not asserted (miss path)."""
+    engine = QueryEngine(index, cache_size=4096)
+    assert engine.query_batch(stream[:300]) == [
+        index.query(p) for p in stream[:300]
+    ]
+    assert engine.stats()["cache_misses"] <= VOCABULARY

@@ -50,6 +50,13 @@ from repro.core import (
 )
 from repro.errors import ReproError
 from repro.io import load_index, save_index
+from repro.service import (
+    IndexRegistry,
+    LatencyRecorder,
+    QueryEngine,
+    ShardedUsiIndex,
+    UsiServer,
+)
 from repro.strings import Alphabet, WeightedString
 from repro.strings.collection import CollectionUsiIndex, WeightedStringCollection
 from repro.streaming import SubstringHK, TopKTrie
@@ -69,7 +76,11 @@ __all__ = [
     "DynamicUsiIndex",
     "FmIndex",
     "GlobalUtility",
+    "IndexRegistry",
+    "LatencyRecorder",
     "MinedSubstring",
+    "QueryEngine",
+    "ShardedUsiIndex",
     "OnlineFrequencyTracker",
     "ReproError",
     "SubstringHK",
@@ -77,6 +88,7 @@ __all__ = [
     "TopKTrie",
     "TradeOffPoint",
     "UsiIndex",
+    "UsiServer",
     "WeightedString",
     "WeightedStringCollection",
     "enumerate_trade_offs",

@@ -1,18 +1,30 @@
-"""Command-line interface: build, query, and mine from text files.
+"""Command-line interface: build, query, mine, and serve.
 
 ::
 
     usi topk  --text corpus.txt --k 100
-    usi build --text corpus.txt --utilities weights.txt --k 1000 --out idx.pkl
-    usi query --index idx.pkl --pattern "needle" [--pattern ...]
+    usi build --text corpus.txt --utilities weights.txt --k 1000 --out idx.npz
+    usi build --text corpus.txt --shards 8 --k 1000 --out idx.pkl
+    usi query --index idx.npz --pattern "needle" [--pattern ...]
+    usi query --index idx.npz --patterns-file queries.txt
+    echo needle | usi query --index idx.npz
     usi mine  --text corpus.txt --utilities weights.txt --top 10
     usi mine  --text corpus.txt --threshold 50 --min-length 3
     usi tune  --text corpus.txt --k 1000            # tau_K, L_K
     usi tune  --text corpus.txt --tau 50            # K_tau, L_tau
+    usi serve --index idx.npz --port 8642
 
-Utilities files hold one float per line (one per text character);
-without one, every position gets utility 1.0 so "sum of sums" reports
-``|P| * |occ(P)|``.
+Utilities files hold one float per line, one per text character: for
+plain builds that includes any interior newline characters (the text
+is indexed as-is); for ``--shards`` builds newlines are document
+boundaries and take no utility entry.  Without a utilities file every
+position gets utility 1.0 so "sum of sums" reports ``|P| * |occ(P)|``.
+
+Index files ending in ``.npz`` use the pickle-free format of
+:mod:`repro.io`; any other extension is pickled.  ``usi build
+--shards N`` treats the text as a collection (one document per line)
+and builds a sharded index with per-shard construction running in a
+process pool.
 """
 
 from __future__ import annotations
@@ -30,17 +42,79 @@ from repro.strings.weighted import WeightedString
 from repro.suffix.suffix_array import SuffixArray
 
 
-def _load_weighted_string(text_path: str, utilities_path: "str | None") -> WeightedString:
-    text = Path(text_path).read_text()
+def _read_text(text_path: str) -> str:
+    """Read a corpus with CRLF line endings normalised to ``\\n``."""
+    text = Path(text_path).read_text().replace("\r\n", "\n")
     if text.endswith("\n"):
         text = text[:-1]
+    return text
+
+
+def _read_utilities(utilities_path: str) -> np.ndarray:
+    return np.asarray(
+        [float(line) for line in Path(utilities_path).read_text().split()],
+        dtype=np.float64,
+    )
+
+
+def _load_weighted_string(text_path: str, utilities_path: "str | None") -> WeightedString:
+    text = _read_text(text_path)
     if utilities_path:
-        utilities = np.asarray(
-            [float(line) for line in Path(utilities_path).read_text().split()],
-            dtype=np.float64,
-        )
-        return WeightedString(text, utilities)
+        return WeightedString(text, _read_utilities(utilities_path))
     return WeightedString.uniform(text)
+
+
+def _load_collection(text_path: str, utilities_path: "str | None"):
+    """One weighted document per line (the ``--shards`` input model)."""
+    from repro.strings.alphabet import Alphabet
+    from repro.strings.collection import WeightedStringCollection
+
+    lines = [line for line in _read_text(text_path).split("\n") if line]
+    if not lines:
+        raise SystemExit(f"{text_path}: no non-empty lines to index")
+    alphabet = Alphabet.from_text("".join(lines))
+    if utilities_path:
+        utilities = _read_utilities(utilities_path)
+        total = sum(len(line) for line in lines)
+        if len(utilities) != total:
+            raise SystemExit(
+                f"{utilities_path}: {len(utilities)} utilities for "
+                f"{total} text characters"
+            )
+        documents = []
+        offset = 0
+        for line in lines:
+            documents.append(
+                WeightedString(line, utilities[offset : offset + len(line)], alphabet)
+            )
+            offset += len(line)
+    else:
+        documents = [WeightedString.uniform(line, alphabet=alphabet) for line in lines]
+    return WeightedStringCollection(documents)
+
+
+def _save_index(index, out: str) -> None:
+    if Path(out).suffix == ".npz":
+        from repro.io import save_index
+
+        if not isinstance(index, UsiIndex):
+            raise SystemExit(
+                "the .npz format only stores monolithic indexes; "
+                "use a .pkl extension for sharded builds"
+            )
+        save_index(index, out)
+    else:
+        with open(out, "wb") as handle:
+            pickle.dump(index, handle)
+
+
+def _load_index_file(path: str):
+    if Path(path).suffix == ".npz":
+        from repro.io import load_index
+
+        return load_index(path)
+    with open(path, "rb") as handle:
+        return pickle.load(handle)
 
 
 def _cmd_topk(args: argparse.Namespace) -> int:
@@ -53,16 +127,35 @@ def _cmd_topk(args: argparse.Namespace) -> int:
 
 
 def _cmd_build(args: argparse.Namespace) -> int:
-    ws = _load_weighted_string(args.text, args.utilities)
-    index = UsiIndex.build(
-        ws,
+    build_kwargs = dict(
         k=args.k,
         tau=args.tau,
         miner="approximate" if args.approximate else "exact",
         aggregator=args.aggregator,
     )
-    with open(args.out, "wb") as handle:
-        pickle.dump(index, handle)
+    if args.shards:
+        from repro.service.sharding import ShardedUsiIndex
+
+        if Path(args.out).suffix == ".npz":
+            # Fail before the (possibly long) parallel build, not after.
+            raise SystemExit(
+                "the .npz format only stores monolithic indexes; "
+                "use a .pkl extension for sharded builds"
+            )
+        collection = _load_collection(args.text, args.utilities)
+        index = ShardedUsiIndex.build(
+            collection, args.shards, workers=args.workers, **build_kwargs
+        )
+        _save_index(index, args.out)
+        print(
+            f"built sharded index: shards={index.shard_count} "
+            f"documents={collection.document_count} "
+            f"size={index.nbytes()} bytes -> {args.out}"
+        )
+        return 0
+    ws = _load_weighted_string(args.text, args.utilities)
+    index = UsiIndex.build(ws, **build_kwargs)
+    _save_index(index, args.out)
     report = index.report
     print(
         f"built {report.miner} index: K={report.k} tau_K={report.tau_k} "
@@ -72,11 +165,55 @@ def _cmd_build(args: argparse.Namespace) -> int:
     return 0
 
 
+def _collect_patterns(args: argparse.Namespace) -> list[str]:
+    """Patterns from ``--pattern`` flags, a file, and/or stdin."""
+    patterns = list(args.pattern or [])
+    if args.patterns_file:
+        content = Path(args.patterns_file).read_text()
+        patterns.extend(line for line in content.splitlines() if line)
+    if not patterns:
+        patterns.extend(line.rstrip("\r\n") for line in sys.stdin if line.strip())
+    return patterns
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
-    with open(args.index, "rb") as handle:
-        index: UsiIndex = pickle.load(handle)
-    for pattern in args.pattern:
-        print(f"{pattern}\t{index.query(pattern)}")
+    index = _load_index_file(args.index)
+    patterns = _collect_patterns(args)
+    if not patterns:
+        print("no patterns given (use --pattern, --patterns-file, or stdin)",
+              file=sys.stderr)
+        return 2
+    for pattern, value in zip(patterns, index.query_batch(patterns)):
+        print(f"{pattern}\t{value}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.registry import IndexRegistry
+    from repro.service.server import UsiServer
+
+    registry = IndexRegistry(capacity=args.capacity, cache_size=args.cache_size)
+    names = list(args.name or [])
+    if len(names) > len(args.index):
+        print("more --name flags than --index flags", file=sys.stderr)
+        return 2
+    from repro.errors import ReproError
+
+    for position, path in enumerate(args.index):
+        name = names[position] if position < len(names) else Path(path).stem
+        try:
+            registry.register_path(name, path)
+        except ReproError as error:
+            print(f"cannot register {path} as {name!r}: {error}", file=sys.stderr)
+            return 2
+        if args.preload:
+            registry.get(name)
+    server = UsiServer(registry, host=args.host, port=args.port)
+    print(
+        f"serving {', '.join(registry.names())} on {server.url} "
+        "(POST /query, GET /indexes, GET /stats; Ctrl-C stops)"
+    )
+    server.serve_forever()
     return 0
 
 
@@ -154,13 +291,37 @@ def build_parser() -> argparse.ArgumentParser:
                        help="mine with Approximate-Top-K (the UAT index)")
     build.add_argument("--aggregator", default="sum",
                        choices=["sum", "min", "max", "avg"])
-    build.add_argument("--out", required=True)
+    build.add_argument("--shards", type=int,
+                       help="treat the text as one document per line and "
+                            "build N document-aligned shards in parallel")
+    build.add_argument("--workers", type=int,
+                       help="process-pool size for sharded builds")
+    build.add_argument("--out", required=True,
+                       help=".npz for the pickle-free format, else pickle")
     build.set_defaults(fn=_cmd_build)
 
-    query = sub.add_parser("query", help="query a pickled USI index")
+    query = sub.add_parser("query", help="query a saved USI index")
     query.add_argument("--index", required=True)
-    query.add_argument("--pattern", action="append", required=True)
+    query.add_argument("--pattern", action="append",
+                       help="repeatable; omit to read patterns from stdin")
+    query.add_argument("--patterns-file",
+                       help="file with one pattern per line (bulk queries)")
     query.set_defaults(fn=_cmd_query)
+
+    serve = sub.add_parser("serve", help="serve saved indexes over HTTP")
+    serve.add_argument("--index", action="append", required=True,
+                       help="index file to serve (repeatable)")
+    serve.add_argument("--name", action="append",
+                       help="name for the Nth --index (default: file stem)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8642)
+    serve.add_argument("--cache-size", type=int, default=4096,
+                       help="per-index LRU result-cache entries")
+    serve.add_argument("--capacity", type=int, default=8,
+                       help="max resident indexes before cold ones unload")
+    serve.add_argument("--preload", action="store_true",
+                       help="load every index at startup instead of lazily")
+    serve.set_defaults(fn=_cmd_serve)
 
     mine = sub.add_parser("mine", help="mine substrings by global utility")
     mine.add_argument("--text", required=True)

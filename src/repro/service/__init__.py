@@ -1,0 +1,29 @@
+"""The query-serving subsystem: shard -> engine -> registry -> server.
+
+Turns the library's one-shot indexes into a serving stack:
+
+* :class:`ShardedUsiIndex` — document-aligned shards built in
+  parallel, answers exactly equal to the monolithic index;
+* :class:`QueryEngine` — batched, LRU-cached, thread-safe queries;
+* :class:`IndexRegistry` — several named indexes, lazily loaded from
+  disk, capacity-bounded residency;
+* :class:`UsiServer` — a stdlib JSON-over-HTTP front-end
+  (``usi serve``);
+* :class:`LatencyRecorder` — the QPS / p50 / p95 / p99 numbers the
+  other pieces share.
+"""
+
+from repro.service.engine import QueryEngine
+from repro.service.metrics import LatencyRecorder, MetricsSnapshot
+from repro.service.registry import IndexRegistry
+from repro.service.server import UsiServer
+from repro.service.sharding import ShardedUsiIndex
+
+__all__ = [
+    "IndexRegistry",
+    "LatencyRecorder",
+    "MetricsSnapshot",
+    "QueryEngine",
+    "ShardedUsiIndex",
+    "UsiServer",
+]

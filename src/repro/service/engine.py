@@ -1,0 +1,193 @@
+"""The query engine: batching, caching, and concurrency for USI.
+
+A :class:`QueryEngine` wraps any index exposing ``query`` /
+``query_batch`` / ``count`` (a :class:`~repro.core.usi.UsiIndex` or a
+:class:`~repro.service.sharding.ShardedUsiIndex`) and adds what a
+server needs around it:
+
+* an **LRU pattern-result cache** with hit/miss/eviction counters —
+  USI already answers frequent patterns in O(m), the cache shaves that
+  to O(1) dict time for the skewed workloads real traffic produces;
+* a **bulk API** that forwards misses in one ``query_batch`` call, so
+  fingerprinting is vectorised across the batch;
+* **thread safety**: the underlying indexes are immutable after
+  construction, so only the cache and the counters are guarded, and
+  index work runs outside the lock.
+
+All query paths share one
+:class:`~repro.service.metrics.LatencyRecorder`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.service.metrics import LatencyRecorder
+
+#: A pattern as received over the wire or from user code.
+PatternLike = "str | bytes | Sequence[int] | np.ndarray"
+
+
+def _cache_key(pattern) -> tuple:
+    """A hashable identity for a pattern, stable across input types."""
+    if isinstance(pattern, str):
+        return ("s", pattern)
+    if isinstance(pattern, (bytes, bytearray)):
+        return ("b", bytes(pattern))
+    if isinstance(pattern, np.ndarray):
+        return ("c", tuple(int(x) for x in pattern.tolist()))
+    return ("c", tuple(int(x) for x in pattern))
+
+
+class QueryEngine:
+    """Concurrent, caching front-end over an immutable USI index.
+
+    Parameters
+    ----------
+    index:
+        Any object with ``query(pattern) -> float``; ``query_batch``
+        and ``count`` are used when present.
+    cache_size:
+        Maximum number of cached (pattern, utility) entries; 0
+        disables caching.
+    metrics:
+        Optional shared :class:`LatencyRecorder`; a private one is
+        created when absent.
+    """
+
+    def __init__(
+        self,
+        index,
+        cache_size: int = 4096,
+        metrics: "LatencyRecorder | None" = None,
+    ) -> None:
+        if cache_size < 0:
+            raise ParameterError("cache_size must be >= 0")
+        self._index = index
+        self._cache_size = int(cache_size)
+        self._cache: "OrderedDict[tuple, float]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self.metrics = metrics if metrics is not None else LatencyRecorder()
+
+    @property
+    def index(self):
+        return self._index
+
+    @property
+    def cache_size(self) -> int:
+        return self._cache_size
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def query(self, pattern: PatternLike) -> float:
+        """``U(pattern)``, answered from the cache when possible."""
+        t0 = time.perf_counter()
+        key = _cache_key(pattern)
+        with self._lock:
+            cached = self._cache_get(key)
+        if cached is not None:
+            self.metrics.record(time.perf_counter() - t0, 1)
+            return cached
+        value = float(self._index.query(pattern))
+        with self._lock:
+            self._misses += 1
+            self._cache_put(key, value)
+        self.metrics.record(time.perf_counter() - t0, 1)
+        return value
+
+    def query_batch(self, patterns: "Sequence[PatternLike]") -> list[float]:
+        """Bulk ``U`` lookups; misses go to the index in one batch.
+
+        Answers are identical to calling :meth:`query` per pattern, in
+        input order.  Duplicate patterns inside one batch hit the
+        index only once.
+        """
+        t0 = time.perf_counter()
+        keys = [_cache_key(p) for p in patterns]
+        results: "list[float | None]" = [None] * len(patterns)
+        missing: "OrderedDict[tuple, list[int]]" = OrderedDict()
+        with self._lock:
+            for slot, key in enumerate(keys):
+                cached = self._cache_get(key)
+                if cached is not None:
+                    results[slot] = cached
+                else:
+                    missing.setdefault(key, []).append(slot)
+        if missing:
+            probe_slots = [slots[0] for slots in missing.values()]
+            answers = self._index_batch([patterns[s] for s in probe_slots])
+            with self._lock:
+                self._misses += len(probe_slots)
+                for key, value in zip(missing, answers):
+                    self._cache_put(key, float(value))
+            for slots, value in zip(missing.values(), answers):
+                for slot in slots:
+                    results[slot] = float(value)
+        self.metrics.record(time.perf_counter() - t0, len(patterns))
+        return results  # type: ignore[return-value]
+
+    def count(self, pattern: PatternLike) -> int:
+        """``|occ(pattern)|`` — uncached passthrough (always exact)."""
+        return int(self._index.count(pattern))
+
+    def _index_batch(self, patterns: list) -> list[float]:
+        batch = getattr(self._index, "query_batch", None)
+        if batch is not None:
+            return [float(v) for v in batch(patterns)]
+        return [float(self._index.query(p)) for p in patterns]
+
+    # ------------------------------------------------------------------
+    # Cache internals (call with the lock held)
+    # ------------------------------------------------------------------
+    def _cache_get(self, key: tuple) -> "float | None":
+        value = self._cache.get(key)
+        if value is None:
+            return None
+        self._cache.move_to_end(key)
+        self._hits += 1
+        return value
+
+    def _cache_put(self, key: tuple, value: float) -> None:
+        if self._cache_size == 0:
+            return
+        if key in self._cache:
+            self._cache.move_to_end(key)
+            self._cache[key] = value
+            return
+        if len(self._cache) >= self._cache_size:
+            self._cache.popitem(last=False)
+            self._evictions += 1
+        self._cache[key] = value
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def clear_cache(self) -> None:
+        with self._lock:
+            self._cache.clear()
+
+    def stats(self) -> dict:
+        """Counters + latency snapshot (the ``GET /stats`` payload)."""
+        with self._lock:
+            hits, misses, evictions = self._hits, self._misses, self._evictions
+            entries = len(self._cache)
+        lookups = hits + misses
+        return {
+            "cache_hits": hits,
+            "cache_misses": misses,
+            "cache_evictions": evictions,
+            "cache_entries": entries,
+            "cache_capacity": self._cache_size,
+            "hit_rate": round(hits / lookups, 4) if lookups else 0.0,
+            "latency": self.metrics.snapshot().as_dict(),
+        }

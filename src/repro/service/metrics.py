@@ -1,0 +1,159 @@
+"""Latency and throughput recording for the serving subsystem.
+
+A :class:`LatencyRecorder` keeps a fixed-size ring buffer of recent
+(timestamp, latency, batch-size) observations plus lifetime totals, and
+summarises them into the numbers an operator actually watches: QPS over
+the recent window, and p50/p95/p99 call latency.  One recorder is
+shared between a :class:`~repro.service.engine.QueryEngine` and the
+HTTP front-end, so ``GET /stats`` reflects every query regardless of
+which door it came through.
+
+The recorder is thread-safe and allocation-free on the hot path (three
+array writes under a lock); summarisation cost is paid by the reader.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ParameterError
+
+
+@dataclass(frozen=True)
+class MetricsSnapshot:
+    """A point-in-time summary of a :class:`LatencyRecorder`."""
+
+    total_queries: int
+    total_calls: int
+    uptime_seconds: float
+    window_queries: int
+    window_seconds: float
+    qps: float
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+    mean_ms: float
+
+    def as_dict(self) -> dict:
+        return {
+            "total_queries": self.total_queries,
+            "total_calls": self.total_calls,
+            "uptime_seconds": round(self.uptime_seconds, 6),
+            "window_queries": self.window_queries,
+            "window_seconds": round(self.window_seconds, 6),
+            "qps": round(self.qps, 3),
+            "p50_ms": round(self.p50_ms, 4),
+            "p95_ms": round(self.p95_ms, 4),
+            "p99_ms": round(self.p99_ms, 4),
+            "mean_ms": round(self.mean_ms, 4),
+        }
+
+
+class LatencyRecorder:
+    """Ring-buffer latency/throughput recorder.
+
+    Parameters
+    ----------
+    capacity:
+        How many recent calls the ring buffer remembers.  Percentiles
+        and QPS are computed over this window; lifetime totals are kept
+        separately and never truncate.
+    clock:
+        Injectable monotonic clock (tests); defaults to
+        ``time.perf_counter``.
+    """
+
+    def __init__(self, capacity: int = 4096, clock=time.perf_counter) -> None:
+        if capacity <= 0:
+            raise ParameterError("recorder capacity must be positive")
+        self._capacity = int(capacity)
+        self._clock = clock
+        self._latencies = np.zeros(self._capacity, dtype=np.float64)
+        self._timestamps = np.zeros(self._capacity, dtype=np.float64)
+        self._batch_sizes = np.zeros(self._capacity, dtype=np.int64)
+        self._next = 0
+        self._filled = 0
+        self._total_queries = 0
+        self._total_calls = 0
+        self._started = clock()
+        self._lock = threading.Lock()
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def record(self, seconds: float, queries: int = 1) -> None:
+        """Record one engine/server call that answered *queries* patterns."""
+        now = self._clock()
+        with self._lock:
+            slot = self._next
+            self._latencies[slot] = seconds
+            self._timestamps[slot] = now
+            self._batch_sizes[slot] = queries
+            self._next = (slot + 1) % self._capacity
+            self._filled = min(self._filled + 1, self._capacity)
+            self._total_queries += queries
+            self._total_calls += 1
+
+    def measure(self, queries: int = 1) -> "_Timer":
+        """``with recorder.measure(n): ...`` — records on exit."""
+        return _Timer(self, queries)
+
+    def snapshot(self) -> MetricsSnapshot:
+        """Summarise the ring buffer (QPS, latency percentiles)."""
+        now = self._clock()
+        with self._lock:
+            filled = self._filled
+            latencies = self._latencies[:filled].copy()
+            timestamps = self._timestamps[:filled]
+            window_queries = int(self._batch_sizes[:filled].sum())
+            window_start = float(timestamps.min()) if filled else now
+            totals = (self._total_queries, self._total_calls)
+        uptime = max(now - self._started, 0.0)
+        window_seconds = max(now - window_start, 1e-9)
+        if filled:
+            p50, p95, p99 = np.percentile(latencies, [50, 95, 99])
+            mean = float(latencies.mean())
+            qps = window_queries / window_seconds
+        else:
+            p50 = p95 = p99 = mean = 0.0
+            qps = 0.0
+        return MetricsSnapshot(
+            total_queries=totals[0],
+            total_calls=totals[1],
+            uptime_seconds=uptime,
+            window_queries=window_queries,
+            window_seconds=window_seconds if filled else 0.0,
+            qps=float(qps),
+            p50_ms=float(p50) * 1e3,
+            p95_ms=float(p95) * 1e3,
+            p99_ms=float(p99) * 1e3,
+            mean_ms=mean * 1e3,
+        )
+
+    def reset(self) -> None:
+        """Drop the window and lifetime totals (tests, epoch rollover)."""
+        with self._lock:
+            self._next = 0
+            self._filled = 0
+            self._total_queries = 0
+            self._total_calls = 0
+            self._started = self._clock()
+
+
+@dataclass
+class _Timer:
+    recorder: LatencyRecorder
+    queries: int
+    _t0: float = field(default=0.0, init=False)
+
+    def __enter__(self) -> "_Timer":
+        self._t0 = self.recorder._clock()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.recorder.record(self.recorder._clock() - self._t0, self.queries)

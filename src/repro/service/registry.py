@@ -1,0 +1,235 @@
+"""Multi-index management for the serving subsystem.
+
+An :class:`IndexRegistry` holds several named indexes behind
+:class:`~repro.service.engine.QueryEngine` front-ends.  Indexes arrive
+two ways:
+
+* :meth:`register` — an in-memory index (just built).  These are
+  *pinned*: the registry is their only owner, so they are never
+  evicted.
+* :meth:`register_path` — a path to a persisted index, loaded lazily
+  on first use (``.npz`` through the pickle-free
+  :func:`repro.io.load_index`, ``.pkl`` through :mod:`pickle` for
+  sharded indexes).  Loaded path-backed indexes are *evictable*: when
+  more than ``capacity`` indexes are resident, the coldest (least
+  recently used) path-backed one is dropped and transparently
+  reloaded on its next query.
+
+All operations are thread-safe; loading happens outside the lock so a
+slow disk does not stall queries against already-resident indexes.
+"""
+
+from __future__ import annotations
+
+import pickle
+import threading
+from pathlib import Path
+from typing import Callable
+
+from repro.errors import ParameterError
+from repro.service.engine import QueryEngine
+from repro.service.metrics import LatencyRecorder
+
+
+def _default_loader(path: Path):
+    if path.suffix == ".npz":
+        from repro.io import load_index
+
+        return load_index(path)
+    with open(path, "rb") as handle:
+        return pickle.load(handle)
+
+
+class _Entry:
+    __slots__ = ("name", "path", "engine", "pinned", "last_used")
+
+    def __init__(self, name, path, engine, pinned):
+        self.name = name
+        self.path = path
+        self.engine = engine
+        self.pinned = pinned
+        self.last_used = 0
+
+
+class IndexRegistry:
+    """Named indexes with lazy loading and capacity-bounded residency.
+
+    Parameters
+    ----------
+    capacity:
+        Soft bound on resident indexes.  Pinned (in-memory) indexes
+        count toward it but are never evicted, so the bound only
+        constrains path-backed ones.
+    cache_size:
+        Per-engine LRU result-cache size.
+    metrics:
+        Optional shared :class:`LatencyRecorder` handed to every
+        engine, so server-wide latency statistics aggregate naturally.
+    loader:
+        Injectable ``path -> index`` function (tests).
+    """
+
+    def __init__(
+        self,
+        capacity: int = 8,
+        cache_size: int = 4096,
+        metrics: "LatencyRecorder | None" = None,
+        loader: "Callable | None" = None,
+    ) -> None:
+        if capacity <= 0:
+            raise ParameterError("registry capacity must be positive")
+        self._capacity = int(capacity)
+        self._cache_size = int(cache_size)
+        self._metrics = metrics if metrics is not None else LatencyRecorder()
+        self._loader = loader or _default_loader
+        self._entries: dict[str, _Entry] = {}
+        self._clock = 0
+        self._loads = 0
+        self._evictions = 0
+        self._lock = threading.Lock()
+
+    @property
+    def metrics(self) -> LatencyRecorder:
+        """The recorder shared by every engine this registry creates."""
+        return self._metrics
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register(self, name: str, index) -> QueryEngine:
+        """Adopt an in-memory *index* under *name* (pinned)."""
+        engine = self._wrap(index)
+        with self._lock:
+            if name in self._entries:
+                raise ParameterError(f"index {name!r} is already registered")
+            self._entries[name] = _Entry(name, None, engine, pinned=True)
+        return engine
+
+    def register_path(self, name: str, path: "str | Path") -> None:
+        """Register a persisted index for lazy loading (evictable)."""
+        path = Path(path)
+        if not path.exists():
+            raise ParameterError(f"index file {path} does not exist")
+        with self._lock:
+            if name in self._entries:
+                raise ParameterError(f"index {name!r} is already registered")
+            self._entries[name] = _Entry(name, path, None, pinned=False)
+
+    def _wrap(self, index) -> QueryEngine:
+        return QueryEngine(
+            index, cache_size=self._cache_size, metrics=self._metrics
+        )
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def get(self, name: str) -> QueryEngine:
+        """The engine for *name*, loading and evicting as needed."""
+        with self._lock:
+            entry = self._entries.get(name)
+            if entry is None:
+                raise KeyError(name)
+            self._clock += 1
+            entry.last_used = self._clock
+            if entry.engine is not None:
+                return entry.engine
+            path = entry.path
+        # Load outside the lock (possibly racing another thread; the
+        # second load just wins the assignment, both are equivalent).
+        index = self._loader(path)
+        engine = self._wrap(index)
+        with self._lock:
+            current = self._entries.get(name)
+            if current is None:  # unregistered mid-load
+                raise KeyError(name)
+            if current is entry:
+                if current.engine is None:
+                    current.engine = engine
+                    self._loads += 1
+                result = current.engine
+                # Eviction may immediately unload this entry again
+                # (e.g. pinned indexes already fill the capacity); the
+                # caller still gets a working engine for this request.
+                self._evict_cold()
+                return result
+        # Unregistered and re-registered mid-load: our engine came
+        # from the superseded registration; start over (lock released).
+        return self.get(name)
+
+    def _evict_cold(self) -> None:
+        """Drop coldest evictable engines beyond capacity (lock held)."""
+        resident = [e for e in self._entries.values() if e.engine is not None]
+        excess = len(resident) - self._capacity
+        if excess <= 0:
+            return
+        evictable = sorted(
+            (e for e in resident if not e.pinned), key=lambda e: e.last_used
+        )
+        for entry in evictable[:excess]:
+            entry.engine = None
+            self._evictions += 1
+
+    def unregister(self, name: str) -> None:
+        with self._lock:
+            self._entries.pop(name, None)
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._entries
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._entries)
+
+    def default_name(self) -> "str | None":
+        """The single registered name, if exactly one (server default)."""
+        with self._lock:
+            if len(self._entries) == 1:
+                return next(iter(self._entries))
+        return None
+
+    def describe(self) -> list[dict]:
+        """One row per index (the ``GET /indexes`` payload)."""
+        with self._lock:
+            entries = list(self._entries.values())
+            rows = []
+            for entry in sorted(entries, key=lambda e: e.name):
+                rows.append(
+                    {
+                        "name": entry.name,
+                        "resident": entry.engine is not None,
+                        "pinned": entry.pinned,
+                        "path": str(entry.path) if entry.path else None,
+                    }
+                )
+        return rows
+
+    def stats(self) -> dict:
+        with self._lock:
+            resident = sum(
+                1 for e in self._entries.values() if e.engine is not None
+            )
+            return {
+                "indexes": len(self._entries),
+                "resident": resident,
+                "capacity": self._capacity,
+                "loads": self._loads,
+                "evictions": self._evictions,
+            }
+
+    def engine_stats(self) -> dict:
+        """Per-resident-engine statistics keyed by index name."""
+        with self._lock:
+            engines = {
+                e.name: e.engine
+                for e in self._entries.values()
+                if e.engine is not None
+            }
+        return {name: engine.stats() for name, engine in engines.items()}

@@ -1,0 +1,225 @@
+"""JSON-over-HTTP front-end for the serving subsystem (stdlib only).
+
+Endpoints
+---------
+``POST /query``
+    Body ``{"pattern": "..."}`` or ``{"patterns": [...]}``, plus
+    optional ``"index"`` (name; defaults when exactly one index is
+    registered) and ``"count": true`` to include occurrence counts.
+    Responds ``{"index": ..., "results": [{"pattern", "utility",
+    ("count")}]}``.
+
+``GET /indexes``
+    The registry listing: name, residency, pinned, backing path.
+
+``GET /stats``
+    Server-wide QPS / latency percentiles plus per-engine cache
+    statistics and registry load/eviction counters.
+
+``GET /healthz``
+    Liveness probe: ``{"status": "ok"}``.
+
+The server is a :class:`http.server.ThreadingHTTPServer` — one thread
+per in-flight request — which is exactly the concurrency model
+:class:`~repro.service.engine.QueryEngine` is built for: immutable
+indexes below, a lock only around cache/counter updates.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.service.metrics import LatencyRecorder
+from repro.service.registry import IndexRegistry
+
+MAX_BODY_BYTES = 8 * 1024 * 1024
+MAX_BATCH = 10_000
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "usi-serve/1.0"
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+    @property
+    def registry(self) -> IndexRegistry:
+        return self.server.registry  # type: ignore[attr-defined]
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        if getattr(self.server, "verbose", False):  # pragma: no cover
+            super().log_message(format, *args)
+
+    def _send_json(self, payload: dict, status: int = 200) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if self.close_connection:
+            self.send_header("Connection", "close")
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, status: int, message: str) -> None:
+        # Error paths may not have drained the request body; under
+        # HTTP/1.1 keep-alive the leftover bytes would be parsed as
+        # the next request, desyncing the connection. Close instead.
+        self.close_connection = True
+        self._send_json({"error": message}, status=status)
+
+    # ------------------------------------------------------------------
+    # Routes
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - stdlib name
+        if self.path == "/indexes":
+            self._send_json({"indexes": self.registry.describe()})
+        elif self.path == "/stats":
+            recorder: LatencyRecorder = self.server.metrics  # type: ignore[attr-defined]
+            self._send_json(
+                {
+                    "server": recorder.snapshot().as_dict(),
+                    "registry": self.registry.stats(),
+                    "engines": self.registry.engine_stats(),
+                }
+            )
+        elif self.path == "/healthz":
+            self._send_json({"status": "ok"})
+        else:
+            self._error(404, f"unknown path {self.path!r}")
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib name
+        if self.path != "/query":
+            self._error(404, f"unknown path {self.path!r}")
+            return
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+        except ValueError:
+            self._error(400, "bad Content-Length")
+            return
+        if length <= 0 or length > MAX_BODY_BYTES:
+            self._error(400, "request body required (JSON)")
+            return
+        try:
+            request = json.loads(self.rfile.read(length))
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            self._error(400, "request body is not valid JSON")
+            return
+        if not isinstance(request, dict):
+            self._error(400, "request body must be a JSON object")
+            return
+
+        single = request.get("pattern")
+        batch = request.get("patterns")
+        if (single is None) == (batch is None):
+            self._error(400, "provide exactly one of 'pattern' / 'patterns'")
+            return
+        patterns = [single] if batch is None else list(batch)
+        if not patterns or len(patterns) > MAX_BATCH:
+            self._error(400, f"batch size must be in [1, {MAX_BATCH}]")
+            return
+        if not all(isinstance(p, str) and p for p in patterns):
+            self._error(400, "patterns must be non-empty strings")
+            return
+
+        name = request.get("index") or self.registry.default_name()
+        if name is None:
+            self._error(
+                400,
+                "several indexes are registered; name one with 'index'",
+            )
+            return
+        try:
+            engine = self.registry.get(name)
+        except KeyError:
+            self._error(404, f"unknown index {name!r}")
+            return
+
+        utilities = engine.query_batch(patterns)
+        results = [
+            {"pattern": pattern, "utility": value}
+            for pattern, value in zip(patterns, utilities)
+        ]
+        if request.get("count"):
+            for row, pattern in zip(results, patterns):
+                row["count"] = engine.count(pattern)
+        self._send_json({"index": name, "results": results})
+
+
+class UsiServer:
+    """The serving front-end: a registry behind a threading HTTP server.
+
+    ``port=0`` binds an ephemeral port (tests); read it back from
+    :attr:`port`.  Use as a context manager or call :meth:`start` /
+    :meth:`shutdown` explicitly.
+
+    Examples
+    --------
+    >>> registry = IndexRegistry()                      # doctest: +SKIP
+    >>> registry.register("corpus", index)              # doctest: +SKIP
+    >>> with UsiServer(registry, port=0) as server:     # doctest: +SKIP
+    ...     print(server.url)
+    """
+
+    def __init__(
+        self,
+        registry: IndexRegistry,
+        host: str = "127.0.0.1",
+        port: int = 8642,
+        metrics: "LatencyRecorder | None" = None,
+        verbose: bool = False,
+    ) -> None:
+        self.registry = registry
+        self.metrics = metrics if metrics is not None else registry.metrics
+        self._http = ThreadingHTTPServer((host, port), _Handler)
+        self._http.daemon_threads = True
+        self._http.registry = registry  # type: ignore[attr-defined]
+        self._http.metrics = self.metrics  # type: ignore[attr-defined]
+        self._http.verbose = verbose  # type: ignore[attr-defined]
+        self._thread: "threading.Thread | None" = None
+
+    @property
+    def host(self) -> str:
+        return self._http.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._http.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "UsiServer":
+        """Serve on a daemon thread and return immediately."""
+        if self._thread is not None:
+            return self
+        self._thread = threading.Thread(
+            target=self._http.serve_forever, name="usi-serve", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread (the CLI path); Ctrl-C stops."""
+        try:
+            self._http.serve_forever()
+        except KeyboardInterrupt:  # pragma: no cover - interactive
+            pass
+        finally:
+            self._http.server_close()
+
+    def shutdown(self) -> None:
+        self._http.shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+        self._http.server_close()
+
+    def __enter__(self) -> "UsiServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()

@@ -1,0 +1,300 @@
+"""Document-aligned sharding: many small USI indexes, one answer.
+
+A :class:`ShardedUsiIndex` partitions a
+:class:`~repro.strings.collection.WeightedStringCollection` (or a
+single :class:`~repro.strings.weighted.WeightedString`, treated as a
+one-document collection) into contiguous groups of documents, builds
+one :class:`~repro.core.usi.UsiIndex` per group — optionally in
+parallel across processes — and answers queries by merging the
+per-shard answers.
+
+Correctness rests on the collection invariant from
+``strings/collection.py``: documents are joined around a fresh
+separator letter that no query pattern can contain, so an occurrence
+never spans two documents and therefore never spans two shards.  The
+occurrence multiset of a pattern is exactly the disjoint union of the
+per-shard occurrence multisets, which makes the merge exact:
+
+* ``count``  — the sum of shard counts;
+* ``sum``    — the sum of shard sums (identity 0.0 for empty shards);
+* ``min``/``max`` — the min/max over shards with at least one
+  occurrence;
+* ``avg``    — the shard averages recombined with shard counts as
+  weights (the only merge that re-divides, so it is exact up to one
+  extra float rounding).
+
+Because the hash table ``H`` is a per-shard accelerator, not a source
+of truth, per-shard mining parameters (``k``/``tau``) do not affect
+answers — only which shard-local patterns are served in O(m).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Literal, Sequence
+
+import numpy as np
+
+from repro.core.usi import UsiIndex
+from repro.errors import AlphabetError, ParameterError
+from repro.strings.alphabet import Alphabet
+from repro.strings.collection import WeightedStringCollection
+from repro.strings.weighted import WeightedString
+
+ParallelMode = Literal["process", "thread", "serial"]
+
+
+def _build_shard(payload: tuple) -> UsiIndex:
+    """Worker entry point: rebuild the shard text and index it.
+
+    Module-level (not a closure) so :class:`ProcessPoolExecutor` can
+    pickle it; the payload carries plain arrays + the letter list.
+    """
+    codes, utilities, letters, build_kwargs = payload
+    ws = WeightedString(codes, utilities, Alphabet(letters))
+    return UsiIndex.build(ws, **build_kwargs)
+
+
+class ShardedUsiIndex:
+    """A USI index split into document-aligned shards.
+
+    Build with :meth:`build`; query with :meth:`utility` / :meth:`count`
+    / :meth:`query_batch`.  Answers are exactly those of a monolithic
+    :class:`~repro.core.usi.UsiIndex` over the same collection.
+    """
+
+    def __init__(
+        self,
+        alphabet: Alphabet,
+        shards: Sequence[UsiIndex],
+        shard_documents: Sequence[Sequence[int]],
+    ) -> None:
+        if not shards:
+            raise ParameterError("a sharded index needs at least one shard")
+        self._alphabet = alphabet
+        self._shards = list(shards)
+        self._shard_documents = [list(group) for group in shard_documents]
+        names = {shard.utility.name for shard in self._shards}
+        if len(names) != 1:
+            raise ParameterError("all shards must share one global aggregator")
+        self._aggregator = self._shards[0].utility
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        source: "WeightedString | WeightedStringCollection",
+        num_shards: "int | None" = None,
+        *,
+        parallel: ParallelMode = "process",
+        workers: "int | None" = None,
+        **build_kwargs,
+    ) -> "ShardedUsiIndex":
+        """Partition *source* into shards and index each one.
+
+        Parameters
+        ----------
+        source:
+            A weighted collection, or a single weighted string (then
+            treated as a one-document collection).
+        num_shards:
+            Desired shard count; clamped to the document count.
+            Defaults to ``min(documents, cpu_count)``.
+        parallel:
+            ``"process"`` (default) builds shards in a
+            :class:`ProcessPoolExecutor`; ``"thread"`` uses threads
+            (numpy kernels release the GIL part-time); ``"serial"``
+            builds in-process.  If a pool cannot be created the build
+            falls back to serial rather than failing.
+        workers:
+            Pool size (defaults to the shard count).
+        build_kwargs:
+            Forwarded to :meth:`UsiIndex.build` per shard (``k``,
+            ``tau``, ``miner``, ``aggregator``, ...).
+        """
+        if isinstance(source, WeightedString):
+            source = WeightedStringCollection([source])
+        documents = source.documents
+        doc_count = len(documents)
+        if num_shards is None:
+            num_shards = min(doc_count, os.cpu_count() or 1)
+        if num_shards <= 0:
+            raise ParameterError("num_shards must be positive")
+        num_shards = min(num_shards, doc_count)
+
+        groups = [
+            part.tolist()
+            for part in np.array_split(np.arange(doc_count), num_shards)
+        ]
+        payloads = []
+        for group in groups:
+            shard_collection = WeightedStringCollection(
+                [documents[i] for i in group]
+            )
+            combined = shard_collection.combined
+            payloads.append(
+                (
+                    combined.codes,
+                    combined.utilities,
+                    combined.alphabet.letters,
+                    build_kwargs,
+                )
+            )
+
+        shards = cls._build_all(payloads, parallel, workers)
+        return cls(source.alphabet, shards, groups)
+
+    @staticmethod
+    def _build_all(
+        payloads: list, parallel: ParallelMode, workers: "int | None"
+    ) -> list[UsiIndex]:
+        if parallel not in ("process", "thread", "serial"):
+            raise ParameterError(f"unknown parallel mode {parallel!r}")
+        if parallel == "serial" or len(payloads) == 1:
+            return [_build_shard(payload) for payload in payloads]
+        pool_cls = (
+            ProcessPoolExecutor if parallel == "process" else ThreadPoolExecutor
+        )
+        try:
+            with pool_cls(max_workers=workers or len(payloads)) as pool:
+                return list(pool.map(_build_shard, payloads))
+        except (OSError, PermissionError):
+            # Sandboxes without fork/semaphores: degrade to serial.
+            return [_build_shard(payload) for payload in payloads]
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def shard_count(self) -> int:
+        return len(self._shards)
+
+    @property
+    def shards(self) -> list[UsiIndex]:
+        return list(self._shards)
+
+    @property
+    def shard_documents(self) -> list[list[int]]:
+        """Original-collection document indexes held by each shard."""
+        return [list(group) for group in self._shard_documents]
+
+    @property
+    def alphabet(self) -> Alphabet:
+        """The original (query-side) alphabet."""
+        return self._alphabet
+
+    @property
+    def utility_name(self) -> str:
+        return self._aggregator.name
+
+    def nbytes(self) -> int:
+        return sum(shard.nbytes() for shard in self._shards)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def _encode(
+        self, pattern: "str | bytes | Sequence[int] | np.ndarray"
+    ) -> "np.ndarray | None":
+        """Encode through the *original* alphabet; ``None`` = cannot occur."""
+        if isinstance(pattern, np.ndarray):
+            return pattern.astype(np.int64, copy=False)
+        try:
+            return self._alphabet.encode_pattern(pattern).astype(np.int64)
+        except AlphabetError:
+            return None
+
+    def count(self, pattern: "str | bytes | Sequence[int] | np.ndarray") -> int:
+        """``|occ(P)|`` across all shards (exact)."""
+        codes = self._encode(pattern)
+        if codes is None:
+            return 0
+        return sum(shard.count(codes) for shard in self._shards)
+
+    def utility(self, pattern: "str | bytes | Sequence[int] | np.ndarray") -> float:
+        """The global utility ``U(P)``, merged across shards."""
+        codes = self._encode(pattern)
+        if codes is None:
+            return self._aggregator.identity
+        values = [shard.query(codes) for shard in self._shards]
+        if self._aggregator.name == "sum":
+            return float(sum(values))
+        counts = [shard.count(codes) for shard in self._shards]
+        return self._merge(values, counts)
+
+    # A sharded index is drop-in where a UsiIndex is expected.
+    query = utility
+
+    def query_batch(self, patterns: "Sequence") -> list[float]:
+        """Batch query: per-shard vectorised batches, then one merge.
+
+        Identical answers to calling :meth:`utility` per pattern.
+        """
+        encoded = [self._encode(p) for p in patterns]
+        results = [self._aggregator.identity] * len(patterns)
+        slots = [i for i, codes in enumerate(encoded) if codes is not None]
+        if not slots:
+            return results
+        live = [encoded[i] for i in slots]
+        per_shard = [shard.query_batch(live) for shard in self._shards]
+        if self._aggregator.name == "sum":
+            merged = np.asarray(per_shard, dtype=np.float64).sum(axis=0)
+            for slot, value in zip(slots, merged.tolist()):
+                results[slot] = float(value)
+            return results
+        for j, slot in enumerate(slots):
+            values = [answers[j] for answers in per_shard]
+            counts = [shard.count(live[j]) for shard in self._shards]
+            results[slot] = self._merge(values, counts)
+        return results
+
+    def _merge(self, values: Sequence[float], counts: Sequence[int]) -> float:
+        """Fold per-shard ``(utility, count)`` answers into one global one."""
+        name = self._aggregator.name
+        occupied = [(v, c) for v, c in zip(values, counts) if c > 0]
+        if not occupied:
+            return self._aggregator.identity
+        if name == "min":
+            return float(min(v for v, _ in occupied))
+        if name == "max":
+            return float(max(v for v, _ in occupied))
+        if name == "avg":
+            total = sum(c for _, c in occupied)
+            return float(sum(v * c for v, c in occupied) / total)
+        return float(sum(v for v, _ in occupied))
+
+    def document_frequency(
+        self, pattern: "str | bytes | Sequence[int] | np.ndarray"
+    ) -> int:
+        """Documents (across all shards) containing the pattern."""
+        codes = self._encode(pattern)
+        if codes is None:
+            return 0
+        total = 0
+        for shard, group in zip(self._shards, self._shard_documents):
+            occurrences = shard.suffix_array.occurrences(codes)
+            if occurrences.size == 0:
+                continue
+            boundaries = _shard_boundaries(shard, len(group))
+            docs = set(
+                np.searchsorted(boundaries, occurrences, side="right") - 1
+            )
+            total += len(docs)
+        return total
+
+
+def _shard_boundaries(shard: UsiIndex, doc_count: int) -> np.ndarray:
+    """Document start offsets inside a shard's combined text.
+
+    Recovered from separator positions (the largest letter code) so the
+    sharded index does not have to retain per-shard collections.
+    """
+    codes = shard.weighted_string.codes
+    separator = shard.weighted_string.alphabet.size - 1
+    if doc_count == 1:
+        return np.zeros(1, dtype=np.int64)
+    separators = np.flatnonzero(codes == separator)
+    return np.concatenate(([0], separators + 1))

@@ -1,0 +1,130 @@
+"""QueryEngine: caching semantics and thread-safety under hammering."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.usi import UsiIndex
+from repro.errors import ParameterError
+from repro.service.engine import QueryEngine
+from repro.service.metrics import LatencyRecorder
+from repro.strings.weighted import WeightedString
+
+
+@pytest.fixture(scope="module")
+def index() -> UsiIndex:
+    rng = np.random.default_rng(7)
+    codes = rng.integers(0, 4, size=600, dtype=np.int32)
+    utilities = rng.integers(0, 8, size=600) * 0.25
+    return UsiIndex.build(WeightedString(codes, utilities), k=20)
+
+
+PATTERN_POOL = [
+    np.asarray(p, dtype=np.int64)
+    for p in ([0], [1], [2], [3], [0, 1], [1, 2], [2, 3], [0, 1, 2],
+              [3, 3, 3, 3, 3, 3], [1, 0], [2, 2], [0, 0, 0])
+]
+
+
+class TestCaching:
+    def test_answers_match_index(self, index):
+        engine = QueryEngine(index, cache_size=64)
+        expected = [index.query(p) for p in PATTERN_POOL]
+        assert [engine.query(p) for p in PATTERN_POOL] == expected
+        # Second pass: all hits, same answers.
+        assert [engine.query(p) for p in PATTERN_POOL] == expected
+        stats = engine.stats()
+        assert stats["cache_hits"] == len(PATTERN_POOL)
+        assert stats["cache_misses"] == len(PATTERN_POOL)
+        assert stats["hit_rate"] == pytest.approx(0.5)
+
+    def test_batch_matches_scalar_and_dedupes(self, index):
+        engine = QueryEngine(index, cache_size=64)
+        patterns = PATTERN_POOL + PATTERN_POOL[:3]
+        values = engine.query_batch(patterns)
+        assert values == [index.query(p) for p in patterns]
+        # Duplicates inside one batch miss only once.
+        assert engine.stats()["cache_misses"] == len(PATTERN_POOL)
+
+    def test_eviction_is_lru(self, index):
+        engine = QueryEngine(index, cache_size=2)
+        a, b, c = PATTERN_POOL[:3]
+        engine.query(a)
+        engine.query(b)
+        engine.query(a)   # refresh a; b is now coldest
+        engine.query(c)   # evicts b
+        assert engine.stats()["cache_evictions"] == 1
+        engine.query(a)   # still cached
+        assert engine.stats()["cache_hits"] == 2
+
+    def test_zero_cache_disables_caching(self, index):
+        engine = QueryEngine(index, cache_size=0)
+        engine.query(PATTERN_POOL[0])
+        engine.query(PATTERN_POOL[0])
+        stats = engine.stats()
+        assert stats["cache_hits"] == 0
+        assert stats["cache_misses"] == 2
+        assert stats["cache_entries"] == 0
+
+    def test_key_distinguishes_types(self, index):
+        engine = QueryEngine(index, cache_size=8)
+        engine.query("01")            # unencodable text -> 0.0 cached
+        engine.query(np.asarray([0, 1], dtype=np.int64))
+        assert engine.stats()["cache_misses"] == 2
+
+    def test_rejects_negative_cache(self, index):
+        with pytest.raises(ParameterError):
+            QueryEngine(index, cache_size=-1)
+
+
+class TestConcurrency:
+    def test_hammer_from_many_threads(self, index):
+        engine = QueryEngine(index, cache_size=8)  # small: forces evictions
+        expected = {id(p): index.query(p) for p in PATTERN_POOL}
+        rounds = 60
+        workers = 8
+        errors: list[str] = []
+        barrier = threading.Barrier(workers)
+
+        def hammer(seed: int) -> None:
+            rng = np.random.default_rng(seed)
+            barrier.wait()
+            for _ in range(rounds):
+                if rng.random() < 0.5:
+                    pattern = PATTERN_POOL[int(rng.integers(len(PATTERN_POOL)))]
+                    if engine.query(pattern) != expected[id(pattern)]:
+                        errors.append("scalar mismatch")
+                else:
+                    picks = [
+                        PATTERN_POOL[int(i)]
+                        for i in rng.integers(len(PATTERN_POOL), size=4)
+                    ]
+                    values = engine.query_batch(picks)
+                    if values != [expected[id(p)] for p in picks]:
+                        errors.append("batch mismatch")
+
+        threads = [
+            threading.Thread(target=hammer, args=(seed,)) for seed in range(workers)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        stats = engine.stats()
+        assert stats["cache_hits"] + stats["cache_misses"] > 0
+        assert stats["cache_entries"] <= 8
+
+    def test_shared_metrics_aggregates(self, index):
+        recorder = LatencyRecorder(capacity=128)
+        first = QueryEngine(index, cache_size=8, metrics=recorder)
+        second = QueryEngine(index, cache_size=8, metrics=recorder)
+        first.query(PATTERN_POOL[0])
+        second.query_batch(PATTERN_POOL[:5])
+        snapshot = recorder.snapshot()
+        assert snapshot.total_queries == 6
+        assert snapshot.total_calls == 2
+        assert snapshot.p99_ms >= snapshot.p50_ms >= 0.0

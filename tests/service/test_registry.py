@@ -1,0 +1,143 @@
+"""IndexRegistry: lazy loading through repro.io, eviction, pinning."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.core.usi import UsiIndex
+from repro.errors import ParameterError
+from repro.io import save_index
+from repro.service.registry import IndexRegistry
+from repro.service.sharding import ShardedUsiIndex
+from repro.strings.weighted import WeightedString
+
+
+@pytest.fixture(scope="module")
+def built_index() -> UsiIndex:
+    return UsiIndex.build(WeightedString.uniform("ABRACADABRAABRACADABRA"), k=10)
+
+
+class TestLazyLoading:
+    def test_npz_round_trip(self, built_index, tmp_path):
+        path = tmp_path / "corpus.npz"
+        save_index(built_index, path)
+        registry = IndexRegistry()
+        registry.register_path("corpus", path)
+        assert registry.describe()[0]["resident"] is False
+        engine = registry.get("corpus")
+        assert engine.query("ABRA") == built_index.query("ABRA")
+        assert engine.query("ZZZ") == 0.0
+        assert registry.describe()[0]["resident"] is True
+        assert registry.stats()["loads"] == 1
+        # Second get reuses the resident engine (and its cache).
+        assert registry.get("corpus") is engine
+        assert registry.stats()["loads"] == 1
+
+    def test_pickle_round_trip_sharded(self, tmp_path):
+        from repro.strings.alphabet import Alphabet
+        from repro.strings.collection import WeightedStringCollection
+
+        alphabet = Alphabet.from_text("ABRACADABRA")
+        documents = [
+            WeightedString.uniform(t, alphabet=alphabet)
+            for t in ["ABRA", "CADABRA"]
+        ]
+        sharded = ShardedUsiIndex.build(
+            WeightedStringCollection(documents), 2, parallel="serial", k=3
+        )
+        path = tmp_path / "sharded.pkl"
+        path.write_bytes(pickle.dumps(sharded))
+        registry = IndexRegistry()
+        registry.register_path("sharded", path)
+        assert registry.get("sharded").query("ABRA") == sharded.utility("ABRA")
+
+    def test_missing_file_rejected(self, tmp_path):
+        registry = IndexRegistry()
+        with pytest.raises(ParameterError):
+            registry.register_path("ghost", tmp_path / "ghost.npz")
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            IndexRegistry().get("nope")
+
+
+class TestEvictionAndPinning:
+    def _saved(self, tmp_path, name: str, text: str):
+        index = UsiIndex.build(WeightedString.uniform(text), k=5)
+        path = tmp_path / f"{name}.npz"
+        save_index(index, path)
+        return path
+
+    def test_cold_indexes_unload_and_reload(self, tmp_path):
+        registry = IndexRegistry(capacity=1)
+        registry.register_path("first", self._saved(tmp_path, "first", "ABAB"))
+        registry.register_path("second", self._saved(tmp_path, "second", "BCBC"))
+        assert registry.get("first").query("AB") == 4.0
+        assert registry.get("second").query("BC") == 4.0  # evicts "first"
+        stats = registry.stats()
+        assert stats["evictions"] == 1
+        assert stats["resident"] == 1
+        rows = {row["name"]: row for row in registry.describe()}
+        assert rows["first"]["resident"] is False
+        # Transparent reload, same answers.
+        assert registry.get("first").query("AB") == 4.0
+        assert registry.stats()["loads"] == 3
+
+    def test_pinned_indexes_survive_pressure(self, built_index, tmp_path):
+        registry = IndexRegistry(capacity=1)
+        pinned = registry.register("pinned", built_index)
+        registry.register_path("disk", self._saved(tmp_path, "disk", "ABAB"))
+        registry.get("disk")
+        registry.get("disk")
+        # Pinned index was never dropped even though capacity is 1.
+        assert registry.get("pinned") is pinned
+        rows = {row["name"]: row for row in registry.describe()}
+        assert rows["pinned"]["pinned"] is True
+        assert rows["pinned"]["resident"] is True
+
+    def test_duplicate_names_rejected(self, built_index):
+        registry = IndexRegistry()
+        registry.register("x", built_index)
+        with pytest.raises(ParameterError):
+            registry.register("x", built_index)
+
+    def test_default_name_only_when_single(self, built_index):
+        registry = IndexRegistry()
+        assert registry.default_name() is None
+        registry.register("only", built_index)
+        assert registry.default_name() == "only"
+        registry.register("another", built_index)
+        assert registry.default_name() is None
+        registry.unregister("another")
+        assert registry.default_name() == "only"
+
+
+class TestReloadRaces:
+    def test_reregister_during_load_discards_stale_engine(self, tmp_path):
+        """An index swapped out mid-load must not serve stale data."""
+        from repro.service import registry as registry_module
+
+        stale_path = tmp_path / "stale.npz"
+        fresh_path = tmp_path / "fresh.npz"
+        save_index(UsiIndex.build(WeightedString.uniform("ABAB"), k=3), stale_path)
+        save_index(UsiIndex.build(WeightedString.uniform("CDCD"), k=3), fresh_path)
+
+        registry = IndexRegistry()
+        calls: list = []
+
+        def loader(path):
+            calls.append(path)
+            if len(calls) == 1:
+                # Simulate a concurrent swap while the load is in flight.
+                registry.unregister("idx")
+                registry.register_path("idx", fresh_path)
+            return registry_module._default_loader(path)
+
+        registry._loader = loader
+        registry.register_path("idx", stale_path)
+        engine = registry.get("idx")
+        assert calls == [stale_path, fresh_path]
+        assert engine.query("CD") == 4.0   # answers come from fresh.npz
+        assert engine.query("AB") == 0.0   # not from the superseded file

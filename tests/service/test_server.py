@@ -1,0 +1,167 @@
+"""End-to-end HTTP tests for the serving front-end (ephemeral port)."""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.core.usi import UsiIndex
+from repro.service.registry import IndexRegistry
+from repro.service.server import UsiServer
+from repro.strings.weighted import WeightedString
+
+
+def _post(url: str, payload: dict) -> tuple[int, dict]:
+    request = urllib.request.Request(
+        url + "/query",
+        data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=10) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+def _get(url: str, path: str) -> tuple[int, dict]:
+    try:
+        with urllib.request.urlopen(url + path, timeout=10) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+@pytest.fixture(scope="module")
+def server():
+    registry = IndexRegistry(cache_size=64)
+    registry.register(
+        "abra", UsiIndex.build(WeightedString.uniform("ABRACADABRAABRACADABRA"), k=10)
+    )
+    with UsiServer(registry, port=0) as running:
+        yield running
+
+
+class TestQuery:
+    def test_single_pattern(self, server):
+        status, body = _post(server.url, {"pattern": "ABRA"})
+        assert status == 200
+        assert body["index"] == "abra"
+        assert body["results"] == [{"pattern": "ABRA", "utility": 16.0}]
+
+    def test_batch_with_counts(self, server):
+        status, body = _post(
+            server.url, {"patterns": ["ABRA", "ZZZ"], "count": True}
+        )
+        assert status == 200
+        assert body["results"][0] == {"pattern": "ABRA", "utility": 16.0, "count": 4}
+        assert body["results"][1] == {"pattern": "ZZZ", "utility": 0.0, "count": 0}
+
+    def test_named_index(self, server):
+        status, body = _post(server.url, {"index": "abra", "pattern": "CAD"})
+        assert status == 200
+        assert body["results"][0]["utility"] > 0
+
+    def test_unknown_index_404(self, server):
+        status, body = _post(server.url, {"index": "ghost", "pattern": "A"})
+        assert status == 404
+        assert "ghost" in body["error"]
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            {},                                   # neither pattern nor patterns
+            {"pattern": "A", "patterns": ["B"]},  # both
+            {"patterns": []},                     # empty batch
+            {"patterns": ["A", 5]},               # non-string pattern
+            {"pattern": ""},                      # empty pattern
+        ],
+    )
+    def test_bad_requests_400(self, server, payload):
+        status, body = _post(server.url, payload)
+        assert status == 400
+        assert "error" in body
+
+    def test_malformed_json_400(self, server):
+        request = urllib.request.Request(
+            server.url + "/query", data=b"{not json", method="POST"
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        assert excinfo.value.code == 400
+
+
+class TestIntrospection:
+    def test_healthz(self, server):
+        status, body = _get(server.url, "/healthz")
+        assert (status, body) == (200, {"status": "ok"})
+
+    def test_indexes_listing(self, server):
+        status, body = _get(server.url, "/indexes")
+        assert status == 200
+        assert body["indexes"][0]["name"] == "abra"
+        assert body["indexes"][0]["resident"] is True
+
+    def test_stats_reflect_traffic(self, server):
+        for _ in range(3):
+            _post(server.url, {"pattern": "ABRA"})
+        status, body = _get(server.url, "/stats")
+        assert status == 200
+        assert body["server"]["total_queries"] >= 3
+        engine = body["engines"]["abra"]
+        assert engine["cache_hits"] >= 2
+        assert engine["latency"]["p99_ms"] >= 0.0
+        assert body["registry"]["indexes"] == 1
+
+    def test_unknown_path_404(self, server):
+        status, body = _get(server.url, "/nope")
+        assert status == 404
+        assert "error" in body
+
+
+class TestKeepAliveHygiene:
+    def test_error_without_draining_body_closes_connection(self, server):
+        """A rejected request with an unread body must not desync
+        keep-alive: the server advertises and performs a close."""
+        import socket
+
+        with socket.create_connection((server.host, server.port), timeout=10) as sock:
+            sock.sendall(
+                b"POST /query HTTP/1.1\r\nHost: t\r\n"
+                b"Content-Length: 9000000\r\n\r\n"
+                b'{"pattern":"ABRA"}'
+            )
+            sock.settimeout(5)
+            response = b""
+            while True:
+                chunk = sock.recv(65536)
+                if not chunk:  # server closed: no desynced second request
+                    break
+                response += chunk
+        status_line = response.split(b"\r\n", 1)[0]
+        assert b"400" in status_line
+        assert b"connection: close" in response.lower()
+
+    def test_happy_path_keeps_connection_alive(self, server):
+        import socket
+
+        body = b'{"pattern": "ABRA"}'
+        request = (
+            b"POST /query HTTP/1.1\r\nHost: t\r\n"
+            b"Content-Type: application/json\r\n"
+            b"Content-Length: " + str(len(body)).encode() + b"\r\n\r\n" + body
+        )
+        with socket.create_connection((server.host, server.port), timeout=10) as sock:
+            sock.settimeout(5)
+            for _ in range(2):  # two requests on one connection
+                sock.sendall(request)
+                response = b""
+                while b"16.0" not in response:
+                    chunk = sock.recv(65536)
+                    assert chunk, f"connection closed early: {response!r}"
+                    response += chunk
+                assert response.startswith(b"HTTP/1.1 200")

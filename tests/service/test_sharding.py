@@ -1,0 +1,180 @@
+"""Sharded-index correctness: shard answers == monolithic answers.
+
+The load-bearing property: because shards are document-aligned and
+patterns cannot contain the separator letter, the occurrence multiset
+of any pattern is the disjoint union of the per-shard multisets — so
+the merged utility and count must *exactly* equal the monolithic
+index's.  Utilities are drawn as multiples of 0.25 so every partial
+sum is exactly representable and the equality assertions are ``==``,
+not approx.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.usi import UsiIndex
+from repro.errors import ParameterError
+from repro.service.sharding import ShardedUsiIndex
+from repro.strings.alphabet import Alphabet
+from repro.strings.collection import WeightedStringCollection
+from repro.strings.weighted import WeightedString
+
+
+def _documents(*texts: str) -> list[WeightedString]:
+    """Uniform-weight documents over one shared alphabet."""
+    alphabet = Alphabet.from_text("".join(texts))
+    return [WeightedString.uniform(text, alphabet=alphabet) for text in texts]
+
+
+@st.composite
+def collections(draw, alphabet: str = "AB", max_documents: int = 6):
+    """Random collections with exactly-representable utilities."""
+    count = draw(st.integers(min_value=1, max_value=max_documents))
+    shared = Alphabet(alphabet)
+    documents = []
+    for _ in range(count):
+        text = draw(st.text(alphabet=alphabet, min_size=1, max_size=25))
+        quarters = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=16),
+                min_size=len(text),
+                max_size=len(text),
+            )
+        )
+        documents.append(
+            WeightedString(
+                text, np.asarray(quarters, dtype=np.float64) * 0.25, shared
+            )
+        )
+    return WeightedStringCollection(documents)
+
+
+def _query_patterns(collection: WeightedStringCollection) -> list[str]:
+    """Substrings that do occur, plus some that do not."""
+    patterns = {"A", "B", "AB", "BA", "AAB", "ABAB", "BBBBBBBB"}
+    for doc in collection.documents[:4]:
+        text = doc.text()
+        for length in (1, 2, 3):
+            if len(text) >= length:
+                patterns.add(text[:length])
+                patterns.add(text[-length:])
+    return sorted(patterns)
+
+
+def _monolithic(collection: WeightedStringCollection, **kwargs) -> UsiIndex:
+    return UsiIndex.build(collection.combined, **kwargs)
+
+
+class TestExactEquality:
+    @settings(max_examples=30, deadline=None)
+    @given(collection=collections(), num_shards=st.integers(1, 4), data=st.data())
+    def test_matches_monolithic_sum(self, collection, num_shards, data):
+        mono = _monolithic(collection, k=8)
+        sharded = ShardedUsiIndex.build(
+            collection, num_shards, parallel="serial", k=8
+        )
+        assert sharded.shard_count == min(num_shards, collection.document_count)
+        for pattern in _query_patterns(collection):
+            codes = collection.encode_pattern(pattern)
+            assert sharded.count(pattern) == mono.count(codes)
+            assert sharded.utility(pattern) == mono.query(codes)
+
+    @settings(max_examples=15, deadline=None)
+    @given(collection=collections(), aggregator=st.sampled_from(["min", "max"]))
+    def test_matches_monolithic_min_max(self, collection, aggregator):
+        mono = _monolithic(collection, k=5, aggregator=aggregator)
+        sharded = ShardedUsiIndex.build(
+            collection, 3, parallel="serial", k=5, aggregator=aggregator
+        )
+        for pattern in _query_patterns(collection):
+            codes = collection.encode_pattern(pattern)
+            assert sharded.count(pattern) == mono.count(codes)
+            assert sharded.utility(pattern) == mono.query(codes)
+
+    @settings(max_examples=15, deadline=None)
+    @given(collection=collections())
+    def test_matches_monolithic_avg(self, collection):
+        """avg re-divides at merge time: exact up to one float rounding."""
+        mono = _monolithic(collection, k=5, aggregator="avg")
+        sharded = ShardedUsiIndex.build(
+            collection, 3, parallel="serial", k=5, aggregator="avg"
+        )
+        for pattern in _query_patterns(collection):
+            codes = collection.encode_pattern(pattern)
+            assert sharded.utility(pattern) == pytest.approx(
+                mono.query(codes), rel=1e-12, abs=1e-12
+            )
+
+    @settings(max_examples=20, deadline=None)
+    @given(collection=collections())
+    def test_batch_equals_scalar(self, collection):
+        sharded = ShardedUsiIndex.build(collection, 2, parallel="serial", k=8)
+        patterns = _query_patterns(collection) + ["Z", "A!"]
+        assert sharded.query_batch(patterns) == [
+            sharded.utility(p) for p in patterns
+        ]
+
+
+class TestConstruction:
+    def test_single_weighted_string_is_one_document(self):
+        ws = WeightedString.uniform("ABRACADABRA")
+        sharded = ShardedUsiIndex.build(ws, 4, parallel="serial", k=5)
+        assert sharded.shard_count == 1
+        assert sharded.utility("ABRA") == 8.0  # 2 occurrences * local utility 4
+
+    def test_parallel_modes_agree(self):
+        collection = WeightedStringCollection(
+            _documents("ABRA", "CADABRA", "ABRACADABRA", "BANA")
+        )
+        answers = {}
+        for mode in ("serial", "thread", "process"):
+            index = ShardedUsiIndex.build(collection, 2, parallel=mode, k=5)
+            answers[mode] = [index.utility(p) for p in ["ABRA", "AB", "RA", "Q"]]
+        assert answers["serial"] == answers["thread"] == answers["process"]
+
+    def test_shard_documents_partition(self):
+        sharded = ShardedUsiIndex.build(
+            WeightedStringCollection(_documents(*["AB"] * 5)), 3,
+            parallel="serial", k=2,
+        )
+        flattened = [i for group in sharded.shard_documents for i in group]
+        assert flattened == list(range(5))
+
+    def test_document_frequency(self):
+        sharded = ShardedUsiIndex.build(
+            WeightedStringCollection(_documents("ABAB", "BBBB", "ABBA", "AAAA")),
+            2, parallel="serial", k=3,
+        )
+        assert sharded.document_frequency("AB") == 2
+        assert sharded.document_frequency("BB") == 2
+        assert sharded.document_frequency("AAAA") == 1
+        assert sharded.document_frequency("Q") == 0
+
+    def test_rejects_bad_parameters(self):
+        ws = WeightedString.uniform("AB")
+        with pytest.raises(ParameterError):
+            ShardedUsiIndex.build(ws, 0, parallel="serial", k=2)
+        with pytest.raises(ParameterError):
+            ShardedUsiIndex.build(ws, 1, parallel="bogus", k=2)  # type: ignore[arg-type]
+
+    def test_unencodable_patterns_report_identity(self):
+        ws = WeightedString.uniform("ABAB")
+        sharded = ShardedUsiIndex.build(ws, 1, parallel="serial", k=2)
+        assert sharded.utility("Z") == 0.0
+        assert sharded.count("Z") == 0
+
+    def test_pickle_round_trip(self):
+        import pickle
+
+        sharded = ShardedUsiIndex.build(
+            WeightedStringCollection(_documents("ABRA", "CADABRA")), 2,
+            parallel="serial", k=3,
+        )
+        clone = pickle.loads(pickle.dumps(sharded))
+        for pattern in ["ABRA", "A", "DAB", "Q"]:
+            assert clone.utility(pattern) == sharded.utility(pattern)
+            assert clone.count(pattern) == sharded.count(pattern)

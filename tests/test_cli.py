@@ -117,3 +117,103 @@ class TestTune:
         assert len(lines) >= 2
         taus = [int(line.split("\t")[1]) for line in lines[1:]]
         assert taus == sorted(taus, reverse=True)
+
+
+class TestQueryInputSources:
+    @pytest.fixture()
+    def index_path(self, corpus, tmp_path):
+        text_path, _ = corpus
+        out = tmp_path / "index.npz"
+        assert main(["build", "--text", str(text_path), "--k", "10",
+                     "--out", str(out)]) == 0
+        return out
+
+    def test_patterns_file(self, index_path, tmp_path, capsys):
+        patterns = tmp_path / "patterns.txt"
+        patterns.write_text("ABRA\nZZZ\n")
+        assert main(["query", "--index", str(index_path),
+                     "--patterns-file", str(patterns)]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines[0] == "ABRA\t16.0"
+        assert lines[1] == "ZZZ\t0.0"
+
+    def test_stdin(self, index_path, capsys, monkeypatch):
+        import io
+
+        monkeypatch.setattr("sys.stdin", io.StringIO("ABRA\nCAD\n"))
+        assert main(["query", "--index", str(index_path)]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines[0].startswith("ABRA\t")
+        assert lines[1].startswith("CAD\t")
+
+    def test_no_patterns_is_an_error(self, index_path, monkeypatch):
+        import io
+
+        monkeypatch.setattr("sys.stdin", io.StringIO(""))
+        assert main(["query", "--index", str(index_path)]) == 2
+
+    def test_flags_and_file_combine(self, index_path, tmp_path, capsys):
+        patterns = tmp_path / "patterns.txt"
+        patterns.write_text("CAD\n")
+        assert main(["query", "--index", str(index_path),
+                     "--pattern", "ABRA",
+                     "--patterns-file", str(patterns)]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 2
+
+
+class TestCrlfCorpora:
+    def test_crlf_text_does_not_poison_alphabet(self, tmp_path, capsys):
+        text_path = tmp_path / "crlf.txt"
+        text_path.write_bytes(b"ABRACADABRAABRACADABRA\r\n")
+        out = tmp_path / "index.npz"
+        assert main(["build", "--text", str(text_path), "--k", "10",
+                     "--out", str(out)]) == 0
+        assert main(["query", "--index", str(out), "--pattern", "ABRA"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines[-1] == "ABRA\t16.0"
+
+
+class TestShardedBuild:
+    def test_build_and_query_sharded(self, tmp_path, capsys):
+        text_path = tmp_path / "lines.txt"
+        text_path.write_text("ABRA\nCADABRA\nABRACADABRA\n")
+        out = tmp_path / "sharded.pkl"
+        assert main(["build", "--text", str(text_path), "--shards", "2",
+                     "--k", "5", "--out", str(out)]) == 0
+        assert "shards=2" in capsys.readouterr().out
+        assert main(["query", "--index", str(out), "--pattern", "ABRA"]) == 0
+        assert capsys.readouterr().out.strip() == "ABRA\t16.0"
+
+    def test_sharded_npz_is_rejected(self, tmp_path):
+        text_path = tmp_path / "lines.txt"
+        text_path.write_text("ABRA\nCADABRA\n")
+        with pytest.raises(SystemExit):
+            main(["build", "--text", str(text_path), "--shards", "2",
+                  "--k", "5", "--out", str(tmp_path / "sharded.npz")])
+
+
+class TestServeParser:
+    def test_serve_end_to_end(self, corpus, tmp_path):
+        """Drive `usi serve` through its components on an ephemeral port."""
+        import json
+        import threading
+        import urllib.request
+
+        from repro.service.registry import IndexRegistry
+        from repro.service.server import UsiServer
+
+        text_path, _ = corpus
+        out = tmp_path / "abra.npz"
+        assert main(["build", "--text", str(text_path), "--k", "10",
+                     "--out", str(out)]) == 0
+        registry = IndexRegistry()
+        registry.register_path("abra", out)
+        with UsiServer(registry, port=0) as server:
+            request = urllib.request.Request(
+                server.url + "/query",
+                data=json.dumps({"pattern": "ABRA"}).encode(),
+            )
+            body = json.loads(urllib.request.urlopen(request, timeout=10).read())
+        assert body["results"][0]["utility"] == 16.0
+        assert threading.active_count() >= 1

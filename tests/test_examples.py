@@ -27,6 +27,7 @@ def test_examples_exist():
         "read_collection.py",
         "section7_counterexamples.py",
         "scale_check.py",
+        "serving.py",
     } <= names
 
 
@@ -52,3 +53,13 @@ def test_read_collection_runs():
     )
     assert result.returncode == 0, result.stderr
     assert "reads" in result.stdout
+
+
+def test_serving_runs():
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "serving.py")],
+        capture_output=True, text=True, timeout=120,
+    )
+    assert result.returncode == 0, result.stderr
+    assert "answers equal the monolithic index" in result.stdout
+    assert "server stopped." in result.stdout
