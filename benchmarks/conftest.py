@@ -3,12 +3,16 @@
 Each benchmark module regenerates one table or figure of the paper at
 reproduction scale (n in the tens of thousands instead of billions; see
 DESIGN.md for the substitution argument).  Results are printed as
-aligned tables *and* appended to ``results/`` so a full
-``pytest benchmarks/ --benchmark-only`` run leaves a complete record.
+aligned tables and, when ``REPRO_WRITE_RESULTS=1`` is set, persisted
+under ``results/`` so a full ``pytest benchmarks/ --benchmark-only``
+run leaves a complete record.  Without the variable the committed
+``results/*.txt`` files are left untouched (no diff churn from plain
+test runs).
 """
 
 from __future__ import annotations
 
+import os
 import pathlib
 
 import pytest
@@ -25,9 +29,15 @@ RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
 
 
 def save_report(name: str, text: str) -> None:
-    """Print a result table and persist it under results/."""
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    """Print a result table; persist it only when explicitly asked.
+
+    Writing is gated on ``REPRO_WRITE_RESULTS=1`` so ordinary test and
+    benchmark runs do not perpetually rewrite the committed
+    ``results/*.txt`` timing files.
+    """
+    if os.environ.get("REPRO_WRITE_RESULTS") == "1":
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
     print("\n" + text)
 
 

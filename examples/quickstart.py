@@ -1,12 +1,18 @@
 """Quickstart: build a USI index and query global utilities.
 
-Reproduces Example 1 from the paper's introduction, then shows the
-difference between hash-table (frequent) and suffix-array (rare)
-query paths, and the Section-V tuning oracle.
+Reproduces Example 1 from the paper's introduction through the
+``repro.build()`` facade, shows the difference between hash-table
+(frequent) and suffix-array (rare) query paths, the backend registry
+(every engine family answers identically), save/``repro.open()``
+round-tripping, and the Section-V tuning oracle.
 
 Run with:  python examples/quickstart.py
 """
 
+import tempfile
+from pathlib import Path
+
+import repro
 from repro import TopKOracle, UsiIndex, WeightedString, naive_global_utility
 from repro.suffix.suffix_array import SuffixArray
 
@@ -19,7 +25,7 @@ def main() -> None:
         [0.9, 1, 3, 2, 0.7, 1, 1, 0.6, 0.5, 0.5,
          0.5, 0.8, 1, 1, 1, 0.9, 1, 1, 0.8, 1],
     )
-    index = UsiIndex.build(ws, k=10)
+    index = repro.build(ws, k=10)           # backend="usi" is the default
 
     value = index.query("TACCCC")
     print(f"U('TACCCC') = {value:.1f}   (paper's Example 1 says 14.6)")
@@ -27,12 +33,30 @@ def main() -> None:
 
     # Any pattern works, including absent ones (utility 0).
     for pattern in ["A", "TA", "CCCC", "GGGG"]:
-        cached = "hash table" if index.is_cached(pattern) else "suffix array"
+        cached = "hash table" if index.inner.is_cached(pattern) else "suffix array"
         print(f"U({pattern!r:9}) = {index.query(pattern):6.2f}   answered via {cached}")
 
     # Answers always match the brute-force definition.
     for pattern in ["A", "TA", "CCCC"]:
         assert abs(index.query(pattern) - naive_global_utility(ws, pattern)) < 1e-9
+
+    # --- One protocol, many engines (repro.api) -----------------------
+    # Every registered backend answers exact queries identically; they
+    # differ in construction cost, space, and which patterns are fast.
+    print(f"registered backends: {', '.join(repro.available_backends())}")
+    for backend in ["usi", "uat", "fm", "oracle", "bsl2"]:
+        engine = repro.build(ws, k=10, backend=backend)
+        assert abs(engine.query("TACCCC") - 14.6) < 1e-9
+    print("usi, uat, fm, oracle, and bsl2 all answer U('TACCCC') = 14.6")
+
+    # Saved indexes reopen through repro.open() with the right adapter.
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "example1.npz"
+        repro.save_index(index, path)
+        reopened = repro.open(path)
+        info = reopened.stats()
+        print(f"reopened backend={info.backend} "
+              f"batch={reopened.query_batch(['TACCCC', 'CCCC'])}")
 
     # --- Tuning before building (Section V) ---------------------------
     # The oracle predicts query time (tau_K) and construction time (L_K)

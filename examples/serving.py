@@ -1,10 +1,13 @@
 """Serving walkthrough: shard -> engine -> registry -> HTTP server.
 
-Builds a small weighted-document collection, indexes it as
-document-aligned shards (answers provably equal the monolithic
-index), wraps it in a cached query engine, registers it next to a
-second index, and serves both over JSON/HTTP — then queries the
-server like a client would.
+Builds a small weighted-document collection, indexes it through the
+``repro.build()`` facade as document-aligned shards (answers provably
+equal the monolithic index), wraps it in a cached query engine,
+registers it next to a second backend, and serves both over JSON/HTTP
+— then queries the server like a client would.  ``GET /indexes``
+reports each index's backend and capability flags, because the whole
+stack targets the :class:`repro.api.UtilityIndex` protocol rather than
+any concrete engine.
 
 Run with:  python examples/serving.py
 """
@@ -12,11 +15,10 @@ Run with:  python examples/serving.py
 import json
 import urllib.request
 
+import repro
 from repro import (
     IndexRegistry,
     QueryEngine,
-    ShardedUsiIndex,
-    UsiIndex,
     UsiServer,
     WeightedString,
     WeightedStringCollection,
@@ -43,13 +45,13 @@ def main() -> None:
     collection = WeightedStringCollection(documents)
 
     # --- Sharded build (parallel across processes) ---------------------
-    sharded = ShardedUsiIndex.build(collection, 2, k=20)
-    mono = UsiIndex.build(collection.combined, k=20)
+    # repro.build dispatches by backend name; both indexes speak the
+    # same UtilityIndex protocol.
+    sharded = repro.build(collection, k=20, backend="sharded", shards=2)
+    mono = repro.build(collection, k=20, backend="collection")
     for pattern in ["TACCCC", "CCCC", "GGG", "TTTT"]:
-        assert sharded.utility(pattern) == mono.query(
-            collection.encode_pattern(pattern)
-        )
-    print(f"sharded index: {sharded.shard_count} shards, "
+        assert sharded.query(pattern) == mono.query(pattern)
+    print(f"sharded index: {sharded.stats().detail['shards']} shards, "
           f"answers equal the monolithic index")
 
     # --- The engine: batched queries + LRU cache -----------------------
@@ -67,6 +69,11 @@ def main() -> None:
     registry.register("sessions-mono", mono)
     with UsiServer(registry, port=0) as server:
         print(f"serving on {server.url}")
+        with urllib.request.urlopen(server.url + "/indexes", timeout=10) as response:
+            listing = json.loads(response.read())["indexes"]
+        for row in listing:
+            flags = ",".join(f for f, on in row["capabilities"].items() if on)
+            print(f"  index {row['name']!r}: backend={row['backend']} [{flags}]")
         request = urllib.request.Request(
             server.url + "/query",
             data=json.dumps(

@@ -24,8 +24,28 @@ Quickstart::
                          .5, .8, 1, 1, 1, .9, 1, 1, .8, 1])
     index = UsiIndex.build(ws, k=5)
     index.query("TACCCC")   # -> 14.6 (Example 1 of the paper)
+
+Or, backend-agnostically, through the :mod:`repro.api` facade — any
+registered engine family behind the same protocol::
+
+    index = repro.build(ws, k=5, backend="usi")   # or "uat", "fm",
+    index.query("TACCCC")                         # "sharded", "bsl2", ...
+    repro.save_index(index, "idx.npz")
+    repro.open("idx.npz").query_batch(["TACCCC", "CCCC"])
 """
 
+from repro.api import (
+    Capabilities,
+    IndexInfo,
+    QueryResult,
+    UtilityIndex,
+    UtilityIndexBase,
+    available_backends,
+    get_backend,
+    register_backend,
+)
+from repro.api import build as build
+from repro.api import open_index as open  # noqa: A001 - deliberate facade name
 from repro.baselines import (
     Bsl1NoCache,
     Bsl2LruCache,
@@ -68,6 +88,17 @@ __version__ = "1.0.0"
 __all__ = [
     "Alphabet",
     "ApproximateTopK",
+    "Capabilities",
+    "IndexInfo",
+    "QueryResult",
+    "UtilityIndex",
+    "UtilityIndexBase",
+    "available_backends",
+    "build",
+    "get_backend",
+    # NB: repro.open is a deliberate facade attribute but is kept out
+    # of __all__ so `from repro import *` never shadows builtins.open.
+    "register_backend",
     "Bsl1NoCache",
     "Bsl2LruCache",
     "Bsl3TopKSeen",

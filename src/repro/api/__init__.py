@@ -1,0 +1,53 @@
+"""``repro.api`` — one index protocol + a backend registry.
+
+The public surface:
+
+* :class:`UtilityIndex` / :class:`UtilityIndexBase` — the protocol
+  every engine family conforms to (``build`` / ``query`` /
+  ``query_batch`` / ``count`` / ``stats`` / ``capabilities``);
+* :class:`QueryResult` / :class:`IndexInfo` — the structured answers;
+* :func:`register_backend` / :func:`get_backend` /
+  :func:`available_backends` — the string-keyed registry;
+* :func:`build` / :func:`open_index` — the factories re-exported at
+  the top level as ``repro.build`` / ``repro.open``;
+* :func:`as_index` — coerce any raw engine to the protocol surface.
+"""
+
+from repro.api.protocol import (
+    Capabilities,
+    IndexInfo,
+    QueryResult,
+    UtilityIndex,
+    UtilityIndexBase,
+)
+from repro.api.registry import (
+    available_backends,
+    backend_aliases,
+    describe_backends,
+    get_backend,
+    register_backend,
+    resolve_backend_name,
+)
+from repro.api import adapters as _adapters  # noqa: F401 - registers backends
+from repro.api.adapters import DEFAULT_K, infer_backend_name, wrap
+from repro.api.factory import as_index, build, open_index
+
+__all__ = [
+    "Capabilities",
+    "DEFAULT_K",
+    "IndexInfo",
+    "QueryResult",
+    "UtilityIndex",
+    "UtilityIndexBase",
+    "as_index",
+    "available_backends",
+    "backend_aliases",
+    "build",
+    "describe_backends",
+    "get_backend",
+    "infer_backend_name",
+    "open_index",
+    "register_backend",
+    "resolve_backend_name",
+    "wrap",
+]

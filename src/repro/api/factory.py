@@ -1,0 +1,79 @@
+"""Top-level factories: ``repro.build`` and ``repro.open``.
+
+One entry point builds any registered backend from text, a weighted
+string, or a collection; the other reopens any index file the library
+ever wrote (legacy ``.npz``, legacy pickle, or the tagged multi-backend
+container) as a protocol object.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.api.adapters import wrap
+from repro.api.protocol import UtilityIndexBase
+from repro.api.registry import get_backend
+
+
+def build(
+    source,
+    *,
+    backend: str = "usi",
+    k: "int | None" = None,
+    tau: "int | None" = None,
+    **options,
+) -> UtilityIndexBase:
+    """Build a utility index over *source* with the named backend.
+
+    Parameters
+    ----------
+    source:
+        Text (``str``/``bytes``, uniform utilities), a
+        :class:`~repro.strings.weighted.WeightedString`, a
+        :class:`~repro.strings.collection.WeightedStringCollection`,
+        or a list of weighted documents (collection backends).
+    backend:
+        A registered backend name or alias — see
+        :func:`repro.api.available_backends`.
+    k, tau:
+        The Section-V trade-off knobs, forwarded to the backend (at
+        most one; a default ``k`` applies when neither is given).
+    options:
+        Backend-specific build options (``aggregator``, ``miner``,
+        ``shards``, ``capacity``, ...).
+
+    Examples
+    --------
+    >>> import repro                                    # doctest: +SKIP
+    >>> index = repro.build(ws, k=5, backend="usi")     # doctest: +SKIP
+    >>> index.query("TACCCC")                           # doctest: +SKIP
+    14.6
+    """
+    kwargs = dict(options)
+    if k is not None:
+        kwargs["k"] = k
+    if tau is not None:
+        kwargs["tau"] = tau
+    return get_backend(backend).build(source, **kwargs)
+
+
+def open_index(path: "str | Path", allow_pickle: bool = True) -> UtilityIndexBase:
+    """Reopen a saved index as a protocol object (any backend).
+
+    Dispatches on the file contents, not the extension: the legacy v1
+    ``.npz`` format, the tagged v2 container, and legacy pickles all
+    reopen, wrapped in their backend adapter.  Tagged containers and
+    pickles execute pickle bytecode on load — open only files you
+    trust, or pass ``allow_pickle=False`` to accept v1 files only.
+    """
+    from repro.io import load_any
+
+    engine, backend = load_any(path, allow_pickle=allow_pickle)
+    if backend is not None and not isinstance(engine, UtilityIndexBase):
+        return get_backend(backend)(engine)
+    return wrap(engine)
+
+
+def as_index(index) -> UtilityIndexBase:
+    """Coerce *index* (raw engine or adapter) to the protocol surface."""
+    return wrap(index)

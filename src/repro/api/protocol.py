@@ -1,0 +1,182 @@
+"""The one index protocol every USI engine speaks.
+
+The paper evaluates a single problem — global utilities of query
+patterns over a weighted string — across many engines: the USI index
+(UET/UAT), the Section-V oracle, the Section-VI approximate miner, the
+four baselines, the dynamic and collection extensions, and the sharded
+serving index.  :class:`UtilityIndex` is the structural contract they
+all satisfy, and :class:`UtilityIndexBase` is the concrete base class
+the adapters in :mod:`repro.api.adapters` inherit from; it supplies
+the per-pattern ``query_batch`` fallback, so a backend only *must*
+implement ``query``.
+
+The dataclass pair :class:`QueryResult` / :class:`IndexInfo` is the
+protocol's structured currency: one answered pattern, and one
+described index (the ``stats()`` payload, also what ``GET /indexes``
+reports per backend).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Protocol, Sequence, runtime_checkable
+
+#: A pattern in any of the forms the engines accept.
+PatternLike = "str | bytes | Sequence[int]"
+
+
+@dataclass(frozen=True)
+class Capabilities:
+    """What a backend can do beyond plain ``query``.
+
+    ``batch``
+        Has a vectorised/native ``query_batch`` (everything still
+        *answers* batches; this flag says the backend does better than
+        the per-pattern fallback).
+    ``dynamic``
+        Supports ``append``/``extend`` after construction.
+    ``collection``
+        Indexes multi-document inputs (a
+        :class:`~repro.strings.collection.WeightedStringCollection`).
+    ``approximate``
+        Mining is randomised/approximate (answers for *stored* patterns
+        remain exact utilities; the flag marks which patterns get the
+        fast path, not answer quality).
+    ``count``
+        Supports exact occurrence counting via ``count``.
+    ``persistent``
+        Round-trips through :func:`repro.io.save_index` /
+        :func:`repro.open`.
+
+    Every flag defaults to ``False`` — the truthful description of a
+    minimal backend that only implements ``query`` — so an adapter
+    must explicitly claim what it actually provides.
+    """
+
+    batch: bool = False
+    dynamic: bool = False
+    collection: bool = False
+    approximate: bool = False
+    count: bool = False
+    persistent: bool = False
+
+    def as_dict(self) -> dict[str, bool]:
+        return {
+            "batch": self.batch,
+            "dynamic": self.dynamic,
+            "collection": self.collection,
+            "approximate": self.approximate,
+            "count": self.count,
+            "persistent": self.persistent,
+        }
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """One answered pattern: ``U(pattern)`` plus optional extras."""
+
+    pattern: Any
+    utility: float
+    count: "int | None" = None
+
+    def as_dict(self) -> dict:
+        row: dict = {"pattern": self.pattern, "utility": self.utility}
+        if self.count is not None:
+            row["count"] = self.count
+        return row
+
+
+@dataclass
+class IndexInfo:
+    """One described index: the ``stats()`` payload of the protocol."""
+
+    backend: str
+    capabilities: Capabilities
+    size_bytes: "int | None" = None
+    detail: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {
+            "backend": self.backend,
+            "capabilities": self.capabilities.as_dict(),
+            "size_bytes": self.size_bytes,
+            "detail": dict(self.detail),
+        }
+
+
+@runtime_checkable
+class UtilityIndex(Protocol):
+    """Structural protocol: what every registered backend exposes."""
+
+    backend_name: str
+    capabilities: Capabilities
+
+    def query(self, pattern: PatternLike) -> float: ...
+
+    def query_batch(self, patterns: "Sequence[PatternLike]") -> list[float]: ...
+
+    def stats(self) -> IndexInfo: ...
+
+
+class UtilityIndexBase:
+    """Concrete base for backend adapters.
+
+    Subclasses set :attr:`backend_name` / :attr:`capabilities`, provide
+    a ``build`` classmethod and ``query``, and get conforming
+    ``query_batch`` / ``count`` / ``stats`` / ``query_result`` for
+    free.  ``query_batch`` here is *the* protocol-level fallback:
+    engines without a native batch path are looped per pattern, which
+    is exactly what :class:`~repro.service.engine.QueryEngine` relies
+    on instead of probing attributes.
+    """
+
+    backend_name: str = "abstract"
+    capabilities: Capabilities = Capabilities()
+
+    @classmethod
+    def build(cls, source, **options) -> "UtilityIndexBase":
+        raise NotImplementedError(
+            f"backend {cls.backend_name!r} does not define build()"
+        )
+
+    def query(self, pattern: PatternLike) -> float:
+        raise NotImplementedError
+
+    def query_batch(self, patterns: "Sequence[PatternLike]") -> list[float]:
+        """Per-pattern fallback; overridden by batch-native adapters."""
+        return [float(self.query(pattern)) for pattern in patterns]
+
+    def count(self, pattern: PatternLike) -> int:
+        raise NotImplementedError(
+            f"backend {self.backend_name!r} does not support count()"
+        )
+
+    def query_result(self, pattern: PatternLike, with_count: bool = False) -> QueryResult:
+        """One :class:`QueryResult`, optionally with the exact count."""
+        count = self.count(pattern) if with_count and self.capabilities.count else None
+        return QueryResult(pattern=pattern, utility=float(self.query(pattern)), count=count)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def nbytes(self) -> "int | None":
+        inner = getattr(self, "inner", None)
+        size = getattr(inner, "nbytes", None)
+        if callable(size):
+            return int(size())
+        return None
+
+    def stats(self) -> IndexInfo:
+        return IndexInfo(
+            backend=self.backend_name,
+            capabilities=self.capabilities,
+            size_bytes=self.nbytes(),
+            detail=self._stats_detail(),
+        )
+
+    def _stats_detail(self) -> dict:
+        """Backend-specific extras folded into :meth:`stats`."""
+        return {}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} backend={self.backend_name!r}>"

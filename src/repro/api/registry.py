@@ -1,0 +1,82 @@
+"""The string-keyed backend registry.
+
+Backends register themselves with the :func:`register_backend` class
+decorator; :func:`repro.build` and :func:`repro.open` dispatch through
+:func:`get_backend`.  Registering is cheap metadata bookkeeping, so a
+future backend (tiered storage, a remote index, a GPU engine) plugs in
+with one decorated adapter class and immediately works with the
+factories, the query engine, the HTTP server, the CLI, and the
+conformance test suite.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Type
+
+from repro.errors import ParameterError
+from repro.api.protocol import UtilityIndexBase
+
+_BACKENDS: "dict[str, Type[UtilityIndexBase]]" = {}
+_ALIASES: "dict[str, str]" = {}
+
+
+def register_backend(
+    name: str, *, aliases: "Iterable[str]" = ()
+) -> "Callable[[Type[UtilityIndexBase]], Type[UtilityIndexBase]]":
+    """Class decorator: register an adapter under *name* (plus aliases).
+
+    >>> @register_backend("usi", aliases=("uet",))   # doctest: +SKIP
+    ... class UsiBackend(UtilityIndexBase): ...
+    """
+
+    def decorate(cls: "Type[UtilityIndexBase]") -> "Type[UtilityIndexBase]":
+        if name in _BACKENDS or name in _ALIASES:
+            raise ParameterError(f"backend {name!r} is already registered")
+        cls.backend_name = name
+        _BACKENDS[name] = cls
+        for alias in aliases:
+            if alias in _BACKENDS or alias in _ALIASES:
+                raise ParameterError(f"backend alias {alias!r} is already taken")
+            _ALIASES[alias] = name
+        return cls
+
+    return decorate
+
+
+def resolve_backend_name(name: str) -> str:
+    """Canonical name for *name* (resolving aliases); raises if unknown."""
+    if name in _BACKENDS:
+        return name
+    if name in _ALIASES:
+        return _ALIASES[name]
+    known = ", ".join(sorted(_BACKENDS) + sorted(_ALIASES))
+    raise ParameterError(f"unknown backend {name!r}; registered: {known}")
+
+
+def get_backend(name: str) -> "Type[UtilityIndexBase]":
+    """The adapter class registered under *name* (or an alias of it)."""
+    return _BACKENDS[resolve_backend_name(name)]
+
+
+def available_backends() -> list[str]:
+    """Sorted canonical backend names."""
+    return sorted(_BACKENDS)
+
+
+def backend_aliases() -> dict[str, str]:
+    """The alias -> canonical-name mapping."""
+    return dict(_ALIASES)
+
+
+def describe_backends() -> dict[str, dict]:
+    """One row per backend: capabilities + docstring summary."""
+    rows = {}
+    for name in available_backends():
+        cls = _BACKENDS[name]
+        summary = (cls.__doc__ or "").strip().splitlines()
+        rows[name] = {
+            "backend": name,
+            "capabilities": cls.capabilities.as_dict(),
+            "description": summary[0] if summary else "",
+        }
+    return rows

@@ -60,6 +60,10 @@ class SaPswEngine:
         """The cache key the caching baselines agree on (O(m))."""
         return self._fp.of_codes(codes)
 
+    def count(self, codes: np.ndarray) -> int:
+        """``|occ(P)|`` through the suffix array (always exact)."""
+        return int(self._sa.count(codes))
+
     def compute(self, codes: np.ndarray) -> float:
         """``U(P)`` from scratch: SA locate + PSW aggregation."""
         occurrences = self._sa.occurrences(codes)
@@ -71,3 +75,18 @@ class SaPswEngine:
     def nbytes(self) -> int:
         """SA + PSW size (the bulk of every baseline's index)."""
         return self._sa.nbytes() + self._psw.nbytes()
+
+
+class SaPswCountMixin:
+    """Exact ``count`` for baselines composing a :class:`SaPswEngine`.
+
+    Expects the engine at ``self._engine`` (the convention all four
+    baselines follow); counting bypasses every cache, so it is always
+    exact regardless of the baseline's caching policy.
+    """
+
+    def count(self, pattern: "str | bytes | Sequence[int] | np.ndarray") -> int:
+        codes = self._engine.encode(pattern)
+        if codes is None:
+            return 0
+        return self._engine.count(codes)

@@ -11,12 +11,12 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.baselines.base import SaPswEngine
+from repro.baselines.base import SaPswCountMixin, SaPswEngine
 from repro.strings.weighted import WeightedString
 from repro.utility.functions import AggregatorName
 
 
-class Bsl1NoCache:
+class Bsl1NoCache(SaPswCountMixin):
     """The no-caching baseline."""
 
     name = "BSL1"

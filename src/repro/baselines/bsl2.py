@@ -12,13 +12,13 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.baselines.base import SaPswEngine
+from repro.baselines.base import SaPswCountMixin, SaPswEngine
 from repro.errors import ParameterError
 from repro.strings.weighted import WeightedString
 from repro.utility.functions import AggregatorName
 
 
-class Bsl2LruCache:
+class Bsl2LruCache(SaPswCountMixin):
     """The LRU-caching baseline."""
 
     name = "BSL2"

@@ -13,13 +13,13 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.baselines.base import SaPswEngine
+from repro.baselines.base import SaPswCountMixin, SaPswEngine
 from repro.errors import ParameterError
 from repro.strings.weighted import WeightedString
 from repro.utility.functions import AggregatorName
 
 
-class Bsl3TopKSeen:
+class Bsl3TopKSeen(SaPswCountMixin):
     """The top-K-seen-so-far caching baseline (exact query counts)."""
 
     name = "BSL3"

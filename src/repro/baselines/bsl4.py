@@ -13,14 +13,14 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.baselines.base import SaPswEngine
+from repro.baselines.base import SaPswCountMixin, SaPswEngine
 from repro.errors import ParameterError
 from repro.streaming.count_min import CountMinSketch
 from repro.strings.weighted import WeightedString
 from repro.utility.functions import AggregatorName
 
 
-class Bsl4SketchTopKSeen:
+class Bsl4SketchTopKSeen(SaPswCountMixin):
     """The sketch-based top-K-seen-so-far caching baseline."""
 
     name = "BSL4"

@@ -5,6 +5,9 @@
     usi topk  --text corpus.txt --k 100
     usi build --text corpus.txt --utilities weights.txt --k 1000 --out idx.npz
     usi build --text corpus.txt --shards 8 --k 1000 --out idx.pkl
+    usi build --text corpus.txt --backend uat --k 1000 --out idx.npz
+    usi build --text lines.txt --backend sharded --shards 8 --out idx.npz
+    usi backends
     usi query --index idx.npz --pattern "needle" [--pattern ...]
     usi query --index idx.npz --patterns-file queries.txt
     echo needle | usi query --index idx.npz
@@ -16,15 +19,17 @@
 
 Utilities files hold one float per line, one per text character: for
 plain builds that includes any interior newline characters (the text
-is indexed as-is); for ``--shards`` builds newlines are document
-boundaries and take no utility entry.  Without a utilities file every
-position gets utility 1.0 so "sum of sums" reports ``|P| * |occ(P)|``.
+is indexed as-is); for collection builds (``--shards`` or a
+collection-capable ``--backend``) newlines are document boundaries and
+take no utility entry.  Without a utilities file every position gets
+utility 1.0 so "sum of sums" reports ``|P| * |occ(P)|``.
 
-Index files ending in ``.npz`` use the pickle-free format of
-:mod:`repro.io`; any other extension is pickled.  ``usi build
---shards N`` treats the text as a collection (one document per line)
-and builds a sharded index with per-shard construction running in a
-process pool.
+``--backend`` selects any registered engine family (``usi backends``
+lists them); the index is written tagged so ``usi query`` and ``usi
+serve`` reopen it with the right adapter.  Legacy formats keep
+working: ``.npz`` without ``--backend`` is the original pickle-free
+format, any other extension is pickled, and ``usi build --shards N``
+without ``--backend`` keeps its historical pickle-only contract.
 """
 
 from __future__ import annotations
@@ -109,12 +114,10 @@ def _save_index(index, out: str) -> None:
 
 
 def _load_index_file(path: str):
-    if Path(path).suffix == ".npz":
-        from repro.io import load_index
+    """Reopen any index file as a protocol object (any backend)."""
+    from repro.api import open_index
 
-        return load_index(path)
-    with open(path, "rb") as handle:
-        return pickle.load(handle)
+    return open_index(path)
 
 
 def _cmd_topk(args: argparse.Namespace) -> int:
@@ -126,7 +129,64 @@ def _cmd_topk(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_build_backend(args: argparse.Namespace) -> int:
+    """``usi build --backend NAME``: any registered engine family."""
+    from repro.api import build as build_index
+    from repro.api import get_backend, resolve_backend_name
+    from repro.errors import ReproError
+    from repro.io import save_index
+
+    try:
+        name = resolve_backend_name(args.backend)
+    except ReproError as error:
+        raise SystemExit(str(error))
+    if args.approximate and name not in ("uat",):
+        raise SystemExit(
+            "--approximate selects the uat backend; drop it when "
+            "--backend names another engine"
+        )
+    capabilities = get_backend(name).capabilities
+    if capabilities.collection:
+        source = _load_collection(args.text, args.utilities)
+    else:
+        source = _load_weighted_string(args.text, args.utilities)
+    options: dict = {"aggregator": args.aggregator}
+    # Shard-pool knobs are a sharded-backend feature, not a general
+    # collection one (the monolithic collection backend rejects them).
+    if args.shards or args.workers:
+        if name != "sharded":
+            raise SystemExit(
+                f"--shards/--workers apply to the sharded backend, not {name!r}"
+            )
+        if args.shards:
+            options["shards"] = args.shards
+        if args.workers:
+            options["workers"] = args.workers
+    try:
+        index = build_index(
+            source, backend=name, k=args.k, tau=args.tau, **options
+        )
+    except ReproError as error:
+        raise SystemExit(f"cannot build backend {name!r}: {error}")
+    except TypeError as error:
+        # e.g. a build option the chosen backend does not accept.
+        raise SystemExit(f"cannot build backend {name!r}: {error}")
+    save_index(index, args.out)
+    info = index.stats()
+    flags = ",".join(
+        flag for flag, on in info.capabilities.as_dict().items() if on
+    )
+    size = "?" if info.size_bytes is None else str(info.size_bytes)
+    print(
+        f"built {info.backend} index: capabilities=[{flags}] "
+        f"size={size} bytes detail={info.detail} -> {args.out}"
+    )
+    return 0
+
+
 def _cmd_build(args: argparse.Namespace) -> int:
+    if args.backend:
+        return _cmd_build_backend(args)
     build_kwargs = dict(
         k=args.k,
         tau=args.tau,
@@ -244,6 +304,22 @@ def _cmd_mine(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_backends(args: argparse.Namespace) -> int:
+    """List every registered backend with its capability flags."""
+    from repro.api import backend_aliases, describe_backends
+
+    aliases_by_name: dict[str, list[str]] = {}
+    for alias, name in backend_aliases().items():
+        aliases_by_name.setdefault(name, []).append(alias)
+    for name, row in describe_backends().items():
+        flags = ",".join(f for f, on in row["capabilities"].items() if on)
+        alias_note = ""
+        if name in aliases_by_name:
+            alias_note = f" (aliases: {', '.join(sorted(aliases_by_name[name]))})"
+        print(f"{name}\t[{flags}]\t{row['description']}{alias_note}")
+    return 0
+
+
 def _cmd_tune(args: argparse.Namespace) -> int:
     ws = _load_weighted_string(args.text, args.utilities)
     oracle = TopKOracle(SuffixArray(ws.codes))
@@ -282,11 +358,15 @@ def build_parser() -> argparse.ArgumentParser:
     topk.add_argument("--k", type=int, required=True)
     topk.set_defaults(fn=_cmd_topk)
 
-    build = sub.add_parser("build", help="build and pickle a USI index")
+    build = sub.add_parser("build", help="build and save a utility index")
     build.add_argument("--text", required=True)
     build.add_argument("--utilities")
     build.add_argument("--k", type=int)
     build.add_argument("--tau", type=int)
+    build.add_argument("--backend",
+                       help="registered backend name (see `usi backends`); "
+                            "collection-capable backends read the text as "
+                            "one document per line")
     build.add_argument("--approximate", action="store_true",
                        help="mine with Approximate-Top-K (the UAT index)")
     build.add_argument("--aggregator", default="sum",
@@ -300,7 +380,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help=".npz for the pickle-free format, else pickle")
     build.set_defaults(fn=_cmd_build)
 
-    query = sub.add_parser("query", help="query a saved USI index")
+    backends = sub.add_parser("backends",
+                              help="list registered index backends")
+    backends.set_defaults(fn=_cmd_backends)
+
+    query = sub.add_parser("query", help="query a saved index (any backend)")
     query.add_argument("--index", required=True)
     query.add_argument("--pattern", action="append",
                        help="repeatable; omit to read patterns from stdin")
@@ -308,9 +392,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="file with one pattern per line (bulk queries)")
     query.set_defaults(fn=_cmd_query)
 
-    serve = sub.add_parser("serve", help="serve saved indexes over HTTP")
+    serve = sub.add_parser("serve",
+                           help="serve saved indexes (any backend) over HTTP")
     serve.add_argument("--index", action="append", required=True,
-                       help="index file to serve (repeatable)")
+                       help="index file to serve (repeatable; any backend)")
     serve.add_argument("--name", action="append",
                        help="name for the Nth --index (default: file stem)")
     serve.add_argument("--host", default="127.0.0.1")

@@ -28,7 +28,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.core.usi import MinerName, UsiIndex
-from repro.errors import ParameterError, PatternError
+from repro.errors import ParameterError
 from repro.strings.weighted import WeightedString
 from repro.utility.functions import AggregatorName, make_global_utility
 
@@ -137,20 +137,18 @@ class DynamicUsiIndex:
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
+    def _encode(
+        self, pattern: "str | bytes | Sequence[int] | np.ndarray"
+    ) -> "np.ndarray | None":
+        """Encode a pattern; ``None`` means it cannot occur in the text."""
+        return self._base.weighted_string.alphabet.try_encode_pattern(pattern)
+
     def query(self, pattern: "str | bytes | Sequence[int] | np.ndarray") -> float:
         """``U(pattern)`` over the *current* text (prefix + tail)."""
         base_ws = self._base.weighted_string
-        if isinstance(pattern, np.ndarray):
-            codes = pattern.astype(np.int64, copy=False)
-            if len(codes) == 0:
-                raise PatternError("query patterns must be non-empty")
-        else:
-            try:
-                codes = base_ws.alphabet.encode_pattern(pattern).astype(np.int64)
-            except Exception as exc:
-                if isinstance(exc, PatternError):
-                    raise
-                return self._utility.identity
+        codes = self._encode(pattern)
+        if codes is None:
+            return self._utility.identity
 
         m = len(codes)
         n0 = base_ws.length
@@ -187,6 +185,42 @@ class DynamicUsiIndex:
                 local = float(psw_all[i + m] - psw_all[i])
                 state = self._utility.push(state, local)
         return self._utility.finalize(state)
+
+    def query_batch(self, patterns: "Sequence") -> list[float]:
+        """Batch query over the current text (per-pattern; order kept).
+
+        The dynamic index has no cross-pattern vectorisation (the tail
+        scan dominates), but exposing the protocol method keeps it a
+        drop-in behind :class:`~repro.service.engine.QueryEngine`.
+        """
+        return [self.query(pattern) for pattern in patterns]
+
+    def count(self, pattern: "str | bytes | Sequence[int] | np.ndarray") -> int:
+        """``|occ(pattern)|`` over the current text (prefix + tail)."""
+        base_ws = self._base.weighted_string
+        codes = self._encode(pattern)
+        if codes is None:
+            return 0
+
+        m = len(codes)
+        n0 = base_ws.length
+        total = self.length
+        if m > total:
+            return 0
+        count = self._base.count(codes) if m <= n0 else 0
+        # Every window starting at >= n0 - m + 1 crosses the boundary
+        # or lies in the tail, so nothing here double-counts the static
+        # answer above.
+        region_start = max(0, n0 - m + 1)
+        full = self._full_codes_region(region_start)
+        limit = total - m
+        for offset in range(len(full) - m + 1):
+            i = region_start + offset
+            if i > limit:
+                break
+            if np.array_equal(full[offset : offset + m], codes):
+                count += 1
+        return count
 
     def _full_codes_region(self, start: int) -> np.ndarray:
         base_ws = self._base.weighted_string

@@ -314,8 +314,15 @@ class UsiIndex:
         return self._utility.aggregate(locals_)
 
     def query_many(self, patterns: "Sequence") -> list[float]:
-        """Convenience batch query (workload experiments)."""
-        return [self.query(p) for p in patterns]
+        """Deprecated alias of :meth:`query_batch`."""
+        import warnings
+
+        warnings.warn(
+            "UsiIndex.query_many is deprecated; use query_batch",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.query_batch(patterns)
 
     def query_batch(self, patterns: "Sequence") -> list[float]:
         """Batch query with vectorised fingerprinting.

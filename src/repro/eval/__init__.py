@@ -1,12 +1,20 @@
 """Evaluation: mining quality metrics, runners, and report tables."""
 
-from repro.eval.harness import MinerRun, measure_call, run_miner
+from repro.eval.harness import (
+    BackendRun,
+    MinerRun,
+    compare_backends,
+    measure_call,
+    run_miner,
+)
 from repro.eval.metrics import MinerScores, evaluate_miner, ndcg
 from repro.eval.reporting import format_table
 
 __all__ = [
+    "BackendRun",
     "MinerRun",
     "MinerScores",
+    "compare_backends",
     "evaluate_miner",
     "format_table",
     "measure_call",

@@ -55,3 +55,71 @@ def average_query_seconds(query: Callable[[Any], Any], patterns: list) -> float:
     for pattern in patterns:
         query(pattern)
     return (time.perf_counter() - start) / len(patterns)
+
+
+@dataclass
+class BackendRun:
+    """One backend measured over one workload (protocol-level)."""
+
+    backend: str
+    build_seconds: float
+    build_peak_bytes: int
+    query_seconds_mean: float
+    answers: list
+    size_bytes: "int | None"
+
+
+def compare_backends(
+    source: Any,
+    patterns: list,
+    backends: "list[str] | None" = None,
+    trace_memory: bool = True,
+    **build_options: Any,
+) -> list[BackendRun]:
+    """Run one workload through any set of registered backends.
+
+    The protocol-level evaluation loop: each named backend (default:
+    every registered one) is built over *source* through
+    :func:`repro.build`, timed, and queried through ``query_batch``.
+    Exact backends must produce identical ``answers`` rows, so this
+    doubles as the cross-engine consistency harness the paper's
+    evaluation tables rely on.
+
+    With the default backend set, backends that cannot index *source*
+    (e.g. single-string engines handed a collection) are skipped; an
+    explicit *backends* list propagates the error instead.
+    """
+    from repro.api import available_backends, build
+    from repro.errors import ReproError
+
+    explicit = backends is not None
+    names = list(backends) if explicit else available_backends()
+    runs: list[BackendRun] = []
+    for name in names:
+        try:
+            index, build_seconds, peak = measure_call(
+                lambda name=name: build(source, backend=name, **build_options),
+                trace_memory,
+            )
+        except (ReproError, TypeError):
+            # ReproError: the backend cannot index this source;
+            # TypeError: a build option this backend does not accept.
+            if explicit:
+                raise
+            continue
+        start = time.perf_counter()
+        answers = index.query_batch(patterns)
+        per_query = (
+            (time.perf_counter() - start) / len(patterns) if patterns else 0.0
+        )
+        runs.append(
+            BackendRun(
+                backend=name,
+                build_seconds=build_seconds,
+                build_peak_bytes=peak,
+                query_seconds_mean=per_query,
+                answers=[float(a) for a in answers],
+                size_bytes=index.stats().size_bytes,
+            )
+        )
+    return runs

@@ -1,15 +1,33 @@
-"""Index persistence: save/load a USI index without pickle.
+"""Index persistence: save/load any registered backend.
 
-The on-disk format is a single ``.npz`` archive holding the text, the
-utilities, the alphabet, the suffix array, the hash-table contents and
-the fingerprint bases, plus a small JSON header with names and a
-format version.  Loading never executes arbitrary code (unlike
-pickle), and the format is inspectable with plain numpy.
+Three on-disk layouts coexist:
+
+* **v1** — the original pickle-free ``.npz`` archive for suffix-array
+  backed :class:`~repro.core.usi.UsiIndex` objects: text, utilities,
+  alphabet, suffix array, hash table, fingerprint bases, plus a JSON
+  header.  Loading never executes arbitrary code, and files written by
+  older versions of this library keep loading (and vice versa: new
+  ``usi`` saves still produce plain v1 files).
+* **v2** — the *tagged* ``.npz`` container for every other registered
+  backend: a JSON header naming the backend plus a pickled engine
+  payload.  ``repro.open`` reads the tag and rehydrates the right
+  adapter, so a sharded, dynamic, collection, FM, oracle, or baseline
+  index round-trips exactly like a plain USI one.
+* **legacy pickle** — any non-``.npz`` extension is a bare pickle of
+  the object as given (the original ``usi build --out idx.pkl``
+  format); type sniffing on load recovers the backend.
+
+Dispatch on *load* is by file contents (zip magic vs pickle), never by
+extension, so renamed files keep working.  Only the v1 layout is
+pickle-free; v2 containers and legacy pickles execute pickle bytecode
+on load, so open only files you trust (``allow_pickle=False`` on the
+loaders refuses everything but v1).
 """
 
 from __future__ import annotations
 
 import json
+import pickle
 from pathlib import Path
 
 import numpy as np
@@ -23,20 +41,63 @@ from repro.suffix.suffix_array import SuffixArray
 from repro.utility.functions import make_global_utility, make_local_utility
 
 FORMAT_VERSION = 1
+TAGGED_FORMAT_VERSION = 2
+
+_ZIP_MAGIC = b"PK\x03\x04"
 
 
-def save_index(index: UsiIndex, path: "str | Path") -> None:
-    """Persist a :class:`UsiIndex` to *path* (a ``.npz`` file).
+def _unwrap(index) -> "tuple[object, str | None]":
+    """Split an index into (raw engine, backend name)."""
+    from repro.api import UtilityIndexBase, infer_backend_name
 
-    Only suffix-array-backed indexes are persisted (the FM backend is
-    rebuilt cheaply from the text on load if desired).
+    if isinstance(index, UtilityIndexBase):
+        inner = getattr(index, "inner", None)
+        name = index.backend_name
+        if inner is None or infer_backend_name(inner) is None:
+            # No registered raw engine behind it (e.g. a GenericAdapter
+            # over user code, or the self-contained oracle backend):
+            # persist the adapter itself so it round-trips whole.
+            return index, name
+        return inner, name
+    return index, infer_backend_name(index)
+
+
+def save_index(index, path: "str | Path") -> None:
+    """Persist *index* (raw engine or protocol adapter) to *path*.
+
+    ``.npz`` paths use the pickle-free v1 format when the index is a
+    suffix-array-backed :class:`UsiIndex` and the tagged v2 container
+    otherwise; any other extension writes a legacy bare pickle.  A raw
+    FM-backed :class:`UsiIndex` aimed at ``.npz`` is still rejected
+    (the historical contract); wrap it in its backend adapter — or use
+    :func:`repro.build` which returns adapters — to save it tagged.
     """
+    path = Path(path)
+    if path.suffix != ".npz":
+        with open(path, "wb") as handle:
+            pickle.dump(index, handle)
+        return
+
+    from repro.api import UtilityIndexBase
+
+    wrapped = isinstance(index, UtilityIndexBase)
+    engine, backend = _unwrap(index)
+    if isinstance(engine, UsiIndex):
+        if isinstance(engine.suffix_array, SuffixArray):
+            _save_v1(engine, path, backend or "usi")
+            return
+        if not wrapped:
+            raise ParameterError(
+                "only suffix-array-backed indexes can be saved in the v1 "
+                ".npz format; rebuild with locate_backend='sa' or save "
+                "through its backend adapter (repro.build)"
+            )
+    _save_v2(engine, backend, path)
+
+
+def _save_v1(index: UsiIndex, path: Path, backend: str) -> None:
+    """The original pickle-free layout (readable by old loaders)."""
     sa = index.suffix_array
-    if not isinstance(sa, SuffixArray):
-        raise ParameterError(
-            "only suffix-array-backed indexes can be saved; "
-            "rebuild with locate_backend='sa'"
-        )
     ws = index.weighted_string
     letters = ws.alphabet.letters
     letters_kind = "str" if letters and isinstance(letters[0], str) else "int"
@@ -44,6 +105,7 @@ def save_index(index: UsiIndex, path: "str | Path") -> None:
     values = np.fromiter(index._table.values(), dtype=np.float64, count=len(index._table))
     header = {
         "format_version": FORMAT_VERSION,
+        "backend": backend,
         "aggregator": index.utility.name,
         "local": getattr(index._psw, "local_name", "sum"),
         "letters_kind": letters_kind,
@@ -58,7 +120,7 @@ def save_index(index: UsiIndex, path: "str | Path") -> None:
         },
     }
     np.savez_compressed(
-        Path(path),
+        path,
         header=np.frombuffer(json.dumps(header).encode(), dtype=np.uint8),
         codes=ws.codes,
         utilities=ws.utilities,
@@ -68,19 +130,84 @@ def save_index(index: UsiIndex, path: "str | Path") -> None:
     )
 
 
-def load_index(path: "str | Path") -> UsiIndex:
-    """Load a :class:`UsiIndex` previously written by :func:`save_index`."""
-    with np.load(Path(path)) as archive:
-        header = json.loads(bytes(archive["header"].tobytes()).decode())
-        if header.get("format_version") != FORMAT_VERSION:
+def _save_v2(engine, backend: "str | None", path: Path) -> None:
+    """The tagged container: JSON header + pickled engine payload."""
+    header = {
+        "format_version": TAGGED_FORMAT_VERSION,
+        "backend": backend,
+        "engine_type": type(engine).__name__,
+    }
+    np.savez_compressed(
+        path,
+        header=np.frombuffer(json.dumps(header).encode(), dtype=np.uint8),
+        payload=np.frombuffer(pickle.dumps(engine), dtype=np.uint8),
+    )
+
+
+def _read_header(archive) -> dict:
+    return json.loads(bytes(archive["header"].tobytes()).decode())
+
+
+def load_any(
+    path: "str | Path", allow_pickle: bool = True
+) -> "tuple[object, str | None]":
+    """Load any index file, returning ``(engine, backend name or None)``.
+
+    The engine is the raw object (v1 reconstructs a :class:`UsiIndex`
+    without unpickling anything; v2 and legacy pickles unpickle).  The
+    backend name comes from the tag when present, else from type
+    sniffing; ``None`` means unrecognised (wrap with
+    :func:`repro.api.as_index` for a generic adapter).
+
+    .. warning::
+       v2 containers and legacy pickles execute pickle bytecode on
+       load — only open index files you trust, exactly as with the
+       historical ``.pkl`` format.  Pass ``allow_pickle=False`` to
+       refuse both and accept only the pickle-free v1 layout.
+    """
+    path = Path(path)
+    with open(path, "rb") as handle:
+        magic = handle.read(4)
+    if magic != _ZIP_MAGIC:
+        if not allow_pickle:
             raise ParameterError(
-                f"unsupported index format version {header.get('format_version')}"
+                f"{path} is a pickled index and allow_pickle is False"
             )
-        codes = archive["codes"]
-        utilities = archive["utilities"]
-        sa_array = archive["sa"]
-        keys = archive["table_keys"]
-        values = archive["table_values"]
+        with open(path, "rb") as handle:
+            engine = pickle.load(handle)
+        from repro.api import infer_backend_name
+
+        return engine, infer_backend_name(engine)
+
+    with np.load(path) as archive:
+        header = _read_header(archive)
+        version = header.get("format_version")
+        if version == FORMAT_VERSION:
+            engine = _load_v1(archive, header)
+            backend = header.get("backend")
+            if backend is None:
+                # Pre-tag file: infer (e.g. approximate-mined -> uat).
+                from repro.api import infer_backend_name
+
+                backend = infer_backend_name(engine)
+            return engine, backend
+        if version == TAGGED_FORMAT_VERSION:
+            if not allow_pickle:
+                raise ParameterError(
+                    f"{path} is a tagged (pickled-payload) container and "
+                    "allow_pickle is False"
+                )
+            engine = pickle.loads(archive["payload"].tobytes())
+            return engine, header.get("backend")
+    raise ParameterError(f"unsupported index format version {version}")
+
+
+def _load_v1(archive, header: dict) -> UsiIndex:
+    codes = archive["codes"]
+    utilities = archive["utilities"]
+    sa_array = archive["sa"]
+    keys = archive["table_keys"]
+    values = archive["table_values"]
 
     if header["letters_kind"] == "int":
         letters = [int(letter) for letter in header["letters"]]
@@ -96,9 +223,7 @@ def load_index(path: "str | Path") -> UsiIndex:
     index._sa = sa_array.astype(np.int64)
     index._lcp = None
 
-    fingerprinter = KarpRabinFingerprinter.with_bases(
-        ws.codes, *header["bases"]
-    )
+    fingerprinter = KarpRabinFingerprinter.with_bases(ws.codes, *header["bases"])
     psw = make_local_utility(header["local"], ws.utilities)
     utility = make_global_utility(header["aggregator"])
     table = dict(zip(keys.tolist(), values.tolist()))
@@ -110,3 +235,46 @@ def load_index(path: "str | Path") -> UsiIndex:
         hash_entries=header["report"]["hash_entries"],
     )
     return UsiIndex(ws, index, fingerprinter, psw, utility, table, report)
+
+
+def load_index(path: "str | Path", allow_pickle: bool = True):
+    """Load the raw engine previously written by :func:`save_index`.
+
+    Back-compatible entry point: v1 files return a :class:`UsiIndex`
+    exactly as before; tagged and pickled files return their engine
+    (unwrapped from any persisted adapter; see the pickle warning on
+    :func:`load_any`).  Prefer :func:`repro.open` for the protocol
+    surface.
+    """
+    from repro.api import UtilityIndexBase, infer_backend_name
+
+    engine, _ = load_any(path, allow_pickle=allow_pickle)
+    if isinstance(engine, UtilityIndexBase):
+        inner = getattr(engine, "inner", None)
+        # Only unwrap adapters over a recognised standalone engine; an
+        # adapter persisted whole (oracle, external) has no meaningful
+        # raw object behind it — its inner is a helper structure.
+        if inner is not None and infer_backend_name(inner) is not None:
+            return inner
+    return engine
+
+
+def peek_backend(path: "str | Path") -> "str | None":
+    """The backend tag of an index file, without loading the index.
+
+    Cheap for ``.npz`` containers (reads only the JSON header member);
+    returns ``None`` for legacy pickles, whose backend is only known
+    after loading.
+    """
+    path = Path(path)
+    try:
+        with open(path, "rb") as handle:
+            if handle.read(4) != _ZIP_MAGIC:
+                return None
+        with np.load(path) as archive:
+            header = _read_header(archive)
+        if header.get("format_version") == FORMAT_VERSION:
+            return header.get("backend", "usi")
+        return header.get("backend")
+    except Exception:
+        return None

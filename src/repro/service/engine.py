@@ -1,9 +1,12 @@
-"""The query engine: batching, caching, and concurrency for USI.
+"""The query engine: batching, caching, and concurrency for any backend.
 
-A :class:`QueryEngine` wraps any index exposing ``query`` /
-``query_batch`` / ``count`` (a :class:`~repro.core.usi.UsiIndex` or a
-:class:`~repro.service.sharding.ShardedUsiIndex`) and adds what a
-server needs around it:
+A :class:`QueryEngine` wraps any :class:`~repro.api.UtilityIndex` —
+raw engines (a :class:`~repro.core.usi.UsiIndex`, a
+:class:`~repro.service.sharding.ShardedUsiIndex`, a baseline, ...) are
+coerced through :func:`repro.api.as_index`, so batch queries always go
+through the protocol's ``query_batch`` (native where the backend has
+one, the per-pattern fallback otherwise — no attribute probing) — and
+adds what a server needs around it:
 
 * an **LRU pattern-result cache** with hit/miss/eviction counters —
   USI already answers frequent patterns in O(m), the cache shaves that
@@ -27,6 +30,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.api import as_index
 from repro.errors import ParameterError
 from repro.service.metrics import LatencyRecorder
 
@@ -51,8 +55,8 @@ class QueryEngine:
     Parameters
     ----------
     index:
-        Any object with ``query(pattern) -> float``; ``query_batch``
-        and ``count`` are used when present.
+        A protocol adapter, or any object with ``query(pattern) ->
+        float`` (coerced through :func:`repro.api.as_index`).
     cache_size:
         Maximum number of cached (pattern, utility) entries; 0
         disables caching.
@@ -69,6 +73,7 @@ class QueryEngine:
     ) -> None:
         if cache_size < 0:
             raise ParameterError("cache_size must be >= 0")
+        self._proto = as_index(index)
         self._index = index
         self._cache_size = int(cache_size)
         self._cache: "OrderedDict[tuple, float]" = OrderedDict()
@@ -80,11 +85,24 @@ class QueryEngine:
 
     @property
     def index(self):
+        """The index exactly as handed in (raw engine or adapter)."""
         return self._index
+
+    @property
+    def protocol(self):
+        """The :class:`~repro.api.UtilityIndexBase` view of the index."""
+        return self._proto
 
     @property
     def cache_size(self) -> int:
         return self._cache_size
+
+    def describe_index(self) -> dict:
+        """Backend name + capability flags (the ``GET /indexes`` row)."""
+        return {
+            "backend": self._proto.backend_name,
+            "capabilities": self._proto.capabilities.as_dict(),
+        }
 
     # ------------------------------------------------------------------
     # Queries
@@ -98,7 +116,7 @@ class QueryEngine:
         if cached is not None:
             self.metrics.record(time.perf_counter() - t0, 1)
             return cached
-        value = float(self._index.query(pattern))
+        value = float(self._proto.query(pattern))
         with self._lock:
             self._misses += 1
             self._cache_put(key, value)
@@ -138,13 +156,12 @@ class QueryEngine:
 
     def count(self, pattern: PatternLike) -> int:
         """``|occ(pattern)|`` — uncached passthrough (always exact)."""
-        return int(self._index.count(pattern))
+        return int(self._proto.count(pattern))
 
     def _index_batch(self, patterns: list) -> list[float]:
-        batch = getattr(self._index, "query_batch", None)
-        if batch is not None:
-            return [float(v) for v in batch(patterns)]
-        return [float(self._index.query(p)) for p in patterns]
+        # The protocol guarantees query_batch: native where the backend
+        # has one, the per-pattern fallback otherwise.
+        return [float(v) for v in self._proto.query_batch(patterns)]
 
     # ------------------------------------------------------------------
     # Cache internals (call with the lock held)
@@ -183,6 +200,7 @@ class QueryEngine:
             entries = len(self._cache)
         lookups = hits + misses
         return {
+            "backend": self._proto.backend_name,
             "cache_hits": hits,
             "cache_misses": misses,
             "cache_evictions": evictions,

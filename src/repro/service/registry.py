@@ -8,9 +8,9 @@ two ways:
   *pinned*: the registry is their only owner, so they are never
   evicted.
 * :meth:`register_path` — a path to a persisted index, loaded lazily
-  on first use (``.npz`` through the pickle-free
-  :func:`repro.io.load_index`, ``.pkl`` through :mod:`pickle` for
-  sharded indexes).  Loaded path-backed indexes are *evictable*: when
+  on first use through :func:`repro.api.open_index`, so any registered
+  backend (v1 ``.npz``, the tagged container, legacy pickles) can be
+  served.  Loaded path-backed indexes are *evictable*: when
   more than ``capacity`` indexes are resident, the coldest (least
   recently used) path-backed one is dropped and transparently
   reloaded on its next query.
@@ -21,7 +21,6 @@ slow disk does not stall queries against already-resident indexes.
 
 from __future__ import annotations
 
-import pickle
 import threading
 from pathlib import Path
 from typing import Callable
@@ -32,23 +31,23 @@ from repro.service.metrics import LatencyRecorder
 
 
 def _default_loader(path: Path):
-    if path.suffix == ".npz":
-        from repro.io import load_index
+    from repro.api import open_index
 
-        return load_index(path)
-    with open(path, "rb") as handle:
-        return pickle.load(handle)
+    return open_index(path)
 
 
 class _Entry:
-    __slots__ = ("name", "path", "engine", "pinned", "last_used")
+    __slots__ = ("name", "path", "engine", "pinned", "last_used", "backend")
 
-    def __init__(self, name, path, engine, pinned):
+    def __init__(self, name, path, engine, pinned, backend=None):
         self.name = name
         self.path = path
         self.engine = engine
         self.pinned = pinned
         self.last_used = 0
+        # The file's backend tag, peeked once at registration (None
+        # for in-memory entries and untagged legacy pickles).
+        self.backend = backend
 
 
 class IndexRegistry:
@@ -107,13 +106,18 @@ class IndexRegistry:
 
     def register_path(self, name: str, path: "str | Path") -> None:
         """Register a persisted index for lazy loading (evictable)."""
+        from repro.io import peek_backend
+
         path = Path(path)
         if not path.exists():
             raise ParameterError(f"index file {path} does not exist")
+        backend = peek_backend(path)
         with self._lock:
             if name in self._entries:
                 raise ParameterError(f"index {name!r} is already registered")
-            self._entries[name] = _Entry(name, path, None, pinned=False)
+            self._entries[name] = _Entry(
+                name, path, None, pinned=False, backend=backend
+            )
 
     def _wrap(self, index) -> QueryEngine:
         return QueryEngine(
@@ -196,19 +200,32 @@ class IndexRegistry:
         return None
 
     def describe(self) -> list[dict]:
-        """One row per index (the ``GET /indexes`` payload)."""
+        """One row per index (the ``GET /indexes`` payload).
+
+        Resident indexes report their backend + capability flags from
+        the protocol; non-resident path-backed ones from the file's
+        backend tag peeked at registration (``None`` for untagged
+        legacy pickles, resolved once the index loads).
+        """
         with self._lock:
-            entries = list(self._entries.values())
-            rows = []
-            for entry in sorted(entries, key=lambda e: e.name):
-                rows.append(
-                    {
-                        "name": entry.name,
-                        "resident": entry.engine is not None,
-                        "pinned": entry.pinned,
-                        "path": str(entry.path) if entry.path else None,
-                    }
-                )
+            entries = [
+                (e.name, e.engine, e.pinned, e.path, e.backend)
+                for e in sorted(self._entries.values(), key=lambda e: e.name)
+            ]
+        rows = []
+        for name, engine, pinned, path, backend in entries:
+            row = {
+                "name": name,
+                "resident": engine is not None,
+                "pinned": pinned,
+                "path": str(path) if path else None,
+            }
+            if engine is not None:
+                row.update(engine.describe_index())
+            else:
+                row["backend"] = backend
+                row["capabilities"] = None
+            rows.append(row)
         return rows
 
     def stats(self) -> dict:

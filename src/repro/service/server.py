@@ -10,7 +10,11 @@ Endpoints
     ("count")}]}``.
 
 ``GET /indexes``
-    The registry listing: name, residency, pinned, backing path.
+    The registry listing: name, residency, pinned, backing path, plus
+    each index's backend name and capability flags (``batch`` /
+    ``dynamic`` / ``collection`` / ``approximate`` / ``count`` /
+    ``persistent``) — any registered backend can be served, not just
+    :class:`~repro.core.usi.UsiIndex`.
 
 ``GET /stats``
     Server-wide QPS / latency percentiles plus per-engine cache
@@ -137,12 +141,21 @@ class _Handler(BaseHTTPRequestHandler):
             self._error(404, f"unknown index {name!r}")
             return
 
+        with_counts = bool(request.get("count"))
+        if with_counts and not engine.protocol.capabilities.count:
+            self._error(
+                400,
+                f"index {name!r} (backend "
+                f"{engine.protocol.backend_name!r}) does not support counts",
+            )
+            return
+
         utilities = engine.query_batch(patterns)
         results = [
             {"pattern": pattern, "utility": value}
             for pattern, value in zip(patterns, utilities)
         ]
-        if request.get("count"):
+        if with_counts:
             for row, pattern in zip(results, patterns):
                 row["count"] = engine.count(pattern)
         self._send_json({"index": name, "results": results})

@@ -120,6 +120,24 @@ class Alphabet:
             raise PatternError("query patterns must be non-empty")
         return self.encode(pattern)
 
+    def try_encode_pattern(self, pattern: TextLike) -> "np.ndarray | None":
+        """:meth:`encode_pattern` with ``None`` for unencodable patterns.
+
+        The shared query-side coercion: ``np.ndarray`` input passes
+        through as ``int64`` codes (already encoded), empty patterns
+        raise :class:`PatternError`, and a pattern using letters
+        outside the alphabet — which cannot occur in any text over it
+        — returns ``None`` so callers report the no-occurrence answer.
+        """
+        if isinstance(pattern, np.ndarray):
+            if len(pattern) == 0:
+                raise PatternError("query patterns must be non-empty")
+            return pattern.astype(np.int64, copy=False)
+        try:
+            return self.encode_pattern(pattern).astype(np.int64)
+        except AlphabetError:
+            return None
+
     def decode(self, codes: "Sequence[int] | np.ndarray") -> str:
         """Decode a code array back into a string.
 

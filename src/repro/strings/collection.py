@@ -144,6 +144,21 @@ class CollectionUsiIndex:
             return self._index.utility.identity
         return self._index.query(codes)
 
+    def query_batch(self, patterns: "Sequence") -> list[float]:
+        """Batch query: encodes through the original alphabet, then
+        delegates to the combined index's vectorised batch path.
+
+        Answers are identical to calling :meth:`query` per pattern.
+        """
+        encoded = [self._encode(pattern) for pattern in patterns]
+        results = [self._index.utility.identity] * len(patterns)
+        slots = [i for i, codes in enumerate(encoded) if codes is not None]
+        if slots:
+            answers = self._index.query_batch([encoded[i] for i in slots])
+            for slot, value in zip(slots, answers):
+                results[slot] = float(value)
+        return results
+
     def count(self, pattern: "str | bytes | Sequence[int] | np.ndarray") -> int:
         """Total occurrences across the collection."""
         codes = self._encode(pattern)

@@ -1,0 +1,337 @@
+"""Protocol-conformance suite: every registered backend, one contract.
+
+For each backend in the registry: build over a small weighted string
+through ``repro.build``, answer queries (checked against
+``naive_global_utility``), batch-query, save, reopen through
+``repro.open``, and serve.  A new backend only has to register its
+adapter to be covered.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro import WeightedString
+from repro.api import (
+    UtilityIndexBase,
+    as_index,
+    available_backends,
+    backend_aliases,
+    get_backend,
+    resolve_backend_name,
+)
+from repro.core.naive import naive_global_utility
+from repro.errors import ParameterError
+
+PATTERNS = ["TACCCC", "A", "TA", "CCCC", "ATAC", "GGGG", "XYZ"]
+
+#: Build options keeping every backend cheap and deterministic.
+BUILD_OPTS = {
+    "sharded": {"parallel": "serial"},
+    "uat": {"s": 3},
+}
+
+
+@pytest.fixture(scope="module")
+def ws() -> WeightedString:
+    return WeightedString(
+        "ATACCCCGATAATACCCCAG",
+        [0.9, 1, 3, 2, 0.7, 1, 1, 0.6, 0.5, 0.5,
+         0.5, 0.8, 1, 1, 1, 0.9, 1, 1, 0.8, 1],
+    )
+
+
+@pytest.fixture(scope="module")
+def built(ws) -> dict[str, UtilityIndexBase]:
+    return {
+        name: repro.build(ws, k=5, backend=name, **BUILD_OPTS.get(name, {}))
+        for name in available_backends()
+    }
+
+
+@pytest.mark.parametrize("backend", sorted(set(available_backends())))
+class TestEveryBackend:
+    def test_query_matches_naive(self, built, ws, backend):
+        index = built[backend]
+        for pattern in PATTERNS:
+            assert index.query(pattern) == pytest.approx(
+                naive_global_utility(ws, pattern), abs=1e-9
+            ), (backend, pattern)
+
+    def test_query_batch_matches_query(self, built, backend):
+        index = built[backend]
+        batch = index.query_batch(PATTERNS)
+        assert batch == pytest.approx([index.query(p) for p in PATTERNS])
+
+    def test_count_is_exact(self, built, ws, backend):
+        index = built[backend]
+        if not index.capabilities.count:
+            pytest.skip(f"{backend} does not count")
+        text = ws.text()
+        for pattern in PATTERNS:
+            expected = sum(
+                text[i : i + len(pattern)] == pattern
+                for i in range(len(text) - len(pattern) + 1)
+            )
+            assert index.count(pattern) == expected, (backend, pattern)
+
+    def test_stats_report_backend_and_capabilities(self, built, backend):
+        info = built[backend].stats()
+        assert info.backend == backend
+        assert info.capabilities == get_backend(backend).capabilities
+        assert isinstance(info.as_dict()["capabilities"], dict)
+
+    def test_save_open_roundtrip(self, built, ws, backend, tmp_path):
+        index = built[backend]
+        path = tmp_path / f"{backend}.npz"
+        repro.save_index(index, path)
+        reopened = repro.open(path)
+        assert reopened.backend_name == backend
+        for pattern in PATTERNS:
+            assert reopened.query(pattern) == pytest.approx(
+                naive_global_utility(ws, pattern), abs=1e-9
+            ), (backend, pattern)
+
+    def test_reopened_index_serves(self, built, backend, tmp_path):
+        from repro.service.registry import IndexRegistry
+
+        path = tmp_path / f"{backend}.npz"
+        repro.save_index(built[backend], path)
+        registry = IndexRegistry()
+        registry.register_path(backend, path)
+        rows = {row["name"]: row for row in registry.describe()}
+        assert rows[backend]["backend"] == backend  # tag visible pre-load
+        engine = registry.get(backend)
+        assert engine.query("TACCCC") == pytest.approx(14.6)
+        assert engine.query_batch(["TACCCC", "GGGG"]) == pytest.approx([14.6, 0.0])
+        assert engine.stats()["backend"] == backend
+
+
+class TestRegistry:
+    def test_aliases_resolve_to_canonical_backends(self):
+        for alias, name in backend_aliases().items():
+            assert resolve_backend_name(alias) == name
+            assert get_backend(alias) is get_backend(name)
+
+    def test_unknown_backend_is_a_clear_error(self, ws):
+        with pytest.raises(ParameterError, match="unknown backend"):
+            repro.build(ws, k=5, backend="no-such-engine")
+
+    def test_expected_capability_flags(self):
+        assert get_backend("dynamic").capabilities.dynamic
+        assert get_backend("sharded").capabilities.collection
+        assert get_backend("collection").capabilities.collection
+        assert get_backend("uat").capabilities.approximate
+        assert not get_backend("usi").capabilities.approximate
+
+    def test_exact_backends_agree_everywhere(self, built):
+        answers = {
+            name: index.query_batch(PATTERNS) for name, index in built.items()
+        }
+        reference = answers["usi"]
+        for name, rows in answers.items():
+            assert rows == pytest.approx(reference, abs=1e-9), name
+
+
+class TestCoercion:
+    def test_generic_adapter_gives_batch_fallback(self):
+        class Minimal:
+            def query(self, pattern):
+                return float(len(pattern))
+
+        adapted = as_index(Minimal())
+        assert adapted.backend_name == "external"
+        assert adapted.query_batch(["ab", "abc"]) == [2.0, 3.0]
+
+    def test_as_index_is_idempotent(self, built):
+        for index in built.values():
+            assert as_index(index) is index
+
+    def test_query_engine_handles_batchless_index(self):
+        from repro.service.engine import QueryEngine
+
+        class Minimal:
+            calls = 0
+
+            def query(self, pattern):
+                type(self).calls += 1
+                return float(len(pattern))
+
+        engine = QueryEngine(Minimal(), cache_size=4)
+        assert engine.query_batch(["ab", "abc", "ab"]) == [2.0, 3.0, 2.0]
+        assert Minimal.calls == 2  # deduped, then per-pattern fallback
+
+    def test_objects_without_query_are_rejected(self):
+        with pytest.raises(ParameterError, match="no query"):
+            as_index(object())
+
+
+class TestProtocolExtras:
+    def test_query_many_is_a_deprecated_alias(self, ws):
+        index = repro.UsiIndex.build(ws, k=5)
+        with pytest.deprecated_call():
+            values = index.query_many(["TACCCC", "GGGG"])
+        assert values == pytest.approx([14.6, 0.0])
+
+    def test_dynamic_backend_appends_through_protocol(self):
+        ws = WeightedString.uniform("ABABAB")
+        index = repro.build(ws, k=3, backend="dynamic")
+        before = index.query("AB")
+        index.append("A", 1.0)
+        index.append("B", 1.0)
+        current = index.inner.to_weighted_string()
+        assert index.query("AB") == pytest.approx(
+            naive_global_utility(current, "AB")
+        )
+        assert index.query("AB") > before
+        assert index.count("AB") == 4
+
+    def test_collection_backends_accept_document_lists(self):
+        from repro.strings.alphabet import Alphabet
+
+        alphabet = Alphabet("ACGT")
+        docs = [
+            WeightedString.uniform("ACGTACGT", alphabet=alphabet),
+            WeightedString.uniform("TTTACG", alphabet=alphabet),
+        ]
+        for backend in ("collection", "sharded"):
+            index = repro.build(
+                docs, k=4, backend=backend, **BUILD_OPTS.get(backend, {})
+            )
+            assert index.query("ACG") == pytest.approx(
+                sum(naive_global_utility(doc, "ACG") for doc in docs)
+            )
+            assert index.document_frequency("ACG") == 2
+
+    def test_single_string_backends_reject_collections(self):
+        from repro.strings.collection import WeightedStringCollection
+
+        collection = WeightedStringCollection([WeightedString.uniform("ABAB")])
+        with pytest.raises(ParameterError, match="collection"):
+            repro.build(collection, k=3, backend="usi")
+
+    def test_query_result_dataclass(self, ws):
+        index = repro.build(ws, k=5, backend="usi")
+        result = index.query_result("TACCCC", with_count=True)
+        assert result.utility == pytest.approx(14.6)
+        assert result.count == 2
+        assert result.as_dict() == {
+            "pattern": "TACCCC",
+            "utility": pytest.approx(14.6),
+            "count": 2,
+        }
+
+    def test_numpy_pattern_round_trip(self, built, ws):
+        codes = ws.alphabet.encode_pattern("TACCCC").astype(np.int64)
+        for name, index in built.items():
+            assert index.query(codes) == pytest.approx(14.6), name
+
+
+class TestServerEndToEnd:
+    def test_non_usi_backend_over_http(self, ws, tmp_path):
+        import json
+        import urllib.request
+
+        from repro.service.registry import IndexRegistry
+        from repro.service.server import UsiServer
+
+        path = tmp_path / "sharded.npz"
+        repro.save_index(
+            repro.build(ws, k=5, backend="sharded", parallel="serial"), path
+        )
+        registry = IndexRegistry()
+        registry.register_path("shards", path)
+        with UsiServer(registry, port=0) as server:
+            with urllib.request.urlopen(server.url + "/indexes", timeout=10) as response:
+                listing = json.loads(response.read())["indexes"]
+            assert listing[0]["backend"] == "sharded"
+            request = urllib.request.Request(
+                server.url + "/query",
+                data=json.dumps({"patterns": ["TACCCC", "GGGG"]}).encode(),
+                headers={"Content-Type": "application/json"},
+            )
+            with urllib.request.urlopen(request, timeout=10) as response:
+                body = json.loads(response.read())
+            utilities = [row["utility"] for row in body["results"]]
+            assert utilities == pytest.approx([14.6, 0.0])
+            with urllib.request.urlopen(server.url + "/indexes", timeout=10) as response:
+                resident = json.loads(response.read())["indexes"][0]
+            assert resident["resident"] is True
+            assert resident["capabilities"]["collection"] is True
+
+
+class TestCapabilityHonesty:
+    def test_star_import_does_not_shadow_builtin_open(self):
+        namespace: dict = {}
+        exec("from repro import *", namespace)
+        assert "open" not in namespace
+        assert repro.open is not None  # the facade attribute stays
+
+    def test_count_flag_matches_count_support(self, built):
+        for name, index in built.items():
+            assert index.capabilities.count, name  # all bundled backends count
+        minimal = as_index(type("OnlyQuery", (), {"query": lambda self, p: 0.0})())
+        assert not minimal.capabilities.count
+        with pytest.raises(NotImplementedError):
+            minimal.count("A")
+
+    def test_server_rejects_count_for_countless_backend(self, ws):
+        import json
+        import urllib.error
+        import urllib.request
+
+        from repro.service.registry import IndexRegistry
+        from repro.service.server import UsiServer
+
+        class OnlyQuery:
+            def query(self, pattern):
+                return float(len(pattern))
+
+        registry = IndexRegistry()
+        registry.register("minimal", OnlyQuery())
+        with UsiServer(registry, port=0) as server:
+            request = urllib.request.Request(
+                server.url + "/query",
+                data=json.dumps({"pattern": "AB", "count": True}).encode(),
+                headers={"Content-Type": "application/json"},
+            )
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(request, timeout=10)
+            assert excinfo.value.code == 400
+            assert "does not support counts" in json.loads(
+                excinfo.value.read()
+            )["error"]
+
+
+class TestHarness:
+    def test_compare_backends_default_skips_incompatible_sources(self):
+        from repro.eval.harness import compare_backends
+        from repro.strings.collection import WeightedStringCollection
+
+        collection = WeightedStringCollection(
+            [WeightedString.uniform("ACGTACGT")]
+        )
+        runs = compare_backends(collection, ["ACG"], trace_memory=False, k=4)
+        names = {run.backend for run in runs}
+        assert names == {"collection", "sharded"}  # single-string ones skipped
+        with pytest.raises(ParameterError):
+            compare_backends(
+                collection, ["ACG"], backends=["usi"], trace_memory=False, k=4
+            )
+
+    def test_compare_backends_rows_agree(self, ws):
+        from repro.eval.harness import compare_backends
+
+        runs = compare_backends(
+            ws,
+            ["TACCCC", "CCCC"],
+            backends=["usi", "oracle", "bsl1"],
+            trace_memory=False,
+            k=5,
+        )
+        assert [run.backend for run in runs] == ["usi", "oracle", "bsl1"]
+        for run in runs:
+            assert run.answers == pytest.approx(runs[0].answers)
+            assert run.build_seconds >= 0.0
