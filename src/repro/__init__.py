@@ -69,7 +69,8 @@ from repro.core import (
     top_utility_substrings,
 )
 from repro.errors import ReproError
-from repro.io import load_index, save_index
+from repro.io import load_bundle, load_index, save_bundle, save_index
+from repro.kernel import TextKernel
 from repro.service import (
     IndexRegistry,
     LatencyRecorder,
@@ -115,6 +116,7 @@ __all__ = [
     "OnlineFrequencyTracker",
     "ReproError",
     "SubstringHK",
+    "TextKernel",
     "TopKOracle",
     "TopKTrie",
     "TradeOffPoint",
@@ -125,7 +127,9 @@ __all__ = [
     "enumerate_trade_offs",
     "exact_top_k",
     "mine_by_utility_threshold",
+    "load_bundle",
     "load_index",
+    "save_bundle",
     "naive_global_utility",
     "pick_trade_off",
     "save_index",

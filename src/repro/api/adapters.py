@@ -40,12 +40,7 @@ from repro.core.usi import UsiIndex
 from repro.errors import ParameterError
 from repro.strings.collection import CollectionUsiIndex, WeightedStringCollection
 from repro.strings.weighted import WeightedString
-from repro.suffix.suffix_array import SuffixArray
-from repro.utility.functions import (
-    PrefixSumLocalUtility,
-    make_global_utility,
-    make_local_utility,
-)
+from repro.utility.functions import make_global_utility
 
 #: Default top-K when the caller gives neither ``k`` nor ``tau``.
 DEFAULT_K = 100
@@ -98,6 +93,7 @@ class _UsiFamilyBackend(UtilityIndexBase):
     """Shared shell for the three UsiIndex-backed backends."""
 
     capabilities = Capabilities(batch=True, count=True, persistent=True)
+    kernel_aware = True
     _forced_options: dict = {}
 
     def __init__(self, inner: UsiIndex) -> None:
@@ -166,10 +162,12 @@ class OracleBackend(UtilityIndexBase):
     introspection (reported through :meth:`stats`).
     """
 
-    capabilities = Capabilities(count=True, persistent=True)
+    capabilities = Capabilities(batch=True, count=True, persistent=True)
+    kernel_aware = True
 
-    def __init__(self, ws, suffix_array, psw, utility, k: int) -> None:
-        self.inner = suffix_array
+    def __init__(self, ws, kernel, psw, utility, k: int) -> None:
+        self._kernel = kernel
+        self.inner = kernel.suffix
         self._ws = ws
         self._psw = psw
         self._utility = utility
@@ -186,16 +184,22 @@ class OracleBackend(UtilityIndexBase):
         aggregator="sum",
         local="sum",
         sa_algorithm="doubling",
+        kernel=None,
         **_options,
     ) -> "OracleBackend":
+        from repro.kernel import TextKernel
+
         ws = as_weighted_string(source)
         k, _ = _default_k(k, tau)
         if k is None:
             k = DEFAULT_K  # only steers the tuning() report, never answers
-        suffix_array = SuffixArray(ws.codes, algorithm=sa_algorithm, with_lcp=False)
-        psw = make_local_utility(local, ws.utilities)
+        if kernel is None:
+            kernel = TextKernel(ws, sa_algorithm=sa_algorithm)
+        else:
+            kernel.require_match(ws)
+        psw = kernel.psw(local)
         utility = make_global_utility(aggregator)
-        return cls(ws, suffix_array, psw, utility, int(k))
+        return cls(ws, kernel, psw, utility, int(k))
 
     def _encode(self, pattern) -> "np.ndarray | None":
         return self._ws.alphabet.try_encode_pattern(pattern)
@@ -210,6 +214,13 @@ class OracleBackend(UtilityIndexBase):
         locals_ = self._psw.local_utilities(occurrences, len(codes))
         return float(self._utility.aggregate(locals_))
 
+    def query_batch(self, patterns) -> list[float]:
+        """Vectorised SA + PSW batch path (same answers as ``query`` up
+        to float summation order)."""
+        return self._kernel.batch_utilities(
+            [self._encode(p) for p in patterns], self._utility, psw=self._psw
+        )
+
     def count(self, pattern) -> int:
         codes = self._encode(pattern)
         if codes is None:
@@ -219,8 +230,9 @@ class OracleBackend(UtilityIndexBase):
     def tuning(self) -> dict:
         """The Section-V tuning point for this engine's ``k``."""
         if self._oracle is None:
-            # The oracle needs an LCP; build it on first use only.
-            self._oracle = TopKOracle(SuffixArray(self._ws.codes))
+            # The oracle needs an LCP; the shared suffix array builds
+            # (or rebuilds) it lazily on first use.
+            self._oracle = TopKOracle(self._kernel.suffix)
         point = self._oracle.tune_by_k(self._k)
         return {"k": point.k, "tau_k": point.tau, "l_k": point.distinct_lengths}
 
@@ -288,6 +300,7 @@ class CollectionBackend(UtilityIndexBase):
     capabilities = Capabilities(
         batch=True, collection=True, count=True, persistent=True
     )
+    kernel_aware = True
 
     def __init__(self, inner: CollectionUsiIndex) -> None:
         self.inner = inner
@@ -365,7 +378,8 @@ class ShardedBackend(UtilityIndexBase):
 class _BaselineBackend(UtilityIndexBase):
     """Shared shell for the four baselines (they differ in caching only)."""
 
-    capabilities = Capabilities(count=True, persistent=True)
+    capabilities = Capabilities(batch=True, count=True, persistent=True)
+    kernel_aware = True
     _engine_cls: type = Bsl1NoCache
     _needs_capacity = False
 
@@ -384,6 +398,9 @@ class _BaselineBackend(UtilityIndexBase):
 
     def query(self, pattern) -> float:
         return float(self.inner.query(pattern))
+
+    def query_batch(self, patterns) -> list[float]:
+        return [float(v) for v in self.inner.query_batch(patterns)]
 
     def count(self, pattern) -> int:
         return int(self.inner.count(pattern))

@@ -21,6 +21,7 @@ def build(
     backend: str = "usi",
     k: "int | None" = None,
     tau: "int | None" = None,
+    kernel=None,
     **options,
 ) -> UtilityIndexBase:
     """Build a utility index over *source* with the named backend.
@@ -38,6 +39,12 @@ def build(
     k, tau:
         The Section-V trade-off knobs, forwarded to the backend (at
         most one; a default ``k`` applies when neither is given).
+    kernel:
+        An optional shared :class:`repro.kernel.TextKernel` over the
+        same text.  Kernel-aware backends (``usi``/``uat``/``fm``,
+        ``oracle``, ``bsl1``-``bsl4``, ``collection``) then reuse its
+        suffix array, PSW, and fingerprint tables instead of building
+        private copies — build the substrate once, index it many ways.
     options:
         Backend-specific build options (``aggregator``, ``miner``,
         ``shards``, ``capacity``, ...).
@@ -49,26 +56,43 @@ def build(
     >>> index.query("TACCCC")                           # doctest: +SKIP
     14.6
     """
+    adapter = get_backend(backend)
     kwargs = dict(options)
     if k is not None:
         kwargs["k"] = k
     if tau is not None:
         kwargs["tau"] = tau
-    return get_backend(backend).build(source, **kwargs)
+    if kernel is not None:
+        if not adapter.kernel_aware:
+            from repro.errors import ParameterError
+
+            raise ParameterError(
+                f"backend {backend!r} does not accept a shared kernel"
+            )
+        kwargs["kernel"] = kernel
+    return adapter.build(source, **kwargs)
 
 
-def open_index(path: "str | Path", allow_pickle: bool = True) -> UtilityIndexBase:
+def open_index(
+    path: "str | Path", allow_pickle: bool = True, mmap: bool = False
+) -> UtilityIndexBase:
     """Reopen a saved index as a protocol object (any backend).
 
     Dispatches on the file contents, not the extension: the legacy v1
-    ``.npz`` format, the tagged v2 container, and legacy pickles all
-    reopen, wrapped in their backend adapter.  Tagged containers and
-    pickles execute pickle bytecode on load — open only files you
-    trust, or pass ``allow_pickle=False`` to accept v1 files only.
+    ``.npz`` format, the tagged v2 container, the kernel-aware v3
+    container, and legacy pickles all reopen, wrapped in their backend
+    adapter.  Tagged containers and pickles execute pickle bytecode on
+    load — open only files you trust, or pass ``allow_pickle=False``
+    to accept the pickle-free v1/v3 layouts only.
+
+    With ``mmap=True`` the substrate arrays of a v3 container are
+    memory-mapped read-only (``mmap_mode="r"``) instead of
+    materialised, so large indexes open lazily; compressed legacy
+    formats cannot be mapped and load eagerly regardless.
     """
     from repro.io import load_any
 
-    engine, backend = load_any(path, allow_pickle=allow_pickle)
+    engine, backend = load_any(path, allow_pickle=allow_pickle, mmap=mmap)
     if backend is not None and not isinstance(engine, UtilityIndexBase):
         return get_backend(backend)(engine)
     return wrap(engine)

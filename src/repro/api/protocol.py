@@ -132,6 +132,10 @@ class UtilityIndexBase:
 
     backend_name: str = "abstract"
     capabilities: Capabilities = Capabilities()
+    #: Whether ``build`` accepts a shared ``kernel=`` (a pre-built
+    #: :class:`repro.kernel.TextKernel` over the same text), letting
+    #: several backends share one substrate instead of re-encoding.
+    kernel_aware: bool = False
 
     @classmethod
     def build(cls, source, **options) -> "UtilityIndexBase":

@@ -5,41 +5,76 @@ All four baselines answer uncached queries the same way (the
 occurrences with the suffix array and aggregate per-occurrence local
 utilities read from the prefix-sum array.  They differ only in *what
 they cache*, which each ``BslN`` class layers on top of this engine.
+
+Since the kernel refactor the engine is a thin shell over a
+:class:`~repro.kernel.TextKernel` — the canonical constructor takes a
+kernel, so the four baselines built over one text share one substrate
+with every other backend.  Constructing an engine directly from a
+:class:`~repro.strings.weighted.WeightedString` still works (a private
+kernel is built internally) but is deprecated.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Sequence
 
 import numpy as np
 
-from repro.errors import AlphabetError, PatternError
-from repro.hashing.karp_rabin import KarpRabinFingerprinter
+from repro.errors import ParameterError
+from repro.kernel import TextKernel
 from repro.strings.weighted import WeightedString
-from repro.suffix.suffix_array import SuffixArray
 from repro.utility.functions import AggregatorName, GlobalUtility, make_global_utility
-from repro.utility.functions import PrefixSumLocalUtility
 
 
 class SaPswEngine:
-    """SA + PSW global-utility computation (exact, no caching)."""
+    """SA + PSW global-utility computation (exact, no caching).
+
+    Parameters
+    ----------
+    source:
+        A :class:`~repro.kernel.TextKernel` (canonical since the
+        kernel refactor), or a weighted string (deprecated: builds a
+        private kernel, re-encoding a text other backends may already
+        have encoded).
+    """
 
     def __init__(
         self,
-        ws: WeightedString,
+        source: "TextKernel | WeightedString",
         aggregator: "AggregatorName | GlobalUtility" = "sum",
         sa_algorithm: str = "doubling",
         seed: int = 0,
     ) -> None:
-        self._ws = ws
-        self._sa = SuffixArray(ws.codes, algorithm=sa_algorithm, with_lcp=False)  # type: ignore[arg-type]
-        self._psw = PrefixSumLocalUtility(ws.utilities)
+        if isinstance(source, TextKernel):
+            kernel = source
+        elif isinstance(source, WeightedString):
+            warnings.warn(
+                "constructing SaPswEngine from a WeightedString builds a "
+                "private suffix array; build a repro.kernel.TextKernel once "
+                "and pass it instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            kernel = TextKernel(source, sa_algorithm=sa_algorithm, seed=seed)
+        else:
+            raise ParameterError(
+                f"cannot build an engine over {type(source).__name__}"
+            )
+        self._kernel = kernel
+        self._ws = kernel.ws
+        self._sa = kernel.suffix
+        self._psw = kernel.psw("sum")
         self._utility = make_global_utility(aggregator)
-        self._fp = KarpRabinFingerprinter(ws.codes, seed=seed)
 
     @property
     def weighted_string(self) -> WeightedString:
         return self._ws
+
+    @property
+    def kernel(self) -> TextKernel:
+        """The shared substrate behind this engine."""
+        return self._kernel
 
     @property
     def utility(self) -> GlobalUtility:
@@ -47,18 +82,22 @@ class SaPswEngine:
 
     def encode(self, pattern: "str | bytes | Sequence[int] | np.ndarray") -> "np.ndarray | None":
         """Encode a pattern; ``None`` means it cannot occur in S."""
-        if isinstance(pattern, np.ndarray):
-            if len(pattern) == 0:
-                raise PatternError("query patterns must be non-empty")
-            return pattern.astype(np.int64, copy=False)
-        try:
-            return self._ws.alphabet.encode_pattern(pattern).astype(np.int64)
-        except AlphabetError:
-            return None
+        return self._ws.alphabet.try_encode_pattern(pattern)
 
     def fingerprint(self, codes: np.ndarray) -> int:
         """The cache key the caching baselines agree on (O(m))."""
-        return self._fp.of_codes(codes)
+        return self._kernel.fingerprinter.of_codes(codes)
+
+    def fingerprint_many(self, codes_list: "Sequence[np.ndarray]") -> list[int]:
+        """Cache keys for many encoded patterns, vectorised per length."""
+        from repro.kernel import iter_length_buckets
+
+        keys: list[int] = [0] * len(codes_list)
+        fp = self._kernel.fingerprinter
+        for _, slots, matrix in iter_length_buckets(codes_list):
+            for slot, key in zip(slots, fp.of_code_matrix(matrix).tolist()):
+                keys[slot] = int(key)
+        return keys
 
     def count(self, codes: np.ndarray) -> int:
         """``|occ(P)|`` through the suffix array (always exact)."""
@@ -71,6 +110,12 @@ class SaPswEngine:
             return self._utility.identity
         locals_ = self._psw.local_utilities(occurrences, len(codes))
         return self._utility.aggregate(locals_)
+
+    def compute_many(self, codes_list: "Sequence[np.ndarray | None]") -> list[float]:
+        """Batch ``U(P)`` through the kernel's vectorised locate path."""
+        return self._kernel.batch_utilities(
+            codes_list, self._utility, psw=self._psw
+        )
 
     def nbytes(self) -> int:
         """SA + PSW size (the bulk of every baseline's index)."""
@@ -90,3 +135,46 @@ class SaPswCountMixin:
         if codes is None:
             return 0
         return self._engine.count(codes)
+
+
+class BatchQueryMixin:
+    """Vectorised ``query_batch`` for the caching baselines.
+
+    Answers match calling ``query`` per pattern, in order — including
+    the cache/counter side effects: the per-pattern admission logic
+    runs unchanged, but every pattern *not cached when the batch
+    arrives* has its utility precomputed in one vectorised kernel
+    pass, so the sequential loop only does dict work.  (Sums over many
+    occurrences may differ from the scalar path in the last float ULP
+    because the batch aggregation accumulates in a different order.)
+
+    Requires ``self._engine`` plus a ``_query_with(codes, key, value)``
+    method running the baseline's normal policy with the utility
+    supplied (``None`` = compute from scratch).
+    """
+
+    def query_batch(self, patterns: "Sequence") -> list[float]:
+        engine: SaPswEngine = self._engine
+        encoded = [engine.encode(p) for p in patterns]
+        results = [engine.utility.identity] * len(patterns)
+        live = [i for i, codes in enumerate(encoded) if codes is not None]
+        if not live:
+            return results
+        keys = engine.fingerprint_many([encoded[i] for i in live])
+        key_of = dict(zip(live, keys))
+        # Precompute every key that is a miss *right now*; duplicates
+        # inside the batch are computed once.
+        cache = getattr(self, "_cache", {})
+        need: dict[int, int] = {}
+        for slot in live:
+            key = key_of[slot]
+            if key not in cache and key not in need:
+                need[key] = slot
+        values = engine.compute_many([encoded[s] for s in need.values()])
+        precomputed = dict(zip(need.keys(), values))
+        for slot in live:
+            key = key_of[slot]
+            results[slot] = self._query_with(
+                encoded[slot], key, precomputed.get(key)
+            )
+        return results

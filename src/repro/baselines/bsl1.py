@@ -12,6 +12,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.baselines.base import SaPswCountMixin, SaPswEngine
+from repro.kernel import TextKernel
 from repro.strings.weighted import WeightedString
 from repro.utility.functions import AggregatorName
 
@@ -26,14 +27,25 @@ class Bsl1NoCache(SaPswCountMixin):
         ws: WeightedString,
         aggregator: AggregatorName = "sum",
         seed: int = 0,
+        kernel: "TextKernel | None" = None,
     ) -> None:
-        self._engine = SaPswEngine(ws, aggregator=aggregator, seed=seed)
+        if kernel is None:
+            kernel = TextKernel(ws, seed=seed)
+        else:
+            kernel.require_match(ws)
+        self._engine = SaPswEngine(kernel, aggregator=aggregator)
 
     def query(self, pattern: "str | bytes | Sequence[int] | np.ndarray") -> float:
         codes = self._engine.encode(pattern)
         if codes is None:
             return self._engine.utility.identity
         return self._engine.compute(codes)
+
+    def query_batch(self, patterns: "Sequence") -> list[float]:
+        """Batch query through the kernel's vectorised locate path."""
+        return self._engine.compute_many(
+            [self._engine.encode(p) for p in patterns]
+        )
 
     def nbytes(self) -> int:
         return self._engine.nbytes()

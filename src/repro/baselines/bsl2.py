@@ -12,13 +12,14 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.baselines.base import SaPswCountMixin, SaPswEngine
+from repro.baselines.base import BatchQueryMixin, SaPswCountMixin, SaPswEngine
 from repro.errors import ParameterError
+from repro.kernel import TextKernel
 from repro.strings.weighted import WeightedString
 from repro.utility.functions import AggregatorName
 
 
-class Bsl2LruCache(SaPswCountMixin):
+class Bsl2LruCache(BatchQueryMixin, SaPswCountMixin):
     """The LRU-caching baseline."""
 
     name = "BSL2"
@@ -29,31 +30,40 @@ class Bsl2LruCache(SaPswCountMixin):
         capacity: int,
         aggregator: AggregatorName = "sum",
         seed: int = 0,
+        kernel: "TextKernel | None" = None,
     ) -> None:
         if capacity < 1:
             raise ParameterError("cache capacity must be positive")
-        self._engine = SaPswEngine(ws, aggregator=aggregator, seed=seed)
+        if kernel is None:
+            kernel = TextKernel(ws, seed=seed)
+        else:
+            kernel.require_match(ws)
+        self._engine = SaPswEngine(kernel, aggregator=aggregator)
         self._capacity = capacity
         self._cache: "OrderedDict[int, float]" = OrderedDict()
         self.hits = 0
         self.misses = 0
 
-    def query(self, pattern: "str | bytes | Sequence[int] | np.ndarray") -> float:
-        codes = self._engine.encode(pattern)
-        if codes is None:
-            return self._engine.utility.identity
-        key = self._engine.fingerprint(codes)
+    def _query_with(self, codes: np.ndarray, key: int, value: "float | None") -> float:
+        """The LRU policy, with the miss utility optionally precomputed."""
         cached = self._cache.get(key)
         if cached is not None:
             self._cache.move_to_end(key)
             self.hits += 1
             return cached
         self.misses += 1
-        value = self._engine.compute(codes)
+        if value is None:
+            value = self._engine.compute(codes)
         self._cache[key] = value
         if len(self._cache) > self._capacity:
             self._cache.popitem(last=False)
         return value
+
+    def query(self, pattern: "str | bytes | Sequence[int] | np.ndarray") -> float:
+        codes = self._engine.encode(pattern)
+        if codes is None:
+            return self._engine.utility.identity
+        return self._query_with(codes, self._engine.fingerprint(codes), None)
 
     @property
     def cache_size(self) -> int:

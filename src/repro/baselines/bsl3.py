@@ -13,13 +13,14 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.baselines.base import SaPswCountMixin, SaPswEngine
+from repro.baselines.base import BatchQueryMixin, SaPswCountMixin, SaPswEngine
 from repro.errors import ParameterError
+from repro.kernel import TextKernel
 from repro.strings.weighted import WeightedString
 from repro.utility.functions import AggregatorName
 
 
-class Bsl3TopKSeen(SaPswCountMixin):
+class Bsl3TopKSeen(BatchQueryMixin, SaPswCountMixin):
     """The top-K-seen-so-far caching baseline (exact query counts)."""
 
     name = "BSL3"
@@ -30,10 +31,15 @@ class Bsl3TopKSeen(SaPswCountMixin):
         capacity: int,
         aggregator: AggregatorName = "sum",
         seed: int = 0,
+        kernel: "TextKernel | None" = None,
     ) -> None:
         if capacity < 1:
             raise ParameterError("cache capacity must be positive")
-        self._engine = SaPswEngine(ws, aggregator=aggregator, seed=seed)
+        if kernel is None:
+            kernel = TextKernel(ws, seed=seed)
+        else:
+            kernel.require_match(ws)
+        self._engine = SaPswEngine(kernel, aggregator=aggregator)
         self._capacity = capacity
         self._cache: dict[int, float] = {}
         self._query_counts: dict[int, int] = {}
@@ -51,11 +57,8 @@ class Bsl3TopKSeen(SaPswCountMixin):
             # Stale: either evicted already or its count grew; in the
             # latter case a fresher entry exists further in the heap.
 
-    def query(self, pattern: "str | bytes | Sequence[int] | np.ndarray") -> float:
-        codes = self._engine.encode(pattern)
-        if codes is None:
-            return self._engine.utility.identity
-        key = self._engine.fingerprint(codes)
+    def _query_with(self, codes: np.ndarray, key: int, value: "float | None") -> float:
+        """The frequency-admission policy, miss utility optionally given."""
         count = self._query_counts.get(key, 0) + 1
         self._query_counts[key] = count
 
@@ -65,7 +68,8 @@ class Bsl3TopKSeen(SaPswCountMixin):
             heapq.heappush(self._heap, (count, key))
             return cached
         self.misses += 1
-        value = self._engine.compute(codes)
+        if value is None:
+            value = self._engine.compute(codes)
         if len(self._cache) >= self._capacity:
             # Admit only if this pattern is now queried at least as
             # often as the cache's least-frequent member.
@@ -82,6 +86,12 @@ class Bsl3TopKSeen(SaPswCountMixin):
         self._cache[key] = value
         heapq.heappush(self._heap, (count, key))
         return value
+
+    def query(self, pattern: "str | bytes | Sequence[int] | np.ndarray") -> float:
+        codes = self._engine.encode(pattern)
+        if codes is None:
+            return self._engine.utility.identity
+        return self._query_with(codes, self._engine.fingerprint(codes), None)
 
     @property
     def cache_size(self) -> int:

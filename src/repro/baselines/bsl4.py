@@ -13,14 +13,15 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.baselines.base import SaPswCountMixin, SaPswEngine
+from repro.baselines.base import BatchQueryMixin, SaPswCountMixin, SaPswEngine
 from repro.errors import ParameterError
+from repro.kernel import TextKernel
 from repro.streaming.count_min import CountMinSketch
 from repro.strings.weighted import WeightedString
 from repro.utility.functions import AggregatorName
 
 
-class Bsl4SketchTopKSeen(SaPswCountMixin):
+class Bsl4SketchTopKSeen(BatchQueryMixin, SaPswCountMixin):
     """The sketch-based top-K-seen-so-far caching baseline."""
 
     name = "BSL4"
@@ -33,10 +34,15 @@ class Bsl4SketchTopKSeen(SaPswCountMixin):
         sketch_width: int = 2048,
         sketch_depth: int = 4,
         seed: int = 0,
+        kernel: "TextKernel | None" = None,
     ) -> None:
         if capacity < 1:
             raise ParameterError("cache capacity must be positive")
-        self._engine = SaPswEngine(ws, aggregator=aggregator, seed=seed)
+        if kernel is None:
+            kernel = TextKernel(ws, seed=seed)
+        else:
+            kernel.require_match(ws)
+        self._engine = SaPswEngine(kernel, aggregator=aggregator)
         self._capacity = capacity
         self._cache: dict[int, float] = {}
         self._sketch = CountMinSketch(width=sketch_width, depth=sketch_depth, seed=seed)
@@ -45,11 +51,8 @@ class Bsl4SketchTopKSeen(SaPswCountMixin):
         self.hits = 0
         self.misses = 0
 
-    def query(self, pattern: "str | bytes | Sequence[int] | np.ndarray") -> float:
-        codes = self._engine.encode(pattern)
-        if codes is None:
-            return self._engine.utility.identity
-        key = self._engine.fingerprint(codes)
+    def _query_with(self, codes: np.ndarray, key: int, value: "float | None") -> float:
+        """The sketch-admission policy, miss utility optionally given."""
         self._sketch.add(key)
         estimate = self._sketch.estimate(key)
 
@@ -59,7 +62,8 @@ class Bsl4SketchTopKSeen(SaPswCountMixin):
             heapq.heappush(self._heap, (estimate, key))
             return cached
         self.misses += 1
-        value = self._engine.compute(codes)
+        if value is None:
+            value = self._engine.compute(codes)
         if len(self._cache) >= self._capacity:
             while self._heap and self._heap[0][1] not in self._cache:
                 heapq.heappop(self._heap)
@@ -75,6 +79,12 @@ class Bsl4SketchTopKSeen(SaPswCountMixin):
         self._cache[key] = value
         heapq.heappush(self._heap, (estimate, key))
         return value
+
+    def query(self, pattern: "str | bytes | Sequence[int] | np.ndarray") -> float:
+        codes = self._engine.encode(pattern)
+        if codes is None:
+            return self._engine.utility.identity
+        return self._query_with(codes, self._engine.fingerprint(codes), None)
 
     @property
     def cache_size(self) -> int:

@@ -16,6 +16,7 @@
     usi tune  --text corpus.txt --k 1000            # tau_K, L_K
     usi tune  --text corpus.txt --tau 50            # K_tau, L_tau
     usi serve --index idx.npz --port 8642
+    usi serve --index big.npz --mmap        # lazy, memory-mapped open
 
 Utilities files hold one float per line, one per text character: for
 plain builds that includes any interior newline characters (the text
@@ -252,7 +253,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service.registry import IndexRegistry
     from repro.service.server import UsiServer
 
-    registry = IndexRegistry(capacity=args.capacity, cache_size=args.cache_size)
+    registry = IndexRegistry(
+        capacity=args.capacity, cache_size=args.cache_size, mmap=args.mmap
+    )
     names = list(args.name or [])
     if len(names) > len(args.index):
         print("more --name flags than --index flags", file=sys.stderr)
@@ -271,9 +274,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     server = UsiServer(registry, host=args.host, port=args.port)
     print(
         f"serving {', '.join(registry.names())} on {server.url} "
-        "(POST /query, GET /indexes, GET /stats; Ctrl-C stops)"
+        "(POST /query, GET /indexes, GET /stats; SIGINT/SIGTERM drain "
+        "in-flight requests and stop)",
+        flush=True,
     )
     server.serve_forever()
+    print("usi serve: drained in-flight requests, registry closed", flush=True)
     return 0
 
 
@@ -406,6 +412,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="max resident indexes before cold ones unload")
     serve.add_argument("--preload", action="store_true",
                        help="load every index at startup instead of lazily")
+    serve.add_argument("--mmap", action="store_true",
+                       help="memory-map index substrates (v3 containers) "
+                            "instead of materialising them")
     serve.set_defaults(fn=_cmd_serve)
 
     mine = sub.add_parser("mine", help="mine substrings by global utility")

@@ -88,6 +88,7 @@ class ApproximateTopK:
         s: int,
         seed: int = 0,
         round_capacity: float = 4.0,
+        fingerprinter: "KarpRabinFingerprinter | None" = None,
     ) -> None:
         if isinstance(text, WeightedString):
             codes = text.codes
@@ -104,7 +105,17 @@ class ApproximateTopK:
         self._k = k
         self._s = s
         self._capacity = max(k, int(round(k * round_capacity)))
-        self._fp = KarpRabinFingerprinter(self._codes, seed=seed)
+        if fingerprinter is not None and fingerprinter.length != n:
+            raise ParameterError(
+                "the supplied fingerprinter covers a different text length"
+            )
+        # A kernel-shared fingerprinter avoids rebuilding the prefix
+        # tables; absent one, build privately exactly as before.
+        self._fp = (
+            fingerprinter
+            if fingerprinter is not None
+            else KarpRabinFingerprinter(self._codes, seed=seed)
+        )
         self._lce = FingerprintLce(self._codes, self._fp)
         self.stats = ApproximateStats()
 

@@ -34,6 +34,7 @@ from repro.core.topk_oracle import TopKOracle
 from repro.core.types import MinedSubstring
 from repro.errors import AlphabetError, ParameterError, PatternError
 from repro.hashing.karp_rabin import KarpRabinFingerprinter
+from repro.kernel import TextKernel
 from repro.strings.weighted import WeightedString
 from repro.suffix.suffix_array import SuffixArray
 from repro.utility.functions import (
@@ -92,22 +93,38 @@ class UsiIndex:
         self,
         ws: WeightedString,
         suffix_array: SuffixArray,
-        fingerprinter: KarpRabinFingerprinter,
+        fingerprinter: "KarpRabinFingerprinter | None",
         psw: LocalUtility,
         utility: GlobalUtility,
         table: dict[int, float],
         report: UsiBuildReport,
+        kernel: "TextKernel | None" = None,
     ) -> None:
         self._ws = ws
         self._sa = suffix_array
-        self._fp = fingerprinter
+        self._fp_obj = fingerprinter
         self._psw = psw
         self._utility = utility
         self._table = table
+        self._kernel = kernel
         self.report = report
+        if fingerprinter is None and kernel is None:
+            raise ParameterError("a UsiIndex needs a fingerprinter or a kernel")
         # Query counters (cheap; used by the workload experiments).
         self.hash_hits = 0
         self.hash_misses = 0
+
+    @property
+    def _fp(self) -> KarpRabinFingerprinter:
+        """The fingerprinter (resolved from the kernel on first use)."""
+        if self._fp_obj is None:
+            self._fp_obj = self._kernel.fingerprinter  # type: ignore[union-attr]
+        return self._fp_obj
+
+    @property
+    def kernel(self) -> "TextKernel | None":
+        """The shared substrate this index was built over (if any)."""
+        return self._kernel
 
     # ------------------------------------------------------------------
     # Construction
@@ -125,6 +142,7 @@ class UsiIndex:
         sa_algorithm: str = "doubling",
         locate_backend: Literal["sa", "fm", "st"] = "sa",
         seed: int = 0,
+        kernel: "TextKernel | None" = None,
     ) -> "UsiIndex":
         """Construct USI_TOP-K for a weighted string.
 
@@ -160,6 +178,12 @@ class UsiIndex:
             Construction always builds a suffix array for mining; the
             backend only changes which structure the index *keeps* for
             uncached queries.
+        kernel:
+            An optional pre-built :class:`~repro.kernel.TextKernel`
+            over the same weighted string.  When given, its suffix
+            array, ``PSW``, and fingerprint tables are shared (the
+            text is not re-encoded); when absent a private kernel is
+            built, exactly as before.
         """
         import time
 
@@ -168,13 +192,16 @@ class UsiIndex:
         utility = make_global_utility(aggregator)
         n = ws.length
 
+        kernel_owned = kernel is None
+        if kernel is None:
+            kernel = TextKernel(ws, sa_algorithm=sa_algorithm, seed=seed)
+        else:
+            kernel.require_match(ws)
         # The LCP array is a construction-time aid (the Section-V
         # oracle); it is built lazily on demand and dropped afterwards
         # so the final index is SA + PSW + H, as in the paper.
-        suffix_array = SuffixArray(
-            ws.codes, algorithm=sa_algorithm, with_lcp=False  # type: ignore[arg-type]
-        )
-        psw = make_local_utility(local, ws.utilities)
+        suffix_array = kernel.suffix
+        psw = kernel.psw(local)
 
         t0 = time.perf_counter()
         if miner == "exact":
@@ -183,7 +210,7 @@ class UsiIndex:
                 k = max(1, oracle.tune_by_tau(int(tau)).k)  # type: ignore[arg-type]
             tuning = oracle.tune_by_k(k)
             mined = oracle.top_k(k)
-            fingerprinter = KarpRabinFingerprinter(ws.codes, seed=seed)
+            fingerprinter = kernel.fingerprinter
             tau_k = tuning.tau
         elif miner == "approximate":
             if k is None:
@@ -194,7 +221,8 @@ class UsiIndex:
                 k = max(1, oracle.tune_by_tau(int(tau)).k)  # type: ignore[arg-type]
             if s is None:
                 s = max(2, int(round(np.log2(max(n, 2)))))
-            at = ApproximateTopK(ws, k=k, s=s, seed=seed)
+            at = ApproximateTopK(ws, k=k, s=s, seed=seed,
+                                 fingerprinter=kernel.fingerprinter)
             mined = at.mine()
             fingerprinter = at.fingerprinter
             tau_k = min((m.frequency for m in mined), default=0)
@@ -208,11 +236,16 @@ class UsiIndex:
         )
         table_seconds = time.perf_counter() - t0
 
-        suffix_array.drop_lcp()
+        if kernel_owned:
+            # Shared kernels keep their LCP for the next consumer; a
+            # private one sheds it so the index is SA + PSW + H.
+            suffix_array.drop_lcp()
         if locate_backend == "fm":
             from repro.succinct.fm_index import FmIndex
 
-            suffix_array = FmIndex(ws.codes)  # type: ignore[assignment]
+            # Reuse the kernel's suffix array: the FM construction only
+            # needs the SA to derive the BWT, so nothing is re-sorted.
+            suffix_array = FmIndex(ws.codes, sa=kernel.suffix.sa)  # type: ignore[assignment]
         elif locate_backend == "st":
             # The paper's literal Section-IV layout: ST(S) performs
             # locate in O(m + occ).
@@ -233,7 +266,10 @@ class UsiIndex:
             mining_seconds=mining_seconds,
             table_seconds=table_seconds,
         )
-        return cls(ws, suffix_array, fingerprinter, psw, utility, table, report)
+        return cls(
+            ws, suffix_array, fingerprinter, psw, utility, table, report,
+            kernel=kernel,
+        )
 
     @staticmethod
     def _build_table(
@@ -325,25 +361,27 @@ class UsiIndex:
         return self.query_batch(patterns)
 
     def query_batch(self, patterns: "Sequence") -> list[float]:
-        """Batch query with vectorised fingerprinting.
+        """Batch query: vectorised fingerprinting *and* locating.
 
         Groups patterns by length and fingerprints each group with one
         numpy pass (columns of a pattern matrix), so hash-table hits
-        cost amortised sub-microsecond; only misses fall back to the
-        per-pattern suffix-array path.  Answers are identical to
-        :meth:`query` (order preserved).
+        cost amortised sub-microsecond.  Misses go through the shared
+        kernel's batch locate (packed-key ``searchsorted`` per length
+        bucket) and one fancy-indexed ``PSW`` gather, so the uncached
+        path is NumPy-bound too; only FM/suffix-tree locate backends
+        fall back to the per-pattern loop.  Answers match :meth:`query`
+        (order preserved; sums of many occurrences may differ in the
+        last float ULP from the scalar path's accumulation order).
         """
+        from repro.kernel import iter_length_buckets
+
         encoded: list["np.ndarray | None"] = [self._encode(p) for p in patterns]
         results: list[float] = [self._utility.identity] * len(patterns)
 
-        by_length: dict[int, list[int]] = {}
-        for slot, codes in enumerate(encoded):
-            if codes is not None:
-                by_length.setdefault(len(codes), []).append(slot)
-
-        for length, slots in by_length.items():
-            matrix = np.vstack([encoded[slot] for slot in slots])
+        vectorised = self._kernel is not None and isinstance(self._sa, SuffixArray)
+        for length, slots, matrix in iter_length_buckets(encoded):
             keys = self._fp.of_code_matrix(matrix)
+            misses: list[int] = []
             for slot, key in zip(slots, keys.tolist()):
                 cached = self._table.get(key)
                 if cached is not None:
@@ -351,6 +389,19 @@ class UsiIndex:
                     results[slot] = cached
                 else:
                     self.hash_misses += 1
+                    misses.append(slot)
+            if not misses:
+                continue
+            if vectorised:
+                values = self._kernel.batch_utilities(
+                    [encoded[slot] for slot in misses],
+                    self._utility,
+                    psw=self._psw,
+                )
+                for slot, value in zip(misses, values):
+                    results[slot] = value
+            else:
+                for slot in misses:
                     occurrences = self._sa.occurrences(encoded[slot])
                     if occurrences.size:
                         locals_ = self._psw.local_utilities(occurrences, length)

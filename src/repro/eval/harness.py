@@ -67,6 +67,7 @@ class BackendRun:
     query_seconds_mean: float
     answers: list
     size_bytes: "int | None"
+    shared_kernel: bool = False
 
 
 def compare_backends(
@@ -74,6 +75,7 @@ def compare_backends(
     patterns: list,
     backends: "list[str] | None" = None,
     trace_memory: bool = True,
+    share_kernel: bool = True,
     **build_options: Any,
 ) -> list[BackendRun]:
     """Run one workload through any set of registered backends.
@@ -85,20 +87,42 @@ def compare_backends(
     doubles as the cross-engine consistency harness the paper's
     evaluation tables rely on.
 
+    With ``share_kernel`` (the default) one
+    :class:`~repro.kernel.TextKernel` is built over *source* up front
+    and injected into every kernel-aware backend, so the text is
+    encoded and suffix-sorted exactly once for the whole sweep;
+    per-backend ``build_seconds`` then measure only the work each
+    engine adds on top of the shared substrate (rows carry a
+    ``shared_kernel`` flag).  Pass ``share_kernel=False`` for the old
+    every-backend-from-scratch timing.
+
     With the default backend set, backends that cannot index *source*
     (e.g. single-string engines handed a collection) are skipped; an
     explicit *backends* list propagates the error instead.
     """
-    from repro.api import available_backends, build
+    from repro.api import available_backends, build, get_backend
     from repro.errors import ReproError
+    from repro.kernel import TextKernel
 
     explicit = backends is not None
     names = list(backends) if explicit else available_backends()
+    kernel = None
+    if share_kernel:
+        try:
+            kernel = TextKernel.build(source)
+        except ReproError:
+            kernel = None  # e.g. a bare document list; backends coerce it
     runs: list[BackendRun] = []
     for name in names:
+        use_kernel = kernel is not None and get_backend(name).kernel_aware
+        options = dict(build_options)
+        if use_kernel:
+            options["kernel"] = kernel
         try:
             index, build_seconds, peak = measure_call(
-                lambda name=name: build(source, backend=name, **build_options),
+                lambda name=name, options=options: build(
+                    source, backend=name, **options
+                ),
                 trace_memory,
             )
         except (ReproError, TypeError):
@@ -120,6 +144,7 @@ def compare_backends(
                 query_seconds_mean=per_query,
                 answers=[float(a) for a in answers],
                 size_bytes=index.stats().size_bytes,
+                shared_kernel=use_kernel,
             )
         )
     return runs

@@ -1,6 +1,6 @@
 """Index persistence: save/load any registered backend.
 
-Three on-disk layouts coexist:
+Four on-disk layouts coexist:
 
 * **v1** — the original pickle-free ``.npz`` archive for suffix-array
   backed :class:`~repro.core.usi.UsiIndex` objects: text, utilities,
@@ -13,28 +13,37 @@ Three on-disk layouts coexist:
   payload.  ``repro.open`` reads the tag and rehydrates the right
   adapter, so a sharded, dynamic, collection, FM, oracle, or baseline
   index round-trips exactly like a plain USI one.
+* **v3** — the *kernel-aware* container (:func:`save_bundle`): one
+  pickle-free, uncompressed ``.npz`` holding the shared substrate
+  (codes, utilities, suffix array, fingerprint bases) **once** plus
+  one light payload per bundled engine (hash tables, parameters), so
+  several kernel-backed indexes over one text no longer duplicate the
+  substrate per backend.  Because members are stored uncompressed,
+  reopening with ``mmap=True`` memory-maps the substrate arrays
+  (``mmap_mode="r"``) instead of materialising them.
 * **legacy pickle** — any non-``.npz`` extension is a bare pickle of
   the object as given (the original ``usi build --out idx.pkl``
   format); type sniffing on load recovers the backend.
 
 Dispatch on *load* is by file contents (zip magic vs pickle), never by
-extension, so renamed files keep working.  Only the v1 layout is
+extension, so renamed files keep working.  The v1 and v3 layouts are
 pickle-free; v2 containers and legacy pickles execute pickle bytecode
 on load, so open only files you trust (``allow_pickle=False`` on the
-loaders refuses everything but v1).
+loaders refuses everything but v1/v3).
 """
 
 from __future__ import annotations
 
 import json
 import pickle
+import zipfile
 from pathlib import Path
 
 import numpy as np
 
 from repro.core.usi import UsiBuildReport, UsiIndex
 from repro.errors import ParameterError
-from repro.hashing.karp_rabin import KarpRabinFingerprinter
+from repro.kernel import TextKernel
 from repro.strings.alphabet import Alphabet
 from repro.strings.weighted import WeightedString
 from repro.suffix.suffix_array import SuffixArray
@@ -42,6 +51,7 @@ from repro.utility.functions import make_global_utility, make_local_utility
 
 FORMAT_VERSION = 1
 TAGGED_FORMAT_VERSION = 2
+KERNEL_FORMAT_VERSION = 3
 
 _ZIP_MAGIC = b"PK\x03\x04"
 
@@ -62,7 +72,7 @@ def _unwrap(index) -> "tuple[object, str | None]":
     return index, infer_backend_name(index)
 
 
-def save_index(index, path: "str | Path") -> None:
+def save_index(index, path: "str | Path", container: "str | None" = None) -> None:
     """Persist *index* (raw engine or protocol adapter) to *path*.
 
     ``.npz`` paths use the pickle-free v1 format when the index is a
@@ -71,8 +81,18 @@ def save_index(index, path: "str | Path") -> None:
     FM-backed :class:`UsiIndex` aimed at ``.npz`` is still rejected
     (the historical contract); wrap it in its backend adapter — or use
     :func:`repro.build` which returns adapters — to save it tagged.
+
+    Pass ``container="v3"`` to write the kernel-aware v3 layout
+    instead (pickle-free, uncompressed, hence ``mmap``-openable); it
+    supports the kernel-backed engines — see :func:`save_bundle`,
+    which also stores *several* indexes over one shared substrate.
     """
     path = Path(path)
+    if container == "v3":
+        save_bundle({"index": index}, path)
+        return
+    if container not in (None, "auto"):
+        raise ParameterError(f"unknown container {container!r}")
     if path.suffix != ".npz":
         with open(path, "wb") as handle:
             pickle.dump(index, handle)
@@ -148,22 +168,304 @@ def _read_header(archive) -> dict:
     return json.loads(bytes(archive["header"].tobytes()).decode())
 
 
+# ----------------------------------------------------------------------
+# v3: the kernel-aware container (substrate once, engines as payloads)
+# ----------------------------------------------------------------------
+def _alphabet_header(ws: WeightedString) -> dict:
+    letters = ws.alphabet.letters
+    kind = "str" if letters and isinstance(letters[0], str) else "int"
+    return {"letters_kind": kind, "letters": [str(letter) for letter in letters]}
+
+
+def _alphabet_from_header(meta: dict) -> Alphabet:
+    if meta["letters_kind"] == "int":
+        return Alphabet([int(letter) for letter in meta["letters"]])
+    return Alphabet(list(meta["letters"]))
+
+
+def _v3_extract(engine, backend: "str | None") -> "tuple[dict, dict, tuple]":
+    """Split one engine into (entry meta, entry arrays, substrate parts).
+
+    Substrate parts are ``(ws, sa_array, bases-or-None)``; only
+    kernel-backed engines whose full state is substrate + a light
+    payload are supported — everything else belongs in a v2 container.
+    """
+    from repro.api.adapters import OracleBackend
+    from repro.baselines.bsl1 import Bsl1NoCache
+    from repro.baselines.bsl2 import Bsl2LruCache
+    from repro.baselines.bsl3 import Bsl3TopKSeen
+
+    if isinstance(engine, UsiIndex):
+        if not isinstance(engine.suffix_array, SuffixArray):
+            raise ParameterError(
+                "v3 containers store suffix-array-backed USI indexes; "
+                "FM/suffix-tree locate backends need the v2 container"
+            )
+        table = engine._table
+        keys = np.fromiter(table.keys(), dtype=np.int64, count=len(table))
+        values = np.fromiter(table.values(), dtype=np.float64, count=len(table))
+        meta = {
+            "kind": "usi",
+            "backend": backend or "usi",
+            "aggregator": engine.utility.name,
+            "local": getattr(engine._psw, "local_name", "sum"),
+            "report": {
+                "miner": engine.report.miner,
+                "k": engine.report.k,
+                "tau_k": engine.report.tau_k,
+                "distinct_lengths": engine.report.distinct_lengths,
+                "hash_entries": engine.report.hash_entries,
+            },
+        }
+        parts = (engine.weighted_string, engine.suffix_array.sa, engine._fp.bases)
+        return meta, {"keys": keys, "values": values}, parts
+    if isinstance(engine, OracleBackend):
+        kernel = engine._kernel
+        meta = {
+            "kind": "oracle",
+            "backend": "oracle",
+            "aggregator": engine._utility.name,
+            "local": getattr(engine._psw, "local_name", "sum"),
+            "k": engine._k,
+        }
+        return meta, {}, (engine._ws, kernel.suffix.sa, kernel._bases)
+    if isinstance(engine, (Bsl1NoCache, Bsl2LruCache, Bsl3TopKSeen)):
+        inner = engine._engine
+        kernel = inner.kernel
+        meta = {
+            "kind": type(engine).name.lower(),
+            "backend": type(engine).name.lower(),
+            "aggregator": inner.utility.name,
+        }
+        capacity = getattr(engine, "_capacity", None)
+        if capacity is not None:
+            meta["capacity"] = int(capacity)
+        return meta, {}, (inner.weighted_string, kernel.suffix.sa, kernel._bases)
+    raise ParameterError(
+        f"the v3 container does not support {type(engine).__name__}; "
+        "save it through the tagged v2 container instead"
+    )
+
+
+def save_bundle(indexes, path: "str | Path") -> None:
+    """Write the kernel-aware v3 container: one substrate, many engines.
+
+    *indexes* maps names to engines or adapters built **over the same
+    text** (ideally from one shared :class:`~repro.kernel.TextKernel`);
+    the codes, utilities, and suffix array are stored exactly once,
+    each engine contributing only its light payload (hash table,
+    parameters).  The file is pickle-free and uncompressed, so
+    :func:`load_bundle`/:func:`repro.open` can reopen the substrate
+    with ``mmap=True`` (``mmap_mode="r"``).
+    """
+    if not isinstance(indexes, dict) or not indexes:
+        raise ParameterError("save_bundle takes a non-empty {name: index} dict")
+    entries: list[dict] = []
+    arrays: dict[str, np.ndarray] = {}
+    shared_ws: "WeightedString | None" = None
+    shared_sa: "np.ndarray | None" = None
+    shared_bases: "tuple | None" = None
+    for position, (name, index) in enumerate(indexes.items()):
+        engine, backend = _unwrap(index)
+        meta, entry_arrays, (ws, sa, bases) = _v3_extract(engine, backend)
+        if shared_ws is None:
+            shared_ws, shared_sa = ws, sa
+        elif not (
+            np.array_equal(ws.codes, shared_ws.codes)
+            and np.array_equal(ws.utilities, shared_ws.utilities)
+            and np.array_equal(sa, shared_sa)
+        ):
+            raise ParameterError(
+                f"index {name!r} was built over a different text; a v3 "
+                "container stores exactly one substrate — bundle only "
+                "indexes sharing one TextKernel"
+            )
+        if bases is not None:
+            if shared_bases is not None and tuple(bases) != tuple(shared_bases):
+                raise ParameterError(
+                    f"index {name!r} uses different fingerprint bases; "
+                    "bundle only indexes sharing one TextKernel"
+                )
+            shared_bases = tuple(int(b) for b in bases)
+        meta["name"] = name
+        entries.append(meta)
+        for key, value in entry_arrays.items():
+            arrays[f"e{position}_{key}"] = value
+    header = {
+        "format_version": KERNEL_FORMAT_VERSION,
+        # The tag repro.open/peek_backend dispatch on: single-index
+        # containers behave exactly like a v1/v2 file of that backend.
+        "backend": entries[0]["backend"] if len(entries) == 1 else None,
+        "substrate": {
+            **_alphabet_header(shared_ws),
+            "bases": list(shared_bases) if shared_bases is not None else None,
+        },
+        "entries": entries,
+    }
+    payload = dict(arrays)
+    payload["header"] = np.frombuffer(json.dumps(header).encode(), dtype=np.uint8)
+    payload["codes"] = shared_ws.codes
+    payload["utilities"] = shared_ws.utilities
+    payload["sa"] = np.asarray(shared_sa, dtype=np.int64)
+    # Uncompressed on purpose: stored (not deflated) zip members are
+    # contiguous file ranges, which is what makes mmap reopen possible.
+    with open(Path(path), "wb") as handle:
+        np.savez(handle, **payload)
+
+
+def _mmap_member(path: Path, info: "zipfile.ZipInfo") -> "np.ndarray | None":
+    """Memory-map one stored ``.npy`` zip member; None if not mappable."""
+    try:
+        with open(path, "rb") as handle:
+            handle.seek(info.header_offset)
+            local = handle.read(30)
+            if local[:4] != _ZIP_MAGIC:
+                return None
+            name_length = int.from_bytes(local[26:28], "little")
+            extra_length = int.from_bytes(local[28:30], "little")
+            handle.seek(info.header_offset + 30 + name_length + extra_length)
+            version = np.lib.format.read_magic(handle)
+            if version == (1, 0):
+                shape, fortran, dtype = np.lib.format.read_array_header_1_0(handle)
+            elif version == (2, 0):
+                shape, fortran, dtype = np.lib.format.read_array_header_2_0(handle)
+            else:
+                return None
+            offset = handle.tell()
+        if dtype.hasobject:
+            return None
+        if int(np.prod(shape)) == 0:
+            return np.empty(shape, dtype=dtype)
+        return np.memmap(
+            path,
+            mode="r",
+            dtype=dtype,
+            shape=shape,
+            offset=offset,
+            order="F" if fortran else "C",
+        )
+    except Exception:
+        return None
+
+
+def _read_npz_members(path: Path, mmap: bool) -> dict:
+    """All arrays of an ``.npz``, memory-mapping stored members if asked."""
+    if not mmap:
+        with np.load(path) as archive:
+            return {name: archive[name] for name in archive.files}
+    members: dict[str, np.ndarray] = {}
+    pending: list[str] = []
+    with zipfile.ZipFile(path) as archive:
+        infos = list(archive.infolist())
+    for info in infos:
+        name = info.filename[:-4] if info.filename.endswith(".npy") else info.filename
+        mapped = (
+            _mmap_member(path, info)
+            if info.compress_type == zipfile.ZIP_STORED
+            else None
+        )
+        if mapped is None:
+            pending.append(name)
+        else:
+            members[name] = mapped
+    if pending:  # compressed or exotic members: materialise just those
+        with np.load(path) as archive:
+            for name in pending:
+                members[name] = archive[name]
+    return members
+
+
+def _load_v3(path: Path, header: dict, mmap: bool) -> "dict[str, tuple]":
+    """Rehydrate every engine of a v3 container around one kernel."""
+    from repro.api.adapters import OracleBackend
+    from repro.baselines.bsl1 import Bsl1NoCache
+    from repro.baselines.bsl2 import Bsl2LruCache
+    from repro.baselines.bsl3 import Bsl3TopKSeen
+
+    arrays = _read_npz_members(path, mmap)
+    substrate = header["substrate"]
+    alphabet = _alphabet_from_header(substrate)
+    ws = WeightedString(arrays["codes"], arrays["utilities"], alphabet)
+    bases = substrate.get("bases")
+    kernel = TextKernel.from_parts(
+        ws, arrays["sa"], bases=tuple(bases) if bases else None
+    )
+    engines: dict[str, tuple] = {}
+    for position, meta in enumerate(header["entries"]):
+        kind = meta["kind"]
+        aggregator = make_global_utility(meta["aggregator"])
+        if kind == "usi":
+            table = dict(
+                zip(
+                    arrays[f"e{position}_keys"].tolist(),
+                    arrays[f"e{position}_values"].tolist(),
+                )
+            )
+            report = UsiBuildReport(**meta["report"])
+            engine = UsiIndex(
+                ws,
+                kernel.suffix,
+                None,  # fingerprinter resolves lazily from the kernel
+                kernel.psw(meta["local"]),
+                aggregator,
+                table,
+                report,
+                kernel=kernel,
+            )
+        elif kind == "oracle":
+            engine = OracleBackend(
+                ws, kernel, kernel.psw(meta["local"]), aggregator, int(meta["k"])
+            )
+        elif kind == "bsl1":
+            engine = Bsl1NoCache(ws, aggregator=meta["aggregator"], kernel=kernel)
+        elif kind == "bsl2":
+            engine = Bsl2LruCache(
+                ws, int(meta["capacity"]), aggregator=meta["aggregator"], kernel=kernel
+            )
+        elif kind == "bsl3":
+            engine = Bsl3TopKSeen(
+                ws, int(meta["capacity"]), aggregator=meta["aggregator"], kernel=kernel
+            )
+        else:
+            raise ParameterError(f"unknown v3 entry kind {kind!r}")
+        engines[meta["name"]] = (engine, meta.get("backend"))
+    return engines
+
+
+def load_bundle(path: "str | Path", mmap: bool = False) -> dict:
+    """Load a v3 container as ``{name: (engine, backend)}``.
+
+    Every engine shares one :class:`~repro.kernel.TextKernel` rebuilt
+    from the stored substrate; with ``mmap=True`` the substrate arrays
+    stay memory-mapped (``mmap_mode="r"``) rather than materialised.
+    """
+    path = Path(path)
+    with np.load(path) as archive:
+        header = _read_header(archive)
+    if header.get("format_version") != KERNEL_FORMAT_VERSION:
+        raise ParameterError(f"{path} is not a v3 kernel container")
+    return _load_v3(path, header, mmap)
+
+
 def load_any(
-    path: "str | Path", allow_pickle: bool = True
+    path: "str | Path", allow_pickle: bool = True, mmap: bool = False
 ) -> "tuple[object, str | None]":
     """Load any index file, returning ``(engine, backend name or None)``.
 
-    The engine is the raw object (v1 reconstructs a :class:`UsiIndex`
-    without unpickling anything; v2 and legacy pickles unpickle).  The
-    backend name comes from the tag when present, else from type
-    sniffing; ``None`` means unrecognised (wrap with
-    :func:`repro.api.as_index` for a generic adapter).
+    The engine is the raw object (v1/v3 reconstruct engines without
+    unpickling anything; v2 and legacy pickles unpickle).  The backend
+    name comes from the tag when present, else from type sniffing;
+    ``None`` means unrecognised (wrap with :func:`repro.api.as_index`
+    for a generic adapter).  ``mmap=True`` memory-maps the substrate
+    arrays of a v3 container (compressed legacy formats cannot be
+    mapped and load eagerly).  A v3 *bundle* holding several indexes
+    must go through :func:`load_bundle` instead.
 
     .. warning::
        v2 containers and legacy pickles execute pickle bytecode on
        load — only open index files you trust, exactly as with the
        historical ``.pkl`` format.  Pass ``allow_pickle=False`` to
-       refuse both and accept only the pickle-free v1 layout.
+       refuse both and accept only the pickle-free v1/v3 layouts.
     """
     path = Path(path)
     with open(path, "rb") as handle:
@@ -199,6 +501,14 @@ def load_any(
                 )
             engine = pickle.loads(archive["payload"].tobytes())
             return engine, header.get("backend")
+    if version == KERNEL_FORMAT_VERSION:
+        engines = _load_v3(path, header, mmap)
+        if len(engines) != 1:
+            raise ParameterError(
+                f"{path} is a v3 bundle holding {len(engines)} indexes; "
+                "open it with repro.io.load_bundle"
+            )
+        return next(iter(engines.values()))
     raise ParameterError(f"unsupported index format version {version}")
 
 
@@ -216,14 +526,12 @@ def _load_v1(archive, header: dict) -> UsiIndex:
     alphabet = Alphabet(letters)
     ws = WeightedString(codes, utilities, alphabet)
 
-    # Rebuild the suffix-array object around the persisted array; the
-    # LCP is not needed for queries.
-    index = SuffixArray.__new__(SuffixArray)
-    index._codes = codes.astype(np.int64)
-    index._sa = sa_array.astype(np.int64)
-    index._lcp = None
-
-    fingerprinter = KarpRabinFingerprinter.with_bases(ws.codes, *header["bases"])
+    # Rewrap the persisted suffix array in a shared kernel (the LCP is
+    # not needed for queries; the fingerprint tables rebuild lazily
+    # from the stored bases on first use).
+    kernel = TextKernel.from_parts(
+        ws, sa_array.astype(np.int64), bases=tuple(header["bases"])
+    )
     psw = make_local_utility(header["local"], ws.utilities)
     utility = make_global_utility(header["aggregator"])
     table = dict(zip(keys.tolist(), values.tolist()))
@@ -234,7 +542,9 @@ def _load_v1(archive, header: dict) -> UsiIndex:
         distinct_lengths=header["report"]["distinct_lengths"],
         hash_entries=header["report"]["hash_entries"],
     )
-    return UsiIndex(ws, index, fingerprinter, psw, utility, table, report)
+    return UsiIndex(
+        ws, kernel.suffix, None, psw, utility, table, report, kernel=kernel
+    )
 
 
 def load_index(path: "str | Path", allow_pickle: bool = True):

@@ -30,10 +30,10 @@ from repro.service.engine import QueryEngine
 from repro.service.metrics import LatencyRecorder
 
 
-def _default_loader(path: Path):
+def _default_loader(path: Path, mmap: bool = False):
     from repro.api import open_index
 
-    return open_index(path)
+    return open_index(path, mmap=mmap)
 
 
 class _Entry:
@@ -66,6 +66,10 @@ class IndexRegistry:
         engine, so server-wide latency statistics aggregate naturally.
     loader:
         Injectable ``path -> index`` function (tests).
+    mmap:
+        Open path-backed indexes with ``mmap=True`` (lazy,
+        memory-mapped substrate for v3 containers; the ``usi serve
+        --mmap`` flag).  Ignored when a custom *loader* is given.
     """
 
     def __init__(
@@ -74,17 +78,21 @@ class IndexRegistry:
         cache_size: int = 4096,
         metrics: "LatencyRecorder | None" = None,
         loader: "Callable | None" = None,
+        mmap: bool = False,
     ) -> None:
         if capacity <= 0:
             raise ParameterError("registry capacity must be positive")
         self._capacity = int(capacity)
         self._cache_size = int(cache_size)
         self._metrics = metrics if metrics is not None else LatencyRecorder()
-        self._loader = loader or _default_loader
+        if loader is None:
+            loader = lambda path: _default_loader(path, mmap=mmap)  # noqa: E731
+        self._loader = loader
         self._entries: dict[str, _Entry] = {}
         self._clock = 0
         self._loads = 0
         self._evictions = 0
+        self._closed = False
         self._lock = threading.Lock()
 
     @property
@@ -99,6 +107,8 @@ class IndexRegistry:
         """Adopt an in-memory *index* under *name* (pinned)."""
         engine = self._wrap(index)
         with self._lock:
+            if self._closed:
+                raise ParameterError("the registry is closed")
             if name in self._entries:
                 raise ParameterError(f"index {name!r} is already registered")
             self._entries[name] = _Entry(name, None, engine, pinned=True)
@@ -113,6 +123,8 @@ class IndexRegistry:
             raise ParameterError(f"index file {path} does not exist")
         backend = peek_backend(path)
         with self._lock:
+            if self._closed:
+                raise ParameterError("the registry is closed")
             if name in self._entries:
                 raise ParameterError(f"index {name!r} is already registered")
             self._entries[name] = _Entry(
@@ -176,6 +188,22 @@ class IndexRegistry:
     def unregister(self, name: str) -> None:
         with self._lock:
             self._entries.pop(name, None)
+
+    def close(self) -> None:
+        """Drop every entry and refuse further registrations.
+
+        The graceful-shutdown hook: releases resident engines (and
+        with them any memory-mapped substrate handles) once in-flight
+        requests have drained.  Idempotent.
+        """
+        with self._lock:
+            self._closed = True
+            self._entries.clear()
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed
 
     def __contains__(self, name: str) -> bool:
         with self._lock:

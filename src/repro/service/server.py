@@ -32,7 +32,9 @@ indexes below, a lock only around cache/counter updates.
 from __future__ import annotations
 
 import json
+import signal
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from repro.service.metrics import LatencyRecorder
@@ -52,6 +54,21 @@ class _Handler(BaseHTTPRequestHandler):
     @property
     def registry(self) -> IndexRegistry:
         return self.server.registry  # type: ignore[attr-defined]
+
+    def _begin_request(self) -> bool:
+        """Count this request in-flight; refuse it once draining."""
+        condition = self.server.inflight_condition  # type: ignore[attr-defined]
+        with condition:
+            if self.server.draining:  # type: ignore[attr-defined]
+                return False
+            self.server.inflight += 1  # type: ignore[attr-defined]
+        return True
+
+    def _end_request(self) -> None:
+        condition = self.server.inflight_condition  # type: ignore[attr-defined]
+        with condition:
+            self.server.inflight -= 1  # type: ignore[attr-defined]
+            condition.notify_all()
 
     def log_message(self, format, *args):  # noqa: A002 - stdlib signature
         if getattr(self.server, "verbose", False):  # pragma: no cover
@@ -78,6 +95,15 @@ class _Handler(BaseHTTPRequestHandler):
     # Routes
     # ------------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 - stdlib name
+        if not self._begin_request():
+            self._error(503, "server is shutting down")
+            return
+        try:
+            self._do_get()
+        finally:
+            self._end_request()
+
+    def _do_get(self) -> None:
         if self.path == "/indexes":
             self._send_json({"indexes": self.registry.describe()})
         elif self.path == "/stats":
@@ -95,6 +121,15 @@ class _Handler(BaseHTTPRequestHandler):
             self._error(404, f"unknown path {self.path!r}")
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib name
+        if not self._begin_request():
+            self._error(503, "server is shutting down")
+            return
+        try:
+            self._do_post()
+        finally:
+            self._end_request()
+
+    def _do_post(self) -> None:
         if self.path != "/query":
             self._error(404, f"unknown path {self.path!r}")
             return
@@ -191,7 +226,16 @@ class UsiServer:
         self._http.registry = registry  # type: ignore[attr-defined]
         self._http.metrics = self.metrics  # type: ignore[attr-defined]
         self._http.verbose = verbose  # type: ignore[attr-defined]
+        # In-flight request tracking for graceful shutdown.
+        self._http.inflight = 0  # type: ignore[attr-defined]
+        self._http.inflight_condition = threading.Condition()  # type: ignore[attr-defined]
+        self._http.draining = False  # type: ignore[attr-defined]
         self._thread: "threading.Thread | None" = None
+        self._serving = False
+        self._shutdown_lock = threading.Lock()
+        self._shutting_down = False
+        self._shutdown_thread: "threading.Thread | None" = None
+        self._previous_handlers: dict = {}
 
     @property
     def host(self) -> str:
@@ -209,23 +253,111 @@ class UsiServer:
         """Serve on a daemon thread and return immediately."""
         if self._thread is not None:
             return self
+        self._serving = True
         self._thread = threading.Thread(
             target=self._http.serve_forever, name="usi-serve", daemon=True
         )
         self._thread.start()
         return self
 
-    def serve_forever(self) -> None:
-        """Serve on the calling thread (the CLI path); Ctrl-C stops."""
+    def serve_forever(self, install_signal_handlers: bool = True) -> None:
+        """Serve on the calling thread (the CLI path).
+
+        With *install_signal_handlers* (the default, effective only on
+        the main thread) SIGINT and SIGTERM trigger a **graceful**
+        shutdown: the listener stops accepting, in-flight requests
+        finish, and the registry closes — instead of the process dying
+        mid-response.
+        """
+        if install_signal_handlers:
+            self.install_signal_handlers()
+        self._serving = True
         try:
             self._http.serve_forever()
         except KeyboardInterrupt:  # pragma: no cover - interactive
             pass
         finally:
+            self._serving = False
+            self._restore_signal_handlers()
+            # A signal-triggered graceful shutdown drains on a helper
+            # thread; wait for it so the process exits cleanly.
+            shutdown_thread = self._shutdown_thread
+            if shutdown_thread is not None:
+                shutdown_thread.join(timeout=30)
             self._http.server_close()
 
+    # ------------------------------------------------------------------
+    # Shutdown paths
+    # ------------------------------------------------------------------
+    def install_signal_handlers(self, signals=(signal.SIGINT, signal.SIGTERM)) -> None:
+        """Route SIGINT/SIGTERM to :meth:`graceful_shutdown`.
+
+        Only the main thread may install handlers; elsewhere this is a
+        no-op (tests and embedded servers call
+        :meth:`graceful_shutdown` directly).
+        """
+        for signum in signals:
+            try:
+                self._previous_handlers[signum] = signal.signal(
+                    signum, self._handle_signal
+                )
+            except ValueError:  # not the main thread
+                self._previous_handlers.clear()
+                return
+
+    def _restore_signal_handlers(self) -> None:
+        for signum, handler in self._previous_handlers.items():
+            try:
+                signal.signal(signum, handler)
+            except ValueError:  # pragma: no cover - non-main thread
+                pass
+        self._previous_handlers.clear()
+
+    def _handle_signal(self, signum, frame) -> None:  # pragma: no cover - signals
+        # serve_forever runs on this thread; draining inline would
+        # deadlock on the serve loop, so delegate to a helper thread.
+        if self._shutdown_thread is None:
+            self._shutdown_thread = threading.Thread(
+                target=self.graceful_shutdown, name="usi-shutdown", daemon=True
+            )
+            self._shutdown_thread.start()
+
+    def graceful_shutdown(self, timeout: float = 10.0) -> None:
+        """Finish in-flight requests, then close server and registry.
+
+        New requests are refused with 503 the moment draining starts;
+        requests already being answered get up to *timeout* seconds to
+        complete.  Idempotent and safe from any thread except the
+        serve loop itself (signal handlers delegate to a helper
+        thread for exactly that reason).
+        """
+        with self._shutdown_lock:
+            if self._shutting_down:
+                return
+            self._shutting_down = True
+        condition = self._http.inflight_condition  # type: ignore[attr-defined]
+        with condition:
+            self._http.draining = True  # type: ignore[attr-defined]
+        if self._serving:
+            self._http.shutdown()  # stop accepting; unblocks serve_forever
+        deadline = time.monotonic() + timeout
+        with condition:
+            while self._http.inflight > 0:  # type: ignore[attr-defined]
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                condition.wait(remaining)
+        self.registry.close()
+        if self._thread is not None and self._thread is not threading.current_thread():
+            self._thread.join(timeout=5)
+            self._thread = None
+        self._http.server_close()
+
     def shutdown(self) -> None:
-        self._http.shutdown()
+        """Immediate stop (the historical API): no drain, no registry close."""
+        if self._serving:
+            self._http.shutdown()
+        self._serving = False
         if self._thread is not None:
             self._thread.join(timeout=5)
             self._thread = None

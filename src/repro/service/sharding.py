@@ -38,6 +38,7 @@ import numpy as np
 
 from repro.core.usi import UsiIndex
 from repro.errors import AlphabetError, ParameterError
+from repro.kernel import TextKernel
 from repro.strings.alphabet import Alphabet
 from repro.strings.collection import WeightedStringCollection
 from repro.strings.weighted import WeightedString
@@ -50,10 +51,15 @@ def _build_shard(payload: tuple) -> UsiIndex:
 
     Module-level (not a closure) so :class:`ProcessPoolExecutor` can
     pickle it; the payload carries plain arrays + the letter list.
+    One :class:`TextKernel` is built per shard and injected, so every
+    structure the shard's index needs (SA, PSW, fingerprints) comes
+    from one substrate encode — and stays shared with any other
+    consumer of the shard (e.g. document-frequency scans).
     """
     codes, utilities, letters, build_kwargs = payload
     ws = WeightedString(codes, utilities, Alphabet(letters))
-    return UsiIndex.build(ws, **build_kwargs)
+    kernel = TextKernel(ws, sa_algorithm=build_kwargs.get("sa_algorithm", "doubling"))
+    return UsiIndex.build(ws, kernel=kernel, **build_kwargs)
 
 
 class ShardedUsiIndex:
@@ -115,6 +121,12 @@ class ShardedUsiIndex:
             Forwarded to :meth:`UsiIndex.build` per shard (``k``,
             ``tau``, ``miner``, ``aggregator``, ...).
         """
+        if build_kwargs.pop("kernel", None) is not None:
+            raise ParameterError(
+                "sharded builds index per-shard texts; a single shared "
+                "kernel cannot cover them — drop the kernel option "
+                "(each shard builds and shares its own)"
+            )
         if isinstance(source, WeightedString):
             source = WeightedStringCollection([source])
         documents = source.documents

@@ -36,6 +36,7 @@ class FmIndex:
         self,
         codes: "Sequence[int] | np.ndarray",
         sample_rate: int = 16,
+        sa: "np.ndarray | None" = None,
     ) -> None:
         codes = np.asarray(codes, dtype=np.int64)
         if codes.ndim != 1 or len(codes) == 0:
@@ -44,7 +45,14 @@ class FmIndex:
             raise ParameterError("sample_rate must be positive")
         self._n = len(codes)
         self._sigma = int(codes.max()) + 1
-        sa = build_suffix_array(codes)
+        if sa is None:
+            sa = build_suffix_array(codes)
+        else:
+            # A kernel-shared suffix array: the BWT derives from it
+            # directly, so construction skips the suffix sort.
+            sa = np.asarray(sa, dtype=np.int64)
+            if len(sa) != self._n:
+                raise ConstructionError("suffix array length mismatch")
         bwt = bwt_from_sa(codes, sa)
         # Shifted alphabet: sentinel 0 plus symbols 1 .. sigma.
         self._wavelet = WaveletTree(bwt, sigma=self._sigma + 1)

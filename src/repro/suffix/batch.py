@@ -1,0 +1,169 @@
+"""Vectorised batch locate over a suffix array.
+
+The scalar ``SuffixArray.interval`` walks an ``O(m log n)`` binary
+search one pattern at a time in pure Python.  This module answers the
+SA intervals of a whole *batch* of equal-length patterns with numpy:
+
+* **packed keys** — when the ``m``-letter windows fit into an int64
+  (``(sigma + 1)^m < 2^62``), every suffix's first ``m`` letters are
+  rank-encoded into one base-``sigma+2`` integer.  In SA order those
+  keys are non-decreasing (the pad digit 0 sorts before every letter),
+  so one ``np.searchsorted`` per side yields all intervals at once;
+* **lockstep binary search** — for long patterns or huge alphabets the
+  classic two binary searches run over the whole batch in lockstep:
+  each of the ``O(log n)`` rounds gathers one ``(B, m)`` window matrix
+  with a single fancy-index and compares it row-wise against the
+  pattern matrix.
+
+Both paths return exactly the interval the scalar search would: the
+closed SA range ``[lb, rb]`` of suffixes having the pattern as a
+prefix, ``(0, -1)`` when absent.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+#: Packed keys are built in int64; keep one bit of headroom.
+_KEY_BITS = 62
+
+
+def pack_limit(base: int) -> int:
+    """Longest window length whose base-``base`` key fits in 62 bits."""
+    if base <= 1:
+        return _KEY_BITS
+    return max(1, int(_KEY_BITS / math.log2(base)))
+
+
+def packed_window_keys(codes: np.ndarray, sa: np.ndarray, length: int, base: int) -> np.ndarray:
+    """Rank-encoded keys of every suffix's first *length* letters, SA order.
+
+    Letters are shifted by +1 so the pad digit 0 (positions past the
+    end of the text) sorts before every real letter, matching the
+    prefix-aware comparison of the scalar search.  The result is
+    non-decreasing along the suffix array.
+    """
+    n = len(codes)
+    padded = np.concatenate(
+        (np.asarray(codes, dtype=np.int64) + 1, np.zeros(length, dtype=np.int64))
+    )
+    keys = np.zeros(n, dtype=np.int64)
+    for j in range(length):
+        keys = keys * base + padded[sa + j]
+    return keys
+
+
+def pack_patterns(matrix: np.ndarray, base: int) -> np.ndarray:
+    """The base-``base`` key of each pattern row (same encoding)."""
+    keys = np.zeros(len(matrix), dtype=np.int64)
+    for j in range(matrix.shape[1]):
+        keys = keys * base + (matrix[:, j].astype(np.int64) + 1)
+    return keys
+
+
+def _batch_compare(padded: np.ndarray, sa: np.ndarray, mids: np.ndarray,
+                   matrix: np.ndarray) -> np.ndarray:
+    """Sign of (suffix at ``sa[mid]`` vs pattern) per row, prefix-aware.
+
+    0 means the pattern is a prefix of the suffix; padding positions
+    carry the sentinel -1, so a suffix shorter than the pattern
+    compares below it, exactly like ``SuffixArray._compare_suffix``.
+    """
+    m = matrix.shape[1]
+    starts = sa[mids]
+    windows = padded[starts[:, None] + np.arange(m)]
+    neq = windows != matrix
+    any_neq = neq.any(axis=1)
+    first = np.where(any_neq, neq.argmax(axis=1), 0)
+    rows = np.arange(len(matrix))
+    window_letter = windows[rows, first]
+    pattern_letter = matrix[rows, first]
+    return np.where(any_neq, np.sign(window_letter - pattern_letter), 0)
+
+
+def batch_interval_lockstep(codes: np.ndarray, sa: np.ndarray,
+                            matrix: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """All SA intervals via two lockstep binary searches (any length)."""
+    n = len(codes)
+    batch, m = matrix.shape
+    # Keep the codes' own dtype: memory-mapped int32 texts must not be
+    # copied up to int64 here (comparisons broadcast across widths).
+    codes = np.asarray(codes)
+    padded = np.concatenate((codes, np.full(m, -1, dtype=codes.dtype)))
+    matrix = np.asarray(matrix, dtype=np.int64)
+
+    # Lower bound: first suffix comparing >= the pattern.
+    lo = np.zeros(batch, dtype=np.int64)
+    hi = np.full(batch, n, dtype=np.int64)
+    while True:
+        active = lo < hi
+        if not active.any():
+            break
+        mid = np.minimum((lo + hi) >> 1, n - 1)
+        cmp = _batch_compare(padded, sa, mid, matrix)
+        go_right = active & (cmp < 0)
+        lo = np.where(go_right, mid + 1, lo)
+        hi = np.where(active & ~go_right, mid, hi)
+    lb = lo.copy()
+
+    # Upper bound: first suffix comparing > the pattern.
+    hi = np.full(batch, n, dtype=np.int64)
+    while True:
+        active = lo < hi
+        if not active.any():
+            break
+        mid = np.minimum((lo + hi) >> 1, n - 1)
+        cmp = _batch_compare(padded, sa, mid, matrix)
+        go_right = active & (cmp <= 0)
+        lo = np.where(go_right, mid + 1, lo)
+        hi = np.where(active & ~go_right, mid, hi)
+    rb = lo - 1
+    return lb, rb
+
+
+def batch_intervals(
+    codes: np.ndarray,
+    sa: np.ndarray,
+    matrix: np.ndarray,
+    packed_keys: "np.ndarray | None" = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Closed SA intervals ``[lb, rb]`` for every row of *matrix*.
+
+    Rows containing letters outside ``[0, max(codes)]`` cannot occur
+    and report the empty interval ``(0, -1)`` directly.  When
+    *packed_keys* (from :func:`packed_window_keys`, cached by the
+    caller) is given or the window length packs into int64, intervals
+    come from two ``np.searchsorted`` calls; otherwise the lockstep
+    binary search handles arbitrary lengths.
+    """
+    matrix = np.ascontiguousarray(matrix, dtype=np.int64)
+    if matrix.ndim != 2:
+        raise ValueError("expected a 2-D pattern matrix")
+    batch, m = matrix.shape
+    lb = np.zeros(batch, dtype=np.int64)
+    rb = np.full(batch, -1, dtype=np.int64)
+    if batch == 0 or m == 0 or m > len(codes):
+        return lb, rb
+    max_code = int(codes.max())
+    valid = (matrix.min(axis=1) >= 0) & (matrix.max(axis=1) <= max_code)
+    if not valid.any():
+        return lb, rb
+    sub = matrix[valid]
+    base = max_code + 2
+    if packed_keys is not None or m <= pack_limit(base):
+        if packed_keys is None:
+            packed_keys = packed_window_keys(codes, sa, m, base)
+        pattern_keys = pack_patterns(sub, base)
+        left = np.searchsorted(packed_keys, pattern_keys, side="left")
+        right = np.searchsorted(packed_keys, pattern_keys, side="right") - 1
+    else:
+        left, right = batch_interval_lockstep(codes, sa, sub)
+    # Normalise absent patterns to the scalar search's (0, -1).
+    empty = right < left
+    left = np.where(empty, 0, left)
+    right = np.where(empty, -1, right)
+    lb[valid] = left
+    rb[valid] = right
+    return lb, rb

@@ -10,14 +10,20 @@ set and is the practical choice in Python (see DESIGN.md) — the extra
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Literal, Sequence
 
 import numpy as np
 
 from repro.errors import ConstructionError, PatternError
+from repro.suffix.batch import batch_intervals, pack_limit, packed_window_keys
 from repro.suffix.doubling import suffix_array_doubling
 from repro.suffix.lcp import lcp_array_kasai
 from repro.suffix.sais import suffix_array_sais
+
+#: How many per-length packed-key arrays one SuffixArray caches for
+#: the batch path (each is one int64 per suffix).
+_KEY_CACHE_LIMIT = 8
 
 
 def build_suffix_array(
@@ -58,6 +64,36 @@ class SuffixArray:
             raise ConstructionError("suffix arrays require a non-empty 1-D text")
         self._sa = build_suffix_array(self._codes, algorithm)
         self._lcp = lcp_array_kasai(self._codes, self._sa) if with_lcp else None
+        self._key_cache: "OrderedDict[int, np.ndarray]" = OrderedDict()
+
+    @classmethod
+    def from_parts(
+        cls,
+        codes: np.ndarray,
+        sa: np.ndarray,
+        lcp: "np.ndarray | None" = None,
+    ) -> "SuffixArray":
+        """Rewrap an already-constructed suffix array (deserialisation).
+
+        Skips construction entirely; *codes* and *sa* are adopted as
+        given (so memory-mapped arrays stay memory-mapped).
+        """
+        instance = cls.__new__(cls)
+        instance._codes = codes
+        instance._sa = sa
+        instance._lcp = lcp
+        instance._key_cache = OrderedDict()
+        return instance
+
+    # Pickle: the packed-key cache is a derived accelerator; drop it.
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state.pop("_key_cache", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._key_cache = OrderedDict()
 
     # ------------------------------------------------------------------
     # Accessors
@@ -154,6 +190,45 @@ class SuffixArray:
         if rb < lb:
             return np.empty(0, dtype=np.int64)
         return self._sa[lb : rb + 1]
+
+    def interval_batch(self, matrix: "Sequence | np.ndarray") -> tuple[np.ndarray, np.ndarray]:
+        """SA intervals for a whole batch of equal-length patterns.
+
+        *matrix* holds one pattern per row; returns ``(lb, rb)`` int64
+        arrays with one closed interval per row, identical to calling
+        :meth:`interval` per pattern — but computed with the vectorised
+        kernel of :mod:`repro.suffix.batch` (packed-key searchsorted
+        when the length fits an int64 key, lockstep binary search
+        otherwise).  Packed key arrays are cached per length, so
+        repeated batches of a common length skip the encode pass.
+        """
+        matrix = np.ascontiguousarray(matrix, dtype=np.int64)
+        if matrix.ndim != 2:
+            raise PatternError("expected a 2-D matrix of equal-length patterns")
+        if matrix.shape[1] == 0:
+            raise PatternError("patterns must be non-empty")
+        keys = self._packed_keys(matrix.shape[1])
+        return batch_intervals(self._codes, self._sa, matrix, packed_keys=keys)
+
+    def _packed_keys(self, length: int) -> "np.ndarray | None":
+        """The cached packed-key array for *length* (None if unpackable)."""
+        cache = getattr(self, "_key_cache", None)
+        if cache is None:
+            cache = self._key_cache = OrderedDict()
+        cached = cache.get(length)
+        if cached is not None:
+            cache.move_to_end(length)
+            return cached
+        if len(self._codes) == 0 or length > len(self._codes):
+            return None
+        base = int(self._codes.max()) + 2
+        if length > pack_limit(base):
+            return None
+        keys = packed_window_keys(self._codes, self._sa, length, base)
+        cache[length] = keys
+        if len(cache) > _KEY_CACHE_LIMIT:
+            cache.popitem(last=False)
+        return keys
 
     def count(self, pattern: "Sequence[int] | np.ndarray") -> int:
         """The frequency ``|occ(pattern)|``."""

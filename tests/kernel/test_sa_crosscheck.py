@@ -1,0 +1,113 @@
+"""Suffix-array construction cross-checks on adversarial collections.
+
+SA-IS (pure Python, O(n)), prefix doubling (vectorised), and the
+kernel's suffix array must agree on every input — including the
+separator-joined code arrays a document collection produces when some
+documents are *empty* (consecutive separators), single-character, or
+drawn from a maximal alphabet (every letter distinct).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernel import TextKernel
+from repro.strings.weighted import WeightedString
+from repro.suffix.doubling import suffix_array_doubling
+from repro.suffix.sais import suffix_array_sais
+
+
+def join_with_separators(documents: list[list[int]], separator: int) -> np.ndarray:
+    """The collection joining rule at the codes level.
+
+    Empty documents contribute nothing but their separator, so
+    consecutive separators (and leading/trailing ones) appear — the
+    degenerate shapes a high-level collection never emits but a robust
+    substrate must sort correctly anyway.
+    """
+    parts: list[int] = []
+    for position, document in enumerate(documents):
+        parts.extend(document)
+        if position != len(documents) - 1:
+            parts.append(separator)
+    return np.asarray(parts, dtype=np.int64)
+
+
+def naive_suffix_array(codes: np.ndarray) -> np.ndarray:
+    order = sorted(range(len(codes)), key=lambda i: codes[i:].tolist())
+    return np.asarray(order, dtype=np.int64)
+
+
+def assert_all_constructions_agree(codes: np.ndarray) -> None:
+    expected = naive_suffix_array(codes)
+    assert np.array_equal(suffix_array_sais(codes), expected)
+    assert np.array_equal(suffix_array_doubling(codes), expected)
+    ws = WeightedString(codes, np.ones(len(codes)))
+    for algorithm in ("doubling", "sais"):
+        kernel = TextKernel(ws, sa_algorithm=algorithm)
+        assert np.array_equal(kernel.suffix.sa, expected), algorithm
+
+
+documents_strategy = st.lists(
+    st.lists(st.integers(min_value=0, max_value=3), min_size=0, max_size=8),
+    min_size=1,
+    max_size=6,
+)
+
+
+class TestCollectionShapes:
+    @given(documents=documents_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_collections_with_empty_documents(self, documents):
+        codes = join_with_separators(documents, separator=4)
+        if len(codes) == 0:
+            return  # a single empty document: nothing to index
+        assert_all_constructions_agree(codes)
+
+    def test_all_documents_empty(self):
+        codes = join_with_separators([[], [], [], []], separator=1)
+        assert np.array_equal(codes, [1, 1, 1])
+        assert_all_constructions_agree(codes)
+
+    @given(
+        documents=st.lists(
+            st.lists(st.integers(min_value=0, max_value=1), min_size=1, max_size=1),
+            min_size=1,
+            max_size=10,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_single_character_documents(self, documents):
+        codes = join_with_separators(documents, separator=2)
+        assert_all_constructions_agree(codes)
+
+    @given(n=st.integers(min_value=1, max_value=40), seed=st.integers(0, 2**16))
+    @settings(max_examples=40, deadline=None)
+    def test_max_alphabet_texts(self, n, seed):
+        # Every letter distinct (sigma = n): the alphabet upper bound.
+        rng = np.random.default_rng(seed)
+        codes = rng.permutation(n).astype(np.int64)
+        assert_all_constructions_agree(codes)
+
+    @given(
+        documents=documents_strategy,
+        seed=st.integers(0, 2**16),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_kernel_batch_locate_on_degenerate_collections(self, documents, seed):
+        """The vectorised batch path agrees with scalar search here too."""
+        codes = join_with_separators(documents, separator=4)
+        if len(codes) < 2:
+            return
+        ws = WeightedString(codes, np.ones(len(codes)))
+        kernel = TextKernel(ws)
+        rng = np.random.default_rng(seed)
+        length = int(rng.integers(1, min(4, len(codes)) + 1))
+        starts = rng.integers(0, len(codes) - length + 1, size=8)
+        matrix = np.vstack([codes[s : s + length] for s in starts])
+        lb, rb = kernel.batch_intervals(matrix)
+        for row in range(len(matrix)):
+            assert (int(lb[row]), int(rb[row])) == kernel.suffix.interval(matrix[row])

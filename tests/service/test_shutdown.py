@@ -1,0 +1,134 @@
+"""Graceful shutdown: in-flight requests finish, new ones are refused."""
+
+from __future__ import annotations
+
+import json
+import signal
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro import WeightedString
+from repro.core.usi import UsiIndex
+from repro.service.registry import IndexRegistry
+from repro.service.server import UsiServer
+
+
+class SlowIndex:
+    """An index whose queries take a controlled amount of time."""
+
+    def __init__(self, delay: float) -> None:
+        self.delay = delay
+        self.started = threading.Event()
+        self.completed = 0
+
+    def query(self, pattern) -> float:
+        self.started.set()
+        time.sleep(self.delay)
+        self.completed += 1
+        return float(len(pattern))
+
+
+def _post_query(url: str, pattern: str) -> dict:
+    request = urllib.request.Request(
+        url + "/query",
+        data=json.dumps({"pattern": pattern}).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=10) as response:
+        return json.loads(response.read())
+
+
+def test_graceful_shutdown_finishes_inflight_and_closes_registry():
+    slow = SlowIndex(delay=0.4)
+    registry = IndexRegistry(cache_size=0)
+    registry.register("slow", slow)
+    server = UsiServer(registry, port=0).start()
+    url = server.url
+
+    result: dict = {}
+
+    def run_request():
+        result.update(_post_query(url, "ABCD"))
+
+    worker = threading.Thread(target=run_request)
+    worker.start()
+    assert slow.started.wait(timeout=5)  # the request is now in flight
+
+    t0 = time.perf_counter()
+    server.graceful_shutdown(timeout=10)
+    elapsed = time.perf_counter() - t0
+
+    worker.join(timeout=10)
+    # The in-flight request completed with a real answer...
+    assert result["results"][0]["utility"] == pytest.approx(4.0)
+    assert slow.completed == 1
+    # ...the drain actually waited for it...
+    assert elapsed >= 0.1
+    # ...and the registry is closed afterwards.
+    assert registry.closed
+    with pytest.raises(KeyError):
+        registry.get("slow")
+
+
+def test_draining_server_refuses_new_requests():
+    slow = SlowIndex(delay=0.6)
+    registry = IndexRegistry(cache_size=0)
+    registry.register("slow", slow)
+    server = UsiServer(registry, port=0).start()
+    url = server.url
+
+    worker = threading.Thread(target=lambda: _post_query(url, "AB"))
+    worker.start()
+    assert slow.started.wait(timeout=5)
+
+    drainer = threading.Thread(target=server.graceful_shutdown)
+    drainer.start()
+    # Wait until the drain flag is up, then try a new request.
+    for _ in range(100):
+        if server._http.draining:
+            break
+        time.sleep(0.01)
+    with pytest.raises(OSError):
+        # Refused with 503 (HTTPError), listener closed (URLError), or
+        # the connection torn down mid-read (ConnectionResetError) —
+        # all OSError subclasses, and all mean "no new work".
+        _post_query(url, "REFUSED")
+    worker.join(timeout=10)
+    drainer.join(timeout=10)
+    assert slow.completed == 1  # only the in-flight request ran
+
+
+def test_graceful_shutdown_is_idempotent():
+    registry = IndexRegistry()
+    registry.register("idx", UsiIndex.build(WeightedString.uniform("ABAB"), k=2))
+    server = UsiServer(registry, port=0).start()
+    server.graceful_shutdown(timeout=5)
+    server.graceful_shutdown(timeout=5)  # second call is a no-op
+    assert registry.closed
+
+
+def test_signal_handler_installation_requires_main_thread():
+    registry = IndexRegistry()
+    server = UsiServer(registry, port=0)
+    outcome: dict = {}
+
+    def install_off_main():
+        server.install_signal_handlers()
+        outcome["handlers"] = dict(server._previous_handlers)
+
+    thread = threading.Thread(target=install_off_main)
+    thread.start()
+    thread.join()
+    assert outcome["handlers"] == {}  # no-op off the main thread
+
+    # On the main thread the handlers install and restore cleanly.
+    before = signal.getsignal(signal.SIGTERM)
+    server.install_signal_handlers()
+    assert signal.getsignal(signal.SIGTERM) == server._handle_signal
+    server._restore_signal_handlers()
+    assert signal.getsignal(signal.SIGTERM) == before
+    server.shutdown()
