@@ -1,0 +1,194 @@
+"""Construction-pipeline micro-benchmark (the PR-4 acceptance gate).
+
+Measures the end-to-end vectorised build path — ``repro.build(...,
+backend="usi")`` — against the *seed* construction pipeline on a
+1M-char synthetic text, and asserts the vectorisation holds a >= 5x
+end-to-end speedup.  The seed path is composed here from the retained
+reference implementations, stage by stage, exactly as the pre-PR code
+ran them:
+
+* Kasai's Python-loop LCP walk (still the cross-check fallback);
+* the Python generator enumeration of suffix-tree nodes behind the
+  Section-V oracle (``TopKOracle(..., enumeration="python")``);
+* the per-position Python loop building the Karp-Rabin prefix tables;
+* the per-substring Python expansion of top-K triplets and the
+  per-item fragment hashing of the sliding-window table phase.
+
+Also emits ``results/BENCH_build.json`` (machine-readable per-stage
+seconds for both paths) under ``REPRO_WRITE_RESULTS=1``, which CI
+uploads as the build-speed trajectory artifact; the speedup assertion
+makes the CI job fail if the floor regresses.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+
+import numpy as np
+
+import repro
+from repro.core.topk_oracle import TopKOracle
+from repro.hashing.karp_rabin import _MOD1, _MOD2, KarpRabinFingerprinter
+from repro.strings.weighted import WeightedString
+from repro.suffix.doubling import suffix_array_doubling
+from repro.suffix.lcp import lcp_array_kasai
+from repro.suffix.sais import suffix_array_sais, suffix_array_sais_list
+from repro.suffix.suffix_array import SuffixArray
+from repro.utility.functions import make_global_utility, make_local_utility
+
+BENCH_N = 1_000_000
+BENCH_K = 2_000
+SPEEDUP_FLOOR = 5.0
+
+
+def _legacy_kr_tables(codes: np.ndarray, base: int, mod: int) -> tuple:
+    """The seed fingerprinter table build: one Python mulmod per position."""
+    n = len(codes)
+    prefix = np.empty(n + 1, dtype=np.int64)
+    powers = np.empty(n + 1, dtype=np.int64)
+    prefix[0] = 0
+    powers[0] = 1
+    h, p = 0, 1
+    for i, c in enumerate((codes + 1).tolist()):
+        h = (h * base + c) % mod
+        prefix[i + 1] = h
+        p = (p * base) % mod
+        powers[i + 1] = p
+    return prefix, powers
+
+
+def _legacy_table(mined, fingerprinter, psw, utility) -> dict:
+    """The seed Phase-(ii) table build: per-item fragment hashing + isin."""
+    by_length: dict[int, list] = {}
+    for m in mined:
+        by_length.setdefault(m.length, []).append(m)
+    table: dict[int, float] = {}
+    for length, group in sorted(by_length.items()):
+        wanted = np.asarray(
+            sorted({fingerprinter.fragment(m.position, m.length) for m in group}),
+            dtype=np.int64,
+        )
+        window_fps = fingerprinter.all_windows(length)
+        mask = np.isin(window_fps, wanted)
+        positions = np.flatnonzero(mask)
+        hits = window_fps[positions]
+        locals_ = psw.local_utilities(positions, length)
+        unique, inverse = np.unique(hits, return_inverse=True)
+        aggregated = utility.grouped_aggregate(inverse, locals_, len(unique))
+        for key, value in zip(unique.tolist(), aggregated.tolist()):
+            table[int(key)] = float(value)
+    return table
+
+
+def _legacy_build(ws: WeightedString, k: int) -> dict:
+    """Run the seed construction pipeline, returning per-stage seconds."""
+    stages: dict[str, float] = {}
+    t0 = time.perf_counter()
+    sa = suffix_array_doubling(ws.codes)
+    stages["suffix-array"] = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    lcp = lcp_array_kasai(ws.codes, sa)
+    stages["lcp"] = time.perf_counter() - t0
+
+    index = SuffixArray.from_parts(np.asarray(ws.codes, dtype=np.int64), sa, lcp)
+    t0 = time.perf_counter()
+    oracle = TopKOracle(index, enumeration="python")
+    tuning = oracle.tune_by_k(k)
+    mined = oracle.top_k(k)
+    stages["mining"] = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    fp = KarpRabinFingerprinter.__new__(KarpRabinFingerprinter)
+    reference = KarpRabinFingerprinter(np.asarray(ws.codes)[:1])
+    fp._base1, fp._base2 = reference.bases
+    fp._n = ws.length
+    raw = np.asarray(ws.codes, dtype=np.int64)
+    fp._prefix1, fp._pow1 = _legacy_kr_tables(raw, fp._base1, _MOD1)
+    fp._prefix2, fp._pow2 = _legacy_kr_tables(raw, fp._base2, _MOD2)
+    stages["fingerprint"] = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    psw = make_local_utility("sum", ws.utilities)
+    table = _legacy_table(mined, fp, psw, make_global_utility("sum"))
+    stages["table"] = time.perf_counter() - t0
+
+    stages["total"] = sum(stages.values())
+    stages["tau_k"] = tuning.tau
+    stages["hash_entries"] = len(table)
+    return stages
+
+
+def test_build_pipeline_vectorised_speedup():
+    """1M chars, K=2000: vectorised build >= 5x the seed pipeline."""
+    rng = np.random.default_rng(11)
+    codes = rng.integers(0, 4, size=BENCH_N, dtype=np.int64)
+    ws = WeightedString(codes, rng.uniform(0.5, 1.5, size=BENCH_N))
+
+    legacy = _legacy_build(ws, BENCH_K)
+
+    # Best-of-2 on the fast side: scheduler noise only ever inflates a
+    # single run, and this gate must hold on loaded CI runners.  (The
+    # slow legacy side runs once — inflation there only relaxes the
+    # gate.)
+    new_total = float("inf")
+    for _ in range(2):
+        t0 = time.perf_counter()
+        index = repro.build(ws, backend="usi", k=BENCH_K)
+        new_total = min(new_total, time.perf_counter() - t0)
+    report = index.inner.report
+
+    # Same structure out of both pipelines: the tuning figures are
+    # tie-insensitive, so they must agree exactly.
+    assert report.tau_k == legacy["tau_k"]
+    assert report.k == BENCH_K
+    assert report.lcp_source == "ranks"
+
+    speedup = legacy["total"] / new_total
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"vectorised build is only {speedup:.1f}x the seed pipeline "
+        f"({new_total:.2f} s vs {legacy['total']:.2f} s)"
+    )
+
+    # The O(n) guarantee path: numpy SA-IS must stay in the same
+    # league as doubling (the seed list implementation was ~100x off);
+    # measured on a slice to keep the reference run affordable.
+    sais_codes = codes[:300_000]
+    sais_numpy_seconds = float("inf")
+    for _ in range(2):
+        t0 = time.perf_counter()
+        sa_numpy = suffix_array_sais(sais_codes)
+        sais_numpy_seconds = min(sais_numpy_seconds, time.perf_counter() - t0)
+    t0 = time.perf_counter()
+    sa_list = suffix_array_sais_list(sais_codes)
+    sais_list_seconds = time.perf_counter() - t0
+    assert np.array_equal(sa_numpy, sa_list)
+    assert sais_numpy_seconds < sais_list_seconds
+
+    bench = {
+        "n": BENCH_N,
+        "k": BENCH_K,
+        "legacy_seconds": {
+            stage: round(value, 6)
+            for stage, value in legacy.items()
+            if stage not in ("tau_k", "hash_entries")
+        },
+        "vectorised_seconds": {
+            stage: round(value, 6)
+            for stage, value in report.stage_seconds().items()
+        },
+        "vectorised_total_seconds": round(new_total, 6),
+        "speedup": round(speedup, 2),
+        "speedup_floor": SPEEDUP_FLOOR,
+        "sais_numpy_seconds_300k": round(sais_numpy_seconds, 6),
+        "sais_list_seconds_300k": round(sais_list_seconds, 6),
+        "sais_speedup_300k": round(sais_list_seconds / sais_numpy_seconds, 2),
+    }
+    print("\nBENCH_build: " + json.dumps(bench, indent=2))
+    if os.environ.get("REPRO_WRITE_RESULTS") == "1":
+        results = pathlib.Path(__file__).resolve().parent.parent / "results"
+        results.mkdir(exist_ok=True)
+        (results / "BENCH_build.json").write_text(json.dumps(bench, indent=2) + "\n")

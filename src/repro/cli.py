@@ -4,6 +4,7 @@
 
     usi topk  --text corpus.txt --k 100
     usi build --text corpus.txt --utilities weights.txt --k 1000 --out idx.npz
+    usi build --text corpus.txt --k 1000 --out idx.npz --profile
     usi build --text corpus.txt --shards 8 --k 1000 --out idx.pkl
     usi build --text corpus.txt --backend uat --k 1000 --out idx.npz
     usi build --text lines.txt --backend sharded --shards 8 --out idx.npz
@@ -130,12 +131,37 @@ def _cmd_topk(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_build_profile(index, total_seconds: float, n: "int | None") -> None:
+    """``--profile`` output: per-stage timings when the engine has them.
+
+    UsiIndex-family engines carry a stage-level
+    :class:`~repro.core.usi.UsiBuildReport`; other backends report the
+    end-to-end wall time only.
+    """
+    from repro.eval.reporting import format_build_profile
+
+    engine = getattr(index, "inner", index)
+    report = getattr(engine, "report", None)
+    if report is not None and hasattr(report, "stage_seconds"):
+        print(format_build_profile(report, n=n))
+        print(f"wall total (load + build + save): {total_seconds * 1e3:.1f} ms")
+    else:
+        print(
+            f"build profile: no stage report for this backend; "
+            f"wall total (load + build + save): {total_seconds * 1e3:.1f} ms"
+        )
+
+
 def _cmd_build_backend(args: argparse.Namespace) -> int:
     """``usi build --backend NAME``: any registered engine family."""
+    import time
+
     from repro.api import build as build_index
     from repro.api import get_backend, resolve_backend_name
     from repro.errors import ReproError
     from repro.io import save_index
+
+    t_start = time.perf_counter()
 
     try:
         name = resolve_backend_name(args.backend)
@@ -182,10 +208,16 @@ def _cmd_build_backend(args: argparse.Namespace) -> int:
         f"built {info.backend} index: capabilities=[{flags}] "
         f"size={size} bytes detail={info.detail} -> {args.out}"
     )
+    if args.profile:
+        length = getattr(getattr(source, "combined", source), "length", None)
+        _print_build_profile(index, time.perf_counter() - t_start, length)
     return 0
 
 
 def _cmd_build(args: argparse.Namespace) -> int:
+    import time
+
+    t_start = time.perf_counter()
     if args.backend:
         return _cmd_build_backend(args)
     build_kwargs = dict(
@@ -213,6 +245,8 @@ def _cmd_build(args: argparse.Namespace) -> int:
             f"documents={collection.document_count} "
             f"size={index.nbytes()} bytes -> {args.out}"
         )
+        if args.profile:
+            _print_build_profile(index, time.perf_counter() - t_start, None)
         return 0
     ws = _load_weighted_string(args.text, args.utilities)
     index = UsiIndex.build(ws, **build_kwargs)
@@ -223,6 +257,8 @@ def _cmd_build(args: argparse.Namespace) -> int:
         f"L_K={report.distinct_lengths} H-entries={report.hash_entries} "
         f"size={index.nbytes()} bytes -> {args.out}"
     )
+    if args.profile:
+        _print_build_profile(index, time.perf_counter() - t_start, ws.length)
     return 0
 
 
@@ -384,6 +420,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="process-pool size for sharded builds")
     build.add_argument("--out", required=True,
                        help=".npz for the pickle-free format, else pickle")
+    build.add_argument("--profile", action="store_true",
+                       help="print a per-stage construction timing table "
+                            "(suffix array, LCP, mining, table)")
     build.set_defaults(fn=_cmd_build)
 
     backends = sub.add_parser("backends",

@@ -31,7 +31,8 @@ from repro.errors import ParameterError
 from repro.hashing.karp_rabin import KarpRabinFingerprinter
 from repro.strings.alphabet import as_code_array
 from repro.strings.weighted import WeightedString
-from repro.suffix.enhanced import bottom_up_intervals
+from repro.suffix.batch import ragged_ids_offsets
+from repro.suffix.enhanced import lcp_interval_arrays, leaf_interval_arrays
 from repro.suffix.lce import FingerprintLce
 from repro.suffix.sparse import SparseSuffixArray
 
@@ -127,67 +128,118 @@ class ApproximateTopK:
     # ------------------------------------------------------------------
     # Steps 2-3: one round
     # ------------------------------------------------------------------
-    def _round_candidates(self, round_index: int) -> list[tuple[int, int, int]]:
+    def _round_candidates(
+        self, round_index: int
+    ) -> "tuple[np.ndarray, np.ndarray, np.ndarray]":
         """Top-K frequent substrings of one round's sample.
 
-        Returns witness tuples ``(j, l, f_sample)``.
+        Returns parallel witness arrays ``(j, l, f_sample)``.  Explicit
+        nodes of the sample's compacted trie come from the vectorised
+        PSV/NSV interval arrays (internal nodes) plus the vectorised
+        leaf pass, exactly the node set of Task (i); the top
+        ``capacity`` nodes are preselected with ``np.argpartition`` on
+        the combined ``(frequency desc, depth asc)`` key — each node
+        represents at least one substring, so nothing the expansion
+        could report is ever partitioned away — and only that bounded
+        subset is fully sorted and edge-expanded.
         """
         n = len(self._codes)
         positions = np.arange(round_index, n, self._s, dtype=np.int64)
         ssa = SparseSuffixArray(self._codes, positions, self._lce)
-        order = ssa.positions
+        order = np.asarray(ssa.positions, dtype=np.int64)
         slcp = np.asarray(ssa.slcp, dtype=np.int64)
 
-        # Explicit nodes of the sample's compacted trie: internal nodes
-        # from the bottom-up traversal, plus the sample's leaf edges
-        # (frequency-1-in-sample substrings), exactly as in Task (i).
-        records: list[tuple[int, int, int, int]] = []  # (freq, sd, psd, lb)
-        for node in bottom_up_intervals(slcp):
-            records.append((node.frequency, node.lcp, node.parent_lcp, node.lb))
-        sample_size = len(order)
-        for idx in range(sample_size):
-            depth = n - order[idx]
-            left = int(slcp[idx]) if idx > 0 else 0
-            right = int(slcp[idx + 1]) if idx + 1 < sample_size else 0
-            parent_depth = max(left, right)
-            if depth > parent_depth:
-                records.append((1, depth, parent_depth, idx))
+        depths, lbs, rbs, parents = lcp_interval_arrays(slcp)
+        leaf_depths, slots, leaf_parents = leaf_interval_arrays(order, slcp, n)
+        freqs = np.concatenate(
+            [rbs - lbs + 1, np.ones(len(slots), dtype=np.int64)]
+        )
+        depths = np.concatenate([depths, leaf_depths])
+        parents = np.concatenate([parents, leaf_parents])
+        lbs = np.concatenate([lbs, slots])
+        if not len(freqs):
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty, empty
 
-        records.sort(key=lambda r: (-r[0], r[1]))
-        out: list[tuple[int, int, int]] = []
-        for freq, sd, psd, lb in records:
-            witness = order[lb]
-            for length in range(psd + 1, sd + 1):
-                out.append((witness, length, freq))
-                if len(out) == self._capacity:
-                    return out
-        return out
+        base = np.int64(int(depths.max()) + 2)
+        keys = depths - freqs * base  # ascending == (frequency desc, depth asc)
+        if len(keys) > self._capacity:
+            picked = np.argpartition(keys, self._capacity - 1)[: self._capacity]
+        else:
+            picked = np.arange(len(keys), dtype=np.int64)
+        picked = picked[np.argsort(keys[picked], kind="stable")]
+
+        # Edge expansion, clipped to the first `capacity` substrings.
+        edges = depths[picked] - parents[picked]
+        bounds = np.cumsum(edges)
+        cut = int(np.searchsorted(bounds, self._capacity, side="left"))
+        cut = min(cut, len(picked) - 1)
+        node_ids, offsets = ragged_ids_offsets(edges[: cut + 1])
+        total = len(node_ids)
+        lengths = parents[picked[node_ids]] + 1 + offsets
+        witnesses = order[lbs[picked[node_ids]]]
+        round_freqs = freqs[picked[node_ids]]
+        if total > self._capacity:
+            witnesses = witnesses[: self._capacity]
+            lengths = lengths[: self._capacity]
+            round_freqs = round_freqs[: self._capacity]
+        return witnesses, lengths, round_freqs
 
     # ------------------------------------------------------------------
     # Step 4: merge rounds
     # ------------------------------------------------------------------
     def mine(self) -> list[MinedSubstring]:
-        """Run all rounds and return the estimated top-K substrings."""
-        merged: dict[tuple[int, int], list[int]] = {}  # (l, fp) -> [j, l, f]
+        """Run all rounds and return the estimated top-K substrings.
+
+        The per-round merge keys candidates by ``(length,
+        fingerprint)`` and is fully vectorised: one stable two-key
+        sort groups equal substrings (first witness wins, exactly the
+        hash-table semantics), ``np.add.reduceat`` sums the sample
+        frequencies, and the capacity prune is one combined-key sort.
+        """
+        empty = np.empty(0, dtype=np.int64)
+        merged_j, merged_len, merged_f, merged_fp = empty, empty, empty, empty
         for round_index in range(self._s):
-            candidates = self._round_candidates(round_index)
-            for j, length, freq in candidates:
-                key = (length, self._fp.fragment(j, length))
-                entry = merged.get(key)
-                if entry is None:
-                    merged[key] = [j, length, freq]
-                else:
-                    entry[2] += freq
-            if len(merged) > self._capacity:
+            j, lengths, freqs = self._round_candidates(round_index)
+            fps = self._fp.fragments(j, lengths) if len(j) else empty
+            cat_j = np.concatenate([merged_j, j])
+            cat_len = np.concatenate([merged_len, lengths])
+            cat_f = np.concatenate([merged_f, freqs])
+            cat_fp = np.concatenate([merged_fp, fps])
+            if len(cat_j):
+                # Stable grouping by (length, fingerprint): within a
+                # group the earliest entry (the first-seen witness)
+                # comes first.
+                grouping = np.lexsort((cat_fp, cat_len))
+                g_len = cat_len[grouping]
+                g_fp = cat_fp[grouping]
+                firsts = np.empty(len(grouping), dtype=bool)
+                firsts[0] = True
+                firsts[1:] = (g_len[1:] != g_len[:-1]) | (g_fp[1:] != g_fp[:-1])
+                starts = np.flatnonzero(firsts)
+                merged_j = cat_j[grouping][starts]
+                merged_len = g_len[starts]
+                merged_fp = g_fp[starts]
+                merged_f = np.add.reduceat(cat_f[grouping], starts)
+            if len(merged_j) > self._capacity:
                 # Keep only the current top candidates (frequency desc,
                 # length asc), as the paper's merged list does.
-                kept = sorted(merged.items(), key=lambda kv: (-kv[1][2], kv[1][1]))
-                merged = dict(kept[: self._capacity])
+                base = np.int64(int(merged_len.max()) + 2)
+                keep = np.argsort(merged_len - merged_f * base, kind="stable")
+                keep = keep[: self._capacity]
+                merged_j = merged_j[keep]
+                merged_len = merged_len[keep]
+                merged_f = merged_f[keep]
+                merged_fp = merged_fp[keep]
             sample_size = (len(self._codes) - round_index + self._s - 1) // self._s
-            self.stats.record_round(sample_size, len(merged))
+            self.stats.record_round(sample_size, len(merged_j))
 
-        final = sorted(merged.values(), key=lambda e: (-e[2], e[1], e[0]))
+        final = np.lexsort((merged_j, merged_len, -merged_f))[: self._k]
         return [
             MinedSubstring(position=j, length=length, frequency=freq)
-            for j, length, freq in final[: self._k]
+            for j, length, freq in zip(
+                merged_j[final].tolist(),
+                merged_len[final].tolist(),
+                merged_f[final].tolist(),
+            )
         ]

@@ -33,7 +33,13 @@ import numpy as np
 
 from repro.core.types import MinedSubstring
 from repro.errors import ParameterError
-from repro.suffix.enhanced import bottom_up_intervals, leaf_intervals
+from repro.suffix.batch import ragged_ids_offsets
+from repro.suffix.enhanced import (
+    bottom_up_intervals,
+    lcp_interval_arrays,
+    leaf_edge_arrays,
+    leaf_intervals,
+)
 from repro.suffix.suffix_array import SuffixArray
 
 
@@ -68,32 +74,81 @@ class TopKOracle:
         Required for correctness when ``K`` exceeds the number of
         repeated substrings; the paper's ``T`` ranges over all explicit
         nodes, which includes leaves.
+    enumeration:
+        ``"vectorized"`` (default) enumerates the explicit nodes with
+        the PSV/NSV interval arrays of :mod:`repro.suffix.enhanced`;
+        ``"python"`` keeps the original generator walk — slow, retained
+        as the construction cross-check and the seed-path reference for
+        the build benchmarks.  Both produce the same oracle (node order
+        before the radix sort differs, so exact witnesses may differ
+        between equal-(frequency, length) ties).
     """
 
-    def __init__(self, index: SuffixArray, include_leaves: bool = True) -> None:
+    def __init__(
+        self,
+        index: SuffixArray,
+        include_leaves: bool = True,
+        enumeration: str = "vectorized",
+    ) -> None:
         self._index = index
         self._include_leaves = include_leaves
         n = index.length
 
-        freqs: list[int] = []
-        depths: list[int] = []
-        parent_depths: list[int] = []
-        lbs: list[int] = []
-        rbs: list[int] = []
+        if enumeration == "vectorized":
+            depths, lbs, rbs, parent_depths = lcp_interval_arrays(index.lcp)
+            freqs = rbs - lbs + 1
+            if len(depths):
+                # Sort the internal nodes only; the sorted order of
+                # the (much larger) leaf block is derived analytically
+                # below, and every internal frequency (>= 2) precedes
+                # every leaf (frequency 1).
+                base = np.int64(int(depths.max()) + 2)
+                order = np.argsort(depths - freqs * base, kind="stable")
+                freqs, depths = freqs[order], depths[order]
+                parent_depths, lbs, rbs = parent_depths[order], lbs[order], rbs[order]
+            if include_leaves:
+                # Leaves sorted by (frequency=1, depth asc) without a
+                # sort: depth = n - SA[slot], so ascending depth is
+                # descending suffix position — the reversed inverse
+                # permutation of the suffix array, filtered to leaves
+                # with non-empty edges.
+                sa = np.asarray(index.sa, dtype=np.int64)
+                depth_all, parent_all = leaf_edge_arrays(sa, index.lcp, n)
+                inverse = np.empty(n, dtype=np.int64)
+                inverse[sa] = np.arange(n, dtype=np.int64)
+                slots = inverse[::-1]
+                slots = slots[depth_all[slots] > parent_all[slots]]
+                freqs = np.concatenate([freqs, np.ones(len(slots), dtype=np.int64)])
+                depths = np.concatenate([depths, depth_all[slots]])
+                parent_depths = np.concatenate([parent_depths, parent_all[slots]])
+                lbs = np.concatenate([lbs, slots])
+                rbs = np.concatenate([rbs, slots])
+            self._finish(
+                freqs, depths, parent_depths, lbs, rbs, index.sa, presorted=True
+            )
+            return
+        if enumeration != "python":
+            raise ParameterError(f"unknown enumeration {enumeration!r}")
+
+        freqs_l: list[int] = []
+        depths_l: list[int] = []
+        parent_depths_l: list[int] = []
+        lbs_l: list[int] = []
+        rbs_l: list[int] = []
         for node in bottom_up_intervals(index.lcp):
-            freqs.append(node.frequency)
-            depths.append(node.lcp)
-            parent_depths.append(node.parent_lcp)
-            lbs.append(node.lb)
-            rbs.append(node.rb)
+            freqs_l.append(node.frequency)
+            depths_l.append(node.lcp)
+            parent_depths_l.append(node.parent_lcp)
+            lbs_l.append(node.lb)
+            rbs_l.append(node.rb)
         if include_leaves:
             for node in leaf_intervals(index.sa, index.lcp, n):
-                freqs.append(1)
-                depths.append(node.lcp)
-                parent_depths.append(node.parent_lcp)
-                lbs.append(node.lb)
-                rbs.append(node.rb)
-        self._finish(freqs, depths, parent_depths, lbs, rbs, index.sa)
+                freqs_l.append(1)
+                depths_l.append(node.lcp)
+                parent_depths_l.append(node.parent_lcp)
+                lbs_l.append(node.lb)
+                rbs_l.append(node.rb)
+        self._finish(freqs_l, depths_l, parent_depths_l, lbs_l, rbs_l, index.sa)
 
     @classmethod
     def from_suffix_tree(cls, tree, include_leaves: bool = True) -> "TopKOracle":
@@ -175,26 +230,37 @@ class TopKOracle:
 
     def _finish(
         self,
-        freqs: list[int],
-        depths: list[int],
-        parent_depths: list[int],
-        lbs: list[int],
-        rbs: list[int],
+        freqs,
+        depths,
+        parent_depths,
+        lbs,
+        rbs,
         sa_positions: np.ndarray,
+        presorted: bool = False,
     ) -> None:
         """Sort the node records and build ``T``, ``Q``, ``L``."""
         self._sa_positions = np.asarray(sa_positions, dtype=np.int64)
         f = np.asarray(freqs, dtype=np.int64)
         sd = np.asarray(depths, dtype=np.int64)
         psd = np.asarray(parent_depths, dtype=np.int64)
-        # Radix sort in the paper; lexsort gives the same order:
-        # frequency descending, string depth ascending.
-        order = np.lexsort((sd, -f))
+        # Radix sort in the paper: frequency descending, string depth
+        # ascending.  One collision-free combined int64 key sorts the
+        # pair in a single stable argsort (depths stay below `base`,
+        # so they never borrow into the frequency field).  Callers
+        # that assembled the records in sorted order skip it.
+        if presorted or not len(sd):
+            order = slice(None)
+        else:
+            base = np.int64(int(sd.max()) + 2)
+            order = np.argsort(sd - f * base, kind="stable")
         self._f = f[order]
         self._sd = sd[order]
         self._psd = psd[order]
         self._lb = np.asarray(lbs, dtype=np.int64)[order]
         self._rb = np.asarray(rbs, dtype=np.int64)[order]
+        # Memoised descending-key view shared by every tau search
+        # (tune_by_tau, trade_off_curve): ascending for searchsorted.
+        self._f_neg = -self._f
         # Q: cumulative distinct substrings; L: running max depth.
         self._q = np.cumsum(self._sd - self._psd)
         self._l = (
@@ -236,24 +302,56 @@ class TopKOracle:
     # ------------------------------------------------------------------
     # Task (i): Exact-Top-K
     # ------------------------------------------------------------------
+    def _expand_top(self, k: int) -> "tuple[np.ndarray, np.ndarray]":
+        """Indices into ``T`` and substring lengths for the top *k*.
+
+        Vectorised edge expansion: ``Q`` locates the node covering the
+        K-th substring, ``np.repeat``/``np.arange`` unroll each kept
+        node's edge into its ``q(v)`` lengths (shallower first), and
+        the tail is clipped to exactly *k* — no per-length Python loop.
+        """
+        if k <= 0:
+            raise ParameterError("K must be a positive integer")
+        if not len(self._q):
+            return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+        cut = int(np.searchsorted(self._q, k, side="left"))
+        cut = min(cut, len(self._q) - 1)
+        edges = (self._sd - self._psd)[: cut + 1]
+        node_ids, offsets = ragged_ids_offsets(edges)
+        total = len(node_ids)
+        lengths = self._psd[node_ids] + 1 + offsets
+        if total > k:
+            node_ids = node_ids[:k]
+            lengths = lengths[:k]
+        return node_ids, lengths
+
     def top_k_triplets(self, k: int) -> list[TopKTriplet]:
         """The top-K frequent substrings as ``<lcp, lb, rb>`` triplets.
 
         Scans ``T`` in frequency order, expanding each node's edge into
         its ``q(v)`` distinct substrings (shallower first), and stops
-        after ``k`` substrings.  O(n + K).
+        after ``k`` substrings.  O(n + K), expansion vectorised.
         """
-        if k <= 0:
-            raise ParameterError("K must be a positive integer")
-        out: list[TopKTriplet] = []
-        for f, sd, psd, lb, rb in zip(self._f, self._sd, self._psd, self._lb, self._rb):
-            for length in range(int(psd) + 1, int(sd) + 1):
-                out.append(
-                    TopKTriplet(lcp=length, lb=int(lb), rb=int(rb), frequency=int(f))
-                )
-                if len(out) == k:
-                    return out
-        return out
+        node_ids, lengths = self._expand_top(k)
+        return [
+            TopKTriplet(lcp=length, lb=lb, rb=rb, frequency=f)
+            for length, lb, rb, f in zip(
+                lengths.tolist(),
+                self._lb[node_ids].tolist(),
+                self._rb[node_ids].tolist(),
+                self._f[node_ids].tolist(),
+            )
+        ]
+
+    def top_k_arrays(self, k: int) -> "tuple[np.ndarray, np.ndarray, np.ndarray]":
+        """Task (i) output as ``(positions, lengths, frequencies)`` arrays.
+
+        The array twin of :meth:`top_k` — same substrings, no Python
+        object per result; this is what the USI construction consumes.
+        """
+        node_ids, lengths = self._expand_top(k)
+        positions = self._sa_positions[self._lb[node_ids]]
+        return positions, lengths, self._f[node_ids]
 
     def top_k(self, k: int) -> list[MinedSubstring]:
         """Task (i) output in the uniform witness-tuple form.
@@ -261,12 +359,12 @@ class TopKOracle:
         The witness is ``SA[lb]``, as in the paper's explicit-form
         conversion ``S[SA[lb] .. SA[lb] + lcp - 1]``.
         """
-        sa = self._sa_positions
+        positions, lengths, freqs = self.top_k_arrays(k)
         return [
-            MinedSubstring(
-                position=int(sa[t.lb]), length=t.lcp, frequency=t.frequency
+            MinedSubstring(position=position, length=length, frequency=frequency)
+            for position, length, frequency in zip(
+                positions.tolist(), lengths.tolist(), freqs.tolist()
             )
-            for t in self.top_k_triplets(k)
         ]
 
     # ------------------------------------------------------------------
@@ -305,8 +403,10 @@ class TopKOracle:
             raise ParameterError("tau must be a positive integer")
         if not len(self._f):
             return TuningPoint(k=0, tau=tau, distinct_lengths=0)
-        # First index with f < tau in the descending array.
-        i = int(np.searchsorted(-self._f, -(tau - 1), side="left"))
+        # First index with f < tau in the descending array (the
+        # negated view is memoised at construction, so every call is a
+        # pure binary search — no per-call array materialisation).
+        i = int(np.searchsorted(self._f_neg, -(tau - 1), side="left"))
         if i == 0:
             return TuningPoint(k=0, tau=tau, distinct_lengths=0)
         return TuningPoint(
@@ -320,7 +420,10 @@ class TopKOracle:
 
         Returns up to *max_points* tuning points at distinct
         frequencies, usable to pick a (K, tau) trade-off (the paper
-        suggests a skyline over these).
+        suggests a skyline over these).  One vectorised
+        ``searchsorted`` over the memoised frequency order answers
+        every sampled tau at once, instead of re-deriving the sorted
+        state per point.
         """
         if not len(self._f):
             return []
@@ -328,4 +431,14 @@ class TopKOracle:
         if len(distinct_f) > max_points:
             picks = np.linspace(0, len(distinct_f) - 1, max_points).astype(int)
             distinct_f = distinct_f[picks]
-        return [self.tune_by_tau(int(tau)) for tau in distinct_f]
+        # Batched Task (iii): every sampled tau occurs in T, so each
+        # search lands past at least one triplet (i >= 1 throughout).
+        ends = np.searchsorted(self._f_neg, -(distinct_f - 1), side="left") - 1
+        return [
+            TuningPoint(k=k, tau=tau, distinct_lengths=length)
+            for k, tau, length in zip(
+                self._q[ends].tolist(),
+                distinct_f.tolist(),
+                self._l[ends].tolist(),
+            )
+        ]

@@ -63,7 +63,13 @@ class QueryExplanation:
 
 @dataclass
 class UsiBuildReport:
-    """Construction statistics (feed for the Fig. 6 experiments)."""
+    """Construction statistics (feed for the Fig. 6 experiments).
+
+    Besides the paper's structural figures, the report carries a
+    stage-level timing breakdown of the build pipeline (suffix array,
+    LCP, mining, sliding-window table), surfaced by ``usi build
+    --profile`` and the build-speed benchmark.
+    """
 
     miner: str
     k: int
@@ -72,6 +78,30 @@ class UsiBuildReport:
     hash_entries: int
     mining_seconds: float = 0.0
     table_seconds: float = 0.0
+    sa_seconds: float = 0.0
+    lcp_seconds: float = 0.0
+    total_seconds: float = 0.0
+    lcp_source: str = ""
+
+    def stage_seconds(self) -> "dict[str, float]":
+        """Ordered stage -> wall-seconds map (the --profile payload).
+
+        ``mining`` is reported net of the LCP build it triggers (the
+        LCP line itemises that); ``other`` is the remainder of the
+        end-to-end total (PSW, fingerprint tables, plumbing).
+        """
+        mining = max(self.mining_seconds - self.lcp_seconds, 0.0)
+        accounted = self.sa_seconds + self.lcp_seconds + mining + self.table_seconds
+        stages = {
+            "suffix-array": self.sa_seconds,
+            "lcp": self.lcp_seconds,
+            "mining": mining,
+            "table": self.table_seconds,
+        }
+        if self.total_seconds:
+            stages["other"] = max(self.total_seconds - accounted, 0.0)
+            stages["total"] = self.total_seconds
+        return stages
 
 
 class UsiIndex:
@@ -192,6 +222,7 @@ class UsiIndex:
         utility = make_global_utility(aggregator)
         n = ws.length
 
+        t_start = time.perf_counter()
         kernel_owned = kernel is None
         if kernel is None:
             kernel = TextKernel(ws, sa_algorithm=sa_algorithm, seed=seed)
@@ -204,12 +235,13 @@ class UsiIndex:
         psw = kernel.psw(local)
 
         t0 = time.perf_counter()
+        lcp_seconds_before = getattr(suffix_array, "lcp_seconds", 0.0)
         if miner == "exact":
             oracle = TopKOracle(suffix_array)
             if k is None:
                 k = max(1, oracle.tune_by_tau(int(tau)).k)  # type: ignore[arg-type]
             tuning = oracle.tune_by_k(k)
-            mined = oracle.top_k(k)
+            mined_positions, mined_lengths, mined_freqs = oracle.top_k_arrays(k)
             fingerprinter = kernel.fingerprinter
             tau_k = tuning.tau
         elif miner == "approximate":
@@ -224,15 +256,18 @@ class UsiIndex:
             at = ApproximateTopK(ws, k=k, s=s, seed=seed,
                                  fingerprinter=kernel.fingerprinter)
             mined = at.mine()
+            mined_positions = np.asarray([m.position for m in mined], dtype=np.int64)
+            mined_lengths = np.asarray([m.length for m in mined], dtype=np.int64)
+            mined_freqs = np.asarray([m.frequency for m in mined], dtype=np.int64)
             fingerprinter = at.fingerprinter
-            tau_k = min((m.frequency for m in mined), default=0)
+            tau_k = int(mined_freqs.min()) if len(mined_freqs) else 0
         else:
             raise ParameterError(f"unknown miner {miner!r}")
         mining_seconds = time.perf_counter() - t0
 
         t0 = time.perf_counter()
         table, distinct_lengths = cls._build_table(
-            mined, fingerprinter, psw, utility, n
+            mined_positions, mined_lengths, fingerprinter, psw, utility, n
         )
         table_seconds = time.perf_counter() - t0
 
@@ -265,6 +300,14 @@ class UsiIndex:
             hash_entries=len(table),
             mining_seconds=mining_seconds,
             table_seconds=table_seconds,
+            # A shared kernel's suffix array was paid for once, outside
+            # this build; only charge it when this build constructed it.
+            sa_seconds=getattr(kernel, "build_seconds", 0.0) if kernel_owned else 0.0,
+            lcp_seconds=max(
+                getattr(kernel.suffix, "lcp_seconds", 0.0) - lcp_seconds_before, 0.0
+            ),
+            lcp_source=getattr(kernel.suffix, "lcp_source", None) or "",
+            total_seconds=time.perf_counter() - t_start,
         )
         return cls(
             ws, suffix_array, fingerprinter, psw, utility, table, report,
@@ -273,7 +316,8 @@ class UsiIndex:
 
     @staticmethod
     def _build_table(
-        mined: list[MinedSubstring],
+        mined_positions: np.ndarray,
+        mined_lengths: np.ndarray,
         fingerprinter: KarpRabinFingerprinter,
         psw: LocalUtility,
         utility: GlobalUtility,
@@ -284,34 +328,41 @@ class UsiIndex:
         For each distinct length ``l`` among the mined substrings,
         fingerprints every window of length ``l`` (vectorised O(n)),
         keeps the windows whose fingerprint belongs to a mined
-        substring, and folds their local utilities into the hash
-        table.  This computes **exact** occurrence sets — so even for
-        the approximate miner the stored utilities are the true global
-        utilities of the (approximately chosen) substrings, mirroring
-        the paper's bitvector-guided window pass.
+        substring (one ``searchsorted`` probe of the sorted wanted
+        set — O(n log K) per length, no full-array sort), and folds
+        their local utilities into the hash table.  This computes
+        **exact** occurrence sets — so even for the approximate miner
+        the stored utilities are the true global utilities of the
+        (approximately chosen) substrings, mirroring the paper's
+        bitvector-guided window pass.
         """
-        by_length: dict[int, list[MinedSubstring]] = {}
-        for m in mined:
-            by_length.setdefault(m.length, []).append(m)
+        mined_positions = np.asarray(mined_positions, dtype=np.int64)
+        mined_lengths = np.asarray(mined_lengths, dtype=np.int64)
+        distinct_lengths = np.unique(mined_lengths)
 
         table: dict[int, float] = {}
-        for length, group in sorted(by_length.items()):
-            wanted = np.asarray(
-                sorted({fingerprinter.fragment(m.position, m.length) for m in group}),
-                dtype=np.int64,
-            )
+        for length in distinct_lengths.tolist():
+            group = mined_positions[mined_lengths == length]
+            wanted = np.unique(fingerprinter.windows_at(group, length))
             window_fps = fingerprinter.all_windows(length)
-            mask = np.isin(window_fps, wanted)
+            probes = np.searchsorted(wanted, window_fps)
+            probes[probes == len(wanted)] = 0
+            mask = wanted[probes] == window_fps
             positions = np.flatnonzero(mask)
             if positions.size == 0:  # pragma: no cover - mined from text
                 continue
-            hits = window_fps[positions]
+            # The probe indices double as group ids into the sorted
+            # wanted set — no re-sort of the hit fingerprints needed.
+            groups = probes[positions]
             locals_ = psw.local_utilities(positions, length)
-            unique, inverse = np.unique(hits, return_inverse=True)
-            aggregated = utility.grouped_aggregate(inverse, locals_, len(unique))
-            for key, value in zip(unique.tolist(), aggregated.tolist()):
+            aggregated = utility.grouped_aggregate(groups, locals_, len(wanted))
+            occupied = np.zeros(len(wanted), dtype=bool)
+            occupied[groups] = True
+            for key, value in zip(
+                wanted[occupied].tolist(), aggregated[occupied].tolist()
+            ):
                 table[int(key)] = float(value)
-        return table, len(by_length)
+        return table, len(distinct_lengths)
 
     # ------------------------------------------------------------------
     # Query

@@ -19,6 +19,33 @@ def _format_cell(value) -> str:
     return str(value)
 
 
+def format_build_profile(report, n: "int | None" = None) -> str:
+    """Render a :class:`~repro.core.usi.UsiBuildReport` stage breakdown.
+
+    One row per pipeline stage (suffix array, LCP, mining, table,
+    other) with seconds and share of the end-to-end total — the
+    ``usi build --profile`` output and the build-benchmark table.
+    """
+    stages = report.stage_seconds()
+    total = stages.get("total", 0.0) or sum(
+        v for k, v in stages.items() if k != "total"
+    )
+    rows = []
+    for stage, seconds in stages.items():
+        if stage == "total":
+            continue
+        share = f"{100.0 * seconds / total:.1f}%" if total else "-"
+        note = ""
+        if stage == "lcp" and report.lcp_source:
+            note = f"({report.lcp_source})"
+        rows.append([stage, f"{seconds * 1e3:.1f} ms", share, note])
+    rows.append(["total", f"{total * 1e3:.1f} ms", "100.0%", ""])
+    title = f"build profile: miner={report.miner} K={report.k}"
+    if n:
+        title += f" n={n}"
+    return format_table(["stage", "time", "share", ""], rows, title=title)
+
+
 def format_table(
     headers: Sequence[str],
     rows: Iterable[Sequence],

@@ -65,23 +65,52 @@ class KarpRabinFingerprinter:
         self._prefix2, self._pow2 = self._build_tables(shifted, self._base2, _MOD2)
 
     @staticmethod
-    def _build_tables(shifted: np.ndarray, base: int, mod: int) -> tuple[np.ndarray, np.ndarray]:
-        """Prefix hashes ``h[i] = hash(S[0..i-1])`` and powers of *base*."""
-        n = len(shifted)
-        prefix = np.empty(n + 1, dtype=np.int64)
-        powers = np.empty(n + 1, dtype=np.int64)
-        prefix[0] = 0
-        powers[0] = 1
-        h = 0
+    def _power_table(base: int, mod: int, count: int) -> np.ndarray:
+        """``base^i mod mod`` for ``i in [0, count)``, vectorised.
+
+        Blocked decomposition ``base^i = small[i % B] * big[i // B]``:
+        two short sequential tables of ~sqrt(count) mulmods each, then
+        one vectorised multiply (products stay below ``2^62``).
+        """
+        if count <= 0:
+            return np.empty(0, dtype=np.int64)
+        block = max(1, int(count**0.5) + 1)
+        small = np.empty(block, dtype=np.int64)
         p = 1
-        # A Python loop: each step is two mulmods on machine ints; at the
-        # scales this library targets (n up to a few hundred thousand)
-        # this costs well under a second and runs exactly once per text.
-        for i, c in enumerate(shifted.tolist()):
-            h = (h * base + c) % mod
-            prefix[i + 1] = h
+        for i in range(block):
+            small[i] = p
             p = (p * base) % mod
-            powers[i + 1] = p
+        jump = p  # base^block
+        blocks = (count + block - 1) // block
+        big = np.empty(blocks, dtype=np.int64)
+        p = 1
+        for i in range(blocks):
+            big[i] = p
+            p = (p * jump) % mod
+        idx = np.arange(count, dtype=np.int64)
+        return small[idx % block] * big[idx // block] % mod
+
+    @classmethod
+    def _build_tables(cls, shifted: np.ndarray, base: int, mod: int) -> tuple[np.ndarray, np.ndarray]:
+        """Prefix hashes ``h[i] = hash(S[0..i-1])`` and powers of *base*.
+
+        The recurrence ``h_{i+1} = h_i * base + c_i`` is linearised by
+        dividing through by ``base^{i+1}``: the quotients are a plain
+        prefix sum of ``c_i * base^{-(i+1)}``, which ``np.cumsum`` can
+        take (terms are below ``2^31``, so partial sums of up to
+        ``2^31`` texts fit int64), and one vectorised multiply by
+        ``base^i`` restores the hashes.  Same values as the sequential
+        loop, bit for bit — persisted fingerprints stay comparable.
+        """
+        n = len(shifted)
+        powers = cls._power_table(base, mod, n + 1)
+        prefix = np.empty(n + 1, dtype=np.int64)
+        prefix[0] = 0
+        if n:
+            inv_base = pow(int(base), -1, int(mod))
+            inv_powers = cls._power_table(inv_base, mod, n + 1)
+            scaled = shifted * inv_powers[1:] % mod
+            prefix[1:] = np.cumsum(scaled) % mod * powers[1:] % mod
         return prefix, powers
 
     @classmethod
@@ -147,6 +176,27 @@ class KarpRabinFingerprinter:
         starts = self._prefix2[:count]
         ends = self._prefix2[length : length + count]
         f2 = (ends - starts * self._pow2[length]) % _MOD2
+        return (f1 << np.int64(31)) | f2
+
+    def fragments(self, positions: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+        """Fingerprints of ``S[p .. p + l - 1]`` per (position, length) pair.
+
+        The vectorised twin of :meth:`fragment` for ragged batches —
+        one gather per prefix/power table instead of a Python call per
+        fragment (this is the bulk kernel behind the miners' merge
+        keys and the USI table build).
+        """
+        positions = np.asarray(positions, dtype=np.int64)
+        lengths = np.asarray(lengths, dtype=np.int64)
+        if positions.size and (
+            int(positions.min()) < 0
+            or int(lengths.min()) <= 0
+            or int((positions + lengths).max()) > self._n
+        ):
+            raise ParameterError("fragment (position, length) pairs out of range")
+        ends = positions + lengths
+        f1 = (self._prefix1[ends] - self._prefix1[positions] * self._pow1[lengths]) % _MOD1
+        f2 = (self._prefix2[ends] - self._prefix2[positions] * self._pow2[lengths]) % _MOD2
         return (f1 << np.int64(31)) | f2
 
     def windows_at(self, positions: np.ndarray, length: int) -> np.ndarray:

@@ -116,11 +116,15 @@ class TextKernel:
         sa_algorithm: str = "doubling",
         seed: int = 0,
     ) -> None:
+        import time
+
         self._ws = ws
         self._codes = np.asarray(ws.codes, dtype=np.int64)
         self._seed = int(seed)
         self._sa_algorithm = sa_algorithm
+        t0 = time.perf_counter()
         self._suffix = SuffixArray(self._codes, algorithm=sa_algorithm, with_lcp=False)  # type: ignore[arg-type]
+        self.build_seconds = time.perf_counter() - t0
         self._bases: "tuple[int, int] | None" = None
         self._fp: "KarpRabinFingerprinter | None" = None
         self._psw_cache: dict[str, LocalUtility] = {}
@@ -177,6 +181,7 @@ class TextKernel:
         kernel._seed = int(seed)
         kernel._sa_algorithm = "persisted"
         kernel._suffix = SuffixArray.from_parts(kernel._codes, np.asarray(sa))
+        kernel.build_seconds = 0.0
         kernel._bases = tuple(int(b) for b in bases) if bases is not None else None
         kernel._fp = None
         kernel._psw_cache = {}

@@ -39,14 +39,25 @@ PatternLike = "str | bytes | Sequence[int] | np.ndarray"
 
 
 def _cache_key(pattern) -> tuple:
-    """A hashable identity for a pattern, stable across input types."""
+    """A hashable identity for a pattern, O(1)-ish in the pattern length.
+
+    Code arrays hash through their raw buffer (``tobytes`` plus the
+    dtype tag, so same bytes at different widths cannot collide)
+    instead of a per-element Python tuple; integer sequences go
+    through ``bytes()`` when their values fit a byte, with a tuple
+    fallback for exotic codes.  Keys are only compared to keys of the
+    same tag, so the forms never collide with each other.
+    """
     if isinstance(pattern, str):
         return ("s", pattern)
     if isinstance(pattern, (bytes, bytearray)):
         return ("b", bytes(pattern))
     if isinstance(pattern, np.ndarray):
-        return ("c", tuple(int(x) for x in pattern.tolist()))
-    return ("c", tuple(int(x) for x in pattern))
+        return ("a", pattern.dtype.str, pattern.tobytes())
+    try:
+        return ("q", bytes(pattern))
+    except (TypeError, ValueError):
+        return ("c", tuple(int(x) for x in pattern))
 
 
 class QueryEngine:

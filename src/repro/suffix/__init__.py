@@ -1,11 +1,20 @@
 """Suffix-array substrate: construction, LCP, RMQ, LCE, traversals."""
 
-from repro.suffix.doubling import suffix_array_doubling
-from repro.suffix.enhanced import LcpInterval, bottom_up_intervals
+from repro.suffix.doubling import (
+    suffix_array_doubling,
+    suffix_array_doubling_with_ranks,
+)
+from repro.suffix.enhanced import (
+    LcpInterval,
+    bottom_up_intervals,
+    lcp_interval_arrays,
+    leaf_edge_arrays,
+    leaf_interval_arrays,
+)
 from repro.suffix.lce import FingerprintLce, SuffixArrayLce, naive_lce
-from repro.suffix.lcp import lcp_array_kasai
+from repro.suffix.lcp import lcp_array_kasai, lcp_from_ranks
 from repro.suffix.rmq import SparseTableRmq
-from repro.suffix.sais import suffix_array_sais
+from repro.suffix.sais import suffix_array_sais, suffix_array_sais_list
 from repro.suffix.sparse import SparseSuffixArray
 from repro.suffix.suffix_array import SuffixArray, build_suffix_array
 
@@ -19,7 +28,13 @@ __all__ = [
     "bottom_up_intervals",
     "build_suffix_array",
     "lcp_array_kasai",
+    "lcp_from_ranks",
+    "lcp_interval_arrays",
+    "leaf_edge_arrays",
+    "leaf_interval_arrays",
     "naive_lce",
     "suffix_array_doubling",
+    "suffix_array_doubling_with_ranks",
     "suffix_array_sais",
+    "suffix_array_sais_list",
 ]

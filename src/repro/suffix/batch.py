@@ -37,6 +37,25 @@ def pack_limit(base: int) -> int:
     return max(1, int(_KEY_BITS / math.log2(base)))
 
 
+def ragged_ids_offsets(counts: np.ndarray) -> "tuple[np.ndarray, np.ndarray]":
+    """Expand per-group *counts* into ``(group_ids, within_offsets)``.
+
+    The ragged-expansion kernel shared by every vectorised unroll in
+    the library (suffix-tree edge expansion, LMS-substring comparison,
+    induction-chain unrolling): group ``g`` with ``counts[g] == c``
+    contributes ``c`` consecutive entries carrying ids ``g`` and
+    offsets ``0 .. c - 1``.
+    """
+    counts = np.asarray(counts, dtype=np.int64)
+    total = int(counts.sum())
+    ids = np.repeat(np.arange(len(counts), dtype=np.int64), counts)
+    offsets = (
+        np.arange(total, dtype=np.int64)
+        - np.repeat(np.cumsum(counts) - counts, counts)
+    )
+    return ids, offsets
+
+
 def packed_window_keys(codes: np.ndarray, sa: np.ndarray, length: int, base: int) -> np.ndarray:
     """Rank-encoded keys of every suffix's first *length* letters, SA order.
 

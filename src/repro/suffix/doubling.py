@@ -1,10 +1,23 @@
 """Prefix-doubling suffix array construction, vectorised with numpy.
 
 Manber-Myers prefix doubling sorts suffixes by their first ``2^k``
-letters in rounds, using rank pairs and ``numpy.lexsort``.  The
-``O(n log^2 n)`` bound is worse than SA-IS on paper, but the rounds
-are tight vectorised kernels, making this the fastest pure-Python
-option in practice and the library default for index construction.
+letters in rounds, using rank pairs.  The ``O(n log^2 n)`` bound is
+worse than SA-IS on paper, but the rounds are tight vectorised
+kernels, making this the fastest pure-Python option in practice and
+the library default for index construction.
+
+Two construction-time refinements over the textbook formulation:
+
+* each round sorts one combined ``rank * (n + 1) + second`` int64 key
+  with a single ``argsort`` instead of a two-key ``lexsort`` — the
+  combination is collision-free because ``second + 1 <= n``, and the
+  relative order of exactly-equal pairs is irrelevant (they receive
+  the same new rank and are re-sorted in later rounds);
+* the per-round rank arrays (suffix order by the first ``2^k``
+  letters) can be retained: they are precisely the structure needed to
+  derive the whole LCP array afterwards by descending-level rank
+  comparisons (:func:`repro.suffix.lcp.lcp_from_ranks`), replacing the
+  per-position Kasai walk with ``O(log n)`` vectorised passes.
 """
 
 from __future__ import annotations
@@ -16,38 +29,68 @@ import numpy as np
 
 def suffix_array_doubling(codes: "Sequence[int] | np.ndarray") -> np.ndarray:
     """Suffix array of *codes* via numpy prefix doubling (``int64``)."""
+    sa, _ = suffix_array_doubling_with_ranks(codes, keep_ranks=False)
+    return sa
+
+
+def suffix_array_doubling_with_ranks(
+    codes: "Sequence[int] | np.ndarray",
+    keep_ranks: bool = True,
+) -> "tuple[np.ndarray, list[np.ndarray] | None]":
+    """Suffix array plus the per-round rank arrays.
+
+    Returns ``(sa, ranks)`` where ``ranks[k]`` orders the suffixes by
+    their first ``2^k`` letters (``int32``; ranks are below ``n``).
+    Level 0 is the letters themselves, densified; each doubling round
+    appends the next level.  When *keep_ranks* is false the second
+    element is ``None`` and no per-round copies are made.
+
+    The rank arrays cost ``4n`` bytes per round (``O(log n)`` rounds,
+    usually far fewer: the loop stops as soon as all ranks are
+    distinct), and buy a fully vectorised LCP construction.
+    """
     codes = np.asarray(codes, dtype=np.int64)
     n = len(codes)
     if n == 0:
-        return np.empty(0, dtype=np.int64)
+        return np.empty(0, dtype=np.int64), ([] if keep_ranks else None)
     if n == 1:
-        return np.zeros(1, dtype=np.int64)
+        sa = np.zeros(1, dtype=np.int64)
+        ranks = [np.zeros(1, dtype=np.int32)] if keep_ranks else None
+        return sa, ranks
 
     # Initial ranks: the letters themselves (densified for stability).
     rank = np.unique(codes, return_inverse=True)[1].astype(np.int64)
     sa = np.argsort(rank, kind="stable").astype(np.int64)
+    ranks: "list[np.ndarray] | None" = [rank.astype(np.int32)] if keep_ranks else None
+    if int(rank[sa[-1]]) == n - 1:
+        return sa, ranks  # all letters distinct: sorted after one pass
     step = 1
     tmp = np.empty(n, dtype=np.int64)
+    base = np.int64(n + 1)
     while step < n:
         # Secondary key: rank of the suffix starting `step` later
-        # (-1, i.e. "smaller than everything", past the end).
+        # (-1, i.e. "smaller than everything", past the end).  Combined
+        # into one collision-free int64 key per suffix: rank < n and
+        # second + 1 <= n, so rank * (n + 1) + second + 1 sorts exactly
+        # like the (rank, second) pair.
         second = np.full(n, -1, dtype=np.int64)
         second[: n - step] = rank[step:]
-        order = np.lexsort((second, rank))
-        sa = order
+        key = rank * base + (second + np.int64(1))
+        sa = np.argsort(key)
 
         # Recompute dense ranks: a suffix starts a new rank class iff its
-        # (rank, second) pair differs from its predecessor's in SA order.
-        r_sorted = rank[sa]
-        s_sorted = second[sa]
+        # combined key differs from its predecessor's in SA order.
+        k_sorted = key[sa]
         new_class = np.empty(n, dtype=np.int64)
         new_class[0] = 0
-        changed = (r_sorted[1:] != r_sorted[:-1]) | (s_sorted[1:] != s_sorted[:-1])
+        changed = k_sorted[1:] != k_sorted[:-1]
         np.cumsum(changed, out=new_class[1:])
         tmp[sa] = new_class
         rank, tmp = tmp, rank
+        if ranks is not None:
+            ranks.append(rank.astype(np.int32))
 
         if int(rank[sa[-1]]) == n - 1:
             break  # all ranks distinct: fully sorted
         step <<= 1
-    return sa
+    return sa, ranks

@@ -77,6 +77,102 @@ def bottom_up_intervals(lcp: np.ndarray) -> Iterator[LcpInterval]:
         yield LcpInterval(lcp=depth, lb=left, rb=n - 1, parent_lcp=parent_depth)
 
 
+def _smaller_value_links(lcp: np.ndarray, previous: bool) -> np.ndarray:
+    """PSV/NSV over the LCP array by vectorised pointer doubling.
+
+    ``previous=True`` returns for each position the nearest index to
+    the left holding a strictly smaller value (-1 if none);
+    ``previous=False`` the nearest strictly smaller index to the right
+    (``n`` if none).  Every unresolved pointer jumps to its target's
+    pointer each round, so chains compress like pointer doubling:
+    O(log n) rounds of O(n) vectorised work.
+    """
+    n = len(lcp)
+    if previous:
+        link = np.arange(-1, n - 1, dtype=np.int64)
+        limit = np.int64(-1)
+    else:
+        link = np.arange(1, n + 1, dtype=np.int64)
+        limit = np.int64(n)
+    values = lcp
+    inside = link != limit
+    probe = np.where(inside, link, 0)
+    active = np.flatnonzero(inside & (values[probe] >= values))
+    # Work shrinks geometrically: each pass touches only the
+    # still-unresolved positions.
+    while len(active):
+        link[active] = link[link[active]]
+        targets = link[active]
+        inside = targets != limit
+        probe = np.where(inside, targets, 0)
+        active = active[inside & (values[probe] >= values[active])]
+    return link
+
+
+def lcp_interval_arrays(
+    lcp: np.ndarray,
+) -> "tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]":
+    """Every internal lcp-interval as parallel arrays, fully vectorised.
+
+    Returns ``(depth, lb, rb, parent_depth)`` — the same node set
+    :func:`bottom_up_intervals` yields (order differs: nodes come out
+    sorted by ``(lb, rb)`` key rather than bottom-up), computed
+    without a Python stack: each position ``i`` with ``lcp[i] > 0``
+    belongs to the node spanning ``(PSV(i), NSV(i))``; deduplicating
+    those boundary pairs enumerates the explicit internal nodes, and
+    the parent's depth is the larger boundary LCP value (Abouelhoda
+    et al.'s interval characterisation).
+    """
+    lcp = np.asarray(lcp, dtype=np.int64)
+    n = len(lcp)
+    members = np.flatnonzero(lcp > 0)
+    empty = np.empty(0, dtype=np.int64)
+    if not len(members):
+        return empty, empty, empty, empty
+    psv = _smaller_value_links(lcp, previous=True)[members]
+    nsv = _smaller_value_links(lcp, previous=False)[members]
+    keys = psv * np.int64(n + 1) + nsv
+    _, first = np.unique(keys, return_index=True)
+    lb = psv[first]
+    rb = nsv[first] - 1
+    depth = lcp[members[first]]
+    padded = np.append(lcp, np.int64(0))
+    parent = np.maximum(lcp[lb], padded[rb + 1])
+    return depth, lb, rb, parent
+
+
+def leaf_edge_arrays(
+    sa: np.ndarray, lcp: np.ndarray, text_length: int
+) -> "tuple[np.ndarray, np.ndarray]":
+    """Per-SA-slot leaf edge figures ``(depth, parent_depth)``.
+
+    The unfiltered leaf geometry: the leaf at SA slot ``i`` has string
+    depth ``text_length - SA[i]`` and hangs below the deeper of its
+    two neighbouring LCP values.  Consumers filter ``depth > parent``
+    for leaves with non-empty edges.
+    """
+    sa = np.asarray(sa, dtype=np.int64)
+    lcp = np.asarray(lcp, dtype=np.int64)
+    depth = np.int64(text_length) - sa
+    right = np.append(lcp[1:], np.int64(0))
+    return depth, np.maximum(lcp, right)
+
+
+def leaf_interval_arrays(
+    sa: np.ndarray, lcp: np.ndarray, text_length: int
+) -> "tuple[np.ndarray, np.ndarray, np.ndarray]":
+    """Suffix-tree leaves as parallel arrays, fully vectorised.
+
+    Returns ``(depth, slot, parent_depth)`` for every leaf with a
+    non-empty edge (``slot`` is the SA index, ``lb == rb``), matching
+    :func:`leaf_intervals` in SA order.
+    """
+    depth, parent = leaf_edge_arrays(sa, lcp, text_length)
+    keep = depth > parent
+    slots = np.flatnonzero(keep)
+    return depth[keep], slots, parent[keep]
+
+
 def leaf_intervals(sa: np.ndarray, lcp: np.ndarray, text_length: int) -> Iterator[LcpInterval]:
     """Yield one interval per suffix-tree *leaf* (frequency-1 substrings).
 

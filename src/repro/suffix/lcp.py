@@ -1,8 +1,20 @@
-"""LCP array construction (Kasai et al., 2001).
+"""LCP array construction.
 
 ``LCP[j]`` is the length of the longest common prefix of the suffixes
 ``SA[j-1]`` and ``SA[j]``; ``LCP[0] = 0`` — exactly the convention of
 Section III of the paper.
+
+Two constructions produce the identical array:
+
+* :func:`lcp_from_ranks` — fully vectorised: given the per-round rank
+  arrays retained by the prefix-doubling builder, the LCP of *every*
+  adjacent SA pair is derived simultaneously by a descending-level
+  walk (``O(log n)`` numpy passes of ``O(n)`` work).  This is the
+  default build path.
+* :func:`lcp_array_kasai` — the classic per-position Kasai walk,
+  ``O(n)`` but a Python loop; kept as the independent cross-check and
+  as the fallback when no rank arrays are available (SA-IS builds,
+  deserialised suffix arrays).
 """
 
 from __future__ import annotations
@@ -47,3 +59,47 @@ def lcp_array_kasai(codes: np.ndarray, sa: np.ndarray) -> np.ndarray:
         else:
             h = 0
     return np.asarray(out, dtype=np.int64)
+
+
+def lcp_from_ranks(sa: np.ndarray, ranks: "list[np.ndarray]") -> np.ndarray:
+    """The LCP array from the prefix-doubling rank hierarchy, vectorised.
+
+    ``ranks[k]`` must order the suffixes by their first ``2^k``
+    letters (what :func:`~repro.suffix.doubling.
+    suffix_array_doubling_with_ranks` retains).  For every adjacent SA
+    pair simultaneously, walk the levels from the top down: equal
+    ranks at level ``k`` mean the (advanced) suffixes share ``2^k``
+    more letters, so add the step and advance both positions.  Two
+    distinct suffixes have equal level-``k`` ranks **iff** they agree
+    on their first ``2^k`` letters (a clipped suffix always ranks
+    strictly below any longer extension), which makes the greedy walk
+    exact — the classic O(log n) pairwise-LCP trick, applied to all
+    ``n - 1`` pairs at once.
+    """
+    sa = np.asarray(sa, dtype=np.int64)
+    n = len(sa)
+    lcp = np.zeros(n, dtype=np.int64)
+    if n < 2:
+        return lcp
+    if not ranks:
+        raise ValueError("no rank arrays supplied")
+    a = sa[:-1].copy()
+    b = sa[1:].copy()
+    h = np.zeros(n - 1, dtype=np.int64)
+    top = np.int64(n - 1)
+    for level in range(len(ranks) - 1, -1, -1):
+        rank = ranks[level]
+        step = np.int64(1) << level
+        # Advanced positions past the end can never extend the match;
+        # clip the gather and mask them out.
+        eq = (
+            (a < n)
+            & (b < n)
+            & (rank[np.minimum(a, top)] == rank[np.minimum(b, top)])
+        )
+        add = np.where(eq, step, np.int64(0))
+        h += add
+        a += add
+        b += add
+    lcp[1:] = h
+    return lcp

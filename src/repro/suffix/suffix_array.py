@@ -17,8 +17,11 @@ import numpy as np
 
 from repro.errors import ConstructionError, PatternError
 from repro.suffix.batch import batch_intervals, pack_limit, packed_window_keys
-from repro.suffix.doubling import suffix_array_doubling
-from repro.suffix.lcp import lcp_array_kasai
+from repro.suffix.doubling import (
+    suffix_array_doubling,
+    suffix_array_doubling_with_ranks,
+)
+from repro.suffix.lcp import lcp_array_kasai, lcp_from_ranks
 from repro.suffix.sais import suffix_array_sais
 
 #: How many per-length packed-key arrays one SuffixArray caches for
@@ -59,12 +62,40 @@ class SuffixArray:
         algorithm: Literal["doubling", "sais"] = "doubling",
         with_lcp: bool = True,
     ) -> None:
+        import time
+
         self._codes = np.asarray(codes, dtype=np.int64)
         if self._codes.ndim != 1 or len(self._codes) == 0:
             raise ConstructionError("suffix arrays require a non-empty 1-D text")
-        self._sa = build_suffix_array(self._codes, algorithm)
-        self._lcp = lcp_array_kasai(self._codes, self._sa) if with_lcp else None
+        t0 = time.perf_counter()
+        self._ranks: "list[np.ndarray] | None" = None
+        if algorithm == "doubling":
+            # Retain the per-round rank arrays: they make the LCP
+            # construction a handful of vectorised passes instead of a
+            # Python Kasai walk, and are dropped as soon as it's built.
+            self._sa, self._ranks = suffix_array_doubling_with_ranks(self._codes)
+        else:
+            self._sa = build_suffix_array(self._codes, algorithm)
+        self.sa_seconds = time.perf_counter() - t0
+        self.lcp_seconds = 0.0
+        self.lcp_source: "str | None" = None
+        self._lcp = self._build_lcp() if with_lcp else None
         self._key_cache: "OrderedDict[int, np.ndarray]" = OrderedDict()
+
+    def _build_lcp(self) -> np.ndarray:
+        """Build the LCP array, vectorised when rank arrays are held."""
+        import time
+
+        t0 = time.perf_counter()
+        if self._ranks is not None:
+            lcp = lcp_from_ranks(self._sa, self._ranks)
+            self._ranks = None  # O(n log n) bytes: free once consumed
+            self.lcp_source = "ranks"
+        else:
+            lcp = lcp_array_kasai(self._codes, self._sa)
+            self.lcp_source = "kasai"
+        self.lcp_seconds = time.perf_counter() - t0
+        return lcp
 
     @classmethod
     def from_parts(
@@ -82,18 +113,28 @@ class SuffixArray:
         instance._codes = codes
         instance._sa = sa
         instance._lcp = lcp
+        instance._ranks = None
+        instance.sa_seconds = 0.0
+        instance.lcp_seconds = 0.0
+        instance.lcp_source = None
         instance._key_cache = OrderedDict()
         return instance
 
-    # Pickle: the packed-key cache is a derived accelerator; drop it.
+    # Pickle: the packed-key cache and the doubling rank arrays are
+    # derived accelerators; drop both.
     def __getstate__(self) -> dict:
         state = self.__dict__.copy()
         state.pop("_key_cache", None)
+        state.pop("_ranks", None)
         return state
 
     def __setstate__(self, state: dict) -> None:
         self.__dict__.update(state)
         self._key_cache = OrderedDict()
+        self._ranks = None
+        self.__dict__.setdefault("sa_seconds", 0.0)
+        self.__dict__.setdefault("lcp_seconds", 0.0)
+        self.__dict__.setdefault("lcp_source", None)
 
     # ------------------------------------------------------------------
     # Accessors
@@ -110,7 +151,7 @@ class SuffixArray:
     @property
     def lcp(self) -> np.ndarray:
         if self._lcp is None:
-            self._lcp = lcp_array_kasai(self._codes, self._sa)
+            self._lcp = self._build_lcp()
         return self._lcp
 
     def drop_lcp(self) -> None:
@@ -119,8 +160,11 @@ class SuffixArray:
         Construction-only consumers (the top-K oracle) use the LCP;
         indexes that keep a SuffixArray around purely for locate
         queries call this to shed the O(n) array from their footprint.
+        Any retained doubling rank arrays (held for a vectorised LCP
+        build that is now moot) are shed too.
         """
         self._lcp = None
+        self._ranks = None
 
     @property
     def length(self) -> int:
@@ -158,6 +202,13 @@ class SuffixArray:
         pattern = np.asarray(pattern, dtype=np.int64)
         if len(pattern) == 0:
             raise PatternError("patterns must be non-empty")
+        if self._ranks is not None:
+            # First locate query: construction is over.  The retained
+            # doubling ranks only serve a vectorised LCP build; shed
+            # them so query-only consumers (baselines, servers) never
+            # carry the O(n log n) bytes (a later .lcp request falls
+            # back to Kasai).
+            self._ranks = None
         n = len(self._codes)
 
         # Lower bound: first suffix >= pattern (with prefix counting as match).
@@ -207,6 +258,8 @@ class SuffixArray:
             raise PatternError("expected a 2-D matrix of equal-length patterns")
         if matrix.shape[1] == 0:
             raise PatternError("patterns must be non-empty")
+        if self._ranks is not None:
+            self._ranks = None  # first query: shed the LCP-build aid
         keys = self._packed_keys(matrix.shape[1])
         return batch_intervals(self._codes, self._sa, matrix, packed_keys=keys)
 

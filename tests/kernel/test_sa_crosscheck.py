@@ -1,10 +1,12 @@
-"""Suffix-array construction cross-checks on adversarial collections.
+"""Suffix-array and LCP construction cross-checks on adversarial inputs.
 
-SA-IS (pure Python, O(n)), prefix doubling (vectorised), and the
-kernel's suffix array must agree on every input — including the
-separator-joined code arrays a document collection produces when some
-documents are *empty* (consecutive separators), single-character, or
-drawn from a maximal alphabet (every letter distinct).
+NumPy SA-IS, list SA-IS (pure Python, O(n)), prefix doubling
+(vectorised), and the kernel's suffix array must agree on every input
+— including the separator-joined code arrays a document collection
+produces when some documents are *empty* (consecutive separators),
+single-character, or drawn from a maximal alphabet (every letter
+distinct).  The two LCP constructions (vectorised rank-hierarchy walk
+and the Kasai reference) are cross-checked on the same input family.
 """
 
 from __future__ import annotations
@@ -16,8 +18,12 @@ from hypothesis import strategies as st
 
 from repro.kernel import TextKernel
 from repro.strings.weighted import WeightedString
-from repro.suffix.doubling import suffix_array_doubling
-from repro.suffix.sais import suffix_array_sais
+from repro.suffix.doubling import (
+    suffix_array_doubling,
+    suffix_array_doubling_with_ranks,
+)
+from repro.suffix.lcp import lcp_array_kasai, lcp_from_ranks
+from repro.suffix.sais import suffix_array_sais, suffix_array_sais_list
 
 
 def join_with_separators(documents: list[list[int]], separator: int) -> np.ndarray:
@@ -41,14 +47,32 @@ def naive_suffix_array(codes: np.ndarray) -> np.ndarray:
     return np.asarray(order, dtype=np.int64)
 
 
+def naive_lcp(codes: np.ndarray, sa: np.ndarray) -> list[int]:
+    out = [0]
+    for prev, cur in zip(sa, sa[1:]):
+        a, b = codes[prev:].tolist(), codes[cur:].tolist()
+        h = 0
+        while h < min(len(a), len(b)) and a[h] == b[h]:
+            h += 1
+        out.append(h)
+    return out
+
+
 def assert_all_constructions_agree(codes: np.ndarray) -> None:
     expected = naive_suffix_array(codes)
     assert np.array_equal(suffix_array_sais(codes), expected)
-    assert np.array_equal(suffix_array_doubling(codes), expected)
+    assert np.array_equal(suffix_array_sais_list(codes), expected)
+    sa, ranks = suffix_array_doubling_with_ranks(codes)
+    assert np.array_equal(sa, expected)
+    # Both LCP constructions agree with each other and with naive.
+    want_lcp = naive_lcp(codes, expected)
+    assert lcp_from_ranks(sa, ranks).tolist() == want_lcp
+    assert lcp_array_kasai(codes, sa).tolist() == want_lcp
     ws = WeightedString(codes, np.ones(len(codes)))
     for algorithm in ("doubling", "sais"):
         kernel = TextKernel(ws, sa_algorithm=algorithm)
         assert np.array_equal(kernel.suffix.sa, expected), algorithm
+        assert kernel.suffix.lcp.tolist() == want_lcp, algorithm
 
 
 documents_strategy = st.lists(
@@ -91,6 +115,24 @@ class TestCollectionShapes:
         rng = np.random.default_rng(seed)
         codes = rng.permutation(n).astype(np.int64)
         assert_all_constructions_agree(codes)
+
+    @given(n=st.integers(min_value=1, max_value=64), letter=st.integers(0, 3))
+    @settings(max_examples=20, deadline=None)
+    def test_all_equal_texts(self, n, letter):
+        # Unary texts: every suffix a prefix of the previous one — the
+        # deepest possible LCPs and the doubling loop's full log n
+        # rounds.
+        assert_all_constructions_agree(np.full(n, letter, dtype=np.int64))
+
+    @given(
+        n=st.integers(min_value=1, max_value=80),
+        sigma=st.integers(min_value=1, max_value=6),
+        seed=st.integers(0, 2**16),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_random_texts(self, n, sigma, seed):
+        rng = np.random.default_rng(seed)
+        assert_all_constructions_agree(rng.integers(0, sigma, size=n))
 
     @given(
         documents=documents_strategy,
