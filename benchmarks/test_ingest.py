@@ -1,0 +1,157 @@
+"""Live-ingest benchmark: appends/sec + query p95 during compaction.
+
+Measures the two numbers the ingest subsystem trades between:
+
+* **sustained ingest throughput** — WAL-less in-memory appends into
+  the active memtable (documents/sec);
+* **query tail latency while a compaction is in flight** — a
+  :class:`~repro.service.metrics.LatencyRecorder` times queries
+  through a :class:`~repro.service.engine.QueryEngine` while a
+  background thread seals, rebuilds, and installs a shard.  The whole
+  point of the LSM design is that the p95 stays flat through the
+  rebuild (queries are served by the frozen memtable, never blocked
+  by the build), and answers stay exact across the generation swap.
+
+Emits ``results/BENCH_ingest.json`` under ``REPRO_WRITE_RESULTS=1``
+(uploaded as a CI artifact).  Floors are deliberately loose — they
+gate gross regressions (an accidental lock around the shard build, a
+quadratic append path), not CI scheduler noise.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.ingest import LiveIndex
+from repro.service.engine import QueryEngine
+from repro.service.metrics import LatencyRecorder
+from repro.strings.alphabet import Alphabet
+from repro.strings.collection import (
+    CollectionUsiIndex,
+    WeightedStringCollection,
+)
+from repro.strings.weighted import WeightedString
+
+ALPHABET = Alphabet("acgt")
+DOC_LENGTH = 64
+INGEST_DOCS = 1_500
+COMPACTION_DOCS = 600
+K = 256
+
+#: Loose CI-safe floors: interpreted-Python appends into a dynamic
+#: index run well above 1k docs/sec on any modern machine, and a
+#: frozen-memtable query must never stall behind a shard build.
+APPENDS_PER_SEC_FLOOR = 200.0
+P95_DURING_COMPACTION_MS_CEILING = 250.0
+
+
+def _documents(count: int, seed: int) -> list[str]:
+    rng = np.random.default_rng(seed)
+    letters = np.array(list("acgt"))
+    return [
+        "".join(letters[rng.integers(0, 4, size=DOC_LENGTH)])
+        for _ in range(count)
+    ]
+
+
+def test_ingest_throughput_and_query_p95_during_compaction():
+    docs = _documents(INGEST_DOCS, seed=7)
+
+    # ------------------------------------------------------------------
+    # Phase 1 — sustained append throughput into the active memtable.
+    # ------------------------------------------------------------------
+    live = LiveIndex(ALPHABET, k=K, seal_chars=1 << 30)
+    t0 = time.perf_counter()
+    for doc in docs:
+        live.append_document(doc)
+    ingest_seconds = time.perf_counter() - t0
+    appends_per_sec = INGEST_DOCS / ingest_seconds
+    assert appends_per_sec >= APPENDS_PER_SEC_FLOOR, (
+        f"ingest throughput collapsed: {appends_per_sec:.0f} docs/s"
+    )
+
+    # ------------------------------------------------------------------
+    # Phase 2 — query p95 while a compaction builds in the background.
+    # ------------------------------------------------------------------
+    recorder = LatencyRecorder(capacity=1 << 14)
+    engine = QueryEngine(live, cache_size=0, metrics=recorder)
+    patterns = [doc[:6] for doc in docs[:64]]
+
+    sealed = live.seal()
+    assert sealed is not None
+    build_seconds = {}
+    installed = threading.Event()
+
+    def compact():
+        t = time.perf_counter()
+        shard = live.build_shard(sealed)
+        build_seconds["build"] = time.perf_counter() - t
+        live.install_shard(sealed, shard)
+        installed.set()
+
+    worker = threading.Thread(target=compact)
+    generation_before = live.generation
+    worker.start()
+    in_flight_queries = 0
+    while not installed.is_set():
+        for pattern in patterns[:8]:
+            engine.query(pattern)
+            in_flight_queries += 1
+    worker.join()
+    assert live.generation == generation_before + 1
+    assert live.shard_count == 1
+    assert in_flight_queries > 0  # the build never blocked the readers
+
+    during = recorder.snapshot()
+    assert during.p95_ms <= P95_DURING_COMPACTION_MS_CEILING, (
+        f"query p95 spiked to {during.p95_ms:.1f} ms during compaction"
+    )
+
+    # ------------------------------------------------------------------
+    # Phase 3 — appends straddle the compaction; answers stay exact.
+    # ------------------------------------------------------------------
+    tail_docs = _documents(COMPACTION_DOCS, seed=11)
+    for doc in tail_docs:
+        live.append_document(doc)
+    reference = CollectionUsiIndex(
+        WeightedStringCollection(
+            [
+                WeightedString.uniform(doc, alphabet=ALPHABET)
+                for doc in docs + tail_docs
+            ]
+        ),
+        k=K,
+    )
+    for pattern in patterns[:16]:
+        assert live.query(pattern) == pytest.approx(
+            reference.query(pattern), abs=1e-6
+        ), pattern
+
+    bench = {
+        "doc_length": DOC_LENGTH,
+        "ingest_docs": INGEST_DOCS,
+        "k": K,
+        "appends_per_sec": round(appends_per_sec, 1),
+        "appends_per_sec_floor": APPENDS_PER_SEC_FLOOR,
+        "ingest_seconds": round(ingest_seconds, 4),
+        "shard_build_seconds": round(build_seconds["build"], 4),
+        "queries_during_compaction": in_flight_queries,
+        "query_p50_during_compaction_ms": round(during.p50_ms, 4),
+        "query_p95_during_compaction_ms": round(during.p95_ms, 4),
+        "query_p95_ceiling_ms": P95_DURING_COMPACTION_MS_CEILING,
+        "query_p99_during_compaction_ms": round(during.p99_ms, 4),
+    }
+    print("\nBENCH_ingest: " + json.dumps(bench, indent=2))
+    if os.environ.get("REPRO_WRITE_RESULTS") == "1":
+        results = pathlib.Path(__file__).resolve().parent.parent / "results"
+        results.mkdir(exist_ok=True)
+        (results / "BENCH_ingest.json").write_text(
+            json.dumps(bench, indent=2) + "\n"
+        )

@@ -69,7 +69,15 @@ from repro.core import (
     top_utility_substrings,
 )
 from repro.errors import ReproError
-from repro.io import load_bundle, load_index, save_bundle, save_index
+from repro.ingest import Compactor, LiveIndex, MemtableDelta, WriteAheadLog
+from repro.io import (
+    load_bundle,
+    load_dynamic_index,
+    load_index,
+    save_bundle,
+    save_dynamic_index,
+    save_index,
+)
 from repro.kernel import TextKernel
 from repro.service import (
     IndexRegistry,
@@ -105,8 +113,12 @@ __all__ = [
     "Bsl3TopKSeen",
     "Bsl4SketchTopKSeen",
     "CollectionUsiIndex",
+    "Compactor",
     "DynamicUsiIndex",
     "FmIndex",
+    "LiveIndex",
+    "MemtableDelta",
+    "WriteAheadLog",
     "GlobalUtility",
     "IndexRegistry",
     "LatencyRecorder",
@@ -128,8 +140,10 @@ __all__ = [
     "exact_top_k",
     "mine_by_utility_threshold",
     "load_bundle",
+    "load_dynamic_index",
     "load_index",
     "save_bundle",
+    "save_dynamic_index",
     "naive_global_utility",
     "pick_trade_off",
     "save_index",

@@ -31,6 +31,7 @@ from repro.api.registry import (
 from repro.api import adapters as _adapters  # noqa: F401 - registers backends
 from repro.api.adapters import DEFAULT_K, infer_backend_name, wrap
 from repro.api.factory import as_index, build, open_index
+from repro.ingest import backend as _live_backend  # noqa: F401 - registers "live"
 
 __all__ = [
     "Capabilities",

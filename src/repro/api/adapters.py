@@ -14,6 +14,8 @@ backend               engine
 ``dynamic``           :class:`repro.core.dynamic.DynamicUsiIndex`
 ``collection``        :class:`repro.strings.collection.CollectionUsiIndex`
 ``sharded``           :class:`repro.service.sharding.ShardedUsiIndex`
+``live``              :class:`repro.ingest.live.LiveIndex` (registered
+                      by :mod:`repro.ingest.backend`)
 ``bsl1`` .. ``bsl4``  the Section-I baselines
 ====================  ==============================================
 
@@ -282,6 +284,11 @@ class DynamicBackend(UtilityIndexBase):
     def extend(self, letters, utilities) -> None:
         self.inner.extend(letters, utilities)
 
+    def data_version(self) -> int:
+        # Appends only ever grow the text, so the length is the
+        # monotone answers-may-have-changed counter.
+        return int(self.inner.length)
+
     def nbytes(self) -> None:
         return None  # the tail buffer makes a static figure misleading
 
@@ -508,11 +515,15 @@ def infer_backend_name(engine) -> "str | None":
         return "bsl3"
     if isinstance(engine, Bsl4SketchTopKSeen):
         return "bsl4"
-    # Imported lazily above to avoid a service <-> api import cycle.
+    # Imported lazily to avoid service/ingest <-> api import cycles.
     from repro.service.sharding import ShardedUsiIndex
 
     if isinstance(engine, ShardedUsiIndex):
         return "sharded"
+    from repro.ingest.live import LiveIndex
+
+    if isinstance(engine, LiveIndex):
+        return "live"
     return None
 
 

@@ -163,6 +163,22 @@ class UtilityIndexBase:
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
+    def data_version(self) -> int:
+        """Monotone counter that moves exactly when answers may change.
+
+        Static backends stay at 0 forever.  Mutable backends (the
+        ``dynamic`` capability) bump it on every mutation, which is
+        what lets :class:`~repro.service.engine.QueryEngine` keep an
+        answer cache over a moving index without ever serving a stale
+        value.  The default delegates to the wrapped engine when it
+        exposes ``data_version`` and reports 0 otherwise.
+        """
+        inner = getattr(self, "inner", None)
+        version = getattr(inner, "data_version", None)
+        if callable(version):
+            return int(version())
+        return 0
+
     def nbytes(self) -> "int | None":
         inner = getattr(self, "inner", None)
         size = getattr(inner, "nbytes", None)

@@ -18,6 +18,9 @@
     usi tune  --text corpus.txt --tau 50            # K_tau, L_tau
     usi serve --index idx.npz --port 8642
     usi serve --index big.npz --mmap        # lazy, memory-mapped open
+    usi serve --live corpus --live-dir data/corpus   # ingesting index
+    usi ingest --url http://127.0.0.1:8642 --file docs.txt
+    tail -f app.log | usi ingest            # stream documents from stdin
 
 Utilities files hold one float per line, one per text character: for
 plain builds that includes any interior newline characters (the text
@@ -285,20 +288,44 @@ def _cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _make_live_index(args: argparse.Namespace):
+    """Create or reopen the ``--live`` index a serve run hosts."""
+    from repro.api.adapters import DEFAULT_K
+    from repro.ingest.live import MANIFEST_NAME, LiveIndex
+    from repro.strings.alphabet import Alphabet
+
+    options: dict = {"k": args.live_k if args.live_k else DEFAULT_K}
+    if args.compact_chars:
+        options["seal_chars"] = args.compact_chars
+    if args.live_dir and (Path(args.live_dir) / MANIFEST_NAME).exists():
+        # Reopening: parameters come from the manifest, not the flags.
+        return LiveIndex.open(args.live_dir, wal_sync=args.wal_sync)
+    alphabet = Alphabet.from_text(args.live_alphabet)
+    if args.live_dir:
+        return LiveIndex.create(
+            args.live_dir, alphabet, wal_sync=args.wal_sync, **options
+        )
+    return LiveIndex(alphabet, **options)
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service.registry import IndexRegistry
     from repro.service.server import UsiServer
 
+    paths = list(args.index or [])
+    if not paths and not args.live:
+        print("nothing to serve: give --index and/or --live", file=sys.stderr)
+        return 2
     registry = IndexRegistry(
         capacity=args.capacity, cache_size=args.cache_size, mmap=args.mmap
     )
     names = list(args.name or [])
-    if len(names) > len(args.index):
+    if len(names) > len(paths):
         print("more --name flags than --index flags", file=sys.stderr)
         return 2
     from repro.errors import ReproError
 
-    for position, path in enumerate(args.index):
+    for position, path in enumerate(paths):
         name = names[position] if position < len(names) else Path(path).stem
         try:
             registry.register_path(name, path)
@@ -307,15 +334,109 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             return 2
         if args.preload:
             registry.get(name)
+    compactor = None
+    live = None
+    if args.live:
+        from repro.ingest import Compactor
+
+        try:
+            live = _make_live_index(args)
+        except ReproError as error:
+            print(f"cannot open live index: {error}", file=sys.stderr)
+            return 2
+        registry.register(args.live, live)
+        compactor = Compactor(
+            live, registry=registry, name=args.live, index=live
+        )
     server = UsiServer(registry, host=args.host, port=args.port)
     print(
         f"serving {', '.join(registry.names())} on {server.url} "
-        "(POST /query, GET /indexes, GET /stats; SIGINT/SIGTERM drain "
-        "in-flight requests and stop)",
+        "(POST /query, POST /ingest, GET /indexes, GET /stats; "
+        "SIGINT/SIGTERM drain in-flight requests and stop)",
         flush=True,
     )
-    server.serve_forever()
+    if compactor is not None:
+        compactor.start()
+    try:
+        server.serve_forever()
+    finally:
+        if compactor is not None:
+            compactor.stop()
+        if live is not None:
+            live.close()
     print("usi serve: drained in-flight requests, registry closed", flush=True)
+    return 0
+
+
+def _iter_ingest_lines(args: argparse.Namespace):
+    """Non-empty document lines: stdin, a file, or a tailed file."""
+    if args.file is None:
+        for line in sys.stdin:
+            line = line.rstrip("\r\n")
+            if line:
+                yield line
+        return
+    if not args.follow:
+        for line in Path(args.file).read_text().splitlines():
+            if line:
+                yield line
+        return
+    import time
+
+    idle = 0.0
+    with open(args.file, "r") as handle:
+        while True:
+            line = handle.readline()
+            if line:
+                idle = 0.0
+                line = line.rstrip("\r\n")
+                if line:
+                    yield line
+                continue
+            if args.idle_timeout is not None and idle >= args.idle_timeout:
+                return
+            time.sleep(args.poll_interval)
+            idle += args.poll_interval
+
+
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    """Stream documents into a running ``usi serve`` over POST /ingest."""
+    import json
+    from urllib import error as urlerror
+    from urllib import request as urlrequest
+
+    url = args.url.rstrip("/") + "/ingest"
+    sent = 0
+    last_seq = None
+    for line in _iter_ingest_lines(args):
+        payload: dict = {"doc": line}
+        if args.index:
+            payload["index"] = args.index
+        request = urlrequest.Request(
+            url,
+            data=json.dumps(payload).encode(),
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urlrequest.urlopen(request, timeout=args.timeout) as response:
+                reply = json.loads(response.read())
+        except urlerror.HTTPError as error:
+            detail = error.read().decode(errors="replace")
+            print(
+                f"usi ingest: server rejected document {sent + 1}: {detail}",
+                file=sys.stderr,
+            )
+            return 1
+        except urlerror.URLError as error:
+            print(f"usi ingest: cannot reach {url}: {error.reason}",
+                  file=sys.stderr)
+            return 1
+        sent += 1
+        last_seq = reply.get("seq")
+    if last_seq is None:
+        print("ingested 0 documents")
+    else:
+        print(f"ingested {sent} documents (last seq {last_seq})")
     return 0
 
 
@@ -439,7 +560,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     serve = sub.add_parser("serve",
                            help="serve saved indexes (any backend) over HTTP")
-    serve.add_argument("--index", action="append", required=True,
+    serve.add_argument("--index", action="append",
                        help="index file to serve (repeatable; any backend)")
     serve.add_argument("--name", action="append",
                        help="name for the Nth --index (default: file stem)")
@@ -454,7 +575,47 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--mmap", action="store_true",
                        help="memory-map index substrates (v3 containers) "
                             "instead of materialising them")
+    serve.add_argument("--live", metavar="NAME",
+                       help="also host a live-ingest index under NAME "
+                            "(accepts POST /ingest; compacts in the "
+                            "background)")
+    serve.add_argument("--live-dir",
+                       help="durable directory for the live index (WAL + "
+                            "manifest + shards); reopened if it exists, "
+                            "in-memory when omitted")
+    serve.add_argument("--live-alphabet",
+                       default="abcdefghijklmnopqrstuvwxyz",
+                       help="characters a fresh live index accepts "
+                            "(ignored when reopening --live-dir)")
+    serve.add_argument("--live-k", type=int,
+                       help="top-K budget for live shard builds")
+    serve.add_argument("--compact-chars", type=int,
+                       help="memtable size (characters) that triggers "
+                            "sealing + background compaction")
+    serve.add_argument("--wal-sync", action="store_true",
+                       help="fsync the write-ahead log on every append")
     serve.set_defaults(fn=_cmd_serve)
+
+    ingest = sub.add_parser("ingest",
+                            help="stream documents into a serving live index")
+    ingest.add_argument("--url", default="http://127.0.0.1:8642",
+                        help="base URL of a running `usi serve`")
+    ingest.add_argument("--index",
+                        help="target index name (default: the server's "
+                             "single registered index)")
+    ingest.add_argument("--file",
+                        help="read documents (one per line) from this file "
+                             "instead of stdin")
+    ingest.add_argument("--follow", action="store_true",
+                        help="keep tailing --file for appended lines")
+    ingest.add_argument("--poll-interval", type=float, default=0.5,
+                        help="seconds between --follow polls")
+    ingest.add_argument("--idle-timeout", type=float,
+                        help="stop --follow after this many idle seconds "
+                             "(default: tail forever)")
+    ingest.add_argument("--timeout", type=float, default=10.0,
+                        help="per-request HTTP timeout in seconds")
+    ingest.set_defaults(fn=_cmd_ingest)
 
     mine = sub.add_parser("mine", help="mine substrings by global utility")
     mine.add_argument("--text", required=True)

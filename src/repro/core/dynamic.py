@@ -12,8 +12,9 @@ the standard static-to-dynamic transformation:
   extended ``PSW`` (O(1) per append, exactly as in the paper's
   sketch);
 * queries merge (a) the static answer over occurrences fully inside
-  the prefix with (b) a direct scan of the boundary-plus-tail region,
-  whose length is bounded by the rebuild threshold;
+  the prefix with (b) a vectorised sliding-window scan of the
+  boundary-plus-tail region, whose length is bounded by the rebuild
+  threshold;
 * when the tail outgrows ``rebuild_fraction * n`` the whole index is
   rebuilt, giving amortised O(construction / threshold) per append.
 
@@ -30,7 +31,11 @@ import numpy as np
 from repro.core.usi import MinerName, UsiIndex
 from repro.errors import ParameterError
 from repro.strings.weighted import WeightedString
-from repro.utility.functions import AggregatorName, make_global_utility
+from repro.utility.functions import (
+    AggregatorName,
+    make_global_utility,
+    merge_partial_answers,
+)
 
 
 class DynamicUsiIndex:
@@ -73,9 +78,76 @@ class DynamicUsiIndex:
         self.rebuild_count = 0
         self._base = UsiIndex.build(ws, k=k, miner=miner, aggregator=aggregator, seed=seed)
 
+    @classmethod
+    def from_parts(
+        cls,
+        base: UsiIndex,
+        tail_codes,
+        tail_utilities,
+        *,
+        k: int,
+        miner: MinerName = "exact",
+        rebuild_fraction: float = 0.25,
+        seed: int = 0,
+        rebuild_count: int = 0,
+    ) -> "DynamicUsiIndex":
+        """Reassemble an index from a frozen-prefix base plus a tail.
+
+        The checkpoint-restore path (:func:`repro.io.load_index` on a
+        v4 container): *base* is a prebuilt static index over the
+        frozen prefix and the tails are the letters appended since, so
+        no rebuild happens on restore.
+        """
+        if not 0.0 < rebuild_fraction <= 1.0:
+            raise ParameterError("rebuild_fraction must be in (0, 1]")
+        if len(tail_codes) != len(tail_utilities):
+            raise ParameterError("tail codes and utilities must have equal length")
+        self = cls.__new__(cls)
+        self._k = int(k)
+        self._aggregator_name = base.utility.name
+        self._utility = base.utility
+        self._miner = miner
+        self._fraction = rebuild_fraction
+        self._seed = seed
+        self._tail_codes = [int(code) for code in tail_codes]
+        self._tail_utilities = [float(utility) for utility in tail_utilities]
+        self._psw_cache = None
+        self.rebuild_count = int(rebuild_count)
+        self._base = base
+        return self
+
     # ------------------------------------------------------------------
     # Appends
     # ------------------------------------------------------------------
+    @property
+    def base(self) -> UsiIndex:
+        """The static index over the frozen prefix (checkpoint payload)."""
+        return self._base
+
+    @property
+    def k(self) -> int:
+        return self._k
+
+    @property
+    def miner(self) -> MinerName:
+        return self._miner
+
+    @property
+    def rebuild_fraction(self) -> float:
+        return self._fraction
+
+    @property
+    def seed(self) -> int:
+        return self._seed
+
+    @property
+    def tail_codes(self) -> list[int]:
+        return list(self._tail_codes)
+
+    @property
+    def tail_utilities(self) -> list[float]:
+        return list(self._tail_utilities)
+
     @property
     def length(self) -> int:
         """Current total text length (prefix + tail)."""
@@ -145,46 +217,36 @@ class DynamicUsiIndex:
 
     def query(self, pattern: "str | bytes | Sequence[int] | np.ndarray") -> float:
         """``U(pattern)`` over the *current* text (prefix + tail)."""
-        base_ws = self._base.weighted_string
         codes = self._encode(pattern)
-        if codes is None:
+        if codes is None or len(codes) == 0:
             return self._utility.identity
 
         m = len(codes)
-        n0 = base_ws.length
-        total = self.length
-        if m > total:
+        n0 = self._base.weighted_string.length
+        if m > self.length:
             return self._utility.identity
 
         # Occurrences fully inside the frozen prefix: the static index.
-        state = self._utility.fresh_state()
-        if m <= n0:
-            base_value = self._base.query(codes)
-            base_count = self._base.count(codes)
-            # Re-fold the static answer into the running state so min /
-            # max / avg merge correctly with the tail contributions.
-            if base_count:
-                if self._utility.name == "avg":
-                    state = (base_value * base_count, base_count)
-                else:
-                    state = (base_value, base_count)
+        base_value = self._base.query(codes) if m <= n0 else self._utility.identity
 
-        # Occurrences crossing the boundary or inside the tail: direct
-        # scan of the region starting at n0 - m + 1.
-        region_start = max(0, n0 - m + 1)
-        full = self._full_codes_region(region_start)
+        # Occurrences crossing the boundary or inside the tail: one
+        # vectorised sliding-window comparison over the short region.
+        positions = self._tail_matches(codes, m, n0)
+        if positions.size == 0:
+            return float(base_value)
         psw_all = self._full_prefix_sums()
-        limit = total - m
-        for offset in range(len(full) - m + 1):
-            i = region_start + offset
-            if i > limit:
-                break
-            if i < n0 and i + m <= n0:
-                continue  # fully inside the prefix: already counted
-            if np.array_equal(full[offset : offset + m], codes):
-                local = float(psw_all[i + m] - psw_all[i])
-                state = self._utility.push(state, local)
-        return self._utility.finalize(state)
+        locals_ = psw_all[positions + m] - psw_all[positions]
+        if self._utility.name == "sum":
+            return float(base_value + locals_.sum())
+        # min / max / avg need the static count to merge the disjoint
+        # prefix and boundary-plus-tail occurrence sets exactly.
+        base_count = self._base.count(codes) if m <= n0 else 0
+        tail_value = self._utility.aggregate(locals_)
+        return merge_partial_answers(
+            self._utility,
+            (float(base_value), float(tail_value)),
+            (int(base_count), int(positions.size)),
+        )
 
     def query_batch(self, patterns: "Sequence") -> list[float]:
         """Batch query over the current text (per-pattern; order kept).
@@ -197,30 +259,35 @@ class DynamicUsiIndex:
 
     def count(self, pattern: "str | bytes | Sequence[int] | np.ndarray") -> int:
         """``|occ(pattern)|`` over the current text (prefix + tail)."""
-        base_ws = self._base.weighted_string
         codes = self._encode(pattern)
-        if codes is None:
+        if codes is None or len(codes) == 0:
             return 0
-
         m = len(codes)
-        n0 = base_ws.length
-        total = self.length
-        if m > total:
+        n0 = self._base.weighted_string.length
+        if m > self.length:
             return 0
         count = self._base.count(codes) if m <= n0 else 0
-        # Every window starting at >= n0 - m + 1 crosses the boundary
-        # or lies in the tail, so nothing here double-counts the static
-        # answer above.
+        return count + int(self._tail_matches(codes, m, n0).size)
+
+    def _tail_matches(self, codes: np.ndarray, m: int, n0: int) -> np.ndarray:
+        """Start positions of matches crossing the boundary or in the tail.
+
+        Every window starting at >= n0 - m + 1 crosses the boundary or
+        lies in the tail, so these positions are disjoint from the
+        static index's occurrence set and never double-count it.
+        """
         region_start = max(0, n0 - m + 1)
         full = self._full_codes_region(region_start)
-        limit = total - m
-        for offset in range(len(full) - m + 1):
-            i = region_start + offset
-            if i > limit:
-                break
-            if np.array_equal(full[offset : offset + m], codes):
-                count += 1
-        return count
+        if len(full) < m:
+            return np.empty(0, dtype=np.int64)
+        windows = np.lib.stride_tricks.sliding_window_view(full, m)
+        hits = np.flatnonzero(
+            (windows == np.asarray(codes, dtype=np.int64)).all(axis=1)
+        )
+        positions = hits.astype(np.int64) + region_start
+        # Windows fully inside the prefix were already answered by the
+        # static index (only possible when region_start clamps to 0).
+        return positions[positions + m > n0]
 
     def _full_codes_region(self, start: int) -> np.ndarray:
         base_ws = self._base.weighted_string

@@ -1,0 +1,29 @@
+"""``repro.ingest`` — live ingestion: WAL → memtable → shards.
+
+An LSM-style write path over the existing serving stack:
+
+* :class:`WriteAheadLog` makes every append durable before it is
+  applied (crash replay reaches the exact pre-crash state);
+* :class:`MemtableDelta` is the in-memory delta — a dynamic USI index
+  over separator-joined documents plus a SpaceSaving hot-substring
+  sketch;
+* :class:`LiveIndex` fans reads out over cold shards + frozen
+  memtables + the active memtable and merges them exactly;
+* :class:`Compactor` seals, rebuilds, and atomically installs
+  generations in the background with zero query downtime;
+* :class:`LiveBackend` (registered as ``"live"``) plugs the whole
+  thing into ``repro.build`` / the registry / the HTTP server.
+"""
+
+from repro.ingest.compactor import Compactor
+from repro.ingest.live import LiveIndex
+from repro.ingest.memtable import MemtableDelta
+from repro.ingest.wal import WalRecord, WriteAheadLog
+
+__all__ = [
+    "Compactor",
+    "LiveIndex",
+    "MemtableDelta",
+    "WalRecord",
+    "WriteAheadLog",
+]

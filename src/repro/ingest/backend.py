@@ -1,0 +1,93 @@
+"""The ``live`` backend: a :class:`LiveIndex` behind the index protocol.
+
+Registered like every other backend, so ``repro.build(...,
+backend="live")`` returns an index that serves exact answers through
+:class:`~repro.service.engine.QueryEngine` / the HTTP server *and*
+keeps accepting documents.
+
+Import discipline: this module is imported at the tail of
+``repro.api.__init__`` (after the registry exists), so it must import
+only ``repro.api`` *submodules*, never the package facade.
+"""
+
+from __future__ import annotations
+
+from repro.api.adapters import DEFAULT_K, as_collection
+from repro.api.protocol import Capabilities, UtilityIndexBase
+from repro.api.registry import register_backend
+from repro.ingest.live import LiveIndex
+
+
+@register_backend("live", aliases=("ingest",))
+class LiveBackend(UtilityIndexBase):
+    """Live-ingest LSM-of-shards index (exact answers while growing)."""
+
+    capabilities = Capabilities(
+        batch=True, dynamic=True, collection=True, count=True, persistent=True
+    )
+
+    def __init__(self, inner: LiveIndex) -> None:
+        self.inner = inner
+
+    @classmethod
+    def build(
+        cls,
+        source,
+        *,
+        k=None,
+        tau=None,
+        directory=None,
+        wal_sync: bool = False,
+        **options,
+    ) -> "LiveBackend":
+        """Seed a live index with *source*'s documents.
+
+        With ``directory`` the index is durable (WAL + manifest under
+        that path); without, it is a fully functional in-memory live
+        index.  Further documents arrive via :meth:`append_document`.
+        """
+        collection = as_collection(source)
+        if k is None:
+            k = DEFAULT_K  # tau tuning applies to static builds only
+        if directory is not None:
+            live = LiveIndex.create(
+                directory,
+                collection.alphabet,
+                wal_sync=wal_sync,
+                k=int(k),
+                **options,
+            )
+        else:
+            live = LiveIndex(collection.alphabet, k=int(k), **options)
+        for document in collection.documents:
+            live.append_document(document.codes, document.utilities)
+        return cls(live)
+
+    def query(self, pattern) -> float:
+        return float(self.inner.query(pattern))
+
+    def query_batch(self, patterns) -> list[float]:
+        return [float(v) for v in self.inner.query_batch(patterns)]
+
+    def count(self, pattern) -> int:
+        return int(self.inner.count(pattern))
+
+    def append_document(self, text, utilities=None) -> int:
+        """Ingest one document; returns its WAL sequence number."""
+        return self.inner.append_document(text, utilities)
+
+    def ingest_stats(self) -> dict:
+        return self.inner.ingest_stats()
+
+    def nbytes(self) -> None:
+        return None  # spread across shards + a moving memtable
+
+    def _stats_detail(self) -> dict:
+        stats = self.inner.ingest_stats()
+        return {
+            "generation": stats["generation"],
+            "shards": stats["shards"],
+            "compactions": stats["compactions"],
+            "last_seq": stats["last_seq"],
+            "memtable_chars": stats["memtable"]["chars"],
+        }

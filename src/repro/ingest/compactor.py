@@ -1,0 +1,130 @@
+"""Background compaction for :class:`~repro.ingest.live.LiveIndex`.
+
+One worker thread polls the live index; when the active memtable
+crosses its size/age threshold the compactor seals it, rebuilds the
+sealed text into a cold USI shard *outside* every lock (queries keep
+being served by the frozen memtable meanwhile), and atomically
+installs the shard.  If a registry is attached, the new generation is
+published with :meth:`~repro.service.registry.IndexRegistry.replace`
+— the zero-downtime hot-swap — and the fresh query engine is warmed
+with the sealed memtable's hot substrings (the SpaceSaving compaction
+hints), so the first queries after a swap hit a non-empty cache.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.ingest.live import LiveIndex
+
+
+class Compactor:
+    """Drives seal → build → install cycles for one live index.
+
+    Parameters
+    ----------
+    live:
+        The index to compact.
+    registry / name:
+        Optional :class:`~repro.service.registry.IndexRegistry` and
+        the name the index is registered under; each installed shard
+        then publishes a new generation via ``registry.replace`` and
+        warms the new engine's cache.
+    index:
+        The exact object registered under *name* (usually the
+        protocol adapter wrapping *live*); defaults to *live*.
+    interval:
+        Poll period in seconds for the background thread.
+    """
+
+    def __init__(
+        self,
+        live: LiveIndex,
+        *,
+        registry=None,
+        name: "str | None" = None,
+        index=None,
+        interval: float = 0.25,
+        warm_limit: int = 8,
+    ) -> None:
+        self._live = live
+        self._registry = registry
+        self._name = name
+        self._index = index if index is not None else live
+        self._interval = float(interval)
+        self._warm_limit = int(warm_limit)
+        self._stop = threading.Event()
+        self._thread: "threading.Thread | None" = None
+        self.cycles = 0
+        self.compactions = 0
+        self.last_error: "Exception | None" = None
+
+    # ------------------------------------------------------------------
+    # One cycle (also the synchronous entry point for tests / CLI)
+    # ------------------------------------------------------------------
+    def run_once(self, force: bool = False) -> bool:
+        """Seal/build/install one generation if due; True if it ran."""
+        self.cycles += 1
+        if not force and not self._live.should_seal():
+            return False
+        sealed = self._live.seal()
+        if sealed is None:
+            return False
+        hot = sealed.hot_patterns(self._warm_limit)
+        shard = self._live.build_shard(sealed)  # expensive, lock-free
+        self._live.install_shard(sealed, shard)
+        self.compactions += 1
+        self._publish(hot)
+        return True
+
+    def _publish(self, hot: list) -> None:
+        if self._registry is None or self._name is None:
+            return
+        self._registry.replace(self._name, self._index)
+        if not hot:
+            return
+        patterns = []
+        for letters, _ in hot:
+            if letters and isinstance(letters[0], str):
+                patterns.append("".join(letters))
+            else:
+                patterns.append(list(letters))
+        try:
+            engine = self._registry.get(self._name)
+            engine.query_batch(patterns)
+        except Exception as exc:  # warming is best-effort, never fatal
+            self.last_error = exc
+
+    # ------------------------------------------------------------------
+    # Background thread
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self._thread is not None:
+            return
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._loop, name="usi-compactor", daemon=True
+        )
+        self._thread.start()
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self._interval):
+            try:
+                self.run_once()
+            except Exception as exc:  # keep compacting on later cycles
+                self.last_error = exc
+
+    def stop(self) -> None:
+        """Stop the background thread (waits for an in-flight cycle)."""
+        self._stop.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join()
+            self._thread = None
+
+    def __enter__(self) -> "Compactor":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -1,0 +1,594 @@
+"""`LiveIndex`: exact answers while the corpus grows (LSM-of-shards).
+
+The write path is a miniature LSM tree over whole documents::
+
+    append ──> WAL ──> active memtable ──seal──> frozen memtable
+                                                    │  (background build)
+                                                    ▼
+                                              cold USI shard
+                                                    │  (atomic install)
+                                                    ▼
+                                              shard list + manifest
+
+Reads fan out over *every* level — cold shards, frozen memtables
+awaiting compaction, and the active memtable — and merge with
+:func:`~repro.utility.functions.merge_partial_answers`.  The merge is
+exact because documents are joined around the fresh separator letter
+of ``strings/collection.py``: a pattern encoded through the original
+alphabet can never contain the separator, so no occurrence spans two
+documents, and the global occurrence multiset is the disjoint union
+of the per-level multisets.  Answers also do not depend on document
+*order* within a level (only on the multiset of documents), which is
+what makes crash recovery free to replay documents in WAL order.
+
+Durability: an append is WAL-logged before it is applied;
+:meth:`LiveIndex.open` replays the log (and an optional v4 delta
+checkpoint, which lets it skip most of the replay) back to the exact
+pre-crash answer state.  Compaction never changes answers — it only
+moves documents from a memtable into a cold shard — so installing a
+shard does not bump :meth:`data_version` and never invalidates query
+caches.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+import repro.io as repro_io
+from repro.core.usi import UsiIndex
+from repro.errors import ParameterError
+from repro.ingest.memtable import MemtableDelta
+from repro.ingest.wal import WriteAheadLog
+from repro.strings.alphabet import Alphabet
+from repro.utility.functions import (
+    AggregatorName,
+    make_global_utility,
+    merge_partial_answers,
+)
+
+MANIFEST_NAME = "MANIFEST.json"
+CHECKPOINT_NAME = "checkpoint.npz"
+DEFAULT_SEAL_CHARS = 1 << 16
+
+
+def _alphabet_meta(alphabet: Alphabet) -> dict:
+    letters = alphabet.letters
+    kind = "str" if letters and isinstance(letters[0], str) else "int"
+    return {"letters_kind": kind, "letters": [str(letter) for letter in letters]}
+
+
+def _alphabet_from_meta(meta: dict) -> Alphabet:
+    if meta["letters_kind"] == "int":
+        return Alphabet([int(letter) for letter in meta["letters"]])
+    return Alphabet(list(meta["letters"]))
+
+
+class LiveIndex:
+    """A continuously-ingesting utility index with exact answers.
+
+    Construct in-memory with the constructor, durable with
+    :meth:`create`, and recover a durable one with :meth:`open`.
+    Thread-safe: appends, queries, and compaction steps may interleave
+    freely; queries see every acknowledged append and are never
+    blocked by a compaction build (which runs outside the lock).
+    """
+
+    def __init__(
+        self,
+        alphabet: Alphabet,
+        *,
+        k: int,
+        aggregator: "AggregatorName" = "sum",
+        miner: str = "exact",
+        seed: int = 0,
+        seal_chars: int = DEFAULT_SEAL_CHARS,
+        seal_age: "float | None" = None,
+        hot_capacity: int = 64,
+        hot_window: int = 4,
+    ) -> None:
+        if seal_chars < 1:
+            raise ParameterError("seal_chars must be positive")
+        self._alphabet = alphabet
+        self._k = int(k)
+        self._utility = make_global_utility(aggregator)
+        self._miner = miner
+        self._seed = int(seed)
+        self._seal_chars = int(seal_chars)
+        self._seal_age = seal_age
+        self._hot_capacity = int(hot_capacity)
+        self._hot_window = int(hot_window)
+
+        self._lock = threading.RLock()
+        self._memtable = self._new_memtable()
+        self._frozen: list[MemtableDelta] = []
+        self._shards: list[UsiIndex] = []
+        self._shard_files: list[str] = []
+        self._next_shard_number = 1
+        self._seq = 0
+        self._compacted_seq = 0
+        self._appends = 0
+        self._generation = 1
+        self._seals = 0
+        self._compactions = 0
+        self._checkpoint_meta: "dict | None" = None
+
+        self._directory: "Path | None" = None
+        self._wal: "WriteAheadLog | None" = None
+        self._wal_sync = False
+
+    def _new_memtable(self) -> MemtableDelta:
+        return MemtableDelta(
+            self._alphabet,
+            k=self._k,
+            aggregator=self._utility.name,
+            miner=self._miner,
+            seed=self._seed,
+            hot_capacity=self._hot_capacity,
+            hot_window=self._hot_window,
+        )
+
+    # ------------------------------------------------------------------
+    # Durable construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(
+        cls,
+        directory: "str | Path",
+        alphabet: Alphabet,
+        *,
+        wal_sync: bool = False,
+        **options,
+    ) -> "LiveIndex":
+        """Create a new durable live index rooted at *directory*."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        if (directory / MANIFEST_NAME).exists():
+            raise ParameterError(
+                f"{directory} already holds a live index; use LiveIndex.open"
+            )
+        self = cls(alphabet, **options)
+        self._directory = directory
+        self._wal_sync = bool(wal_sync)
+        self._wal = WriteAheadLog(directory / "wal", sync=wal_sync)
+        self._write_manifest()
+        return self
+
+    @classmethod
+    def open(
+        cls, directory: "str | Path", *, wal_sync: bool = False
+    ) -> "LiveIndex":
+        """Recover a durable live index to its exact pre-crash state.
+
+        Cold shards load from their ``.npz`` files; the memtable comes
+        back from the v4 delta checkpoint when one is fresh (its
+        sequence range not yet covered by shards), and the WAL fills
+        in everything else — documents already restored by the
+        checkpoint or already compacted into shards are skipped by
+        sequence number.
+        """
+        directory = Path(directory)
+        manifest_path = directory / MANIFEST_NAME
+        if not manifest_path.exists():
+            raise ParameterError(f"{directory} holds no live index manifest")
+        manifest = json.loads(manifest_path.read_text())
+        alphabet = _alphabet_from_meta(manifest["alphabet"])
+        self = cls(
+            alphabet,
+            k=manifest["k"],
+            aggregator=manifest["aggregator"],
+            miner=manifest["miner"],
+            seed=manifest["seed"],
+            seal_chars=manifest["seal_chars"],
+            seal_age=manifest.get("seal_age"),
+            hot_capacity=manifest.get("hot_capacity", 64),
+            hot_window=manifest.get("hot_window", 4),
+        )
+        self._directory = directory
+        self._wal_sync = bool(wal_sync)
+        self._compacted_seq = int(manifest["compacted_seq"])
+        self._generation = int(manifest["generation"])
+        self._seals = int(manifest["seals"])
+        self._compactions = int(manifest["compactions"])
+        self._next_shard_number = int(manifest["next_shard_number"])
+        for filename in manifest["shards"]:
+            shard = repro_io.load_index(directory / filename)
+            self._shards.append(shard)
+            self._shard_files.append(filename)
+
+        # Fresh checkpoint? Restore the memtable from it and remember
+        # its contiguous sequence range so replay can skip it.  A seal
+        # always takes the whole memtable, so a checkpoint is either
+        # fully covered by shards (stale) or fully fresh.
+        checkpoint_range: "tuple[int, int] | None" = None
+        checkpoint_meta = manifest.get("checkpoint")
+        if checkpoint_meta:
+            checkpoint_path = directory / checkpoint_meta["file"]
+            if checkpoint_path.exists():
+                delta, extra = repro_io.load_dynamic_index(checkpoint_path)
+                if extra and int(extra["last_seq"]) > self._compacted_seq:
+                    self._memtable = MemtableDelta.from_restore(
+                        delta,
+                        alphabet,
+                        first_seq=int(extra["first_seq"]),
+                        last_seq=int(extra["last_seq"]),
+                        documents=int(extra["documents"]),
+                        chars=int(extra["chars"]),
+                        hot_capacity=self._hot_capacity,
+                        hot_window=self._hot_window,
+                    )
+                    self._checkpoint_meta = checkpoint_meta
+                    checkpoint_range = (
+                        int(extra["first_seq"]),
+                        int(extra["last_seq"]),
+                    )
+
+        self._wal = WriteAheadLog(directory / "wal", sync=wal_sync)
+        last_seq = self._compacted_seq
+        if checkpoint_range is not None:
+            last_seq = max(last_seq, checkpoint_range[1])
+        for record in self._wal.replay():
+            last_seq = max(last_seq, record.seq)
+            if record.seq <= self._compacted_seq:
+                continue  # already in a cold shard
+            if (
+                checkpoint_range is not None
+                and checkpoint_range[0] <= record.seq <= checkpoint_range[1]
+            ):
+                continue  # already restored from the checkpoint
+            self._memtable.add_document(record.seq, record.codes, record.utilities)
+        self._seq = last_seq
+        return self
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def alphabet(self) -> Alphabet:
+        """The original (query-side) alphabet."""
+        return self._alphabet
+
+    @property
+    def utility_name(self) -> str:
+        return self._utility.name
+
+    @property
+    def k(self) -> int:
+        return self._k
+
+    @property
+    def directory(self) -> "Path | None":
+        return self._directory
+
+    @property
+    def generation(self) -> int:
+        return self._generation
+
+    @property
+    def last_seq(self) -> int:
+        return self._seq
+
+    @property
+    def shard_count(self) -> int:
+        return len(self._shards)
+
+    def data_version(self) -> int:
+        """Monotone counter that moves exactly when answers may change.
+
+        Appends bump it; compactions do not (they relocate documents
+        without changing any answer), so engine-level query caches
+        survive generation swaps.
+        """
+        return self._appends
+
+    def ingest_stats(self) -> dict:
+        with self._lock:
+            memtable = self._memtable
+            hot = []
+            for letters, estimate in memtable.hot_patterns(8):
+                if letters and isinstance(letters[0], str):
+                    pattern = "".join(letters)
+                else:
+                    pattern = list(letters)
+                hot.append({"pattern": pattern, "estimate": estimate})
+            return {
+                "last_seq": self._seq,
+                "appends": self._appends,
+                "compacted_seq": self._compacted_seq,
+                "generation": self._generation,
+                "seals": self._seals,
+                "compactions": self._compactions,
+                "shards": len(self._shards),
+                "frozen_memtables": len(self._frozen),
+                "memtable": {
+                    "documents": memtable.documents,
+                    "chars": memtable.chars,
+                    "first_seq": memtable.first_seq,
+                    "last_seq": memtable.last_seq,
+                },
+                "wal_segments": (
+                    len(self._wal.segments()) if self._wal is not None else 0
+                ),
+                "hot_patterns": hot,
+            }
+
+    def hot_patterns(self, limit: int = 8) -> list:
+        """Current hot substrings (query-ready), hottest first."""
+        with self._lock:
+            ranked = self._memtable.hot_patterns(limit)
+        patterns = []
+        for letters, _ in ranked:
+            if letters and isinstance(letters[0], str):
+                patterns.append("".join(letters))
+            else:
+                patterns.append(list(letters))
+        return patterns
+
+    # ------------------------------------------------------------------
+    # Write path
+    # ------------------------------------------------------------------
+    def append_document(
+        self,
+        text: "str | bytes | Sequence[int] | np.ndarray",
+        utilities: "Sequence[float] | np.ndarray | None" = None,
+    ) -> int:
+        """Ingest one document; returns its sequence number.
+
+        The document is WAL-logged before it is applied, so an
+        acknowledged append survives a process crash.  Letters must
+        belong to the index's alphabet (fixed at creation); utilities
+        default to uniform 1.0.  Integer ndarrays pass through as
+        already-encoded codes (the usual passthrough idiom).
+        """
+        if isinstance(text, np.ndarray) and np.issubdtype(text.dtype, np.integer):
+            codes = text.astype(np.int32, copy=False)
+            if codes.size and (
+                int(codes.min()) < 0 or int(codes.max()) >= self._alphabet.size
+            ):
+                raise ParameterError("document codes outside the alphabet")
+        else:
+            codes = self._alphabet.encode(text)
+        if utilities is not None and len(utilities) != len(codes):
+            raise ParameterError(
+                "document utilities must match the document length"
+            )
+        with self._lock:
+            seq = self._seq + 1
+            if self._wal is not None:
+                self._wal.append(seq, codes, utilities)
+            self._memtable.add_document(seq, codes, utilities)
+            self._seq = seq
+            self._appends += 1
+        return seq
+
+    # ------------------------------------------------------------------
+    # Read fan-out
+    # ------------------------------------------------------------------
+    def _encode(self, pattern) -> "np.ndarray | None":
+        return self._alphabet.try_encode_pattern(pattern)
+
+    def _parts(self) -> list:
+        """Snapshot every queryable level (cheap; under the lock)."""
+        with self._lock:
+            return [
+                *self._shards,
+                *[frozen.delta for frozen in self._frozen],
+                self._memtable.delta,
+            ]
+
+    def query(self, pattern) -> float:
+        """The global utility ``U(pattern)`` over the live corpus."""
+        codes = self._encode(pattern)
+        if codes is None:
+            return self._utility.identity
+        parts = self._parts()
+        values = [part.query(codes) for part in parts]
+        if self._utility.name == "sum":
+            return float(sum(values))
+        counts = [part.count(codes) for part in parts]
+        return merge_partial_answers(self._utility, values, counts)
+
+    def query_batch(self, patterns: Sequence) -> list[float]:
+        """Batch query; identical answers to per-pattern :meth:`query`."""
+        encoded = [self._encode(pattern) for pattern in patterns]
+        results = [self._utility.identity] * len(patterns)
+        slots = [i for i, codes in enumerate(encoded) if codes is not None]
+        if not slots:
+            return results
+        live = [encoded[i] for i in slots]
+        parts = self._parts()
+        per_part = [part.query_batch(live) for part in parts]
+        if self._utility.name == "sum":
+            merged = np.asarray(per_part, dtype=np.float64).sum(axis=0)
+            for slot, value in zip(slots, merged.tolist()):
+                results[slot] = float(value)
+            return results
+        for j, slot in enumerate(slots):
+            values = [answers[j] for answers in per_part]
+            counts = [part.count(live[j]) for part in parts]
+            results[slot] = merge_partial_answers(self._utility, values, counts)
+        return results
+
+    def count(self, pattern) -> int:
+        """``|occ(pattern)|`` over the live corpus (exact)."""
+        codes = self._encode(pattern)
+        if codes is None:
+            return 0
+        return sum(part.count(codes) for part in self._parts())
+
+    # ------------------------------------------------------------------
+    # Compaction steps (driven by repro.ingest.compactor or tests)
+    # ------------------------------------------------------------------
+    def should_seal(self) -> bool:
+        with self._lock:
+            memtable = self._memtable
+            if memtable.is_empty and memtable.chars == 0:
+                return False
+            if memtable.chars >= self._seal_chars:
+                return True
+            if (
+                self._seal_age is not None
+                and memtable.age() >= self._seal_age
+            ):
+                return True
+            return False
+
+    def seal(self) -> "MemtableDelta | None":
+        """Freeze the active memtable and open a fresh one.
+
+        The frozen memtable stays fully queryable while its cold
+        shard is built in the background.  Returns ``None`` when
+        there is nothing to seal.
+        """
+        with self._lock:
+            memtable = self._memtable
+            if memtable.is_empty and memtable.chars == 0:
+                return None
+            self._memtable = self._new_memtable()
+            self._frozen.append(memtable)
+            self._seals += 1
+            if self._wal is not None:
+                self._wal.rotate()
+            return memtable
+
+    def build_shard(self, sealed: MemtableDelta) -> "UsiIndex | None":
+        """Rebuild a sealed memtable into a cold shard (no locks held).
+
+        This is the expensive step; it runs on the compactor's worker
+        thread while queries keep being served from the frozen
+        memtable.  Returns ``None`` for all-empty-document memtables.
+        """
+        if sealed.chars == 0:
+            return None
+        return UsiIndex.build(
+            sealed.to_weighted_string(),
+            k=self._k,
+            miner=self._miner,
+            aggregator=self._utility.name,
+            seed=self._seed,
+        )
+
+    def install_shard(
+        self, sealed: MemtableDelta, shard: "UsiIndex | None"
+    ) -> None:
+        """Atomically swap a frozen memtable for its cold shard.
+
+        Answers are unchanged by construction (the shard indexes
+        exactly the sealed memtable's text), so the swap is invisible
+        to queries and never invalidates caches.  Durability order:
+        shard file first, then the manifest that references it, then
+        WAL pruning — a crash between any two steps recovers exactly.
+        """
+        filename = None
+        if shard is not None and self._directory is not None:
+            filename = f"shard-{self._next_shard_number:06d}.npz"
+            repro_io.save_index(shard, self._directory / filename)
+        with self._lock:
+            if sealed in self._frozen:
+                self._frozen.remove(sealed)
+            if shard is not None:
+                self._shards.append(shard)
+                self._next_shard_number += 1
+                if filename is not None:
+                    self._shard_files.append(filename)
+            if sealed.last_seq is not None:
+                self._compacted_seq = max(self._compacted_seq, sealed.last_seq)
+            self._generation += 1
+            self._compactions += 1
+            upto = self._compacted_seq
+        if self._directory is not None:
+            self._write_manifest()
+            if self._wal is not None:
+                self._wal.prune(upto)
+
+    def compact(self) -> bool:
+        """Seal + build + install synchronously; True if anything moved."""
+        sealed = self.seal()
+        if sealed is None:
+            return False
+        shard = self.build_shard(sealed)
+        self.install_shard(sealed, shard)
+        return True
+
+    # ------------------------------------------------------------------
+    # Checkpoint & manifest
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> "Path | None":
+        """Write a v4 delta checkpoint of the active memtable.
+
+        Restart then skips WAL replay for the checkpointed range.
+        Returns the checkpoint path, or ``None`` when the memtable has
+        seen no documents yet.
+        """
+        if self._directory is None:
+            raise ParameterError("checkpoint requires a durable live index")
+        with self._lock:
+            memtable = self._memtable
+            if memtable.first_seq is None:
+                return None
+            extra = {
+                "first_seq": memtable.first_seq,
+                "last_seq": memtable.last_seq,
+                "documents": memtable.documents,
+                "chars": memtable.chars,
+            }
+            path = self._directory / CHECKPOINT_NAME
+            tmp = self._directory / (CHECKPOINT_NAME + ".tmp.npz")
+            repro_io.save_dynamic_index(memtable.delta, tmp, extra=extra)
+            os.replace(tmp, path)
+            self._checkpoint_meta = {"file": CHECKPOINT_NAME}
+        self._write_manifest()
+        return path
+
+    def _write_manifest(self) -> None:
+        if self._directory is None:
+            return
+        with self._lock:
+            manifest = {
+                "version": 1,
+                "alphabet": _alphabet_meta(self._alphabet),
+                "k": self._k,
+                "aggregator": self._utility.name,
+                "miner": self._miner,
+                "seed": self._seed,
+                "seal_chars": self._seal_chars,
+                "seal_age": self._seal_age,
+                "hot_capacity": self._hot_capacity,
+                "hot_window": self._hot_window,
+                "compacted_seq": self._compacted_seq,
+                "generation": self._generation,
+                "seals": self._seals,
+                "compactions": self._compactions,
+                "next_shard_number": self._next_shard_number,
+                "shards": list(self._shard_files),
+                "checkpoint": self._checkpoint_meta,
+            }
+        tmp = self._directory / (MANIFEST_NAME + ".tmp")
+        tmp.write_text(json.dumps(manifest, indent=2))
+        os.replace(tmp, self._directory / MANIFEST_NAME)
+
+    def close(self) -> None:
+        """Flush and close the WAL (the index stays queryable)."""
+        if self._wal is not None:
+            self._wal.close()
+
+    # ------------------------------------------------------------------
+    # Pickling (v2 tagged container support): durable attachments are
+    # process-local and do not travel — the unpickled index is a fully
+    # functional in-memory copy with identical answers.
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state["_lock"] = None
+        state["_wal"] = None
+        state["_directory"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.RLock()

@@ -1,0 +1,221 @@
+"""The in-memory write buffer (memtable) of the live-ingest subsystem.
+
+A :class:`MemtableDelta` wraps one
+:class:`~repro.core.dynamic.DynamicUsiIndex` over the *extended*
+alphabet of ``strings/collection.py`` — documents are appended joined
+by the fresh separator letter, so query patterns (encoded through the
+original alphabet) can never span two documents.  That is the same
+invariant that makes sharded merges exact, and it is what lets a
+:class:`~repro.ingest.live.LiveIndex` combine memtable answers with
+sealed-shard answers without approximation.
+
+The memtable also feeds a :class:`~repro.streaming.SpaceSaving`
+sketch with fixed-length code windows of every ingested document.
+The sketch costs O(1) per offered window and yields the *hot
+substrings* of the current write burst — compaction hints used to
+warm the fresh query cache after a generation swap.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.dynamic import DynamicUsiIndex
+from repro.errors import ParameterError
+from repro.streaming.space_saving import SpaceSaving
+from repro.strings.alphabet import Alphabet
+from repro.strings.weighted import WeightedString
+from repro.utility.functions import AggregatorName
+
+# Never offer more than this many windows per document to the hot
+# sketch: the sketch is advisory, so sampling long documents keeps
+# the per-append cost bounded without hurting correctness anywhere.
+_MAX_HOT_WINDOWS_PER_DOC = 1024
+
+
+class MemtableDelta:
+    """One generation of the in-memory delta index.
+
+    Parameters
+    ----------
+    alphabet:
+        The *original* (query-side) alphabet; the internal text uses
+        the extended alphabet with ``alphabet.size`` as separator.
+    k:
+        Top-K parameter forwarded to the delta's (re)builds.
+    hot_capacity / hot_window:
+        Size and window length of the hot-substring sketch
+        (``hot_capacity=0`` disables tracking).
+    """
+
+    def __init__(
+        self,
+        alphabet: Alphabet,
+        *,
+        k: int,
+        aggregator: "AggregatorName" = "sum",
+        miner: str = "exact",
+        seed: int = 0,
+        hot_capacity: int = 64,
+        hot_window: int = 4,
+    ) -> None:
+        self._alphabet = alphabet
+        self._separator = alphabet.size
+        extended = Alphabet(list(range(alphabet.size + 1)))
+        # Seed with a lone separator: WeightedString must be non-empty,
+        # and a separator matches no query pattern, so the seed is
+        # invisible to every answer.
+        seed_ws = WeightedString(
+            np.asarray([self._separator], dtype=np.int32),
+            np.asarray([1.0], dtype=np.float64),
+            extended,
+        )
+        self._delta = DynamicUsiIndex(
+            seed_ws, k=k, aggregator=aggregator, miner=miner, seed=seed
+        )
+        self._documents = 0
+        self._chars = 0
+        self._first_seq: "int | None" = None
+        self._last_seq: "int | None" = None
+        self._created_at = time.monotonic()
+        self._hot_window = int(hot_window)
+        self._hot = SpaceSaving(hot_capacity) if hot_capacity > 0 else None
+
+    @classmethod
+    def from_restore(
+        cls,
+        delta: DynamicUsiIndex,
+        alphabet: Alphabet,
+        *,
+        first_seq: "int | None",
+        last_seq: "int | None",
+        documents: int,
+        chars: int,
+        hot_capacity: int = 64,
+        hot_window: int = 4,
+    ) -> "MemtableDelta":
+        """Rewrap a checkpoint-restored delta index as a memtable.
+
+        The hot sketch is advisory and restarts empty; everything that
+        affects answers (the delta text) comes back exactly.
+        """
+        self = cls.__new__(cls)
+        self._alphabet = alphabet
+        self._separator = alphabet.size
+        self._delta = delta
+        self._documents = int(documents)
+        self._chars = int(chars)
+        self._first_seq = first_seq
+        self._last_seq = last_seq
+        self._created_at = time.monotonic()
+        self._hot_window = int(hot_window)
+        self._hot = SpaceSaving(hot_capacity) if hot_capacity > 0 else None
+        return self
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def alphabet(self) -> Alphabet:
+        """The original (query-side) alphabet."""
+        return self._alphabet
+
+    @property
+    def delta(self) -> DynamicUsiIndex:
+        return self._delta
+
+    @property
+    def documents(self) -> int:
+        return self._documents
+
+    @property
+    def chars(self) -> int:
+        """Total document letters held (separators excluded)."""
+        return self._chars
+
+    @property
+    def first_seq(self) -> "int | None":
+        return self._first_seq
+
+    @property
+    def last_seq(self) -> "int | None":
+        return self._last_seq
+
+    @property
+    def is_empty(self) -> bool:
+        return self._documents == 0
+
+    def age(self) -> float:
+        """Seconds since this memtable generation was opened."""
+        return time.monotonic() - self._created_at
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+    def add_document(
+        self,
+        seq: int,
+        codes: np.ndarray,
+        utilities: "Sequence[float] | np.ndarray | None" = None,
+    ) -> None:
+        """Append one encoded document (plus its trailing separator).
+
+        Empty documents advance the sequence bookkeeping but add no
+        text — they have no substrings, so indexing nothing *is* the
+        exact answer.
+        """
+        codes = np.asarray(codes, dtype=np.int32)
+        if utilities is None:
+            utilities = np.ones(len(codes), dtype=np.float64)
+        else:
+            utilities = np.asarray(utilities, dtype=np.float64)
+        if len(utilities) != len(codes):
+            raise ParameterError("document codes and utilities must have equal length")
+        if len(codes):
+            self._delta.extend(codes, utilities)
+            self._delta.append(self._separator, 1.0)
+            self._chars += len(codes)
+            self._track_hot(codes)
+        self._documents += 1
+        if self._first_seq is None:
+            self._first_seq = int(seq)
+        self._last_seq = int(seq)
+
+    def _track_hot(self, codes: np.ndarray) -> None:
+        if self._hot is None or len(codes) < self._hot_window:
+            return
+        windows = np.lib.stride_tricks.sliding_window_view(
+            codes.astype(np.int64), self._hot_window
+        )
+        stride = max(1, len(windows) // _MAX_HOT_WINDOWS_PER_DOC)
+        for window in windows[::stride]:
+            self._hot.offer(tuple(int(c) for c in window))
+
+    # ------------------------------------------------------------------
+    # Reads (delegated to the delta index)
+    # ------------------------------------------------------------------
+    def query(self, codes: np.ndarray) -> float:
+        return self._delta.query(codes)
+
+    def query_batch(self, patterns: Sequence[np.ndarray]) -> list[float]:
+        return self._delta.query_batch(patterns)
+
+    def count(self, codes: np.ndarray) -> int:
+        return self._delta.count(codes)
+
+    def to_weighted_string(self) -> WeightedString:
+        """The full memtable text (seed separator included)."""
+        return self._delta.to_weighted_string()
+
+    def hot_patterns(self, limit: "int | None" = None) -> list[tuple[list, int]]:
+        """Hot substrings as ``(letters, estimated_count)``, hottest first."""
+        if self._hot is None:
+            return []
+        ranked = []
+        for window, estimate in self._hot.top(limit):
+            letters = [self._alphabet.letter(code) for code in window]
+            ranked.append((letters, int(estimate)))
+        return ranked

@@ -1,0 +1,237 @@
+"""A segmented, fsync-able write-ahead log for ingested documents.
+
+The durability half of the live-ingest subsystem: every appended
+document is written here *before* it is applied to the in-memory
+memtable, so a crashed ingester replays the log and reaches exactly
+the pre-crash state (:meth:`replay`).
+
+Format
+------
+One record per line::
+
+    crc32hex {"q": seq, "c": [codes...], "u": [utilities...] | null}
+
+* ``q`` — the document's monotonically increasing sequence number;
+* ``c`` — the document as alphabet codes (empty for empty documents,
+  which carry a sequence number but no text);
+* ``u`` — per-position utilities, or ``null`` for uniform 1.0.
+
+The CRC covers the JSON payload bytes, so a torn final write (the
+only corruption a crashed-but-sane filesystem produces on an
+append-only file) is detected and truncated away on replay; a bad
+record anywhere *else* is real corruption and raises.
+
+Segments
+--------
+The log is a directory of ``wal-NNNNNNNN.log`` files.  The compactor
+calls :meth:`rotate` when it seals a memtable, so each segment holds
+the documents of (at most) one memtable generation; once those
+documents are safely rebuilt into a cold shard, :meth:`prune` deletes
+every closed segment whose records are all covered by the shards.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from pathlib import Path
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.errors import ParameterError
+
+_SEGMENT_PREFIX = "wal-"
+_SEGMENT_SUFFIX = ".log"
+
+
+class WalRecord:
+    """One replayed document: ``(seq, codes, utilities-or-None)``."""
+
+    __slots__ = ("seq", "codes", "utilities")
+
+    def __init__(self, seq: int, codes: np.ndarray, utilities: "np.ndarray | None"):
+        self.seq = seq
+        self.codes = codes
+        self.utilities = utilities
+
+
+def _segment_name(number: int) -> str:
+    return f"{_SEGMENT_PREFIX}{number:08d}{_SEGMENT_SUFFIX}"
+
+
+def _segment_number(path: Path) -> int:
+    return int(path.name[len(_SEGMENT_PREFIX) : -len(_SEGMENT_SUFFIX)])
+
+
+def _encode_record(seq: int, codes, utilities) -> bytes:
+    payload = json.dumps(
+        {
+            "q": int(seq),
+            "c": [int(c) for c in codes],
+            "u": None if utilities is None else [float(u) for u in utilities],
+        },
+        separators=(",", ":"),
+    ).encode()
+    crc = zlib.crc32(payload) & 0xFFFFFFFF
+    return b"%08x " % crc + payload + b"\n"
+
+
+def _decode_line(line: bytes) -> "WalRecord | None":
+    """Parse one record line; ``None`` means malformed (torn or corrupt)."""
+    if not line.endswith(b"\n") or len(line) < 10 or line[8:9] != b" ":
+        return None
+    payload = line[9:-1]
+    try:
+        crc = int(line[:8], 16)
+    except ValueError:
+        return None
+    if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+        return None
+    try:
+        record = json.loads(payload)
+    except (json.JSONDecodeError, UnicodeDecodeError):
+        return None
+    if not isinstance(record, dict) or "q" not in record or "c" not in record:
+        return None
+    codes = np.asarray(record["c"], dtype=np.int32)
+    utilities = record.get("u")
+    if utilities is not None:
+        utilities = np.asarray(utilities, dtype=np.float64)
+        if len(utilities) != len(codes):
+            return None
+    return WalRecord(int(record["q"]), codes, utilities)
+
+
+class WriteAheadLog:
+    """Append-only segmented document log under one directory.
+
+    Parameters
+    ----------
+    directory:
+        Where segments live; created if missing.
+    sync:
+        ``fsync`` after every append.  Off by default (flush-only):
+        an OS crash may then lose the last few documents, but a mere
+        process crash never loses an acknowledged append.
+    """
+
+    def __init__(self, directory: "str | Path", sync: bool = False) -> None:
+        self._dir = Path(directory)
+        self._dir.mkdir(parents=True, exist_ok=True)
+        self._sync = bool(sync)
+        self._handle = None
+        self._active_path: "Path | None" = None
+        # Last sequence number seen per closed segment (known for
+        # replayed and rotated segments; needed by prune).
+        self._last_seq: dict[Path, int] = {}
+        existing = self.segments()
+        self._next_number = (
+            _segment_number(existing[-1]) + 1 if existing else 1
+        )
+
+    @property
+    def directory(self) -> Path:
+        return self._dir
+
+    def segments(self) -> list[Path]:
+        """All segment files, oldest first."""
+        return sorted(
+            p
+            for p in self._dir.iterdir()
+            if p.name.startswith(_SEGMENT_PREFIX)
+            and p.name.endswith(_SEGMENT_SUFFIX)
+        )
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def append(self, seq: int, codes, utilities=None) -> None:
+        """Durably record one document before it is applied."""
+        if self._handle is None:
+            self._active_path = self._dir / _segment_name(self._next_number)
+            self._next_number += 1
+            self._handle = open(self._active_path, "ab")
+        self._handle.write(_encode_record(seq, codes, utilities))
+        self._handle.flush()
+        if self._sync:
+            os.fsync(self._handle.fileno())
+        self._last_seq[self._active_path] = int(seq)
+
+    def rotate(self) -> None:
+        """Close the active segment; the next append opens a fresh one.
+
+        Called at memtable seal time so one segment maps to one sealed
+        memtable and becomes prunable the moment its shard lands.
+        """
+        if self._handle is not None:
+            if self._sync:
+                os.fsync(self._handle.fileno())
+            self._handle.close()
+            self._handle = None
+            self._active_path = None
+
+    def prune(self, upto_seq: int) -> int:
+        """Delete closed segments whose every record has ``seq <= upto_seq``.
+
+        Returns the number of segments removed.  The active segment is
+        never touched; segments whose last sequence number is unknown
+        (not replayed, not written by this process) are kept.
+        """
+        removed = 0
+        for path in self.segments():
+            if path == self._active_path:
+                continue
+            last = self._last_seq.get(path)
+            if last is None or last > upto_seq:
+                continue
+            path.unlink(missing_ok=True)
+            self._last_seq.pop(path, None)
+            removed += 1
+        return removed
+
+    def close(self) -> None:
+        self.rotate()
+
+    # ------------------------------------------------------------------
+    # Recovery
+    # ------------------------------------------------------------------
+    def replay(self) -> Iterator[WalRecord]:
+        """Yield every logged document, oldest first.
+
+        A malformed record at the very end of the *last* segment is a
+        torn final write: it is truncated away and replay ends
+        cleanly.  A malformed record anywhere else is corruption and
+        raises :class:`~repro.errors.ParameterError`.
+        """
+        segments = self.segments()
+        for index, path in enumerate(segments):
+            is_last_segment = index == len(segments) - 1
+            with open(path, "rb") as handle:
+                lines = handle.readlines()
+            offset = 0
+            for line_index, line in enumerate(lines):
+                record = _decode_line(line)
+                if record is None:
+                    if is_last_segment and line_index == len(lines) - 1:
+                        # Torn final write: drop it and stop.
+                        with open(path, "ab") as handle:
+                            handle.truncate(offset)
+                        return
+                    raise ParameterError(
+                        f"corrupt WAL record in {path.name} "
+                        f"(line {line_index + 1})"
+                    )
+                offset += len(line)
+                self._last_seq[path] = record.seq
+                yield record
+
+    def last_sequence(self) -> int:
+        """Highest sequence number known to the log (0 when empty)."""
+        return max(self._last_seq.values(), default=0)
+
+
+def replay_all(log: WriteAheadLog) -> "list[WalRecord]":
+    """Materialise :meth:`WriteAheadLog.replay` (small logs, tests)."""
+    return list(log.replay())

@@ -1,6 +1,6 @@
 """Index persistence: save/load any registered backend.
 
-Four on-disk layouts coexist:
+Five on-disk layouts coexist:
 
 * **v1** — the original pickle-free ``.npz`` archive for suffix-array
   backed :class:`~repro.core.usi.UsiIndex` objects: text, utilities,
@@ -21,15 +21,23 @@ Four on-disk layouts coexist:
   substrate per backend.  Because members are stored uncompressed,
   reopening with ``mmap=True`` memory-maps the substrate arrays
   (``mmap_mode="r"``) instead of materialising them.
+* **v4** — the *dynamic checkpoint* container
+  (:func:`save_dynamic_index`): the frozen-prefix substrate of a
+  :class:`~repro.core.dynamic.DynamicUsiIndex` stored exactly like a
+  v1 file (codes, utilities, suffix array, hash table) plus the tail
+  buffer appended since the last rebuild and the rebuild policy.
+  Restoring never rebuilds and never unpickles; the live-ingest
+  subsystem uses it to checkpoint its memtable so restarts skip WAL
+  replay of already-checkpointed documents.
 * **legacy pickle** — any non-``.npz`` extension is a bare pickle of
   the object as given (the original ``usi build --out idx.pkl``
   format); type sniffing on load recovers the backend.
 
 Dispatch on *load* is by file contents (zip magic vs pickle), never by
-extension, so renamed files keep working.  The v1 and v3 layouts are
-pickle-free; v2 containers and legacy pickles execute pickle bytecode
-on load, so open only files you trust (``allow_pickle=False`` on the
-loaders refuses everything but v1/v3).
+extension, so renamed files keep working.  The v1, v3, and v4 layouts
+are pickle-free; v2 containers and legacy pickles execute pickle
+bytecode on load, so open only files you trust (``allow_pickle=False``
+on the loaders refuses everything but v1/v3/v4).
 """
 
 from __future__ import annotations
@@ -41,6 +49,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.core.dynamic import DynamicUsiIndex
 from repro.core.usi import UsiBuildReport, UsiIndex
 from repro.errors import ParameterError
 from repro.kernel import TextKernel
@@ -52,6 +61,7 @@ from repro.utility.functions import make_global_utility, make_local_utility
 FORMAT_VERSION = 1
 TAGGED_FORMAT_VERSION = 2
 KERNEL_FORMAT_VERSION = 3
+DYNAMIC_FORMAT_VERSION = 4
 
 _ZIP_MAGIC = b"PK\x03\x04"
 
@@ -112,19 +122,19 @@ def save_index(index, path: "str | Path", container: "str | None" = None) -> Non
                 ".npz format; rebuild with locate_backend='sa' or save "
                 "through its backend adapter (repro.build)"
             )
+    if isinstance(engine, DynamicUsiIndex) and isinstance(
+        engine.base.suffix_array, SuffixArray
+    ):
+        save_dynamic_index(engine, path)
+        return
     _save_v2(engine, backend, path)
 
 
-def _save_v1(index: UsiIndex, path: Path, backend: str) -> None:
-    """The original pickle-free layout (readable by old loaders)."""
-    sa = index.suffix_array
-    ws = index.weighted_string
-    letters = ws.alphabet.letters
+def _usi_header(index: UsiIndex, backend: str) -> dict:
+    """The v1-style JSON header fields describing one SA-backed index."""
+    letters = index.weighted_string.alphabet.letters
     letters_kind = "str" if letters and isinstance(letters[0], str) else "int"
-    keys = np.fromiter(index._table.keys(), dtype=np.int64, count=len(index._table))
-    values = np.fromiter(index._table.values(), dtype=np.float64, count=len(index._table))
-    header = {
-        "format_version": FORMAT_VERSION,
+    return {
         "backend": backend,
         "aggregator": index.utility.name,
         "local": getattr(index._psw, "local_name", "sum"),
@@ -139,14 +149,31 @@ def _save_v1(index: UsiIndex, path: Path, backend: str) -> None:
             "hash_entries": index.report.hash_entries,
         },
     }
+
+
+def _usi_arrays(index: UsiIndex) -> dict:
+    """The v1-style array members describing one SA-backed index."""
+    keys = np.fromiter(index._table.keys(), dtype=np.int64, count=len(index._table))
+    values = np.fromiter(
+        index._table.values(), dtype=np.float64, count=len(index._table)
+    )
+    ws = index.weighted_string
+    return {
+        "codes": ws.codes,
+        "utilities": ws.utilities,
+        "sa": index.suffix_array.sa,
+        "table_keys": keys,
+        "table_values": values,
+    }
+
+
+def _save_v1(index: UsiIndex, path: Path, backend: str) -> None:
+    """The original pickle-free layout (readable by old loaders)."""
+    header = {"format_version": FORMAT_VERSION, **_usi_header(index, backend)}
     np.savez_compressed(
         path,
         header=np.frombuffer(json.dumps(header).encode(), dtype=np.uint8),
-        codes=ws.codes,
-        utilities=ws.utilities,
-        sa=sa.sa,
-        table_keys=keys,
-        table_values=values,
+        **_usi_arrays(index),
     )
 
 
@@ -166,6 +193,75 @@ def _save_v2(engine, backend: "str | None", path: Path) -> None:
 
 def _read_header(archive) -> dict:
     return json.loads(bytes(archive["header"].tobytes()).decode())
+
+
+# ----------------------------------------------------------------------
+# v4: the dynamic checkpoint (frozen-prefix substrate + tail buffer)
+# ----------------------------------------------------------------------
+def save_dynamic_index(
+    index: DynamicUsiIndex, path: "str | Path", extra: "dict | None" = None
+) -> None:
+    """Checkpoint a :class:`DynamicUsiIndex` without pickling.
+
+    The frozen-prefix base is stored exactly like a v1 file; the tail
+    buffer (letters appended since the last rebuild) and the rebuild
+    policy ride along, so :func:`load_dynamic_index` restores the
+    index to the precise pre-checkpoint state — same answers, same
+    rebuild schedule — without rebuilding anything.
+
+    *extra* is an optional JSON-serialisable dict stored verbatim in
+    the header (the live-ingest subsystem records the checkpoint's
+    sequence-number range there) and returned by
+    :func:`load_dynamic_index`.
+    """
+    if not isinstance(index, DynamicUsiIndex):
+        raise ParameterError("save_dynamic_index takes a DynamicUsiIndex")
+    base = index.base
+    if not isinstance(base.suffix_array, SuffixArray):
+        raise ParameterError(
+            "dynamic checkpoints require a suffix-array-backed base index"
+        )
+    header = {
+        "format_version": DYNAMIC_FORMAT_VERSION,
+        **_usi_header(base, "dynamic"),
+        "k": int(index.k),
+        "miner": index.miner,
+        "rebuild_fraction": float(index.rebuild_fraction),
+        "seed": int(index.seed),
+        "rebuild_count": int(index.rebuild_count),
+        "extra": extra,
+    }
+    np.savez_compressed(
+        Path(path),
+        header=np.frombuffer(json.dumps(header).encode(), dtype=np.uint8),
+        tail_codes=np.asarray(index.tail_codes, dtype=np.int32),
+        tail_utilities=np.asarray(index.tail_utilities, dtype=np.float64),
+        **_usi_arrays(base),
+    )
+
+
+def _load_v4(archive, header: dict) -> DynamicUsiIndex:
+    base = _load_v1(archive, header)  # same member names for the base
+    return DynamicUsiIndex.from_parts(
+        base,
+        archive["tail_codes"],
+        archive["tail_utilities"],
+        k=int(header["k"]),
+        miner=header["miner"],
+        rebuild_fraction=float(header["rebuild_fraction"]),
+        seed=int(header["seed"]),
+        rebuild_count=int(header["rebuild_count"]),
+    )
+
+
+def load_dynamic_index(path: "str | Path") -> "tuple[DynamicUsiIndex, dict | None]":
+    """Restore a v4 checkpoint as ``(index, extra)``; pickle-free."""
+    path = Path(path)
+    with np.load(path) as archive:
+        header = _read_header(archive)
+        if header.get("format_version") != DYNAMIC_FORMAT_VERSION:
+            raise ParameterError(f"{path} is not a v4 dynamic checkpoint")
+        return _load_v4(archive, header), header.get("extra")
 
 
 # ----------------------------------------------------------------------
@@ -501,6 +597,8 @@ def load_any(
                 )
             engine = pickle.loads(archive["payload"].tobytes())
             return engine, header.get("backend")
+        if version == DYNAMIC_FORMAT_VERSION:
+            return _load_v4(archive, header), header.get("backend", "dynamic")
     if version == KERNEL_FORMAT_VERSION:
         engines = _load_v3(path, header, mmap)
         if len(engines) != 1:

@@ -13,9 +13,14 @@ adds what a server needs around it:
   to O(1) dict time for the skewed workloads real traffic produces;
 * a **bulk API** that forwards misses in one ``query_batch`` call, so
   fingerprinting is vectorised across the batch;
-* **thread safety**: the underlying indexes are immutable after
-  construction, so only the cache and the counters are guarded, and
-  index work runs outside the lock.
+* **thread safety**: static indexes are immutable after construction,
+  so only the cache and the counters are guarded, and index work runs
+  outside the lock.  Mutable backends (the ``dynamic`` capability)
+  expose a monotone ``data_version``; the engine probes it around
+  every cached lookup, clears the cache when the version moved, and
+  refuses to cache an answer computed against a version that moved
+  mid-flight — so a live, ingesting index never serves stale answers
+  from the cache.
 
 All query paths share one
 :class:`~repro.service.metrics.LatencyRecorder`.
@@ -92,7 +97,25 @@ class QueryEngine:
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        self._invalidations = 0
+        # Only dynamic backends can change answers after construction;
+        # for everything else the version probe is skipped entirely.
+        self._dynamic = bool(self._proto.capabilities.dynamic)
+        self._data_version = self._current_version()
         self.metrics = metrics if metrics is not None else LatencyRecorder()
+
+    def _current_version(self) -> int:
+        if not self._dynamic:
+            return 0
+        version = getattr(self._proto, "data_version", None)
+        return int(version()) if callable(version) else 0
+
+    def _refresh_version_locked(self, version: int) -> None:
+        if version != self._data_version:
+            if self._cache:
+                self._cache.clear()
+                self._invalidations += 1
+            self._data_version = version
 
     @property
     def index(self):
@@ -122,7 +145,9 @@ class QueryEngine:
         """``U(pattern)``, answered from the cache when possible."""
         t0 = time.perf_counter()
         key = _cache_key(pattern)
+        version = self._current_version()
         with self._lock:
+            self._refresh_version_locked(version)
             cached = self._cache_get(key)
         if cached is not None:
             self.metrics.record(time.perf_counter() - t0, 1)
@@ -130,7 +155,11 @@ class QueryEngine:
         value = float(self._proto.query(pattern))
         with self._lock:
             self._misses += 1
-            self._cache_put(key, value)
+            # Cache only answers still known current: if the version
+            # moved while we computed, the value may reflect a superseded
+            # text — serve it (it was true when computed) but drop it.
+            if self._current_version() == version:
+                self._cache_put(key, value)
         self.metrics.record(time.perf_counter() - t0, 1)
         return value
 
@@ -143,9 +172,11 @@ class QueryEngine:
         """
         t0 = time.perf_counter()
         keys = [_cache_key(p) for p in patterns]
+        version = self._current_version()
         results: "list[float | None]" = [None] * len(patterns)
         missing: "OrderedDict[tuple, list[int]]" = OrderedDict()
         with self._lock:
+            self._refresh_version_locked(version)
             for slot, key in enumerate(keys):
                 cached = self._cache_get(key)
                 if cached is not None:
@@ -157,8 +188,9 @@ class QueryEngine:
             answers = self._index_batch([patterns[s] for s in probe_slots])
             with self._lock:
                 self._misses += len(probe_slots)
-                for key, value in zip(missing, answers):
-                    self._cache_put(key, float(value))
+                if self._current_version() == version:
+                    for key, value in zip(missing, answers):
+                        self._cache_put(key, float(value))
             for slots, value in zip(missing.values(), answers):
                 for slot in slots:
                     results[slot] = float(value)
@@ -209,6 +241,8 @@ class QueryEngine:
         with self._lock:
             hits, misses, evictions = self._hits, self._misses, self._evictions
             entries = len(self._cache)
+            invalidations = self._invalidations
+            data_version = self._data_version
         lookups = hits + misses
         return {
             "backend": self._proto.backend_name,
@@ -217,6 +251,8 @@ class QueryEngine:
             "cache_evictions": evictions,
             "cache_entries": entries,
             "cache_capacity": self._cache_size,
+            "cache_invalidations": invalidations,
+            "data_version": data_version,
             "hit_rate": round(hits / lookups, 4) if lookups else 0.0,
             "latency": self.metrics.snapshot().as_dict(),
         }

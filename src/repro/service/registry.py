@@ -36,8 +36,26 @@ def _default_loader(path: Path, mmap: bool = False):
     return open_index(path, mmap=mmap)
 
 
+def _same_underlying(a, b) -> bool:
+    """Whether two registered objects share one underlying engine.
+
+    Registrations may hand over a raw engine or its protocol adapter;
+    a republish of either form must not close the live engine.
+    """
+    inner_a = getattr(a, "inner", None)
+    inner_b = getattr(b, "inner", None)
+    return (
+        a is b
+        or inner_a is b
+        or a is inner_b
+        or (inner_a is not None and inner_a is inner_b)
+    )
+
+
 class _Entry:
-    __slots__ = ("name", "path", "engine", "pinned", "last_used", "backend")
+    __slots__ = (
+        "name", "path", "engine", "pinned", "last_used", "backend", "generation"
+    )
 
     def __init__(self, name, path, engine, pinned, backend=None):
         self.name = name
@@ -48,6 +66,8 @@ class _Entry:
         # The file's backend tag, peeked once at registration (None
         # for in-memory entries and untagged legacy pickles).
         self.backend = backend
+        # Bumped by every replace(); lets clients observe hot swaps.
+        self.generation = 1
 
 
 class IndexRegistry:
@@ -92,6 +112,7 @@ class IndexRegistry:
         self._clock = 0
         self._loads = 0
         self._evictions = 0
+        self._replacements = 0
         self._closed = False
         self._lock = threading.Lock()
 
@@ -130,6 +151,40 @@ class IndexRegistry:
             self._entries[name] = _Entry(
                 name, path, None, pinned=False, backend=backend
             )
+
+    def replace(self, name: str, index) -> QueryEngine:
+        """Atomically hot-swap the index behind *name* (zero downtime).
+
+        A fresh engine over *index* becomes visible to the next
+        :meth:`get`; in-flight requests keep their old engine until
+        they finish (engines are self-contained).  The entry becomes
+        pinned/in-memory and its generation counter bumps.  The old
+        engine is drained — its cache cleared, and its index closed
+        when it is a *different* underlying object (a compactor
+        republishing the same live index must not close it).
+        """
+        engine = self._wrap(index)
+        with self._lock:
+            if self._closed:
+                raise ParameterError("the registry is closed")
+            entry = self._entries.get(name)
+            if entry is None:
+                raise KeyError(name)
+            old_engine = entry.engine
+            entry.engine = engine
+            entry.pinned = True
+            entry.path = None
+            entry.backend = None
+            entry.generation += 1
+            self._replacements += 1
+        if old_engine is not None:
+            old_engine.clear_cache()
+            old_index = old_engine.index
+            if not _same_underlying(old_index, index):
+                closer = getattr(old_index, "close", None)
+                if callable(closer):
+                    closer()
+        return engine
 
     def _wrap(self, index) -> QueryEngine:
         return QueryEngine(
@@ -237,16 +292,17 @@ class IndexRegistry:
         """
         with self._lock:
             entries = [
-                (e.name, e.engine, e.pinned, e.path, e.backend)
+                (e.name, e.engine, e.pinned, e.path, e.backend, e.generation)
                 for e in sorted(self._entries.values(), key=lambda e: e.name)
             ]
         rows = []
-        for name, engine, pinned, path, backend in entries:
+        for name, engine, pinned, path, backend, generation in entries:
             row = {
                 "name": name,
                 "resident": engine is not None,
                 "pinned": pinned,
                 "path": str(path) if path else None,
+                "generation": generation,
             }
             if engine is not None:
                 row.update(engine.describe_index())
@@ -267,6 +323,7 @@ class IndexRegistry:
                 "capacity": self._capacity,
                 "loads": self._loads,
                 "evictions": self._evictions,
+                "replacements": self._replacements,
             }
 
     def engine_stats(self) -> dict:
@@ -278,3 +335,23 @@ class IndexRegistry:
                 if e.engine is not None
             }
         return {name: engine.stats() for name, engine in engines.items()}
+
+    def ingest_stats(self) -> dict:
+        """Per-index ingest counters, for indexes that ingest.
+
+        Keyed by name; only resident indexes whose protocol adapter
+        exposes ``ingest_stats`` (the ``live`` backend) appear, so the
+        dict is empty on a registry of static indexes.
+        """
+        with self._lock:
+            engines = {
+                e.name: e.engine
+                for e in self._entries.values()
+                if e.engine is not None
+            }
+        stats = {}
+        for name, engine in engines.items():
+            source = getattr(engine.protocol, "ingest_stats", None)
+            if callable(source):
+                stats[name] = source()
+        return stats

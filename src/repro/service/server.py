@@ -9,6 +9,13 @@ Endpoints
     Responds ``{"index": ..., "results": [{"pattern", "utility",
     ("count")}]}``.
 
+``POST /ingest``
+    Body ``{"doc": "..."}`` plus optional ``"utilities"`` (one float
+    per character) and ``"index"``.  Appends the document to a live
+    (``dynamic``) index — the ``live`` backend's WAL-first write path —
+    and responds ``{"index": ..., "seq": n}``.  400 when the target
+    index does not ingest.
+
 ``GET /indexes``
     The registry listing: name, residency, pinned, backing path, plus
     each index's backend name and capability flags (``batch`` /
@@ -18,7 +25,9 @@ Endpoints
 
 ``GET /stats``
     Server-wide QPS / latency percentiles plus per-engine cache
-    statistics and registry load/eviction counters.
+    statistics, registry load/eviction/replacement counters, and an
+    ``ingest`` section (per-live-index generation and compaction
+    counters; empty for static registries).
 
 ``GET /healthz``
     Liveness probe: ``{"status": "ok"}``.
@@ -37,6 +46,7 @@ import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
+from repro.errors import ReproError
 from repro.service.metrics import LatencyRecorder
 from repro.service.registry import IndexRegistry
 
@@ -113,6 +123,7 @@ class _Handler(BaseHTTPRequestHandler):
                     "server": recorder.snapshot().as_dict(),
                     "registry": self.registry.stats(),
                     "engines": self.registry.engine_stats(),
+                    "ingest": self.registry.ingest_stats(),
                 }
             )
         elif self.path == "/healthz":
@@ -130,24 +141,51 @@ class _Handler(BaseHTTPRequestHandler):
             self._end_request()
 
     def _do_post(self) -> None:
-        if self.path != "/query":
+        if self.path == "/query":
+            self._do_query()
+        elif self.path == "/ingest":
+            self._do_ingest()
+        else:
             self._error(404, f"unknown path {self.path!r}")
-            return
+
+    def _read_json_body(self) -> "dict | None":
+        """The request body as a JSON object, or None (error sent)."""
         try:
             length = int(self.headers.get("Content-Length", 0))
         except ValueError:
             self._error(400, "bad Content-Length")
-            return
+            return None
         if length <= 0 or length > MAX_BODY_BYTES:
             self._error(400, "request body required (JSON)")
-            return
+            return None
         try:
             request = json.loads(self.rfile.read(length))
         except (json.JSONDecodeError, UnicodeDecodeError):
             self._error(400, "request body is not valid JSON")
-            return
+            return None
         if not isinstance(request, dict):
             self._error(400, "request body must be a JSON object")
+            return None
+        return request
+
+    def _resolve_engine(self, request: dict):
+        """The ``(name, engine)`` a request addresses, or None (error sent)."""
+        name = request.get("index") or self.registry.default_name()
+        if name is None:
+            self._error(
+                400,
+                "several indexes are registered; name one with 'index'",
+            )
+            return None
+        try:
+            return name, self.registry.get(name)
+        except KeyError:
+            self._error(404, f"unknown index {name!r}")
+            return None
+
+    def _do_query(self) -> None:
+        request = self._read_json_body()
+        if request is None:
             return
 
         single = request.get("pattern")
@@ -163,18 +201,10 @@ class _Handler(BaseHTTPRequestHandler):
             self._error(400, "patterns must be non-empty strings")
             return
 
-        name = request.get("index") or self.registry.default_name()
-        if name is None:
-            self._error(
-                400,
-                "several indexes are registered; name one with 'index'",
-            )
+        resolved = self._resolve_engine(request)
+        if resolved is None:
             return
-        try:
-            engine = self.registry.get(name)
-        except KeyError:
-            self._error(404, f"unknown index {name!r}")
-            return
+        name, engine = resolved
 
         with_counts = bool(request.get("count"))
         if with_counts and not engine.protocol.capabilities.count:
@@ -194,6 +224,47 @@ class _Handler(BaseHTTPRequestHandler):
             for row, pattern in zip(results, patterns):
                 row["count"] = engine.count(pattern)
         self._send_json({"index": name, "results": results})
+
+    def _do_ingest(self) -> None:
+        request = self._read_json_body()
+        if request is None:
+            return
+
+        doc = request.get("doc")
+        if not isinstance(doc, str) or not doc:
+            self._error(400, "'doc' must be a non-empty string")
+            return
+        utilities = request.get("utilities")
+        if utilities is not None:
+            if not isinstance(utilities, list) or not all(
+                isinstance(u, (int, float)) and not isinstance(u, bool)
+                for u in utilities
+            ):
+                self._error(400, "'utilities' must be a list of numbers")
+                return
+            if len(utilities) != len(doc):
+                self._error(400, "'utilities' must have one value per character")
+                return
+
+        resolved = self._resolve_engine(request)
+        if resolved is None:
+            return
+        name, engine = resolved
+
+        appender = getattr(engine.protocol, "append_document", None)
+        if not callable(appender):
+            self._error(
+                400,
+                f"index {name!r} (backend "
+                f"{engine.protocol.backend_name!r}) does not ingest",
+            )
+            return
+        try:
+            seq = appender(doc, utilities)
+        except ReproError as exc:
+            self._error(400, str(exc))
+            return
+        self._send_json({"index": name, "seq": int(seq)})
 
 
 class UsiServer:

@@ -42,6 +42,7 @@ from repro.kernel import TextKernel
 from repro.strings.alphabet import Alphabet
 from repro.strings.collection import WeightedStringCollection
 from repro.strings.weighted import WeightedString
+from repro.utility.functions import merge_partial_answers
 
 ParallelMode = Literal["process", "thread", "serial"]
 
@@ -265,18 +266,7 @@ class ShardedUsiIndex:
 
     def _merge(self, values: Sequence[float], counts: Sequence[int]) -> float:
         """Fold per-shard ``(utility, count)`` answers into one global one."""
-        name = self._aggregator.name
-        occupied = [(v, c) for v, c in zip(values, counts) if c > 0]
-        if not occupied:
-            return self._aggregator.identity
-        if name == "min":
-            return float(min(v for v, _ in occupied))
-        if name == "max":
-            return float(max(v for v, _ in occupied))
-        if name == "avg":
-            total = sum(c for _, c in occupied)
-            return float(sum(v * c for v, c in occupied) / total)
-        return float(sum(v for v, _ in occupied))
+        return merge_partial_answers(self._aggregator, values, counts)
 
     def document_frequency(
         self, pattern: "str | bytes | Sequence[int] | np.ndarray"

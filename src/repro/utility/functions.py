@@ -269,3 +269,40 @@ def make_global_utility(name: "AggregatorName | GlobalUtility") -> GlobalUtility
     if isinstance(name, GlobalUtility):
         return name
     return GlobalUtility(name)
+
+
+def merge_partial_answers(
+    aggregator: "AggregatorName | GlobalUtility",
+    values: Sequence[float],
+    counts: Sequence[int],
+) -> float:
+    """Fold disjoint partial answers ``(U_i, |occ_i|)`` into one global one.
+
+    When a text is split so that no occurrence spans two parts (the
+    document-aligned sharding invariant, or the prefix/tail split of
+    the dynamic index), the occurrence multiset is the disjoint union
+    of the per-part multisets and every class-``U`` aggregator merges
+    exactly from per-part ``(value, count)`` pairs:
+
+    * ``sum``    — the sum of part sums;
+    * ``min``/``max`` — the min/max over parts with >= 1 occurrence;
+    * ``avg``    — part averages recombined with part counts as
+      weights (the only merge that re-divides, so it is exact up to
+      one extra float rounding).
+
+    Parts with ``count == 0`` contribute nothing (their ``value`` is
+    the identity placeholder and must not poison a min/max).
+    """
+    aggregator = make_global_utility(aggregator)
+    occupied = [(v, c) for v, c in zip(values, counts) if c > 0]
+    if not occupied:
+        return aggregator.identity
+    name = aggregator.name
+    if name == "min":
+        return float(min(v for v, _ in occupied))
+    if name == "max":
+        return float(max(v for v, _ in occupied))
+    if name == "avg":
+        total = sum(c for _, c in occupied)
+        return float(sum(v * c for v, c in occupied) / total)
+    return float(sum(v for v, _ in occupied))

@@ -315,7 +315,8 @@ class TestHarness:
         )
         runs = compare_backends(collection, ["ACG"], trace_memory=False, k=4)
         names = {run.backend for run in runs}
-        assert names == {"collection", "sharded"}  # single-string ones skipped
+        # single-string backends are skipped; collection-capable ones stay
+        assert names == {"collection", "live", "sharded"}
         with pytest.raises(ParameterError):
             compare_backends(
                 collection, ["ACG"], backends=["usi"], trace_memory=False, k=4

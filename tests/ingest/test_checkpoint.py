@@ -1,0 +1,192 @@
+"""Durability: the v4 dynamic checkpoint + WAL recovery chain.
+
+Covers the ``repro.io`` satellite (checkpoint/restore of a
+:class:`DynamicUsiIndex` dispatched by header) and the full
+``LiveIndex.open`` recovery matrix: WAL-only, checkpoint + WAL tail,
+stale checkpoint after compaction, and crash points between the
+install steps.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.core.dynamic import DynamicUsiIndex
+from repro.ingest import LiveIndex
+from repro.io import (
+    load_any,
+    load_dynamic_index,
+    peek_backend,
+    save_dynamic_index,
+    save_index,
+)
+from repro.strings.alphabet import Alphabet
+from repro.strings.weighted import WeightedString
+
+from tests.ingest.test_live import ALPHABET, K, assert_matches_monolithic
+
+PATTERNS = ["A", "AB", "BA", "ABAB", "BB", "Z"]
+
+
+class TestDynamicCheckpointFormat:
+    def build(self):
+        ws = WeightedString("ABABBA", [1, 2, 1, 0.5, 1, 2])
+        index = DynamicUsiIndex(ws, k=6)
+        index.append("B", 1.5)
+        index.append("A", 0.25)
+        return index
+
+    def test_save_load_roundtrip_preserves_answers(self, tmp_path):
+        index = self.build()
+        path = tmp_path / "dyn.npz"
+        save_dynamic_index(index, path)
+        restored, extra = load_dynamic_index(path)
+        assert extra is None
+        assert isinstance(restored, DynamicUsiIndex)
+        for pattern in PATTERNS:
+            assert restored.query(pattern) == pytest.approx(
+                index.query(pattern), abs=1e-9
+            ), pattern
+            assert restored.count(pattern) == index.count(pattern)
+        # The restored tail keeps appending like the original.
+        index.append("B", 3.0)
+        restored.append("B", 3.0)
+        assert restored.query("AB") == pytest.approx(index.query("AB"))
+
+    def test_extra_metadata_rides_the_header(self, tmp_path):
+        path = tmp_path / "dyn.npz"
+        save_dynamic_index(self.build(), path, extra={"first_seq": 3,
+                                                     "last_seq": 9})
+        _, extra = load_dynamic_index(path)
+        assert extra == {"first_seq": 3, "last_seq": 9}
+
+    def test_save_index_dispatches_dynamic_engines(self, tmp_path):
+        index = self.build()
+        path = tmp_path / "dyn.npz"
+        save_index(index, path)  # the generic entry point, not _v2 pickle
+        assert peek_backend(path) == "dynamic"
+        restored, backend = load_any(path)
+        assert backend == "dynamic"
+        assert isinstance(restored, DynamicUsiIndex)
+        assert restored.query("ABAB") == pytest.approx(index.query("ABAB"))
+
+    def test_repro_open_serves_a_checkpoint(self, tmp_path):
+        index = self.build()
+        path = tmp_path / "dyn.npz"
+        save_index(index, path)
+        reopened = repro.open(path)
+        assert reopened.backend_name == "dynamic"
+        assert reopened.query("ABAB") == pytest.approx(index.query("ABAB"))
+
+
+def drain_and_reopen(live, directory):
+    """Simulate a crash: drop the handle, recover from disk."""
+    live.close()
+    return LiveIndex.open(directory)
+
+
+class TestLiveRecovery:
+    def seed(self, tmp_path, **options):
+        options.setdefault("k", K)
+        options.setdefault("seal_chars", 1 << 20)
+        return LiveIndex.create(tmp_path / "live", ALPHABET, **options)
+
+    def test_wal_only_recovery(self, tmp_path):
+        live = self.seed(tmp_path)
+        docs = [("abab", None), ("", None), ("b", [2.0]), ("aab", None)]
+        for text, utilities in docs:
+            live.append_document(text, utilities)
+        recovered = drain_and_reopen(live, tmp_path / "live")
+        assert recovered.last_seq == 4
+        assert_matches_monolithic(recovered, docs)
+
+    def test_checkpoint_plus_wal_tail(self, tmp_path):
+        live = self.seed(tmp_path)
+        docs = [("abba", None), ("ab", None)]
+        for text, _ in docs:
+            live.append_document(text)
+        assert live.checkpoint() is not None
+        live.append_document("bb")  # after the checkpoint: WAL replays it
+        docs.append(("bb", None))
+        recovered = drain_and_reopen(live, tmp_path / "live")
+        assert recovered.last_seq == 3
+        assert_matches_monolithic(recovered, docs)
+
+    def test_stale_checkpoint_is_ignored_after_compaction(self, tmp_path):
+        live = self.seed(tmp_path)
+        live.append_document("abab")
+        live.checkpoint()
+        live.compact()  # the checkpointed range is now covered by a shard
+        live.append_document("ba")
+        docs = [("abab", None), ("ba", None)]
+        recovered = drain_and_reopen(live, tmp_path / "live")
+        assert recovered.shard_count == 1
+        assert recovered.last_seq == 2
+        assert_matches_monolithic(recovered, docs)
+
+    def test_recovery_straddles_generations(self, tmp_path):
+        live = self.seed(tmp_path)
+        docs = []
+        for text in ["abba", "ab"]:
+            live.append_document(text)
+            docs.append((text, None))
+        live.compact()
+        for text in ["bab", ""]:
+            live.append_document(text)
+            docs.append((text, None))
+        live.checkpoint()
+        live.append_document("aa")
+        docs.append(("aa", None))
+        recovered = drain_and_reopen(live, tmp_path / "live")
+        assert recovered.last_seq == 5
+        assert recovered.shard_count == 1
+        assert_matches_monolithic(recovered, docs)
+        # The recovered index keeps ingesting with continuous sequences.
+        assert recovered.append_document("b") == 6
+
+    def test_wal_pruned_after_install(self, tmp_path):
+        live = self.seed(tmp_path)
+        live.append_document("abab")
+        live.compact()
+        assert live.ingest_stats()["wal_segments"] == 0
+        live.append_document("ba")
+        recovered = drain_and_reopen(live, tmp_path / "live")
+        assert_matches_monolithic(
+            recovered, [("abab", None), ("ba", None)]
+        )
+
+    def test_crash_before_manifest_replays_from_wal(self, tmp_path):
+        """Shard built + WAL intact, manifest never updated: the WAL
+        still holds every document, so recovery reaches the same
+        answers with zero shards."""
+        live = self.seed(tmp_path)
+        docs = [("abba", None), ("ab", None)]
+        for text, _ in docs:
+            live.append_document(text)
+        sealed = live.seal()
+        live.build_shard(sealed)  # crash: shard never installed
+        live.close()
+        recovered = LiveIndex.open(tmp_path / "live")
+        assert recovered.shard_count == 0
+        assert_matches_monolithic(recovered, docs)
+
+    def test_reopen_reuses_manifest_parameters(self, tmp_path):
+        live = LiveIndex.create(
+            tmp_path / "live", Alphabet("ab"), k=5, aggregator="max",
+            seal_chars=128,
+        )
+        live.append_document("abab")
+        recovered = drain_and_reopen(live, tmp_path / "live")
+        assert recovered.k == 5
+        assert recovered.utility_name == "max"
+        assert recovered.alphabet.size == 2
+
+    def test_create_refuses_an_existing_index(self, tmp_path):
+        self.seed(tmp_path)
+        with pytest.raises(repro.ReproError, match="already holds"):
+            LiveIndex.create(tmp_path / "live", ALPHABET, k=K)
+
+    def test_open_requires_a_manifest(self, tmp_path):
+        with pytest.raises(repro.ReproError, match="manifest"):
+            LiveIndex.open(tmp_path / "nowhere")

@@ -1,0 +1,130 @@
+"""The background compactor: thresholds, hot-swap publishing, warming."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+import repro
+from repro.api import as_index
+from repro.ingest import Compactor, LiveIndex
+from repro.service.registry import IndexRegistry
+
+from tests.ingest.test_live import ALPHABET, K, assert_matches_monolithic
+
+
+def make_live(**options):
+    options.setdefault("k", K)
+    options.setdefault("seal_chars", 8)
+    return LiveIndex(ALPHABET, **options)
+
+
+class TestRunOnce:
+    def test_below_threshold_does_nothing(self):
+        live = make_live(seal_chars=1 << 20)
+        live.append_document("abab")
+        compactor = Compactor(live)
+        assert compactor.run_once() is False
+        assert compactor.cycles == 1
+        assert live.generation == 1
+
+    def test_threshold_triggers_a_generation(self):
+        live = make_live(seal_chars=4)
+        docs = [("abab", None), ("bb", None)]
+        for text, _ in docs:
+            live.append_document(text)
+        compactor = Compactor(live)
+        assert compactor.run_once() is True
+        assert compactor.compactions == 1
+        assert live.generation == 2
+        assert live.shard_count == 1
+        assert_matches_monolithic(live, docs)
+
+    def test_force_compacts_a_small_memtable(self):
+        live = make_live(seal_chars=1 << 20)
+        live.append_document("ab")
+        compactor = Compactor(live)
+        assert compactor.run_once(force=True) is True
+        assert live.shard_count == 1
+        assert compactor.run_once(force=True) is False  # nothing left
+
+    def test_empty_memtable_never_compacts(self):
+        compactor = Compactor(make_live())
+        assert compactor.run_once(force=True) is False
+        assert compactor.compactions == 0
+
+
+class TestRegistryPublishing:
+    def test_replace_publishes_without_closing_the_live_index(self):
+        live = make_live(seal_chars=4)
+        adapter = as_index(live)
+        registry = IndexRegistry()
+        registry.register("corpus", adapter)
+        compactor = Compactor(live, registry=registry, name="corpus",
+                              index=adapter)
+        live.append_document("abab")
+        live.append_document("ba")
+        assert compactor.run_once() is True
+        # New generation is visible; the index object survived the swap.
+        rows = {row["name"]: row for row in registry.describe()}
+        assert rows["corpus"]["generation"] == 2
+        engine = registry.get("corpus")
+        assert engine.index is adapter
+        assert engine.query("ab") == pytest.approx(live.query("ab"))
+        assert engine.query("ab") > 0.0
+        assert registry.stats()["replacements"] == 1
+        assert compactor.last_error is None
+
+    def test_warming_populates_the_fresh_engine_cache(self):
+        live = make_live(seal_chars=4, hot_window=2)
+        registry = IndexRegistry()
+        registry.register("corpus", live)
+        compactor = Compactor(live, registry=registry, name="corpus",
+                              index=live)
+        for _ in range(4):
+            live.append_document("abab")
+        assert compactor.run_once() is True
+        assert compactor.last_error is None
+        stats = registry.get("corpus").stats()
+        # The hot patterns were queried into the cache at publish time.
+        assert stats["cache_entries"] > 0
+
+    def test_registry_ingest_stats_surface_the_live_counters(self):
+        live = make_live()
+        registry = IndexRegistry()
+        registry.register("corpus", live)
+        live.append_document("ab")
+        stats = registry.ingest_stats()
+        assert stats["corpus"]["last_seq"] == 1
+        assert stats["corpus"]["generation"] == 1
+        # A static index contributes no ingest section.
+        registry.register("static", repro.build("abab", k=4, backend="usi"))
+        assert set(registry.ingest_stats()) == {"corpus"}
+
+
+class TestBackgroundThread:
+    def test_thread_compacts_while_appends_continue(self):
+        live = make_live(seal_chars=16)
+        docs = []
+        with Compactor(live, interval=0.01):
+            for i in range(30):
+                text = "abab" if i % 2 else "bba"
+                live.append_document(text)
+                docs.append((text, None))
+                time.sleep(0.002)
+            deadline = time.time() + 5
+            while live.generation == 1 and time.time() < deadline:
+                time.sleep(0.01)
+        assert live.generation > 1
+        assert live.shard_count >= 1
+        assert_matches_monolithic(live, docs)
+
+    def test_stop_is_idempotent_and_restartable(self):
+        compactor = Compactor(make_live(), interval=0.01)
+        compactor.start()
+        compactor.start()  # second start is a no-op
+        compactor.stop()
+        compactor.stop()
+        compactor.start()
+        compactor.stop()

@@ -1,0 +1,255 @@
+"""Exactness of the live index: delta + shards == monolithic rebuild.
+
+The core contract of the ingest subsystem: at *every* point of any
+interleaving of appends, seals, shard builds, and installs, a
+:class:`LiveIndex` answers exactly like a from-scratch monolithic
+``repro.build`` over the documents appended so far — including
+mid-compaction snapshots where part of the corpus lives in a frozen
+memtable and part in cold shards.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro.ingest import LiveIndex
+from repro.strings.alphabet import Alphabet
+from repro.strings.collection import WeightedStringCollection
+from repro.strings.weighted import WeightedString
+
+ALPHABET = Alphabet("ab")
+K = 8
+
+#: Every answer-bearing probe for tiny ab-corpora, plus misses and a
+#: foreign-letter pattern (must be the aggregator identity, not an error).
+PATTERNS = ["a", "b", "aa", "ab", "ba", "bb", "aba", "bab", "aabb", "abab", "z"]
+
+
+def monolithic(docs, aggregator="sum"):
+    """A from-scratch collection index over the non-empty documents."""
+    weighted = [
+        WeightedString(text, utilities, ALPHABET)
+        if utilities is not None
+        else WeightedString.uniform(text, alphabet=ALPHABET)
+        for text, utilities in docs
+        if text
+    ]
+    if not weighted:
+        return None
+    return repro.build(
+        WeightedStringCollection(weighted), backend="collection",
+        k=K, aggregator=aggregator,
+    )
+
+
+def assert_matches_monolithic(live, docs, aggregator="sum"):
+    reference = monolithic(docs, aggregator)
+    identity = 0.0  # the repo-wide no-occurrence answer, every aggregator
+    for pattern in PATTERNS:
+        got = live.query(pattern)
+        if reference is None:
+            assert got == identity, pattern
+            assert live.count(pattern) == 0
+        else:
+            assert got == pytest.approx(
+                reference.query(pattern), abs=1e-9
+            ), pattern
+            assert live.count(pattern) == reference.count(pattern), pattern
+    batch = live.query_batch(PATTERNS)
+    assert batch == pytest.approx(
+        [live.query(p) for p in PATTERNS], abs=1e-9
+    )
+
+
+@st.composite
+def schedules(draw):
+    """Documents with optional utilities + a post-append action each.
+
+    Actions: 0 = nothing, 1 = full compaction, 2 = seal only (leaves a
+    frozen memtable serving), 3 = install the oldest pending seal.
+    """
+    count = draw(st.integers(1, 8))
+    docs = []
+    actions = []
+    for _ in range(count):
+        text = draw(st.text(alphabet="ab", max_size=6))
+        if text and draw(st.booleans()):
+            utilities = draw(
+                st.lists(
+                    st.floats(min_value=0.25, max_value=4.0,
+                              allow_nan=False, width=32),
+                    min_size=len(text), max_size=len(text),
+                )
+            )
+        else:
+            utilities = None
+        docs.append((text, utilities))
+        actions.append(draw(st.integers(0, 3)))
+    return docs, actions
+
+
+class TestInterleavedSchedules:
+    @given(schedules())
+    @settings(max_examples=30, deadline=None)
+    def test_every_snapshot_matches_a_monolithic_rebuild(self, schedule):
+        docs, actions = schedule
+        live = LiveIndex(ALPHABET, k=K, seal_chars=1 << 20)
+        pending = []
+        appended = []
+        for (text, utilities), action in zip(docs, actions):
+            live.append_document(text, utilities)
+            appended.append((text, utilities))
+            if action == 1:
+                live.compact()
+            elif action == 2:
+                sealed = live.seal()
+                if sealed is not None:
+                    pending.append(sealed)
+            elif action == 3 and pending:
+                sealed = pending.pop(0)
+                live.install_shard(sealed, live.build_shard(sealed))
+            assert_matches_monolithic(live, appended)
+        # Drain: install everything still frozen, answers still equal.
+        for sealed in pending:
+            live.install_shard(sealed, live.build_shard(sealed))
+        assert_matches_monolithic(live, appended)
+
+    @given(schedules(), st.sampled_from(["min", "max", "avg"]))
+    @settings(max_examples=15, deadline=None)
+    def test_non_sum_aggregators_merge_exactly(self, schedule, aggregator):
+        docs, actions = schedule
+        live = LiveIndex(ALPHABET, k=K, aggregator=aggregator,
+                         seal_chars=1 << 20)
+        appended = []
+        for (text, utilities), action in zip(docs, actions):
+            live.append_document(text, utilities)
+            appended.append((text, utilities))
+            if action in (1, 3):
+                live.compact()
+        assert_matches_monolithic(live, appended, aggregator)
+
+
+class TestMidCompactionSnapshots:
+    def test_frozen_memtable_serves_until_install(self):
+        docs = [("abab", None), ("ba", [2.0, 0.5]), ("aabb", None)]
+        live = LiveIndex(ALPHABET, k=K, seal_chars=1 << 20)
+        for text, utilities in docs:
+            live.append_document(text, utilities)
+        sealed = live.seal()
+        assert sealed is not None
+        # Snapshot 1: everything frozen, nothing cold yet.
+        assert_matches_monolithic(live, docs)
+        shard = live.build_shard(sealed)
+        # Snapshot 2: the shard exists but is not yet installed.
+        assert_matches_monolithic(live, docs)
+        # Appends straddle the in-flight compaction.
+        live.append_document("bba")
+        docs.append(("bba", None))
+        assert_matches_monolithic(live, docs)
+        live.install_shard(sealed, shard)
+        assert live.shard_count == 1
+        assert_matches_monolithic(live, docs)
+
+    def test_multiple_frozen_memtables_stack(self):
+        live = LiveIndex(ALPHABET, k=K, seal_chars=1 << 20)
+        docs = []
+        pending = []
+        for text in ["ab", "ba", "aab"]:
+            live.append_document(text)
+            docs.append((text, None))
+            pending.append(live.seal())
+        assert_matches_monolithic(live, docs)
+        # Install out of order: answers depend only on the multiset.
+        for sealed in reversed(pending):
+            live.install_shard(sealed, live.build_shard(sealed))
+            assert_matches_monolithic(live, docs)
+        assert live.shard_count == 3
+
+    def test_compaction_does_not_bump_data_version(self):
+        live = LiveIndex(ALPHABET, k=K, seal_chars=1 << 20)
+        live.append_document("abab")
+        before = live.data_version()
+        assert live.compact() is True
+        assert live.data_version() == before
+        assert live.generation == 2
+        live.append_document("b")
+        assert live.data_version() == before + 1
+
+
+class TestEdgeDocuments:
+    def test_empty_documents_are_recorded_but_answer_nothing(self):
+        live = LiveIndex(ALPHABET, k=K, seal_chars=1 << 20)
+        assert live.append_document("") == 1
+        assert live.append_document("ab") == 2
+        assert live.append_document("") == 3
+        assert_matches_monolithic(live, [("ab", None)])
+        assert live.last_seq == 3
+
+    def test_all_empty_corpus_compacts_to_no_shard(self):
+        live = LiveIndex(ALPHABET, k=K, seal_chars=1 << 20)
+        live.append_document("")
+        live.append_document("")
+        assert live.compact() is True  # the seal moved sequence state
+        assert live.shard_count == 0
+        assert_matches_monolithic(live, [("", None)])
+
+    def test_single_character_documents(self):
+        live = LiveIndex(ALPHABET, k=K, seal_chars=1 << 20)
+        docs = []
+        for i, ch in enumerate("ababa"):
+            live.append_document(ch, [float(i + 1)])
+            docs.append((ch, [float(i + 1)]))
+            if i == 2:
+                live.compact()
+        assert_matches_monolithic(live, docs)
+        # No cross-document phantom matches: "ab" never occurs.
+        assert live.query("ab") == 0.0
+        assert live.count("ab") == 0
+
+    def test_appends_straddling_a_compaction(self):
+        live = LiveIndex(ALPHABET, k=K, seal_chars=1 << 20)
+        docs = []
+        for round_docs in (["abba", "ab"], ["bab"], ["aabba", "b"]):
+            for text in round_docs:
+                live.append_document(text)
+                docs.append((text, None))
+            live.compact()
+            assert_matches_monolithic(live, docs)
+        assert live.shard_count == 3
+        assert live.ingest_stats()["compactions"] == 3
+
+    def test_foreign_letters_are_rejected_on_append(self):
+        live = LiveIndex(ALPHABET, k=K)
+        with pytest.raises(repro.ReproError):
+            live.append_document("xyz")
+        with pytest.raises(repro.ReproError):
+            live.append_document("ab", [1.0])  # wrong utilities length
+
+    def test_seal_threshold_drives_should_seal(self):
+        live = LiveIndex(ALPHABET, k=K, seal_chars=4)
+        assert not live.should_seal()
+        live.append_document("ab")
+        assert not live.should_seal()
+        live.append_document("ba")
+        assert live.should_seal()
+        live.compact()
+        assert not live.should_seal()
+
+
+class TestPickle:
+    def test_unpickled_copy_answers_identically(self):
+        import pickle
+
+        live = LiveIndex(ALPHABET, k=K, seal_chars=1 << 20)
+        docs = [("abab", None), ("ba", [2.0, 0.5])]
+        for text, utilities in docs:
+            live.append_document(text, utilities)
+        live.compact()
+        live.append_document("aab")
+        docs.append(("aab", None))
+        clone = pickle.loads(pickle.dumps(live))
+        assert_matches_monolithic(clone, docs)
+        assert clone.directory is None  # durable attachments do not travel

@@ -1,0 +1,159 @@
+"""End-to-end: a live index served over HTTP while it ingests."""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.ingest import Compactor, LiveIndex
+from repro.service.registry import IndexRegistry
+from repro.service.server import UsiServer
+from repro.strings.alphabet import Alphabet
+
+from tests.ingest.test_live import ALPHABET, K, assert_matches_monolithic
+
+
+def _post(url: str, path: str, payload: dict) -> tuple[int, dict]:
+    request = urllib.request.Request(
+        url + path,
+        data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=10) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+def _get(url: str, path: str) -> tuple[int, dict]:
+    try:
+        with urllib.request.urlopen(url + path, timeout=10) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+@pytest.fixture()
+def served():
+    live = LiveIndex(ALPHABET, k=K, seal_chars=1 << 20)
+    registry = IndexRegistry(cache_size=64)
+    registry.register("corpus", live)
+    with UsiServer(registry, port=0) as server:
+        yield server, live, registry
+
+
+class TestIngestEndpoint:
+    def test_appends_are_sequenced_and_queryable(self, served):
+        server, live, _ = served
+        docs = []
+        for text in ["abab", "ba", "aab"]:
+            status, body = _post(server.url, "/ingest", {"doc": text})
+            assert status == 200
+            docs.append((text, None))
+            assert body == {"index": "corpus", "seq": len(docs)}
+        status, body = _post(
+            server.url, "/query", {"pattern": "ab", "count": True}
+        )
+        assert status == 200
+        assert body["results"][0]["utility"] == pytest.approx(
+            live.query("ab")
+        )
+        assert_matches_monolithic(live, docs)
+
+    def test_explicit_utilities(self, served):
+        server, live, _ = served
+        status, body = _post(
+            server.url, "/ingest", {"doc": "ab", "utilities": [2.0, 3.0]}
+        )
+        assert status == 200
+        assert live.query("ab") == pytest.approx(5.0)
+
+    def test_stale_cache_is_invalidated_by_ingest(self, served):
+        server, live, _ = served
+        _post(server.url, "/ingest", {"doc": "abab"})
+        first = _post(server.url, "/query", {"pattern": "ab"})[1]
+        again = _post(server.url, "/query", {"pattern": "ab"})[1]  # cached
+        assert again == first
+        _post(server.url, "/ingest", {"doc": "ab"})
+        status, body = _post(server.url, "/query", {"pattern": "ab"})
+        assert body["results"][0]["utility"] == pytest.approx(
+            first["results"][0]["utility"] + 2.0
+        )
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            {},                                   # no doc
+            {"doc": ""},                          # empty doc
+            {"doc": 7},                           # non-string doc
+            {"doc": "ab", "utilities": [1.0]},    # wrong utilities length
+            {"doc": "ab", "utilities": "xx"},     # non-list utilities
+            {"doc": "ab", "utilities": [1, True]},  # boolean smuggling
+            {"doc": "xyz"},                       # letters outside alphabet
+        ],
+    )
+    def test_bad_ingest_requests_400(self, served, payload):
+        server, _, _ = served
+        status, body = _post(server.url, "/ingest", payload)
+        assert status == 400
+        assert "error" in body
+
+    def test_unknown_index_404(self, served):
+        server, _, _ = served
+        status, body = _post(
+            server.url, "/ingest", {"doc": "ab", "index": "ghost"}
+        )
+        assert status == 404
+        assert "ghost" in body["error"]
+
+    def test_stats_carry_the_ingest_section(self, served):
+        server, _, _ = served
+        _post(server.url, "/ingest", {"doc": "abab"})
+        status, body = _get(server.url, "/stats")
+        assert status == 200
+        section = body["ingest"]["corpus"]
+        assert section["last_seq"] == 1
+        assert section["generation"] == 1
+        assert section["memtable"]["documents"] == 1
+        assert body["engines"]["corpus"]["data_version"] >= 0
+
+    def test_indexes_listing_reports_generation(self, served):
+        server, _, _ = served
+        status, body = _get(server.url, "/indexes")
+        row = body["indexes"][0]
+        assert row["generation"] == 1
+        assert row["capabilities"]["dynamic"] is True
+
+
+class TestServeDuringCompaction:
+    def test_queries_stay_exact_across_generations(self, served):
+        server, live, registry = served
+        compactor = Compactor(live, registry=registry, name="corpus",
+                              index=live)
+        docs = []
+        for i, text in enumerate(["abab", "bba", "ab", "aabba", "b"]):
+            _post(server.url, "/ingest", {"doc": text})
+            docs.append((text, None))
+            if i % 2 == 1:
+                assert compactor.run_once(force=True)
+                # Served answers equal a monolithic rebuild right
+                # after the hot swap, through the *new* engine.
+                status, body = _post(
+                    server.url, "/query", {"pattern": "ab", "count": True}
+                )
+                assert status == 200
+                assert body["results"][0]["utility"] == pytest.approx(
+                    live.query("ab")
+                )
+        assert live.generation >= 3
+        assert_matches_monolithic(live, docs)
+        status, body = _get(server.url, "/stats")
+        assert body["ingest"]["corpus"]["compactions"] == 2
+        assert body["registry"]["replacements"] == 2
+        listing = _get(server.url, "/indexes")[1]["indexes"][0]
+        assert listing["generation"] == 3

@@ -141,3 +141,78 @@ class TestReloadRaces:
         assert calls == [stale_path, fresh_path]
         assert engine.query("CD") == 4.0   # answers come from fresh.npz
         assert engine.query("AB") == 0.0   # not from the superseded file
+
+
+class TestReplace:
+    def test_replace_swaps_answers_and_bumps_generation(self, built_index):
+        registry = IndexRegistry()
+        registry.register("corpus", built_index)
+        assert registry.describe()[0]["generation"] == 1
+        replacement = UsiIndex.build(WeightedString.uniform("CDCD"), k=3)
+        engine = registry.replace("corpus", replacement)
+        assert registry.get("corpus") is engine
+        assert engine.query("CD") == 4.0
+        assert registry.describe()[0]["generation"] == 2
+        assert registry.stats()["replacements"] == 1
+
+    def test_replace_unknown_name_raises(self, built_index):
+        registry = IndexRegistry()
+        with pytest.raises(KeyError):
+            registry.replace("ghost", built_index)
+
+    def test_replace_closes_a_different_underlying_index(self, built_index):
+        class Closeable:
+            closed = False
+
+            def query(self, pattern):
+                return 0.0
+
+            def close(self):
+                self.closed = True
+
+        old = Closeable()
+        registry = IndexRegistry()
+        registry.register("corpus", old)
+        registry.replace("corpus", built_index)
+        assert old.closed is True
+
+    def test_republishing_the_same_index_never_closes_it(self):
+        """The compactor's pattern: replace(name, same_object) is a
+        cache-refresh + generation bump, not a teardown."""
+
+        class Closeable:
+            closed = False
+
+            def query(self, pattern):
+                return 0.0
+
+            def close(self):
+                self.closed = True
+
+        index = Closeable()
+        registry = IndexRegistry()
+        registry.register("corpus", index)
+        registry.replace("corpus", index)
+        registry.replace("corpus", index)
+        assert index.closed is False
+        assert registry.describe()[0]["generation"] == 3
+
+    def test_replace_pins_a_path_backed_entry(self, built_index, tmp_path):
+        path = tmp_path / "corpus.npz"
+        save_index(built_index, path)
+        registry = IndexRegistry()
+        registry.register_path("corpus", path)
+        registry.get("corpus")
+        replacement = UsiIndex.build(WeightedString.uniform("CDCD"), k=3)
+        registry.replace("corpus", replacement)
+        row = registry.describe()[0]
+        assert row["pinned"] is True
+        assert row["path"] is None
+        assert registry.get("corpus").query("CD") == 4.0
+
+    def test_replace_on_a_closed_registry_raises(self, built_index):
+        registry = IndexRegistry()
+        registry.register("corpus", built_index)
+        registry.close()
+        with pytest.raises(ParameterError, match="closed"):
+            registry.replace("corpus", built_index)

@@ -14,9 +14,9 @@ from repro.service.server import UsiServer
 from repro.strings.weighted import WeightedString
 
 
-def _post(url: str, payload: dict) -> tuple[int, dict]:
+def _post(url: str, payload: dict, path: str = "/query") -> tuple[int, dict]:
     request = urllib.request.Request(
-        url + "/query",
+        url + path,
         data=json.dumps(payload).encode(),
         headers={"Content-Type": "application/json"},
         method="POST",
@@ -117,10 +117,24 @@ class TestIntrospection:
         assert engine["latency"]["p99_ms"] >= 0.0
         assert body["registry"]["indexes"] == 1
 
-    def test_unknown_path_404(self, server):
+    def test_unknown_get_path_404(self, server):
         status, body = _get(server.url, "/nope")
         assert status == 404
         assert "error" in body
+        assert "/nope" in body["error"]
+
+    def test_unknown_post_path_404(self, server):
+        status, body = _post(server.url, {"pattern": "ABRA"}, path="/nope")
+        assert status == 404
+        assert "error" in body
+        assert "/nope" in body["error"]
+
+    def test_ingest_on_a_static_index_400(self, server):
+        # /ingest is routed (not a 404), but a static USI index is not
+        # a dynamic backend, so the server refuses the append.
+        status, body = _post(server.url, {"doc": "ABRA"}, path="/ingest")
+        assert status == 400
+        assert "does not ingest" in body["error"]
 
 
 class TestKeepAliveHygiene:
