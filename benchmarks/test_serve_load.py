@@ -1,0 +1,201 @@
+"""Serve-load benchmark: threaded server vs asyncio gateway, same bundle.
+
+Closed-loop load generation: a few client threads with persistent
+HTTP connections fire a Zipf-skewed query stream (hot patterns repeat,
+like real traffic) at each serving mode over the *same* v3 bundle, and
+every response is checked against the single-process reference engine,
+so the throughput numbers only count correct answers.
+
+Reports sustained QPS and p50/p95/p99 client-side latency per mode.
+Emits ``results/BENCH_serve.json`` under ``REPRO_WRITE_RESULTS=1``.
+The async-beats-threaded assertion only applies on >= 4-core hosts
+(on one or two cores a worker pool has nothing to win); the QPS floor
+and p95 ceiling gate both modes everywhere.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import pathlib
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.api import build, open_index
+from repro.gateway import AsyncGateway
+from repro.io import save_index
+from repro.service.engine import QueryEngine
+from repro.service.registry import IndexRegistry
+from repro.service.server import UsiServer
+
+RNG = np.random.default_rng(2026)
+TEXT_N = 30_000
+#: Large vocabulary + mild skew: most patterns miss the result caches,
+#: so each request costs real engine work — the regime where the
+#: worker pool's process parallelism can actually pay for its IPC.
+VOCABULARY = 2_048
+PATTERNS_PER_REQUEST = 16
+CLIENTS = 4
+REQUESTS_PER_CLIENT = 100
+WORKERS = max(2, min(4, os.cpu_count() or 1))
+
+#: Loose local gates — CI calibrates against the committed JSON.
+QPS_FLOOR = 25.0
+P95_CEILING_MS = 400.0
+
+
+@pytest.fixture(scope="module")
+def bundle(tmp_path_factory):
+    letters = np.array(list("abcdefgh"))
+    text = "".join(RNG.choice(letters, size=TEXT_N))
+    path = tmp_path_factory.mktemp("serve_load") / "load.npz"
+    save_index(build(text, k=256), path, container="v3")
+    return path, text
+
+
+@pytest.fixture(scope="module")
+def stream(bundle):
+    """Zipf-skewed *batch* requests drawn from text substrings."""
+    _, text = bundle
+    vocabulary = []
+    for _ in range(VOCABULARY):
+        length = int(RNG.integers(3, 9))
+        start = int(RNG.integers(0, TEXT_N - length))
+        vocabulary.append(text[start : start + length])
+    ranks = np.arange(1, VOCABULARY + 1, dtype=np.float64)
+    weights = (1.0 / ranks**0.5) / (1.0 / ranks**0.5).sum()  # mild skew
+    total = CLIENTS * REQUESTS_PER_CLIENT
+    picks = RNG.choice(
+        VOCABULARY, size=(total, PATTERNS_PER_REQUEST), p=weights
+    )
+    return [[vocabulary[i] for i in row] for row in picks]
+
+
+@pytest.fixture(scope="module")
+def reference(bundle, stream):
+    engine = QueryEngine(open_index(bundle[0], mmap=True))
+    return [engine.query_batch(batch) for batch in stream]
+
+
+def _drive(host: str, port: int, stream, reference) -> dict:
+    """Closed-loop load; returns QPS + latency percentiles."""
+    per_client = len(stream) // CLIENTS
+    latencies: "list[list[float]]" = [[] for _ in range(CLIENTS)]
+    failures: "list[str]" = []
+
+    def client(slot: int) -> None:
+        connection = http.client.HTTPConnection(host, port, timeout=30)
+        try:
+            for offset in range(slot * per_client, (slot + 1) * per_client):
+                body = json.dumps({"patterns": stream[offset]})
+                t0 = time.perf_counter()
+                connection.request(
+                    "POST", "/query", body=body,
+                    headers={"Content-Type": "application/json"},
+                )
+                response = connection.getresponse()
+                payload = json.loads(response.read())
+                latencies[slot].append(time.perf_counter() - t0)
+                if response.status != 200:
+                    failures.append(payload.get("error", "?"))
+                else:
+                    answers = [row["utility"] for row in payload["results"]]
+                    if answers != list(reference[offset]):
+                        failures.append(f"wrong answers for request {offset}")
+        finally:
+            connection.close()
+
+    threads = [
+        threading.Thread(target=client, args=(slot,)) for slot in range(CLIENTS)
+    ]
+    t0 = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - t0
+
+    assert not failures, failures[:5]
+    flat = np.sort(np.concatenate([np.asarray(l) for l in latencies]))
+    total = len(flat)
+    return {
+        "requests": total,
+        "clients": CLIENTS,
+        "qps": round(total / wall, 1),
+        "p50_ms": round(float(np.percentile(flat, 50)) * 1e3, 3),
+        "p95_ms": round(float(np.percentile(flat, 95)) * 1e3, 3),
+        "p99_ms": round(float(np.percentile(flat, 99)) * 1e3, 3),
+        "wall_seconds": round(wall, 3),
+    }
+
+
+def _fetch_mode(host: str, port: int) -> dict:
+    connection = http.client.HTTPConnection(host, port, timeout=30)
+    try:
+        connection.request("GET", "/stats")
+        stats = json.loads(connection.getresponse().read())
+        return {"mode": stats["mode"], "workers": stats["workers"]}
+    finally:
+        connection.close()
+
+
+def test_serve_load_both_modes(bundle, stream, reference):
+    path, _ = bundle
+    report: dict = {
+        "text_n": TEXT_N,
+        "vocabulary": VOCABULARY,
+        "patterns_per_request": PATTERNS_PER_REQUEST,
+        "clients": CLIENTS,
+        "requests_per_client": REQUESTS_PER_CLIENT,
+        "workers": WORKERS,
+        "cpu_count": os.cpu_count(),
+        "qps_floor": QPS_FLOOR,
+        "p95_ceiling_ms": P95_CEILING_MS,
+    }
+
+    registry = IndexRegistry(cache_size=4096)
+    registry.register_path("load", path)
+    registry.get("load")  # preload: measure serving, not first-open
+    with UsiServer(registry, port=0) as server:
+        label = _fetch_mode(server.host, server.port)
+        assert label == {"mode": "threaded", "workers": 0}
+        report["threaded"] = _drive(server.host, server.port, stream, reference)
+
+    gateway = AsyncGateway(paths={"load": path}, workers=WORKERS, port=0)
+    with gateway.start_in_thread() as handle:
+        label = _fetch_mode(gateway.host, gateway.port)
+        assert label == {"mode": "async", "workers": WORKERS}
+        report["async"] = _drive(gateway.host, gateway.port, stream, reference)
+        report["async"]["coalesced"] = gateway.coalescer.stats()["followers"]
+
+    for mode in ("threaded", "async"):
+        numbers = report[mode]
+        assert numbers["qps"] >= QPS_FLOOR, (
+            f"{mode} sustained only {numbers['qps']} QPS "
+            f"(floor {QPS_FLOOR})"
+        )
+        assert numbers["p95_ms"] <= P95_CEILING_MS, (
+            f"{mode} p95 {numbers['p95_ms']} ms "
+            f"(ceiling {P95_CEILING_MS} ms)"
+        )
+
+    # The pool only pays off with cores to spread over; on the 1-2
+    # core fallback the fork + IPC overhead legitimately loses.
+    if (os.cpu_count() or 1) >= 4:
+        assert report["async"]["qps"] >= report["threaded"]["qps"], (
+            f"async {report['async']['qps']} QPS did not beat "
+            f"threaded {report['threaded']['qps']} QPS on a "
+            f"{os.cpu_count()}-core host"
+        )
+
+    print("\nBENCH_serve: " + json.dumps(report, indent=2))
+    if os.environ.get("REPRO_WRITE_RESULTS") == "1":
+        results = pathlib.Path(__file__).resolve().parent.parent / "results"
+        results.mkdir(exist_ok=True)
+        (results / "BENCH_serve.json").write_text(
+            json.dumps(report, indent=2) + "\n"
+        )

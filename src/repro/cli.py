@@ -19,6 +19,7 @@
     usi serve --index idx.npz --port 8642
     usi serve --index big.npz --mmap        # lazy, memory-mapped open
     usi serve --live corpus --live-dir data/corpus   # ingesting index
+    usi serve --index big.npz --async --workers 4 --max-queue 128
     usi ingest --url http://127.0.0.1:8642 --file docs.txt
     tail -f app.log | usi ingest            # stream documents from stdin
 
@@ -308,25 +309,39 @@ def _make_live_index(args: argparse.Namespace):
     return LiveIndex(alphabet, **options)
 
 
-def _cmd_serve(args: argparse.Namespace) -> int:
-    from repro.service.registry import IndexRegistry
-    from repro.service.server import UsiServer
-
+def _named_index_paths(args: argparse.Namespace) -> "dict[str, str] | None":
+    """The ``{name: path}`` map from repeated --index/--name flags."""
     paths = list(args.index or [])
-    if not paths and not args.live:
-        print("nothing to serve: give --index and/or --live", file=sys.stderr)
-        return 2
-    registry = IndexRegistry(
-        capacity=args.capacity, cache_size=args.cache_size, mmap=args.mmap
-    )
     names = list(args.name or [])
     if len(names) > len(paths):
         print("more --name flags than --index flags", file=sys.stderr)
-        return 2
-    from repro.errors import ReproError
-
+        return None
+    resolved = {}
     for position, path in enumerate(paths):
         name = names[position] if position < len(names) else Path(path).stem
+        resolved[name] = path
+    return resolved
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.errors import ReproError
+    from repro.service.registry import IndexRegistry
+    from repro.service.server import UsiServer
+
+    if not args.index and not args.live:
+        print("nothing to serve: give --index and/or --live", file=sys.stderr)
+        return 2
+    named = _named_index_paths(args)
+    if named is None:
+        return 2
+
+    if args.use_async:
+        return _serve_async(args, named)
+
+    registry = IndexRegistry(
+        capacity=args.capacity, cache_size=args.cache_size, mmap=args.mmap
+    )
+    for name, path in named.items():
         try:
             registry.register_path(name, path)
         except ReproError as error:
@@ -365,6 +380,66 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         if live is not None:
             live.close()
     print("usi serve: drained in-flight requests, registry closed", flush=True)
+    return 0
+
+
+def _serve_async(args: argparse.Namespace, named: "dict[str, str]") -> int:
+    """The ``usi serve --async`` branch: gateway + worker pool."""
+    from repro.errors import ReproError
+    from repro.gateway import AsyncGateway
+    from repro.service.registry import IndexRegistry
+
+    registry = None
+    compactor = None
+    live = None
+    if args.live:
+        from repro.ingest import Compactor
+
+        try:
+            live = _make_live_index(args)
+        except ReproError as error:
+            print(f"cannot open live index: {error}", file=sys.stderr)
+            return 2
+        registry = IndexRegistry(cache_size=args.cache_size)
+        registry.register(args.live, live)
+        compactor = Compactor(
+            live, registry=registry, name=args.live, index=live
+        )
+    # Workers always reopen with mmap: v3 bundles then share one copy
+    # of the substrate pages across the whole pool (other container
+    # formats ignore the flag).
+    gateway = AsyncGateway(
+        paths=named,
+        registry=registry,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        max_queue=args.max_queue,
+        per_index_limit=args.per_index_concurrency,
+        cache_size=args.cache_size,
+        mmap=True,
+    )
+    served = sorted(set(named) | ({args.live} if args.live else set()))
+    print(
+        f"gateway serving {', '.join(served)} on http://{args.host}:{args.port} "
+        f"({args.workers if named else 0} workers, max queue {args.max_queue}; "
+        "POST /query, POST /ingest, GET /indexes, GET /stats; "
+        "SIGINT/SIGTERM drain in-flight requests and stop)",
+        flush=True,
+    )
+    if compactor is not None:
+        compactor.start()
+    try:
+        gateway.serve_forever()
+    except ReproError as error:
+        print(f"gateway failed: {error}", file=sys.stderr)
+        return 1
+    finally:
+        if compactor is not None:
+            compactor.stop()
+        if live is not None:
+            live.close()
+    print("usi serve: drained in-flight requests, pool stopped", flush=True)
     return 0
 
 
@@ -558,8 +633,27 @@ def build_parser() -> argparse.ArgumentParser:
                        help="file with one pattern per line (bulk queries)")
     query.set_defaults(fn=_cmd_query)
 
-    serve = sub.add_parser("serve",
-                           help="serve saved indexes (any backend) over HTTP")
+    serve = sub.add_parser(
+        "serve",
+        help="serve saved indexes (any backend) over HTTP",
+        description=(
+            "Serve saved indexes over JSON-over-HTTP in one of two "
+            "modes. Default (threaded): one process, a thread per "
+            "connection, indexes resident in a capacity-bounded "
+            "registry — simplest, best for a few clients or live "
+            "ingest. --async: an asyncio acceptor in front of a pool "
+            "of --workers processes that each reopen the same index "
+            "files memory-mapped (v3 bundles share one copy of the "
+            "substrate pages), with bounded admission (--max-queue; "
+            "excess load is shed with HTTP 429 + Retry-After), "
+            "per-index concurrency limits, and coalescing of "
+            "identical in-flight requests — prefer it for heavy or "
+            "spiky read traffic on multi-core hosts. Both modes "
+            "speak the same protocol and drain gracefully on "
+            "SIGINT/SIGTERM; GET /stats reports which mode is "
+            "serving."
+        ),
+    )
     serve.add_argument("--index", action="append",
                        help="index file to serve (repeatable; any backend)")
     serve.add_argument("--name", action="append",
@@ -575,6 +669,19 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--mmap", action="store_true",
                        help="memory-map index substrates (v3 containers) "
                             "instead of materialising them")
+    serve.add_argument("--async", dest="use_async", action="store_true",
+                       help="serve through the asyncio gateway + "
+                            "multi-process worker pool instead of the "
+                            "threaded server (see description above)")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="worker processes behind --async (each "
+                            "reopens every --index memory-mapped)")
+    serve.add_argument("--max-queue", type=int, default=64,
+                       help="--async admission bound: in-flight queries "
+                            "past this are shed with 429 + Retry-After")
+    serve.add_argument("--per-index-concurrency", type=int, default=8,
+                       help="--async limit on concurrent queries per "
+                            "index (a hot index cannot starve the rest)")
     serve.add_argument("--live", metavar="NAME",
                        help="also host a live-ingest index under NAME "
                             "(accepts POST /ingest; compacts in the "

@@ -1,0 +1,36 @@
+"""The asyncio serving gateway: one mmap'd kernel, many processes.
+
+The threaded :class:`~repro.service.server.UsiServer` is the
+correctness-first front-end; this package is the scale-first one:
+
+* :class:`AsyncGateway` — a stdlib ``asyncio`` JSON-over-HTTP
+  front-end speaking exactly the threaded server's protocol
+  (``POST /query``, ``POST /ingest``, ``GET /indexes``,
+  ``GET /stats``, ``GET /healthz``);
+* :class:`WorkerPool` — N worker *processes*, each reopening the same
+  v3 kernel bundle with ``mmap="r"`` (so N workers cost ~1x index
+  RAM) and running the existing
+  :class:`~repro.service.engine.QueryEngine`;
+* :class:`AdmissionController` — a bounded admission queue that sheds
+  load with JSON ``429`` + ``Retry-After`` plus per-index concurrency
+  limits;
+* :class:`Coalescer` — identical in-flight query requests collapse
+  onto one worker round-trip.
+
+``usi serve --async --workers N --max-queue M`` is the CLI door.
+"""
+
+from repro.gateway.admission import AdmissionController, OverloadError
+from repro.gateway.coalesce import Coalescer
+from repro.gateway.pool import WorkerCrashed, WorkerPool
+from repro.gateway.server import AsyncGateway, GatewayHandle
+
+__all__ = [
+    "AdmissionController",
+    "AsyncGateway",
+    "Coalescer",
+    "GatewayHandle",
+    "OverloadError",
+    "WorkerCrashed",
+    "WorkerPool",
+]

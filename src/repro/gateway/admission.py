@@ -1,0 +1,120 @@
+"""Admission control: bounded queueing and per-index concurrency.
+
+The gateway admits a query when the number of admitted-but-unfinished
+requests is below ``max_queue``; past that it sheds load immediately
+with :class:`OverloadError` (the handler turns it into a JSON ``429``
+with ``Retry-After``), because queueing deeper than the pool can drain
+only converts overload into timeout.  Admitted requests then wait on a
+per-index semaphore, so one hot index cannot starve every worker slot
+while a cold index's requests rot in the queue.
+
+Coalesced followers never pass through admission — they cost no worker
+round-trip, so shedding them would only multiply client retries.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.errors import ParameterError, ReproError
+
+
+class OverloadError(ReproError):
+    """The admission queue is full; clients should retry later."""
+
+    def __init__(self, depth: int, max_queue: int, retry_after: int = 1) -> None:
+        super().__init__(
+            f"admission queue full ({depth}/{max_queue} in flight); retry later"
+        )
+        self.retry_after = int(retry_after)
+
+
+class AdmissionController:
+    """Bounded admission depth + per-index concurrency limits.
+
+    Parameters
+    ----------
+    max_queue:
+        Maximum admitted-but-unfinished requests (queued + running).
+    per_index_limit:
+        Maximum requests concurrently *running* against one index; the
+        excess waits (admitted) on that index's semaphore.
+    """
+
+    def __init__(self, max_queue: int = 64, per_index_limit: int = 8) -> None:
+        if max_queue <= 0:
+            raise ParameterError("max_queue must be positive")
+        if per_index_limit <= 0:
+            raise ParameterError("per_index_limit must be positive")
+        self.max_queue = int(max_queue)
+        self.per_index_limit = int(per_index_limit)
+        self._depth = 0
+        self._peak_depth = 0
+        self._admitted = 0
+        self._rejected = 0
+        self._semaphores: "dict[str, asyncio.Semaphore]" = {}
+
+    @property
+    def depth(self) -> int:
+        """Admitted-but-unfinished requests right now."""
+        return self._depth
+
+    def slot(self, index: str) -> "_AdmissionSlot":
+        """``async with controller.slot(name):`` — admit or raise 429.
+
+        Admission (the 429 decision) happens synchronously in
+        ``__aenter__`` *before* any await, so the depth accounting has
+        no async race; only the per-index semaphore wait suspends.
+        """
+        return _AdmissionSlot(self, index)
+
+    def _admit(self) -> None:
+        if self._depth >= self.max_queue:
+            self._rejected += 1
+            raise OverloadError(self._depth, self.max_queue)
+        self._depth += 1
+        self._admitted += 1
+        self._peak_depth = max(self._peak_depth, self._depth)
+
+    def _release(self) -> None:
+        self._depth -= 1
+
+    def _semaphore(self, index: str) -> asyncio.Semaphore:
+        semaphore = self._semaphores.get(index)
+        if semaphore is None:
+            semaphore = asyncio.Semaphore(self.per_index_limit)
+            self._semaphores[index] = semaphore
+        return semaphore
+
+    def stats(self) -> dict:
+        return {
+            "max_queue": self.max_queue,
+            "per_index_limit": self.per_index_limit,
+            "depth": self._depth,
+            "peak_depth": self._peak_depth,
+            "admitted": self._admitted,
+            "rejected": self._rejected,
+        }
+
+
+class _AdmissionSlot:
+    def __init__(self, controller: AdmissionController, index: str) -> None:
+        self._controller = controller
+        self._index = index
+        self._semaphore: "asyncio.Semaphore | None" = None
+
+    async def __aenter__(self) -> "_AdmissionSlot":
+        self._controller._admit()
+        semaphore = self._controller._semaphore(self._index)
+        try:
+            await semaphore.acquire()
+        except BaseException:
+            self._controller._release()
+            raise
+        self._semaphore = semaphore
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        if self._semaphore is not None:
+            self._semaphore.release()
+        self._controller._release()

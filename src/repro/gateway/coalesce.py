@@ -1,0 +1,88 @@
+"""Request coalescing: identical in-flight queries share one answer.
+
+Real traffic is skewed — when a pattern goes hot, many clients ask for
+it in the same few milliseconds, before any cache can admit the first
+answer.  The coalescer keys every in-flight query request by
+``(index, count-flag, patterns)`` — pattern identity via the engine's
+own :func:`~repro.service.engine._cache_key`, so the notion of "same
+pattern" is exactly the cache's — and makes every duplicate await the
+*leader's* future instead of dispatching its own worker round-trip.
+
+Entries are removed the moment the leader resolves them, so coalescing
+never serves a stale answer: it only ever merges requests that were
+genuinely concurrent.  On shutdown :meth:`abort_all` fails every
+pending future, so coalesced waiters get a clean 503 — never a hung
+``await``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Sequence
+
+from repro.service.engine import _cache_key
+
+
+def coalesce_key(index: str, patterns: Sequence, count: bool) -> tuple:
+    """The identity of one query request, cache-key compatible."""
+    return (index, bool(count), tuple(_cache_key(p) for p in patterns))
+
+
+class Coalescer:
+    """In-flight request deduplication around the worker pool."""
+
+    def __init__(self) -> None:
+        self._inflight: "dict[tuple, asyncio.Future]" = {}
+        self._leaders = 0
+        self._followers = 0
+
+    def lead_or_follow(self, key: tuple) -> "tuple[asyncio.Future, bool]":
+        """``(future, is_leader)`` for *key*.
+
+        The first caller for a key becomes the leader (fresh future,
+        must later :meth:`resolve` or :meth:`fail` it); every caller
+        arriving while that future is pending just awaits it.
+        """
+        future = self._inflight.get(key)
+        if future is not None:
+            self._followers += 1
+            return future, False
+        future = asyncio.get_running_loop().create_future()
+        self._inflight[key] = future
+        self._leaders += 1
+        return future, True
+
+    def resolve(self, key: tuple, result) -> None:
+        future = self._inflight.pop(key, None)
+        if future is not None and not future.done():
+            future.set_result(result)
+
+    def fail(self, key: tuple, error: BaseException) -> None:
+        future = self._inflight.pop(key, None)
+        if future is not None and not future.done():
+            future.set_exception(error)
+
+    def abort_all(self, error: BaseException) -> int:
+        """Fail every pending entry (shutdown); returns how many."""
+        aborted = 0
+        for key in list(self._inflight):
+            future = self._inflight.pop(key)
+            if not future.done():
+                future.set_exception(error)
+                # A leader-only entry has no awaiter left to retrieve
+                # the exception; mark it consumed to keep the loop's
+                # "exception was never retrieved" warning out of logs.
+                future.add_done_callback(lambda f: f.exception())
+                aborted += 1
+        return aborted
+
+    @property
+    def pending(self) -> int:
+        return len(self._inflight)
+
+    def stats(self) -> dict:
+        return {
+            "leaders": self._leaders,
+            "followers": self._followers,
+            "pending": len(self._inflight),
+        }

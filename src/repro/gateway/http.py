@@ -1,0 +1,138 @@
+"""Minimal HTTP/1.1 over asyncio streams for the gateway.
+
+Just enough HTTP for the serving protocol — request line, headers,
+``Content-Length`` bodies, keep-alive — with the same rejection
+semantics as the threaded front-end: a POST without ``Content-Length``
+is ``411``, a malformed or oversized one ``400``, and error responses
+close the connection so an undrained body can never desync keep-alive.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from repro.service.requests import MAX_BODY_BYTES
+
+REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    411: "Length Required",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+_MAX_HEADER_BYTES = 16 * 1024
+_MAX_HEADER_COUNT = 64
+
+
+class HttpError(Exception):
+    """An HTTP-level rejection carrying its status and headers."""
+
+    def __init__(
+        self, status: int, message: str, retry_after: "int | None" = None
+    ) -> None:
+        super().__init__(message)
+        self.status = int(status)
+        self.message = message
+        self.retry_after = retry_after
+
+
+class Request:
+    __slots__ = ("method", "path", "headers", "body")
+
+    def __init__(self, method: str, path: str, headers: dict, body: bytes) -> None:
+        self.method = method
+        self.path = path
+        self.headers = headers
+        self.body = body
+
+    @property
+    def wants_close(self) -> bool:
+        return self.headers.get("connection", "").lower() == "close"
+
+    def json_object(self) -> dict:
+        """The body as a JSON object (same 400s as the threaded server)."""
+        try:
+            payload = json.loads(self.body)
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            raise HttpError(400, "request body is not valid JSON")
+        if not isinstance(payload, dict):
+            raise HttpError(400, "request body must be a JSON object")
+        return payload
+
+
+async def read_request(reader: asyncio.StreamReader) -> "Request | None":
+    """Parse one request; ``None`` on a clean EOF between requests."""
+    try:
+        line = await reader.readuntil(b"\n")
+    except asyncio.IncompleteReadError as error:
+        if not error.partial:
+            return None
+        raise HttpError(400, "truncated request line")
+    except asyncio.LimitOverrunError:
+        raise HttpError(400, "request line too long")
+    if not line.strip():
+        return None
+    parts = line.decode("latin-1").split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise HttpError(400, "malformed request line")
+    method, path = parts[0].upper(), parts[1]
+
+    headers: dict[str, str] = {}
+    header_bytes = 0
+    while True:
+        try:
+            line = await reader.readuntil(b"\n")
+        except (asyncio.IncompleteReadError, asyncio.LimitOverrunError):
+            raise HttpError(400, "truncated headers")
+        if line.strip() == b"":
+            break
+        header_bytes += len(line)
+        if header_bytes > _MAX_HEADER_BYTES or len(headers) >= _MAX_HEADER_COUNT:
+            raise HttpError(400, "headers too large")
+        name, separator, value = line.decode("latin-1").partition(":")
+        if not separator:
+            raise HttpError(400, "malformed header")
+        headers[name.strip().lower()] = value.strip()
+
+    body = b""
+    if method in ("POST", "PUT"):
+        raw_length = headers.get("content-length")
+        if raw_length is None:
+            raise HttpError(411, "Content-Length required on POST")
+        try:
+            length = int(raw_length)
+        except ValueError:
+            raise HttpError(400, "bad Content-Length")
+        if length <= 0 or length > MAX_BODY_BYTES:
+            raise HttpError(400, "request body required (JSON)")
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError:
+            raise HttpError(400, "request body shorter than Content-Length")
+    return Request(method, path, headers, body)
+
+
+async def write_json(
+    writer: asyncio.StreamWriter,
+    status: int,
+    payload: dict,
+    keep_alive: bool = True,
+    retry_after: "int | None" = None,
+) -> None:
+    body = json.dumps(payload).encode()
+    reason = REASONS.get(status, "Unknown")
+    head = [
+        f"HTTP/1.1 {status} {reason}",
+        "Content-Type: application/json",
+        f"Content-Length: {len(body)}",
+    ]
+    if retry_after is not None:
+        head.append(f"Retry-After: {int(retry_after)}")
+    if not keep_alive:
+        head.append("Connection: close")
+    writer.write(("\r\n".join(head) + "\r\n\r\n").encode() + body)
+    await writer.drain()

@@ -1,0 +1,96 @@
+"""Length-prefixed JSON framing between the gateway and its workers.
+
+One frame = a 4-byte big-endian length followed by a UTF-8 JSON
+payload.  The worker side is synchronous (a blocking socket loop in a
+plain process); the gateway side is asyncio (``StreamReader`` /
+``StreamWriter`` over the same socketpair).  Both directions use the
+same wire shape, so the protocol lives in one module.
+
+JSON — not pickle — on purpose: a worker answers with plain floats and
+strings, the parent re-serialises them for HTTP, and because
+``json.dumps`` emits shortest-round-trip float literals the utilities
+that cross the pipe stay bit-identical to a single-process engine's.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import struct
+
+_HEADER = struct.Struct("!I")
+
+#: Upper bound on one frame; matches the HTTP body bound upstream so a
+#: legal request can never produce an illegal frame.
+MAX_FRAME_BYTES = 32 * 1024 * 1024
+
+
+class FrameError(Exception):
+    """A malformed or oversized frame (protocol violation, not EOF)."""
+
+
+def _encode(message: dict) -> bytes:
+    payload = json.dumps(message, separators=(",", ":")).encode()
+    if len(payload) > MAX_FRAME_BYTES:
+        raise FrameError(f"frame of {len(payload)} bytes exceeds the bound")
+    return _HEADER.pack(len(payload)) + payload
+
+
+# ----------------------------------------------------------------------
+# Worker side: blocking socket I/O
+# ----------------------------------------------------------------------
+def send_frame(sock: socket.socket, message: dict) -> None:
+    sock.sendall(_encode(message))
+
+
+def recv_frame(sock: socket.socket) -> "dict | None":
+    """One decoded frame, or ``None`` on a clean EOF between frames."""
+    header = _recv_exact(sock, _HEADER.size, allow_eof=True)
+    if header is None:
+        return None
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise FrameError(f"frame of {length} bytes exceeds the bound")
+    payload = _recv_exact(sock, length, allow_eof=False)
+    return json.loads(payload)
+
+
+def _recv_exact(sock: socket.socket, count: int, allow_eof: bool) -> "bytes | None":
+    chunks: list[bytes] = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if allow_eof and remaining == count:
+                return None
+            raise FrameError("connection closed mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+# ----------------------------------------------------------------------
+# Gateway side: asyncio stream I/O
+# ----------------------------------------------------------------------
+async def send_frame_async(writer: asyncio.StreamWriter, message: dict) -> None:
+    writer.write(_encode(message))
+    await writer.drain()
+
+
+async def recv_frame_async(reader: asyncio.StreamReader) -> "dict | None":
+    """One decoded frame, or ``None`` when the worker hung up cleanly."""
+    try:
+        header = await reader.readexactly(_HEADER.size)
+    except asyncio.IncompleteReadError as error:
+        if not error.partial:
+            return None
+        raise FrameError("connection closed mid-frame") from error
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise FrameError(f"frame of {length} bytes exceeds the bound")
+    try:
+        payload = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as error:
+        raise FrameError("connection closed mid-frame") from error
+    return json.loads(payload)

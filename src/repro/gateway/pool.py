@@ -1,0 +1,245 @@
+"""The multi-process worker pool behind the asyncio gateway.
+
+``WorkerPool`` spawns N :func:`~repro.gateway.worker.worker_main`
+processes, each connected to the gateway by one socketpair, and hands
+them out one round-trip at a time through an ``asyncio.Queue`` of idle
+workers.  A query checks a worker out, sends one frame, awaits one
+frame, and checks the worker back in — so a worker never multiplexes
+requests and the pool's concurrency is exactly its worker count.
+
+A worker that dies mid-round-trip (killed, OOM, bug) is detected by
+the broken socket, replaced by a fresh spawn, and the in-flight call
+fails with :class:`WorkerCrashed` — one crash costs one request, not
+the pool.
+
+``round_trips`` counts every dispatched worker call; the coalescing
+tests use it to prove that N duplicate in-flight requests cost exactly
+one round-trip.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import multiprocessing
+import socket
+from pathlib import Path
+
+from repro.errors import ParameterError, ReproError
+from repro.gateway import ipc
+from repro.gateway.worker import worker_main
+
+# Socket objects must survive the trip through Process args on spawn
+# platforms; fork inherits them for free.
+multiprocessing.allow_connection_pickling()
+
+
+class WorkerCrashed(ReproError):
+    """A worker process died or broke protocol mid-round-trip."""
+
+
+class _Worker:
+    __slots__ = ("wid", "process", "sock", "reader", "writer", "dispatches")
+
+    def __init__(self, wid, process, sock, reader, writer):
+        self.wid = wid
+        self.process = process
+        self.sock = sock
+        self.reader = reader
+        self.writer = writer
+        self.dispatches = 0
+
+
+def _spawn_context():
+    methods = multiprocessing.get_all_start_methods()
+    # fork is the cheap path (no interpreter boot per worker) and the
+    # norm on Linux; everywhere else the socketpair travels via the
+    # connection-pickling machinery enabled above.
+    return multiprocessing.get_context("fork" if "fork" in methods else None)
+
+
+class WorkerPool:
+    """N query workers over the same index files, checked out per call.
+
+    Parameters
+    ----------
+    paths:
+        ``{index name: file path}`` — every worker opens every path.
+    workers:
+        Pool size; also the pool's maximum concurrency.
+    cache_size:
+        Per-worker, per-index LRU result-cache entries.
+    mmap:
+        Open the files memory-mapped (v3 bundles reopen zero-copy, so
+        N workers cost about one index's RAM).
+    """
+
+    def __init__(
+        self,
+        paths: "dict[str, str | Path]",
+        workers: int = 2,
+        cache_size: int = 4096,
+        mmap: bool = True,
+        spawn_timeout: float = 120.0,
+    ) -> None:
+        if workers <= 0:
+            raise ParameterError("worker pool size must be positive")
+        if not paths:
+            raise ParameterError("a worker pool needs at least one index path")
+        self._paths = {name: str(path) for name, path in paths.items()}
+        self._workers = int(workers)
+        self._cache_size = int(cache_size)
+        self._mmap = bool(mmap)
+        self._spawn_timeout = float(spawn_timeout)
+        self._context = _spawn_context()
+        self._idle: "asyncio.Queue[_Worker]" = asyncio.Queue()
+        self._alive: list[_Worker] = []
+        self._next_wid = 0
+        self._next_frame_id = 0
+        self._closed = False
+        self.round_trips = 0
+        self.restarts = 0
+
+    @property
+    def workers(self) -> int:
+        return self._workers
+
+    @property
+    def index_names(self) -> list[str]:
+        return sorted(self._paths)
+
+    async def start(self) -> "WorkerPool":
+        for _ in range(self._workers):
+            worker = await self._spawn_one()
+            self._idle.put_nowait(worker)
+        return self
+
+    async def _spawn_one(self) -> _Worker:
+        self._next_wid += 1
+        wid = self._next_wid
+        parent_sock, child_sock = socket.socketpair()
+        process = self._context.Process(
+            target=worker_main,
+            args=(child_sock, self._paths, self._cache_size, self._mmap),
+            name=f"usi-gateway-worker-{wid}",
+            daemon=True,
+        )
+        process.start()
+        child_sock.close()
+        try:
+            reader, writer = await asyncio.open_connection(sock=parent_sock)
+            ready = await asyncio.wait_for(
+                ipc.recv_frame_async(reader), self._spawn_timeout
+            )
+        except Exception as error:
+            parent_sock.close()
+            process.terminate()
+            raise WorkerCrashed(f"worker {wid} failed to start: {error}") from error
+        if not ready or ready.get("op") != "ready" or not ready.get("ok"):
+            detail = (ready or {}).get("error", "no ready frame")
+            writer.close()
+            process.terminate()
+            raise WorkerCrashed(f"worker {wid} failed to open indexes: {detail}")
+        worker = _Worker(wid, process, parent_sock, reader, writer)
+        self._alive.append(worker)
+        return worker
+
+    async def call(self, message: dict) -> dict:
+        """One worker round-trip; raises :class:`WorkerCrashed` on loss."""
+        if self._closed:
+            raise WorkerCrashed("the worker pool is stopped")
+        worker = await self._idle.get()
+        if worker is None or self._closed:  # stop() woke us with a sentinel
+            self._idle.put_nowait(None)
+            raise WorkerCrashed("the worker pool is stopped")
+        self._next_frame_id += 1
+        frame = dict(message)
+        frame["id"] = self._next_frame_id
+        try:
+            await ipc.send_frame_async(worker.writer, frame)
+            response = await ipc.recv_frame_async(worker.reader)
+            if response is None:
+                raise ipc.FrameError("worker hung up mid-call")
+        except (ipc.FrameError, OSError, asyncio.IncompleteReadError) as error:
+            await self._discard_and_replace(worker)
+            raise WorkerCrashed(f"worker {worker.wid} died: {error}") from error
+        worker.dispatches += 1
+        self.round_trips += 1
+        self._idle.put_nowait(worker)
+        return response
+
+    async def broadcast(self, message: dict) -> list[dict]:
+        """One round-trip against every live worker (e.g. ``stats``)."""
+        checked_out: list[_Worker] = []
+        responses: list[dict] = []
+        try:
+            for _ in range(len(self._alive)):
+                if self._idle.empty() and checked_out:
+                    break  # remaining workers are busy with real traffic
+                worker = await self._idle.get()
+                if worker is None:  # pool stopping
+                    self._idle.put_nowait(None)
+                    break
+                checked_out.append(worker)
+            for worker in checked_out:
+                self._next_frame_id += 1
+                frame = dict(message)
+                frame["id"] = self._next_frame_id
+                await ipc.send_frame_async(worker.writer, frame)
+                response = await ipc.recv_frame_async(worker.reader)
+                if response is not None:
+                    response["worker"] = worker.wid
+                    responses.append(response)
+        finally:
+            for worker in checked_out:
+                self._idle.put_nowait(worker)
+        return responses
+
+    async def _discard_and_replace(self, worker: _Worker) -> None:
+        if worker in self._alive:
+            self._alive.remove(worker)
+        worker.writer.close()
+        if worker.process.is_alive():
+            worker.process.terminate()
+        if self._closed:
+            return
+        try:
+            replacement = await self._spawn_one()
+        except WorkerCrashed:
+            return  # pool shrinks; remaining workers keep serving
+        self.restarts += 1
+        self._idle.put_nowait(replacement)
+
+    async def stop(self, timeout: float = 5.0) -> None:
+        """Close every control socket (workers exit on EOF) and reap."""
+        if self._closed:
+            return
+        self._closed = True
+        # Wake any caller parked on the idle queue; the sentinel is
+        # re-queued by each woken caller so none stays stuck.
+        self._idle.put_nowait(None)
+        for worker in self._alive:
+            try:
+                worker.writer.close()
+            except Exception:  # pragma: no cover - already torn down
+                pass
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + timeout
+        for worker in self._alive:
+            remaining = max(deadline - loop.time(), 0.0)
+            await loop.run_in_executor(None, worker.process.join, remaining)
+            if worker.process.is_alive():
+                worker.process.terminate()
+        self._alive.clear()
+        while not self._idle.empty():
+            self._idle.get_nowait()
+
+    def stats(self) -> dict:
+        return {
+            "workers": self._workers,
+            "alive": len(self._alive),
+            "round_trips": self.round_trips,
+            "restarts": self.restarts,
+            "dispatches": {
+                str(worker.wid): worker.dispatches for worker in self._alive
+            },
+        }

@@ -1,0 +1,592 @@
+"""The asyncio gateway: acceptor → admission → coalescer → worker pool.
+
+One event loop accepts connections and parses HTTP; query work is
+dispatched to a :class:`~repro.gateway.pool.WorkerPool` of processes
+that each reopened the same index files (mmap'd v3 bundles reopen
+zero-copy, so N workers ≈ 1× index RAM).  In front of the pool sit an
+:class:`~repro.gateway.admission.AdmissionController` (bounded queue,
+JSON ``429`` + ``Retry-After`` under overload, per-index concurrency
+limits) and a :class:`~repro.gateway.coalesce.Coalescer` (identical
+in-flight requests share one worker round-trip).
+
+The wire protocol is exactly the threaded
+:class:`~repro.service.server.UsiServer`'s — same endpoints, same
+validation (shared through :mod:`repro.service.requests`), same
+drain semantics (503 for new requests while in-flight ones finish) —
+so clients and benchmarks can switch modes with a flag.
+
+Live/in-memory indexes (the ``--live`` ingest path) cannot live in
+read-only workers; hand them in through an
+:class:`~repro.service.registry.IndexRegistry` and the gateway serves
+them inline on executor threads, ``POST /ingest`` included.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import signal
+import threading
+from pathlib import Path
+
+from repro.errors import ParameterError, ReproError
+from repro.gateway import http
+from repro.gateway.admission import AdmissionController, OverloadError
+from repro.gateway.coalesce import Coalescer, coalesce_key
+from repro.gateway.pool import WorkerCrashed, WorkerPool
+from repro.service.metrics import EndpointMetrics, LatencyRecorder
+from repro.service.registry import IndexRegistry
+from repro.service.requests import (
+    RequestError,
+    does_not_ingest,
+    endpoint_class,
+    parse_ingest_request,
+    parse_query_request,
+    unsupported_counts,
+)
+
+
+class DrainingError(ReproError):
+    """The gateway is shutting down; new work is refused."""
+
+
+class AsyncGateway:
+    """The asyncio serving front-end over a multi-process worker pool.
+
+    Parameters
+    ----------
+    paths:
+        ``{name: index file}`` served by the worker pool (every worker
+        opens every file; v3 bundles with ``mmap`` share their pages).
+    registry:
+        Optional :class:`IndexRegistry` of in-process indexes (live
+        ingest, tests) served inline on executor threads.
+    workers:
+        Worker-pool size (ignored when *paths* is empty).
+    max_queue:
+        Admission bound: admitted-but-unfinished queries past this
+        are shed with ``429`` + ``Retry-After``.
+    per_index_limit:
+        Concurrent queries allowed per index name.
+    coalesce:
+        Collapse identical in-flight query requests onto one
+        dispatch.
+    mmap:
+        Workers open index files memory-mapped (v3 bundles).
+    """
+
+    def __init__(
+        self,
+        paths: "dict[str, str | Path] | None" = None,
+        registry: "IndexRegistry | None" = None,
+        host: str = "127.0.0.1",
+        port: int = 8642,
+        workers: int = 2,
+        max_queue: int = 64,
+        per_index_limit: int = 8,
+        cache_size: int = 4096,
+        coalesce: bool = True,
+        mmap: bool = True,
+        drain_timeout: float = 10.0,
+    ) -> None:
+        if not paths and registry is None:
+            raise ParameterError("nothing to serve: give paths and/or a registry")
+        self._paths = {name: str(path) for name, path in (paths or {}).items()}
+        self.registry = registry
+        self._host = host
+        self._port = int(port)
+        self._workers = int(workers) if self._paths else 0
+        self._cache_size = int(cache_size)
+        self._mmap = bool(mmap)
+        self._drain_timeout = float(drain_timeout)
+        self.admission = AdmissionController(max_queue, per_index_limit)
+        self.coalescer = Coalescer() if coalesce else None
+        self.pool: "WorkerPool | None" = None
+        self.metrics = registry.metrics if registry is not None else LatencyRecorder()
+        self.endpoint_metrics = EndpointMetrics()
+        self._backend_tags = self._peek_backends()
+        self._server: "asyncio.base_events.Server | None" = None
+        self._draining = False
+        self._inflight = 0
+        self._idle = asyncio.Event()
+
+    def _peek_backends(self) -> dict:
+        from repro.io import peek_backend
+
+        return {name: peek_backend(path) for name, path in self._paths.items()}
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> "AsyncGateway":
+        if self._paths:
+            self.pool = WorkerPool(
+                self._paths,
+                workers=self._workers,
+                cache_size=self._cache_size,
+                mmap=self._mmap,
+            )
+            await self.pool.start()
+        self._idle.set()
+        self._server = await asyncio.start_server(
+            self._serve_connection, self._host, self._port
+        )
+        address = self._server.sockets[0].getsockname()
+        self._host, self._port = address[0], address[1]
+        return self
+
+    @property
+    def host(self) -> str:
+        return self._host
+
+    @property
+    def port(self) -> int:
+        return self._port
+
+    @property
+    def url(self) -> str:
+        return f"http://{self._host}:{self._port}"
+
+    async def drain(self, timeout: "float | None" = None) -> None:
+        """Graceful shutdown: stop accepting, finish in-flight work.
+
+        New requests get 503 the moment draining starts; in-flight
+        ones (coalesced waiters included) get up to *timeout* seconds
+        to finish, after which any still-pending coalesced futures are
+        failed with a clean 503 — never left hanging.  Then the worker
+        pool stops and the registry (when owned) closes.  Idempotent.
+        """
+        if self._draining:
+            return
+        self._draining = True
+        timeout = self._drain_timeout if timeout is None else timeout
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        try:
+            await asyncio.wait_for(self._idle.wait(), timeout)
+        except (asyncio.TimeoutError, TimeoutError):
+            pass
+        if self.coalescer is not None:
+            self.coalescer.abort_all(DrainingError("server is shutting down"))
+        if self.pool is not None:
+            await self.pool.stop()
+        if self.registry is not None:
+            self.registry.close()
+
+    def serve_forever(self, install_signal_handlers: bool = True) -> None:
+        """Run the gateway on the calling thread (the CLI path).
+
+        SIGINT/SIGTERM trigger a graceful drain, mirroring the
+        threaded server: the listener stops accepting, in-flight
+        requests finish, and the pool and registry close.
+        """
+        asyncio.run(self._serve_until_signal(install_signal_handlers))
+
+    async def _serve_until_signal(self, install_signal_handlers: bool) -> None:
+        await self.start()
+        stop = asyncio.Event()
+        if install_signal_handlers:
+            loop = asyncio.get_running_loop()
+            for signum in (signal.SIGINT, signal.SIGTERM):
+                try:
+                    loop.add_signal_handler(signum, stop.set)
+                except (NotImplementedError, RuntimeError):  # pragma: no cover
+                    break
+        try:
+            await stop.wait()
+        finally:
+            await self.drain()
+
+    def start_in_thread(self) -> "GatewayHandle":
+        """Run the gateway on a dedicated event-loop thread (tests)."""
+        return GatewayHandle(self).start()
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    def _track_request(self, delta: int) -> None:
+        self._inflight += delta
+        if self._inflight == 0:
+            self._idle.set()
+        else:
+            self._idle.clear()
+
+    async def _serve_connection(self, reader, writer) -> None:
+        try:
+            while True:
+                try:
+                    request = await http.read_request(reader)
+                except http.HttpError as error:
+                    await http.write_json(
+                        writer,
+                        error.status,
+                        {"error": error.message},
+                        keep_alive=False,
+                    )
+                    break
+                if request is None:
+                    break
+                if self._draining:
+                    await http.write_json(
+                        writer,
+                        503,
+                        {"error": "server is shutting down"},
+                        keep_alive=False,
+                    )
+                    break
+                keep_alive = await self._serve_request(request, writer)
+                if not keep_alive or request.wants_close:
+                    break
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+    async def _serve_request(self, request: http.Request, writer) -> bool:
+        """Route one request; returns whether to keep the connection."""
+        loop = asyncio.get_running_loop()
+        endpoint = endpoint_class(request.method, request.path)
+        t0 = loop.time()
+        self._track_request(+1)
+        try:
+            try:
+                status, payload, retry_after = await self._route(request)
+            except http.HttpError as error:
+                status, payload, retry_after = (
+                    error.status,
+                    {"error": error.message},
+                    error.retry_after,
+                )
+            except RequestError as error:
+                status, payload, retry_after = (
+                    error.status,
+                    {"error": error.message},
+                    None,
+                )
+            except OverloadError as error:
+                status, payload, retry_after = (
+                    429,
+                    {"error": str(error)},
+                    error.retry_after,
+                )
+            except DrainingError:
+                status, payload, retry_after = (
+                    503,
+                    {"error": "server is shutting down"},
+                    None,
+                )
+            except WorkerCrashed as error:
+                # Mid-drain, a dispatch losing its worker is expected —
+                # the pool is stopping; report it as shutdown, not 500.
+                if self._draining:
+                    status, payload, retry_after = (
+                        503,
+                        {"error": "server is shutting down"},
+                        None,
+                    )
+                else:
+                    status, payload, retry_after = 500, {"error": str(error)}, None
+            keep_alive = status == 200
+            await http.write_json(
+                writer, status, payload, keep_alive=keep_alive, retry_after=retry_after
+            )
+            return keep_alive
+        finally:
+            self._track_request(-1)
+            self.endpoint_metrics.record(endpoint, loop.time() - t0)
+
+    async def _route(self, request: http.Request) -> "tuple[int, dict, int | None]":
+        method, path = request.method, request.path
+        if method == "GET":
+            if path == "/healthz":
+                return 200, {"status": "ok"}, None
+            if path == "/indexes":
+                return 200, {"indexes": self._describe_indexes()}, None
+            if path == "/stats":
+                return 200, await self._stats(), None
+            raise http.HttpError(404, f"unknown path {path!r}")
+        if method == "POST":
+            if path == "/query":
+                return await self._handle_query(request.json_object())
+            if path == "/ingest":
+                return await self._handle_ingest(request.json_object())
+            raise http.HttpError(404, f"unknown path {path!r}")
+        raise http.HttpError(404, f"unknown path {path!r}")
+
+    # ------------------------------------------------------------------
+    # Index resolution (pool-backed and inline names share one space)
+    # ------------------------------------------------------------------
+    def _all_names(self) -> list[str]:
+        names = list(self._paths)
+        if self.registry is not None:
+            names.extend(self.registry.names())
+        return sorted(names)
+
+    def _resolve_name(self, request: dict) -> str:
+        name = request.get("index")
+        if name is None:
+            names = self._all_names()
+            if len(names) == 1:
+                return names[0]
+            raise RequestError(
+                400, "several indexes are registered; name one with 'index'"
+            )
+        if name in self._paths or (
+            self.registry is not None and name in self.registry
+        ):
+            return name
+        raise RequestError(404, f"unknown index {name!r}")
+
+    # ------------------------------------------------------------------
+    # /query
+    # ------------------------------------------------------------------
+    async def _handle_query(self, request: dict) -> "tuple[int, dict, None]":
+        patterns, with_counts = parse_query_request(request)
+        name = self._resolve_name(request)
+
+        if self.coalescer is None:
+            result = await self._admit_and_dispatch(name, patterns, with_counts)
+        else:
+            key = coalesce_key(name, patterns, with_counts)
+            future, leader = self.coalescer.lead_or_follow(key)
+            if leader:
+                try:
+                    result = await self._admit_and_dispatch(
+                        name, patterns, with_counts
+                    )
+                except BaseException as error:
+                    self.coalescer.fail(key, error)
+                    raise
+                self.coalescer.resolve(key, result)
+            else:
+                result = await asyncio.shield(future)
+
+        utilities, counts = result
+        rows = [
+            {"pattern": pattern, "utility": value}
+            for pattern, value in zip(patterns, utilities)
+        ]
+        if counts is not None:
+            for row, count in zip(rows, counts):
+                row["count"] = count
+        return 200, {"index": name, "results": rows}, None
+
+    async def _admit_and_dispatch(
+        self, name: str, patterns: list, with_counts: bool
+    ) -> tuple:
+        loop = asyncio.get_running_loop()
+        t0 = loop.time()
+        async with self.admission.slot(name):
+            if name in self._paths:
+                result = await self._dispatch_pool(name, patterns, with_counts)
+                # Inline engines record their own latency into
+                # self.metrics; the pool path records here so
+                # ``server`` stats see every query either way.
+                self.metrics.record(loop.time() - t0, len(patterns))
+                return result
+            return await self._dispatch_inline(name, patterns, with_counts)
+
+    async def _dispatch_pool(
+        self, name: str, patterns: list, with_counts: bool
+    ) -> tuple:
+        assert self.pool is not None
+        response = await self.pool.call(
+            {"op": "query", "index": name, "patterns": patterns, "count": with_counts}
+        )
+        if not response.get("ok"):
+            raise RequestError(
+                int(response.get("status", 500)),
+                response.get("error", "worker error"),
+            )
+        return response["utilities"], response.get("counts")
+
+    async def _dispatch_inline(
+        self, name: str, patterns: list, with_counts: bool
+    ) -> tuple:
+        assert self.registry is not None
+        loop = asyncio.get_running_loop()
+        engine = await loop.run_in_executor(None, self.registry.get, name)
+        if with_counts and not engine.protocol.capabilities.count:
+            raise unsupported_counts(name, engine.protocol.backend_name)
+        utilities = await loop.run_in_executor(None, engine.query_batch, patterns)
+        counts = None
+        if with_counts:
+            counts = await loop.run_in_executor(
+                None, lambda: [engine.count(p) for p in patterns]
+            )
+        return utilities, counts
+
+    # ------------------------------------------------------------------
+    # /ingest
+    # ------------------------------------------------------------------
+    async def _handle_ingest(self, request: dict) -> "tuple[int, dict, None]":
+        doc, utilities = parse_ingest_request(request)
+        name = self._resolve_name(request)
+        if name in self._paths:
+            raise does_not_ingest(name, self._backend_tags.get(name) or "static")
+        assert self.registry is not None
+        loop = asyncio.get_running_loop()
+        engine = await loop.run_in_executor(None, self.registry.get, name)
+        appender = getattr(engine.protocol, "append_document", None)
+        if not callable(appender):
+            raise does_not_ingest(name, engine.protocol.backend_name)
+        try:
+            seq = await loop.run_in_executor(None, appender, doc, utilities)
+        except ReproError as error:
+            raise RequestError(400, str(error))
+        return 200, {"index": name, "seq": int(seq)}, None
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def _describe_indexes(self) -> list[dict]:
+        rows = []
+        for name in sorted(self._paths):
+            rows.append(
+                {
+                    "name": name,
+                    "resident": True,  # every worker holds it open
+                    "pinned": True,
+                    "path": self._paths[name],
+                    "generation": 1,
+                    "backend": self._backend_tags.get(name),
+                    "capabilities": None,
+                    "served_by": "pool",
+                }
+            )
+        if self.registry is not None:
+            for row in self.registry.describe():
+                row["served_by"] = "inline"
+                rows.append(row)
+        return sorted(rows, key=lambda row: row["name"])
+
+    async def _stats(self) -> dict:
+        if self.registry is not None:
+            registry_stats = self.registry.stats()
+            engines = self.registry.engine_stats()
+            ingest = self.registry.ingest_stats()
+        else:
+            registry_stats = {
+                "indexes": len(self._paths),
+                "resident": len(self._paths),
+                "capacity": len(self._paths),
+                "loads": 0,
+                "evictions": 0,
+                "replacements": 0,
+            }
+            engines = {}
+            ingest = {}
+        pool_stats = None
+        if self.pool is not None:
+            pool_stats = self.pool.stats()
+            worker_stats = await self.pool.broadcast({"op": "stats"})
+            pool_stats["worker_engines"] = [
+                {"worker": row.get("worker"), "engines": row.get("engines", {})}
+                for row in worker_stats
+                if row.get("ok")
+            ]
+        return {
+            "mode": "async",
+            "workers": self._workers,
+            "server": self.metrics.snapshot().as_dict(),
+            "endpoints": self.endpoint_metrics.snapshot(),
+            "registry": registry_stats,
+            "engines": engines,
+            "ingest": ingest,
+            "admission": self.admission.stats(),
+            "coalescer": self.coalescer.stats() if self.coalescer else None,
+            "pool": pool_stats,
+        }
+
+
+class GatewayHandle:
+    """An :class:`AsyncGateway` running on a dedicated loop thread.
+
+    Gives synchronous callers (tests, benchmarks, the threaded world
+    at large) a context-manager lifecycle and a :meth:`run` bridge for
+    poking the loop — e.g. checking workers out of the pool to stage a
+    deterministic coalescing race.
+
+    Examples
+    --------
+    >>> handle = AsyncGateway(paths=...).start_in_thread()  # doctest: +SKIP
+    >>> handle.url                                          # doctest: +SKIP
+    'http://127.0.0.1:49152'
+    >>> handle.shutdown()                                   # doctest: +SKIP
+    """
+
+    def __init__(self, gateway: AsyncGateway) -> None:
+        self.gateway = gateway
+        self._loop: "asyncio.AbstractEventLoop | None" = None
+        self._thread: "threading.Thread | None" = None
+        self._started = threading.Event()
+        self._startup_error: "BaseException | None" = None
+
+    def start(self) -> "GatewayHandle":
+        if self._thread is not None:
+            return self
+        self._thread = threading.Thread(
+            target=self._thread_main, name="usi-gateway", daemon=True
+        )
+        self._thread.start()
+        self._started.wait(timeout=180)
+        if self._startup_error is not None:
+            self._thread.join(timeout=5)
+            raise self._startup_error
+        if self._loop is None:
+            raise RuntimeError("gateway failed to start")
+        return self
+
+    def _thread_main(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        try:
+            loop.run_until_complete(self.gateway.start())
+        except BaseException as error:
+            self._startup_error = error
+            self._started.set()
+            loop.close()
+            return
+        self._loop = loop
+        self._started.set()
+        try:
+            loop.run_forever()
+        finally:
+            loop.run_until_complete(loop.shutdown_asyncgens())
+            loop.close()
+
+    @property
+    def url(self) -> str:
+        return self.gateway.url
+
+    def run(self, coroutine, timeout: float = 60.0):
+        """Run *coroutine* on the gateway loop, synchronously."""
+        if self._loop is None:
+            raise RuntimeError("the gateway loop is not running")
+        return asyncio.run_coroutine_threadsafe(coroutine, self._loop).result(
+            timeout
+        )
+
+    def shutdown(self, timeout: "float | None" = None) -> None:
+        """Drain gracefully, then stop the loop thread.  Idempotent."""
+        loop, thread = self._loop, self._thread
+        if loop is None or thread is None:
+            return
+        if thread.is_alive():
+            asyncio.run_coroutine_threadsafe(
+                self.gateway.drain(timeout), loop
+            ).result(timeout=(timeout or 10.0) + 30.0)
+            loop.call_soon_threadsafe(loop.stop)
+            thread.join(timeout=30)
+        self._loop = None
+        self._thread = None
+
+    def __enter__(self) -> "GatewayHandle":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()

@@ -1,0 +1,128 @@
+"""The worker process: one mmap'd kernel reopen + a QueryEngine loop.
+
+Each worker is a plain OS process holding its own
+:class:`~repro.service.engine.QueryEngine` per served index, opened
+through :func:`repro.api.open_index` — with ``mmap=True`` a v3 kernel
+bundle's substrate arrays stay memory-mapped read-only, so N workers
+over one bundle share one copy of the index pages instead of
+materialising N.
+
+The loop is deliberately dumb: read one frame, answer it, repeat.  The
+gateway checks a worker out of its pool for the duration of one
+round-trip, so the worker never sees interleaved requests and needs no
+internal concurrency.  A clean EOF on the control socket is the
+shutdown signal (the pool closes its end); anything else the worker
+answers with an error frame rather than dying, so one poisoned request
+cannot take a worker slot down.
+"""
+
+from __future__ import annotations
+
+import signal
+import socket
+import traceback
+
+from repro.gateway import ipc
+
+#: Statuses a worker can attach to an error frame; the gateway maps
+#: them straight onto HTTP responses.
+BAD_REQUEST = 400
+SERVER_ERROR = 500
+
+
+def _open_engines(paths: dict, cache_size: int, mmap: bool) -> dict:
+    from repro.api import open_index
+    from repro.service.engine import QueryEngine
+
+    engines = {}
+    for name, path in paths.items():
+        index = open_index(path, mmap=mmap)
+        engines[name] = QueryEngine(index, cache_size=cache_size)
+    return engines
+
+
+def _handle_query(engines: dict, request: dict) -> dict:
+    name = request["index"]
+    engine = engines.get(name)
+    if engine is None:
+        return {"ok": False, "status": 404, "error": f"unknown index {name!r}"}
+    patterns = request["patterns"]
+    if request.get("count"):
+        if not engine.protocol.capabilities.count:
+            return {
+                "ok": False,
+                "status": BAD_REQUEST,
+                "error": (
+                    f"index {name!r} (backend "
+                    f"{engine.protocol.backend_name!r}) does not support counts"
+                ),
+            }
+        utilities = engine.query_batch(patterns)
+        counts = [engine.count(pattern) for pattern in patterns]
+        return {"ok": True, "utilities": utilities, "counts": counts}
+    return {"ok": True, "utilities": engine.query_batch(patterns)}
+
+
+def _handle_stats(engines: dict) -> dict:
+    return {"ok": True, "engines": {name: e.stats() for name, e in engines.items()}}
+
+
+def worker_main(
+    sock: socket.socket, paths: dict, cache_size: int, mmap: bool
+) -> None:
+    """The worker process entry point (target of ``WorkerPool`` spawn)."""
+    # The parent coordinates shutdown by closing the socket; a SIGINT
+    # aimed at the foreground process group must not kill workers
+    # mid-drain.
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ValueError, OSError):  # pragma: no cover - exotic platforms
+        pass
+    try:
+        engines = _open_engines(paths, cache_size, mmap)
+    except Exception as error:
+        ipc.send_frame(
+            sock, {"op": "ready", "ok": False, "error": f"{type(error).__name__}: {error}"}
+        )
+        sock.close()
+        return
+    ipc.send_frame(sock, {"op": "ready", "ok": True, "indexes": sorted(engines)})
+    try:
+        while True:
+            request = ipc.recv_frame(sock)
+            if request is None:  # parent closed its end: drain complete
+                break
+            response: dict
+            try:
+                op = request.get("op")
+                if op == "query":
+                    response = _handle_query(engines, request)
+                elif op == "stats":
+                    response = _handle_stats(engines)
+                elif op == "ping":
+                    response = {"ok": True}
+                else:
+                    response = {
+                        "ok": False,
+                        "status": BAD_REQUEST,
+                        "error": f"unknown worker op {op!r}",
+                    }
+            except Exception:
+                response = {
+                    "ok": False,
+                    "status": SERVER_ERROR,
+                    "error": traceback.format_exc(limit=4),
+                }
+            response["id"] = request.get("id")
+            ipc.send_frame(sock, response)
+    except (ipc.FrameError, OSError):  # parent died or tore the socket
+        pass
+    finally:
+        sock.close()
+        for engine in engines.values():
+            closer = getattr(engine.index, "close", None)
+            if callable(closer):
+                try:
+                    closer()
+                except Exception:  # pragma: no cover - best-effort cleanup
+                    pass

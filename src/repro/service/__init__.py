@@ -11,19 +11,26 @@ Turns the library's one-shot indexes into a serving stack:
   (``usi serve``);
 * :class:`LatencyRecorder` — the QPS / p50 / p95 / p99 numbers the
   other pieces share.
+
+For heavy traffic, :mod:`repro.gateway` puts an asyncio front-end and
+a multi-process worker pool in front of the same protocol
+(``usi serve --async``).
 """
 
 from repro.service.engine import QueryEngine
-from repro.service.metrics import LatencyRecorder, MetricsSnapshot
+from repro.service.metrics import EndpointMetrics, LatencyRecorder, MetricsSnapshot
 from repro.service.registry import IndexRegistry
+from repro.service.requests import RequestError
 from repro.service.server import UsiServer
 from repro.service.sharding import ShardedUsiIndex
 
 __all__ = [
+    "EndpointMetrics",
     "IndexRegistry",
     "LatencyRecorder",
     "MetricsSnapshot",
     "QueryEngine",
+    "RequestError",
     "ShardedUsiIndex",
     "UsiServer",
 ]

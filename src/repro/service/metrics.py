@@ -157,3 +157,44 @@ class _Timer:
 
     def __exit__(self, *exc) -> None:
         self.recorder.record(self.recorder._clock() - self._t0, self.queries)
+
+
+#: The latency buckets every serving front-end reports: query traffic,
+#: ingest traffic, and everything administrative (listings, stats,
+#: health probes, unknown routes).
+ENDPOINT_CLASSES = ("query", "ingest", "admin")
+
+
+class EndpointMetrics:
+    """Per-endpoint-class latency recorders for a serving front-end.
+
+    One :class:`LatencyRecorder` per endpoint class, so ``GET /stats``
+    can break request latency down into query vs ingest vs admin
+    instead of one server-wide number.  Both the threaded server and
+    the asyncio gateway publish this under the ``endpoints`` stats
+    key, with identical shape (the shared stats-shape test holds the
+    two to it).
+    """
+
+    def __init__(self, capacity: int = 2048, clock=time.perf_counter) -> None:
+        self._recorders = {
+            name: LatencyRecorder(capacity, clock) for name in ENDPOINT_CLASSES
+        }
+
+    def recorder(self, endpoint: str) -> LatencyRecorder:
+        """The recorder for one endpoint class (KeyError when unknown)."""
+        return self._recorders[endpoint]
+
+    def record(self, endpoint: str, seconds: float, queries: int = 1) -> None:
+        self._recorders[endpoint].record(seconds, queries)
+
+    def measure(self, endpoint: str, queries: int = 1) -> _Timer:
+        """``with metrics.measure("query"): ...`` — records on exit."""
+        return self._recorders[endpoint].measure(queries)
+
+    def snapshot(self) -> dict:
+        """``{endpoint: latency-dict}`` for every endpoint class."""
+        return {
+            name: recorder.snapshot().as_dict()
+            for name, recorder in self._recorders.items()
+        }

@@ -1,0 +1,90 @@
+"""Wire-protocol validation shared by every serving front-end.
+
+The threaded :class:`~repro.service.server.UsiServer` and the asyncio
+:class:`~repro.gateway.server.AsyncGateway` speak the same JSON
+protocol; this module is the single place its request shapes are
+validated, so the two front-ends cannot drift apart — same checks,
+same status codes, same error strings, byte-identical rejections.
+
+Validation failures raise :class:`RequestError` carrying the HTTP
+status; each front-end turns that into its own JSON error response.
+"""
+
+from __future__ import annotations
+
+MAX_BODY_BYTES = 8 * 1024 * 1024
+MAX_BATCH = 10_000
+
+
+class RequestError(Exception):
+    """A protocol-level rejection: HTTP *status* plus a message."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = int(status)
+        self.message = message
+
+
+def parse_query_request(request: dict) -> "tuple[list[str], bool]":
+    """Validate a ``POST /query`` body; return ``(patterns, with_counts)``.
+
+    Accepts exactly one of ``pattern`` / ``patterns``; every pattern
+    must be a non-empty string and the batch must fit ``MAX_BATCH``.
+    """
+    single = request.get("pattern")
+    batch = request.get("patterns")
+    if (single is None) == (batch is None):
+        raise RequestError(400, "provide exactly one of 'pattern' / 'patterns'")
+    patterns = [single] if batch is None else list(batch)
+    if not patterns or len(patterns) > MAX_BATCH:
+        raise RequestError(400, f"batch size must be in [1, {MAX_BATCH}]")
+    if not all(isinstance(p, str) and p for p in patterns):
+        raise RequestError(400, "patterns must be non-empty strings")
+    return patterns, bool(request.get("count"))
+
+
+def parse_ingest_request(request: dict) -> "tuple[str, list | None]":
+    """Validate a ``POST /ingest`` body; return ``(doc, utilities)``."""
+    doc = request.get("doc")
+    if not isinstance(doc, str) or not doc:
+        raise RequestError(400, "'doc' must be a non-empty string")
+    utilities = request.get("utilities")
+    if utilities is not None:
+        if not isinstance(utilities, list) or not all(
+            isinstance(u, (int, float)) and not isinstance(u, bool)
+            for u in utilities
+        ):
+            raise RequestError(400, "'utilities' must be a list of numbers")
+        if len(utilities) != len(doc):
+            raise RequestError(400, "'utilities' must have one value per character")
+    return doc, utilities
+
+
+def unsupported_counts(name: str, backend: str) -> RequestError:
+    """The shared rejection for ``count: true`` on a countless backend."""
+    return RequestError(
+        400,
+        f"index {name!r} (backend {backend!r}) does not support counts",
+    )
+
+
+def does_not_ingest(name: str, backend: str) -> RequestError:
+    """The shared rejection for ``POST /ingest`` on a static backend."""
+    return RequestError(
+        400,
+        f"index {name!r} (backend {backend!r}) does not ingest",
+    )
+
+
+def endpoint_class(method: str, path: str) -> str:
+    """The latency bucket a request belongs to: query / ingest / admin.
+
+    ``POST /query`` is ``query``, ``POST /ingest`` is ``ingest``, and
+    everything else (listings, stats, health, 404s) is ``admin`` — the
+    split :class:`~repro.service.metrics.EndpointMetrics` reports.
+    """
+    if method == "POST" and path == "/query":
+        return "query"
+    if method == "POST" and path == "/ingest":
+        return "ingest"
+    return "admin"

@@ -24,10 +24,13 @@ Endpoints
     :class:`~repro.core.usi.UsiIndex`.
 
 ``GET /stats``
-    Server-wide QPS / latency percentiles plus per-engine cache
-    statistics, registry load/eviction/replacement counters, and an
-    ``ingest`` section (per-live-index generation and compaction
-    counters; empty for static registries).
+    Server-wide QPS / latency percentiles, a per-endpoint latency
+    breakdown (``endpoints``: query vs ingest vs admin), the serving
+    ``mode`` (``"threaded"`` here; ``"async"`` on the gateway) and
+    worker count, per-engine cache statistics, registry
+    load/eviction/replacement counters, and an ``ingest`` section
+    (per-live-index generation and compaction counters; empty for
+    static registries).
 
 ``GET /healthz``
     Liveness probe: ``{"status": "ok"}``.
@@ -47,20 +50,40 @@ import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from repro.errors import ReproError
-from repro.service.metrics import LatencyRecorder
+from repro.service.metrics import EndpointMetrics, LatencyRecorder
 from repro.service.registry import IndexRegistry
-
-MAX_BODY_BYTES = 8 * 1024 * 1024
-MAX_BATCH = 10_000
+from repro.service.requests import (
+    MAX_BATCH,
+    MAX_BODY_BYTES,
+    RequestError,
+    does_not_ingest,
+    endpoint_class,
+    parse_ingest_request,
+    parse_query_request,
+    unsupported_counts,
+)
 
 
 class _Handler(BaseHTTPRequestHandler):
     server_version = "usi-serve/1.0"
     protocol_version = "HTTP/1.1"
+    # The handler writes status line, headers, and body as separate
+    # unbuffered sends; without TCP_NODELAY, Nagle holds the tail of
+    # the response for the client's delayed ACK (~40 ms per request
+    # on Linux).  The asyncio gateway gets this from its transport
+    # defaults; the threaded server has to ask.
+    disable_nagle_algorithm = True
 
     # ------------------------------------------------------------------
     # Plumbing
     # ------------------------------------------------------------------
+    def setup(self) -> None:
+        # A connection-level timeout so a client that promises a body
+        # and never sends it cannot pin this handler thread forever
+        # (the read raises TimeoutError -> 400 instead of hanging).
+        self.timeout = getattr(self.server, "request_timeout", 30.0)
+        super().setup()
+
     @property
     def registry(self) -> IndexRegistry:
         return self.server.registry  # type: ignore[attr-defined]
@@ -108,19 +131,28 @@ class _Handler(BaseHTTPRequestHandler):
         if not self._begin_request():
             self._error(503, "server is shutting down")
             return
+        endpoints: EndpointMetrics = self.server.endpoint_metrics  # type: ignore[attr-defined]
+        t0 = time.perf_counter()
         try:
             self._do_get()
         finally:
             self._end_request()
+            endpoints.record(
+                endpoint_class("GET", self.path), time.perf_counter() - t0
+            )
 
     def _do_get(self) -> None:
         if self.path == "/indexes":
             self._send_json({"indexes": self.registry.describe()})
         elif self.path == "/stats":
             recorder: LatencyRecorder = self.server.metrics  # type: ignore[attr-defined]
+            endpoints: EndpointMetrics = self.server.endpoint_metrics  # type: ignore[attr-defined]
             self._send_json(
                 {
+                    "mode": "threaded",
+                    "workers": 0,
                     "server": recorder.snapshot().as_dict(),
+                    "endpoints": endpoints.snapshot(),
                     "registry": self.registry.stats(),
                     "engines": self.registry.engine_stats(),
                     "ingest": self.registry.ingest_stats(),
@@ -135,10 +167,15 @@ class _Handler(BaseHTTPRequestHandler):
         if not self._begin_request():
             self._error(503, "server is shutting down")
             return
+        endpoints: EndpointMetrics = self.server.endpoint_metrics  # type: ignore[attr-defined]
+        t0 = time.perf_counter()
         try:
             self._do_post()
         finally:
             self._end_request()
+            endpoints.record(
+                endpoint_class("POST", self.path), time.perf_counter() - t0
+            )
 
     def _do_post(self) -> None:
         if self.path == "/query":
@@ -149,9 +186,21 @@ class _Handler(BaseHTTPRequestHandler):
             self._error(404, f"unknown path {self.path!r}")
 
     def _read_json_body(self) -> "dict | None":
-        """The request body as a JSON object, or None (error sent)."""
+        """The request body as a JSON object, or None (error sent).
+
+        A POST without a ``Content-Length`` is refused with 411
+        (Length Required) and a malformed one with 400 — never
+        guessed at.  Reading the body is bounded by the connection
+        timeout, so a client that advertises more bytes than it sends
+        gets a 400 instead of pinning this handler thread on a short
+        read.
+        """
+        raw_length = self.headers.get("Content-Length")
+        if raw_length is None:
+            self._error(411, "Content-Length required on POST")
+            return None
         try:
-            length = int(self.headers.get("Content-Length", 0))
+            length = int(raw_length)
         except ValueError:
             self._error(400, "bad Content-Length")
             return None
@@ -159,7 +208,15 @@ class _Handler(BaseHTTPRequestHandler):
             self._error(400, "request body required (JSON)")
             return None
         try:
-            request = json.loads(self.rfile.read(length))
+            body = self.rfile.read(length)
+        except (TimeoutError, OSError):
+            self._error(400, "request body shorter than Content-Length")
+            return None
+        if len(body) < length:  # connection closed mid-body
+            self._error(400, "request body shorter than Content-Length")
+            return None
+        try:
+            request = json.loads(body)
         except (json.JSONDecodeError, UnicodeDecodeError):
             self._error(400, "request body is not valid JSON")
             return None
@@ -188,17 +245,10 @@ class _Handler(BaseHTTPRequestHandler):
         if request is None:
             return
 
-        single = request.get("pattern")
-        batch = request.get("patterns")
-        if (single is None) == (batch is None):
-            self._error(400, "provide exactly one of 'pattern' / 'patterns'")
-            return
-        patterns = [single] if batch is None else list(batch)
-        if not patterns or len(patterns) > MAX_BATCH:
-            self._error(400, f"batch size must be in [1, {MAX_BATCH}]")
-            return
-        if not all(isinstance(p, str) and p for p in patterns):
-            self._error(400, "patterns must be non-empty strings")
+        try:
+            patterns, with_counts = parse_query_request(request)
+        except RequestError as error:
+            self._error(error.status, error.message)
             return
 
         resolved = self._resolve_engine(request)
@@ -206,13 +256,9 @@ class _Handler(BaseHTTPRequestHandler):
             return
         name, engine = resolved
 
-        with_counts = bool(request.get("count"))
         if with_counts and not engine.protocol.capabilities.count:
-            self._error(
-                400,
-                f"index {name!r} (backend "
-                f"{engine.protocol.backend_name!r}) does not support counts",
-            )
+            error = unsupported_counts(name, engine.protocol.backend_name)
+            self._error(error.status, error.message)
             return
 
         utilities = engine.query_batch(patterns)
@@ -230,21 +276,11 @@ class _Handler(BaseHTTPRequestHandler):
         if request is None:
             return
 
-        doc = request.get("doc")
-        if not isinstance(doc, str) or not doc:
-            self._error(400, "'doc' must be a non-empty string")
+        try:
+            doc, utilities = parse_ingest_request(request)
+        except RequestError as error:
+            self._error(error.status, error.message)
             return
-        utilities = request.get("utilities")
-        if utilities is not None:
-            if not isinstance(utilities, list) or not all(
-                isinstance(u, (int, float)) and not isinstance(u, bool)
-                for u in utilities
-            ):
-                self._error(400, "'utilities' must be a list of numbers")
-                return
-            if len(utilities) != len(doc):
-                self._error(400, "'utilities' must have one value per character")
-                return
 
         resolved = self._resolve_engine(request)
         if resolved is None:
@@ -253,11 +289,8 @@ class _Handler(BaseHTTPRequestHandler):
 
         appender = getattr(engine.protocol, "append_document", None)
         if not callable(appender):
-            self._error(
-                400,
-                f"index {name!r} (backend "
-                f"{engine.protocol.backend_name!r}) does not ingest",
-            )
+            error = does_not_ingest(name, engine.protocol.backend_name)
+            self._error(error.status, error.message)
             return
         try:
             seq = appender(doc, utilities)
@@ -289,13 +322,17 @@ class UsiServer:
         port: int = 8642,
         metrics: "LatencyRecorder | None" = None,
         verbose: bool = False,
+        request_timeout: float = 30.0,
     ) -> None:
         self.registry = registry
         self.metrics = metrics if metrics is not None else registry.metrics
+        self.endpoint_metrics = EndpointMetrics()
         self._http = ThreadingHTTPServer((host, port), _Handler)
         self._http.daemon_threads = True
         self._http.registry = registry  # type: ignore[attr-defined]
         self._http.metrics = self.metrics  # type: ignore[attr-defined]
+        self._http.endpoint_metrics = self.endpoint_metrics  # type: ignore[attr-defined]
+        self._http.request_timeout = float(request_timeout)  # type: ignore[attr-defined]
         self._http.verbose = verbose  # type: ignore[attr-defined]
         # In-flight request tracking for graceful shutdown.
         self._http.inflight = 0  # type: ignore[attr-defined]

@@ -1,0 +1,18 @@
+"""Shared fixtures for the gateway tests: one v3 bundle to reopen."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import build
+from repro.io import save_index
+
+TEXT = "abracadabra banana cabana abracadabra bandana " * 30
+
+
+@pytest.fixture(scope="session")
+def bundle_path(tmp_path_factory):
+    """A v3 (mmap-openable) bundle every gateway test reopens."""
+    path = tmp_path_factory.mktemp("gateway") / "demo.npz"
+    save_index(build(TEXT, k=16), path, container="v3")
+    return path

@@ -1,0 +1,200 @@
+"""Admission control and coalescing semantics, including shutdown.
+
+The shutdown cases are the load-bearing ones: a coalesced follower is
+awaiting a future it does not own, so drain must either hand it the
+leader's answer or fail the future cleanly — a hung ``await`` would pin
+a connection forever.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.gateway.admission import AdmissionController, OverloadError
+from repro.gateway.coalesce import Coalescer, coalesce_key
+from repro.gateway.server import DrainingError
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+class TestAdmission:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ParameterError):
+            AdmissionController(max_queue=0)
+        with pytest.raises(ParameterError):
+            AdmissionController(per_index_limit=0)
+
+    def test_sheds_load_past_max_queue(self):
+        async def scenario():
+            controller = AdmissionController(max_queue=2, per_index_limit=8)
+            async with controller.slot("a"):
+                async with controller.slot("a"):
+                    with pytest.raises(OverloadError) as caught:
+                        async with controller.slot("a"):
+                            pass
+                    assert caught.value.retry_after >= 1
+                    assert "retry later" in str(caught.value)
+            stats = controller.stats()
+            assert stats == {
+                "max_queue": 2,
+                "per_index_limit": 8,
+                "depth": 0,
+                "peak_depth": 2,
+                "admitted": 2,
+                "rejected": 1,
+            }
+
+        run(scenario())
+
+    def test_per_index_limit_queues_rather_than_rejects(self):
+        async def scenario():
+            controller = AdmissionController(max_queue=10, per_index_limit=1)
+            order = []
+
+            async def use_slot(tag, hold):
+                async with controller.slot("hot"):
+                    order.append(tag)
+                    await asyncio.sleep(hold)
+
+            # Both admit (depth 2 < 10); the second *runs* only after
+            # the first releases the hot index's only slot.
+            await asyncio.gather(use_slot("first", 0.05), use_slot("second", 0))
+            assert order == ["first", "second"]
+            assert controller.stats()["rejected"] == 0
+            assert controller.stats()["peak_depth"] == 2
+
+        run(scenario())
+
+    def test_independent_indexes_do_not_share_semaphores(self):
+        async def scenario():
+            controller = AdmissionController(max_queue=10, per_index_limit=1)
+            async with controller.slot("a"):
+                # Same limit, different index: admits and runs freely.
+                async with controller.slot("b"):
+                    assert controller.depth == 2
+
+        run(scenario())
+
+
+class TestCoalescer:
+    def test_leader_then_followers_share_one_future(self):
+        async def scenario():
+            coalescer = Coalescer()
+            key = coalesce_key("idx", ["abra"], False)
+            future, leader = coalescer.lead_or_follow(key)
+            assert leader
+            same, second_leader = coalescer.lead_or_follow(key)
+            assert not second_leader
+            assert same is future
+            coalescer.resolve(key, ([1.0], None))
+            assert await same == ([1.0], None)
+            assert coalescer.pending == 0
+            # The entry is gone: the next caller leads a fresh request.
+            _, leader_again = coalescer.lead_or_follow(key)
+            assert leader_again
+
+        run(scenario())
+
+    def test_key_distinguishes_index_count_flag_and_patterns(self):
+        assert coalesce_key("a", ["x"], False) != coalesce_key("b", ["x"], False)
+        assert coalesce_key("a", ["x"], False) != coalesce_key("a", ["x"], True)
+        assert coalesce_key("a", ["x"], False) != coalesce_key("a", ["y"], False)
+        assert coalesce_key("a", ["x", "y"], True) == coalesce_key(
+            "a", ["x", "y"], True
+        )
+
+    def test_fail_propagates_to_followers(self):
+        async def scenario():
+            coalescer = Coalescer()
+            key = coalesce_key("idx", ["abra"], False)
+            future, _ = coalescer.lead_or_follow(key)
+            follower, _ = coalescer.lead_or_follow(key)
+            coalescer.fail(key, OverloadError(5, 5))
+            with pytest.raises(OverloadError):
+                await follower
+            assert future is follower
+
+        run(scenario())
+
+    def test_abort_all_fails_every_pending_future(self):
+        async def scenario():
+            coalescer = Coalescer()
+            keys = [coalesce_key("idx", [p], False) for p in ("a", "b", "c")]
+            futures = [coalescer.lead_or_follow(k)[0] for k in keys]
+            aborted = coalescer.abort_all(DrainingError("shutting down"))
+            assert aborted == 3
+            for future in futures:
+                with pytest.raises(DrainingError):
+                    await future
+            assert coalescer.pending == 0
+
+        run(scenario())
+
+    def test_stats_count_leaders_and_followers(self):
+        async def scenario():
+            coalescer = Coalescer()
+            key = coalesce_key("idx", ["abra"], False)
+            coalescer.lead_or_follow(key)
+            coalescer.lead_or_follow(key)
+            coalescer.lead_or_follow(key)
+            assert coalescer.stats() == {
+                "leaders": 1,
+                "followers": 2,
+                "pending": 1,
+            }
+
+        run(scenario())
+
+
+class TestDrainWithCoalescedWaiters:
+    """Graceful shutdown never leaves a coalesced waiter hanging."""
+
+    def test_waiters_get_the_answer_when_the_leader_finishes(self):
+        async def scenario():
+            coalescer = Coalescer()
+            key = coalesce_key("idx", ["hot"], False)
+            future, leader = coalescer.lead_or_follow(key)
+            assert leader
+
+            async def follower():
+                shared, is_leader = coalescer.lead_or_follow(key)
+                assert not is_leader
+                return await asyncio.shield(shared)
+
+            waiters = [asyncio.create_task(follower()) for _ in range(4)]
+            await asyncio.sleep(0)  # all four are now awaiting
+            # The drain path resolves in-flight leaders first...
+            coalescer.resolve(key, ([42.0], None))
+            # ...then aborts what's left — which is nothing.
+            assert coalescer.abort_all(DrainingError("bye")) == 0
+            results = await asyncio.gather(*waiters)
+            assert results == [([42.0], None)] * 4
+
+        run(scenario())
+
+    def test_waiters_get_a_clean_error_when_drain_times_out(self):
+        async def scenario():
+            coalescer = Coalescer()
+            key = coalesce_key("idx", ["stuck"], False)
+            coalescer.lead_or_follow(key)  # leader never resolves
+
+            async def follower():
+                shared, _ = coalescer.lead_or_follow(key)
+                try:
+                    return await asyncio.shield(shared)
+                except DrainingError:
+                    return "503"
+
+            waiters = [asyncio.create_task(follower()) for _ in range(3)]
+            await asyncio.sleep(0)
+            assert coalescer.abort_all(DrainingError("timed out")) == 1
+            done, pending = await asyncio.wait(waiters, timeout=5)
+            assert not pending  # nobody is left hanging
+            assert [task.result() for task in done] == ["503"] * 3
+
+        run(scenario())

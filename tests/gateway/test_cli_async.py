@@ -1,0 +1,69 @@
+"""``usi serve --async`` end-to-end: real process, real SIGTERM drain."""
+
+from __future__ import annotations
+
+import json
+import signal
+import socket
+import subprocess
+import sys
+import time
+import urllib.request
+
+import pytest
+
+
+def _free_port() -> int:
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+def test_sigterm_drains_the_gateway_cleanly(bundle_path):
+    port = _free_port()
+    process = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "serve",
+            "--index", str(bundle_path), "--name", "demo",
+            "--async", "--workers", "1", "--port", str(port),
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    try:
+        banner = process.stdout.readline()
+        assert "gateway serving demo" in banner
+        assert "1 workers" in banner
+
+        url = f"http://127.0.0.1:{port}"
+        request = urllib.request.Request(
+            url + "/query",
+            data=json.dumps({"pattern": "abra"}).encode(),
+            headers={"Content-Type": "application/json"},
+        )
+        deadline = time.monotonic() + 60
+        while True:  # the banner prints before the listener binds
+            try:
+                with urllib.request.urlopen(request, timeout=10) as response:
+                    answer = json.loads(response.read())
+                break
+            except OSError:
+                if time.monotonic() > deadline:
+                    raise
+                time.sleep(0.1)
+        assert answer["results"][0]["utility"] > 0
+
+        with urllib.request.urlopen(url + "/stats", timeout=10) as response:
+            stats = json.loads(response.read())
+        assert stats["mode"] == "async"
+        assert stats["workers"] == 1
+
+        process.send_signal(signal.SIGTERM)
+        output, _ = process.communicate(timeout=60)
+        assert process.returncode == 0
+        assert "drained in-flight requests, pool stopped" in output
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.communicate(timeout=10)

@@ -1,0 +1,379 @@
+"""End-to-end gateway tests over real HTTP, sockets, and processes.
+
+The load-bearing guarantees, each proven here:
+
+* answers are **byte-identical** to a single-process
+  :class:`QueryEngine` over the same bundle, for every worker count,
+  with and without coalescing;
+* N identical in-flight requests cost exactly **one** worker
+  round-trip (the pool's ``round_trips`` counter is the witness);
+* past ``--max-queue`` the gateway sheds load with ``429`` +
+  ``Retry-After`` — but coalesced followers ride free;
+* graceful drain: in-flight requests finish or get a clean ``503``,
+  new ones get ``503``, nobody hangs.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import open_index
+from repro.gateway import AsyncGateway
+from repro.service.engine import QueryEngine
+
+from tests.gateway.conftest import TEXT
+
+PATTERNS = ["abra", "ban", "cad", "ana", "a", "bandana", "zzz", "qx", "nana"]
+
+
+def _post(url: str, payload: dict) -> "tuple[int, bytes, dict]":
+    request = urllib.request.Request(
+        url + "/query",
+        data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status, response.read(), dict(response.headers)
+    except urllib.error.HTTPError as error:
+        return error.code, error.read(), dict(error.headers)
+
+
+def _get(url: str, path: str) -> "tuple[int, dict]":
+    with urllib.request.urlopen(url + path, timeout=30) as response:
+        return response.status, json.loads(response.read())
+
+
+@pytest.fixture(scope="module")
+def engine(bundle_path):
+    """The single-process reference the gateway must match exactly."""
+    return QueryEngine(open_index(bundle_path, mmap=True))
+
+
+def _expected_body(engine, patterns, with_counts=False) -> bytes:
+    """The byte-exact response a correct gateway must produce."""
+    rows = [
+        {"pattern": pattern, "utility": value}
+        for pattern, value in zip(patterns, engine.query_batch(patterns))
+    ]
+    if with_counts:
+        for row, pattern in zip(rows, patterns):
+            row["count"] = engine.count(pattern)
+    return json.dumps({"index": "demo", "results": rows}).encode()
+
+
+class TestExactness:
+    @pytest.mark.parametrize(
+        "workers,coalesce", [(1, True), (3, True), (2, False)]
+    )
+    def test_concurrent_answers_match_single_process_bytes(
+        self, bundle_path, engine, workers, coalesce
+    ):
+        gateway = AsyncGateway(
+            paths={"demo": bundle_path}, workers=workers, port=0, coalesce=coalesce
+        )
+        with gateway.start_in_thread() as handle:
+            batches = [
+                PATTERNS,
+                PATTERNS[:4],
+                ["abra"],
+                ["abra", "abra", "zzz"],  # duplicates in one batch
+                list(reversed(PATTERNS)),
+            ] * 3
+            results: "list[tuple | None]" = [None] * len(batches)
+
+            def hit(slot, patterns):
+                with_counts = slot % 2 == 0
+                status, body, _ = _post(
+                    handle.url, {"patterns": patterns, "count": with_counts}
+                )
+                results[slot] = (status, body, with_counts)
+
+            threads = [
+                threading.Thread(target=hit, args=(slot, patterns))
+                for slot, patterns in enumerate(batches)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=60)
+            for slot, patterns in enumerate(batches):
+                status, body, with_counts = results[slot]
+                assert status == 200
+                assert body == _expected_body(engine, patterns, with_counts)
+
+    def test_single_pattern_and_errors_match_protocol(self, bundle_path, engine):
+        gateway = AsyncGateway(paths={"demo": bundle_path}, workers=1, port=0)
+        with gateway.start_in_thread() as handle:
+            status, body, _ = _post(handle.url, {"pattern": "abra"})
+            assert status == 200
+            assert body == _expected_body(engine, ["abra"])
+            status, body, _ = _post(handle.url, {"pattern": "x", "index": "nope"})
+            assert status == 404
+            assert json.loads(body) == {"error": "unknown index 'nope'"}
+            status, body, _ = _post(handle.url, {})
+            assert status == 400
+            assert json.loads(body) == {
+                "error": "provide exactly one of 'pattern' / 'patterns'"
+            }
+
+
+class TestPropertyExactness:
+    @pytest.fixture(scope="class")
+    def shared_gateway(self, bundle_path):
+        gateway = AsyncGateway(paths={"demo": bundle_path}, workers=2, port=0)
+        with gateway.start_in_thread() as handle:
+            yield handle
+
+    @given(
+        patterns=st.lists(
+            st.text(alphabet=sorted(set(TEXT)), min_size=1, max_size=8),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_random_patterns_round_trip_exactly(
+        self, shared_gateway, engine, patterns
+    ):
+        status, body, _ = _post(shared_gateway.url, {"patterns": patterns})
+        assert status == 200
+        assert body == _expected_body(engine, patterns)
+
+
+class TestCoalescing:
+    def test_duplicate_inflight_requests_cost_one_round_trip(self, bundle_path):
+        gateway = AsyncGateway(paths={"demo": bundle_path}, workers=1, port=0)
+        with gateway.start_in_thread() as handle:
+
+            async def checkout():
+                return await gateway.pool._idle.get()
+
+            async def put_back(worker):
+                gateway.pool._idle.put_nowait(worker)
+
+            # Hold the only worker so the leader parks inside the pool
+            # and every duplicate arriving meanwhile must coalesce.
+            worker = handle.run(checkout())
+            before = gateway.pool.round_trips
+            fan_out = 6
+            results = [None] * fan_out
+
+            def hit(slot):
+                results[slot] = _post(handle.url, {"pattern": "abra"})
+
+            threads = [
+                threading.Thread(target=hit, args=(slot,))
+                for slot in range(fan_out)
+            ]
+            for thread in threads:
+                thread.start()
+            # Wait until one leader + five followers are registered.
+            for _ in range(500):
+                stats = gateway.coalescer.stats()
+                if stats["followers"] >= fan_out - 1:
+                    break
+                threading.Event().wait(0.01)
+            assert gateway.coalescer.stats()["pending"] == 1
+            handle.run(put_back(worker))
+            for thread in threads:
+                thread.join(timeout=30)
+
+            statuses = [status for status, _, _ in results]
+            bodies = {body for _, body, _ in results}
+            assert statuses == [200] * fan_out
+            assert len(bodies) == 1  # everyone got the same bytes
+            # The proof: six concurrent identical requests, one dispatch.
+            assert gateway.pool.round_trips - before == 1
+            assert gateway.coalescer.stats()["followers"] == fan_out - 1
+
+
+class TestOverload:
+    def test_sheds_with_429_and_retry_after_but_followers_ride_free(
+        self, bundle_path
+    ):
+        gateway = AsyncGateway(
+            paths={"demo": bundle_path}, workers=1, max_queue=1, port=0
+        )
+        with gateway.start_in_thread() as handle:
+
+            async def checkout():
+                return await gateway.pool._idle.get()
+
+            async def put_back(worker):
+                gateway.pool._idle.put_nowait(worker)
+
+            worker = handle.run(checkout())
+            leader_result = {}
+
+            def leader():
+                leader_result["response"] = _post(handle.url, {"pattern": "abra"})
+
+            leader_thread = threading.Thread(target=leader)
+            leader_thread.start()
+            for _ in range(500):  # the leader now owns the only slot
+                if gateway.admission.depth == 1:
+                    break
+                threading.Event().wait(0.01)
+            assert gateway.admission.depth == 1
+
+            # A *different* pattern needs its own slot: shed with 429.
+            status, body, headers = _post(handle.url, {"pattern": "ban"})
+            assert status == 429
+            assert headers.get("Retry-After") == "1"
+            assert "admission queue full" in json.loads(body)["error"]
+
+            # The *same* pattern coalesces: no slot needed, no 429.
+            follower_result = {}
+
+            def follower():
+                follower_result["response"] = _post(handle.url, {"pattern": "abra"})
+
+            follower_thread = threading.Thread(target=follower)
+            follower_thread.start()
+            for _ in range(500):
+                if gateway.coalescer.stats()["followers"] >= 1:
+                    break
+                threading.Event().wait(0.01)
+
+            handle.run(put_back(worker))
+            leader_thread.join(timeout=30)
+            follower_thread.join(timeout=30)
+            assert leader_result["response"][0] == 200
+            assert follower_result["response"][0] == 200
+            assert gateway.admission.stats()["rejected"] == 1
+
+
+class TestDrain:
+    def test_listener_refuses_connections_after_shutdown(self, bundle_path):
+        gateway = AsyncGateway(paths={"demo": bundle_path}, workers=1, port=0)
+        handle = gateway.start_in_thread()
+        try:
+            status, body, _ = _post(handle.url, {"pattern": "abra"})
+            assert status == 200
+        finally:
+            handle.shutdown()
+        # The listener is gone: connecting again must fail fast.
+        with pytest.raises(OSError):
+            urllib.request.urlopen(handle.url + "/healthz", timeout=5)
+
+    def test_stuck_inflight_request_gets_clean_503_not_a_hang(self, bundle_path):
+        gateway = AsyncGateway(
+            paths={"demo": bundle_path}, workers=1, port=0, drain_timeout=0.3
+        )
+        handle = gateway.start_in_thread()
+
+        async def checkout():
+            return await gateway.pool._idle.get()
+
+        handle.run(checkout())  # the worker never comes back
+        inflight = {}
+
+        def stuck_leader():
+            inflight["response"] = _post(handle.url, {"pattern": "abra"})
+
+        leader = threading.Thread(target=stuck_leader)
+        leader.start()
+        for _ in range(500):
+            if gateway.admission.depth == 1:
+                break
+            threading.Event().wait(0.01)
+
+        handle.shutdown()  # drain times out after 0.3s, then cleans up
+        leader.join(timeout=30)
+        assert not leader.is_alive()  # never hung
+        status, body, _ = inflight["response"]
+        assert status == 503
+        assert json.loads(body) == {"error": "server is shutting down"}
+
+
+class TestIntrospection:
+    def test_stats_and_indexes_shape(self, bundle_path):
+        gateway = AsyncGateway(paths={"demo": bundle_path}, workers=2, port=0)
+        with gateway.start_in_thread() as handle:
+            _post(handle.url, {"pattern": "abra"})
+            status, stats = _get(handle.url, "/stats")
+            assert status == 200
+            assert stats["mode"] == "async"
+            assert stats["workers"] == 2
+            assert set(stats["endpoints"]) == {"query", "ingest", "admin"}
+            assert stats["endpoints"]["query"]["total_calls"] >= 1
+            assert stats["pool"]["alive"] == 2
+            assert stats["pool"]["round_trips"] >= 1
+            assert stats["admission"]["max_queue"] == 64
+            assert stats["coalescer"]["leaders"] >= 1
+            assert len(stats["pool"]["worker_engines"]) >= 1
+
+            status, listing = _get(handle.url, "/indexes")
+            assert status == 200
+            (row,) = listing["indexes"]
+            assert row["name"] == "demo"
+            assert row["backend"] == "usi"
+            assert row["served_by"] == "pool"
+
+            status, health = _get(handle.url, "/healthz")
+            assert (status, health) == (200, {"status": "ok"})
+
+
+class TestInlineRegistry:
+    def test_live_index_serves_queries_and_ingest_inline(self, bundle_path):
+        from repro.ingest import LiveIndex
+        from repro.service.registry import IndexRegistry
+        from repro.strings.alphabet import Alphabet
+
+        registry = IndexRegistry(cache_size=64)
+        registry.register(
+            "live", LiveIndex(Alphabet.from_text("abcdehlorw "), k=8)
+        )
+        gateway = AsyncGateway(
+            paths={"demo": bundle_path}, registry=registry, workers=1, port=0
+        )
+        with gateway.start_in_thread() as handle:
+            payload = {"doc": "hello world", "index": "live"}
+            request = urllib.request.Request(
+                handle.url + "/ingest",
+                data=json.dumps(payload).encode(),
+                headers={"Content-Type": "application/json"},
+            )
+            with urllib.request.urlopen(request, timeout=30) as response:
+                assert response.status == 200
+                assert json.loads(response.read())["seq"] == 1
+
+            status, body, _ = _post(
+                handle.url, {"pattern": "hello", "index": "live"}
+            )
+            assert status == 200
+            assert json.loads(body)["results"][0]["utility"] == 5.0
+
+            # Two names registered: an unnamed query is ambiguous now.
+            status, body, _ = _post(handle.url, {"pattern": "a"})
+            assert status == 400
+
+            # Ingest into the pool-backed (static) index is refused.
+            status, body, _ = _post_ingest(handle.url, {"doc": "x", "index": "demo"})
+            assert status == 400
+            assert "does not ingest" in json.loads(body)["error"]
+
+            status, listing = _get(handle.url, "/indexes")
+            served_by = {row["name"]: row["served_by"] for row in listing["indexes"]}
+            assert served_by == {"demo": "pool", "live": "inline"}
+
+
+def _post_ingest(url: str, payload: dict) -> "tuple[int, bytes, dict]":
+    request = urllib.request.Request(
+        url + "/ingest",
+        data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status, response.read(), dict(response.headers)
+    except urllib.error.HTTPError as error:
+        return error.code, error.read(), dict(error.headers)

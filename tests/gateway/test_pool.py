@@ -1,0 +1,115 @@
+"""WorkerPool unit tests: dispatch, crash replacement, shutdown."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.gateway.pool import WorkerCrashed, WorkerPool
+
+PRESENT = ["abra", "ban", "cad", "ana", "a", "bandana"]
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+class TestLifecycle:
+    def test_rejects_bad_parameters(self, bundle_path):
+        with pytest.raises(ParameterError):
+            WorkerPool({"demo": bundle_path}, workers=0)
+        with pytest.raises(ParameterError):
+            WorkerPool({}, workers=2)
+
+    def test_start_dispatch_stop(self, bundle_path):
+        async def scenario():
+            pool = WorkerPool({"demo": bundle_path}, workers=2)
+            await pool.start()
+            try:
+                response = await pool.call(
+                    {"op": "query", "index": "demo", "patterns": PRESENT}
+                )
+                assert response["ok"]
+                assert len(response["utilities"]) == len(PRESENT)
+                stats = pool.stats()
+                assert stats["alive"] == 2
+                assert stats["round_trips"] == 1
+            finally:
+                await pool.stop()
+            assert pool.stats()["alive"] == 0
+
+        run(scenario())
+
+    def test_stop_is_idempotent_and_call_after_stop_fails(self, bundle_path):
+        async def scenario():
+            pool = WorkerPool({"demo": bundle_path}, workers=1)
+            await pool.start()
+            await pool.stop()
+            await pool.stop()
+            with pytest.raises(WorkerCrashed):
+                await pool.call({"op": "ping"})
+
+        run(scenario())
+
+
+class TestProtocol:
+    def test_unknown_index_and_unknown_op(self, bundle_path):
+        async def scenario():
+            pool = WorkerPool({"demo": bundle_path}, workers=1)
+            await pool.start()
+            try:
+                response = await pool.call(
+                    {"op": "query", "index": "nope", "patterns": ["a"]}
+                )
+                assert not response["ok"]
+                assert response["status"] == 404
+                response = await pool.call({"op": "never-heard-of-it"})
+                assert not response["ok"]
+                assert response["status"] == 400
+            finally:
+                await pool.stop()
+
+        run(scenario())
+
+    def test_broadcast_stats_reaches_every_worker(self, bundle_path):
+        async def scenario():
+            pool = WorkerPool({"demo": bundle_path}, workers=2)
+            await pool.start()
+            try:
+                rows = await pool.broadcast({"op": "stats"})
+                assert len(rows) == 2
+                assert all(row["ok"] for row in rows)
+                assert all("demo" in row["engines"] for row in rows)
+                assert {row["worker"] for row in rows} == {1, 2}
+            finally:
+                await pool.stop()
+
+        run(scenario())
+
+
+class TestCrashRecovery:
+    def test_killed_worker_is_replaced_and_call_fails_cleanly(self, bundle_path):
+        async def scenario():
+            pool = WorkerPool({"demo": bundle_path}, workers=1)
+            await pool.start()
+            try:
+                victim = pool._alive[0]
+                victim.process.kill()
+                victim.process.join(timeout=10)
+                with pytest.raises(WorkerCrashed):
+                    await pool.call(
+                        {"op": "query", "index": "demo", "patterns": ["abra"]}
+                    )
+                assert pool.restarts == 1
+                # The replacement serves the next call normally.
+                response = await pool.call(
+                    {"op": "query", "index": "demo", "patterns": ["abra"]}
+                )
+                assert response["ok"]
+                assert pool.stats()["alive"] == 1
+            finally:
+                await pool.stop()
+
+        run(scenario())

@@ -1,0 +1,87 @@
+"""Both front-ends expose the same ``GET /stats`` shape.
+
+Dashboards and the serve-load benchmark read one schema regardless of
+which mode is serving; this test pins the shared contract: the common
+top-level keys, the ``mode``/``workers`` discriminator, and the
+per-endpoint latency breakdown with identical bucket and metric names.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.request
+
+import pytest
+
+from repro.gateway import AsyncGateway
+from repro.service.registry import IndexRegistry
+from repro.service.server import UsiServer
+
+#: Every server, either mode, must expose at least these.
+COMMON_KEYS = {"mode", "workers", "server", "endpoints", "registry", "engines", "ingest"}
+ENDPOINT_BUCKETS = {"query", "ingest", "admin"}
+LATENCY_KEYS = {
+    "total_queries", "total_calls", "uptime_seconds", "window_queries",
+    "window_seconds", "qps", "p50_ms", "p95_ms", "p99_ms", "mean_ms",
+}
+
+
+def _exercise_and_fetch_stats(url: str) -> dict:
+    request = urllib.request.Request(
+        url + "/query",
+        data=json.dumps({"pattern": "abra"}).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=30) as response:
+        assert response.status == 200
+    with urllib.request.urlopen(url + "/stats", timeout=30) as response:
+        return json.loads(response.read())
+
+
+@pytest.fixture(scope="module")
+def threaded_stats(bundle_path):
+    registry = IndexRegistry(cache_size=64)
+    registry.register_path("demo", bundle_path)
+    with UsiServer(registry, port=0) as server:
+        yield _exercise_and_fetch_stats(server.url)
+
+
+@pytest.fixture(scope="module")
+def async_stats(bundle_path):
+    gateway = AsyncGateway(paths={"demo": bundle_path}, workers=1, port=0)
+    with gateway.start_in_thread() as handle:
+        yield _exercise_and_fetch_stats(handle.url)
+
+
+class TestSharedShape:
+    def test_common_top_level_keys(self, threaded_stats, async_stats):
+        assert COMMON_KEYS <= set(threaded_stats)
+        assert COMMON_KEYS <= set(async_stats)
+
+    def test_mode_and_workers_discriminate(self, threaded_stats, async_stats):
+        assert threaded_stats["mode"] == "threaded"
+        assert threaded_stats["workers"] == 0
+        assert async_stats["mode"] == "async"
+        assert async_stats["workers"] == 1
+
+    def test_endpoint_breakdown_matches(self, threaded_stats, async_stats):
+        for stats in (threaded_stats, async_stats):
+            assert set(stats["endpoints"]) == ENDPOINT_BUCKETS
+            for bucket in ENDPOINT_BUCKETS:
+                assert set(stats["endpoints"][bucket]) == LATENCY_KEYS
+            # The one query each server answered landed in its bucket.
+            assert stats["endpoints"]["query"]["total_calls"] >= 1
+            assert stats["endpoints"]["ingest"]["total_calls"] == 0
+
+    def test_server_recorder_saw_the_query_in_both_modes(
+        self, threaded_stats, async_stats
+    ):
+        assert set(threaded_stats["server"]) == LATENCY_KEYS
+        assert set(async_stats["server"]) == LATENCY_KEYS
+        assert threaded_stats["server"]["total_queries"] >= 1
+        assert async_stats["server"]["total_queries"] >= 1
+
+    def test_registry_block_has_the_same_keys(self, threaded_stats, async_stats):
+        # The async side synthesises its registry block when serving
+        # purely from the pool; the keys must still line up.
+        assert set(threaded_stats["registry"]) == set(async_stats["registry"])

@@ -1,0 +1,111 @@
+"""POSTs with missing, invalid, or lying ``Content-Length`` headers.
+
+Before the fix these could pin a handler thread forever: the stdlib
+handler would block on ``rfile.read`` waiting for body bytes a client
+never sends.  Now the server answers with JSON ``411``/``400`` and the
+read is bounded by the connection timeout.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+
+import pytest
+
+from repro import WeightedString
+from repro.core.usi import UsiIndex
+from repro.service.registry import IndexRegistry
+from repro.service.server import UsiServer
+
+
+@pytest.fixture(scope="module")
+def server():
+    registry = IndexRegistry(cache_size=64)
+    registry.register(
+        "abra", UsiIndex.build(WeightedString.uniform("ABRACADABRAABRACADABRA"), k=10)
+    )
+    # A short request timeout keeps the short-read test fast; the
+    # connection budget only caps how long a promised body may dawdle.
+    with UsiServer(registry, port=0, request_timeout=0.5) as running:
+        yield running
+
+
+def _raw_request(server, head: str, body: bytes = b"") -> "tuple[int, dict]":
+    with socket.create_connection(
+        ("127.0.0.1", server.port), timeout=10
+    ) as connection:
+        connection.sendall(head.encode() + body)
+        response = b""
+        connection.settimeout(10)
+        try:
+            while b"\r\n\r\n" not in response:
+                chunk = connection.recv(65536)
+                if not chunk:
+                    break
+                response += chunk
+            head_part, _, rest = response.partition(b"\r\n\r\n")
+            length = 0
+            for line in head_part.split(b"\r\n"):
+                if line.lower().startswith(b"content-length:"):
+                    length = int(line.split(b":")[1])
+            while len(rest) < length:
+                chunk = connection.recv(65536)
+                if not chunk:
+                    break
+                rest += chunk
+        except TimeoutError:
+            pytest.fail("server never answered (handler thread hung)")
+        status = int(head_part.split(b" ")[1])
+        return status, json.loads(rest)
+
+
+def test_missing_content_length_is_411(server):
+    status, body = _raw_request(
+        server, "POST /query HTTP/1.1\r\nHost: x\r\n\r\n"
+    )
+    assert status == 411
+    assert body == {"error": "Content-Length required on POST"}
+
+
+def test_non_integer_content_length_is_400(server):
+    status, body = _raw_request(
+        server,
+        "POST /query HTTP/1.1\r\nHost: x\r\nContent-Length: banana\r\n\r\n",
+    )
+    assert status == 400
+    assert body == {"error": "bad Content-Length"}
+
+
+def test_zero_and_negative_content_length_are_400(server):
+    for value in ("0", "-5"):
+        status, body = _raw_request(
+            server,
+            f"POST /query HTTP/1.1\r\nHost: x\r\nContent-Length: {value}\r\n\r\n",
+        )
+        assert status == 400
+        assert body == {"error": "request body required (JSON)"}
+
+
+def test_short_body_times_out_with_400_instead_of_hanging(server):
+    # Promise 100 bytes, send 10, keep the socket open: the handler
+    # must give up at the connection timeout and answer, not block.
+    status, body = _raw_request(
+        server,
+        "POST /query HTTP/1.1\r\nHost: x\r\nContent-Length: 100\r\n\r\n",
+        body=b'{"pattern"',
+    )
+    assert status == 400
+    assert body == {"error": "request body shorter than Content-Length"}
+
+
+def test_wellformed_post_still_works_under_the_timeout(server):
+    payload = json.dumps({"pattern": "ABRA"}).encode()
+    status, body = _raw_request(
+        server,
+        "POST /query HTTP/1.1\r\nHost: x\r\n"
+        f"Content-Length: {len(payload)}\r\n\r\n",
+        body=payload,
+    )
+    assert status == 200
+    assert body["results"][0]["utility"] == 16.0
