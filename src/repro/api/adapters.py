@@ -117,6 +117,9 @@ class _UsiFamilyBackend(UtilityIndexBase):
     def count(self, pattern) -> int:
         return int(self.inner.count(pattern))
 
+    def count_batch(self, patterns) -> list[int]:
+        return [int(c) for c in self.inner.count_batch(patterns)]
+
     def _stats_detail(self) -> dict:
         report = self.inner.report
         return {
@@ -368,6 +371,9 @@ class ShardedBackend(UtilityIndexBase):
 
     def count(self, pattern) -> int:
         return int(self.inner.count(pattern))
+
+    def count_batch(self, patterns) -> list[int]:
+        return [int(c) for c in self.inner.count_batch(patterns)]
 
     def document_frequency(self, pattern) -> int:
         return int(self.inner.document_frequency(pattern))

@@ -155,6 +155,15 @@ class UtilityIndexBase:
             f"backend {self.backend_name!r} does not support count()"
         )
 
+    def count_batch(self, patterns: "Sequence[PatternLike]") -> list[int]:
+        """Bulk exact counts; the fallback loops :meth:`count`.
+
+        Backends whose engine has a vectorised ``count_batch`` (the
+        USI family, sharded) override this with a passthrough.  Only
+        meaningful where ``capabilities.count`` is set.
+        """
+        return [int(self.count(pattern)) for pattern in patterns]
+
     def query_result(self, pattern: PatternLike, with_count: bool = False) -> QueryResult:
         """One :class:`QueryResult`, optionally with the exact count."""
         count = self.count(pattern) if with_count and self.capabilities.count else None

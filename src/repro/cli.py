@@ -267,25 +267,47 @@ def _cmd_build(args: argparse.Namespace) -> int:
 
 
 def _collect_patterns(args: argparse.Namespace) -> list[str]:
-    """Patterns from ``--pattern`` flags, a file, and/or stdin."""
+    """Patterns from ``--pattern`` flags, a file, and/or stdin.
+
+    Both sources stream line by line and skip blank (whitespace-only)
+    lines identically.
+    """
     patterns = list(args.pattern or [])
     if args.patterns_file:
-        content = Path(args.patterns_file).read_text()
-        patterns.extend(line for line in content.splitlines() if line)
+        with Path(args.patterns_file).open() as handle:
+            patterns.extend(
+                line.rstrip("\r\n") for line in handle if line.strip()
+            )
     if not patterns:
         patterns.extend(line.rstrip("\r\n") for line in sys.stdin if line.strip())
     return patterns
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
+    import time
+
     index = _load_index_file(args.index)
     patterns = _collect_patterns(args)
     if not patterns:
         print("no patterns given (use --pattern, --patterns-file, or stdin)",
               file=sys.stderr)
         return 2
-    for pattern, value in zip(patterns, index.query_batch(patterns)):
-        print(f"{pattern}\t{value}")
+    if getattr(args, "profile", False):
+        from repro.eval.reporting import format_query_profile
+        from repro.profiling import QueryProfile, profiled
+
+        profile = QueryProfile()
+        t0 = time.perf_counter()
+        with profiled(profile):
+            values = index.query_batch(patterns)
+        wall = time.perf_counter() - t0
+        profile.account(len(patterns))
+        for pattern, value in zip(patterns, values):
+            print(f"{pattern}\t{value}")
+        print(format_query_profile(profile, wall_seconds=wall))
+    else:
+        for pattern, value in zip(patterns, index.query_batch(patterns)):
+            print(f"{pattern}\t{value}")
     return 0
 
 
@@ -631,6 +653,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="repeatable; omit to read patterns from stdin")
     query.add_argument("--patterns-file",
                        help="file with one pattern per line (bulk queries)")
+    query.add_argument("--profile", action="store_true",
+                       help="print a per-stage query timing table "
+                            "(encode, cache, locate, gather, merge)")
     query.set_defaults(fn=_cmd_query)
 
     serve = sub.add_parser(

@@ -24,6 +24,7 @@ Construction (Theorem 1) has three phases:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Literal, Sequence
 
@@ -143,6 +144,23 @@ class UsiIndex:
         # Query counters (cheap; used by the workload experiments).
         self.hash_hits = 0
         self.hash_misses = 0
+        # Sorted fingerprint/value arrays for the vectorised batch
+        # probe of H; derived from _table lazily on first batch query.
+        self._probe_keys: "np.ndarray | None" = None
+        self._probe_vals: "np.ndarray | None" = None
+
+    # Pickle: the probe arrays are derived from the hash table; drop
+    # them so persisted shards stay lean.
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state.pop("_probe_keys", None)
+        state.pop("_probe_vals", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._probe_keys = None
+        self._probe_vals = None
 
     @property
     def _fp(self) -> KarpRabinFingerprinter:
@@ -215,8 +233,6 @@ class UsiIndex:
             text is not re-encoded); when absent a private kernel is
             built, exactly as before.
         """
-        import time
-
         if (k is None) == (tau is None):
             raise ParameterError("provide exactly one of k or tau")
         utility = make_global_utility(aggregator)
@@ -423,41 +439,71 @@ class UsiIndex:
         fall back to the per-pattern loop.  Answers match :meth:`query`
         (order preserved; sums of many occurrences may differ in the
         last float ULP from the scalar path's accumulation order).
+
+        The H probe itself is vectorised too: the hash table's
+        fingerprints are kept as a sorted key/value array pair, so one
+        ``np.searchsorted`` per length bucket replaces the per-pattern
+        dict lookups (exact same answers and hit/miss counts).
         """
         from repro.kernel import iter_length_buckets
+        from repro.profiling import record_stage
 
+        t0 = time.perf_counter()
         encoded: list["np.ndarray | None"] = [self._encode(p) for p in patterns]
-        results: list[float] = [self._utility.identity] * len(patterns)
+        out = np.full(len(patterns), self._utility.identity, dtype=np.float64)
+        record_stage("encode", time.perf_counter() - t0)
 
         vectorised = self._kernel is not None and isinstance(self._sa, SuffixArray)
         for length, slots, matrix in iter_length_buckets(encoded):
+            t0 = time.perf_counter()
             keys = self._fp.of_code_matrix(matrix)
-            misses: list[int] = []
-            for slot, key in zip(slots, keys.tolist()):
-                cached = self._table.get(key)
-                if cached is not None:
-                    self.hash_hits += 1
-                    results[slot] = cached
-                else:
-                    self.hash_misses += 1
-                    misses.append(slot)
-            if not misses:
+            slots_arr = np.asarray(slots, dtype=np.int64)
+            probe_keys, probe_vals = self._probe_arrays()
+            if probe_keys.size:
+                pos = np.searchsorted(probe_keys, keys)
+                pos[pos == probe_keys.size] = 0
+                hit = probe_keys[pos] == keys
+            else:
+                hit = np.zeros(len(slots), dtype=bool)
+            hits = int(hit.sum())
+            self.hash_hits += hits
+            self.hash_misses += len(slots) - hits
+            if hits:
+                out[slots_arr[hit]] = probe_vals[pos[hit]]
+            record_stage("cache", time.perf_counter() - t0)
+            if hits == len(slots):
                 continue
+            misses = [slots[int(i)] for i in np.flatnonzero(~hit)]
             if vectorised:
                 values = self._kernel.batch_utilities(
                     [encoded[slot] for slot in misses],
                     self._utility,
                     psw=self._psw,
                 )
-                for slot, value in zip(misses, values):
-                    results[slot] = value
+                out[np.asarray(misses, dtype=np.int64)] = values
             else:
                 for slot in misses:
                     occurrences = self._sa.occurrences(encoded[slot])
                     if occurrences.size:
                         locals_ = self._psw.local_utilities(occurrences, length)
-                        results[slot] = self._utility.aggregate(locals_)
-        return results
+                        out[slot] = self._utility.aggregate(locals_)
+        return out.tolist()
+
+    def _probe_arrays(self) -> "tuple[np.ndarray, np.ndarray]":
+        """H as sorted (fingerprints, values) arrays, built lazily.
+
+        Fingerprints combine two 31-bit hashes, so they fit int64
+        exactly; a stale pair (table size changed) is rebuilt.
+        """
+        keys = getattr(self, "_probe_keys", None)
+        if keys is None or keys.size != len(self._table):
+            table = self._table
+            keys = np.fromiter(table.keys(), dtype=np.int64, count=len(table))
+            vals = np.fromiter(table.values(), dtype=np.float64, count=len(table))
+            order = np.argsort(keys)
+            self._probe_keys = keys = keys[order]
+            self._probe_vals = vals[order]
+        return keys, self._probe_vals  # type: ignore[return-value]
 
     def count(self, pattern: "str | bytes | Sequence[int] | np.ndarray") -> int:
         """``|occ(pattern)|`` through the text index (always exact)."""
@@ -465,6 +511,29 @@ class UsiIndex:
         if codes is None:
             return 0
         return self._sa.count(codes)
+
+    def count_batch(self, patterns: "Sequence") -> list[int]:
+        """``|occ(pattern)|`` for many patterns, vectorised.
+
+        Same counts as calling :meth:`count` per pattern, in input
+        order, but each length bucket is one batch locate — this is
+        what keeps non-``sum`` sharded merges off the per-pattern
+        Python loop.  Non-SA locate backends fall back to the scalar
+        count.
+        """
+        from repro.kernel import iter_length_buckets
+
+        encoded = [self._encode(p) for p in patterns]
+        out = np.zeros(len(patterns), dtype=np.int64)
+        if isinstance(self._sa, SuffixArray):
+            for _length, slots, matrix in iter_length_buckets(encoded):
+                lb, rb = self._sa.interval_batch(matrix)
+                out[np.asarray(slots, dtype=np.int64)] = np.maximum(rb - lb + 1, 0)
+        else:
+            for slot, codes in enumerate(encoded):
+                if codes is not None and len(codes):
+                    out[slot] = self._sa.count(codes)
+        return out.tolist()
 
     def explain(self, pattern: "str | bytes | Sequence[int] | np.ndarray") -> QueryExplanation:
         """Describe how *pattern* is answered (diagnostics; no counters).

@@ -46,6 +46,34 @@ def format_build_profile(report, n: "int | None" = None) -> str:
     return format_table(["stage", "time", "share", ""], rows, title=title)
 
 
+def format_query_profile(profile, wall_seconds: "float | None" = None) -> str:
+    """Render a :class:`~repro.profiling.QueryProfile` stage breakdown.
+
+    One row per query-pipeline stage (encode, cache, locate, gather,
+    merge) with seconds and share — the ``usi query --profile`` output,
+    the serving twin of :func:`format_build_profile`.  *wall_seconds*,
+    when given, adds an ``other`` row (wall time the stages do not
+    account for: result assembly, Python plumbing) and a throughput
+    line.
+    """
+    stages = profile.ordered_stages()
+    accounted = sum(seconds for _, seconds in stages)
+    total = wall_seconds if wall_seconds is not None else accounted
+    rows = []
+    for stage, seconds in stages:
+        share = f"{100.0 * seconds / total:.1f}%" if total else "-"
+        rows.append([stage, f"{seconds * 1e3:.1f} ms", share])
+    if wall_seconds is not None:
+        other = max(wall_seconds - accounted, 0.0)
+        share = f"{100.0 * other / total:.1f}%" if total else "-"
+        rows.append(["other", f"{other * 1e3:.1f} ms", share])
+    rows.append(["total", f"{total * 1e3:.1f} ms", "100.0%" if total else "-"])
+    title = f"query profile: {profile.patterns} patterns in {profile.calls} calls"
+    if total and profile.patterns:
+        title += f" ({profile.patterns / total:,.0f} patterns/s)"
+    return format_table(["stage", "time", "share"], rows, title=title)
+
+
 def format_table(
     headers: Sequence[str],
     rows: Iterable[Sequence],

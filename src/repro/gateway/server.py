@@ -33,6 +33,7 @@ from repro.gateway import http
 from repro.gateway.admission import AdmissionController, OverloadError
 from repro.gateway.coalesce import Coalescer, coalesce_key
 from repro.gateway.pool import WorkerCrashed, WorkerPool
+from repro.profiling import merge_profile_dicts
 from repro.service.metrics import EndpointMetrics, LatencyRecorder
 from repro.service.registry import IndexRegistry
 from repro.service.requests import (
@@ -497,6 +498,11 @@ class AsyncGateway:
             "registry": registry_stats,
             "engines": engines,
             "ingest": ingest,
+            # Query-stage seconds summed over inline engines (worker
+            # engines report theirs per worker under pool stats).
+            "profile": merge_profile_dicts(
+                [row.get("profile") for row in engines.values()]
+            ),
             "admission": self.admission.stats(),
             "coalescer": self.coalescer.stats() if self.coalescer else None,
             "pool": pool_stats,

@@ -22,6 +22,8 @@ listener fed one event dict per substrate build, which is how the
 
 from __future__ import annotations
 
+import time
+from collections import OrderedDict
 from contextlib import contextmanager
 from typing import Callable, Sequence
 
@@ -29,14 +31,21 @@ import numpy as np
 
 from repro.errors import ParameterError
 from repro.hashing.karp_rabin import KarpRabinFingerprinter
+from repro.profiling import record_stage
 from repro.strings.weighted import WeightedString
 from repro.suffix.suffix_array import SuffixArray
 from repro.utility.functions import (
     GlobalUtility,
     LocalUtility,
+    ProductLocalUtility,
     make_global_utility,
     make_local_utility,
 )
+from repro.utility.prefix_sums import PswArray
+
+#: How many SA-order window-utility arrays one kernel caches for the
+#: fused gather (each is one float64 per suffix, like a packed-key row).
+_WINDOW_CACHE_LIMIT = 8
 
 #: Listeners fed one dict per TextKernel substrate build/open.
 _LISTENERS: "list[Callable[[dict], None]]" = []
@@ -116,8 +125,6 @@ class TextKernel:
         sa_algorithm: str = "doubling",
         seed: int = 0,
     ) -> None:
-        import time
-
         self._ws = ws
         self._codes = np.asarray(ws.codes, dtype=np.int64)
         self._seed = int(seed)
@@ -128,6 +135,9 @@ class TextKernel:
         self._bases: "tuple[int, int] | None" = None
         self._fp: "KarpRabinFingerprinter | None" = None
         self._psw_cache: dict[str, LocalUtility] = {}
+        self._window_cache: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
+        self._window_seen: dict[tuple, int] = {}
+        self._arange_buf: "np.ndarray | None" = None
         _notify({"event": "build", "n": ws.length, "sa_algorithm": sa_algorithm})
 
     @classmethod
@@ -185,8 +195,26 @@ class TextKernel:
         kernel._bases = tuple(int(b) for b in bases) if bases is not None else None
         kernel._fp = None
         kernel._psw_cache = {}
+        kernel._window_cache = OrderedDict()
+        kernel._window_seen = {}
+        kernel._arange_buf = None
         _notify({"event": "open", "n": ws.length, "sa_algorithm": "persisted"})
         return kernel
+
+    # Pickle: the fused-gather window cache and the scratch arange are
+    # derived accelerators rebuilt on demand; drop them from the state.
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state.pop("_window_cache", None)
+        state.pop("_window_seen", None)
+        state.pop("_arange_buf", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._window_cache = OrderedDict()
+        self._window_seen = {}
+        self._arange_buf = None
 
     # ------------------------------------------------------------------
     # Substrate accessors
@@ -283,28 +311,95 @@ class TextKernel:
         sets and utilities as the scalar SA path, in input order (sums
         may differ from the scalar path in the last float ULP because
         the grouped aggregation accumulates in a different order).
+
+        Hot buckets run **fused**: once a ``(local, length)`` pair has
+        gathered about one text's worth of occurrences, the kernel
+        caches the window utility of every suffix *in SA order* — then
+        locate's interval ranks index that array directly, replacing
+        the SA gather + two ``PSW`` gathers with a single fancy index.
+        The cached values are the exact floats ``PSW`` produces and the
+        grouped aggregation order is unchanged, so fused answers are
+        bitwise identical to the unfused path.
         """
         utility = make_global_utility(utility)  # type: ignore[arg-type]
         if psw is None:
             psw = self.psw(local)
-        results = [utility.identity] * len(encoded)
+        out = np.full(len(encoded), utility.identity, dtype=np.float64)
         sa = self._suffix.sa
         for length, slots, matrix in iter_length_buckets(encoded):
             lb, rb = self._suffix.interval_batch(matrix)
+            t0 = time.perf_counter()
             counts = np.maximum(rb - lb + 1, 0)
             total = int(counts.sum())
             if total == 0:
+                record_stage("gather", time.perf_counter() - t0)
                 continue
             row_ids = np.repeat(np.arange(len(slots)), counts)
             starts = np.cumsum(counts) - counts
-            offsets = np.arange(total) - np.repeat(starts, counts)
-            occurrences = sa[np.repeat(lb, counts) + offsets]
-            locals_ = psw.local_utilities(occurrences, length)
+            ranks = self._scratch_arange(total) - np.repeat(starts - lb, counts)
+            window = self._window_locals(psw, length, total)
+            if window is not None:
+                locals_ = window[ranks]
+            else:
+                locals_ = psw.local_utilities(sa[ranks], length)
             values = utility.grouped_aggregate(row_ids, locals_, len(slots))
-            occupied = counts > 0
-            for j in np.flatnonzero(occupied):
-                results[slots[int(j)]] = float(values[int(j)])
-        return results
+            occupied = np.flatnonzero(counts > 0)
+            out[np.asarray(slots, dtype=np.int64)[occupied]] = values[occupied]
+            record_stage("gather", time.perf_counter() - t0)
+        return out.tolist()
+
+    def _scratch_arange(self, total: int) -> np.ndarray:
+        """A read-only ``arange`` slice reused across batches (grow-only).
+
+        Callers only read the slice (arithmetic on it allocates fresh
+        output arrays), so sharing one buffer across concurrent batch
+        queries is safe; a resize swaps in a new array, never mutates.
+        """
+        buf = self._arange_buf
+        if buf is None or len(buf) < total:
+            buf = np.arange(max(total, 4096), dtype=np.int64)
+            self._arange_buf = buf
+        return buf[:total]
+
+    def _window_locals(self, psw, length: int, total: int) -> "np.ndarray | None":
+        """SA-order window utilities for the fused gather, or ``None``.
+
+        Entry ``i`` holds ``psw.local_utility(sa[i], length)`` (0.0
+        where the suffix is shorter than *length* — such ranks never
+        fall inside a match interval).  Built lazily per ``(local,
+        length)`` once the cumulative gathered occurrences reach the
+        text length — the O(n) build is then amortised — and only for
+        the O(1)-per-position locals (sum/product); RMQ-backed locals
+        would pay a Python loop per suffix to build it.  Foreign PSW
+        instances (not this kernel's own) are never cached: there is
+        no stable identity to key them by.
+        """
+        if not isinstance(psw, (PswArray, ProductLocalUtility)):
+            return None
+        name = getattr(psw, "local_name", None)
+        if name is None or self._psw_cache.get(name) is not psw:
+            return None
+        cache = self._window_cache
+        key = (name, length)
+        window = cache.get(key)
+        if window is not None:
+            cache.move_to_end(key)
+            return window
+        n = len(self._codes)
+        seen = self._window_seen.get(key, 0) + total
+        self._window_seen[key] = seen
+        if seen < n:
+            return None
+        sa = self._suffix.sa
+        window = np.zeros(n, dtype=np.float64)
+        valid = np.flatnonzero(sa <= n - length)
+        if valid.size:
+            window[valid] = psw.local_utilities(sa[valid], length)
+        cache[key] = window
+        if len(cache) > _WINDOW_CACHE_LIMIT:
+            evicted, _ = cache.popitem(last=False)
+            self._window_seen.pop(evicted, None)
+        return window
 
     # ------------------------------------------------------------------
     # Introspection

@@ -1,0 +1,140 @@
+"""Query-path stage profiling: the serving twin of ``usi build --profile``.
+
+A :class:`QueryProfile` accumulates wall-clock seconds per pipeline
+stage (``encode`` / ``cache`` / ``locate`` / ``gather`` / ``merge``).
+The active profile travels through a :class:`contextvars.ContextVar`,
+so the layers that do the work — :meth:`SuffixArray.interval_batch`,
+:meth:`TextKernel.batch_utilities`, :meth:`UsiIndex.query_batch`,
+:meth:`ShardedUsiIndex.query_batch` — record into it without any
+signature changes, and record nothing (one cheap ``ContextVar.get``)
+when no profile is active.
+
+``ContextVar`` gives per-thread isolation for free: two server threads
+profiling concurrently never see each other's stages.  When profiles
+nest (a :class:`~repro.service.engine.QueryEngine` keeps a cumulative
+profile while ``usi query --profile`` holds an outer one), the inner
+:func:`profiled` block folds its stages into the enclosing profile on
+exit, so both observers see the work.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import time
+from contextvars import ContextVar
+
+#: Canonical stage order for reports; unknown stages render after these.
+STAGE_ORDER = ("encode", "cache", "locate", "gather", "merge")
+
+_ACTIVE: "ContextVar[QueryProfile | None]" = ContextVar(
+    "repro_query_profile", default=None
+)
+
+
+class QueryProfile:
+    """Cumulative per-stage seconds plus pattern/call counters."""
+
+    __slots__ = ("stages", "patterns", "calls")
+
+    def __init__(self) -> None:
+        self.stages: dict[str, float] = {}
+        self.patterns = 0
+        self.calls = 0
+
+    def add(self, stage: str, seconds: float) -> None:
+        self.stages[stage] = self.stages.get(stage, 0.0) + float(seconds)
+
+    def account(self, patterns: int) -> None:
+        """Count one profiled call answering ``patterns`` patterns."""
+        self.patterns += int(patterns)
+        self.calls += 1
+
+    def merge(self, other: "QueryProfile") -> None:
+        for stage, seconds in other.stages.items():
+            self.add(stage, seconds)
+        self.patterns += other.patterns
+        self.calls += other.calls
+
+    def total(self) -> float:
+        return sum(self.stages.values())
+
+    def ordered_stages(self) -> "list[tuple[str, float]]":
+        """Stages in canonical order, then any extras in insertion order."""
+        known = [(s, self.stages[s]) for s in STAGE_ORDER if s in self.stages]
+        extra = [
+            (s, v) for s, v in self.stages.items() if s not in STAGE_ORDER
+        ]
+        return known + extra
+
+    def as_dict(self) -> dict:
+        return {
+            "stages": {s: v for s, v in self.ordered_stages()},
+            "patterns": self.patterns,
+            "calls": self.calls,
+        }
+
+
+def current_profile() -> "QueryProfile | None":
+    """The profile active in this context, or ``None``."""
+    return _ACTIVE.get()
+
+
+def record_stage(stage: str, seconds: float) -> None:
+    """Add ``seconds`` to ``stage`` of the active profile, if any."""
+    profile = _ACTIVE.get()
+    if profile is not None:
+        profile.add(stage, seconds)
+
+
+@contextlib.contextmanager
+def stage(name: str):
+    """Time a block into the active profile (no-op when none is active)."""
+    profile = _ACTIVE.get()
+    if profile is None:
+        yield
+        return
+    t0 = time.perf_counter()
+    try:
+        yield
+    finally:
+        profile.add(name, time.perf_counter() - t0)
+
+
+@contextlib.contextmanager
+def profiled(profile: QueryProfile, *, propagate: bool = True):
+    """Make ``profile`` the active profile for the block.
+
+    With ``propagate`` (the default), stages recorded inside are folded
+    into the previously active profile on exit as well, so an outer
+    profiler still observes work done under an inner one.
+    """
+    outer = _ACTIVE.get()
+    token = _ACTIVE.set(profile)
+    try:
+        yield profile
+    finally:
+        _ACTIVE.reset(token)
+        if propagate and outer is not None:
+            for name, seconds in profile.stages.items():
+                outer.add(name, seconds)
+
+
+def merge_profile_dicts(parts: "list[dict]") -> dict:
+    """Sum ``QueryProfile.as_dict`` payloads (the ``/stats`` aggregate)."""
+    stages: dict[str, float] = {}
+    patterns = 0
+    calls = 0
+    for part in parts:
+        if not isinstance(part, dict):
+            continue
+        for name, seconds in (part.get("stages") or {}).items():
+            stages[name] = stages.get(name, 0.0) + float(seconds)
+        patterns += int(part.get("patterns", 0))
+        calls += int(part.get("calls", 0))
+    ordered = [(s, stages[s]) for s in STAGE_ORDER if s in stages]
+    ordered += [(s, v) for s, v in stages.items() if s not in STAGE_ORDER]
+    return {
+        "stages": {s: v for s, v in ordered},
+        "patterns": patterns,
+        "calls": calls,
+    }

@@ -37,6 +37,7 @@ import numpy as np
 
 from repro.api import as_index
 from repro.errors import ParameterError
+from repro.profiling import QueryProfile, profiled
 from repro.service.metrics import LatencyRecorder
 
 #: A pattern as received over the wire or from user code.
@@ -103,6 +104,9 @@ class QueryEngine:
         self._dynamic = bool(self._proto.capabilities.dynamic)
         self._data_version = self._current_version()
         self.metrics = metrics if metrics is not None else LatencyRecorder()
+        # Cumulative per-stage seconds across every batch this engine
+        # served (the `profile` block of GET /stats).
+        self._profile = QueryProfile()
 
     def _current_version(self) -> int:
         if not self._dynamic:
@@ -171,35 +175,61 @@ class QueryEngine:
         index only once.
         """
         t0 = time.perf_counter()
+        profile = QueryProfile()
         keys = [_cache_key(p) for p in patterns]
         version = self._current_version()
         results: "list[float | None]" = [None] * len(patterns)
         missing: "OrderedDict[tuple, list[int]]" = OrderedDict()
         with self._lock:
             self._refresh_version_locked(version)
+            # One pass over the batch with the lock held: local
+            # bindings and batched counter updates keep the per-pattern
+            # cost to a dict probe + a recency bump.
+            cache = self._cache
+            cache_get = cache.get
+            bump = cache.move_to_end
+            add_missing = missing.setdefault
+            hits = 0
             for slot, key in enumerate(keys):
-                cached = self._cache_get(key)
+                cached = cache_get(key)
                 if cached is not None:
+                    bump(key)
+                    hits += 1
                     results[slot] = cached
                 else:
-                    missing.setdefault(key, []).append(slot)
+                    add_missing(key, []).append(slot)
+            self._hits += hits
+        profile.add("cache", time.perf_counter() - t0)
         if missing:
             probe_slots = [slots[0] for slots in missing.values()]
-            answers = self._index_batch([patterns[s] for s in probe_slots])
+            with profiled(profile):
+                answers = self._index_batch([patterns[s] for s in probe_slots])
+            t1 = time.perf_counter()
             with self._lock:
                 self._misses += len(probe_slots)
                 if self._current_version() == version:
                     for key, value in zip(missing, answers):
                         self._cache_put(key, float(value))
+            profile.add("cache", time.perf_counter() - t1)
             for slots, value in zip(missing.values(), answers):
                 for slot in slots:
                     results[slot] = float(value)
+        profile.account(len(patterns))
+        with self._lock:
+            self._profile.merge(profile)
         self.metrics.record(time.perf_counter() - t0, len(patterns))
         return results  # type: ignore[return-value]
 
     def count(self, pattern: PatternLike) -> int:
-        """``|occ(pattern)|`` — uncached passthrough (always exact)."""
-        return int(self._proto.count(pattern))
+        """``|occ(pattern)|`` — uncached passthrough (always exact).
+
+        Recorded into the shared :class:`LatencyRecorder` like every
+        other query path, so ``GET /stats`` latency covers counts too.
+        """
+        t0 = time.perf_counter()
+        value = int(self._proto.count(pattern))
+        self.metrics.record(time.perf_counter() - t0, 1)
+        return value
 
     def _index_batch(self, patterns: list) -> list[float]:
         # The protocol guarantees query_batch: native where the backend
@@ -243,6 +273,7 @@ class QueryEngine:
             entries = len(self._cache)
             invalidations = self._invalidations
             data_version = self._data_version
+            profile = self._profile.as_dict()
         lookups = hits + misses
         return {
             "backend": self._proto.backend_name,
@@ -255,4 +286,10 @@ class QueryEngine:
             "data_version": data_version,
             "hit_rate": round(hits / lookups, 4) if lookups else 0.0,
             "latency": self.metrics.snapshot().as_dict(),
+            "profile": profile,
         }
+
+    def profile_snapshot(self) -> dict:
+        """Cumulative per-stage seconds served by this engine."""
+        with self._lock:
+            return self._profile.as_dict()

@@ -50,6 +50,7 @@ import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from repro.errors import ReproError
+from repro.profiling import merge_profile_dicts
 from repro.service.metrics import EndpointMetrics, LatencyRecorder
 from repro.service.registry import IndexRegistry
 from repro.service.requests import (
@@ -147,6 +148,7 @@ class _Handler(BaseHTTPRequestHandler):
         elif self.path == "/stats":
             recorder: LatencyRecorder = self.server.metrics  # type: ignore[attr-defined]
             endpoints: EndpointMetrics = self.server.endpoint_metrics  # type: ignore[attr-defined]
+            engines = self.registry.engine_stats()
             self._send_json(
                 {
                     "mode": "threaded",
@@ -154,8 +156,13 @@ class _Handler(BaseHTTPRequestHandler):
                     "server": recorder.snapshot().as_dict(),
                     "endpoints": endpoints.snapshot(),
                     "registry": self.registry.stats(),
-                    "engines": self.registry.engine_stats(),
+                    "engines": engines,
                     "ingest": self.registry.ingest_stats(),
+                    # Query-stage seconds summed over resident engines
+                    # (the serving twin of `usi build --profile`).
+                    "profile": merge_profile_dicts(
+                        [row.get("profile") for row in engines.values()]
+                    ),
                 }
             )
         elif self.path == "/healthz":

@@ -1,0 +1,198 @@
+"""A persistent process pool that fans batch queries over shards.
+
+The sequential :meth:`ShardedUsiIndex.query_batch` runs every shard's
+vectorised batch on one core.  This pool applies the same trick as the
+gateway's :mod:`repro.gateway.pool`: fork once, let every worker hold
+its shard subset from the parent's address space (copy-on-write — the
+substrate arrays are never written after construction, so nothing is
+ever actually copied), and keep the workers alive across calls.  Each
+``query`` round-trip sends the encoded patterns to all workers, the
+workers run their shards' ``query_batch`` (and ``count_batch`` when
+the merge needs counts) concurrently, and the parent reassembles the
+replies **in shard order** — so the downstream exact merge sees the
+same per-shard answer lists, in the same order, as the serial path,
+and the merged results are bitwise identical.
+
+Fork is required (spawn would re-pickle every shard per worker); when
+it is unavailable, or process creation is forbidden (sandboxes), the
+caller degrades to the serial fan-out.  A worker crash marks the pool
+broken — the owning index falls back to serial and keeps answering.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Sequence
+
+__all__ = ["ShardPoolError", "ShardQueryPool"]
+
+
+class ShardPoolError(OSError):
+    """The pool cannot be created or has lost a worker."""
+
+
+#: Shards handed to forked children through copy-on-write inheritance;
+#: set only for the dt of the fork calls, then cleared.
+_FORK_SHARDS: "Sequence | None" = None
+
+
+def _worker_main(conn, shard_ids: "list[int]") -> None:
+    """Worker loop: answer (op, payload) requests for the held shards."""
+    shards = [(i, _FORK_SHARDS[i]) for i in shard_ids]
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break
+        if message is None:
+            break
+        try:
+            op = message[0]
+            if op == "query":
+                _, live, need_counts = message
+                reply = {}
+                for shard_id, shard in shards:
+                    values = shard.query_batch(live)
+                    counts = shard.count_batch(live) if need_counts else None
+                    reply[shard_id] = (values, counts)
+                conn.send(("ok", reply))
+            elif op == "ping":
+                conn.send(("ok", None))
+            else:
+                conn.send(("error", f"unknown op {op!r}"))
+        except Exception as exc:  # keep serving after a bad request
+            try:
+                conn.send(("error", f"{type(exc).__name__}: {exc}"))
+            except (OSError, BrokenPipeError):
+                break
+    conn.close()
+
+
+class ShardQueryPool:
+    """Persistent per-shard worker processes behind one sync facade.
+
+    Parameters
+    ----------
+    shards:
+        The per-shard indexes, in shard order.  Assigned round-robin
+        to ``workers`` processes; each worker answers for its subset
+        sequentially, different workers run concurrently.
+    workers:
+        Process count; defaults to ``min(len(shards), cpu_count)``.
+    """
+
+    def __init__(self, shards: Sequence, workers: "int | None" = None) -> None:
+        if len(shards) < 1:
+            raise ShardPoolError("a shard pool needs at least one shard")
+        if "fork" not in multiprocessing.get_all_start_methods():
+            raise ShardPoolError("shard pools require the fork start method")
+        context = multiprocessing.get_context("fork")
+        if workers is None:
+            workers = min(len(shards), os.cpu_count() or 1)
+        workers = max(1, min(int(workers), len(shards)))
+        assignments: "list[list[int]]" = [[] for _ in range(workers)]
+        for shard_id in range(len(shards)):
+            assignments[shard_id % workers].append(shard_id)
+
+        global _FORK_SHARDS
+        _FORK_SHARDS = shards
+        self._shard_count = len(shards)
+        self._connections = []
+        self._processes = []
+        self._broken = False
+        self.round_trips = 0
+        try:
+            for shard_ids in assignments:
+                parent_conn, child_conn = context.Pipe()
+                process = context.Process(
+                    target=_worker_main,
+                    args=(child_conn, shard_ids),
+                    daemon=True,
+                )
+                process.start()
+                child_conn.close()
+                self._connections.append(parent_conn)
+                self._processes.append(process)
+        except BaseException:
+            self.close()
+            raise
+        finally:
+            _FORK_SHARDS = None
+
+    @property
+    def workers(self) -> int:
+        return len(self._processes)
+
+    @property
+    def broken(self) -> bool:
+        return self._broken
+
+    def query(
+        self, live: Sequence, need_counts: bool
+    ) -> "list[tuple[list[float], list[int] | None]]":
+        """Fan one encoded batch over all workers; shard-order replies.
+
+        Returns one ``(values, counts)`` pair per shard — ``counts``
+        is ``None`` unless *need_counts*.  Raises
+        :class:`ShardPoolError` if any worker is gone; the pool is
+        then broken and must be replaced (or bypassed).
+        """
+        if self._broken:
+            raise ShardPoolError("shard pool has a dead worker")
+        message = ("query", list(live), bool(need_counts))
+        by_shard: dict = {}
+        try:
+            for conn in self._connections:
+                conn.send(message)
+            for conn in self._connections:
+                status, reply = conn.recv()
+                if status != "ok":
+                    raise ShardPoolError(f"shard worker failed: {reply}")
+                by_shard.update(reply)
+        except (EOFError, OSError, BrokenPipeError) as exc:
+            self._broken = True
+            raise ShardPoolError(f"shard pool worker lost: {exc}") from exc
+        self.round_trips += 1
+        return [by_shard[shard_id] for shard_id in range(self._shard_count)]
+
+    def ping(self) -> bool:
+        """One round-trip per worker; proves the pool is live."""
+        try:
+            for conn in self._connections:
+                conn.send(("ping", None))
+            for conn in self._connections:
+                status, _ = conn.recv()
+                if status != "ok":
+                    return False
+        except (EOFError, OSError, BrokenPipeError):
+            self._broken = True
+            return False
+        return True
+
+    def close(self) -> None:
+        """Stop every worker (idempotent)."""
+        self._broken = True
+        for conn in getattr(self, "_connections", []):
+            try:
+                conn.send(None)
+            except (OSError, BrokenPipeError):
+                pass
+            try:
+                conn.close()
+            except OSError:
+                pass
+        for process in getattr(self, "_processes", []):
+            process.join(timeout=2.0)
+            if process.is_alive():
+                process.terminate()
+        self._connections = []
+        self._processes = []
+
+    def stats(self) -> dict:
+        return {
+            "workers": self.workers,
+            "shards": self._shard_count,
+            "round_trips": self.round_trips,
+            "broken": self._broken,
+        }

@@ -31,6 +31,7 @@ answers — only which shard-local patterns are served in O(m).
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Literal, Sequence
 
@@ -39,6 +40,8 @@ import numpy as np
 from repro.core.usi import UsiIndex
 from repro.errors import AlphabetError, ParameterError
 from repro.kernel import TextKernel
+from repro.profiling import record_stage
+from repro.service.shard_pool import ShardPoolError, ShardQueryPool
 from repro.strings.alphabet import Alphabet
 from repro.strings.collection import WeightedStringCollection
 from repro.strings.weighted import WeightedString
@@ -86,6 +89,17 @@ class ShardedUsiIndex:
         if len(names) != 1:
             raise ParameterError("all shards must share one global aggregator")
         self._aggregator = self._shards[0].utility
+        self._query_pool: "ShardQueryPool | None" = None
+
+    # The query pool holds live processes: never pickled.
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state["_query_pool"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self.__dict__.setdefault("_query_pool", None)
 
     # ------------------------------------------------------------------
     # Construction
@@ -245,24 +259,110 @@ class ShardedUsiIndex:
         """Batch query: per-shard vectorised batches, then one merge.
 
         Identical answers to calling :meth:`utility` per pattern.
+        With an active query pool (:meth:`start_query_pool`) the
+        per-shard batches run concurrently across worker processes;
+        replies come back in shard order and feed the exact same
+        merge, so pooled answers are bitwise identical to serial ones.
+        Non-``sum`` aggregators merge through per-shard
+        :meth:`~repro.core.usi.UsiIndex.count_batch` arrays (one batch
+        locate per shard) instead of a per-pattern count loop.
         """
+        t0 = time.perf_counter()
         encoded = [self._encode(p) for p in patterns]
         results = [self._aggregator.identity] * len(patterns)
         slots = [i for i, codes in enumerate(encoded) if codes is not None]
+        record_stage("encode", time.perf_counter() - t0)
         if not slots:
             return results
         live = [encoded[i] for i in slots]
-        per_shard = [shard.query_batch(live) for shard in self._shards]
-        if self._aggregator.name == "sum":
-            merged = np.asarray(per_shard, dtype=np.float64).sum(axis=0)
+        need_counts = self._aggregator.name != "sum"
+        per_shard = self._fan_out(live, need_counts)
+        t0 = time.perf_counter()
+        if not need_counts:
+            merged = np.asarray(
+                [values for values, _ in per_shard], dtype=np.float64
+            ).sum(axis=0)
             for slot, value in zip(slots, merged.tolist()):
                 results[slot] = float(value)
+            record_stage("merge", time.perf_counter() - t0)
             return results
         for j, slot in enumerate(slots):
-            values = [answers[j] for answers in per_shard]
-            counts = [shard.count(live[j]) for shard in self._shards]
+            values = [answers[j] for answers, _ in per_shard]
+            counts = [shard_counts[j] for _, shard_counts in per_shard]
             results[slot] = self._merge(values, counts)
+        record_stage("merge", time.perf_counter() - t0)
         return results
+
+    def _fan_out(
+        self, live: "list[np.ndarray]", need_counts: bool
+    ) -> "list[tuple[list[float], list[int] | None]]":
+        """Per-shard ``(values, counts)`` in shard order, pooled if possible."""
+        pool = self._query_pool
+        if pool is not None:
+            try:
+                return pool.query(live, need_counts)
+            except ShardPoolError:
+                # A worker died: keep answering on the serial path.
+                self.stop_query_pool()
+        return [
+            (
+                shard.query_batch(live),
+                shard.count_batch(live) if need_counts else None,
+            )
+            for shard in self._shards
+        ]
+
+    def count_batch(self, patterns: "Sequence") -> list[int]:
+        """``|occ(P)|`` across shards for many patterns (one locate per shard)."""
+        encoded = [self._encode(p) for p in patterns]
+        out = np.zeros(len(patterns), dtype=np.int64)
+        slots = [i for i, codes in enumerate(encoded) if codes is not None]
+        if not slots:
+            return out.tolist()
+        live = [encoded[i] for i in slots]
+        slots_arr = np.asarray(slots, dtype=np.int64)
+        for shard in self._shards:
+            out[slots_arr] += np.asarray(shard.count_batch(live), dtype=np.int64)
+        return out.tolist()
+
+    # ------------------------------------------------------------------
+    # Multi-core fan-out
+    # ------------------------------------------------------------------
+    def start_query_pool(self, workers: "int | None" = None) -> bool:
+        """Fork a persistent worker pool over the shards (idempotent).
+
+        Returns ``True`` when a pool is active afterwards.  Single-
+        shard indexes, platforms without fork, and sandboxes that
+        forbid process creation all return ``False`` — the index keeps
+        serving on the serial path, answers unchanged.
+        """
+        if self._query_pool is not None and not self._query_pool.broken:
+            return True
+        if len(self._shards) < 2:
+            return False
+        try:
+            self._query_pool = ShardQueryPool(self._shards, workers=workers)
+        except (ShardPoolError, OSError, PermissionError):
+            self._query_pool = None
+            return False
+        return True
+
+    def stop_query_pool(self) -> None:
+        """Shut the worker pool down (queries continue serially)."""
+        pool = self._query_pool
+        self._query_pool = None
+        if pool is not None:
+            pool.close()
+
+    @property
+    def query_pool_workers(self) -> int:
+        """Active pool worker count (0 when serving serially)."""
+        pool = self._query_pool
+        return pool.workers if pool is not None and not pool.broken else 0
+
+    def close(self) -> None:
+        """Release served resources (currently: the query pool)."""
+        self.stop_query_pool()
 
     def _merge(self, values: Sequence[float], counts: Sequence[int]) -> float:
         """Fold per-shard ``(utility, count)`` answers into one global one."""
@@ -281,10 +381,10 @@ class ShardedUsiIndex:
             if occurrences.size == 0:
                 continue
             boundaries = _shard_boundaries(shard, len(group))
-            docs = set(
+            docs = np.unique(
                 np.searchsorted(boundaries, occurrences, side="right") - 1
             )
-            total += len(docs)
+            total += int(docs.size)
         return total
 
 

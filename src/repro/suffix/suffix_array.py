@@ -10,12 +10,14 @@ set and is the practical choice in Python (see DESIGN.md) — the extra
 
 from __future__ import annotations
 
+import time
 from collections import OrderedDict
 from typing import Literal, Sequence
 
 import numpy as np
 
 from repro.errors import ConstructionError, PatternError
+from repro.profiling import record_stage
 from repro.suffix.batch import batch_intervals, pack_limit, packed_window_keys
 from repro.suffix.doubling import (
     suffix_array_doubling,
@@ -62,8 +64,6 @@ class SuffixArray:
         algorithm: Literal["doubling", "sais"] = "doubling",
         with_lcp: bool = True,
     ) -> None:
-        import time
-
         self._codes = np.asarray(codes, dtype=np.int64)
         if self._codes.ndim != 1 or len(self._codes) == 0:
             raise ConstructionError("suffix arrays require a non-empty 1-D text")
@@ -84,8 +84,6 @@ class SuffixArray:
 
     def _build_lcp(self) -> np.ndarray:
         """Build the LCP array, vectorised when rank arrays are held."""
-        import time
-
         t0 = time.perf_counter()
         if self._ranks is not None:
             lcp = lcp_from_ranks(self._sa, self._ranks)
@@ -260,8 +258,11 @@ class SuffixArray:
             raise PatternError("patterns must be non-empty")
         if self._ranks is not None:
             self._ranks = None  # first query: shed the LCP-build aid
+        t0 = time.perf_counter()
         keys = self._packed_keys(matrix.shape[1])
-        return batch_intervals(self._codes, self._sa, matrix, packed_keys=keys)
+        result = batch_intervals(self._codes, self._sa, matrix, packed_keys=keys)
+        record_stage("locate", time.perf_counter() - t0)
+        return result
 
     def _packed_keys(self, length: int) -> "np.ndarray | None":
         """The cached packed-key array for *length* (None if unpackable)."""

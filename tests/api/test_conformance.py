@@ -77,6 +77,15 @@ class TestEveryBackend:
             )
             assert index.count(pattern) == expected, (backend, pattern)
 
+    def test_count_batch_matches_count(self, built, backend):
+        """Bulk counts == scalar counts, native passthrough or fallback."""
+        index = built[backend]
+        if not index.capabilities.count:
+            pytest.skip(f"{backend} does not count")
+        assert index.count_batch(PATTERNS) == [
+            index.count(p) for p in PATTERNS
+        ], backend
+
     def test_stats_report_backend_and_capabilities(self, built, backend):
         info = built[backend].stats()
         assert info.backend == backend

@@ -18,7 +18,10 @@ from repro.service.registry import IndexRegistry
 from repro.service.server import UsiServer
 
 #: Every server, either mode, must expose at least these.
-COMMON_KEYS = {"mode", "workers", "server", "endpoints", "registry", "engines", "ingest"}
+COMMON_KEYS = {
+    "mode", "workers", "server", "endpoints", "registry", "engines",
+    "ingest", "profile",
+}
 ENDPOINT_BUCKETS = {"query", "ingest", "admin"}
 LATENCY_KEYS = {
     "total_queries", "total_calls", "uptime_seconds", "window_queries",

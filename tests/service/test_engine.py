@@ -7,6 +7,7 @@ import threading
 import numpy as np
 import pytest
 
+from repro.api.protocol import Capabilities, UtilityIndexBase
 from repro.core.usi import UsiIndex
 from repro.errors import ParameterError
 from repro.service.engine import QueryEngine
@@ -128,3 +129,110 @@ class TestConcurrency:
         assert snapshot.total_queries == 6
         assert snapshot.total_calls == 2
         assert snapshot.p99_ms >= snapshot.p50_ms >= 0.0
+
+
+class _CountingBackend(UtilityIndexBase):
+    """Fake batch backend that records exactly what reaches the index."""
+
+    backend_name = "counting"
+    capabilities = Capabilities(batch=True)
+
+    def __init__(self) -> None:
+        self.batch_calls: list[list[str]] = []
+
+    def query(self, pattern) -> float:
+        return float(len(pattern))
+
+    def query_batch(self, patterns) -> list[float]:
+        self.batch_calls.append(list(patterns))
+        return [float(len(p)) for p in patterns]
+
+
+class _VersionedBackend(UtilityIndexBase):
+    """Fake dynamic backend whose answers move with ``data_version``."""
+
+    backend_name = "versioned"
+    capabilities = Capabilities(batch=True, dynamic=True)
+
+    def __init__(self) -> None:
+        self._version = 0
+        self._answer = 1.0
+        self.bump_mid_flight = False
+
+    def bump(self) -> None:
+        self._version += 1
+        self._answer += 1.0
+
+    def data_version(self) -> int:
+        return self._version
+
+    def query(self, pattern) -> float:
+        if self.bump_mid_flight:
+            self.bump()
+        return self._answer
+
+    def query_batch(self, patterns) -> list[float]:
+        if self.bump_mid_flight:
+            self.bump()
+        return [self._answer for _ in patterns]
+
+
+class TestBatchAdmission:
+    def test_backend_sees_unique_patterns_only(self):
+        backend = _CountingBackend()
+        engine = QueryEngine(backend, cache_size=64)
+        values = engine.query_batch(["aa", "b", "aa", "ccc", "b", "aa"])
+        assert values == [2.0, 1.0, 2.0, 3.0, 1.0, 2.0]
+        # One backend call, first-seen order, duplicates stripped.
+        assert backend.batch_calls == [["aa", "b", "ccc"]]
+        stats = engine.stats()
+        assert stats["cache_misses"] == 3
+        # Duplicates folded in the admission pass are neither hits nor
+        # misses — the cache was empty; they share the one probe.
+        assert stats["cache_hits"] == 0
+
+    def test_cached_patterns_never_reach_backend(self):
+        backend = _CountingBackend()
+        engine = QueryEngine(backend, cache_size=64)
+        engine.query_batch(["aa", "b"])
+        engine.query_batch(["b", "ccc", "aa"])
+        assert backend.batch_calls == [["aa", "b"], ["ccc"]]
+
+
+class TestDynamicVersion:
+    def test_version_bump_between_calls_invalidates(self):
+        backend = _VersionedBackend()
+        engine = QueryEngine(backend, cache_size=64)
+        assert engine.query("p") == 1.0
+        assert engine.query("p") == 1.0  # cached
+        backend.bump()
+        assert engine.query("p") == 2.0  # cache dropped, fresh answer
+        stats = engine.stats()
+        assert stats["cache_invalidations"] == 1
+        assert stats["data_version"] == 1
+
+    def test_mid_flight_bump_serves_but_never_caches_scalar(self):
+        backend = _VersionedBackend()
+        engine = QueryEngine(backend, cache_size=64)
+        backend.bump_mid_flight = True
+        # The answer computed mid-bump is served (it was true when
+        # computed) but must not be cached against the new version.
+        assert engine.query("p") == 2.0
+        backend.bump_mid_flight = False
+        assert engine.query("p") == 2.0  # recomputed, not a stale hit
+        assert engine.stats()["cache_misses"] == 2
+        assert engine.query("p") == 2.0  # now cached
+        assert engine.stats()["cache_hits"] == 1
+
+    def test_mid_flight_bump_serves_but_never_caches_batch(self):
+        backend = _VersionedBackend()
+        engine = QueryEngine(backend, cache_size=64)
+        backend.bump_mid_flight = True
+        assert engine.query_batch(["p", "q", "p"]) == [2.0, 2.0, 2.0]
+        backend.bump_mid_flight = False
+        # Nothing was cached against the moved version: both unique
+        # patterns miss again and get the current (identical) answer.
+        assert engine.query_batch(["p", "q"]) == [2.0, 2.0]
+        stats = engine.stats()
+        assert stats["cache_misses"] == 4
+        assert stats["cache_entries"] == 2  # second batch cached cleanly

@@ -1,0 +1,174 @@
+"""Multi-core shard fan-out: pooled answers bitwise equal serial ones.
+
+The pool only changes *where* each shard's batch runs (a forked worker
+process instead of the calling thread); replies are reassembled in
+shard order and feed the same exact merge.  These tests pin that:
+pooled ``query_batch`` must equal the serial path ``==``, across
+worker counts and aggregators.  Platforms where a pool cannot start
+(no fork, sandboxed process creation) skip the pooled assertions —
+``start_query_pool`` returning ``False`` with serial answers intact
+is itself the documented degraded mode.
+
+Utilities are multiples of 0.25 (exactly representable), matching the
+conventions of ``test_sharding.py``.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.service.shard_pool import ShardPoolError, ShardQueryPool
+from repro.service.sharding import ShardedUsiIndex
+from repro.strings.alphabet import Alphabet
+from repro.strings.collection import WeightedStringCollection
+from repro.strings.weighted import WeightedString
+
+
+def _collection(doc_count: int = 6, seed: int = 13) -> WeightedStringCollection:
+    rng = np.random.default_rng(seed)
+    alphabet = Alphabet("AB")
+    documents = []
+    for _ in range(doc_count):
+        length = int(rng.integers(8, 40))
+        text = "".join("AB"[int(b)] for b in rng.integers(0, 2, size=length))
+        quarters = rng.integers(0, 16, size=length).astype(np.float64) * 0.25
+        documents.append(WeightedString(text, quarters, alphabet))
+    return WeightedStringCollection(documents)
+
+
+PATTERNS = [
+    "A", "B", "AB", "BA", "AAB", "ABB", "ABAB", "BABA",
+    "AAAA", "BBBBBBBBBB", "Z", "A!",
+]
+
+
+def _pool_or_skip(sharded: ShardedUsiIndex, workers: "int | None" = None) -> None:
+    if not sharded.start_query_pool(workers=workers):
+        pytest.skip("process pool unavailable on this platform")
+
+
+class TestPooledEqualsSerial:
+    @pytest.mark.parametrize("aggregator", ["sum", "min", "max", "avg"])
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_bitwise_identical_across_workers(self, aggregator, workers):
+        sharded = ShardedUsiIndex.build(
+            _collection(), 4, parallel="serial", k=6, aggregator=aggregator
+        )
+        serial = sharded.query_batch(PATTERNS)
+        serial_counts = sharded.count_batch(PATTERNS)
+        _pool_or_skip(sharded, workers=workers)
+        try:
+            assert sharded.query_pool_workers >= 1
+            pooled = sharded.query_batch(PATTERNS)
+            assert pooled == serial  # bitwise: same floats, not approx
+            assert sharded.count_batch(PATTERNS) == serial_counts
+        finally:
+            sharded.stop_query_pool()
+        assert sharded.query_pool_workers == 0
+        # After shutdown the serial path answers identically again.
+        assert sharded.query_batch(PATTERNS) == serial
+
+    @pytest.mark.parametrize("workers", [1, 2, 3, 4])
+    def test_pooled_matches_monolithic(self, workers):
+        """Pooled fan-out == one monolithic index over the combined text.
+
+        The full chain: shard answers merged across forked workers
+        must exactly equal a single `UsiIndex` over the whole
+        collection (sum partials of 0.25-multiples are exactly
+        representable, so `==`, not approx).
+        """
+        from repro.core.usi import UsiIndex
+
+        collection = _collection(5, seed=workers)
+        mono = UsiIndex.build(collection.combined, k=6)
+        sharded = ShardedUsiIndex.build(collection, 4, parallel="serial", k=6)
+        _pool_or_skip(sharded, workers=workers)
+        try:
+            pooled = sharded.query_batch(PATTERNS)
+        finally:
+            sharded.stop_query_pool()
+        expected = []
+        for pattern in PATTERNS:
+            try:
+                codes = collection.encode_pattern(pattern)
+            except Exception:
+                expected.append(0.0)
+                continue
+            expected.append(mono.query(codes))
+        assert pooled == expected
+
+    def test_pool_restart_is_idempotent(self):
+        sharded = ShardedUsiIndex.build(
+            _collection(4), 4, parallel="serial", k=4
+        )
+        serial = sharded.query_batch(PATTERNS)
+        _pool_or_skip(sharded)
+        try:
+            assert sharded.start_query_pool() is True  # already running
+            assert sharded.query_batch(PATTERNS) == serial
+        finally:
+            sharded.stop_query_pool()
+            sharded.stop_query_pool()  # idempotent
+
+
+class TestDegradedModes:
+    def test_single_shard_never_pools(self):
+        sharded = ShardedUsiIndex.build(
+            WeightedStringCollection(
+                [WeightedString.uniform("ABRACADABRA")]
+            ),
+            1, parallel="serial", k=4,
+        )
+        assert sharded.start_query_pool() is False
+        assert sharded.query_pool_workers == 0
+        assert sharded.utility("ABRA") == 8.0
+
+    def test_dead_worker_falls_back_to_serial(self):
+        sharded = ShardedUsiIndex.build(
+            _collection(4), 4, parallel="serial", k=4
+        )
+        serial = sharded.query_batch(PATTERNS)
+        _pool_or_skip(sharded)
+        # Kill the workers behind the index's back: the next pooled
+        # query hits a broken pipe and must fall back to serial.
+        sharded._query_pool._processes[0].terminate()
+        for process in sharded._query_pool._processes:
+            process.join(timeout=5)
+        assert sharded.query_batch(PATTERNS) == serial
+        assert sharded.query_pool_workers == 0  # pool was torn down
+
+    def test_pickle_round_trip_drops_pool(self):
+        sharded = ShardedUsiIndex.build(
+            _collection(4), 2, parallel="serial", k=4
+        )
+        serial = sharded.query_batch(PATTERNS)
+        started = sharded.start_query_pool()
+        try:
+            clone = pickle.loads(pickle.dumps(sharded))
+            assert clone.query_pool_workers == 0  # pools never travel
+            assert clone.query_batch(PATTERNS) == serial
+        finally:
+            if started:
+                sharded.stop_query_pool()
+
+
+class TestPoolInternals:
+    def test_worker_clamp_and_stats(self):
+        sharded = ShardedUsiIndex.build(
+            _collection(4), 4, parallel="serial", k=4
+        )
+        try:
+            pool = ShardQueryPool(sharded.shards, workers=64)
+        except ShardPoolError:
+            pytest.skip("process pool unavailable on this platform")
+        try:
+            assert pool.workers <= 4  # clamped to the shard count
+            assert pool.ping()
+            stats = pool.stats()
+            assert stats["workers"] == pool.workers
+            assert stats["broken"] is False
+        finally:
+            pool.close()

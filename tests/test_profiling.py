@@ -1,0 +1,161 @@
+"""The query-path profiler: stage accounting, nesting, and rendering."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from repro.core.usi import UsiIndex
+from repro.eval.reporting import format_query_profile
+from repro.profiling import (
+    STAGE_ORDER,
+    QueryProfile,
+    current_profile,
+    merge_profile_dicts,
+    profiled,
+    record_stage,
+    stage,
+)
+from repro.service.engine import QueryEngine
+from repro.strings.weighted import WeightedString
+
+
+class TestQueryProfile:
+    def test_add_merge_account(self):
+        profile = QueryProfile()
+        profile.add("locate", 0.25)
+        profile.add("locate", 0.25)
+        profile.add("gather", 1.0)
+        profile.account(100)
+        other = QueryProfile()
+        other.add("encode", 0.5)
+        other.account(10)
+        profile.merge(other)
+        assert profile.stages == {"locate": 0.5, "gather": 1.0, "encode": 0.5}
+        assert profile.total() == 2.0
+        assert profile.patterns == 110
+        assert profile.calls == 2
+
+    def test_ordered_stages_follow_canonical_order(self):
+        profile = QueryProfile()
+        profile.add("gather", 1.0)
+        profile.add("encode", 2.0)
+        profile.add("custom", 3.0)
+        profile.add("cache", 4.0)
+        names = [name for name, _ in profile.ordered_stages()]
+        assert names == ["encode", "cache", "gather", "custom"]
+        assert list(profile.as_dict()["stages"]) == names
+
+    def test_record_stage_without_active_profile_is_noop(self):
+        assert current_profile() is None
+        record_stage("locate", 1.0)  # must not raise
+        with stage("gather"):
+            pass
+
+    def test_profiled_activates_and_restores(self):
+        profile = QueryProfile()
+        with profiled(profile):
+            assert current_profile() is profile
+            record_stage("locate", 0.5)
+        assert current_profile() is None
+        assert profile.stages == {"locate": 0.5}
+
+    def test_nested_profiles_propagate_to_outer(self):
+        outer, inner = QueryProfile(), QueryProfile()
+        with profiled(outer):
+            record_stage("encode", 1.0)
+            with profiled(inner):
+                record_stage("locate", 2.0)
+        assert inner.stages == {"locate": 2.0}
+        assert outer.stages == {"encode": 1.0, "locate": 2.0}
+
+    def test_nested_no_propagate(self):
+        outer, inner = QueryProfile(), QueryProfile()
+        with profiled(outer):
+            with profiled(inner, propagate=False):
+                record_stage("locate", 2.0)
+        assert outer.stages == {}
+
+    def test_threads_are_isolated(self):
+        profile = QueryProfile()
+        seen: list = []
+
+        def worker() -> None:
+            seen.append(current_profile())
+
+        with profiled(profile):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        assert seen == [None]
+
+
+class TestMergeProfileDicts:
+    def test_sums_and_orders(self):
+        merged = merge_profile_dicts(
+            [
+                {"stages": {"gather": 1.0, "encode": 0.5}, "patterns": 5, "calls": 1},
+                {"stages": {"gather": 2.0, "merge": 0.25}, "patterns": 7, "calls": 2},
+                None,  # rows without a profile are skipped
+            ]
+        )
+        assert merged["stages"] == {"encode": 0.5, "gather": 3.0, "merge": 0.25}
+        assert list(merged["stages"]) == ["encode", "gather", "merge"]
+        assert merged["patterns"] == 12
+        assert merged["calls"] == 3
+
+    def test_empty(self):
+        assert merge_profile_dicts([]) == {"stages": {}, "patterns": 0, "calls": 0}
+
+
+class TestFormatQueryProfile:
+    def test_renders_stages_and_other_row(self):
+        profile = QueryProfile()
+        profile.add("locate", 0.010)
+        profile.add("gather", 0.030)
+        profile.account(1000)
+        text = format_query_profile(profile, wall_seconds=0.050)
+        assert "locate" in text and "gather" in text
+        assert "other" in text  # wall minus accounted
+        assert "1000 patterns in 1 calls" in text
+        assert "patterns/s" in text
+
+    def test_renders_without_wall(self):
+        profile = QueryProfile()
+        profile.add("encode", 0.002)
+        text = format_query_profile(profile)
+        assert "encode" in text
+        assert "other" not in text
+
+
+class TestEndToEnd:
+    def _index(self) -> UsiIndex:
+        rng = np.random.default_rng(3)
+        codes = rng.integers(0, 4, size=800, dtype=np.int32)
+        utilities = rng.integers(0, 8, size=800) * 0.25
+        return UsiIndex.build(WeightedString(codes, utilities), k=10)
+
+    def test_query_batch_records_pipeline_stages(self):
+        index = self._index()
+        patterns = [np.asarray(p, dtype=np.int64) for p in ([0, 1], [1, 2, 3], [2])]
+        profile = QueryProfile()
+        with profiled(profile):
+            index.query_batch(patterns)
+        assert set(profile.stages) >= {"encode", "cache"}
+        # At least one pattern misses the tiny top-K table, so the
+        # locate + gather stages of the fused path ran too.
+        assert "locate" in profile.stages
+        assert all(v >= 0.0 for v in profile.stages.values())
+
+    def test_engine_accumulates_profile_in_stats(self):
+        engine = QueryEngine(self._index(), cache_size=16)
+        patterns = [np.asarray([0, 1], dtype=np.int64), np.asarray([2], dtype=np.int64)]
+        engine.query_batch(patterns)
+        engine.query_batch(patterns)  # second call: all cache hits
+        snapshot = engine.stats()["profile"]
+        assert snapshot["calls"] == 2
+        assert snapshot["patterns"] == 4
+        assert "cache" in snapshot["stages"]
+        known = set(STAGE_ORDER)
+        assert set(snapshot["stages"]) <= known | {"other"}
