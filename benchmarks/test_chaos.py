@@ -1,0 +1,174 @@
+"""Chaos benchmark: availability and recovery under seeded fault storms.
+
+Drives the asyncio gateway through the seeded chaos schedules of
+:mod:`repro.faults.schedule` — worker hangs, crashes, crash-loops,
+slow IPC — and measures what the failure-hardening actually buys:
+
+* **availability**: the fraction of requests answered 200 while the
+  storm rages (inline degraded mode keeps this near 1.0);
+* **exactness**: every 200 is checked byte-identical to a
+  single-process reference engine — a wrong answer fails the run;
+* **worst-case latency**: no request may outlive the gateway deadline
+  plus scheduler slack (a hang that escapes the deadline machinery
+  fails the run);
+* **recovery seconds**: how long after the storm ends until
+  ``/healthz`` reports ``ok`` again.
+
+Emits ``results/BENCH_chaos.json`` under ``REPRO_WRITE_RESULTS=1``
+(uploaded as a CI artifact), one row per seed plus the scenario names
+each seed drew — so every CI run records which storms it survived.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro import faults
+from repro.api import build, open_index
+from repro.faults import chaos_plan
+from repro.gateway import AsyncGateway
+from repro.io import save_index
+from repro.service.engine import QueryEngine
+
+TEXT = "abracadabra banana cabana abracadabra bandana " * 40
+PATTERNS = ["abra", "banana", "cab", "a", "zzz", "bandana", "br", "ana"]
+
+SEEDS = (1, 2, 3)
+REQUESTS_PER_SEED = 24
+WORKERS = 2
+CALL_TIMEOUT = 0.5
+REQUEST_TIMEOUT = 5.0
+LATENCY_CEILING_S = REQUEST_TIMEOUT + 5.0
+RECOVERY_DEADLINE_S = 60.0
+
+#: Inline degraded mode must keep at least this fraction answering.
+AVAILABILITY_FLOOR = 0.5
+
+GATEWAY_SCENARIOS = (
+    "worker_hang",
+    "worker_crash",
+    "worker_crash_loop",
+    "slow_ipc",
+)
+
+
+def _post(url: str, payload: dict, timeout: float):
+    request = urllib.request.Request(
+        url + "/query",
+        data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.status, response.read()
+    except urllib.error.HTTPError as error:
+        return error.code, error.read()
+
+
+def _expected_body(engine, pattern: str) -> bytes:
+    rows = [{"pattern": pattern, "utility": engine.query_batch([pattern])[0]}]
+    return json.dumps({"index": "demo", "results": rows}).encode()
+
+
+def _run_seed(seed: int, bundle, reference) -> dict:
+    plan, scenarios = chaos_plan(
+        seed, scenarios=GATEWAY_SCENARIOS, hang_seconds=30.0
+    )
+    faults.install(plan)
+    gateway = AsyncGateway(
+        paths={"demo": bundle},
+        workers=WORKERS,
+        port=0,
+        call_timeout=CALL_TIMEOUT,
+        request_timeout=REQUEST_TIMEOUT,
+        degraded_mode="inline",
+    )
+    ok = 0
+    worst_latency = 0.0
+    try:
+        with gateway.start_in_thread() as handle:
+            for i in range(REQUESTS_PER_SEED):
+                pattern = PATTERNS[i % len(PATTERNS)]
+                t0 = time.perf_counter()
+                status, body = _post(
+                    handle.url, {"pattern": pattern},
+                    timeout=LATENCY_CEILING_S + 5,
+                )
+                elapsed = time.perf_counter() - t0
+                worst_latency = max(worst_latency, elapsed)
+                assert elapsed < LATENCY_CEILING_S, (
+                    f"seed {seed}: request {i} took {elapsed:.1f}s"
+                )
+                if status == 200:
+                    assert body == _expected_body(reference, pattern), (
+                        f"seed {seed}: wrong answer for {pattern!r}"
+                    )
+                    ok += 1
+
+            faults.clear()
+            healed_at = None
+            t0 = time.monotonic()
+            while time.monotonic() - t0 < RECOVERY_DEADLINE_S:
+                _post(handle.url, {"pattern": "abra"},
+                      timeout=LATENCY_CEILING_S)
+                with urllib.request.urlopen(
+                    handle.url + "/healthz", timeout=10
+                ) as response:
+                    if json.loads(response.read())["status"] == "ok":
+                        healed_at = time.monotonic() - t0
+                        break
+                time.sleep(0.2)
+            assert healed_at is not None, f"seed {seed}: never recovered"
+            pool_stats = gateway.pool.stats()
+    finally:
+        faults.clear()
+
+    availability = ok / REQUESTS_PER_SEED
+    assert availability >= AVAILABILITY_FLOOR, (
+        f"seed {seed}: only {availability:.0%} answered under chaos"
+    )
+    return {
+        "seed": seed,
+        "scenarios": scenarios,
+        "requests": REQUESTS_PER_SEED,
+        "ok": ok,
+        "availability": round(availability, 3),
+        "worst_latency_ms": round(worst_latency * 1000, 1),
+        "recovery_seconds": round(healed_at, 2),
+        "degraded_queries": gateway.degraded_queries,
+        "pool_retries": gateway.pool_retries,
+        "worker_restarts": pool_stats["restarts"],
+        "deadline_kills": pool_stats["timeouts"],
+        "breaker_trips": pool_stats["breaker"]["trips"],
+    }
+
+
+def test_chaos_availability_and_recovery(tmp_path):
+    bundle = tmp_path / "demo.npz"
+    save_index(build(TEXT, k=16), bundle, container="v3")
+    reference = QueryEngine(open_index(bundle, mmap=True))
+
+    rows = [_run_seed(seed, bundle, reference) for seed in SEEDS]
+    report = {
+        "workers": WORKERS,
+        "call_timeout_s": CALL_TIMEOUT,
+        "request_timeout_s": REQUEST_TIMEOUT,
+        "availability_floor": AVAILABILITY_FLOOR,
+        "cpu_count": os.cpu_count(),
+        "seeds": rows,
+    }
+
+    print("\nBENCH_chaos: " + json.dumps(report, indent=2))
+    if os.environ.get("REPRO_WRITE_RESULTS") == "1":
+        results = pathlib.Path(__file__).resolve().parent.parent / "results"
+        results.mkdir(exist_ok=True)
+        (results / "BENCH_chaos.json").write_text(
+            json.dumps(report, indent=2) + "\n"
+        )

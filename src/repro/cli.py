@@ -440,6 +440,9 @@ def _serve_async(args: argparse.Namespace, named: "dict[str, str]") -> int:
         per_index_limit=args.per_index_concurrency,
         cache_size=args.cache_size,
         mmap=True,
+        request_timeout=args.request_timeout or None,
+        call_timeout=args.call_timeout or None,
+        degraded_mode=args.degraded_mode,
     )
     served = sorted(set(named) | ({args.live} if args.live else set()))
     print(
@@ -496,44 +499,88 @@ def _iter_ingest_lines(args: argparse.Namespace):
             idle += args.poll_interval
 
 
+def _retry_after_delay(header_value, backoff) -> float:
+    """The wait before retrying: the server's Retry-After, else backoff."""
+    if header_value is not None:
+        try:
+            return max(0.0, float(header_value))
+        except (TypeError, ValueError):
+            pass
+    return backoff.next_delay()
+
+
 def _cmd_ingest(args: argparse.Namespace) -> int:
-    """Stream documents into a running ``usi serve`` over POST /ingest."""
+    """Stream documents into a running ``usi serve`` over POST /ingest.
+
+    Transient failures do not kill the stream: 429 (admission shed)
+    and 503 (draining, breaker open, WAL write failure) are retried
+    honoring the server's ``Retry-After``, and connection errors
+    (server restarting) with capped exponential backoff — up to
+    ``--max-retries`` per document.  Any other rejection (400s) is a
+    real error and stops the stream.  504 is deliberately *not*
+    retried: the server may have applied the append before the
+    deadline fired, and re-sending would ingest the document twice.
+    """
     import json
+    import time
     from urllib import error as urlerror
     from urllib import request as urlrequest
 
+    from repro.service.resilience import Backoff
+
     url = args.url.rstrip("/") + "/ingest"
     sent = 0
+    retries = 0
     last_seq = None
     for line in _iter_ingest_lines(args):
         payload: dict = {"doc": line}
         if args.index:
             payload["index"] = args.index
-        request = urlrequest.Request(
-            url,
-            data=json.dumps(payload).encode(),
-            headers={"Content-Type": "application/json"},
-        )
-        try:
-            with urlrequest.urlopen(request, timeout=args.timeout) as response:
-                reply = json.loads(response.read())
-        except urlerror.HTTPError as error:
-            detail = error.read().decode(errors="replace")
-            print(
-                f"usi ingest: server rejected document {sent + 1}: {detail}",
-                file=sys.stderr,
+        data = json.dumps(payload).encode()
+        backoff = Backoff(base=0.2, max_delay=5.0)
+        attempts = 0
+        while True:
+            request = urlrequest.Request(
+                url, data=data, headers={"Content-Type": "application/json"}
             )
-            return 1
-        except urlerror.URLError as error:
-            print(f"usi ingest: cannot reach {url}: {error.reason}",
-                  file=sys.stderr)
-            return 1
+            try:
+                with urlrequest.urlopen(
+                    request, timeout=args.timeout
+                ) as response:
+                    reply = json.loads(response.read())
+                break
+            except urlerror.HTTPError as error:
+                detail = error.read().decode(errors="replace")
+                if error.code in (429, 503) and attempts < args.max_retries:
+                    attempts += 1
+                    retries += 1
+                    time.sleep(
+                        _retry_after_delay(
+                            error.headers.get("Retry-After"), backoff
+                        )
+                    )
+                    continue
+                print(
+                    f"usi ingest: server rejected document {sent + 1}: {detail}",
+                    file=sys.stderr,
+                )
+                return 1
+            except urlerror.URLError as error:
+                if attempts < args.max_retries:
+                    attempts += 1
+                    retries += 1
+                    time.sleep(backoff.next_delay())
+                    continue
+                print(f"usi ingest: cannot reach {url}: {error.reason}",
+                      file=sys.stderr)
+                return 1
         sent += 1
         last_seq = reply.get("seq")
+    suffix = f" ({retries} retried)" if retries else ""
     if last_seq is None:
-        print("ingested 0 documents")
+        print(f"ingested 0 documents{suffix}")
     else:
-        print(f"ingested {sent} documents (last seq {last_seq})")
+        print(f"ingested {sent} documents (last seq {last_seq}){suffix}")
     return 0
 
 
@@ -707,6 +754,20 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--per-index-concurrency", type=int, default=8,
                        help="--async limit on concurrent queries per "
                             "index (a hot index cannot starve the rest)")
+    serve.add_argument("--request-timeout", type=float, default=60.0,
+                       help="--async gateway-wide request deadline in "
+                            "seconds; past it the client gets a JSON "
+                            "504 instead of a hang (0 disables)")
+    serve.add_argument("--call-timeout", type=float, default=30.0,
+                       help="--async per-worker-round-trip deadline; a "
+                            "worker that neither answers nor dies is "
+                            "killed and replaced (0 disables)")
+    serve.add_argument("--degraded-mode", choices=["inline", "shed"],
+                       default="inline",
+                       help="--async behaviour while the worker "
+                            "breaker is open: 'inline' serves exact "
+                            "answers from an in-process engine, "
+                            "'shed' answers 503 + Retry-After")
     serve.add_argument("--live", metavar="NAME",
                        help="also host a live-ingest index under NAME "
                             "(accepts POST /ingest; compacts in the "
@@ -747,6 +808,10 @@ def build_parser() -> argparse.ArgumentParser:
                              "(default: tail forever)")
     ingest.add_argument("--timeout", type=float, default=10.0,
                         help="per-request HTTP timeout in seconds")
+    ingest.add_argument("--max-retries", type=int, default=5,
+                        help="retries per document on 429/503 (honoring "
+                             "Retry-After) and on transient connection "
+                             "errors, with capped exponential backoff")
     ingest.set_defaults(fn=_cmd_ingest)
 
     mine = sub.add_parser("mine", help="mine substrings by global utility")

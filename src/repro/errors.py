@@ -34,3 +34,12 @@ class ConstructionError(ReproError):
 
 class NotBuiltError(ReproError):
     """An operation requires a structure that has not been built yet."""
+
+
+class IndexLoadError(ReproError):
+    """A registered index failed to load from its backing file.
+
+    Transient from the serving stack's point of view (the file may
+    reappear, the disk may recover); front-ends answer 503 +
+    ``Retry-After`` rather than 500.
+    """

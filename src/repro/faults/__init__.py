@@ -1,0 +1,97 @@
+"""``repro.faults`` — deterministic fault injection for the serving stack.
+
+Production code declares injection points by calling :func:`fire` with
+a site name; with no plan installed (the default, and the only state
+production ever runs in) that is a single global-load-and-compare.
+Tests and the chaos harness install a :class:`FaultPlan` — usually via
+the :func:`injected` context manager — and the scheduled faults replay
+deterministically.
+
+Because worker processes are forked, a plan installed *before* a pool
+starts is inherited by every worker: worker-side sites
+(``worker.handle``, ``ipc.send``) count hits in the child, parent-side
+sites (``wal.append``, ``registry.load``, ``compactor.build``) in the
+parent.
+
+Declared sites
+--------------
+==========================  ====================================================
+``worker.handle``           gateway worker, after receiving each request frame
+``worker.open``             gateway worker, before opening its index files
+``ipc.send``                worker-side frame send (``slow`` = a slow frame)
+``pool.spawn``              gateway parent, before each worker spawn
+``wal.append``              before each WAL record write (``torn`` supported)
+``registry.load``           before each lazy index load
+``compactor.build``         before each sealed-memtable shard build
+``shard_pool.worker``       sharded-query worker, per received request
+==========================  ====================================================
+"""
+
+from __future__ import annotations
+
+import contextlib
+
+from repro.faults.plan import KINDS, SITE_HANDLED, Fault, FaultPlan
+from repro.faults.schedule import SCENARIOS, chaos_plan, scenario_faults
+
+__all__ = [
+    "KINDS",
+    "SITE_HANDLED",
+    "SCENARIOS",
+    "Fault",
+    "FaultPlan",
+    "active_plan",
+    "chaos_plan",
+    "clear",
+    "fire",
+    "injected",
+    "install",
+    "scenario_faults",
+]
+
+#: The process-global active plan (None in production).
+_active: "FaultPlan | None" = None
+
+
+def install(plan: FaultPlan) -> FaultPlan:
+    """Make *plan* the process-global active plan."""
+    global _active
+    _active = plan
+    return plan
+
+
+def clear() -> None:
+    """Deactivate fault injection (idempotent)."""
+    global _active
+    _active = None
+
+
+def active_plan() -> "FaultPlan | None":
+    return _active
+
+
+def fire(site: str) -> "Fault | None":
+    """The injection point: a no-op unless a plan is installed.
+
+    With a plan, records one hit at *site* and executes any scheduled
+    fault (raise / sleep / exit); site-handled kinds (``torn``) are
+    returned for the caller to interpret.
+    """
+    plan = _active
+    if plan is None:
+        return None
+    return plan.fire(site)
+
+
+@contextlib.contextmanager
+def injected(plan: FaultPlan):
+    """``with faults.injected(plan):`` — install for the block, then clear.
+
+    Always clears on exit (even when the block raises), so one failed
+    chaos test cannot leak faults into the next.
+    """
+    install(plan)
+    try:
+        yield plan
+    finally:
+        clear()

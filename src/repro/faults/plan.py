@@ -1,0 +1,211 @@
+"""Deterministic, scheduled fault injection for the serving stack.
+
+A :class:`FaultPlan` is a list of :class:`Fault` rules.  Each rule
+names a *site* — a string like ``"worker.handle"`` or ``"wal.append"``
+that the production code declares by calling :func:`repro.faults.fire`
+at the matching point — and a window of hits at that site during which
+the rule fires.  Hit counting is per site and per process (forked
+workers inherit the installed plan and count their own hits), so a
+schedule replays identically run after run: *the 3rd WAL append
+raises* ``ENOSPC``, *every worker request from the 2nd on crashes the
+worker*, and so on.
+
+Fault kinds
+-----------
+``error``
+    Raise an exception at the site (default ``OSError``; disk-full for
+    WAL sites).
+``hang``
+    Block the site for ``seconds`` (simulates a wedged worker — the
+    process is alive but never answers).
+``slow``
+    Sleep ``seconds`` and then proceed normally (a slow IPC frame, a
+    slow disk).
+``crash``
+    ``os._exit`` the current process (a killed/OOMed worker).  Only
+    meaningful at sites that run inside a child process.
+``torn``
+    Returned to the site instead of being executed centrally: the site
+    implements the torn behaviour itself (e.g. the WAL writes half a
+    record and then fails, leaving a torn tail for recovery to
+    truncate).
+
+Plans are installed process-globally (:func:`repro.faults.install`) so
+no production signature carries a plan argument; with no plan
+installed every ``fire`` call is a single attribute check.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import threading
+import time
+
+from repro.errors import ParameterError
+
+KINDS = ("error", "hang", "slow", "crash", "torn")
+
+#: Kinds the *site* must interpret itself; ``FaultPlan.fire`` returns
+#: the matched Fault instead of executing a central behaviour.
+SITE_HANDLED = ("torn",)
+
+
+class Fault:
+    """One scheduled fault: fire at a site for a window of hits.
+
+    Parameters
+    ----------
+    site:
+        The injection-point name this rule matches.
+    kind:
+        One of :data:`KINDS`.
+    after:
+        Hits at the site to let through untouched before firing (0 =
+        fire on the first hit).
+    count:
+        How many consecutive hits fire once the window opens
+        (``math.inf`` = keep firing forever; the crash-loop schedule).
+    seconds:
+        Duration for ``hang`` / ``slow``.
+    error:
+        Exception *instance* to raise for ``error`` (defaults to an
+        ``OSError``), raised via a fresh copy so tracebacks do not
+        accumulate across fires.
+    """
+
+    __slots__ = ("site", "kind", "after", "count", "seconds", "error")
+
+    def __init__(
+        self,
+        site: str,
+        kind: str,
+        *,
+        after: int = 0,
+        count: "int | float" = 1,
+        seconds: float = 30.0,
+        error: "BaseException | None" = None,
+    ) -> None:
+        if kind not in KINDS:
+            raise ParameterError(f"unknown fault kind {kind!r} (one of {KINDS})")
+        if after < 0:
+            raise ParameterError("fault 'after' must be >= 0")
+        if count != math.inf and int(count) < 1:
+            raise ParameterError("fault 'count' must be >= 1 (or math.inf)")
+        self.site = str(site)
+        self.kind = kind
+        self.after = int(after)
+        self.count = count
+        self.seconds = float(seconds)
+        self.error = error
+
+    def window(self) -> "tuple[int, float]":
+        """The half-open hit window ``[after, after + count)``."""
+        upper = math.inf if self.count == math.inf else self.after + int(self.count)
+        return self.after, upper
+
+    def make_error(self) -> BaseException:
+        if self.error is not None:
+            # Re-raise a same-typed copy so one Fault can fire many
+            # times without chaining tracebacks onto one instance.
+            template = self.error
+            try:
+                return type(template)(*template.args)
+            except Exception:  # exotic exception signature: reuse it
+                return template
+        return OSError(f"injected fault at site {self.site!r}")
+
+    def describe(self) -> dict:
+        return {
+            "site": self.site,
+            "kind": self.kind,
+            "after": self.after,
+            "count": "inf" if self.count == math.inf else int(self.count),
+            "seconds": self.seconds,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Fault({self.site!r}, {self.kind!r}, after={self.after}, "
+            f"count={self.count})"
+        )
+
+
+class FaultPlan:
+    """An ordered set of :class:`Fault` rules with per-site hit counters.
+
+    Thread-safe: counters tick under a lock so concurrent server
+    threads (or the asyncio loop plus a compactor thread) observe one
+    deterministic hit sequence per site.  Sleeps and raises happen
+    *outside* the lock.
+    """
+
+    def __init__(self, faults: "list[Fault] | None" = None) -> None:
+        self._faults: list[Fault] = list(faults or [])
+        self._hits: dict[str, int] = {}
+        self._fired: list[dict] = []
+        self._lock = threading.Lock()
+        self._sleep = time.sleep
+
+    def add(self, fault: Fault) -> "FaultPlan":
+        self._faults.append(fault)
+        return self
+
+    @property
+    def faults(self) -> "list[Fault]":
+        return list(self._faults)
+
+    # ------------------------------------------------------------------
+    # The injection-point entry
+    # ------------------------------------------------------------------
+    def fire(self, site: str) -> "Fault | None":
+        """Record one hit at *site*; execute any matching fault.
+
+        Central kinds are executed here (``error`` raises, ``hang`` /
+        ``slow`` sleep, ``crash`` exits the process); site-handled
+        kinds (:data:`SITE_HANDLED`) are returned for the caller to
+        interpret.  Returns ``None`` when nothing matched.
+        """
+        with self._lock:
+            hit = self._hits.get(site, 0)
+            self._hits[site] = hit + 1
+            matched: "Fault | None" = None
+            for fault in self._faults:
+                if fault.site != site:
+                    continue
+                low, high = fault.window()
+                if low <= hit < high:
+                    matched = fault
+                    break
+            if matched is not None:
+                self._fired.append({"site": site, "hit": hit, "kind": matched.kind})
+        if matched is None:
+            return None
+        if matched.kind == "error":
+            raise matched.make_error()
+        if matched.kind in ("hang", "slow"):
+            self._sleep(matched.seconds)
+            return None
+        if matched.kind == "crash":
+            os._exit(17)
+        return matched  # site-handled (torn)
+
+    # ------------------------------------------------------------------
+    # Introspection (tests, the chaos harness)
+    # ------------------------------------------------------------------
+    def hits(self, site: str) -> int:
+        with self._lock:
+            return self._hits.get(site, 0)
+
+    def fired(self) -> "list[dict]":
+        """Every fault execution so far, in firing order."""
+        with self._lock:
+            return list(self._fired)
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "faults": [fault.describe() for fault in self._faults],
+                "hits": dict(self._hits),
+                "fired": len(self._fired),
+            }

@@ -1,0 +1,99 @@
+"""Seeded chaos schedules: one seed → one reproducible fault storm.
+
+The chaos suite (``tests/faults/``) and the ``BENCH_chaos`` harness
+both need *varied but replayable* failure scenarios.  This module maps
+a seed to a :class:`~repro.faults.plan.FaultPlan` through
+``random.Random(seed)`` only — same seed, same schedule, on every
+machine — drawing from the failure menu the serving stack is hardened
+against:
+
+* a worker that hangs mid-request (caught by the pool deadline);
+* a worker that crashes on a request (one transparent retry);
+* a short worker crash-loop (breaker opens, serving degrades);
+* a slow IPC frame (absorbed inside the deadline);
+* a WAL append failing disk-full (``POST /ingest`` → 503);
+* a torn WAL tail (recovery truncates to the last whole record);
+* a compactor build blowing up (retried with backoff, quarantined
+  when poisoned).
+
+Schedules deliberately stay within what the hardening guarantees: a
+``hang`` always sleeps longer than the pool deadline (so the kill
+path, not the wait path, resolves it) and crash-loops are long enough
+to trip the breaker.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.faults.plan import Fault, FaultPlan
+
+#: Every scenario the seeded generator can draw, by name.
+SCENARIOS = (
+    "worker_hang",
+    "worker_crash",
+    "worker_crash_loop",
+    "slow_ipc",
+    "wal_disk_full",
+    "wal_torn_tail",
+    "compactor_build",
+)
+
+
+def scenario_faults(
+    name: str, rng: random.Random, *, hang_seconds: float = 30.0
+) -> "list[Fault]":
+    """The fault rules for one named scenario (deterministic in *rng*)."""
+    after = rng.randrange(0, 4)
+    if name == "worker_hang":
+        return [Fault("worker.handle", "hang", after=after, seconds=hang_seconds)]
+    if name == "worker_crash":
+        return [Fault("worker.handle", "crash", after=after)]
+    if name == "worker_crash_loop":
+        # Enough consecutive crashes to trip any reasonable breaker.
+        return [Fault("worker.handle", "crash", after=after, count=math.inf)]
+    if name == "slow_ipc":
+        return [
+            Fault(
+                "ipc.send", "slow", after=after, seconds=rng.uniform(0.05, 0.2)
+            )
+        ]
+    if name == "wal_disk_full":
+        return [
+            Fault(
+                "wal.append",
+                "error",
+                after=after,
+                count=rng.randrange(1, 3),
+                error=OSError(28, "No space left on device (injected)"),
+            )
+        ]
+    if name == "wal_torn_tail":
+        return [Fault("wal.append", "torn", after=after)]
+    if name == "compactor_build":
+        return [
+            Fault("compactor.build", "error", after=0, count=rng.randrange(1, 3))
+        ]
+    raise ValueError(f"unknown chaos scenario {name!r}")
+
+
+def chaos_plan(
+    seed: int,
+    *,
+    scenarios: "tuple[str, ...]" = SCENARIOS,
+    picks: int = 2,
+    hang_seconds: float = 30.0,
+) -> "tuple[FaultPlan, list[str]]":
+    """A seeded plan drawing *picks* distinct scenarios.
+
+    Returns ``(plan, chosen_scenario_names)``; the names feed the
+    chaos report so every BENCH_chaos row says what it survived.
+    """
+    rng = random.Random(seed)
+    chosen = rng.sample(list(scenarios), k=min(picks, len(scenarios)))
+    plan = FaultPlan()
+    for name in chosen:
+        for fault in scenario_faults(name, rng, hang_seconds=hang_seconds):
+            plan.add(fault)
+    return plan, chosen

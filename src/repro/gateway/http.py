@@ -22,6 +22,7 @@ REASONS = {
     429: "Too Many Requests",
     500: "Internal Server Error",
     503: "Service Unavailable",
+    504: "Gateway Timeout",
 }
 
 _MAX_HEADER_BYTES = 16 * 1024

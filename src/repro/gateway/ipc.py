@@ -19,6 +19,8 @@ import json
 import socket
 import struct
 
+from repro import faults
+
 _HEADER = struct.Struct("!I")
 
 #: Upper bound on one frame; matches the HTTP body bound upstream so a
@@ -41,6 +43,9 @@ def _encode(message: dict) -> bytes:
 # Worker side: blocking socket I/O
 # ----------------------------------------------------------------------
 def send_frame(sock: socket.socket, message: dict) -> None:
+    # Chaos site: a "slow" fault here delays the worker's reply frame,
+    # which the parent must absorb inside its per-call deadline.
+    faults.fire("ipc.send")
     sock.sendall(_encode(message))
 
 

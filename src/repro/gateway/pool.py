@@ -7,10 +7,23 @@ workers.  A query checks a worker out, sends one frame, awaits one
 frame, and checks the worker back in — so a worker never multiplexes
 requests and the pool's concurrency is exactly its worker count.
 
-A worker that dies mid-round-trip (killed, OOM, bug) is detected by
-the broken socket, replaced by a fresh spawn, and the in-flight call
-fails with :class:`WorkerCrashed` — one crash costs one request, not
-the pool.
+Failure handling
+----------------
+Every round-trip runs under ``call_timeout``: a worker that neither
+answers nor dies (stuck syscall, runaway query) is killed at the
+deadline and the call fails with :class:`WorkerHung` — the caller is
+never parked on a hung process.  A worker that dies mid-round-trip
+(killed, OOM, bug) is detected by the broken socket and the call fails
+with :class:`WorkerCrashed`.  Either way the slot is reclaimed: a
+supervisor task respawns a replacement in the background, pacing
+consecutive spawn failures with capped exponential backoff so a
+poisoned index file cannot fork-bomb the host.
+
+The pool also owns a :class:`~repro.service.resilience.CircuitBreaker`
+fed by call outcomes.  The pool itself never refuses a call — the
+gateway consults ``pool.breaker`` to decide when to stop dispatching
+and degrade (inline serving or load shedding) while the supervisor
+nurses the pool back to health.
 
 ``round_trips`` counts every dispatched worker call; the coalescing
 tests use it to prove that N duplicate in-flight requests cost exactly
@@ -24,9 +37,11 @@ import multiprocessing
 import socket
 from pathlib import Path
 
+from repro import faults
 from repro.errors import ParameterError, ReproError
 from repro.gateway import ipc
 from repro.gateway.worker import worker_main
+from repro.service.resilience import Backoff, CircuitBreaker
 
 # Socket objects must survive the trip through Process args on spawn
 # platforms; fork inherits them for free.
@@ -35,6 +50,10 @@ multiprocessing.allow_connection_pickling()
 
 class WorkerCrashed(ReproError):
     """A worker process died or broke protocol mid-round-trip."""
+
+
+class WorkerHung(WorkerCrashed):
+    """A worker exceeded the per-call deadline and was killed."""
 
 
 class _Worker:
@@ -71,6 +90,15 @@ class WorkerPool:
     mmap:
         Open the files memory-mapped (v3 bundles reopen zero-copy, so
         N workers cost about one index's RAM).
+    call_timeout:
+        Per-round-trip deadline in seconds; ``None`` disables it
+        (a hung worker then hangs its caller — tests only).
+    breaker:
+        Injectable :class:`CircuitBreaker`; a default one is built
+        otherwise.
+    respawn_backoff:
+        Injectable :class:`Backoff` pacing consecutive respawn
+        failures.
     """
 
     def __init__(
@@ -80,6 +108,9 @@ class WorkerPool:
         cache_size: int = 4096,
         mmap: bool = True,
         spawn_timeout: float = 120.0,
+        call_timeout: "float | None" = 30.0,
+        breaker: "CircuitBreaker | None" = None,
+        respawn_backoff: "Backoff | None" = None,
     ) -> None:
         if workers <= 0:
             raise ParameterError("worker pool size must be positive")
@@ -90,18 +121,38 @@ class WorkerPool:
         self._cache_size = int(cache_size)
         self._mmap = bool(mmap)
         self._spawn_timeout = float(spawn_timeout)
+        self._call_timeout = (
+            None if call_timeout is None else float(call_timeout)
+        )
+        self.breaker = breaker if breaker is not None else CircuitBreaker()
+        self._respawn_backoff = (
+            respawn_backoff
+            if respawn_backoff is not None
+            else Backoff(base=0.05, max_delay=2.0)
+        )
         self._context = _spawn_context()
         self._idle: "asyncio.Queue[_Worker]" = asyncio.Queue()
         self._alive: list[_Worker] = []
+        self._respawn_tasks: "set[asyncio.Task]" = set()
+        self._spawn_failures = 0  # consecutive, gates respawn backoff
         self._next_wid = 0
         self._next_frame_id = 0
         self._closed = False
         self.round_trips = 0
         self.restarts = 0
+        self.timeouts = 0
 
     @property
     def workers(self) -> int:
         return self._workers
+
+    @property
+    def alive_workers(self) -> int:
+        return len(self._alive)
+
+    @property
+    def call_timeout(self) -> "float | None":
+        return self._call_timeout
 
     @property
     def index_names(self) -> list[str]:
@@ -116,6 +167,7 @@ class WorkerPool:
     async def _spawn_one(self) -> _Worker:
         self._next_wid += 1
         wid = self._next_wid
+        faults.fire("pool.spawn")
         parent_sock, child_sock = socket.socketpair()
         process = self._context.Process(
             target=worker_main,
@@ -130,9 +182,11 @@ class WorkerPool:
             ready = await asyncio.wait_for(
                 ipc.recv_frame_async(reader), self._spawn_timeout
             )
-        except Exception as error:
+        except BaseException as error:  # including cancellation mid-spawn
             parent_sock.close()
             process.terminate()
+            if isinstance(error, asyncio.CancelledError):
+                raise
             raise WorkerCrashed(f"worker {wid} failed to start: {error}") from error
         if not ready or ready.get("op") != "ready" or not ready.get("ok"):
             detail = (ready or {}).get("error", "no ready frame")
@@ -144,7 +198,12 @@ class WorkerPool:
         return worker
 
     async def call(self, message: dict) -> dict:
-        """One worker round-trip; raises :class:`WorkerCrashed` on loss."""
+        """One worker round-trip under the per-call deadline.
+
+        Raises :class:`WorkerHung` when the deadline fires (the worker
+        is killed and its slot respawned) and :class:`WorkerCrashed`
+        when the worker dies mid-call; both count against the breaker.
+        """
         if self._closed:
             raise WorkerCrashed("the worker pool is stopped")
         worker = await self._idle.get()
@@ -155,21 +214,53 @@ class WorkerPool:
         frame = dict(message)
         frame["id"] = self._next_frame_id
         try:
-            await ipc.send_frame_async(worker.writer, frame)
-            response = await ipc.recv_frame_async(worker.reader)
-            if response is None:
-                raise ipc.FrameError("worker hung up mid-call")
+            if self._call_timeout is not None:
+                response = await asyncio.wait_for(
+                    self._round_trip(worker, frame), self._call_timeout
+                )
+            else:
+                response = await self._round_trip(worker, frame)
+        except (asyncio.TimeoutError, TimeoutError) as error:
+            self.timeouts += 1
+            self.breaker.record_failure()
+            self._replace(worker)
+            raise WorkerHung(
+                f"worker {worker.wid} exceeded the {self._call_timeout}s "
+                "deadline and was killed"
+            ) from error
         except (ipc.FrameError, OSError, asyncio.IncompleteReadError) as error:
-            await self._discard_and_replace(worker)
+            self.breaker.record_failure()
+            self._replace(worker)
             raise WorkerCrashed(f"worker {worker.wid} died: {error}") from error
+        except asyncio.CancelledError:
+            # The caller's own deadline fired mid-round-trip.  The
+            # worker may still send the orphaned reply, which would
+            # desync the next call's frame stream — replace it.
+            self._replace(worker)
+            raise
         worker.dispatches += 1
         self.round_trips += 1
+        self.breaker.record_success()
         self._idle.put_nowait(worker)
         return response
 
+    @staticmethod
+    async def _round_trip(worker: _Worker, frame: dict) -> dict:
+        await ipc.send_frame_async(worker.writer, frame)
+        response = await ipc.recv_frame_async(worker.reader)
+        if response is None:
+            raise ipc.FrameError("worker hung up mid-call")
+        return response
+
     async def broadcast(self, message: dict) -> list[dict]:
-        """One round-trip against every live worker (e.g. ``stats``)."""
+        """One round-trip against every live worker (e.g. ``stats``).
+
+        A worker lost mid-broadcast is replaced (not re-queued) and
+        simply missing from the responses; the broadcast never raises
+        for one bad worker.
+        """
         checked_out: list[_Worker] = []
+        lost: list[_Worker] = []
         responses: list[dict] = []
         try:
             for _ in range(len(self._alive)):
@@ -184,36 +275,99 @@ class WorkerPool:
                 self._next_frame_id += 1
                 frame = dict(message)
                 frame["id"] = self._next_frame_id
-                await ipc.send_frame_async(worker.writer, frame)
-                response = await ipc.recv_frame_async(worker.reader)
-                if response is not None:
-                    response["worker"] = worker.wid
-                    responses.append(response)
+                try:
+                    if self._call_timeout is not None:
+                        response = await asyncio.wait_for(
+                            self._round_trip(worker, frame), self._call_timeout
+                        )
+                    else:
+                        response = await self._round_trip(worker, frame)
+                except (
+                    asyncio.TimeoutError,
+                    TimeoutError,
+                    ipc.FrameError,
+                    OSError,
+                    asyncio.IncompleteReadError,
+                ):
+                    lost.append(worker)
+                    self._replace(worker)
+                    continue
+                response["worker"] = worker.wid
+                responses.append(response)
         finally:
             for worker in checked_out:
-                self._idle.put_nowait(worker)
+                if worker not in lost:
+                    self._idle.put_nowait(worker)
         return responses
 
-    async def _discard_and_replace(self, worker: _Worker) -> None:
-        if worker in self._alive:
-            self._alive.remove(worker)
-        worker.writer.close()
-        if worker.process.is_alive():
-            worker.process.terminate()
+    # ------------------------------------------------------------------
+    # Supervision
+    # ------------------------------------------------------------------
+    def _replace(self, worker: _Worker) -> None:
+        """Discard a lost worker and schedule a supervised respawn.
+
+        Idempotent per worker: a worker that is simultaneously hung
+        (deadline path) and detected dead (socket path) is discarded
+        once and respawned once — the double-checkout bug this guards
+        against used to wedge ``stop()``.
+        """
+        if not self._discard(worker):
+            return
         if self._closed:
             return
+        task = asyncio.get_running_loop().create_task(self._respawn())
+        self._respawn_tasks.add(task)
+        task.add_done_callback(self._respawn_tasks.discard)
+
+    def _discard(self, worker: _Worker) -> bool:
+        """Tear one worker down; False when another path already did."""
+        if worker not in self._alive:
+            return False
+        self._alive.remove(worker)
         try:
-            replacement = await self._spawn_one()
-        except WorkerCrashed:
-            return  # pool shrinks; remaining workers keep serving
-        self.restarts += 1
-        self._idle.put_nowait(replacement)
+            worker.writer.close()
+        except Exception:  # pragma: no cover - already torn down
+            pass
+        if worker.process.is_alive():
+            worker.process.kill()
+        return True
+
+    async def _respawn(self) -> None:
+        """Refill one worker slot, backing off while spawns keep failing."""
+        while not self._closed:
+            if self._spawn_failures:
+                try:
+                    await asyncio.sleep(self._respawn_backoff.next_delay())
+                except asyncio.CancelledError:
+                    return
+            if self._closed:
+                return
+            try:
+                worker = await self._spawn_one()
+            except asyncio.CancelledError:
+                return
+            except WorkerCrashed:
+                self._spawn_failures += 1
+                self.breaker.record_failure()
+                continue
+            self._spawn_failures = 0
+            self._respawn_backoff.reset()
+            self.restarts += 1
+            self._idle.put_nowait(worker)
+            return
 
     async def stop(self, timeout: float = 5.0) -> None:
-        """Close every control socket (workers exit on EOF) and reap."""
+        """Close every control socket (workers exit on EOF) and reap.
+
+        Bounded by *timeout* overall: pending respawns are cancelled,
+        workers that ignore the EOF are killed, and nothing is awaited
+        past the deadline.
+        """
         if self._closed:
             return
         self._closed = True
+        for task in list(self._respawn_tasks):
+            task.cancel()
         # Wake any caller parked on the idle queue; the sentinel is
         # re-queued by each woken caller so none stays stuck.
         self._idle.put_nowait(None)
@@ -224,11 +378,13 @@ class WorkerPool:
                 pass
         loop = asyncio.get_running_loop()
         deadline = loop.time() + timeout
-        for worker in self._alive:
+        for worker in list(self._alive):
             remaining = max(deadline - loop.time(), 0.0)
             await loop.run_in_executor(None, worker.process.join, remaining)
             if worker.process.is_alive():
-                worker.process.terminate()
+                # SIGKILL cannot be ignored; the short join just reaps.
+                worker.process.kill()
+                await loop.run_in_executor(None, worker.process.join, 0.5)
         self._alive.clear()
         while not self._idle.empty():
             self._idle.get_nowait()
@@ -239,6 +395,11 @@ class WorkerPool:
             "alive": len(self._alive),
             "round_trips": self.round_trips,
             "restarts": self.restarts,
+            "timeouts": self.timeouts,
+            "call_timeout": self._call_timeout,
+            "respawns_pending": len(self._respawn_tasks),
+            "spawn_failures": self._spawn_failures,
+            "breaker": self.breaker.stats(),
             "dispatches": {
                 str(worker.wid): worker.dispatches for worker in self._alive
             },

@@ -24,11 +24,12 @@ them inline on executor threads, ``POST /ingest`` included.
 from __future__ import annotations
 
 import asyncio
+import random
 import signal
 import threading
 from pathlib import Path
 
-from repro.errors import ParameterError, ReproError
+from repro.errors import IndexLoadError, ParameterError, ReproError
 from repro.gateway import http
 from repro.gateway.admission import AdmissionController, OverloadError
 from repro.gateway.coalesce import Coalescer, coalesce_key
@@ -40,6 +41,7 @@ from repro.service.requests import (
     RequestError,
     does_not_ingest,
     endpoint_class,
+    health_payload,
     parse_ingest_request,
     parse_query_request,
     unsupported_counts,
@@ -48,6 +50,23 @@ from repro.service.requests import (
 
 class DrainingError(ReproError):
     """The gateway is shutting down; new work is refused."""
+
+
+class DeadlineError(ReproError):
+    """A request exceeded the gateway-wide deadline (HTTP 504)."""
+
+
+class PoolDegradedError(ReproError):
+    """The worker pool is unavailable and degraded serving is off.
+
+    Raised when the breaker is open and ``degraded_mode`` is
+    ``"shed"``; mapped to 503 + ``Retry-After`` so well-behaved
+    clients back off while the supervisor heals the pool.
+    """
+
+    def __init__(self, retry_after: int) -> None:
+        super().__init__("worker pool unavailable; retry later")
+        self.retry_after = max(1, int(retry_after))
 
 
 class AsyncGateway:
@@ -73,6 +92,16 @@ class AsyncGateway:
         dispatch.
     mmap:
         Workers open index files memory-mapped (v3 bundles).
+    request_timeout:
+        Gateway-wide per-request deadline in seconds; past it the
+        client gets a JSON 504 instead of a hang.  ``None`` disables.
+    call_timeout:
+        Per-worker-round-trip deadline handed to the pool.
+    degraded_mode:
+        What pool-backed queries do while the breaker is open:
+        ``"inline"`` serves them from a lazily-opened in-process
+        engine over the same bundle (exact answers, single-process
+        throughput); ``"shed"`` answers 503 + ``Retry-After``.
     """
 
     def __init__(
@@ -88,9 +117,14 @@ class AsyncGateway:
         coalesce: bool = True,
         mmap: bool = True,
         drain_timeout: float = 10.0,
+        request_timeout: "float | None" = 60.0,
+        call_timeout: "float | None" = 30.0,
+        degraded_mode: str = "inline",
     ) -> None:
         if not paths and registry is None:
             raise ParameterError("nothing to serve: give paths and/or a registry")
+        if degraded_mode not in ("inline", "shed"):
+            raise ParameterError("degraded_mode must be 'inline' or 'shed'")
         self._paths = {name: str(path) for name, path in (paths or {}).items()}
         self.registry = registry
         self._host = host
@@ -99,6 +133,13 @@ class AsyncGateway:
         self._cache_size = int(cache_size)
         self._mmap = bool(mmap)
         self._drain_timeout = float(drain_timeout)
+        self._request_timeout = (
+            None if request_timeout is None else float(request_timeout)
+        )
+        self._call_timeout = (
+            None if call_timeout is None else float(call_timeout)
+        )
+        self._degraded_mode = degraded_mode
         self.admission = AdmissionController(max_queue, per_index_limit)
         self.coalescer = Coalescer() if coalesce else None
         self.pool: "WorkerPool | None" = None
@@ -109,6 +150,13 @@ class AsyncGateway:
         self._draining = False
         self._inflight = 0
         self._idle = asyncio.Event()
+        # Degraded-mode engines over the pool's bundles, opened lazily
+        # on executor threads (never touched while the pool is healthy).
+        self._fallback_engines: dict = {}
+        self._fallback_lock = threading.Lock()
+        self.deadline_timeouts = 0
+        self.pool_retries = 0
+        self.degraded_queries = 0
 
     def _peek_backends(self) -> dict:
         from repro.io import peek_backend
@@ -125,6 +173,7 @@ class AsyncGateway:
                 workers=self._workers,
                 cache_size=self._cache_size,
                 mmap=self._mmap,
+                call_timeout=self._call_timeout,
             )
             await self.pool.start()
         self._idle.set()
@@ -173,6 +222,16 @@ class AsyncGateway:
             await self.pool.stop()
         if self.registry is not None:
             self.registry.close()
+        with self._fallback_lock:
+            fallbacks = list(self._fallback_engines.values())
+            self._fallback_engines.clear()
+        for engine in fallbacks:
+            closer = getattr(engine.index, "close", None)
+            if callable(closer):
+                try:
+                    closer()
+                except Exception:  # pragma: no cover - best-effort cleanup
+                    pass
 
     def serve_forever(self, install_signal_handlers: bool = True) -> None:
         """Run the gateway on the calling thread (the CLI path).
@@ -255,7 +314,24 @@ class AsyncGateway:
         self._track_request(+1)
         try:
             try:
-                status, payload, retry_after = await self._route(request)
+                if self._request_timeout is not None:
+                    status, payload, retry_after = await asyncio.wait_for(
+                        self._route(request), self._request_timeout
+                    )
+                else:
+                    status, payload, retry_after = await self._route(request)
+            except (asyncio.TimeoutError, TimeoutError, DeadlineError):
+                self.deadline_timeouts += 1
+                status, payload, retry_after = (
+                    504,
+                    {
+                        "error": (
+                            "request exceeded the "
+                            f"{self._request_timeout}s deadline"
+                        )
+                    },
+                    None,
+                )
             except http.HttpError as error:
                 status, payload, retry_after = (
                     error.status,
@@ -279,6 +355,14 @@ class AsyncGateway:
                     503,
                     {"error": "server is shutting down"},
                     None,
+                )
+            except IndexLoadError as error:
+                status, payload, retry_after = 503, {"error": str(error)}, 1
+            except PoolDegradedError as error:
+                status, payload, retry_after = (
+                    503,
+                    {"error": str(error)},
+                    error.retry_after,
                 )
             except WorkerCrashed as error:
                 # Mid-drain, a dispatch losing its worker is expected —
@@ -304,7 +388,7 @@ class AsyncGateway:
         method, path = request.method, request.path
         if method == "GET":
             if path == "/healthz":
-                return 200, {"status": "ok"}, None
+                return 200, self._health(), None
             if path == "/indexes":
                 return 200, {"indexes": self._describe_indexes()}, None
             if path == "/stats":
@@ -364,7 +448,21 @@ class AsyncGateway:
                     raise
                 self.coalescer.resolve(key, result)
             else:
-                result = await asyncio.shield(future)
+                try:
+                    result = await asyncio.shield(future)
+                except asyncio.CancelledError:
+                    if future.cancelled() or (
+                        future.done()
+                        and isinstance(
+                            future.exception(), asyncio.CancelledError
+                        )
+                    ):
+                        # The *leader* hit its deadline; followers get
+                        # a clean 504 instead of a dropped connection.
+                        raise DeadlineError(
+                            "coalesced leader exceeded its deadline"
+                        )
+                    raise
 
         utilities, counts = result
         rows = [
@@ -395,15 +493,86 @@ class AsyncGateway:
         self, name: str, patterns: list, with_counts: bool
     ) -> tuple:
         assert self.pool is not None
-        response = await self.pool.call(
-            {"op": "query", "index": name, "patterns": patterns, "count": with_counts}
-        )
+        if not self.pool.breaker.allow():
+            return await self._dispatch_degraded(name, patterns, with_counts)
+        message = {
+            "op": "query", "index": name, "patterns": patterns, "count": with_counts
+        }
+        try:
+            response = await self.pool.call(message)
+        except WorkerCrashed:
+            if self._draining:
+                raise
+            # One transparent retry on a fresh worker: queries are
+            # idempotent, so the crash costs this caller latency, not
+            # an error.  Jitter decorrelates concurrent retriers.
+            self.pool_retries += 1
+            await asyncio.sleep(random.uniform(0.005, 0.05))
+            if not self.pool.breaker.allow():
+                return await self._dispatch_degraded(name, patterns, with_counts)
+            try:
+                response = await self.pool.call(message)
+            except WorkerCrashed:
+                if self._draining:
+                    raise
+                return await self._dispatch_degraded(name, patterns, with_counts)
         if not response.get("ok"):
             raise RequestError(
                 int(response.get("status", 500)),
                 response.get("error", "worker error"),
             )
         return response["utilities"], response.get("counts")
+
+    async def _dispatch_degraded(
+        self, name: str, patterns: list, with_counts: bool
+    ) -> tuple:
+        """Serve a pool-backed query without the pool (breaker open).
+
+        Inline mode opens the same bundle in this process, so the
+        answers are bitwise identical to the pool's — the degradation
+        is throughput (no fan-out), never correctness.
+        """
+        if self._degraded_mode != "inline":
+            retry_after = (
+                self.pool.breaker.retry_after() if self.pool is not None else 1
+            )
+            raise PoolDegradedError(retry_after)
+        loop = asyncio.get_running_loop()
+        engine = await loop.run_in_executor(None, self._fallback_engine, name)
+        if with_counts and not engine.protocol.capabilities.count:
+            raise unsupported_counts(name, engine.protocol.backend_name)
+        utilities = await loop.run_in_executor(None, engine.query_batch, patterns)
+        counts = None
+        if with_counts:
+            counts = await loop.run_in_executor(
+                None, lambda: [engine.count(p) for p in patterns]
+            )
+        self.degraded_queries += 1
+        return utilities, counts
+
+    def _fallback_engine(self, name: str):
+        """The lazily-opened in-process engine for one pool bundle.
+
+        Runs on an executor thread (opening an index touches disk).
+        """
+        with self._fallback_lock:
+            engine = self._fallback_engines.get(name)
+        if engine is not None:
+            return engine
+        from repro.api import open_index
+        from repro.service.engine import QueryEngine
+
+        index = open_index(self._paths[name], mmap=self._mmap)
+        engine = QueryEngine(index, cache_size=self._cache_size)
+        with self._fallback_lock:
+            existing = self._fallback_engines.get(name)
+            if existing is not None:  # lost the open race; keep theirs
+                closer = getattr(index, "close", None)
+                if callable(closer):
+                    closer()
+                return existing
+            self._fallback_engines[name] = engine
+        return engine
 
     async def _dispatch_inline(
         self, name: str, patterns: list, with_counts: bool
@@ -439,11 +608,34 @@ class AsyncGateway:
             seq = await loop.run_in_executor(None, appender, doc, utilities)
         except ReproError as error:
             raise RequestError(400, str(error))
+        except OSError as error:
+            # WAL write failure (disk full, torn write).  The append
+            # was not acknowledged and the memtable is untouched, so
+            # the client may simply retry later.
+            raise http.HttpError(
+                503, f"ingest temporarily unavailable: {error}", retry_after=1
+            )
         return 200, {"index": name, "seq": int(seq)}, None
 
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
+    def _health(self) -> dict:
+        breaker_state = "closed"
+        workers_alive = 0
+        workers_target = 0
+        if self.pool is not None:
+            breaker_state = self.pool.breaker.state
+            workers_alive = self.pool.alive_workers
+            workers_target = self.pool.workers
+        return health_payload(
+            self.registry,
+            workers_alive=workers_alive,
+            workers_target=workers_target,
+            breaker_state=breaker_state,
+            extra_reasons=("draining",) if self._draining else (),
+        )
+
     def _describe_indexes(self) -> list[dict]:
         rows = []
         for name in sorted(self._paths):
@@ -476,6 +668,7 @@ class AsyncGateway:
                 "resident": len(self._paths),
                 "capacity": len(self._paths),
                 "loads": 0,
+                "load_failures": 0,
                 "evictions": 0,
                 "replacements": 0,
             }
@@ -506,6 +699,19 @@ class AsyncGateway:
             "admission": self.admission.stats(),
             "coalescer": self.coalescer.stats() if self.coalescer else None,
             "pool": pool_stats,
+            "resilience": {
+                "request_timeout": self._request_timeout,
+                "call_timeout": self._call_timeout,
+                "deadline_timeouts": self.deadline_timeouts,
+                "pool_retries": self.pool_retries,
+                "degraded_mode": self._degraded_mode,
+                "degraded_queries": self.degraded_queries,
+                "fallback_engines": sorted(self._fallback_engines),
+                "breaker": (
+                    self.pool.breaker.stats() if self.pool is not None else None
+                ),
+                "health": self._health(),
+            },
         }
 
 

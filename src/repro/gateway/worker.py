@@ -22,6 +22,7 @@ import signal
 import socket
 import traceback
 
+from repro import faults
 from repro.gateway import ipc
 
 #: Statuses a worker can attach to an error frame; the gateway maps
@@ -36,6 +37,7 @@ def _open_engines(paths: dict, cache_size: int, mmap: bool) -> dict:
 
     engines = {}
     for name, path in paths.items():
+        faults.fire("worker.open")
         index = open_index(path, mmap=mmap)
         engines[name] = QueryEngine(index, cache_size=cache_size)
     return engines
@@ -92,6 +94,10 @@ def worker_main(
             request = ipc.recv_frame(sock)
             if request is None:  # parent closed its end: drain complete
                 break
+            # Chaos site: fires *outside* the per-request try so a
+            # "hang" stalls the whole worker (deadline territory) and
+            # a "crash" takes the process down, not just the request.
+            faults.fire("worker.handle")
             response: dict
             try:
                 op = request.get("op")

@@ -9,13 +9,26 @@ published with :meth:`~repro.service.registry.IndexRegistry.replace`
 — the zero-downtime hot-swap — and the fresh query engine is warmed
 with the sealed memtable's hot substrings (the SpaceSaving compaction
 hints), so the first queries after a swap hit a non-empty cache.
+
+Failure containment: a build that blows up never interrupts serving —
+the sealed memtable keeps answering queries while the build is
+retried with capped exponential backoff, and after
+``max_build_attempts`` failures the memtable is quarantined
+(:meth:`LiveIndex.quarantine`: still queryable, never compacted
+again) so one poison generation cannot wedge the compactor forever.
+Only the *build* is retried; installs are not, because re-running an
+install after a partial success could register the same shard twice
+and change answers.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 
+from repro import faults
 from repro.ingest.live import LiveIndex
+from repro.service.resilience import Backoff
 
 
 class Compactor:
@@ -35,6 +48,14 @@ class Compactor:
         protocol adapter wrapping *live*); defaults to *live*.
     interval:
         Poll period in seconds for the background thread.
+    max_build_attempts:
+        Build failures tolerated per sealed memtable before it is
+        quarantined.
+    backoff:
+        Injectable :class:`~repro.service.resilience.Backoff` pacing
+        build retries (tests pass a fast one).
+    clock:
+        Injectable monotonic clock for retry scheduling (tests).
     """
 
     def __init__(
@@ -46,6 +67,9 @@ class Compactor:
         index=None,
         interval: float = 0.25,
         warm_limit: int = 8,
+        max_build_attempts: int = 3,
+        backoff: "Backoff | None" = None,
+        clock=time.monotonic,
     ) -> None:
         self._live = live
         self._registry = registry
@@ -53,25 +77,75 @@ class Compactor:
         self._index = index if index is not None else live
         self._interval = float(interval)
         self._warm_limit = int(warm_limit)
+        self._max_build_attempts = max(1, int(max_build_attempts))
+        self._backoff = (
+            backoff if backoff is not None else Backoff(base=0.1, max_delay=5.0)
+        )
+        self._clock = clock
+        # Sealed memtables whose build failed and is awaiting retry:
+        # [sealed, hot, attempts, not_before] rows, oldest first.
+        self._pending: list[list] = []
         self._stop = threading.Event()
         self._thread: "threading.Thread | None" = None
         self.cycles = 0
         self.compactions = 0
+        self.build_failures = 0
+        self.retries = 0
+        self.quarantines = 0
         self.last_error: "Exception | None" = None
 
     # ------------------------------------------------------------------
     # One cycle (also the synchronous entry point for tests / CLI)
     # ------------------------------------------------------------------
     def run_once(self, force: bool = False) -> bool:
-        """Seal/build/install one generation if due; True if it ran."""
+        """Seal/build/install one generation if due; True if any ran.
+
+        Retries due pending builds first, so a recovered fault drains
+        the backlog before new generations pile on.
+        """
         self.cycles += 1
+        progressed = self._retry_pending()
         if not force and not self._live.should_seal():
-            return False
+            return progressed
         sealed = self._live.seal()
         if sealed is None:
-            return False
+            return progressed
         hot = sealed.hot_patterns(self._warm_limit)
-        shard = self._live.build_shard(sealed)  # expensive, lock-free
+        return self._attempt([sealed, hot, 0, 0.0]) or progressed
+
+    def _retry_pending(self) -> bool:
+        progressed = False
+        now = self._clock()
+        for row in list(self._pending):
+            if row[3] > now:
+                continue
+            self.retries += 1
+            progressed = self._attempt(row) or progressed
+        return progressed
+
+    def _attempt(self, row: list) -> bool:
+        """Build+install one sealed memtable; contain a build failure."""
+        sealed, hot = row[0], row[1]
+        try:
+            faults.fire("compactor.build")
+            shard = self._live.build_shard(sealed)  # expensive, lock-free
+        except Exception as exc:
+            self.build_failures += 1
+            self.last_error = exc
+            row[2] += 1
+            if row[2] >= self._max_build_attempts:
+                if row in self._pending:
+                    self._pending.remove(row)
+                self._live.quarantine(sealed)
+                self.quarantines += 1
+            else:
+                row[3] = self._clock() + self._backoff.next_delay()
+                if row not in self._pending:
+                    self._pending.append(row)
+            return False
+        if row in self._pending:
+            self._pending.remove(row)
+        self._backoff.reset()
         self._live.install_shard(sealed, shard)
         self.compactions += 1
         self._publish(hot)
@@ -121,6 +195,19 @@ class Compactor:
         if thread is not None:
             thread.join()
             self._thread = None
+
+    def stats(self) -> dict:
+        return {
+            "cycles": self.cycles,
+            "compactions": self.compactions,
+            "build_failures": self.build_failures,
+            "retries": self.retries,
+            "quarantines": self.quarantines,
+            "pending_builds": len(self._pending),
+            "last_error": (
+                None if self.last_error is None else str(self.last_error)
+            ),
+        }
 
     def __enter__(self) -> "Compactor":
         self.start()

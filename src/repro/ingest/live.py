@@ -107,6 +107,15 @@ class LiveIndex:
         self._lock = threading.RLock()
         self._memtable = self._new_memtable()
         self._frozen: list[MemtableDelta] = []
+        # Sealed memtables whose shard build keeps failing; still
+        # queryable (answers stay exact), just never compacted again.
+        self._quarantined: list[MemtableDelta] = []
+        # Sequence ranges [first, last] that later compactions pushed
+        # ``compacted_seq`` past but that live in NO installed shard
+        # (quarantined memtables, including ones from before a
+        # restart).  WAL pruning never crosses a hole and replay
+        # re-applies records inside one.
+        self._holes: "list[list[int]]" = []
         self._shards: list[UsiIndex] = []
         self._shard_files: list[str] = []
         self._next_shard_number = 1
@@ -192,6 +201,10 @@ class LiveIndex:
         self._directory = directory
         self._wal_sync = bool(wal_sync)
         self._compacted_seq = int(manifest["compacted_seq"])
+        self._holes = [
+            [int(first), int(last)]
+            for first, last in manifest.get("quarantined_holes", [])
+        ]
         self._generation = int(manifest["generation"])
         self._seals = int(manifest["seals"])
         self._compactions = int(manifest["compactions"])
@@ -234,7 +247,10 @@ class LiveIndex:
             last_seq = max(last_seq, checkpoint_range[1])
         for record in self._wal.replay():
             last_seq = max(last_seq, record.seq)
-            if record.seq <= self._compacted_seq:
+            in_hole = any(
+                first <= record.seq <= last for first, last in self._holes
+            )
+            if record.seq <= self._compacted_seq and not in_hole:
                 continue  # already in a cold shard
             if (
                 checkpoint_range is not None
@@ -305,6 +321,7 @@ class LiveIndex:
                 "compactions": self._compactions,
                 "shards": len(self._shards),
                 "frozen_memtables": len(self._frozen),
+                "quarantined": len(self._quarantined),
                 "memtable": {
                     "documents": memtable.documents,
                     "chars": memtable.chars,
@@ -378,6 +395,7 @@ class LiveIndex:
             return [
                 *self._shards,
                 *[frozen.delta for frozen in self._frozen],
+                *[poisoned.delta for poisoned in self._quarantined],
                 self._memtable.delta,
             ]
 
@@ -498,13 +516,50 @@ class LiveIndex:
                     self._shard_files.append(filename)
             if sealed.last_seq is not None:
                 self._compacted_seq = max(self._compacted_seq, sealed.last_seq)
+            if sealed.first_seq is not None:
+                # Holes inside the installed range are durable now
+                # (post-restart, replayed quarantined documents live in
+                # the memtable that just became this shard).
+                self._holes = [
+                    hole
+                    for hole in self._holes
+                    if not (
+                        sealed.first_seq <= hole[0]
+                        and hole[1] <= sealed.last_seq
+                    )
+                ]
             self._generation += 1
             self._compactions += 1
+            # Pruning never crosses a hole: a quarantined memtable's
+            # documents exist only in RAM and its WAL records.
             upto = self._compacted_seq
+            for hole in self._holes:
+                upto = min(upto, hole[0] - 1)
         if self._directory is not None:
             self._write_manifest()
             if self._wal is not None:
                 self._wal.prune(upto)
+
+    def quarantine(self, sealed: MemtableDelta) -> None:
+        """Set aside a sealed memtable whose shard build keeps failing.
+
+        The memtable stays in the read fan-out, so every answer is
+        still exact — the only cost is that its documents are served
+        from the delta structure instead of a cold shard.  Its
+        sequence range is recorded as a manifest *hole*: WAL pruning
+        never crosses it and replay re-applies it, so a restart brings
+        its documents back into the active memtable with answers
+        unchanged.
+        """
+        with self._lock:
+            if sealed in self._frozen:
+                self._frozen.remove(sealed)
+            if sealed in self._quarantined:
+                return
+            self._quarantined.append(sealed)
+            if sealed.first_seq is not None:
+                self._holes.append([sealed.first_seq, sealed.last_seq])
+        self._write_manifest()
 
     def compact(self) -> bool:
         """Seal + build + install synchronously; True if anything moved."""
@@ -561,6 +616,7 @@ class LiveIndex:
                 "hot_capacity": self._hot_capacity,
                 "hot_window": self._hot_window,
                 "compacted_seq": self._compacted_seq,
+                "quarantined_holes": [list(hole) for hole in self._holes],
                 "generation": self._generation,
                 "seals": self._seals,
                 "compactions": self._compactions,
@@ -591,4 +647,6 @@ class LiveIndex:
 
     def __setstate__(self, state: dict) -> None:
         self.__dict__.update(state)
+        self.__dict__.setdefault("_quarantined", [])
+        self.__dict__.setdefault("_holes", [])
         self._lock = threading.RLock()

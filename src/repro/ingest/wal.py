@@ -40,6 +40,7 @@ from typing import Iterator, Sequence
 
 import numpy as np
 
+from repro import faults
 from repro.errors import ParameterError
 
 _SEGMENT_PREFIX = "wal-"
@@ -123,6 +124,9 @@ class WriteAheadLog:
         self._sync = bool(sync)
         self._handle = None
         self._active_path: "Path | None" = None
+        # Set after a failed write: (segment, last clean offset); the
+        # next append or rotation truncates the suspect tail away.
+        self._repair: "tuple[Path, int] | None" = None
         # Last sequence number seen per closed segment (known for
         # replayed and rotated segments; needed by prune).
         self._last_seq: dict[Path, int] = {}
@@ -148,16 +152,61 @@ class WriteAheadLog:
     # Writing
     # ------------------------------------------------------------------
     def append(self, seq: int, codes, utilities=None) -> None:
-        """Durably record one document before it is applied."""
+        """Durably record one document before it is applied.
+
+        Raises :class:`OSError` when the write fails (disk full, torn
+        write); the record is then *not* acknowledged — ``_last_seq``
+        is untouched, and callers must not apply the document.  The
+        segment tail is suspect after a failure (a partial record may
+        have reached the disk): the next append repairs it by
+        truncating back to the last clean offset, and if the process
+        dies first, :meth:`replay` truncates the torn line on
+        recovery.  Either way no later record can merge into the torn
+        bytes.
+        """
+        # Chaos site: an "error" fault (e.g. ENOSPC) raises before any
+        # byte lands; a "torn" fault is handled below — half the record
+        # reaches the file and the append still fails, exactly the
+        # state a mid-write crash leaves behind.
+        fault = faults.fire("wal.append")
         if self._handle is None:
+            self._open_segment()
+        data = _encode_record(seq, codes, utilities)
+        clean_offset = self._handle.tell()
+        try:
+            if fault is not None and fault.kind == "torn":
+                self._handle.write(data[: max(len(data) // 2, 1)])
+                self._handle.flush()
+                raise OSError(
+                    f"short write to {self._active_path.name}"
+                    " (injected torn tail)"
+                )
+            self._handle.write(data)
+            self._handle.flush()
+            if self._sync:
+                os.fsync(self._handle.fileno())
+        except OSError:
+            self._repair = (self._active_path, clean_offset)
+            try:
+                self._handle.close()
+            except OSError:  # pragma: no cover - double-fault close
+                pass
+            self._handle = None
+            self._active_path = None
+            raise
+        self._last_seq[self._active_path] = int(seq)
+
+    def _open_segment(self) -> None:
+        if self._repair is not None:
+            path, offset = self._repair
+            self._repair = None
+            with open(path, "r+b") as handle:
+                handle.truncate(offset)
+            self._active_path = path
+        else:
             self._active_path = self._dir / _segment_name(self._next_number)
             self._next_number += 1
-            self._handle = open(self._active_path, "ab")
-        self._handle.write(_encode_record(seq, codes, utilities))
-        self._handle.flush()
-        if self._sync:
-            os.fsync(self._handle.fileno())
-        self._last_seq[self._active_path] = int(seq)
+        self._handle = open(self._active_path, "ab")
 
     def rotate(self) -> None:
         """Close the active segment; the next append opens a fresh one.
@@ -165,6 +214,14 @@ class WriteAheadLog:
         Called at memtable seal time so one segment maps to one sealed
         memtable and becomes prunable the moment its shard lands.
         """
+        if self._repair is not None:
+            path, offset = self._repair
+            self._repair = None
+            try:
+                with open(path, "r+b") as handle:
+                    handle.truncate(offset)
+            except OSError:  # pragma: no cover - replay will repair it
+                pass
         if self._handle is not None:
             if self._sync:
                 os.fsync(self._handle.fileno())

@@ -25,7 +25,8 @@ import threading
 from pathlib import Path
 from typing import Callable
 
-from repro.errors import ParameterError
+from repro import faults
+from repro.errors import IndexLoadError, ParameterError
 from repro.service.engine import QueryEngine
 from repro.service.metrics import LatencyRecorder
 
@@ -111,6 +112,7 @@ class IndexRegistry:
         self._entries: dict[str, _Entry] = {}
         self._clock = 0
         self._loads = 0
+        self._load_failures = 0
         self._evictions = 0
         self._replacements = 0
         self._closed = False
@@ -207,7 +209,17 @@ class IndexRegistry:
             path = entry.path
         # Load outside the lock (possibly racing another thread; the
         # second load just wins the assignment, both are equivalent).
-        index = self._loader(path)
+        try:
+            faults.fire("registry.load")
+            index = self._loader(path)
+        except Exception as error:
+            # Nothing was assigned, so the entry stays lazily loadable
+            # and the next get() retries; front-ends answer 503.
+            with self._lock:
+                self._load_failures += 1
+            raise IndexLoadError(
+                f"cannot load index {name!r} from {path}: {error}"
+            ) from error
         engine = self._wrap(index)
         with self._lock:
             current = self._entries.get(name)
@@ -322,6 +334,7 @@ class IndexRegistry:
                 "resident": resident,
                 "capacity": self._capacity,
                 "loads": self._loads,
+                "load_failures": self._load_failures,
                 "evictions": self._evictions,
                 "replacements": self._replacements,
             }

@@ -43,6 +43,42 @@ def parse_query_request(request: dict) -> "tuple[list[str], bool]":
     return patterns, bool(request.get("count"))
 
 
+def health_payload(
+    registry,
+    *,
+    workers_alive: int = 0,
+    workers_target: int = 0,
+    breaker_state: str = "closed",
+    extra_reasons: "tuple[str, ...]" = (),
+) -> dict:
+    """The shared ``GET /healthz`` body for both front-ends.
+
+    ``status`` is ``"ok"`` unless any degradation reason applies: an
+    open/half-open worker breaker, missing pool workers, quarantined
+    ingest memtables, or a front-end-specific *extra_reasons* entry.
+    Degraded still means *answering* (exactly) — this is the signal a
+    load balancer or operator watches, not a failure page.
+    """
+    quarantined = 0
+    if registry is not None:
+        for row in registry.ingest_stats().values():
+            quarantined += int(row.get("quarantined", 0))
+    reasons = list(extra_reasons)
+    if breaker_state != "closed":
+        reasons.append(f"worker breaker {breaker_state}")
+    if workers_alive < workers_target:
+        reasons.append(f"{workers_alive}/{workers_target} pool workers alive")
+    if quarantined:
+        reasons.append(f"{quarantined} quarantined memtable(s)")
+    return {
+        "status": "ok" if not reasons else "degraded",
+        "workers_alive": int(workers_alive),
+        "breaker": breaker_state,
+        "quarantined": quarantined,
+        "reasons": reasons,
+    }
+
+
 def parse_ingest_request(request: dict) -> "tuple[str, list | None]":
     """Validate a ``POST /ingest`` body; return ``(doc, utilities)``."""
     doc = request.get("doc")

@@ -1,0 +1,176 @@
+"""Failure-handling primitives shared across the serving stack.
+
+:class:`Backoff` — capped exponential delays with deterministic,
+seeded jitter — paces every supervised retry loop in the system: the
+gateway pool's worker respawns, the compactor's build retries, and the
+``usi ingest`` client's reconnects.  Jitter comes from
+``random.Random(seed)`` so chaos tests replay identically.
+
+:class:`CircuitBreaker` — the classic closed → open → half-open state
+machine — protects callers from hammering a crash-looping dependency.
+``CLOSED`` passes everything and counts consecutive failures; at
+``failure_threshold`` it trips ``OPEN`` and sheds until
+``cooldown_seconds`` elapse; then ``HALF_OPEN`` admits a single probe,
+whose success closes the breaker (and whose failure re-opens it).
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+
+from repro.errors import ParameterError
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class Backoff:
+    """Capped exponential delays with seeded jitter.
+
+    ``next_delay()`` returns ``base * factor**attempt`` capped at
+    ``max_delay``, plus up to ``jitter`` fractional noise; ``reset()``
+    returns to the base delay after a success.
+    """
+
+    def __init__(
+        self,
+        base: float = 0.05,
+        factor: float = 2.0,
+        max_delay: float = 2.0,
+        jitter: float = 0.25,
+        seed: int = 0,
+    ) -> None:
+        if base <= 0 or factor < 1.0 or max_delay < base:
+            raise ParameterError("backoff needs base > 0, factor >= 1, max >= base")
+        self._base = float(base)
+        self._factor = float(factor)
+        self._max = float(max_delay)
+        self._jitter = float(jitter)
+        self._rng = random.Random(seed)
+        self._attempt = 0
+        self._lock = threading.Lock()
+
+    @property
+    def attempt(self) -> int:
+        return self._attempt
+
+    def next_delay(self) -> float:
+        """The delay to sleep before the next retry (advances the count)."""
+        with self._lock:
+            delay = min(self._base * self._factor**self._attempt, self._max)
+            self._attempt += 1
+            if self._jitter:
+                delay *= 1.0 + self._rng.uniform(0.0, self._jitter)
+        return delay
+
+    def reset(self) -> None:
+        with self._lock:
+            self._attempt = 0
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with a half-open recovery probe.
+
+    Parameters
+    ----------
+    failure_threshold:
+        Consecutive failures that trip the breaker open.
+    cooldown_seconds:
+        How long the breaker sheds before admitting a recovery probe.
+    clock:
+        Injectable monotonic clock (tests).
+
+    Thread-safe; shared between the event loop (dispatch decisions)
+    and whatever thread reports outcomes.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        cooldown_seconds: float = 1.0,
+        clock=time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ParameterError("failure_threshold must be >= 1")
+        self.failure_threshold = int(failure_threshold)
+        self.cooldown_seconds = float(cooldown_seconds)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probe_inflight = False
+        self._trips = 0
+        self._shed = 0
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state_locked()
+
+    def _state_locked(self) -> str:
+        if (
+            self._state == OPEN
+            and self._clock() - self._opened_at >= self.cooldown_seconds
+        ):
+            self._state = HALF_OPEN
+            self._probe_inflight = False
+        return self._state
+
+    def allow(self) -> bool:
+        """Whether a call may proceed right now.
+
+        ``HALF_OPEN`` admits exactly one in-flight probe; its outcome
+        (reported via :meth:`record_success` / :meth:`record_failure`)
+        decides the next state.
+        """
+        with self._lock:
+            state = self._state_locked()
+            if state == CLOSED:
+                return True
+            if state == HALF_OPEN and not self._probe_inflight:
+                self._probe_inflight = True
+                return True
+            self._shed += 1
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._consecutive_failures = 0
+            self._probe_inflight = False
+            self._state = CLOSED
+
+    def record_failure(self) -> None:
+        with self._lock:
+            state = self._state_locked()
+            self._consecutive_failures += 1
+            self._probe_inflight = False
+            if state == HALF_OPEN or (
+                self._consecutive_failures >= self.failure_threshold
+            ):
+                if state != OPEN:
+                    self._trips += 1
+                self._state = OPEN
+                self._opened_at = self._clock()
+
+    def retry_after(self) -> int:
+        """Whole seconds a shed client should wait (>= 1)."""
+        with self._lock:
+            if self._state_locked() != OPEN:
+                return 1
+            remaining = self.cooldown_seconds - (self._clock() - self._opened_at)
+        return max(1, int(remaining) + 1)
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "state": self._state_locked(),
+                "consecutive_failures": self._consecutive_failures,
+                "failure_threshold": self.failure_threshold,
+                "cooldown_seconds": self.cooldown_seconds,
+                "trips": self._trips,
+                "shed": self._shed,
+            }

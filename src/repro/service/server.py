@@ -33,7 +33,11 @@ Endpoints
     static registries).
 
 ``GET /healthz``
-    Liveness probe: ``{"status": "ok"}``.
+    Structured health probe (shared shape with the async gateway):
+    ``{"status": "ok"|"degraded", "workers_alive", "breaker",
+    "quarantined", "reasons"}``.  Threaded mode has no worker pool,
+    so ``workers_alive`` is 0 and ``breaker`` is ``"closed"``;
+    ``degraded`` appears when a live index has quarantined memtables.
 
 The server is a :class:`http.server.ThreadingHTTPServer` — one thread
 per in-flight request — which is exactly the concurrency model
@@ -49,7 +53,7 @@ import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
-from repro.errors import ReproError
+from repro.errors import IndexLoadError, ReproError
 from repro.profiling import merge_profile_dicts
 from repro.service.metrics import EndpointMetrics, LatencyRecorder
 from repro.service.registry import IndexRegistry
@@ -59,6 +63,7 @@ from repro.service.requests import (
     RequestError,
     does_not_ingest,
     endpoint_class,
+    health_payload,
     parse_ingest_request,
     parse_query_request,
     unsupported_counts,
@@ -118,12 +123,22 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
-    def _error(self, status: int, message: str) -> None:
+    def _error(
+        self, status: int, message: str, retry_after: "int | None" = None
+    ) -> None:
         # Error paths may not have drained the request body; under
         # HTTP/1.1 keep-alive the leftover bytes would be parsed as
         # the next request, desyncing the connection. Close instead.
         self.close_connection = True
-        self._send_json({"error": message}, status=status)
+        body = json.dumps({"error": message}).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if retry_after is not None:
+            self.send_header("Retry-After", str(int(retry_after)))
+        self.send_header("Connection", "close")
+        self.end_headers()
+        self.wfile.write(body)
 
     # ------------------------------------------------------------------
     # Routes
@@ -166,7 +181,7 @@ class _Handler(BaseHTTPRequestHandler):
                 }
             )
         elif self.path == "/healthz":
-            self._send_json({"status": "ok"})
+            self._send_json(health_payload(self.registry))
         else:
             self._error(404, f"unknown path {self.path!r}")
 
@@ -246,6 +261,11 @@ class _Handler(BaseHTTPRequestHandler):
         except KeyError:
             self._error(404, f"unknown index {name!r}")
             return None
+        except IndexLoadError as exc:
+            # The file may reappear (network mount, recovering disk):
+            # transient, so 503 + Retry-After rather than 500.
+            self._error(503, str(exc), retry_after=1)
+            return None
 
     def _do_query(self) -> None:
         request = self._read_json_body()
@@ -303,6 +323,12 @@ class _Handler(BaseHTTPRequestHandler):
             seq = appender(doc, utilities)
         except ReproError as exc:
             self._error(400, str(exc))
+            return
+        except OSError as exc:
+            # WAL write failure (disk full, torn write): the append
+            # was not acknowledged and the memtable is untouched, so
+            # the client may retry the same document later.
+            self._error(503, f"ingest temporarily unavailable: {exc}", retry_after=1)
             return
         self._send_json({"index": name, "seq": int(seq)})
 

@@ -25,6 +25,8 @@ import multiprocessing
 import os
 from typing import Sequence
 
+from repro import faults
+
 __all__ = ["ShardPoolError", "ShardQueryPool"]
 
 
@@ -47,6 +49,9 @@ def _worker_main(conn, shard_ids: "list[int]") -> None:
             break
         if message is None:
             break
+        # Chaos site: a "crash" here kills the worker process, which
+        # the parent surfaces as ShardPoolError → serial fallback.
+        faults.fire("shard_pool.worker")
         try:
             op = message[0]
             if op == "query":

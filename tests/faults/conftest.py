@@ -1,0 +1,34 @@
+"""Shared fixtures for the fault-injection / chaos suite.
+
+Every test here installs a process-global :class:`FaultPlan`; the
+autouse fixture guarantees no plan outlives its test, so one failing
+chaos test can never leak faults into the rest of the run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import faults
+from repro.api import build
+from repro.io import save_index
+
+TEXT = "abracadabra banana cabana abracadabra bandana " * 30
+
+#: Probe patterns covering hits, misses, and repeats in TEXT.
+PATTERNS = ["abra", "banana", "cab", "a", "zzz", "bandana", "br"]
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_faults():
+    faults.clear()
+    yield
+    faults.clear()
+
+
+@pytest.fixture(scope="session")
+def bundle_path(tmp_path_factory):
+    """A v3 (mmap-openable) bundle the pool/gateway tests reopen."""
+    path = tmp_path_factory.mktemp("faults") / "demo.npz"
+    save_index(build(TEXT, k=16), path, container="v3")
+    return path

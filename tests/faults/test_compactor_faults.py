@@ -1,0 +1,153 @@
+"""Compactor crash containment: retries, quarantine, serving never stops.
+
+A shard build that blows up must cost nothing but background work: the
+sealed memtable keeps answering (exactly), the build retries with
+backoff, and a memtable whose build *keeps* failing is quarantined —
+still queryable, never compacted again, its WAL range never pruned.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro import faults
+from repro.faults import Fault, FaultPlan
+from repro.ingest import Compactor, LiveIndex
+from repro.ingest.wal import WriteAheadLog, replay_all
+from repro.service.resilience import Backoff
+
+from tests.ingest.test_live import ALPHABET, K, assert_matches_monolithic
+
+
+def make_live(**options):
+    options.setdefault("k", K)
+    options.setdefault("seal_chars", 4)
+    return LiveIndex(ALPHABET, **options)
+
+
+def fast_backoff() -> Backoff:
+    return Backoff(base=0.0001, max_delay=0.0002, jitter=0.0)
+
+
+class TestBuildRetry:
+    def test_one_build_failure_is_retried_to_success(self):
+        faults.install(FaultPlan([Fault("compactor.build", "error")]))
+        live = make_live()
+        docs = [("abab", None), ("bb", None)]
+        for text, _ in docs:
+            live.append_document(text)
+        compactor = Compactor(live, backoff=fast_backoff())
+
+        assert compactor.run_once() is False  # build blew up
+        assert compactor.build_failures == 1
+        assert compactor.stats()["pending_builds"] == 1
+        # Serving was never interrupted: the frozen memtable answers.
+        assert_matches_monolithic(live, docs)
+
+        assert compactor.run_once() is True  # retry succeeds
+        assert compactor.retries == 1
+        assert compactor.compactions == 1
+        assert compactor.quarantines == 0
+        assert live.shard_count == 1
+        assert_matches_monolithic(live, docs)
+
+    def test_retry_waits_out_the_backoff(self):
+        faults.install(FaultPlan([Fault("compactor.build", "error")]))
+        clock = [0.0]
+        live = make_live()
+        live.append_document("abab")
+        compactor = Compactor(
+            live,
+            backoff=Backoff(base=10.0, max_delay=10.0, jitter=0.0),
+            clock=lambda: clock[0],
+        )
+        assert compactor.run_once() is False
+        assert compactor.run_once() is False  # still inside the backoff
+        assert compactor.retries == 0
+        clock[0] = 11.0
+        assert compactor.run_once() is True
+        assert compactor.retries == 1
+
+
+class TestQuarantine:
+    def test_poison_memtable_is_quarantined_not_fatal(self):
+        faults.install(FaultPlan([
+            Fault("compactor.build", "error", count=math.inf),
+        ]))
+        live = make_live()
+        docs = [("abab", None), ("bb", None)]
+        for text, _ in docs:
+            live.append_document(text)
+        clock = [0.0]
+        compactor = Compactor(
+            live, max_build_attempts=3, backoff=fast_backoff(),
+            clock=lambda: clock[0],
+        )
+        for _ in range(5):
+            clock[0] += 1.0  # every pending retry is due each cycle
+            compactor.run_once()
+        assert compactor.quarantines == 1
+        assert compactor.stats()["pending_builds"] == 0
+        assert live.ingest_stats()["quarantined"] == 1
+        # Quarantined documents still answer, exactly.
+        assert_matches_monolithic(live, docs)
+
+        # The compactor is not wedged: later generations compact fine.
+        faults.clear()
+        for text in ("aab", "ba"):
+            live.append_document(text)
+            docs.append((text, None))
+        assert compactor.run_once(force=True) is True
+        assert live.shard_count == 1
+        assert_matches_monolithic(live, docs)
+
+    def test_quarantined_wal_range_survives_later_pruning(self, tmp_path):
+        # The quarantined memtable's documents live only in the WAL and
+        # the delta structure; pruning after *later* compactions must
+        # keep its segments so a restart replays them.
+        faults.install(FaultPlan([
+            Fault("compactor.build", "error", count=2),
+        ]))
+        live = LiveIndex.create(tmp_path / "live", ALPHABET, k=K, seal_chars=4)
+        live.append_document("abab")
+        clock = [0.0]
+        compactor = Compactor(live, max_build_attempts=2,
+                              backoff=fast_backoff(),
+                              clock=lambda: clock[0])
+        for _ in range(3):
+            clock[0] += 1.0
+            compactor.run_once(force=True)
+        assert compactor.quarantines == 1
+        faults.clear()
+        live.append_document("bb")
+        assert compactor.run_once(force=True) is True  # prunes upto its seq
+        replayed = [
+            r.seq for r in replay_all(WriteAheadLog(tmp_path / "live" / "wal"))
+        ]
+        assert 1 in replayed  # the quarantined doc's record survived
+        live.close()
+
+        reopened = LiveIndex.open(tmp_path / "live")
+        assert reopened.query("abab") > 0.0
+        assert reopened.query("bb") > 0.0
+        reopened.close()
+
+
+class TestBackgroundThread:
+    def test_build_faults_never_kill_the_compactor_thread(self):
+        faults.install(FaultPlan([Fault("compactor.build", "error", count=2)]))
+        live = make_live(seal_chars=8)
+        docs = []
+        with Compactor(live, interval=0.005, backoff=fast_backoff()):
+            import time
+
+            for i in range(20):
+                text = "abab" if i % 2 else "bba"
+                live.append_document(text)
+                docs.append((text, None))
+                time.sleep(0.002)
+            deadline = time.time() + 10
+            while live.shard_count == 0 and time.time() < deadline:
+                time.sleep(0.01)
+        assert live.shard_count >= 1  # recovered and compacted
+        assert_matches_monolithic(live, docs)

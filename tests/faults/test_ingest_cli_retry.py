@@ -1,0 +1,76 @@
+"""The ``usi ingest`` client under server failures: retry, then give up.
+
+A transient 503 (WAL write failure, draining) or a connection blip
+must not kill an ingest stream — the client honors ``Retry-After`` and
+retries with capped backoff up to ``--max-retries`` per document.  A
+hard 400 stops immediately, and a dead server fails cleanly once the
+retries are spent.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import faults
+from repro.cli import main
+from repro.faults import Fault, FaultPlan
+from repro.ingest import LiveIndex
+from repro.service.registry import IndexRegistry
+from repro.service.server import UsiServer
+from repro.strings.alphabet import Alphabet
+
+ALPHABET = Alphabet("ab")
+
+
+@pytest.fixture()
+def docs_file(tmp_path):
+    path = tmp_path / "docs.txt"
+    path.write_text("abab\nbb\n")
+    return path
+
+
+class TestRetries:
+    def test_503_is_retried_to_success(self, tmp_path, docs_file, capsys):
+        # The very first WAL append fails disk-full: the server answers
+        # 503 + Retry-After and the client re-sends the same document.
+        faults.install(FaultPlan([
+            Fault("wal.append", "error",
+                  error=OSError(28, "No space left on device")),
+        ]))
+        live = LiveIndex.create(tmp_path / "live", ALPHABET, k=8)
+        registry = IndexRegistry()
+        registry.register("corpus", live)
+        with UsiServer(registry, port=0) as server:
+            code = main([
+                "ingest", "--url", server.url, "--file", str(docs_file),
+            ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ingested 2 documents (last seq 2) (1 retried)" in out
+        assert live.query("abab") > 0.0
+        assert live.query("bb") > 0.0
+
+    def test_exhausted_retries_fail_cleanly(self, docs_file, capsys):
+        # Nothing listens here: connection errors retry with backoff,
+        # then the stream stops with a clean diagnostic, not a traceback.
+        code = main([
+            "ingest", "--url", "http://127.0.0.1:9",
+            "--file", str(docs_file), "--max-retries", "1", "--timeout", "1",
+        ])
+        assert code == 1
+        assert "cannot reach" in capsys.readouterr().err
+
+    def test_hard_400_is_not_retried(self, tmp_path, docs_file, capsys):
+        # A static index never ingests: the 400 must stop the stream
+        # immediately (no retry storm against a permanent rejection).
+        import repro
+
+        registry = IndexRegistry()
+        registry.register("static", repro.build("abab", k=4, backend="usi"))
+        with UsiServer(registry, port=0) as server:
+            code = main([
+                "ingest", "--url", server.url, "--file", str(docs_file),
+            ])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "rejected document 1" in err

@@ -1,0 +1,131 @@
+"""The fault plan itself: windows, kinds, determinism, zero-cost off."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro import faults
+from repro.errors import ParameterError
+from repro.faults import Fault, FaultPlan, chaos_plan, scenario_faults
+from repro.faults.schedule import SCENARIOS
+
+
+class TestFire:
+    def test_no_plan_installed_is_a_no_op(self):
+        assert faults.active_plan() is None
+        assert faults.fire("worker.handle") is None
+
+    def test_error_fires_inside_its_window_only(self):
+        plan = FaultPlan([Fault("wal.append", "error", after=1, count=2)])
+        plan.fire("wal.append")  # hit 0: before the window
+        with pytest.raises(OSError):
+            plan.fire("wal.append")  # hit 1
+        with pytest.raises(OSError):
+            plan.fire("wal.append")  # hit 2
+        assert plan.fire("wal.append") is None  # hit 3: window closed
+        assert plan.hits("wal.append") == 4
+        assert [f["hit"] for f in plan.fired()] == [1, 2]
+
+    def test_sites_count_independently(self):
+        plan = FaultPlan([Fault("a", "error")])
+        assert plan.fire("b") is None
+        with pytest.raises(OSError):
+            plan.fire("a")
+        assert plan.hits("a") == 1
+        assert plan.hits("b") == 1
+
+    def test_custom_error_instances_are_copied_per_fire(self):
+        template = OSError(28, "No space left on device")
+        plan = FaultPlan([Fault("w", "error", count=2, error=template)])
+        with pytest.raises(OSError) as first:
+            plan.fire("w")
+        with pytest.raises(OSError) as second:
+            plan.fire("w")
+        assert first.value is not second.value
+        assert first.value.errno == second.value.errno == 28
+
+    def test_slow_sleeps_then_proceeds(self):
+        plan = FaultPlan([Fault("ipc.send", "slow", seconds=1.25)])
+        slept = []
+        plan._sleep = slept.append
+        assert plan.fire("ipc.send") is None  # proceeds after the sleep
+        assert slept == [1.25]
+
+    def test_torn_is_returned_for_the_site_to_interpret(self):
+        fault = Fault("wal.append", "torn")
+        plan = FaultPlan([fault])
+        assert plan.fire("wal.append") is fault
+
+    def test_infinite_count_never_closes(self):
+        plan = FaultPlan([Fault("w", "error", count=math.inf)])
+        for _ in range(10):
+            with pytest.raises(OSError):
+                plan.fire("w")
+
+    def test_unknown_kind_and_bad_window_are_rejected(self):
+        with pytest.raises(ParameterError):
+            Fault("w", "explode")
+        with pytest.raises(ParameterError):
+            Fault("w", "error", after=-1)
+        with pytest.raises(ParameterError):
+            Fault("w", "error", count=0)
+
+
+class TestInstall:
+    def test_injected_clears_even_on_failure(self):
+        plan = FaultPlan([Fault("w", "error")])
+        with pytest.raises(RuntimeError):
+            with faults.injected(plan):
+                assert faults.active_plan() is plan
+                raise RuntimeError("test body blew up")
+        assert faults.active_plan() is None
+
+    def test_fire_routes_through_the_installed_plan(self):
+        plan = FaultPlan([Fault("w", "error")])
+        with faults.injected(plan):
+            with pytest.raises(OSError):
+                faults.fire("w")
+        assert plan.hits("w") == 1
+
+
+class TestSchedules:
+    def test_same_seed_same_schedule(self):
+        plan_a, chosen_a = chaos_plan(seed=7)
+        plan_b, chosen_b = chaos_plan(seed=7)
+        assert chosen_a == chosen_b
+        assert [f.describe() for f in plan_a.faults] == [
+            f.describe() for f in plan_b.faults
+        ]
+
+    def test_different_seeds_differ_somewhere(self):
+        schedules = {
+            tuple(chaos_plan(seed=s)[1]) for s in range(20)
+        }
+        assert len(schedules) > 1
+
+    def test_every_scenario_produces_valid_faults(self):
+        import random
+
+        for name in SCENARIOS:
+            for fault in scenario_faults(name, random.Random(3)):
+                assert fault.kind in faults.KINDS
+
+    def test_unknown_scenario_is_rejected(self):
+        import random
+
+        with pytest.raises(ValueError):
+            scenario_faults("meteor_strike", random.Random(0))
+
+    def test_hangs_outlast_the_requested_deadline(self):
+        # The schedule contract: a hang always sleeps hang_seconds, so
+        # harnesses can pick hang_seconds > call_timeout and know the
+        # kill path (not the wait path) resolves it.
+        import random
+
+        (fault,) = scenario_faults(
+            "worker_hang", random.Random(1), hang_seconds=12.5
+        )
+        assert fault.kind == "hang"
+        assert fault.seconds == 12.5

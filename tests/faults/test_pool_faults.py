@@ -1,0 +1,205 @@
+"""Worker-pool failures: hangs, crashes, crash-loops, degraded modes.
+
+The hardened-serving guarantees for the pool path, each proven under
+an injected fault:
+
+* a **hung** worker is killed at the per-call deadline — the caller
+  gets :class:`WorkerHung`, never an unbounded wait, and the slot is
+  respawned;
+* a **crashed** worker costs one transparent gateway retry, not a
+  client-visible error;
+* a **crash-loop** trips the breaker: ``inline`` mode keeps answering
+  byte-identically from an in-process engine, ``shed`` mode answers
+  ``503`` + ``Retry-After``;
+* either way ``/healthz`` says ``degraded`` while it lasts.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import math
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro import faults
+from repro.faults import Fault, FaultPlan
+from repro.gateway import AsyncGateway
+from repro.gateway.pool import WorkerHung, WorkerPool
+
+from tests.faults.conftest import PATTERNS
+
+
+def _post(url: str, payload: dict) -> "tuple[int, bytes, dict]":
+    request = urllib.request.Request(
+        url + "/query",
+        data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status, response.read(), dict(response.headers)
+    except urllib.error.HTTPError as error:
+        return error.code, error.read(), dict(error.headers)
+
+
+def _get(url: str, path: str) -> "tuple[int, dict]":
+    with urllib.request.urlopen(url + path, timeout=30) as response:
+        return response.status, json.loads(response.read())
+
+
+def _run(coroutine):
+    return asyncio.run(coroutine)
+
+
+class TestPoolDeadline:
+    def test_hung_worker_is_killed_at_the_deadline(self, bundle_path):
+        # The worker's 2nd request (hit 1) sleeps far past the per-call
+        # deadline; the pool must kill it and fail fast, then serve the
+        # next call from the respawned replacement (fresh hit counter).
+        faults.install(
+            FaultPlan([Fault("worker.handle", "hang", after=1, seconds=30.0)])
+        )
+
+        async def scenario():
+            pool = WorkerPool(
+                {"demo": bundle_path}, workers=1, call_timeout=0.5
+            )
+            await pool.start()
+            try:
+                message = {"op": "query", "index": "demo",
+                           "patterns": ["abra"], "count": False}
+                first = await pool.call(message)
+                assert first["ok"]
+
+                t0 = time.perf_counter()
+                with pytest.raises(WorkerHung):
+                    await pool.call(message)
+                elapsed = time.perf_counter() - t0
+                assert elapsed < 5.0  # deadline, not the 30s hang
+                assert pool.timeouts == 1
+
+                after = await pool.call(message)  # replacement worker
+                assert after["utilities"] == first["utilities"]
+                assert pool.restarts == 1
+            finally:
+                await pool.stop()
+
+        _run(scenario())
+
+    def test_stop_is_bounded_with_a_hung_worker_outstanding(self, bundle_path):
+        # Satellite regression: a worker that was hung *and* replaced
+        # must not wedge stop() — the double-checkout used to leave a
+        # phantom entry that drain waited on forever.
+        faults.install(
+            FaultPlan([Fault("worker.handle", "hang", after=0, seconds=30.0)])
+        )
+
+        async def scenario():
+            pool = WorkerPool(
+                {"demo": bundle_path}, workers=1, call_timeout=0.3
+            )
+            await pool.start()
+            message = {"op": "query", "index": "demo",
+                       "patterns": ["abra"], "count": False}
+            with pytest.raises(WorkerHung):
+                await pool.call(message)
+            t0 = time.perf_counter()
+            await pool.stop(timeout=5.0)
+            assert time.perf_counter() - t0 < 10.0
+            assert pool.alive_workers == 0
+
+        _run(scenario())
+
+
+class TestGatewayRetry:
+    def test_worker_crash_is_one_transparent_retry(self, bundle_path):
+        # The worker crashes on its 2nd request; the gateway retries on
+        # the respawned worker (hit counter back at 0) and the client
+        # sees 200 both times.
+        faults.install(
+            FaultPlan([Fault("worker.handle", "crash", after=1)])
+        )
+        gateway = AsyncGateway(
+            paths={"demo": bundle_path}, workers=1, port=0,
+            call_timeout=10.0,
+        )
+        with gateway.start_in_thread() as handle:
+            status, first, _ = _post(handle.url, {"pattern": "abra"})
+            assert status == 200
+            status, second, _ = _post(handle.url, {"pattern": "abra"})
+            assert status == 200
+            assert second == first
+            assert gateway.pool_retries == 1
+            assert gateway.pool.restarts == 1
+
+
+class TestCrashLoopDegradation:
+    def _crash_loop_plan(self) -> FaultPlan:
+        # Every worker (original or respawned) crashes on every
+        # request: the pool can never answer, only the breaker can end
+        # the carnage.
+        return FaultPlan(
+            [Fault("worker.handle", "crash", after=0, count=math.inf)]
+        )
+
+    def test_inline_mode_keeps_answering_exactly(self, bundle_path):
+        from repro.api import open_index
+        from repro.service.engine import QueryEngine
+
+        reference = QueryEngine(open_index(bundle_path, mmap=True))
+        faults.install(self._crash_loop_plan())
+        gateway = AsyncGateway(
+            paths={"demo": bundle_path}, workers=2, port=0,
+            call_timeout=10.0, degraded_mode="inline",
+        )
+        with gateway.start_in_thread() as handle:
+            for pattern in PATTERNS:
+                status, body, _ = _post(handle.url, {"pattern": pattern})
+                assert status == 200
+                (row,) = json.loads(body)["results"]
+                assert row["utility"] == reference.query_batch([pattern])[0]
+            assert gateway.degraded_queries == len(PATTERNS)
+            # Enough consecutive failures to trip the default breaker.
+            assert gateway.pool.breaker.state != "closed"
+            status, health = _get(handle.url, "/healthz")
+            assert health["status"] == "degraded"
+            assert any("breaker" in reason for reason in health["reasons"])
+
+    def test_shed_mode_answers_503_with_retry_after(self, bundle_path):
+        faults.install(self._crash_loop_plan())
+        gateway = AsyncGateway(
+            paths={"demo": bundle_path}, workers=1, port=0,
+            call_timeout=10.0, degraded_mode="shed",
+        )
+        with gateway.start_in_thread() as handle:
+            status, body, headers = _post(handle.url, {"pattern": "abra"})
+            assert status == 503
+            assert "unavailable" in json.loads(body)["error"]
+            assert int(headers["Retry-After"]) >= 1
+
+
+class TestRequestDeadline:
+    def test_hung_pool_call_becomes_a_504_not_a_hang(self, bundle_path):
+        # call_timeout disabled: the pool itself would wait out the
+        # full 30s hang, so only the gateway-wide request deadline
+        # stands between the client and a hung connection.
+        faults.install(
+            FaultPlan([Fault("worker.handle", "hang", after=0,
+                             count=math.inf, seconds=30.0)])
+        )
+        gateway = AsyncGateway(
+            paths={"demo": bundle_path}, workers=1, port=0,
+            call_timeout=None, request_timeout=1.0, coalesce=False,
+        )
+        with gateway.start_in_thread() as handle:
+            t0 = time.perf_counter()
+            status, body, _ = _post(handle.url, {"pattern": "abra"})
+            elapsed = time.perf_counter() - t0
+            assert status == 504
+            assert "deadline" in json.loads(body)["error"]
+            assert elapsed < 10.0
+            assert gateway.deadline_timeouts == 1

@@ -1,0 +1,72 @@
+"""Registry load failures: IndexLoadError, 503 + Retry-After, recovery.
+
+A registered index whose backing file fails to load (vanished network
+mount, recovering disk) is a *transient* serving error, not a crash:
+both front-ends answer ``503`` with ``Retry-After`` and the next
+request retries the load from scratch.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro import faults
+from repro.errors import IndexLoadError
+from repro.faults import Fault, FaultPlan
+from repro.service.registry import IndexRegistry
+from repro.service.server import UsiServer
+
+
+class TestRegistryLoad:
+    def test_load_failure_raises_index_load_error(self, bundle_path):
+        faults.install(FaultPlan([Fault("registry.load", "error")]))
+        registry = IndexRegistry()
+        registry.register_path("demo", bundle_path)
+        with pytest.raises(IndexLoadError, match="demo"):
+            registry.get("demo")
+        assert registry.stats()["load_failures"] == 1
+        # The fault window closed: the next get retries and succeeds.
+        engine = registry.get("demo")
+        assert engine.query("abra") > 0.0
+        registry.close()
+
+    def test_real_loader_errors_wrap_too(self, tmp_path):
+        registry = IndexRegistry()
+        bogus = tmp_path / "bogus.npz"
+        bogus.write_bytes(b"this is not an index bundle")
+        registry.register_path("bogus", bogus)
+        with pytest.raises(IndexLoadError, match="bogus"):
+            registry.get("bogus")
+        assert registry.stats()["load_failures"] == 1
+
+
+class TestThreadedServer:
+    def test_query_gets_503_with_retry_after_then_recovers(self, bundle_path):
+        faults.install(FaultPlan([Fault("registry.load", "error")]))
+        registry = IndexRegistry()
+        registry.register_path("demo", bundle_path)
+        with UsiServer(registry, port=0) as server:
+            request = urllib.request.Request(
+                server.url + "/query",
+                data=json.dumps({"pattern": "abra"}).encode(),
+                headers={"Content-Type": "application/json"},
+            )
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(request, timeout=30)
+            assert excinfo.value.code == 503
+            assert excinfo.value.headers["Retry-After"] == "1"
+            assert "demo" in json.loads(excinfo.value.read())["error"]
+            with urllib.request.urlopen(request, timeout=30) as response:
+                assert response.status == 200
+                (row,) = json.loads(response.read())["results"]
+                assert row["utility"] > 0.0
+            # The failed load shows up in /stats for operators.
+            with urllib.request.urlopen(
+                server.url + "/stats", timeout=30
+            ) as response:
+                stats = json.loads(response.read())
+            assert stats["registry"]["load_failures"] == 1

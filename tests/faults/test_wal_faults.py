@@ -1,0 +1,146 @@
+"""WAL write failures: disk-full, torn tails, recovery, ingest 503s.
+
+The durability contract under failure: an append that raises was
+**not** acknowledged — the memtable is untouched, the sequence number
+unconsumed, and replay after restart yields exactly the acknowledged
+documents.  A torn tail (half a record on disk) is self-healed by the
+next append, or truncated by replay if the process dies first.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro import faults
+from repro.faults import Fault, FaultPlan
+from repro.ingest import LiveIndex
+from repro.ingest.wal import WriteAheadLog, replay_all
+from repro.strings.alphabet import Alphabet
+
+ALPHABET = Alphabet("ab")
+
+
+def _live(tmp_path) -> LiveIndex:
+    return LiveIndex.create(tmp_path / "live", ALPHABET, k=8)
+
+
+def _seqs(directory) -> list[int]:
+    return [r.seq for r in replay_all(WriteAheadLog(directory / "live" / "wal"))]
+
+
+class TestDiskFull:
+    def test_failed_append_leaves_the_memtable_consistent(self, tmp_path):
+        faults.install(FaultPlan([
+            Fault("wal.append", "error", after=1,
+                  error=OSError(28, "No space left on device")),
+        ]))
+        live = _live(tmp_path)
+        assert live.append_document("abab") == 1
+        with pytest.raises(OSError):
+            live.append_document("bb")
+        # Not acknowledged: no sequence consumed, answers unchanged.
+        assert live.last_seq == 1
+        assert live.query("bb") == 0.0
+        # The disk recovered: the same document simply retries.
+        assert live.append_document("bb") == 2
+        assert live.query("bb") > 0.0
+        live.close()
+        assert _seqs(tmp_path) == [1, 2]
+
+    def test_replay_after_disk_full_has_only_acknowledged_docs(self, tmp_path):
+        faults.install(FaultPlan([
+            Fault("wal.append", "error", after=1,
+                  error=OSError(28, "No space left on device")),
+        ]))
+        live = _live(tmp_path)
+        live.append_document("ab")
+        with pytest.raises(OSError):
+            live.append_document("ba")
+        live.close()
+        faults.clear()
+        reopened = LiveIndex.open(tmp_path / "live")
+        assert reopened.last_seq == 1
+        assert reopened.query("ab") > 0.0
+        assert reopened.query("ba") == 0.0
+        reopened.close()
+
+
+class TestTornTail:
+    def test_next_append_repairs_the_torn_tail(self, tmp_path):
+        faults.install(FaultPlan([Fault("wal.append", "torn", after=1)]))
+        live = _live(tmp_path)
+        live.append_document("abab")
+        with pytest.raises(OSError, match="torn"):
+            live.append_document("bb")
+        assert live.last_seq == 1
+        # The next append truncates the half-written record and reuses
+        # the segment; replay sees a clean, gap-free sequence.
+        assert live.append_document("aab") == 2
+        live.close()
+        assert _seqs(tmp_path) == [1, 2]
+
+    def test_crash_before_repair_is_truncated_by_replay(self, tmp_path):
+        faults.install(FaultPlan([Fault("wal.append", "torn", after=1)]))
+        live = _live(tmp_path)
+        live.append_document("abab")
+        with pytest.raises(OSError, match="torn"):
+            live.append_document("bb")
+        live.close()  # process dies with the torn tail still on disk
+        faults.clear()
+        reopened = LiveIndex.open(tmp_path / "live")
+        assert reopened.last_seq == 1
+        assert reopened.query("abab") > 0.0
+        # Recovery leaves a clean tail: appends continue from seq 2.
+        assert reopened.append_document("bb") == 2
+        reopened.close()
+        assert _seqs(tmp_path) == [1, 2]
+
+    def test_short_write_bytes_really_hit_the_disk(self, tmp_path):
+        # The torn fault must leave a genuinely truncated frame (not
+        # just raise): this is what replay's tail-truncation handles.
+        faults.install(FaultPlan([Fault("wal.append", "torn", after=0)]))
+        log = WriteAheadLog(tmp_path / "wal")
+        with pytest.raises(OSError):
+            log.append(1, [0, 1])
+        faults.clear()
+        (segment,) = log.segments()
+        assert 0 < segment.stat().st_size
+        assert not segment.read_bytes().endswith(b"\n")
+        # Repair on the next append: the garbage is gone.
+        log.append(1, [0, 1])
+        log.close()
+        assert [r.seq for r in replay_all(WriteAheadLog(tmp_path / "wal"))] == [1]
+
+
+class TestIngestEndpoint:
+    def test_post_ingest_gets_503_with_retry_after(self, tmp_path):
+        from repro.service.registry import IndexRegistry
+        from repro.service.server import UsiServer
+
+        faults.install(FaultPlan([
+            Fault("wal.append", "error", after=0,
+                  error=OSError(28, "No space left on device")),
+        ]))
+        live = _live(tmp_path)
+        registry = IndexRegistry()
+        registry.register("corpus", live)
+        with UsiServer(registry, port=0) as server:
+            request = urllib.request.Request(
+                server.url + "/ingest",
+                data=json.dumps({"doc": "abab"}).encode(),
+                headers={"Content-Type": "application/json"},
+            )
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(request, timeout=10)
+            assert excinfo.value.code == 503
+            assert excinfo.value.headers["Retry-After"] == "1"
+            assert "unavailable" in json.loads(excinfo.value.read())["error"]
+            # The fault window closed: the retried ingest succeeds and
+            # the memtable was never corrupted by the failed attempt.
+            with urllib.request.urlopen(request, timeout=10) as response:
+                assert json.loads(response.read())["seq"] == 1
+        assert live.query("abab") > 0.0

@@ -319,7 +319,11 @@ class TestIntrospection:
             assert row["served_by"] == "pool"
 
             status, health = _get(handle.url, "/healthz")
-            assert (status, health) == (200, {"status": "ok"})
+            assert status == 200
+            assert health["status"] == "ok"
+            assert health["workers_alive"] == 2
+            assert health["breaker"] == "closed"
+            assert health["reasons"] == []
 
 
 class TestInlineRegistry:

@@ -1,0 +1,68 @@
+"""Both front-ends expose the same ``GET /healthz`` shape.
+
+Load balancers and probes read one schema regardless of serving mode;
+this pins the shared contract from
+:func:`repro.service.requests.health_payload`: the exact key set, the
+``ok``/``degraded`` status values, and the worker/breaker fields (the
+threaded server has no pool, so it reports zero workers and a closed
+breaker).
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.request
+
+import pytest
+
+from repro.gateway import AsyncGateway
+from repro.service.registry import IndexRegistry
+from repro.service.server import UsiServer
+
+#: The pinned healthz schema, both modes, byte for byte the same keys.
+HEALTH_KEYS = {"status", "workers_alive", "breaker", "quarantined", "reasons"}
+
+
+def _fetch_health(url: str) -> dict:
+    with urllib.request.urlopen(url + "/healthz", timeout=30) as response:
+        assert response.status == 200
+        return json.loads(response.read())
+
+
+@pytest.fixture(scope="module")
+def threaded_health(bundle_path):
+    registry = IndexRegistry(cache_size=64)
+    registry.register_path("demo", bundle_path)
+    with UsiServer(registry, port=0) as server:
+        yield _fetch_health(server.url)
+
+
+@pytest.fixture(scope="module")
+def async_health(bundle_path):
+    gateway = AsyncGateway(paths={"demo": bundle_path}, workers=2, port=0)
+    with gateway.start_in_thread() as handle:
+        yield _fetch_health(handle.url)
+
+
+class TestSharedShape:
+    def test_exact_key_set_in_both_modes(self, threaded_health, async_health):
+        assert set(threaded_health) == HEALTH_KEYS
+        assert set(async_health) == HEALTH_KEYS
+
+    def test_healthy_values(self, threaded_health, async_health):
+        for health in (threaded_health, async_health):
+            assert health["status"] == "ok"
+            assert health["breaker"] == "closed"
+            assert health["quarantined"] == 0
+            assert health["reasons"] == []
+        assert threaded_health["workers_alive"] == 0  # no pool in-process
+        assert async_health["workers_alive"] == 2
+
+    def test_degraded_is_the_only_other_status(self):
+        # The contract callers dispatch on: exactly two status values.
+        from repro.service.requests import health_payload
+
+        degraded = health_payload(None, breaker_state="open")
+        assert degraded["status"] == "degraded"
+        assert degraded["reasons"] == ["worker breaker open"]
+        assert set(degraded) == HEALTH_KEYS

@@ -98,7 +98,10 @@ class TestQuery:
 class TestIntrospection:
     def test_healthz(self, server):
         status, body = _get(server.url, "/healthz")
-        assert (status, body) == (200, {"status": "ok"})
+        assert status == 200
+        assert body["status"] == "ok"
+        assert body["breaker"] == "closed"
+        assert body["reasons"] == []
 
     def test_indexes_listing(self, server):
         status, body = _get(server.url, "/indexes")
