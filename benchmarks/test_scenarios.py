@@ -1,0 +1,72 @@
+"""The scenario regression matrix as a CI gate.
+
+Drives every registered scenario x workload through all compatible
+backends via :func:`repro.eval.harness.run_scenario_matrix` and fails
+on any exact-answer divergence.  Two sizes:
+
+* default (PR path, and plain ``pytest`` runs, which collect
+  ``benchmarks/``): a small-n subset — fast, still spanning every
+  scenario kind, workload family, and backend;
+* ``REPRO_SCENARIOS_FULL=1`` (the scheduled CI job): the pinned sizes,
+  which additionally re-verify every committed baseline digest.
+
+Emits ``results/BENCH_scenarios.json`` (per-cell QPS, build seconds,
+index bytes) under ``REPRO_WRITE_RESULTS=1``; CI uploads it as the
+scenarios artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+
+from repro.eval.harness import run_scenario_matrix
+
+FULL = os.environ.get("REPRO_SCENARIOS_FULL") == "1"
+
+
+def test_scenario_matrix_gate():
+    if FULL:
+        payload = run_scenario_matrix(num_queries=60)
+    else:
+        payload = run_scenario_matrix(n=1_200, num_queries=40)
+
+    assert payload["rows"], "matrix produced no cells"
+    assert len(payload["scenarios"]) >= 5
+    assert len(payload["backends"]) >= 6
+    assert len(payload["workloads"]) >= 4
+
+    # The gate: zero exactness mismatches across the whole matrix.
+    assert payload["mismatches"] == [], payload["mismatches"]
+
+    # At pinned sizes the committed baselines must also hold.
+    if FULL:
+        drifted = {
+            name: status
+            for name, status in payload["baseline_checks"].items()
+            if not isinstance(status, str)
+        }
+        assert not drifted, drifted
+
+    mode = "full (pinned sizes)" if FULL else "small-n subset"
+    bench = {
+        "mode": mode,
+        "n_override": payload["n_override"],
+        "num_queries": payload["num_queries"],
+        "scenarios": payload["scenarios"],
+        "workloads": payload["workloads"],
+        "backends": payload["backends"],
+        "cells": len(payload["rows"]),
+        "mismatches": len(payload["mismatches"]),
+        "baseline_checks": payload["baseline_checks"],
+        "rows": payload["rows"],
+    }
+    print(f"\nBENCH_scenarios ({mode}): {len(payload['rows'])} cells, "
+          f"{len(payload['backends'])} backends, 0 mismatches")
+    if os.environ.get("REPRO_WRITE_RESULTS") == "1":
+        results = pathlib.Path(__file__).resolve().parent.parent / "results"
+        results.mkdir(exist_ok=True)
+        (results / "BENCH_scenarios.json").write_text(
+            json.dumps(bench, indent=2) + "\n"
+        )

@@ -3,76 +3,65 @@
 The paper's motivating bioinformatics use case (and its Example 2):
 DNA from sequencing machines comes with a per-base confidence score;
 researchers evaluate the quality of short DNA patterns (k-mers) by
-their aggregate confidence over all occurrences.  Frequent k-mers have
-millions of occurrences, so the USI hash table pays off massively
-against recomputing from the suffix array each time.
+their aggregate confidence over all occurrences.
+
+This world lives in the scenario registry as ``dna_quality`` — the
+same corpus, workloads, and pinned expected-metric baseline the
+regression matrix (``usi scenarios run``) drives through every
+backend.  The example is a thin consumer: it tells the domain story,
+then re-verifies the pinned baseline.
 
 Run with:  python examples/dna_quality.py
 """
 
-import time
-
 import numpy as np
 
-from repro import Bsl1NoCache, UsiIndex
-from repro.datasets import make_ecoli
+import repro
+from repro.core.topk_oracle import TopKOracle
+from repro.datasets import compute_baseline, get_scenario, verify_baseline
+from repro.suffix.suffix_array import SuffixArray
+
+SCENARIO = "dna_quality"
 
 
-def main() -> None:
-    # An E. coli-like read collection with phred-style confidences.
-    n = 30_000
-    ws = make_ecoli(n, seed=7)
-    print(f"dataset: {n} bases, alphabet {ws.alphabet.letters}")
+def main() -> int:
+    scenario = get_scenario(SCENARIO)
+    ws = scenario.make()  # pinned size, seed 0
+    k = scenario.default_k()
+    print(f"dataset: {ws.length} bases, alphabet {ws.alphabet.letters}, K={k}")
 
-    # Index with K = n/50 so the whole frequent query pool is cached
-    # (the paper's Example 2 uses K = n/100 at n = 2.9e9).
-    k = n // 50
-    index = UsiIndex.build(ws, k=k)
-    report = index.report
-    print(
-        f"UET built: K={report.k}, tau_K={report.tau_k}, "
-        f"L_K={report.distinct_lengths}, |H|={report.hash_entries}"
-    )
+    index = repro.build(ws, backend="usi", k=k)
 
-    # Example 2 queries patterns "randomly selected from the top-(n/50)
-    # frequent substrings" — at genome scale those are 8-mers with 1e5+
-    # occurrences; at this scale the frequent pool holds shorter mers,
-    # but the experiment is the same: hot patterns, where recomputing
-    # the aggregate every time is what hurts the plain index.
-    from repro.core.topk_oracle import TopKOracle
-
-    oracle = TopKOracle(index.suffix_array)
-    pool = [
-        ws.codes[m.position : m.position + m.length].astype(np.int64)
-        for m in oracle.top_k(n // 50)
-        if m.length >= 3
-    ]
-    rng = np.random.default_rng(0)
-    picks = rng.integers(0, len(pool), size=2_000)
-    patterns = [pool[int(i)] for i in picks]
-
-    t0 = time.perf_counter()
-    usi_values = [index.query(p) for p in patterns]
-    usi_seconds = time.perf_counter() - t0
-
-    baseline = Bsl1NoCache(ws)
-    t0 = time.perf_counter()
-    bsl_values = [baseline.query(p) for p in patterns]
-    bsl_seconds = time.perf_counter() - t0
-
-    assert np.allclose(usi_values, bsl_values)
-    print("2000 frequent-mer quality queries:")
-    print(f"  USI index : {usi_seconds * 1e6 / len(patterns):8.1f} us/query")
-    print(f"  SA + PSW  : {bsl_seconds * 1e6 / len(patterns):8.1f} us/query")
-    print(f"  speedup   : {bsl_seconds / max(usi_seconds, 1e-12):8.1f}x")
-
-    # Rank some specific mers by quality-per-occurrence.
-    probes = sorted({ws.alphabet.decode(p) for p in patterns[:12]})
+    # Example 2 queries patterns drawn from the frequent pool — hot
+    # k-mers where recomputing the aggregate every time is what hurts
+    # the plain suffix-array index.
+    oracle = TopKOracle(SuffixArray(ws.codes))
     print("\nper-pattern quality (sum of confidence over all occurrences):")
-    for pattern in probes[:8]:
-        count = index.count(pattern)
-        print(f"  {pattern:10}  occ={count:5}  U={index.query(pattern):10.2f}")
+    shown = 0
+    for mined in oracle.top_k(k):
+        if mined.length < 4:
+            continue
+        pattern = ws.codes[mined.position : mined.position + mined.length]
+        pattern = pattern.astype(np.int64)
+        text = ws.fragment_text(mined.position, mined.length)
+        print(f"  {text:10}  occ={index.count(pattern):5}  "
+              f"U={index.query(pattern):10.2f}")
+        shown += 1
+        if shown == 6:
+            break
+
+    baseline = compute_baseline(SCENARIO)
+    problems = verify_baseline(SCENARIO, baseline)
+    print(f"\npinned answers_sum over the canonical workload: "
+          f"{baseline['answers_sum']:.3f}")
+    if problems:
+        print("baseline: DRIFT")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
+    print("baseline: ok")
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main())

@@ -2,59 +2,59 @@
 
 A network monitor observes a near-periodic rotation of beacon
 identifiers, each reading weighted by its RSSI (link quality).  The
-example shows (1) why the streaming top-K heuristics miss the long
-repeated sweep patterns while Exact/Approximate-Top-K find them, and
-(2) the dynamic index absorbing newly streamed readings.
+example shows (1) the very long repeated sweep patterns this world is
+registered for, (2) the dynamic index absorbing newly streamed
+readings, and (3) the pinned baseline the ``iot_link_quality``
+scenario re-verifies on every regression run.
 
 Run with:  python examples/iot_link_quality.py
 """
 
-from repro import DynamicUsiIndex, SubstringHK, TopKTrie, UsiIndex
-from repro.core.approximate import ApproximateTopK
+import repro
+from repro import DynamicUsiIndex
 from repro.core.exact_topk import exact_top_k
-from repro.datasets import make_iot
-from repro.eval.metrics import evaluate_miner
-from repro.suffix.suffix_array import SuffixArray
+from repro.datasets import compute_baseline, get_scenario, verify_baseline
+
+SCENARIO = "iot_link_quality"
 
 
-def main() -> None:
-    ws = make_iot(12_000, seed=1)
-    k = ws.length // 60
+def main() -> int:
+    scenario = get_scenario(SCENARIO)
+    ws = scenario.make(seed=0)  # pinned size, seed 0
+    k = scenario.default_k()
     print(f"IOT trace: n={ws.length}, K={k}")
 
-    # --- Long frequent substrings: who finds them? ---------------------
-    index = SuffixArray(ws.codes)
+    # The rotation makes frequent substrings *very* long — the regime
+    # where streaming top-K heuristics fail and Exact-Top-K shines.
     exact = exact_top_k(ws, k)
-    at = ApproximateTopK(ws, k=k, s=8).mine()
-    sh = SubstringHK(ws, k=k, seed=0).mine()
-    tt = TopKTrie(ws, k=k).mine()
+    print(f"longest substring in the exact top-K: "
+          f"{max(m.length for m in exact)} readings")
 
-    print("\nlongest substring found in the estimated top-K:")
-    print(f"  Exact-Top-K       : {max(m.length for m in exact):5d}")
-    print(f"  Approximate-Top-K : {max(m.length for m in at):5d}")
-    print(f"  SubstringHK       : {max((m.length for m in sh), default=0):5d}")
-    print(f"  Top-K-Trie        : {max((m.length for m in tt), default=0):5d}")
-
-    print("\nestimation accuracy (vs the exact top-K):")
-    for name, results in [("AT", at), ("SH", sh), ("TT", tt)]:
-        scores = evaluate_miner(results, index, k)
-        print(f"  {name}: accuracy={scores.accuracy_percent:5.1f}%  "
-              f"NDCG={scores.ndcg:.4f}")
-
-    # --- Querying link quality of a sweep pattern ----------------------
-    usi = UsiIndex.build(ws, k=k)
-    sweep = ws.codes[: 15].astype("int64")  # one-and-a-bit beacon rotations
-    print(f"\nU(first 15-reading sweep) = {usi.query(sweep):.3f} "
+    # Querying link quality of a sweep pattern.
+    usi = repro.build(ws, backend="usi", k=k)
+    sweep = ws.codes[:15].astype("int64")  # one-and-a-bit beacon rotations
+    print(f"U(first 15-reading sweep) = {usi.query(sweep):.3f} "
           f"over {usi.count(sweep)} occurrences")
 
-    # --- Streaming appends (Section X) ---------------------------------
+    # Streaming appends: the rotation continues.
     dyn = DynamicUsiIndex(ws, k=k, rebuild_fraction=0.5)
-    new_readings = ws.codes[:300]  # the rotation continues
-    for code, utility in zip(new_readings, ws.utilities[:300]):
+    for code, utility in zip(ws.codes[:300], ws.utilities[:300]):
         dyn.append(int(code), float(utility))
-    print(f"\nappended 300 readings (rebuilds: {dyn.rebuild_count}); "
+    print(f"appended 300 readings (rebuilds: {dyn.rebuild_count}); "
           f"U(sweep) now {dyn.query(sweep):.3f}")
+
+    baseline = compute_baseline(SCENARIO)
+    problems = verify_baseline(SCENARIO, baseline)
+    print(f"\npinned answers_sum over the canonical workload: "
+          f"{baseline['answers_sum']:.3f}")
+    if problems:
+        print("baseline: DRIFT")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
+    print("baseline: ok")
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main())

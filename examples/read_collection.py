@@ -8,48 +8,40 @@ scores".  Expected frequency is the "sum of products" global utility:
 sum over occurrences of the product of per-base probabilities —
 supported here via the ``local="product"`` utility.
 
+The read simulator is registered as the ``read_collection`` scenario
+(the one collection-kind world in the registry, driving the
+collection/sharded/live backends); this example tells the domain
+story and re-verifies the pinned baseline.
+
 Run with:  python examples/read_collection.py
 """
 
 import numpy as np
 
-from repro import Alphabet, CollectionUsiIndex, WeightedString, WeightedStringCollection
+from repro import CollectionUsiIndex
+from repro.datasets import compute_baseline, get_scenario, verify_baseline
+
+SCENARIO = "read_collection"
 
 
-def simulate_reads(count: int = 60, length: int = 150, seed: int = 0):
-    """Reads sampled from one reference with per-base phred confidences."""
-    rng = np.random.default_rng(seed)
-    reference = rng.integers(0, 4, size=2_000, dtype=np.int32)
-    alphabet = Alphabet.dna()
-    reads = []
-    for _ in range(count):
-        start = int(rng.integers(0, len(reference) - length))
-        bases = reference[start : start + length].copy()
-        confidences = np.clip(rng.beta(9.0, 1.2, size=length), 0.05, 0.999)
-        # Low-confidence bases are exactly the ones that miscall.
-        errors = rng.random(length) > confidences
-        bases[errors] = rng.integers(0, 4, size=int(errors.sum()))
-        reads.append(WeightedString(bases, confidences, alphabet))
-    return reference, reads
-
-
-def main() -> None:
-    reference, reads = simulate_reads()
-    collection = WeightedStringCollection(reads)
+def main() -> int:
+    scenario = get_scenario(SCENARIO)
+    collection = scenario.make()  # pinned size, seed 0
     print(f"{collection.document_count} reads, "
           f"{collection.combined.length} bases total (with separators)")
 
     # Expected frequency: sum over occurrences of Π per-base confidence.
     index = CollectionUsiIndex(
-        collection, k=collection.combined.length // 50, local="product"
+        collection, k=scenario.default_k(), local="product"
     )
 
-    alphabet = Alphabet.dna()
-    probes = []
+    # Probe 12-mers drawn from the reads themselves.
     rng = np.random.default_rng(1)
+    longest = max(collection.documents, key=lambda doc: doc.length)
+    probes = []
     for _ in range(6):
-        start = int(rng.integers(0, len(reference) - 12))
-        probes.append("".join("ACGT"[c] for c in reference[start : start + 12]))
+        start = int(rng.integers(0, longest.length - 12))
+        probes.append(longest.fragment_text(start, 12))
 
     print("\n12-mer quality assessment (expected vs raw frequency):")
     print(f"{'pattern':14} {'occ':>4} {'reads':>6} {'E[freq]':>9}")
@@ -64,14 +56,18 @@ def main() -> None:
     for pattern in probes:
         assert index.query(pattern) <= index.count(pattern) + 1e-9
 
-    # Patterns overlapping error-prone read regions score visibly lower
-    # per occurrence; a quick aggregate check:
-    ratios = [
-        index.query(p) / max(index.count(p), 1) for p in probes if index.count(p)
-    ]
-    if ratios:
-        print(f"\nmean per-occurrence confidence of probes: {np.mean(ratios):.3f}")
+    baseline = compute_baseline(SCENARIO)
+    problems = verify_baseline(SCENARIO, baseline)
+    print(f"\npinned answers_sum over the canonical workload: "
+          f"{baseline['answers_sum']:.3f}")
+    if problems:
+        print("baseline: DRIFT")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
+    print("baseline: ok")
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main())

@@ -5,60 +5,43 @@ weighted by browsing time.  USI answers "how much total attention did
 this navigation path receive?" — useful for navigation recommendations
 and page-design decisions (the paper's web-analytics motivation).
 
+The log generator lives in the scenario registry as ``web_analytics``
+(see ``repro.datasets.scenarios.make_web_log``); this example tells
+the domain story over the registered world and re-verifies its pinned
+expected-metric baseline.
+
 Run with:  python examples/web_analytics.py
 """
 
 import numpy as np
 
-from repro import TopKOracle, UsiIndex, WeightedString, top_utility_substrings
+import repro
+from repro import TopKOracle, top_utility_substrings
+from repro.datasets import compute_baseline, get_scenario, verify_baseline
 from repro.suffix.suffix_array import SuffixArray
 
-
-def synthesize_log(n: int = 15_000, pages: int = 26, seed: int = 0) -> WeightedString:
-    """A page-visit log with session-like structure.
-
-    Users follow a handful of popular navigation funnels (short page
-    sequences) interleaved with exploratory clicks; browsing time is
-    log-normal per visit, with 'content' pages holding attention longer
-    than 'navigation' pages.
-    """
-    rng = np.random.default_rng(seed)
-    funnels = [rng.integers(0, pages, size=int(rng.integers(3, 7)))
-               for _ in range(8)]
-    chunks, total = [], 0
-    while total < n:
-        if rng.random() < 0.7:
-            chunk = funnels[min(int(rng.zipf(1.4)) - 1, 7)]
-        else:
-            chunk = rng.integers(0, pages, size=1)
-        chunks.append(chunk)
-        total += len(chunk)
-    codes = np.concatenate(chunks)[:n].astype(np.int32)
-    base_time = rng.uniform(2.0, 40.0, size=pages)  # content vs nav pages
-    times = base_time[codes] * rng.lognormal(0.0, 0.4, size=n)
-    letters = [chr(ord("a") + i) for i in range(pages)]
-    from repro import Alphabet
-
-    return WeightedString(codes, times, Alphabet(range(pages)))
+SCENARIO = "web_analytics"
 
 
-def main() -> None:
-    ws = synthesize_log()
+def main() -> int:
+    scenario = get_scenario(SCENARIO)
+    ws = scenario.make()  # pinned size, seed 0
     print(f"web log: {ws.length} page visits, {ws.alphabet.size} pages")
 
-    index = UsiIndex.build(ws, k=ws.length // 100)
+    index = repro.build(ws, backend="usi", k=scenario.default_k())
 
     # Total attention received by specific navigation paths.
     oracle = TopKOracle(SuffixArray(ws.codes))
-    hot_paths = oracle.top_k(200)
     print("\ntotal browsing time for some frequent navigation paths:")
     shown = 0
-    for path in hot_paths:
+    for path in oracle.top_k(200):
         if path.length < 3:
             continue
-        pattern = ws.codes[path.position : path.position + path.length].astype(np.int64)
+        pattern = ws.codes[path.position : path.position + path.length]
+        pattern = pattern.astype(np.int64)
         print(f"  path {ws.fragment_text(path.position, path.length)!r:12} "
-              f"visits={path.frequency:5d}  total_time={index.query(pattern):12.1f}s")
+              f"visits={path.frequency:5d}  "
+              f"total_time={index.query(pattern):12.1f}s")
         shown += 1
         if shown == 5:
             break
@@ -70,11 +53,18 @@ def main() -> None:
         print(f"  {ws.fragment_text(entry.position, 3)!r}: "
               f"{entry.utility:12.1f}s over {entry.frequency} traversals")
 
-    # Tuning: how big would a tau=20 index be?
-    point = oracle.tune_by_tau(20)
-    print(f"\ntau=20 would precompute K_tau={point.k} paths "
-          f"(L_tau={point.distinct_lengths} distinct lengths)")
+    baseline = compute_baseline(SCENARIO)
+    problems = verify_baseline(SCENARIO, baseline)
+    print(f"\npinned answers_sum over the canonical workload: "
+          f"{baseline['answers_sum']:.3f}")
+    if problems:
+        print("baseline: DRIFT")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
+    print("baseline: ok")
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main())

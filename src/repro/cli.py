@@ -16,6 +16,10 @@
     usi mine  --text corpus.txt --threshold 50 --min-length 3
     usi tune  --text corpus.txt --k 1000            # tau_K, L_K
     usi tune  --text corpus.txt --tau 50            # K_tau, L_tau
+    usi scenarios list
+    usi scenarios describe dna_quality
+    usi scenarios run --all                 # full regression matrix
+    usi scenarios run --scenario pathological --workload adversarial --n 2000
     usi serve --index idx.npz --port 8642
     usi serve --index big.npz --mmap        # lazy, memory-mapped open
     usi serve --live corpus --live-dir data/corpus   # ingesting index
@@ -627,6 +631,110 @@ def _cmd_backends(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_scenarios_list(args: argparse.Namespace) -> int:
+    """``usi scenarios list``: every registered world, one line each."""
+    from repro.datasets.scenarios import describe_scenarios
+
+    for row in describe_scenarios().values():
+        workloads = ",".join(row["workloads"])
+        print(
+            f"{row['scenario']}\t{row['kind']}\tn={row['default_n']} "
+            f"k={row['default_k']}\t[{workloads}]\t{row['title']}"
+        )
+    return 0
+
+
+def _cmd_scenarios_describe(args: argparse.Namespace) -> int:
+    """``usi scenarios describe NAME``: full card for one world."""
+    from repro.datasets.baselines import PINNED_BASELINES
+    from repro.datasets.scenarios import describe_scenarios
+    from repro.errors import ReproError
+
+    row = describe_scenarios().get(args.scenario)
+    if row is None:
+        from repro.datasets.scenarios import get_scenario
+
+        try:
+            get_scenario(args.scenario)  # raises with the known-names list
+        except ReproError as error:
+            print(str(error), file=sys.stderr)
+            return 2
+    for key in ("scenario", "title", "kind", "default_n", "default_k",
+                "query_length_range", "description"):
+        print(f"{key}: {row[key]}")
+    print(f"workloads: {', '.join(row['workloads'])}")
+    print(f"backends: {', '.join(row['backends'])}")
+    pinned = PINNED_BASELINES.get(args.scenario)
+    if pinned:
+        print("pinned baseline:")
+        for key, value in pinned.items():
+            print(f"  {key}: {value}")
+    return 0
+
+
+def _cmd_scenarios_run(args: argparse.Namespace) -> int:
+    """``usi scenarios run``: the backend × scenario × workload matrix."""
+    import json
+
+    from repro.datasets.scenarios import available_scenarios
+    from repro.errors import ReproError
+    from repro.eval.harness import run_scenario_matrix
+
+    if not args.all and not args.scenario:
+        print("give --all or at least one --scenario (see `usi scenarios list`)",
+              file=sys.stderr)
+        return 2
+    names = available_scenarios() if args.all else list(args.scenario)
+    try:
+        payload = run_scenario_matrix(
+            scenarios=names,
+            workloads=args.workload or None,
+            backends=args.backend or None,
+            n=args.n,
+            num_queries=args.queries,
+            seed=args.seed,
+        )
+    except ReproError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    if args.json:
+        Path(args.json).parent.mkdir(parents=True, exist_ok=True)
+        Path(args.json).write_text(json.dumps(payload, indent=2) + "\n")
+    header = f"{'scenario':<18} {'workload':<14} {'backend':<11} " \
+             f"{'qps':>10} {'build_s':>9} {'size':>10}"
+    print(header)
+    for row in payload["rows"]:
+        size = "?" if row["size_bytes"] is None else str(row["size_bytes"])
+        print(
+            f"{row['scenario']:<18} {row['workload']:<14} {row['backend']:<11} "
+            f"{row['qps']:>10.0f} {row['build_seconds']:>9.4f} {size:>10}"
+        )
+    for name, status in payload["baseline_checks"].items():
+        print(f"baseline {name}: {status}")
+    if payload["mismatches"]:
+        for mismatch in payload["mismatches"]:
+            print(
+                f"EXACTNESS MISMATCH: {mismatch['scenario']}/"
+                f"{mismatch['workload']}: {mismatch['backend']} vs "
+                f"{mismatch['reference']} (max |diff| "
+                f"{mismatch['max_abs_diff']:.3g})",
+                file=sys.stderr,
+            )
+        return 1
+    bad_baselines = [
+        name for name, status in payload["baseline_checks"].items()
+        if not isinstance(status, str)
+    ]
+    if bad_baselines:
+        print(f"baseline drift in: {', '.join(bad_baselines)}", file=sys.stderr)
+        return 1
+    print(
+        f"scenario matrix ok: {len(payload['rows'])} cells, "
+        f"{len(payload['backends'])} backends, 0 mismatches"
+    )
+    return 0
+
+
 def _cmd_tune(args: argparse.Namespace) -> int:
     ws = _load_weighted_string(args.text, args.utilities)
     oracle = TopKOracle(SuffixArray(ws.codes))
@@ -825,6 +933,48 @@ def build_parser() -> argparse.ArgumentParser:
     mine.add_argument("--aggregator", default="sum",
                       choices=["sum", "min", "max", "avg"])
     mine.set_defaults(fn=_cmd_mine)
+
+    scenarios = sub.add_parser(
+        "scenarios",
+        help="run registered worlds through the backend regression matrix",
+        description=(
+            "The scenario registry bundles deterministic seeded "
+            "corpus generators, named query workloads (the paper's "
+            "W1/W2,p plus zipfian, bursty, adversarial, and "
+            "cache-hostile stress families), and pinned "
+            "expected-metric baselines. `run` drives every selected "
+            "scenario x workload through all compatible backends and "
+            "fails on any exact-answer divergence or baseline drift."
+        ),
+    )
+    scenarios_sub = scenarios.add_subparsers(dest="action", required=True)
+    scenarios_list = scenarios_sub.add_parser(
+        "list", help="list registered scenarios")
+    scenarios_list.set_defaults(fn=_cmd_scenarios_list)
+    scenarios_describe = scenarios_sub.add_parser(
+        "describe", help="show one scenario's card and pinned baseline")
+    scenarios_describe.add_argument("scenario")
+    scenarios_describe.set_defaults(fn=_cmd_scenarios_describe)
+    scenarios_run = scenarios_sub.add_parser(
+        "run", help="run the backend x scenario x workload matrix")
+    scenarios_run.add_argument("--all", action="store_true",
+                               help="run every registered scenario")
+    scenarios_run.add_argument("--scenario", action="append",
+                               help="scenario to run (repeatable)")
+    scenarios_run.add_argument("--workload", action="append",
+                               help="restrict to these workloads (repeatable)")
+    scenarios_run.add_argument("--backend", action="append",
+                               help="restrict to these backends (repeatable; "
+                                    "incompatible kinds are skipped)")
+    scenarios_run.add_argument("--n", type=int,
+                               help="corpus size override (skips the pinned-"
+                                    "baseline check)")
+    scenarios_run.add_argument("--queries", type=int, default=60,
+                               help="queries per workload cell")
+    scenarios_run.add_argument("--seed", type=int, default=0)
+    scenarios_run.add_argument("--json",
+                               help="also write the full matrix payload here")
+    scenarios_run.set_defaults(fn=_cmd_scenarios_run)
 
     tune = sub.add_parser("tune", help="estimate (K, tau, L) trade-offs")
     tune.add_argument("--text", required=True)

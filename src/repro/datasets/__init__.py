@@ -1,6 +1,19 @@
-"""Synthetic dataset generators and query workloads (Table II scale-downs)."""
+"""Synthetic dataset generators, query workloads, and the scenario registry."""
 
+from repro.datasets.baselines import (
+    PINNED_BASELINES,
+    compute_baseline,
+    verify_baseline,
+)
 from repro.datasets.registry import DATASETS, DatasetSpec, load, table2_rows
+from repro.datasets.scenarios import (
+    Scenario,
+    adversarial_corpora,
+    available_scenarios,
+    describe_scenarios,
+    get_scenario,
+    register_scenario,
+)
 from repro.datasets.synthetic import (
     make_adv,
     make_ecoli,
@@ -8,18 +21,42 @@ from repro.datasets.synthetic import (
     make_iot,
     make_xml,
 )
-from repro.datasets.workloads import build_w1, build_w2p
+from repro.datasets.workloads import (
+    WORKLOADS,
+    WorkloadSpec,
+    available_workloads,
+    build_w1,
+    build_w2p,
+    build_workload,
+    get_workload,
+    workload_families,
+)
 
 __all__ = [
     "DATASETS",
     "DatasetSpec",
+    "PINNED_BASELINES",
+    "Scenario",
+    "WORKLOADS",
+    "WorkloadSpec",
+    "adversarial_corpora",
+    "available_scenarios",
+    "available_workloads",
     "build_w1",
     "build_w2p",
+    "build_workload",
+    "compute_baseline",
+    "describe_scenarios",
+    "get_scenario",
+    "get_workload",
     "load",
     "make_adv",
     "make_ecoli",
     "make_hum",
     "make_iot",
     "make_xml",
+    "register_scenario",
     "table2_rows",
+    "verify_baseline",
+    "workload_families",
 ]

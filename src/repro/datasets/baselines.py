@@ -1,0 +1,228 @@
+"""Pinned expected-metric baselines for every registered scenario.
+
+Each scenario's baseline is computed once at its pinned size
+(``Scenario.default_n``, seed 0) and committed here; tests, the
+rewritten examples, and the scheduled CI matrix recompute and compare.
+A drift in any field means the world changed under the harness — a
+generator edit, a workload edit, or a real answer regression — and
+must be either fixed or deliberately re-pinned (run
+``python -m repro.datasets.baselines`` and review the diff).
+
+Fields per scenario:
+
+* ``corpus_sha256`` — hash of the combined corpus codes + utilities
+  (byte-identical generation);
+* ``workload_sha256`` — hash of the canonical ``zipfian`` workload's
+  patterns (byte-identical query streams);
+* ``topk_checksum`` — hash of the exact top-K ``frequency:length``
+  sequence (the mining contract);
+* ``counts_sha256`` — hash of exact occurrence counts over the
+  canonical workload (integers, bit-exact);
+* ``answers_sum`` — sum of ``U(P)`` over the canonical workload
+  (compared with a small relative tolerance: exact backends may
+  reorder float accumulation);
+* ``utility_sum`` — sum of the corpus weight function (the PSW
+  invariant every prefix-sum rebuild must preserve).
+
+The hashes are first-16-hex-digit SHA-256 prefixes: collision-safe
+for regression pinning, short enough to read in a diff.
+
+Determinism caveat: generators draw from ``numpy.random.default_rng``
+streams; the pins hold for the numpy line CI runs.  If a numpy
+upgrade ever changes a distribution algorithm, re-pin deliberately.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from repro.errors import ParameterError
+
+#: Queries in the canonical (zipfian, seed 0) baseline workload.
+BASELINE_QUERIES = 200
+
+#: The canonical workload the answer digests are pinned over.
+BASELINE_WORKLOAD = "zipfian"
+
+
+def _digest(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()[:16]
+
+
+def compute_baseline(name: str, n: "int | None" = None, seed: int = 0) -> dict:
+    """Recompute the baseline metrics for scenario *name* at size *n*.
+
+    With the defaults (pinned size, seed 0) the result must equal
+    ``PINNED_BASELINES[name]`` — that equality is the regression gate.
+    """
+    import repro
+    from repro.core.topk_oracle import TopKOracle
+    from repro.datasets.scenarios import get_scenario
+    from repro.suffix.suffix_array import SuffixArray
+
+    scenario = get_scenario(name)
+    corpus = scenario.make(n, seed=seed)
+    combined = scenario.combined_view(corpus)
+    source = scenario.workload_source(corpus)
+
+    k = scenario.default_k(n)
+    oracle = TopKOracle(SuffixArray(source.codes))
+    mined = oracle.top_k(k)
+    patterns = scenario.build_workload(
+        corpus, BASELINE_WORKLOAD, BASELINE_QUERIES, seed=seed, oracle=oracle
+    )
+
+    backend = "collection" if scenario.kind == "collection" else "usi"
+    index = repro.build(corpus, backend=backend, k=k)
+    counts = [int(c) for c in index.count_batch(patterns)]
+    answers = [float(v) for v in index.query_batch(patterns)]
+
+    return {
+        "n": combined.length,
+        "k": k,
+        "corpus_sha256": _digest(
+            combined.codes.astype(np.int64).tobytes()
+            + combined.utilities.tobytes()
+        ),
+        "workload_sha256": _digest(
+            b"|".join(p.astype(np.int64).tobytes() for p in patterns)
+        ),
+        "topk_checksum": _digest(
+            " ".join(f"{m.frequency}:{m.length}" for m in mined).encode()
+        ),
+        "counts_sha256": _digest(
+            np.asarray(counts, dtype=np.int64).tobytes()
+        ),
+        "answers_sum": float(np.sum(answers)),
+        "utility_sum": float(combined.utilities.sum()),
+    }
+
+
+def verify_baseline(
+    name: str, computed: "dict | None" = None, rtol: float = 1e-9
+) -> list[str]:
+    """Mismatches between the recomputed and pinned baseline (empty = ok)."""
+    pinned = PINNED_BASELINES.get(name)
+    if pinned is None:
+        raise ParameterError(
+            f"scenario {name!r} has no pinned baseline; re-pin with "
+            "`python -m repro.datasets.baselines`"
+        )
+    if computed is None:
+        computed = compute_baseline(name)
+    mismatches = []
+    for key, expected in pinned.items():
+        actual = computed.get(key)
+        if isinstance(expected, float):
+            ok = actual is not None and np.isclose(actual, expected, rtol=rtol)
+        else:
+            ok = actual == expected
+        if not ok:
+            mismatches.append(f"{name}.{key}: pinned {expected!r}, got {actual!r}")
+    return mismatches
+
+
+def _render_pins() -> str:
+    """Recompute every scenario's baseline as source text (re-pin aid)."""
+    from repro.datasets.scenarios import available_scenarios
+
+    lines = ["PINNED_BASELINES: dict[str, dict] = {"]
+    for name in available_scenarios():
+        baseline = compute_baseline(name)
+        lines.append(f"    {name!r}: {{")
+        for key, value in baseline.items():
+            lines.append(f"        {key!r}: {value!r},")
+        lines.append("    },")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+#: The committed pins (regenerate with ``python -m repro.datasets.baselines``).
+PINNED_BASELINES: dict[str, dict] = {
+    'ad_sequencing': {
+        'n': 20000,
+        'k': 555,
+        'corpus_sha256': 'ad67632fdc2eae22',
+        'workload_sha256': 'dd7fbf6bd02a7e16',
+        'topk_checksum': '6ac5245907ce5aca',
+        'counts_sha256': '549b00be8e0da5c5',
+        'answers_sum': 38808.53914230167,
+        'utility_sum': 1920.0146998033454,
+    },
+    'dna_quality': {
+        'n': 20000,
+        'k': 400,
+        'corpus_sha256': 'b5ca36d067550ff8',
+        'workload_sha256': '6deb2a160301278c',
+        'topk_checksum': 'a3c6739f7b803a9d',
+        'counts_sha256': 'b2ffa5157b2e47ec',
+        'answers_sum': 589430.8394983541,
+        'utility_sum': 16840.82885132319,
+    },
+    'iot_link_quality': {
+        'n': 12000,
+        'k': 200,
+        'corpus_sha256': '3d1bbe4b82479c08',
+        'workload_sha256': 'a0b5d7a854527eda',
+        'topk_checksum': 'dc23f9612ad156ce',
+        'counts_sha256': '4d605691de9d790f',
+        'answers_sum': 1971996.5016146041,
+        'utility_sum': 6327.061958162691,
+    },
+    'pathological': {
+        'n': 8000,
+        'k': 100,
+        'corpus_sha256': '1976e551971021ce',
+        'workload_sha256': '572b6fdf53878621',
+        'topk_checksum': '521119682939e3cf',
+        'counts_sha256': '4aa50a55d50200ee',
+        'answers_sum': 8245350.649999826,
+        'utility_sum': 6796.200000000001,
+    },
+    'read_collection': {
+        'n': 9059,
+        'k': 180,
+        'corpus_sha256': 'b20d87d61eb02fc7',
+        'workload_sha256': '56995b5db37c0421',
+        'topk_checksum': '30b329559fb18d03',
+        'counts_sha256': '0fc740f1f1053bf3',
+        'answers_sum': 395919.59579666436,
+        'utility_sum': 7996.413834721061,
+    },
+    'table2_hum': {
+        'n': 8000,
+        'k': 80,
+        'corpus_sha256': '0c80b9d56a59493e',
+        'workload_sha256': 'd729e743d443856a',
+        'topk_checksum': '9cf854cdf28acdfc',
+        'counts_sha256': 'e0872f9be8085403',
+        'answers_sum': 248546.44999999573,
+        'utility_sum': 6790.650000000001,
+    },
+    'table2_xml': {
+        'n': 8000,
+        'k': 80,
+        'corpus_sha256': '138f825af5c8003c',
+        'workload_sha256': 'e08ccafb1899d2e1',
+        'topk_checksum': '20a9835ce7e0f626',
+        'counts_sha256': 'f08e0256421cbf3b',
+        'answers_sum': 110134.69999999748,
+        'utility_sum': 6789.6,
+    },
+    'web_analytics': {
+        'n': 15000,
+        'k': 150,
+        'corpus_sha256': '84c087af5e89d7b5',
+        'workload_sha256': '07c7c61934d826af',
+        'topk_checksum': 'd3d4449ed94e91f7',
+        'counts_sha256': 'ced65043fc4e4ebe',
+        'answers_sum': 6043788.951148261,
+        'utility_sum': 307168.62185740744,
+    },
+}
+
+
+if __name__ == "__main__":
+    print(_render_pins())

@@ -1,0 +1,396 @@
+"""The scenario registry: one harness, many worlds.
+
+A :class:`Scenario` bundles everything one evaluation "world" needs:
+
+* a **deterministic seeded corpus generator** — the six ``examples/``
+  domains promoted to first-class citizens (DNA quality, web
+  analytics, IoT link quality, ad sequencing, read collections), the
+  Table II datasets not already covered by a domain (XML, HUM), and a
+  ``pathological`` world of suffix-sorting worst cases;
+* a set of **named query workloads** (see
+  :mod:`repro.datasets.workloads`) with a scenario-appropriate length
+  range;
+* **pinned expected-metric baselines** (corpus checksum, top-k
+  checksum, answer digest, utility-sum invariant) living in
+  :mod:`repro.datasets.baselines` — computed once, committed, and
+  re-verified by tests, examples, and the scheduled CI matrix.
+
+The registry mirrors the backend registry in
+:mod:`repro.api.registry`: string keys, duplicate registration is an
+error, and everything downstream (the matrix runner in
+:func:`repro.eval.harness.run_scenario_matrix`, the ``usi scenarios``
+CLI, the property-test suite) dispatches by name.  Adding a new world
+is ~20 lines: write a ``(n, seed) -> WeightedString`` generator and
+call :func:`register_scenario` (see the README "Scenarios" section).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.datasets.synthetic import (
+    _UNIFORM_GRID,
+    make_adv,
+    make_ecoli,
+    make_hum,
+    make_iot,
+    make_xml,
+)
+from repro.datasets.workloads import WORKLOADS, build_workload
+from repro.errors import ParameterError
+from repro.strings.alphabet import Alphabet
+from repro.strings.collection import WeightedStringCollection
+from repro.strings.weighted import WeightedString
+
+#: Every workload a scenario regresses against by default.
+DEFAULT_WORKLOADS: tuple[str, ...] = (
+    "w1", "w2_50", "zipfian", "bursty", "adversarial", "cache_hostile"
+)
+
+#: Exact single-string backends the matrix drives for string worlds
+#: (``uat`` rides along but is excluded from exactness checks).
+STRING_BACKENDS: tuple[str, ...] = (
+    "usi", "uat", "fm", "oracle", "dynamic", "bsl1", "bsl2"
+)
+
+#: Collection-capable backends the matrix drives for collection worlds.
+COLLECTION_BACKENDS: tuple[str, ...] = ("collection", "sharded", "live")
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One registered evaluation world."""
+
+    name: str
+    title: str
+    description: str
+    generator: Callable[[int, int], "WeightedString | WeightedStringCollection"]
+    default_n: int
+    k_divisor: int
+    query_length_range: tuple[int, int]
+    kind: str = "string"  # "string" | "collection"
+    workloads: tuple[str, ...] = DEFAULT_WORKLOADS
+    min_n: int = 64
+
+    def make(self, n: "int | None" = None, seed: int = 0):
+        """Generate the corpus at length *n* (default: the pinned size)."""
+        n = self.default_n if n is None else int(n)
+        if n < self.min_n:
+            raise ParameterError(
+                f"scenario {self.name!r} needs n >= {self.min_n}; got {n}"
+            )
+        return self.generator(n, seed)
+
+    def default_k(self, n: "int | None" = None) -> int:
+        """The top-K budget this world indexes with at length *n*."""
+        return max(1, (n or self.default_n) // self.k_divisor)
+
+    def backends(self) -> tuple[str, ...]:
+        """The default backend set the matrix drives for this world."""
+        return COLLECTION_BACKENDS if self.kind == "collection" else STRING_BACKENDS
+
+    def workload_source(self, corpus) -> WeightedString:
+        """The weighted string workloads are generated over.
+
+        String worlds use the corpus itself.  Collection worlds use
+        their *longest document* — never the separator-joined combined
+        text, so patterns stay over the original alphabet and mean the
+        same thing to the monolithic, sharded, and live backends.
+        """
+        if self.kind == "collection":
+            return max(corpus.documents, key=lambda doc: doc.length)
+        return corpus
+
+    def combined_view(self, corpus) -> WeightedString:
+        """The corpus as one weighted string (for checksums/invariants)."""
+        if self.kind == "collection":
+            return corpus.combined
+        return corpus
+
+    def build_workload(
+        self,
+        corpus,
+        workload: str,
+        num_queries: int,
+        seed: int = 0,
+        oracle=None,
+    ) -> list[np.ndarray]:
+        """Patterns of the named workload over this scenario's corpus."""
+        if workload not in self.workloads:
+            raise ParameterError(
+                f"scenario {self.name!r} does not register workload "
+                f"{workload!r}; registered: {sorted(self.workloads)}"
+            )
+        return build_workload(
+            workload,
+            self.workload_source(corpus),
+            num_queries,
+            length_range=self.query_length_range,
+            seed=seed,
+            oracle=oracle,
+        )
+
+
+# ----------------------------------------------------------------------
+# The registry (mirrors repro.api.registry)
+# ----------------------------------------------------------------------
+_SCENARIOS: dict[str, Scenario] = {}
+
+
+def register_scenario(scenario: Scenario) -> Scenario:
+    """Register *scenario* under its name; duplicate names are an error."""
+    if scenario.name in _SCENARIOS:
+        raise ParameterError(f"scenario {scenario.name!r} is already registered")
+    unknown = [w for w in scenario.workloads if w not in WORKLOADS]
+    if unknown:
+        raise ParameterError(
+            f"scenario {scenario.name!r} names unregistered workloads {unknown}"
+        )
+    _SCENARIOS[scenario.name] = scenario
+    return scenario
+
+
+def get_scenario(name: str) -> Scenario:
+    """The scenario registered under *name*; raises if unknown."""
+    scenario = _SCENARIOS.get(name)
+    if scenario is None:
+        raise ParameterError(
+            f"unknown scenario {name!r}; registered: {available_scenarios()}"
+        )
+    return scenario
+
+
+def available_scenarios() -> list[str]:
+    """Sorted registered scenario names."""
+    return sorted(_SCENARIOS)
+
+
+def describe_scenarios() -> dict[str, dict]:
+    """One row per scenario (the ``usi scenarios list`` payload)."""
+    rows = {}
+    for name in available_scenarios():
+        scenario = _SCENARIOS[name]
+        rows[name] = {
+            "scenario": name,
+            "title": scenario.title,
+            "kind": scenario.kind,
+            "default_n": scenario.default_n,
+            "default_k": scenario.default_k(),
+            "query_length_range": list(scenario.query_length_range),
+            "workloads": list(scenario.workloads),
+            "backends": list(scenario.backends()),
+            "description": scenario.description,
+        }
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Corpus generators promoted from examples/
+# ----------------------------------------------------------------------
+def make_web_log(n: int = 15_000, seed: int = 0, pages: int = 26) -> WeightedString:
+    """A page-visit log with session-like structure (web analytics).
+
+    Users follow a handful of popular navigation funnels (short page
+    sequences) interleaved with exploratory clicks; browsing time is
+    log-normal per visit, with 'content' pages holding attention
+    longer than 'navigation' pages.  Promoted verbatim from
+    ``examples/web_analytics.py`` so every harness sees the same world.
+    """
+    rng = np.random.default_rng(seed)
+    funnels = [rng.integers(0, pages, size=int(rng.integers(3, 7)))
+               for _ in range(8)]
+    chunks, total = [], 0
+    while total < n:
+        if rng.random() < 0.7:
+            chunk = funnels[min(int(rng.zipf(1.4)) - 1, 7)]
+        else:
+            chunk = rng.integers(0, pages, size=1)
+        chunks.append(chunk)
+        total += len(chunk)
+    codes = np.concatenate(chunks)[:n].astype(np.int32)
+    base_time = rng.uniform(2.0, 40.0, size=pages)  # content vs nav pages
+    times = base_time[codes] * rng.lognormal(0.0, 0.4, size=n)
+    return WeightedString(codes, times, Alphabet(range(pages)))
+
+
+def make_read_collection(n: int = 9_000, seed: int = 0) -> WeightedStringCollection:
+    """Sequencing reads sampled from one reference, phred confidences.
+
+    Promoted from ``examples/read_collection.py``: reads of a common
+    reference with per-base confidence scores, where low-confidence
+    bases are exactly the ones that miscall.  *n* is the total base
+    budget; read length scales down with it so small test corpora
+    still hold several overlapping reads.
+    """
+    rng = np.random.default_rng(seed)
+    read_length = max(16, min(150, n // 8))
+    count = max(2, n // read_length)
+    reference = rng.integers(
+        0, 4, size=max(2 * read_length, n // 4), dtype=np.int32
+    )
+    alphabet = Alphabet.dna()
+    reads = []
+    for _ in range(count):
+        start = int(rng.integers(0, len(reference) - read_length + 1))
+        bases = reference[start : start + read_length].copy()
+        confidences = np.clip(rng.beta(9.0, 1.2, size=read_length), 0.05, 0.999)
+        errors = rng.random(read_length) > confidences
+        bases[errors] = rng.integers(0, 4, size=int(errors.sum()))
+        reads.append(WeightedString(bases, confidences, alphabet))
+    return WeightedStringCollection(reads)
+
+
+def make_pathological(n: int = 8_000, seed: int = 0) -> WeightedString:
+    """Suffix-sorting worst cases stitched into one corpus.
+
+    Alternating blocks of ``a^m b^m`` (maximal same-letter chains, the
+    induced-sort stressor), all-equal runs (period 1), ``abab...``
+    runs (period 2), and short random spacers over a 3-letter
+    alphabet.  The text that makes SA-IS, the length-bucket batch
+    path, and LCP computation earn their keep.
+    """
+    rng = np.random.default_rng(seed)
+    chunks: list[np.ndarray] = []
+    total = 0
+    block = 0
+    while total < n:
+        kind = block % 4
+        block += 1
+        m = int(rng.integers(max(4, n // 100), max(8, n // 25)))
+        if kind == 0:  # a^m b^m
+            chunk = np.concatenate(
+                [np.zeros(m, dtype=np.int32), np.ones(m, dtype=np.int32)]
+            )
+        elif kind == 1:  # all-equal (period 1)
+            chunk = np.zeros(m, dtype=np.int32)
+        elif kind == 2:  # period 2
+            chunk = np.tile(np.asarray([0, 1], dtype=np.int32), m)[:m]
+        else:  # random spacer
+            chunk = rng.integers(0, 3, size=int(rng.integers(2, 9)), dtype=np.int32)
+        chunks.append(chunk)
+        total += len(chunk)
+    codes = np.concatenate(chunks)[:n]
+    utilities = rng.choice(_UNIFORM_GRID, size=n)
+    return WeightedString(codes, utilities, Alphabet("abc"))
+
+
+# ----------------------------------------------------------------------
+# Adversarial corpora (shared by tests/scenarios and the registry)
+# ----------------------------------------------------------------------
+def adversarial_corpora(n: int = 400, seed: int = 0) -> dict[str, WeightedString]:
+    """The named edge-case corpora the regression tests pin.
+
+    ``anbn`` (one maximal same-letter chain pair), ``all_equal``
+    (period 1 — every suffix compares equal for its whole length),
+    ``period2`` (``abab...``), and ``max_alphabet`` (every letter
+    distinct — degenerate buckets, no repeated substrings at all).
+    Utilities come from the paper's uniform grid so answers are
+    non-trivial.
+    """
+    rng = np.random.default_rng(seed)
+
+    def grid(size: int) -> np.ndarray:
+        return rng.choice(_UNIFORM_GRID, size=size)
+
+    half = n // 2
+    return {
+        "anbn": WeightedString(
+            np.concatenate(
+                [np.zeros(half, dtype=np.int32), np.ones(n - half, dtype=np.int32)]
+            ),
+            grid(n),
+            Alphabet("ab"),
+        ),
+        "all_equal": WeightedString(
+            np.zeros(n, dtype=np.int32), grid(n), Alphabet("a")
+        ),
+        "period2": WeightedString(
+            np.tile(np.asarray([0, 1], dtype=np.int32), (n + 1) // 2)[:n],
+            grid(n),
+            Alphabet("ab"),
+        ),
+        "max_alphabet": WeightedString(
+            np.arange(n, dtype=np.int32), grid(n), Alphabet(range(n))
+        ),
+    }
+
+
+# ----------------------------------------------------------------------
+# Registered worlds
+# ----------------------------------------------------------------------
+register_scenario(Scenario(
+    name="ad_sequencing",
+    title="Ad sequencing (ADV)",
+    description="ad-category history with CTR utilities; the Section II "
+                "case study where top-by-utility != top-by-frequency",
+    generator=make_adv,
+    default_n=20_000, k_divisor=36, query_length_range=(3, 200),
+))
+
+register_scenario(Scenario(
+    name="dna_quality",
+    title="DNA k-mer quality (ECOLI)",
+    description="E. coli-like DNA with phred confidence utilities; "
+                "frequent-mer quality profiling (the paper's Example 2)",
+    generator=make_ecoli,
+    default_n=20_000, k_divisor=50, query_length_range=(3, 64),
+))
+
+register_scenario(Scenario(
+    name="iot_link_quality",
+    title="IoT link quality (IOT)",
+    description="near-periodic beacon rotations with RSSI utilities; "
+                "very long frequent substrings (the streaming-miner killer)",
+    generator=make_iot,
+    default_n=12_000, k_divisor=60, query_length_range=(1, 2_000),
+))
+
+register_scenario(Scenario(
+    name="web_analytics",
+    title="Web analytics (page log)",
+    description="session-structured page-visit log weighted by browsing "
+                "time; navigation-path attention queries",
+    generator=make_web_log,
+    default_n=15_000, k_divisor=100, query_length_range=(1, 40),
+))
+
+register_scenario(Scenario(
+    name="read_collection",
+    title="Sequencing-read collection",
+    description="a collection of DNA reads with per-base confidences; "
+                "expected-frequency queries over document-aligned backends",
+    generator=make_read_collection,
+    default_n=9_000, k_divisor=50, query_length_range=(2, 24),
+    kind="collection", min_n=128,
+))
+
+register_scenario(Scenario(
+    name="table2_xml",
+    title="Structured XML (Table II)",
+    description="tag-structured text with grid utilities; the Table II "
+                "XML dataset at reproduction scale",
+    generator=make_xml,
+    default_n=8_000, k_divisor=100, query_length_range=(1, 500),
+    min_n=128,
+))
+
+register_scenario(Scenario(
+    name="table2_hum",
+    title="Human-genome DNA (Table II)",
+    description="DNA with interspersed mutating repeats and grid "
+                "utilities; the Table II HUM dataset at reproduction scale",
+    generator=make_hum,
+    default_n=8_000, k_divisor=100, query_length_range=(1, 500),
+))
+
+register_scenario(Scenario(
+    name="pathological",
+    title="Pathological (suffix worst cases)",
+    description="a^m b^m blocks, period-1/period-2 runs, and spacers: "
+                "the corpus that stresses SA-IS and the batch buckets",
+    generator=make_pathological,
+    default_n=8_000, k_divisor=80, query_length_range=(1, 400),
+))

@@ -3,9 +3,11 @@
 from repro.eval.harness import (
     BackendRun,
     MinerRun,
+    ScenarioCell,
     compare_backends,
     measure_call,
     run_miner,
+    run_scenario_matrix,
 )
 from repro.eval.metrics import MinerScores, evaluate_miner, ndcg
 from repro.eval.reporting import format_table
@@ -14,10 +16,12 @@ __all__ = [
     "BackendRun",
     "MinerRun",
     "MinerScores",
+    "ScenarioCell",
     "compare_backends",
     "evaluate_miner",
     "format_table",
     "measure_call",
     "ndcg",
     "run_miner",
+    "run_scenario_matrix",
 ]

@@ -13,6 +13,8 @@ import tracemalloc
 from dataclasses import dataclass
 from typing import Any, Callable
 
+import numpy as np
+
 
 @dataclass
 class MinerRun:
@@ -148,3 +150,178 @@ def compare_backends(
             )
         )
     return runs
+
+
+# ----------------------------------------------------------------------
+# The scenario matrix (backend × scenario × workload)
+# ----------------------------------------------------------------------
+@dataclass
+class ScenarioCell:
+    """One (scenario, workload, backend) cell of the regression matrix."""
+
+    scenario: str
+    workload: str
+    backend: str
+    n: int
+    num_queries: int
+    build_seconds: float
+    query_seconds_mean: float
+    qps: float
+    size_bytes: "int | None"
+    shared_kernel: bool
+    exact: bool
+    mismatch: bool
+
+    def as_dict(self) -> dict:
+        return {
+            "scenario": self.scenario,
+            "workload": self.workload,
+            "backend": self.backend,
+            "n": self.n,
+            "num_queries": self.num_queries,
+            "build_seconds": round(self.build_seconds, 6),
+            "query_seconds_mean": round(self.query_seconds_mean, 9),
+            "qps": round(self.qps, 1),
+            "size_bytes": self.size_bytes,
+            "shared_kernel": self.shared_kernel,
+            "exact": self.exact,
+            "mismatch": self.mismatch,
+        }
+
+
+def run_scenario_matrix(
+    scenarios: "list[str] | None" = None,
+    workloads: "list[str] | None" = None,
+    backends: "list[str] | None" = None,
+    n: "int | None" = None,
+    num_queries: int = 60,
+    seed: int = 0,
+    trace_memory: bool = False,
+    check_baselines: bool = True,
+) -> dict:
+    """Run the backend × scenario × workload regression matrix.
+
+    Every cell goes through :func:`compare_backends` (one shared
+    kernel per sweep), so each registered world exercises exactly the
+    protocol path production queries take.  For every (scenario,
+    workload) pair the answers of all *exact* backends (every backend
+    whose capabilities do not claim ``approximate``) are compared; a
+    divergence is recorded in ``mismatches`` — the empty list is the
+    regression gate.
+
+    At the pinned size (``n=None``, ``seed=0``) each scenario's
+    corpus/workload/top-k/answer digests are also re-verified against
+    :data:`repro.datasets.baselines.PINNED_BASELINES`; with an ``n``
+    override the baseline check is skipped (recorded as such).
+
+    Returns a JSON-ready payload: ``rows`` (one dict per cell),
+    ``mismatches``, ``baseline_checks``, and the swept axes.
+    """
+    from repro.api import get_backend
+    from repro.core.topk_oracle import TopKOracle
+    from repro.datasets.baselines import verify_baseline
+    from repro.datasets.scenarios import available_scenarios, get_scenario
+    from repro.datasets.workloads import get_workload
+    from repro.suffix.suffix_array import SuffixArray
+
+    scenario_names = list(scenarios) if scenarios else available_scenarios()
+    rows: list[ScenarioCell] = []
+    mismatches: list[dict] = []
+    baseline_checks: dict[str, "str | list[str]"] = {}
+    backends_seen: set[str] = set()
+
+    for scenario_name in scenario_names:
+        scenario = get_scenario(scenario_name)
+        corpus = scenario.make(n, seed=seed)
+        source = scenario.workload_source(corpus)
+        oracle = TopKOracle(SuffixArray(source.codes))
+        scenario_workloads = [
+            w for w in (workloads or scenario.workloads)
+            if w in scenario.workloads
+        ]
+        if backends is None:
+            backend_names = list(scenario.backends())
+        elif scenario.kind == "collection":
+            backend_names = [
+                b for b in backends if get_backend(b).capabilities.collection
+            ]
+        else:
+            backend_names = list(backends)
+        if not backend_names:
+            baseline_checks.setdefault(
+                scenario_name, "skipped (no compatible backend)"
+            )
+            continue
+
+        for workload_name in scenario_workloads:
+            get_workload(workload_name)  # fail fast on unknown names
+            patterns = scenario.build_workload(
+                corpus, workload_name, num_queries, seed=seed, oracle=oracle
+            )
+            runs = compare_backends(
+                corpus,
+                patterns,
+                backends=backend_names,
+                trace_memory=trace_memory,
+            )
+            reference: "BackendRun | None" = None
+            for run in runs:
+                exact = not get_backend(run.backend).capabilities.approximate
+                if exact and reference is None:
+                    reference = run
+            for run in runs:
+                exact = not get_backend(run.backend).capabilities.approximate
+                mismatch = False
+                if exact and reference is not None and run is not reference:
+                    mismatch = not np.allclose(
+                        run.answers, reference.answers, rtol=1e-9, atol=1e-9
+                    )
+                if mismatch:
+                    diffs = np.abs(
+                        np.asarray(run.answers) - np.asarray(reference.answers)
+                    )
+                    mismatches.append({
+                        "scenario": scenario_name,
+                        "workload": workload_name,
+                        "backend": run.backend,
+                        "reference": reference.backend,
+                        "max_abs_diff": float(diffs.max()),
+                    })
+                backends_seen.add(run.backend)
+                rows.append(ScenarioCell(
+                    scenario=scenario_name,
+                    workload=workload_name,
+                    backend=run.backend,
+                    n=scenario.combined_view(corpus).length,
+                    num_queries=len(patterns),
+                    build_seconds=run.build_seconds,
+                    query_seconds_mean=run.query_seconds_mean,
+                    qps=(
+                        1.0 / run.query_seconds_mean
+                        if run.query_seconds_mean > 0 else 0.0
+                    ),
+                    size_bytes=run.size_bytes,
+                    shared_kernel=run.shared_kernel,
+                    exact=exact,
+                    mismatch=mismatch,
+                ))
+
+        if not check_baselines:
+            baseline_checks[scenario_name] = "skipped"
+        elif n is not None or seed != 0:
+            baseline_checks[scenario_name] = "skipped (non-pinned n or seed)"
+        else:
+            problems = verify_baseline(scenario_name)
+            baseline_checks[scenario_name] = "ok" if not problems else problems
+
+    return {
+        "n_override": n,
+        "num_queries": num_queries,
+        "seed": seed,
+        "scenarios": scenario_names,
+        "workloads": sorted({row.workload for row in rows}),
+        "backends": sorted(backends_seen),
+        "rows": [row.as_dict() for row in rows],
+        "mismatches": mismatches,
+        "baseline_checks": baseline_checks,
+    }

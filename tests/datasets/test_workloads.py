@@ -1,11 +1,22 @@
-"""Tests for the W1 / W2,p query workload builders."""
+"""Tests for the workload builders: W1 / W2,p and the stress families."""
 
 import numpy as np
 import pytest
 
 from repro.core.topk_oracle import TopKOracle
 from repro.datasets.synthetic import make_adv
-from repro.datasets.workloads import build_w1, build_w2p
+from repro.datasets.workloads import (
+    WORKLOADS,
+    build_adversarial,
+    build_bursty,
+    build_cache_hostile,
+    build_w1,
+    build_w2p,
+    build_workload,
+    build_zipfian,
+    get_workload,
+    workload_families,
+)
 from repro.errors import ParameterError
 from repro.suffix.suffix_array import SuffixArray
 
@@ -86,3 +97,62 @@ class TestW2p:
             build_w2p(ws, oracle, 10, p=120)
         with pytest.raises(ParameterError):
             build_w2p(ws, oracle, 0, p=50)
+
+
+class TestStressFamilies:
+    @pytest.mark.parametrize("builder", [
+        build_zipfian, build_bursty, build_adversarial, build_cache_hostile,
+    ])
+    def test_size_and_determinism(self, adv_setup, builder):
+        ws, _, oracle = adv_setup
+        a = builder(ws, oracle, 30, length_range=(1, 40), seed=7)
+        b = builder(ws, oracle, 30, length_range=(1, 40), seed=7)
+        assert len(a) == len(b) == 30
+        assert all(np.array_equal(x, y) for x, y in zip(a, b))
+        for pattern in a:
+            assert isinstance(pattern, np.ndarray)
+            assert len(pattern) >= 1
+
+    def test_bursty_repeats_back_to_back(self, adv_setup):
+        ws, _, oracle = adv_setup
+        patterns = build_bursty(ws, oracle, 60, length_range=(1, 30), seed=0)
+        repeats = sum(
+            1 for a, b in zip(patterns, patterns[1:]) if np.array_equal(a, b)
+        )
+        assert repeats > len(patterns) // 4
+
+    def test_adversarial_contains_period1_runs(self, adv_setup):
+        ws, _, oracle = adv_setup
+        patterns = build_adversarial(ws, oracle, 30, length_range=(1, 60), seed=0)
+        assert any(
+            len(p) > 1 and len(set(int(c) for c in p)) == 1 for p in patterns
+        )
+
+    def test_cache_hostile_patterns_all_distinct(self, adv_setup):
+        ws, _, oracle = adv_setup
+        patterns = build_cache_hostile(ws, oracle, 80, length_range=(1, 40), seed=0)
+        keys = {np.asarray(p, dtype=np.int64).tobytes() for p in patterns}
+        assert len(keys) == 80
+
+
+class TestWorkloadRegistry:
+    def test_families_cover_the_stress_set(self):
+        assert {"paper", "zipfian", "bursty", "adversarial",
+                "cache_hostile"} <= set(workload_families())
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(ParameterError):
+            get_workload("w999")
+
+    def test_registry_dispatch_equals_direct_call(self, adv_setup):
+        ws, _, oracle = adv_setup
+        direct = build_zipfian(ws, oracle, 25, length_range=(1, 30), seed=3)
+        via_registry = build_workload(
+            "zipfian", ws, 25, length_range=(1, 30), seed=3, oracle=oracle
+        )
+        assert all(np.array_equal(x, y) for x, y in zip(direct, via_registry))
+
+    def test_needs_oracle_flags(self):
+        assert WORKLOADS["w1"].needs_oracle
+        assert not WORKLOADS["adversarial"].needs_oracle
+        assert not WORKLOADS["cache_hostile"].needs_oracle

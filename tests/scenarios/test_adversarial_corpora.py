@@ -1,0 +1,98 @@
+"""Adversarial-input regressions: worst-case corpora through the full
+build -> save -> reopen -> query lifecycle.
+
+``a^n b^n`` (one maximal same-letter chain pair), all-equal (period
+1), period-2, and max-alphabet (all letters distinct) corpora are the
+inputs that historically break suffix sorting (SA-IS bucket logic),
+the length-bucket batch path, and persistence layers that assume
+"typical" alphabets.  Each backend must answer exactly — before and
+after a round-trip through its persistence format.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.api import open_index
+from repro.core.naive import naive_global_utility
+from repro.datasets.scenarios import adversarial_corpora
+from repro.ingest.live import LiveIndex
+from repro.io import save_index
+
+N = 400
+CORPORA = adversarial_corpora(N, seed=0)
+
+
+def _probes(ws):
+    """Prefixes, mid-string runs, and an absent pattern per corpus."""
+    codes = ws.codes.astype(np.int64)
+    probes = [
+        codes[:1],
+        codes[: min(8, len(codes))],
+        codes[len(codes) // 2 : len(codes) // 2 + 5],
+        codes[-3:],
+        np.asarray([ws.alphabet.size - 1, 0], dtype=np.int64),  # likely absent
+    ]
+    return [p for p in probes if len(p)]
+
+
+def _expected(ws, patterns):
+    return [naive_global_utility(ws, p) for p in patterns]
+
+
+@pytest.mark.parametrize("corpus_name", sorted(CORPORA))
+@pytest.mark.parametrize("backend", ["usi", "fm"])
+def test_string_backends_survive_save_and_mmap_reopen(
+    corpus_name, backend, tmp_path
+):
+    ws = CORPORA[corpus_name]
+    patterns = _probes(ws)
+    expected = _expected(ws, patterns)
+
+    index = repro.build(ws, backend=backend, k=32)
+    assert np.allclose(index.query_batch(patterns), expected, atol=1e-9)
+
+    path = tmp_path / f"{corpus_name}.npz"
+    if backend == "usi":
+        save_index(index, path, container="v3")  # the mmap-able bundle
+        reopened = open_index(path, mmap=True)
+    else:
+        save_index(index, path)  # fm persists through the tagged container
+        reopened = open_index(path)
+    assert np.allclose(reopened.query_batch(patterns), expected, atol=1e-9)
+    assert [int(c) for c in reopened.count_batch(patterns)] == [
+        int(c) for c in index.count_batch(patterns)
+    ]
+
+
+@pytest.mark.parametrize("corpus_name", sorted(CORPORA))
+def test_sharded_backend_survives_save_and_reopen(corpus_name, tmp_path):
+    ws = CORPORA[corpus_name]
+    patterns = _probes(ws)
+    expected = _expected(ws, patterns)
+
+    index = repro.build(ws, backend="sharded", k=32, shards=2)
+    assert np.allclose(index.query_batch(patterns), expected, atol=1e-9)
+
+    path = tmp_path / f"{corpus_name}-sharded.npz"
+    save_index(index, path)
+    reopened = open_index(path)
+    assert np.allclose(reopened.query_batch(patterns), expected, atol=1e-9)
+
+
+@pytest.mark.parametrize("corpus_name", sorted(CORPORA))
+def test_live_backend_survives_durable_reopen(corpus_name, tmp_path):
+    ws = CORPORA[corpus_name]
+    patterns = _probes(ws)
+    expected = _expected(ws, patterns)
+
+    directory = tmp_path / f"{corpus_name}-live"
+    index = repro.build(ws, backend="live", k=32, directory=str(directory))
+    assert np.allclose(index.query_batch(patterns), expected, atol=1e-9)
+    index.inner.close()
+
+    reopened = LiveIndex.open(str(directory))
+    try:
+        assert np.allclose(reopened.query_batch(patterns), expected, atol=1e-9)
+    finally:
+        reopened.close()

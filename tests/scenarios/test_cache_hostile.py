@@ -1,0 +1,107 @@
+"""Cache-hostile workloads defeat every caching layer — by design.
+
+The ``cache_hostile`` family emits a stream of *content-distinct*
+patterns, so the QueryEngine's LRU can never hit and the gateway
+coalescer can never piggyback a follower.  These tests pin that
+worst-case behaviour (and its inverse: hot repeats do hit/coalesce),
+so a cache-key bug that collapses distinct patterns — or stops
+recognising identical ones — fails loudly.
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+import repro
+from repro.datasets.scenarios import get_scenario
+from repro.gateway.coalesce import Coalescer, coalesce_key
+from repro.service.engine import QueryEngine
+
+N = 800
+NUM_QUERIES = 40
+
+
+@pytest.fixture(scope="module")
+def scenario_world():
+    scenario = get_scenario("web_analytics")
+    corpus = scenario.make(N, seed=0)
+    index = repro.build(corpus, backend="usi", k=scenario.default_k(N))
+    return scenario, corpus, index
+
+
+class TestQueryEngineLru:
+    def test_cache_hostile_stream_never_hits(self, scenario_world):
+        scenario, corpus, index = scenario_world
+        patterns = scenario.build_workload(
+            corpus, "cache_hostile", NUM_QUERIES, seed=0
+        )
+        engine = QueryEngine(index, cache_size=4096)
+        for pattern in patterns:
+            engine.query(pattern)
+        stats = engine.stats()
+        assert stats["cache_misses"] == NUM_QUERIES
+        assert stats["cache_hits"] == 0
+        assert stats["hit_rate"] == 0.0
+
+    def test_bursty_stream_does_hit(self, scenario_world):
+        scenario, corpus, index = scenario_world
+        patterns = scenario.build_workload(corpus, "bursty", NUM_QUERIES, seed=0)
+        engine = QueryEngine(index, cache_size=4096)
+        for pattern in patterns:
+            engine.query(pattern)
+        stats = engine.stats()
+        # Bursts repeat one hot pattern back to back: most lookups hit.
+        assert stats["cache_hits"] > 0
+        assert stats["hit_rate"] > 0.3
+
+    def test_patterns_are_content_distinct(self, scenario_world):
+        scenario, corpus, _ = scenario_world
+        patterns = scenario.build_workload(
+            corpus, "cache_hostile", NUM_QUERIES, seed=0
+        )
+        seen = {np.asarray(p, dtype=np.int64).tobytes() for p in patterns}
+        assert len(seen) == NUM_QUERIES
+
+
+class TestGatewayCoalescer:
+    def test_unique_stream_every_request_leads(self, scenario_world):
+        scenario, corpus, _ = scenario_world
+        patterns = scenario.build_workload(
+            corpus, "cache_hostile", NUM_QUERIES, seed=0
+        )
+
+        async def drive():
+            coalescer = Coalescer()
+            for pattern in patterns:
+                key = coalesce_key("idx", [tuple(int(c) for c in pattern)], False)
+                future, leader = coalescer.lead_or_follow(key)
+                assert leader
+                coalescer.resolve(key, 0.0)
+                await future
+            return coalescer.stats()
+
+        stats = asyncio.run(drive())
+        # Round-trips == request count: nothing piggybacked.
+        assert stats["leaders"] == NUM_QUERIES
+        assert stats["followers"] == 0
+
+    def test_identical_inflight_requests_coalesce(self, scenario_world):
+        scenario, corpus, _ = scenario_world
+        pattern = scenario.build_workload(corpus, "w1", 1, seed=0)[0]
+
+        async def drive():
+            coalescer = Coalescer()
+            key = coalesce_key("idx", [tuple(int(c) for c in pattern)], False)
+            leader_future, leader = coalescer.lead_or_follow(key)
+            assert leader
+            follower_future, follower_leads = coalescer.lead_or_follow(key)
+            assert not follower_leads
+            coalescer.resolve(key, 42.0)
+            assert await leader_future == 42.0
+            assert await follower_future == 42.0
+            return coalescer.stats()
+
+        stats = asyncio.run(drive())
+        assert stats["leaders"] == 1
+        assert stats["followers"] == 1

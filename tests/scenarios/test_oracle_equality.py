@@ -1,0 +1,78 @@
+"""Every exact backend == the naive oracle, on every scenario corpus.
+
+The cross-cutting exactness property behind the matrix gate: for each
+registered world, ``query_batch`` and ``count_batch`` of every exact
+backend must equal the brute-force definition.  Collection worlds sum
+the naive utility over documents (separators make cross-document
+matches impossible, so the per-document sum *is* the collection
+answer).
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.api import get_backend
+from repro.core.naive import naive_global_utility
+from repro.datasets.scenarios import available_scenarios, get_scenario
+from repro.strings.occurrences import naive_occurrences
+
+N_SMALL = 300
+N_COLLECTION = 600  # read_collection needs >= 128 and several reads
+NUM_PATTERNS = 12
+
+
+def _scenario_patterns(scenario, corpus):
+    """A mixed probe set: w1 (frequent) + bursty + a few adversarial."""
+    patterns = []
+    patterns += scenario.build_workload(corpus, "w1", 6, seed=1)
+    patterns += scenario.build_workload(corpus, "bursty", 3, seed=2)
+    patterns += scenario.build_workload(corpus, "adversarial", 3, seed=3)
+    return patterns[:NUM_PATTERNS]
+
+
+def _naive_answers(scenario, corpus, patterns):
+    if scenario.kind == "collection":
+        documents = corpus.documents
+        utilities = [
+            sum(naive_global_utility(doc, p) for doc in documents)
+            for p in patterns
+        ]
+        counts = [
+            sum(len(naive_occurrences(doc.codes, np.asarray(p, dtype=np.int64)))
+                for doc in documents)
+            for p in patterns
+        ]
+    else:
+        utilities = [naive_global_utility(corpus, p) for p in patterns]
+        counts = [
+            len(naive_occurrences(corpus.codes, np.asarray(p, dtype=np.int64)))
+            for p in patterns
+        ]
+    return utilities, counts
+
+
+@pytest.mark.parametrize("name", available_scenarios())
+def test_exact_backends_match_naive_oracle(name):
+    scenario = get_scenario(name)
+    n = N_COLLECTION if scenario.kind == "collection" else N_SMALL
+    corpus = scenario.make(n, seed=0)
+    patterns = _scenario_patterns(scenario, corpus)
+    expected_utilities, expected_counts = _naive_answers(
+        scenario, corpus, patterns
+    )
+
+    for backend_name in scenario.backends():
+        backend = get_backend(backend_name)
+        if backend.capabilities.approximate:
+            continue  # uat rides the matrix but holds no exactness claim
+        index = repro.build(corpus, backend=backend_name, k=scenario.default_k(n))
+        answers = index.query_batch(patterns)
+        assert np.allclose(answers, expected_utilities, rtol=1e-9, atol=1e-9), (
+            f"{name}/{backend_name}: query_batch diverged from the naive oracle"
+        )
+        if backend.capabilities.count:
+            counts = index.count_batch(patterns)
+            assert [int(c) for c in counts] == expected_counts, (
+                f"{name}/{backend_name}: count_batch diverged"
+            )

@@ -1,0 +1,118 @@
+"""Scenario-registry semantics: names, errors, and the matrix surface."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.baselines import PINNED_BASELINES
+from repro.datasets.scenarios import (
+    Scenario,
+    available_scenarios,
+    describe_scenarios,
+    get_scenario,
+    register_scenario,
+)
+from repro.datasets.workloads import (
+    WORKLOADS,
+    available_workloads,
+    get_workload,
+    workload_families,
+)
+from repro.errors import ParameterError
+from repro.strings.weighted import WeightedString
+
+
+class TestRegistrySurface:
+    def test_at_least_five_scenarios_registered(self):
+        assert len(available_scenarios()) >= 5
+
+    def test_at_least_four_workload_families(self):
+        assert len(workload_families()) >= 4
+
+    def test_every_scenario_has_a_pinned_baseline(self):
+        assert set(available_scenarios()) == set(PINNED_BASELINES)
+
+    def test_get_unknown_scenario_raises_with_known_names(self):
+        with pytest.raises(ParameterError, match="registered"):
+            get_scenario("no_such_world")
+
+    def test_get_unknown_workload_raises(self):
+        with pytest.raises(ParameterError):
+            get_workload("no_such_workload")
+
+    def test_describe_covers_every_scenario(self):
+        rows = describe_scenarios()
+        assert set(rows) == set(available_scenarios())
+        for row in rows.values():
+            assert row["workloads"]
+            assert row["backends"]
+            assert row["default_k"] >= 1
+
+    def test_scenario_workloads_are_all_registered(self):
+        for name in available_scenarios():
+            for workload in get_scenario(name).workloads:
+                assert workload in WORKLOADS
+
+    def test_available_workloads_sorted_and_complete(self):
+        names = available_workloads()
+        assert names == sorted(names)
+        assert {"w1", "zipfian", "bursty", "adversarial",
+                "cache_hostile"} <= set(names)
+
+
+def _toy_generator(n, seed):
+    rng = np.random.default_rng(seed)
+    return WeightedString(
+        "".join("ab"[int(b)] for b in rng.integers(0, 2, size=n)),
+        rng.uniform(0.1, 1.0, size=n),
+    )
+
+
+class TestRegistrationErrors:
+    def test_duplicate_name_is_an_error(self):
+        existing = available_scenarios()[0]
+        with pytest.raises(ParameterError, match="already registered"):
+            register_scenario(Scenario(
+                name=existing, title="dup", description="dup",
+                generator=_toy_generator, default_n=256, k_divisor=8,
+                query_length_range=(1, 8),
+            ))
+
+    def test_unknown_workload_is_an_error(self):
+        with pytest.raises(ParameterError, match="unregistered workloads"):
+            register_scenario(Scenario(
+                name="toy_bad_workload", title="t", description="t",
+                generator=_toy_generator, default_n=256, k_divisor=8,
+                query_length_range=(1, 8), workloads=("w1", "nope"),
+            ))
+        assert "toy_bad_workload" not in available_scenarios()
+
+    def test_below_min_n_is_an_error(self):
+        scenario = get_scenario(available_scenarios()[0])
+        with pytest.raises(ParameterError, match="needs n >="):
+            scenario.make(scenario.min_n - 1)
+
+    def test_unregistered_workload_request_is_an_error(self):
+        scenario = get_scenario("pathological")
+        corpus = scenario.make(200)
+        with pytest.raises(ParameterError, match="does not register"):
+            scenario.build_workload(corpus, "no_such", 4)
+
+
+class TestWorkloadSource:
+    def test_collection_patterns_avoid_separator_codes(self):
+        scenario = get_scenario("read_collection")
+        corpus = scenario.make(600)
+        source = scenario.workload_source(corpus)
+        # The workload source is one original document: its codes are
+        # all below the alphabet size, so no pattern can contain the
+        # combined text's separator code.
+        assert source.codes.max() < corpus.alphabet.size
+        patterns = scenario.build_workload(corpus, "w1", 8)
+        separator = corpus.alphabet.size
+        for pattern in patterns:
+            assert separator not in set(int(c) for c in pattern)
+
+    def test_string_scenario_source_is_the_corpus(self):
+        scenario = get_scenario("pathological")
+        corpus = scenario.make(300)
+        assert scenario.workload_source(corpus) is corpus

@@ -217,3 +217,45 @@ class TestServeParser:
             body = json.loads(urllib.request.urlopen(request, timeout=10).read())
         assert body["results"][0]["utility"] == 16.0
         assert threading.active_count() >= 1
+
+
+class TestScenarios:
+    def test_list(self, capsys):
+        assert main(["scenarios", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "pathological" in out
+        assert "read_collection" in out
+        assert "cache_hostile" in out
+
+    def test_describe(self, capsys):
+        assert main(["scenarios", "describe", "dna_quality"]) == 0
+        out = capsys.readouterr().out
+        assert "pinned baseline:" in out
+        assert "answers_sum" in out
+        assert "workloads:" in out
+
+    def test_describe_unknown_is_an_error(self, capsys):
+        assert main(["scenarios", "describe", "nope"]) == 2
+        assert "registered" in capsys.readouterr().err
+
+    def test_run_requires_a_selection(self, capsys):
+        assert main(["scenarios", "run"]) == 2
+        assert "--all" in capsys.readouterr().err
+
+    def test_run_small_matrix(self, tmp_path, capsys):
+        import json
+
+        payload_path = tmp_path / "matrix.json"
+        assert main([
+            "scenarios", "run", "--scenario", "pathological",
+            "--workload", "w1", "--workload", "cache_hostile",
+            "--n", "600", "--queries", "8", "--json", str(payload_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "scenario matrix ok" in out
+        assert "0 mismatches" in out
+        payload = json.loads(payload_path.read_text())
+        assert payload["mismatches"] == []
+        assert {row["workload"] for row in payload["rows"]} == {
+            "w1", "cache_hostile"
+        }

@@ -55,6 +55,30 @@ def test_read_collection_runs():
     assert "reads" in result.stdout
 
 
+# The scenario-backed examples each end by recomputing their world's
+# metrics and comparing against the committed pins; "baseline: ok" is
+# the contract line (a drifted generator or answer path prints
+# "baseline: DRIFT" and exits non-zero instead).
+SCENARIO_EXAMPLES = [
+    "ad_sequencing.py",
+    "dna_quality.py",
+    "iot_link_quality.py",
+    "read_collection.py",
+    "web_analytics.py",
+]
+
+
+@pytest.mark.parametrize("name", SCENARIO_EXAMPLES)
+def test_scenario_examples_match_pinned_baselines(name):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True, text=True, timeout=120,
+    )
+    assert result.returncode == 0, result.stderr or result.stdout
+    assert "baseline: ok" in result.stdout, result.stdout
+    assert "pinned answers_sum" in result.stdout
+
+
 def test_serving_runs():
     result = subprocess.run(
         [sys.executable, str(EXAMPLES_DIR / "serving.py")],
